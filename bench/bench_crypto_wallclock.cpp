@@ -1,0 +1,147 @@
+// Wall-clock microbenchmarks (google-benchmark) of the from-scratch crypto
+// substrate on the build machine. These are NOT paper reproductions — the
+// paper's numbers come from the calibrated cost model (bench_table2) — but
+// they keep the scratch implementations honest and catch performance
+// regressions in the BigUInt/SHA/ChaCha layers everything sits on.
+#include <benchmark/benchmark.h>
+
+#include "crypto/biguint.hpp"
+#include "crypto/chacha20.hpp"
+#include "crypto/chained_hash.hpp"
+#include "crypto/drbg.hpp"
+#include "crypto/hmac.hpp"
+#include "crypto/merkle.hpp"
+#include "crypto/rsa.hpp"
+#include "crypto/sha1.hpp"
+#include "crypto/sha256.hpp"
+#include "scpu/key_cache.hpp"
+
+namespace {
+
+using namespace worm;
+using common::Bytes;
+
+void BM_Sha256(benchmark::State& state) {
+  Bytes data(static_cast<std::size_t>(state.range(0)), 0xab);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crypto::Sha256::hash(data));
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Sha256)->Arg(1024)->Arg(65536);
+
+void BM_Sha1(benchmark::State& state) {
+  Bytes data(static_cast<std::size_t>(state.range(0)), 0xab);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crypto::Sha1::hash(data));
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Sha1)->Arg(1024)->Arg(65536);
+
+void BM_HmacSha256(benchmark::State& state) {
+  Bytes key(32, 0x11);
+  Bytes data(static_cast<std::size_t>(state.range(0)), 0xab);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crypto::HmacSha256::mac(key, data));
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_HmacSha256)->Arg(1024)->Arg(65536);
+
+void BM_ChaCha20(benchmark::State& state) {
+  crypto::ChaCha20::Key key{};
+  crypto::ChaCha20::Nonce nonce{};
+  Bytes data(static_cast<std::size_t>(state.range(0)), 0xab);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crypto::ChaCha20::crypt(key, nonce, data));
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_ChaCha20)->Arg(65536);
+
+void BM_RsaSign(benchmark::State& state) {
+  const auto& key =
+      scpu::cached_rsa_key(0xbe7c, static_cast<std::size_t>(state.range(0)));
+  Bytes msg = common::to_bytes("benchmark message");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crypto::rsa_sign(key, msg));
+  }
+}
+BENCHMARK(BM_RsaSign)->Arg(512)->Arg(1024)->Arg(2048)->Unit(benchmark::kMicrosecond);
+
+void BM_RsaVerify(benchmark::State& state) {
+  const auto& key =
+      scpu::cached_rsa_key(0xbe7c, static_cast<std::size_t>(state.range(0)));
+  Bytes msg = common::to_bytes("benchmark message");
+  Bytes sig = crypto::rsa_sign(key, msg);
+  crypto::RsaPublicKey pub = key.public_key();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crypto::rsa_verify(pub, msg, sig));
+  }
+}
+BENCHMARK(BM_RsaVerify)->Arg(512)->Arg(1024)->Arg(2048)->Unit(benchmark::kMicrosecond);
+
+void BM_BigUIntModExp(benchmark::State& state) {
+  crypto::Drbg rng(1);
+  std::size_t bits = static_cast<std::size_t>(state.range(0));
+  crypto::BigUInt m = rng.big_with_bits(bits);
+  if (m.is_even()) m = m + crypto::BigUInt(1);
+  crypto::BigUInt base = rng.big_below(m);
+  crypto::BigUInt exp = rng.big_with_bits(bits);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crypto::BigUInt::mod_exp(base, exp, m));
+  }
+}
+BENCHMARK(BM_BigUIntModExp)->Arg(512)->Arg(1024)->Unit(benchmark::kMicrosecond);
+
+void BM_BigUIntMul(benchmark::State& state) {
+  crypto::Drbg rng(2);
+  std::size_t bits = static_cast<std::size_t>(state.range(0));
+  crypto::BigUInt a = rng.big_with_bits(bits);
+  crypto::BigUInt b = rng.big_with_bits(bits);
+  bool karatsuba = state.range(1) != 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(karatsuba
+                                 ? crypto::BigUInt::mul_karatsuba(a, b)
+                                 : crypto::BigUInt::mul_schoolbook(a, b));
+  }
+}
+BENCHMARK(BM_BigUIntMul)
+    ->ArgsProduct({{2048, 4096, 8192}, {0, 1}})
+    ->ArgNames({"bits", "karatsuba"});
+
+void BM_ChainedHashAdd(benchmark::State& state) {
+  Bytes seg(1024, 0xcd);
+  crypto::ChainedHash chain;
+  for (auto _ : state) {
+    chain.add(seg);
+    benchmark::DoNotOptimize(chain.digest());
+  }
+  state.SetBytesProcessed(state.iterations() * 1024);
+}
+BENCHMARK(BM_ChainedHashAdd);
+
+void BM_MerkleAppend(benchmark::State& state) {
+  crypto::MerkleTree tree;
+  Bytes leaf(64, 0xee);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tree.append(leaf));
+  }
+}
+BENCHMARK(BM_MerkleAppend);
+
+void BM_MerkleUpdateAt64k(benchmark::State& state) {
+  crypto::MerkleTree tree;
+  Bytes leaf(64, 0xee);
+  for (int i = 0; i < 65536; ++i) tree.append(leaf);
+  for (auto _ : state) {
+    tree.update(32768, leaf);
+    benchmark::DoNotOptimize(tree.root());
+  }
+}
+BENCHMARK(BM_MerkleUpdateAt64k);
+
+}  // namespace
+
+BENCHMARK_MAIN();

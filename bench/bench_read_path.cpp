@@ -1,0 +1,65 @@
+// §4.1 design-point check: "the SCPU is involved in *updates* only but not
+// in *reads*, thus minimizing the overhead for a query load dominated by
+// read queries." This bench runs mixed read/write workloads and reports
+// aggregate throughput plus SCPU busy share — reads must cost the SCPU
+// nothing, so throughput should rise and SCPU utilization fall as the mix
+// shifts toward reads.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "crypto/drbg.hpp"
+
+using namespace worm;
+
+int main() {
+  bench::print_header(
+      "Read/write mix — aggregate ops/s and SCPU utilization (1KB records)",
+      "§4.1: SCPU witnesses updates only; reads are pure main-CPU work");
+
+  std::printf("%12s %16s %14s %16s\n", "read share", "aggregate ops/s",
+              "SCPU busy", "writes ops/s");
+  for (int read_pct : {0, 50, 90, 99}) {
+    core::StoreConfig sc;
+    sc.default_mode = core::WitnessMode::kDeferred;
+    sc.hash_mode = core::HashMode::kHostHash;
+    bench::BenchRig rig(bench::bench_fw_config(), sc);
+    crypto::Drbg rng(0x0bb);
+
+    common::Bytes payload(1024, 0x5a);
+    core::Attr attr;
+    attr.retention = common::Duration::years(5);
+    // Seed some records so reads have targets.
+    for (int i = 0; i < 50; ++i) {
+      rig.store.write({payload}, attr, core::WitnessMode::kDeferred);
+    }
+
+    const std::size_t ops = 2000;
+    std::size_t writes = 0;
+    common::SimTime t0 = rig.clock.now();
+    common::Duration busy0 = rig.device.busy_time();
+    for (std::size_t i = 0; i < ops; ++i) {
+      if (rng.uniform(100) < static_cast<std::uint64_t>(read_pct)) {
+        core::Sn sn = 1 + rng.uniform(rig.firmware.sn_current());
+        (void)rig.store.read(sn);
+        // Model the host-side cost of shipping the record to the client.
+        rig.clock.charge(
+            rig.store.config().host_model.dma_cost(payload.size()));
+      } else {
+        rig.store.write({payload}, attr, core::WitnessMode::kDeferred);
+        ++writes;
+      }
+    }
+    double elapsed = (rig.clock.now() - t0).to_seconds_f();
+    double busy =
+        (rig.device.busy_time() - busy0).to_seconds_f() / elapsed * 100;
+    std::printf("%11d%% %13.0f %13.0f%% %16.0f\n", read_pct,
+                static_cast<double>(ops) / elapsed, busy,
+                static_cast<double>(writes) / elapsed);
+  }
+
+  std::printf(
+      "\nReading: aggregate throughput scales toward memory speed as the mix\n"
+      "goes read-heavy, and SCPU utilization falls in proportion to the\n"
+      "write share — the witness hardware is off the read path entirely.\n");
+  return 0;
+}

@@ -1,0 +1,65 @@
+// §4.2.2 Retention Monitor overhead claim: "As common retention rates are of
+// the order of years, we expect this to not add any additional overhead in
+// practice." The RM sleeps until the next VEXP expiry and signs one deletion
+// proof per expiring record; this bench measures the SCPU utilization that
+// deletion signing alone imposes at increasing expiry rates.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "crypto/drbg.hpp"
+
+using namespace worm;
+
+int main() {
+  bench::print_header(
+      "Retention Monitor overhead — SCPU utilization from deletion signing",
+      "§4.2.2: VEXP-alarm-driven deletion; expected negligible at realistic "
+      "expiry rates");
+
+  std::printf("%18s %14s %16s %14s\n", "expiries/hour", "deletions",
+              "SCPU busy share", "headroom");
+  for (std::size_t per_hour : {10u, 100u, 1'000u, 10'000u, 100'000u}) {
+    core::FirmwareConfig fw = bench::bench_fw_config();
+    fw.heartbeat_interval = common::Duration::hours(12);
+    core::StoreConfig sc;
+    sc.default_mode = core::WitnessMode::kDeferred;
+    sc.hash_mode = core::HashMode::kHostHash;
+    sc.compaction_min_run = SIZE_MAX;  // isolate pure deletion cost
+    bench::BenchRig rig(fw, sc);
+    crypto::Drbg rng(per_hour);
+
+    // Spread `per_hour` expirations uniformly across one hour.
+    common::Bytes payload(256, 0x5a);
+    const std::size_t n = per_hour;
+    for (std::size_t i = 0; i < n; ++i) {
+      core::Attr attr;
+      attr.retention = common::Duration::nanos(
+          static_cast<std::int64_t>(rng.uniform(3'600'000'000'000ull)) +
+          3'600'000'000'000ll);  // expires within [1h, 2h)
+      rig.store.write({payload}, attr, core::WitnessMode::kDeferred);
+    }
+
+    common::SimTime t0 = rig.clock.now();
+    common::Duration busy0 = rig.device.busy_time();
+    // Step through the window pumping idle duties as a live host would —
+    // at high rates the secure-memory-bounded VEXP needs rebuild scans.
+    while (rig.clock.now() < common::SimTime::epoch() +
+                                 common::Duration::hours(2)) {
+      rig.clock.advance(common::Duration::minutes(5));
+      rig.store.pump_idle();
+    }
+    double window = (rig.clock.now() - t0).to_seconds_f();
+    double busy = (rig.device.busy_time() - busy0).to_seconds_f();
+    std::printf("%18zu %14llu %15.3f%% %13.0fx\n", per_hour,
+                static_cast<unsigned long long>(rig.firmware.counters().deletions),
+                100 * busy / window, window / busy);
+  }
+
+  std::printf(
+      "\nReading: even at 100k expirations/hour — far beyond 'retention\n"
+      "measured in years' — deletion proofs consume a few percent of the\n"
+      "SCPU. At realistic rates the monitor is effectively free, as §4.2.2\n"
+      "expects. The hard ceiling is one 1024-bit signature per deletion\n"
+      "(848/s, i.e. ~3M deletions/hour).\n");
+  return 0;
+}

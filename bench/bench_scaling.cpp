@@ -1,0 +1,51 @@
+// §5 scaling claim: "These results naturally scale if multiple SCPUs are
+// available." Each SCPU fronts an independent shard (its own serial-number
+// space and VRDT); writes are sprayed round-robin. Aggregate throughput is
+// total records over the *slowest* shard's burst time.
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "bench_util.hpp"
+
+using namespace worm;
+
+int main() {
+  bench::print_header(
+      "Multi-SCPU scaling — aggregate deferred-512 throughput, 1KB records",
+      "§5: >2500 tx/s with one SCPU; results 'naturally scale' with more");
+
+  std::printf("%6s %16s %10s\n", "scpus", "aggregate", "speedup");
+  double base = 0;
+  for (std::size_t k = 1; k <= 8; k *= 2) {
+    std::vector<std::unique_ptr<bench::BenchRig>> shards;
+    for (std::size_t i = 0; i < k; ++i) {
+      core::FirmwareConfig fw = bench::bench_fw_config();
+      fw.seed = 0x574f524d + i;  // distinct key material per device
+      core::StoreConfig sc;
+      sc.default_mode = core::WitnessMode::kDeferred;
+      sc.hash_mode = core::HashMode::kHostHash;
+      sc.store_id = i + 1;
+      shards.push_back(std::make_unique<bench::BenchRig>(fw, sc));
+    }
+
+    const std::size_t total = 400 * k;
+    common::Bytes payload(1024, 0x5a);
+    core::Attr attr;
+    attr.retention = common::Duration::years(5);
+    for (std::size_t i = 0; i < total; ++i) {
+      shards[i % k]->store.write({payload}, attr, core::WitnessMode::kDeferred);
+    }
+    double slowest = 0;
+    for (auto& s : shards) {
+      slowest = std::max(slowest, static_cast<double>(s->clock.now().ns) / 1e9);
+    }
+    double rate = static_cast<double>(total) / slowest;
+    if (base == 0) base = rate;
+    std::printf("%6zu %12.0f rec/s %9.2fx\n", k, rate, rate / base);
+  }
+  std::printf("\nShards are independent stores (separate SN spaces); the paper's\n"
+              "'natural scaling' is linear because the SCPU is the only shared-\n"
+              "nothing bottleneck in the write path.\n");
+  return 0;
+}

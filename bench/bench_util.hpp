@@ -1,0 +1,97 @@
+// Shared experiment rig for the benchmark binaries. Each experiment builds a
+// fresh simulated deployment, drives a workload, and reads *simulated* time
+// off the clock — which the calibrated cost models (Table 2) turn into the
+// paper's absolute throughput numbers regardless of build hardware.
+#pragma once
+
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "common/sim_clock.hpp"
+#include "scpu/key_cache.hpp"
+#include "scpu/scpu_device.hpp"
+#include "storage/block_device.hpp"
+#include "storage/record_store.hpp"
+#include "worm/client_verifier.hpp"
+#include "worm/firmware.hpp"
+#include "worm/worm_store.hpp"
+
+namespace worm::bench {
+
+inline const crypto::RsaPrivateKey& regulator_key() {
+  return scpu::cached_rsa_key(0x1e6a1, 1024);
+}
+
+/// One deployment on the heap (the benches build many).
+struct BenchRig {
+  BenchRig(core::FirmwareConfig fw_cfg, core::StoreConfig st_cfg,
+           storage::LatencyModel disk_latency = storage::LatencyModel::none(),
+           std::size_t disk_block = 65536)
+      : device(clock, scpu::CostModel::ibm4764()),
+        firmware(device, fw_cfg, regulator_key().public_key()),
+        disk(disk_block, 1024, &clock, disk_latency),
+        records(disk),
+        store(clock, firmware, records, st_cfg) {}
+
+  common::SimClock clock;
+  scpu::ScpuDevice device;
+  core::Firmware firmware;
+  storage::MemBlockDevice disk;
+  storage::RecordStore records;
+  core::WormStore store;
+};
+
+/// Firmware config tuned for long burst benchmarks: generous short-key
+/// rotation so a sweep is not interrupted by inline keygen.
+inline core::FirmwareConfig bench_fw_config() {
+  core::FirmwareConfig cfg;
+  cfg.heartbeat_interval = common::Duration::minutes(2);
+  cfg.short_key_rotation = common::Duration::hours(2);
+  cfg.short_sig_lifetime = common::Duration::minutes(90);
+  return cfg;
+}
+
+struct Throughput {
+  double records_per_sec = 0;
+  double scpu_busy_frac = 0;
+  double elapsed_sec = 0;
+};
+
+/// Writes `n` records of `size` bytes in a burst and reports simulated
+/// throughput.
+inline Throughput measure_writes(BenchRig& rig, std::size_t size,
+                                 std::size_t n, core::WitnessMode mode) {
+  common::Bytes payload(size, 0x5a);
+  core::Attr attr;
+  attr.retention = common::Duration::years(5);
+
+  common::SimTime t0 = rig.clock.now();
+  common::Duration busy0 = rig.device.busy_time();
+  for (std::size_t i = 0; i < n; ++i) {
+    rig.store.write({payload}, attr, mode);
+  }
+  Throughput t;
+  t.elapsed_sec = (rig.clock.now() - t0).to_seconds_f();
+  t.records_per_sec = static_cast<double>(n) / t.elapsed_sec;
+  t.scpu_busy_frac =
+      (rig.device.busy_time() - busy0).to_seconds_f() / t.elapsed_sec;
+  return t;
+}
+
+/// Record count that keeps memory and wall time bounded across sizes.
+inline std::size_t records_for_size(std::size_t size) {
+  std::size_t n = (48u << 20) / size;
+  if (n > 400) n = 400;
+  if (n < 24) n = 24;
+  return n;
+}
+
+inline void print_header(const std::string& title, const std::string& paper) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("paper reference: %s\n", paper.c_str());
+  std::printf("================================================================\n");
+}
+
+}  // namespace worm::bench

@@ -1,0 +1,79 @@
+// §4.2.1 storage-reduction ablation: VRDT footprint under out-of-order
+// expiry, with multi-window compaction on vs off. Records carry mixed
+// retention periods (different regulations sharing one store), so deletion
+// proofs accumulate in contiguous runs that compaction collapses into
+// signed window-bound pairs.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "crypto/drbg.hpp"
+
+using namespace worm;
+
+namespace {
+
+struct Result {
+  std::size_t entries = 0;
+  std::size_t windows = 0;
+  std::size_t bytes = 0;
+  std::uint64_t scpu_sigs = 0;
+};
+
+Result run(bool compaction_enabled, std::size_t n_records) {
+  core::FirmwareConfig fw = bench::bench_fw_config();
+  fw.heartbeat_interval = common::Duration::hours(6);
+  core::StoreConfig sc;
+  sc.default_mode = core::WitnessMode::kDeferred;
+  sc.hash_mode = core::HashMode::kHostHash;
+  sc.compaction_min_run = compaction_enabled ? 3 : SIZE_MAX;
+  bench::BenchRig rig(fw, sc);
+
+  crypto::Drbg rng(0xc0ffee);
+  common::Bytes payload(256, 0x5a);
+  for (std::size_t i = 0; i < n_records; ++i) {
+    core::Attr attr;
+    // Mixed regulations: most records expire within 1-50 hours, a sprinkle
+    // retain for a year (these pin the windows apart).
+    attr.retention = (i % 23 == 0)
+                         ? common::Duration::years(1)
+                         : common::Duration::hours(
+                               1 + static_cast<std::int64_t>(rng.uniform(50)));
+    rig.store.write({payload}, attr);
+  }
+  // Let everything short-lived expire, pumping idle duties as a host would.
+  for (int step = 0; step < 60; ++step) {
+    rig.clock.advance(common::Duration::hours(1));
+    while (rig.store.pump_idle()) {
+    }
+  }
+  Result r;
+  r.entries = rig.store.vrdt().entry_count();
+  r.windows = rig.store.vrdt().window_count();
+  r.bytes = rig.store.vrdt().storage_bytes();
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header(
+      "Window compaction — VRDT footprint under out-of-order expiry",
+      "§4.2.1: contiguous runs of >= 3 expired records collapse into signed "
+      "lower/upper bound pairs");
+
+  std::printf("%10s | %32s | %32s\n", "", "compaction OFF", "compaction ON");
+  std::printf("%10s | %10s %8s %10s | %10s %8s %10s\n", "records", "entries",
+              "windows", "bytes", "entries", "windows", "bytes");
+  for (std::size_t n : {500u, 2000u, 8000u}) {
+    Result off = run(false, n);
+    Result on = run(true, n);
+    std::printf("%10zu | %10zu %8zu %10zu | %10zu %8zu %10zu\n", n,
+                off.entries, off.windows, off.bytes, on.entries, on.windows,
+                on.bytes);
+  }
+  std::printf("\nReading: without compaction the VRDT keeps one deletion proof\n"
+              "per expired record forever (until the base passes it); with\n"
+              "compaction, runs collapse to two signatures each and the long-\n"
+              "retention records are all that remain.\n");
+  return 0;
+}

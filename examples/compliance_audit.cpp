@@ -1,0 +1,70 @@
+// Full compliance audit: a regulator walks the ENTIRE serial-number space of
+// a store and demands verified data or verified deletion evidence for every
+// single SN — the complete-audit capability that consecutive serial numbers
+// buy (§4.2.2). Shown twice: on an honest store, and after an insider has
+// mounted every attack in the book.
+#include <cstdio>
+
+#include "adversary/mallory.hpp"
+#include "common/sim_clock.hpp"
+#include "scpu/key_cache.hpp"
+#include "scpu/scpu_device.hpp"
+#include "storage/block_device.hpp"
+#include "storage/record_store.hpp"
+#include "worm/auditor.hpp"
+#include "worm/client_verifier.hpp"
+#include "worm/firmware.hpp"
+#include "worm/worm_store.hpp"
+
+using namespace worm;
+
+int main() {
+  std::printf("== Whole-store compliance audit ==\n\n");
+
+  common::SimClock clock;
+  scpu::ScpuDevice device(clock, scpu::CostModel::ibm4764());
+  core::Firmware firmware(device, core::FirmwareConfig{},
+                          scpu::cached_rsa_key(0x1e6, 1024).public_key());
+  storage::MemBlockDevice disk(4096, 2048, &clock);
+  storage::RecordStore records(disk);
+  core::WormStore store(clock, firmware, records, core::StoreConfig{});
+  core::ClientVerifier regulator(store.anchors(), clock);
+
+  // A year of operation: long-lived contracts, short-lived session logs.
+  core::Attr contracts;
+  contracts.retention = common::Duration::years(7);
+  core::Attr logs;
+  logs.retention = common::Duration::days(30);
+  for (int month = 0; month < 12; ++month) {
+    for (int i = 0; i < 3; ++i) {
+      store.write({common::to_bytes("contract m" + std::to_string(month) +
+                                    "#" + std::to_string(i))},
+                  contracts);
+    }
+    for (int i = 0; i < 5; ++i) {
+      store.write({common::to_bytes("session log")}, logs);
+    }
+    clock.advance(common::Duration::days(30));
+    while (store.pump_idle()) {
+    }
+  }
+
+  core::AuditReport report = core::Auditor::audit_store(store, regulator);
+  std::printf("year-end audit (honest store):\n  %s\n\n",
+              core::Auditor::summarize(report).c_str());
+
+  // --- the insider goes to work ----------------------------------------------
+  crypto::Drbg rng(0xbad);
+  std::printf("[insider] tampering with one contract, hiding another,\n"
+              "          forging a deletion proof for a third...\n\n");
+  adversary::tamper_record_data(store, disk, 1);
+  adversary::hide_record(store, 9);
+  adversary::forge_deletion(store, 17, rng);
+
+  report = core::Auditor::audit_store(store, regulator);
+  std::printf("post-incident audit:\n  %s\n\n",
+              core::Auditor::summarize(report).c_str());
+  std::printf("every attacked serial number is individually identified; "
+              "nothing was lost silently.\n");
+  return 0;
+}

@@ -1,0 +1,99 @@
+// SEC 17a-4 broker-dealer email archive — the paper's motivating workload.
+// Demonstrates:
+//   * burst ingest under the §4.3 deferred-strength optimization (short
+//     512-bit witnesses at ~4x the strong-signature rate),
+//   * idle-time strengthening back to permanent 1024-bit signatures,
+//   * multi-payload virtual records (message body + attachments under one
+//     serial number),
+//   * an insider ("the CFO's sysadmin") altering an archived message on the
+//     raw device — and a compliance audit detecting it.
+#include <cstdio>
+#include <string>
+
+#include "adversary/mallory.hpp"
+#include "common/sim_clock.hpp"
+#include "scpu/key_cache.hpp"
+#include "scpu/scpu_device.hpp"
+#include "storage/block_device.hpp"
+#include "storage/record_store.hpp"
+#include "worm/client_verifier.hpp"
+#include "worm/firmware.hpp"
+#include "worm/worm_store.hpp"
+
+using namespace worm;
+
+int main() {
+  std::printf("== Broker-dealer email archive (SEC 17a-4) ==\n\n");
+
+  common::SimClock clock;
+  scpu::ScpuDevice device(clock, scpu::CostModel::ibm4764());
+  core::Firmware firmware(device, core::FirmwareConfig{},
+                          scpu::cached_rsa_key(0x1e6, 1024).public_key());
+  storage::MemBlockDevice disk(4096, 4096, &clock);
+  storage::RecordStore records(disk);
+
+  core::StoreConfig cfg;
+  cfg.default_mode = core::WitnessMode::kDeferred;  // burst optimization on
+  cfg.hash_mode = core::HashMode::kHostHash;        // trusted-hash burst model
+  core::WormStore store(clock, firmware, records, cfg);
+  core::ClientVerifier auditor(store.anchors(), clock);
+
+  // --- 9:30am: market opens, mail bursts in ---------------------------------
+  core::Attr attr;
+  attr.retention = common::Duration::years(6);  // 17a-4(b)(4): six years
+  attr.regulation_policy = 17;
+
+  const int kMessages = 200;
+  common::SimTime t0 = clock.now();
+  core::Sn first = 0, last = 0;
+  for (int i = 0; i < kMessages; ++i) {
+    std::vector<common::Bytes> vr = {
+        common::to_bytes("From: trader" + std::to_string(i % 9) +
+                         "@firm.example\nSubject: order flow " +
+                         std::to_string(i) + "\n\nFill the ACME block order."),
+        common::to_bytes("attachment: blotter-" + std::to_string(i) + ".csv"),
+    };
+    core::Sn sn = store.write(vr, attr);
+    if (first == 0) first = sn;
+    last = sn;
+  }
+  double burst_sec = (clock.now() - t0).to_seconds_f();
+  std::printf("ingested %d two-part messages in %.2fs simulated "
+              "(%.0f records/s, deferred 512-bit witnesses)\n",
+              kMessages, burst_sec, kMessages / burst_sec);
+  std::printf("strengthening backlog: %zu records\n",
+              firmware.deferred_count());
+
+  // --- lunchtime lull: the store strengthens its backlog --------------------
+  int pumps = 0;
+  while (store.pump_idle()) ++pumps;
+  std::printf("idle processing (%d batches): backlog now %zu, "
+              "all witnesses upgraded to strong 1024-bit signatures\n",
+              pumps, firmware.deferred_count());
+
+  // --- quarterly compliance audit -------------------------------------------
+  std::size_t verified = 0;
+  for (core::Sn sn = first; sn <= last; ++sn) {
+    if (auditor.verify_read(sn, store.read(sn)).verdict ==
+        core::Verdict::kAuthentic) {
+      ++verified;
+    }
+  }
+  std::printf("\nquarterly audit: %zu/%d messages verified authentic\n",
+              verified, kMessages);
+
+  // --- the insider strikes ---------------------------------------------------
+  core::Sn target = first + 17;
+  std::printf("\n[insider] rewriting archived message SN %llu directly on "
+              "the platters...\n", static_cast<unsigned long long>(target));
+  adversary::tamper_record_data(store, disk, target);
+
+  core::Outcome out = auditor.verify_read(target, store.read(target));
+  std::printf("[auditor] re-reading SN %llu: %s — %s\n",
+              static_cast<unsigned long long>(target),
+              core::to_string(out.verdict), out.detail.c_str());
+
+  std::printf("\nconclusion: the tampered message cannot pass verification; "
+              "the alteration is detectable in litigation.\n");
+  return 0;
+}

@@ -1,0 +1,95 @@
+// HIPAA hospital archive: 20-year retention, a malpractice litigation hold
+// that outlives retention, hold release by the issuing authority, and
+// policy-driven secure shredding — decades of simulated time in
+// milliseconds of wall time.
+#include <cstdio>
+
+#include "common/sim_clock.hpp"
+#include "crypto/rsa.hpp"
+#include "scpu/key_cache.hpp"
+#include "scpu/scpu_device.hpp"
+#include "storage/block_device.hpp"
+#include "storage/record_store.hpp"
+#include "worm/client_verifier.hpp"
+#include "worm/envelopes.hpp"
+#include "worm/firmware.hpp"
+#include "worm/worm_store.hpp"
+
+using namespace worm;
+
+int main() {
+  std::printf("== Hospital records archive (HIPAA, 20-year retention) ==\n\n");
+
+  common::SimClock clock;
+  scpu::ScpuDevice device(clock, scpu::CostModel::ibm4764());
+
+  // Long heartbeat interval: this example fast-forwards 21 years, and a
+  // 2-minute heartbeat would mean ~5.5 million signatures along the way.
+  core::FirmwareConfig fw_cfg;
+  fw_cfg.heartbeat_interval = common::Duration::days(1);
+  fw_cfg.sn_current_max_age = common::Duration::days(2);
+
+  const crypto::RsaPrivateKey& court = scpu::cached_rsa_key(0xc0027, 1024);
+  core::Firmware firmware(device, fw_cfg, court.public_key());
+  storage::MemBlockDevice disk(4096, 1024, &clock);
+  storage::RecordStore records(disk);
+  core::WormStore store(clock, firmware, records, core::StoreConfig{});
+  core::ClientVerifier client(store.anchors(), clock);
+
+  auto show = [&](core::Sn sn, const char* when) {
+    core::Outcome out = client.verify_read(sn, store.read(sn));
+    std::printf("  [%-22s] SN %llu: %-22s %s\n", when,
+                static_cast<unsigned long long>(sn),
+                core::to_string(out.verdict), out.detail.c_str());
+  };
+
+  // --- admit two patients ----------------------------------------------------
+  core::Attr hipaa;
+  hipaa.retention = common::Duration::years(20);
+  hipaa.regulation_policy = 164;  // 45 CFR 164
+  hipaa.shredding = storage::ShredPolicy::kNist3Pass;
+
+  core::Sn chart_a = store.write(
+      {common::to_bytes("patient A: appendectomy, 2026-07-06, Dr. Reyes")},
+      hipaa);
+  core::Sn chart_b = store.write(
+      {common::to_bytes("patient B: cardiac stent, 2026-07-06, Dr. Okafor")},
+      hipaa);
+  std::printf("two charts archived (retention: 20 years, NIST 3-pass "
+              "shredding)\n\n");
+
+  // --- year 19: malpractice suit against Dr. Okafor --------------------------
+  clock.advance(common::Duration::years(19));
+  show(chart_a, "year 19");
+  show(chart_b, "year 19");
+
+  std::printf("\n[court] issuing litigation hold on patient B's chart "
+              "(5-year hold)\n");
+  common::SimTime hold_until = clock.now() + common::Duration::years(5);
+  common::Bytes credential = crypto::rsa_sign(
+      court, core::lit_credential_payload(chart_b, clock.now(), /*lit_id=*/88,
+                                          /*hold=*/true));
+  store.lit_hold(chart_b, hold_until, 88, clock.now(), credential);
+
+  // --- year 21: retention lapsed — chart A goes, chart B must stay ----------
+  clock.advance(common::Duration::years(2));
+  std::printf("\nyear 21 (retention expired last year):\n");
+  show(chart_a, "year 21");
+  show(chart_b, "year 21, under hold");
+
+  // --- year 22: case settles, court releases the hold -------------------------
+  clock.advance(common::Duration::years(1));
+  std::printf("\n[court] case settled; releasing the hold\n");
+  common::Bytes release = crypto::rsa_sign(
+      court, core::lit_credential_payload(chart_b, clock.now(), 88, false));
+  store.lit_release(chart_b, 88, clock.now(), release);
+  clock.advance(common::Duration::days(1));  // RM wakes and deletes
+
+  std::printf("\nafter release:\n");
+  show(chart_b, "year 22, released");
+
+  std::printf("\ndeletions performed by the retention monitor: %llu; every "
+              "absent chart is backed by a verifiable proof.\n",
+              static_cast<unsigned long long>(firmware.counters().deletions));
+  return 0;
+}

@@ -1,0 +1,88 @@
+// Quickstart: the smallest complete Strong WORM deployment — one simulated
+// secure coprocessor, one untrusted store — exercising the whole lifecycle:
+// write, verified read, retention expiry, and verified proof-of-deletion.
+//
+//   $ ./quickstart
+#include <cstdio>
+
+#include "common/sim_clock.hpp"
+#include "crypto/rsa.hpp"
+#include "scpu/key_cache.hpp"
+#include "scpu/scpu_device.hpp"
+#include "storage/block_device.hpp"
+#include "storage/record_store.hpp"
+#include "worm/client_verifier.hpp"
+#include "worm/firmware.hpp"
+#include "worm/worm_store.hpp"
+
+using namespace worm;
+
+int main() {
+  std::printf("== Strong WORM quickstart ==\n\n");
+
+  // --- deployment -----------------------------------------------------------
+  // One simulation clock drives everything: the SCPU's tamper-protected
+  // internal clock, disk latency, and the retention monitor's alarms.
+  common::SimClock clock;
+
+  // The secure coprocessor (IBM 4764-class performance model) and its
+  // certified WORM firmware. The regulator's public key is installed at
+  // deployment so litigation-hold credentials can be checked on-card.
+  scpu::ScpuDevice device(clock, scpu::CostModel::ibm4764());
+  const crypto::RsaPrivateKey& regulator = scpu::cached_rsa_key(0x1e6, 1024);
+  core::Firmware firmware(device, core::FirmwareConfig{},
+                          regulator.public_key());
+
+  // Untrusted host-side storage: block device + record store + WORM store.
+  storage::MemBlockDevice disk(4096, 1024, &clock);
+  storage::RecordStore records(disk);
+  core::WormStore store(clock, firmware, records, core::StoreConfig{});
+
+  // A client ("Bob", e.g. a federal investigator) trusts only the SCPU's
+  // certificates and a synchronized clock.
+  core::ClientVerifier client(store.anchors(), clock);
+
+  // --- write ---------------------------------------------------------------
+  core::Attr attr;
+  attr.retention = common::Duration::days(7);
+  attr.regulation_policy = 17;  // e.g. SEC rule 17a-4
+  attr.shredding = storage::ShredPolicy::kNist3Pass;
+
+  core::Sn sn = store.write({common::to_bytes("trade ticket #8571: SELL 500 ACME @ 42.17")},
+                            attr);
+  std::printf("wrote record, SCPU issued serial number %llu\n",
+              static_cast<unsigned long long>(sn));
+
+  // --- verified read --------------------------------------------------------
+  core::ReadResult res = store.read(sn);
+  core::Outcome out = client.verify_read(sn, res);
+  std::printf("read + client verification: %s\n", core::to_string(out.verdict));
+  if (auto* ok = std::get_if<core::ReadOk>(&res)) {
+    std::printf("  payload: \"%s\"\n",
+                common::to_string(ok->payloads[0]).c_str());
+    std::printf("  metasig: %s RSA, %zu bytes\n",
+                core::to_string(ok->vrd.metasig.kind),
+                ok->vrd.metasig.value.size());
+  }
+
+  // --- a read of a never-written serial number ------------------------------
+  out = client.verify_read(999, store.read(999));
+  std::printf("read of SN 999: %s (%s)\n", core::to_string(out.verdict),
+              out.detail.c_str());
+
+  // --- retention expiry -----------------------------------------------------
+  std::printf("\nfast-forwarding 8 days of simulated time...\n");
+  clock.advance(common::Duration::days(8));
+
+  res = store.read(sn);
+  out = client.verify_read(sn, res);
+  std::printf("read after retention: %s (%s)\n", core::to_string(out.verdict),
+              out.detail.c_str());
+  std::printf("records shredded by retention monitor: %llu\n",
+              static_cast<unsigned long long>(store.stats().expirations));
+
+  std::printf("\nSCPU lifetime busy time: %.1f ms of %.0f hours simulated\n",
+              device.busy_time().to_seconds_f() * 1e3,
+              (clock.now() - common::SimTime::epoch()).to_seconds_f() / 3600);
+  return 0;
+}

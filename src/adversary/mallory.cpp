@@ -1,0 +1,103 @@
+#include "adversary/mallory.hpp"
+
+namespace worm::adversary {
+
+using core::Vrdt;
+
+namespace {
+core::Vrd* active_vrd(core::WormStore& store, Sn sn) {
+  Vrdt::Entry* e = store.vrdt_mutable().mutable_entry(sn);
+  if (e == nullptr || e->kind != Vrdt::Entry::Kind::kActive) return nullptr;
+  return &e->vrd;
+}
+}  // namespace
+
+bool tamper_record_data(core::WormStore& store, storage::MemBlockDevice& disk,
+                        Sn sn) {
+  core::Vrd* vrd = active_vrd(store, sn);
+  if (vrd == nullptr) return false;
+  for (const auto& rd : vrd->rdl) {
+    for (std::uint64_t b : rd.blocks) {
+      common::Bytes& raw = disk.raw_block(b);
+      for (std::size_t i = 0; i < raw.size(); i += 97) raw[i] ^= 0x5a;
+    }
+  }
+  return true;
+}
+
+bool rewrite_retention(core::WormStore& store, Sn sn,
+                       common::Duration new_retention) {
+  core::Vrd* vrd = active_vrd(store, sn);
+  if (vrd == nullptr) return false;
+  vrd->attr.retention = new_retention;
+  return true;
+}
+
+bool cross_wire_records(core::WormStore& store, Sn a, Sn b) {
+  core::Vrd* va = active_vrd(store, a);
+  core::Vrd* vb = active_vrd(store, b);
+  if (va == nullptr || vb == nullptr) return false;
+  va->rdl = vb->rdl;  // A's reads now return B's bytes
+  return true;
+}
+
+bool hide_record(core::WormStore& store, Sn sn) {
+  return store.vrdt_mutable().force_erase(sn);
+}
+
+bool forge_deletion(core::WormStore& store, Sn sn, crypto::Drbg& rng) {
+  if (active_vrd(store, sn) == nullptr) return false;
+  DeletionProof fake;
+  fake.sn = sn;
+  fake.deleted_at = common::SimTime{0};
+  fake.sig = rng.bytes(128);  // Mallory cannot sign with d; she guesses
+  Vrdt::Entry entry;
+  entry.kind = Vrdt::Entry::Kind::kDeleted;
+  entry.proof = std::move(fake);
+  store.vrdt_mutable().force_put(sn, std::move(entry));
+  return true;
+}
+
+bool replay_foreign_deletion(core::WormStore& store, Sn victim, Sn donor) {
+  const Vrdt::Entry* d = store.vrdt().find(donor);
+  if (d == nullptr || d->kind != Vrdt::Entry::Kind::kDeleted) return false;
+  if (active_vrd(store, victim) == nullptr) return false;
+  DeletionProof stolen = d->proof;  // genuine signature... for `donor`
+  Vrdt::Entry entry;
+  entry.kind = Vrdt::Entry::Kind::kDeleted;
+  entry.proof = std::move(stolen);
+  store.vrdt_mutable().force_put(victim, std::move(entry));
+  return true;
+}
+
+ReadResult stale_not_allocated_answer(SignedSnCurrent captured) {
+  return core::ReadNotAllocated{std::move(captured)};
+}
+
+DeletedWindow splice_windows(const DeletedWindow& first,
+                             const DeletedWindow& second) {
+  DeletedWindow forged;
+  forged.window_id = first.window_id;  // sig_hi was issued under second's id
+  forged.lo = first.lo;
+  forged.hi = second.hi;
+  forged.created_at = first.created_at;
+  forged.sig_lo = first.sig_lo;
+  forged.sig_hi = second.sig_hi;
+  return forged;
+}
+
+void install_spliced_window(core::WormStore& store, DeletedWindow forged) {
+  Vrdt& vrdt = store.vrdt_mutable();
+  for (Sn sn = forged.lo; sn <= forged.hi; ++sn) vrdt.force_erase(sn);
+  vrdt.force_add_window(std::move(forged));
+}
+
+Vrdt snapshot_vrdt(const core::WormStore& store) {
+  return Vrdt::deserialize(store.vrdt().serialize());
+}
+
+void rollback_vrdt(core::WormStore& store, Vrdt snapshot) {
+  store.vrdt_mutable() = std::move(snapshot);
+}
+
+}  // namespace worm::adversary

@@ -1,0 +1,72 @@
+// Mallory: the paper's adversary (§2.1) — a super-user insider with physical
+// access to every untrusted component. Each driver below implements one of
+// the attacks the design claims to defeat; the test suite runs them against
+// the client verifier to establish Theorems 1 and 2 behaviourally.
+//
+// What Mallory can touch: the block device (platters), the VRDT (host disk),
+// the host's answers to clients. What she cannot touch: the SCPU's keys and
+// internal state (tamper response destroys them) and the client's trust
+// anchors / synchronized clock.
+#pragma once
+
+#include <optional>
+
+#include "storage/block_device.hpp"
+#include "worm/proofs.hpp"
+#include "worm/worm_store.hpp"
+
+namespace worm::adversary {
+
+using core::DeletedWindow;
+using core::DeletionProof;
+using core::ReadResult;
+using core::SignedSnCurrent;
+using core::Sn;
+
+/// Flips bits in the physical data blocks of record `sn` ("open the drive
+/// enclosure and alter the underlying media", §3). Returns false if the SN
+/// has no active record.
+bool tamper_record_data(core::WormStore& store, storage::MemBlockDevice& disk,
+                        Sn sn);
+
+/// Rewrites a record's attributes in the VRDT without SCPU involvement —
+/// e.g. shortening the retention period of an inconvenient record.
+bool rewrite_retention(core::WormStore& store, Sn sn,
+                       common::Duration new_retention);
+
+/// Serves record B's data under record A's descriptor (cross-wiring RDLs).
+bool cross_wire_records(core::WormStore& store, Sn a, Sn b);
+
+/// Erases a record's VRDT entry outright, hoping reads report it as never
+/// stored (Theorem 2's target).
+bool hide_record(core::WormStore& store, Sn sn);
+
+/// Replaces an active record with a *forged* deletion proof (random bytes).
+bool forge_deletion(core::WormStore& store, Sn sn, crypto::Drbg& rng);
+
+/// Replaces an active record `victim`'s entry with the *genuine* deletion
+/// proof of another record `donor` (signature-replay flavour).
+bool replay_foreign_deletion(core::WormStore& store, Sn victim, Sn donor);
+
+/// Builds the "this SN was never allocated" answer using a captured stale
+/// heartbeat — the §4.2.1 replay attack against recently-added records.
+ReadResult stale_not_allocated_answer(SignedSnCurrent captured);
+
+/// Splices the lower bound of one certified window with the upper bound of
+/// another, fabricating a bigger "deleted" range (§4.2.1's correlation
+/// attack). Returns the forged window.
+DeletedWindow splice_windows(const DeletedWindow& first,
+                             const DeletedWindow& second);
+
+/// Injects a spliced window into the VRDT and removes the covered entries,
+/// so the store itself serves the forged answer.
+void install_spliced_window(core::WormStore& store, DeletedWindow forged);
+
+/// Captures a full snapshot of the VRDT for a later rollback.
+core::Vrdt snapshot_vrdt(const core::WormStore& store);
+
+/// Rolls the VRDT back to an earlier snapshot — "replicate illicitly
+/// modified versions of data onto seemingly-identical storage units" (§1).
+void rollback_vrdt(core::WormStore& store, core::Vrdt snapshot);
+
+}  // namespace worm::adversary

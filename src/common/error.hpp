@@ -1,0 +1,59 @@
+// Exception hierarchy. Exceptions are reserved for programming errors,
+// corrupted persistent state, and I/O failures; *protocol* outcomes (e.g. "this
+// record was rightfully deleted, here is the proof") are modelled as explicit
+// result variants, never as exceptions.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace worm::common {
+
+/// Root of all library-thrown exceptions.
+class Error : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Malformed serialized data (truncated buffer, bad tag, bad length).
+class ParseError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// Storage-substrate failure (out-of-range block, device write error).
+class StorageError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// Secure-coprocessor failure: tamper response triggered, secure memory
+/// exhausted, command rejected by certified logic.
+class ScpuError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// Caller violated an API precondition.
+class PreconditionError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// Internal invariant violated — indicates a bug in this library.
+class InternalError : public Error {
+ public:
+  using Error::Error;
+};
+
+#define WORM_CHECK(cond, msg)                          \
+  do {                                                 \
+    if (!(cond)) throw ::worm::common::InternalError(msg); \
+  } while (false)
+
+#define WORM_REQUIRE(cond, msg)                             \
+  do {                                                      \
+    if (!(cond)) throw ::worm::common::PreconditionError(msg); \
+  } while (false)
+
+}  // namespace worm::common

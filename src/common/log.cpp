@@ -1,0 +1,36 @@
+#include "common/log.hpp"
+
+#include <iostream>
+
+namespace worm::common {
+
+namespace {
+LogLevel g_level = LogLevel::kOff;
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "debug";
+    case LogLevel::kInfo:
+      return "info";
+    case LogLevel::kWarn:
+      return "warn";
+    case LogLevel::kError:
+      return "error";
+    case LogLevel::kOff:
+      return "off";
+  }
+  return "?";
+}
+}  // namespace
+
+void set_log_level(LogLevel level) { g_level = level; }
+LogLevel log_level() { return g_level; }
+
+void log_line(LogLevel level, const std::string& component,
+              const std::string& message) {
+  std::cerr << '[' << level_name(level) << "] " << component << ": " << message
+            << '\n';
+}
+
+}  // namespace worm::common

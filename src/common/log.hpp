@@ -1,0 +1,47 @@
+// Minimal leveled logger. Off by default so benchmarks and tests stay quiet;
+// examples flip it on to narrate the protocol.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace worm::common {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global log threshold; messages below it are discarded.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Emits one line to stderr as "[level] component: message".
+void log_line(LogLevel level, const std::string& component,
+              const std::string& message);
+
+namespace detail {
+template <typename... Args>
+std::string concat(Args&&... args) {
+  std::ostringstream os;
+  (os << ... << args);
+  return os.str();
+}
+}  // namespace detail
+
+#define WORM_LOG(level, component, ...)                                \
+  do {                                                                 \
+    if (static_cast<int>(level) >=                                     \
+        static_cast<int>(::worm::common::log_level())) {               \
+      ::worm::common::log_line(                                        \
+          level, component, ::worm::common::detail::concat(__VA_ARGS__)); \
+    }                                                                  \
+  } while (false)
+
+#define WORM_DEBUG(component, ...) \
+  WORM_LOG(::worm::common::LogLevel::kDebug, component, __VA_ARGS__)
+#define WORM_INFO(component, ...) \
+  WORM_LOG(::worm::common::LogLevel::kInfo, component, __VA_ARGS__)
+#define WORM_WARN(component, ...) \
+  WORM_LOG(::worm::common::LogLevel::kWarn, component, __VA_ARGS__)
+#define WORM_ERROR(component, ...) \
+  WORM_LOG(::worm::common::LogLevel::kError, component, __VA_ARGS__)
+
+}  // namespace worm::common

@@ -1,0 +1,97 @@
+#include "common/serial.hpp"
+
+#include <limits>
+
+namespace worm::common {
+
+void ByteWriter::u16(std::uint16_t v) {
+  u8(static_cast<std::uint8_t>(v));
+  u8(static_cast<std::uint8_t>(v >> 8));
+}
+
+void ByteWriter::u32(std::uint32_t v) {
+  u16(static_cast<std::uint16_t>(v));
+  u16(static_cast<std::uint16_t>(v >> 16));
+}
+
+void ByteWriter::u64(std::uint64_t v) {
+  u32(static_cast<std::uint32_t>(v));
+  u32(static_cast<std::uint32_t>(v >> 32));
+}
+
+void ByteWriter::blob(ByteView v) {
+  WORM_REQUIRE(v.size() <= std::numeric_limits<std::uint32_t>::max(),
+               "blob too large");
+  u32(static_cast<std::uint32_t>(v.size()));
+  raw(v);
+}
+
+void ByteWriter::str(std::string_view s) {
+  blob(ByteView(reinterpret_cast<const std::uint8_t*>(s.data()), s.size()));
+}
+
+void ByteReader::need(std::size_t n) const {
+  if (remaining() < n) throw ParseError("ByteReader: truncated input");
+}
+
+std::uint8_t ByteReader::u8() {
+  need(1);
+  return data_[pos_++];
+}
+
+std::uint16_t ByteReader::u16() {
+  std::uint16_t lo = u8();
+  std::uint16_t hi = u8();
+  return static_cast<std::uint16_t>(lo | (hi << 8));
+}
+
+std::uint32_t ByteReader::u32() {
+  std::uint32_t lo = u16();
+  std::uint32_t hi = u16();
+  return lo | (hi << 16);
+}
+
+std::uint64_t ByteReader::u64() {
+  std::uint64_t lo = u32();
+  std::uint64_t hi = u32();
+  return lo | (hi << 32);
+}
+
+bool ByteReader::boolean() {
+  std::uint8_t v = u8();
+  if (v > 1) throw ParseError("ByteReader: invalid boolean");
+  return v == 1;
+}
+
+Bytes ByteReader::raw(std::size_t n) {
+  need(n);
+  Bytes out(data_.begin() + static_cast<std::ptrdiff_t>(pos_),
+            data_.begin() + static_cast<std::ptrdiff_t>(pos_ + n));
+  pos_ += n;
+  return out;
+}
+
+Bytes ByteReader::blob() {
+  std::uint32_t n = u32();
+  return raw(n);
+}
+
+std::uint32_t ByteReader::count(std::size_t min_elem_bytes) {
+  std::uint32_t n = u32();
+  if (min_elem_bytes == 0) min_elem_bytes = 1;
+  if (static_cast<std::size_t>(n) > remaining() / min_elem_bytes) {
+    throw ParseError("ByteReader: element count exceeds remaining input");
+  }
+  return n;
+}
+
+std::string ByteReader::str() {
+  Bytes b = blob();
+  return std::string(b.begin(), b.end());
+}
+
+void ByteReader::expect_end() const {
+  if (!at_end()) throw ParseError("ByteReader: trailing bytes after message");
+}
+
+}  // namespace worm::common

@@ -1,0 +1,92 @@
+// Deterministic little-endian serialization used for every on-disk structure,
+// SCPU mailbox message, and signature envelope in the repo. Determinism
+// matters: signatures are computed over these encodings, so two encoders
+// disagreeing about byte order would break verification.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/bytes.hpp"
+#include "common/error.hpp"
+
+namespace worm::common {
+
+/// Appends fixed-width little-endian fields and length-prefixed blobs to an
+/// owned buffer.
+class ByteWriter {
+ public:
+  ByteWriter() = default;
+
+  void u8(std::uint8_t v) { buf_.push_back(v); }
+  void u16(std::uint16_t v);
+  void u32(std::uint32_t v);
+  void u64(std::uint64_t v);
+  void i64(std::int64_t v) { u64(static_cast<std::uint64_t>(v)); }
+  void boolean(bool v) { u8(v ? 1 : 0); }
+
+  /// Raw bytes, no length prefix (caller knows the length from context).
+  void raw(ByteView v) { append(buf_, v); }
+
+  /// u32 length prefix followed by the bytes.
+  void blob(ByteView v);
+
+  /// u32 length prefix followed by the characters.
+  void str(std::string_view s);
+
+  [[nodiscard]] const Bytes& bytes() const { return buf_; }
+  Bytes take() { return std::move(buf_); }
+  [[nodiscard]] std::size_t size() const { return buf_.size(); }
+
+ private:
+  Bytes buf_;
+};
+
+/// Reads back what ByteWriter wrote. Throws ParseError on truncation or
+/// malformed lengths; after a successful parse, call expect_end() to reject
+/// trailing garbage.
+class ByteReader {
+ public:
+  explicit ByteReader(ByteView v) : data_(v) {}
+
+  /// A reader only *views* its input; binding one to a temporary buffer
+  /// (`ByteReader r(x.to_bytes())`) would dangle the moment the statement
+  /// ends. Deleted so the mistake fails to compile.
+  explicit ByteReader(Bytes&&) = delete;
+
+  std::uint8_t u8();
+  std::uint16_t u16();
+  std::uint32_t u32();
+  std::uint64_t u64();
+  std::int64_t i64() { return static_cast<std::int64_t>(u64()); }
+  bool boolean();
+
+  /// Reads exactly n raw bytes.
+  Bytes raw(std::size_t n);
+
+  /// Reads a u32 length prefix, then that many bytes.
+  Bytes blob();
+
+  /// Reads a u32 element count and validates it against the bytes actually
+  /// remaining (each element needs at least min_elem_bytes). Defends length
+  /// fields in hostile input: a forged count of 2^32 must raise ParseError,
+  /// not drive a multi-gigabyte allocation.
+  std::uint32_t count(std::size_t min_elem_bytes);
+
+  std::string str();
+
+  [[nodiscard]] std::size_t remaining() const { return data_.size() - pos_; }
+  [[nodiscard]] bool at_end() const { return remaining() == 0; }
+
+  /// Throws ParseError unless the whole buffer was consumed.
+  void expect_end() const;
+
+ private:
+  void need(std::size_t n) const;
+
+  ByteView data_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace worm::common

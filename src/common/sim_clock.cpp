@@ -1,0 +1,73 @@
+#include "common/sim_clock.hpp"
+
+#include "common/error.hpp"
+
+namespace worm::common {
+
+void SimClock::charge(Duration d) {
+  WORM_REQUIRE(d.ns >= 0, "SimClock::charge: negative duration");
+  now_ = now_ + d;
+  total_charged_ += d;
+}
+
+void SimClock::advance(Duration d) {
+  WORM_REQUIRE(d.ns >= 0, "SimClock::advance: negative duration");
+  advance_to(now_ + d);
+}
+
+void SimClock::advance_to(SimTime t) {
+  if (t <= now_) {
+    dispatch_due();
+    return;
+  }
+  dispatch_until(t);
+  if (now_ < t) now_ = t;
+}
+
+void SimClock::dispatch_due() { dispatch_until(now_); }
+
+void SimClock::dispatch_until(SimTime t) {
+  // Re-entrant dispatch (an alarm callback advancing the clock) would fire
+  // alarms out of order; defer to the outer dispatch loop instead.
+  if (dispatching_) return;
+  dispatching_ = true;
+  while (!alarms_.empty()) {
+    auto it = alarms_.begin();
+    if (it->first.t > t) break;
+    // Advance the clock to the alarm's scheduled time before invoking it, so
+    // the callback observes a consistent now(). Callbacks may charge() cost,
+    // pushing now_ past other due alarms; those still fire, at now_.
+    if (it->first.t > now_) now_ = it->first.t;
+    auto cb = std::move(it->second.second);
+    by_id_.erase(it->second.first);
+    alarms_.erase(it);
+    dispatching_ = false;  // allow the callback to schedule/cancel freely
+    cb();
+    dispatching_ = true;
+  }
+  dispatching_ = false;
+}
+
+AlarmId SimClock::schedule_at(SimTime t, std::function<void()> cb) {
+  WORM_REQUIRE(cb != nullptr, "SimClock::schedule_at: null callback");
+  Key key{t, next_seq_++};
+  AlarmId id = next_id_++;
+  alarms_.emplace(key, std::make_pair(id, std::move(cb)));
+  by_id_.emplace(id, key);
+  return id;
+}
+
+bool SimClock::cancel(AlarmId id) {
+  auto it = by_id_.find(id);
+  if (it == by_id_.end()) return false;
+  alarms_.erase(it->second);
+  by_id_.erase(it);
+  return true;
+}
+
+SimTime SimClock::next_alarm() const {
+  if (alarms_.empty()) return SimTime::max();
+  return alarms_.begin()->first.t;
+}
+
+}  // namespace worm::common

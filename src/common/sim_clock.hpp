@@ -1,0 +1,85 @@
+// Discrete-event simulated clock with alarms. Single-threaded and
+// deterministic: the driver advances time explicitly and due alarms fire in
+// timestamp order (FIFO among equal timestamps).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+
+#include "common/time.hpp"
+
+namespace worm::common {
+
+/// Handle for cancelling a scheduled alarm.
+using AlarmId = std::uint64_t;
+
+/// The system-wide simulation clock.
+///
+/// Two ways time moves:
+///  * charge(d)  — a component accounts for simulated compute/IO cost. Moves
+///    time forward but does NOT dispatch alarms (components charging cost in
+///    the middle of an operation must not be re-entered by alarm callbacks).
+///  * advance(d) — the simulation driver moves time and dispatches every due
+///    alarm at its scheduled timestamp.
+class SimClock final : public TimeSource {
+ public:
+  SimClock() = default;
+  explicit SimClock(SimTime start) : now_(start) {}
+
+  SimClock(const SimClock&) = delete;
+  SimClock& operator=(const SimClock&) = delete;
+
+  [[nodiscard]] SimTime now() const override { return now_; }
+
+  /// Accounts simulated cost; never dispatches alarms (see class comment).
+  void charge(Duration d);
+
+  /// Moves time forward by d, firing due alarms in order. Each alarm callback
+  /// observes now() == its scheduled time (or later, if an earlier callback
+  /// charged cost past it).
+  void advance(Duration d);
+
+  /// Advances straight to t (no-op if t is in the past), dispatching alarms.
+  void advance_to(SimTime t);
+
+  /// Dispatches alarms that became due via charge() without moving time.
+  void dispatch_due();
+
+  /// Schedules cb at time t. Alarms scheduled at or before now() fire on the
+  /// next dispatch. Returns an id usable with cancel().
+  AlarmId schedule_at(SimTime t, std::function<void()> cb);
+  AlarmId schedule_after(Duration d, std::function<void()> cb) {
+    return schedule_at(now_ + d, std::move(cb));
+  }
+
+  /// Cancels a pending alarm. Returns false if it already fired/was cancelled.
+  bool cancel(AlarmId id);
+
+  /// Earliest pending alarm time, or SimTime::max() when none.
+  [[nodiscard]] SimTime next_alarm() const;
+
+  [[nodiscard]] std::size_t pending_alarms() const { return alarms_.size(); }
+
+  /// Total simulated compute cost accounted via charge() (benchmark metric).
+  [[nodiscard]] Duration total_charged() const { return total_charged_; }
+
+ private:
+  struct Key {
+    SimTime t;
+    std::uint64_t seq;  // FIFO tiebreak among equal timestamps
+    auto operator<=>(const Key&) const = default;
+  };
+
+  void dispatch_until(SimTime t);
+
+  SimTime now_ = SimTime::epoch();
+  Duration total_charged_{};
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t next_id_ = 1;
+  std::map<Key, std::pair<AlarmId, std::function<void()>>> alarms_;
+  std::map<AlarmId, Key> by_id_;
+  bool dispatching_ = false;
+};
+
+}  // namespace worm::common

@@ -1,0 +1,69 @@
+// Simulated time. Retention periods span decades and the paper's performance
+// numbers are reported for specific 2008-era hardware, so the whole system
+// runs against a virtual clock: retention tests fast-forward years in
+// microseconds of wall time, and benchmarks charge per-operation costs from
+// the calibrated cost model to compute throughput deterministically.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+
+namespace worm::common {
+
+/// Signed duration in nanoseconds. 64 bits hold ±292 years, comfortably more
+/// than the longest regulated retention period (20+ years).
+struct Duration {
+  std::int64_t ns = 0;
+
+  static constexpr Duration nanos(std::int64_t v) { return {v}; }
+  static constexpr Duration micros(std::int64_t v) { return {v * 1'000}; }
+  static constexpr Duration millis(std::int64_t v) { return {v * 1'000'000}; }
+  static constexpr Duration seconds(std::int64_t v) {
+    return {v * 1'000'000'000};
+  }
+  static constexpr Duration minutes(std::int64_t v) { return seconds(v * 60); }
+  static constexpr Duration hours(std::int64_t v) { return minutes(v * 60); }
+  static constexpr Duration days(std::int64_t v) { return hours(v * 24); }
+  static constexpr Duration years(std::int64_t v) { return days(v * 365); }
+
+  /// From fractional seconds (cost-model arithmetic).
+  static Duration from_seconds_f(double s) {
+    return {static_cast<std::int64_t>(s * 1e9)};
+  }
+
+  [[nodiscard]] constexpr double to_seconds_f() const {
+    return static_cast<double>(ns) / 1e9;
+  }
+
+  constexpr auto operator<=>(const Duration&) const = default;
+  constexpr Duration operator+(Duration o) const { return {ns + o.ns}; }
+  constexpr Duration operator-(Duration o) const { return {ns - o.ns}; }
+  constexpr Duration& operator+=(Duration o) {
+    ns += o.ns;
+    return *this;
+  }
+  constexpr Duration operator*(std::int64_t k) const { return {ns * k}; }
+};
+
+/// Absolute simulated time: nanoseconds since the simulation epoch.
+struct SimTime {
+  std::int64_t ns = 0;
+
+  constexpr auto operator<=>(const SimTime&) const = default;
+  constexpr SimTime operator+(Duration d) const { return {ns + d.ns}; }
+  constexpr SimTime operator-(Duration d) const { return {ns - d.ns}; }
+  constexpr Duration operator-(SimTime o) const { return {ns - o.ns}; }
+
+  static constexpr SimTime epoch() { return {0}; }
+  static constexpr SimTime max() { return {INT64_MAX}; }
+};
+
+/// Read-only clock interface. The SCPU's internal tamper-protected clock and
+/// the clients' synchronized time service both implement this.
+class TimeSource {
+ public:
+  virtual ~TimeSource() = default;
+  [[nodiscard]] virtual SimTime now() const = 0;
+};
+
+}  // namespace worm::common

@@ -1,0 +1,245 @@
+#include "crypto/aes.hpp"
+
+#include <bit>
+#include <cstring>
+
+#include "common/error.hpp"
+
+namespace worm::crypto {
+
+namespace {
+
+// GF(2^8) multiplication modulo the AES polynomial x^8+x^4+x^3+x+1 (0x11b).
+std::uint8_t gf_mul(std::uint8_t a, std::uint8_t b) {
+  std::uint8_t p = 0;
+  for (int i = 0; i < 8; ++i) {
+    if (b & 1) p ^= a;
+    bool hi = a & 0x80;
+    a = static_cast<std::uint8_t>(a << 1);
+    if (hi) a ^= 0x1b;
+    b >>= 1;
+  }
+  return p;
+}
+
+struct Tables {
+  std::array<std::uint8_t, 256> sbox{};
+  std::array<std::uint8_t, 256> inv_sbox{};
+
+  Tables() {
+    // Multiplicative inverses via brute force (startup-only), then the
+    // FIPS 197 affine transform.
+    for (int x = 0; x < 256; ++x) {
+      std::uint8_t inv = 0;
+      if (x != 0) {
+        for (int y = 1; y < 256; ++y) {
+          if (gf_mul(static_cast<std::uint8_t>(x),
+                     static_cast<std::uint8_t>(y)) == 1) {
+            inv = static_cast<std::uint8_t>(y);
+            break;
+          }
+        }
+      }
+      std::uint8_t s = static_cast<std::uint8_t>(
+          inv ^ std::rotl(inv, 1) ^ std::rotl(inv, 2) ^ std::rotl(inv, 3) ^
+          std::rotl(inv, 4) ^ 0x63);
+      sbox[static_cast<std::size_t>(x)] = s;
+      inv_sbox[s] = static_cast<std::uint8_t>(x);
+    }
+  }
+};
+
+const Tables& tables() {
+  static const Tables t;
+  return t;
+}
+
+std::uint32_t sub_word(std::uint32_t w) {
+  const auto& sb = tables().sbox;
+  return (static_cast<std::uint32_t>(sb[(w >> 24) & 0xff]) << 24) |
+         (static_cast<std::uint32_t>(sb[(w >> 16) & 0xff]) << 16) |
+         (static_cast<std::uint32_t>(sb[(w >> 8) & 0xff]) << 8) |
+         static_cast<std::uint32_t>(sb[w & 0xff]);
+}
+
+std::uint32_t rot_word(std::uint32_t w) { return (w << 8) | (w >> 24); }
+
+}  // namespace
+
+Aes::Aes(common::ByteView key) {
+  std::size_t nk;  // key length in words
+  switch (key.size()) {
+    case 16:
+      nk = 4;
+      rounds_ = 10;
+      break;
+    case 24:
+      nk = 6;
+      rounds_ = 12;
+      break;
+    case 32:
+      nk = 8;
+      rounds_ = 14;
+      break;
+    default:
+      throw common::PreconditionError("Aes: key must be 16/24/32 bytes");
+  }
+  std::size_t total_words = 4 * (rounds_ + 1);
+  for (std::size_t i = 0; i < nk; ++i) {
+    round_keys_[i] = (static_cast<std::uint32_t>(key[4 * i]) << 24) |
+                     (static_cast<std::uint32_t>(key[4 * i + 1]) << 16) |
+                     (static_cast<std::uint32_t>(key[4 * i + 2]) << 8) |
+                     static_cast<std::uint32_t>(key[4 * i + 3]);
+  }
+  std::uint8_t rcon = 1;
+  for (std::size_t i = nk; i < total_words; ++i) {
+    std::uint32_t temp = round_keys_[i - 1];
+    if (i % nk == 0) {
+      temp = sub_word(rot_word(temp)) ^
+             (static_cast<std::uint32_t>(rcon) << 24);
+      rcon = gf_mul(rcon, 2);
+    } else if (nk > 6 && i % nk == 4) {
+      temp = sub_word(temp);
+    }
+    round_keys_[i] = round_keys_[i - nk] ^ temp;
+  }
+}
+
+void Aes::encrypt_block(const std::uint8_t in[16], std::uint8_t out[16]) const {
+  const auto& sb = tables().sbox;
+  std::uint8_t s[16];
+  std::memcpy(s, in, 16);
+
+  auto add_round_key = [&](std::size_t round) {
+    for (std::size_t c = 0; c < 4; ++c) {
+      std::uint32_t w = round_keys_[4 * round + c];
+      s[4 * c] ^= static_cast<std::uint8_t>(w >> 24);
+      s[4 * c + 1] ^= static_cast<std::uint8_t>(w >> 16);
+      s[4 * c + 2] ^= static_cast<std::uint8_t>(w >> 8);
+      s[4 * c + 3] ^= static_cast<std::uint8_t>(w);
+    }
+  };
+
+  add_round_key(0);
+  for (std::size_t round = 1; round <= rounds_; ++round) {
+    // SubBytes
+    for (auto& b : s) b = sb[b];
+    // ShiftRows (state stored column-major: s[4c + r])
+    std::uint8_t t[16];
+    for (std::size_t c = 0; c < 4; ++c) {
+      for (std::size_t r = 0; r < 4; ++r) {
+        t[4 * c + r] = s[4 * ((c + r) % 4) + r];
+      }
+    }
+    std::memcpy(s, t, 16);
+    // MixColumns (skipped in the final round)
+    if (round < rounds_) {
+      for (std::size_t c = 0; c < 4; ++c) {
+        std::uint8_t a0 = s[4 * c], a1 = s[4 * c + 1], a2 = s[4 * c + 2],
+                     a3 = s[4 * c + 3];
+        s[4 * c] = static_cast<std::uint8_t>(gf_mul(a0, 2) ^ gf_mul(a1, 3) ^ a2 ^ a3);
+        s[4 * c + 1] = static_cast<std::uint8_t>(a0 ^ gf_mul(a1, 2) ^ gf_mul(a2, 3) ^ a3);
+        s[4 * c + 2] = static_cast<std::uint8_t>(a0 ^ a1 ^ gf_mul(a2, 2) ^ gf_mul(a3, 3));
+        s[4 * c + 3] = static_cast<std::uint8_t>(gf_mul(a0, 3) ^ a1 ^ a2 ^ gf_mul(a3, 2));
+      }
+    }
+    add_round_key(round);
+  }
+  std::memcpy(out, s, 16);
+}
+
+void Aes::decrypt_block(const std::uint8_t in[16], std::uint8_t out[16]) const {
+  const auto& isb = tables().inv_sbox;
+  std::uint8_t s[16];
+  std::memcpy(s, in, 16);
+
+  auto add_round_key = [&](std::size_t round) {
+    for (std::size_t c = 0; c < 4; ++c) {
+      std::uint32_t w = round_keys_[4 * round + c];
+      s[4 * c] ^= static_cast<std::uint8_t>(w >> 24);
+      s[4 * c + 1] ^= static_cast<std::uint8_t>(w >> 16);
+      s[4 * c + 2] ^= static_cast<std::uint8_t>(w >> 8);
+      s[4 * c + 3] ^= static_cast<std::uint8_t>(w);
+    }
+  };
+
+  add_round_key(rounds_);
+  for (std::size_t round = rounds_; round-- > 0;) {
+    // InvShiftRows
+    std::uint8_t t[16];
+    for (std::size_t c = 0; c < 4; ++c) {
+      for (std::size_t r = 0; r < 4; ++r) {
+        t[4 * ((c + r) % 4) + r] = s[4 * c + r];
+      }
+    }
+    std::memcpy(s, t, 16);
+    // InvSubBytes
+    for (auto& b : s) b = isb[b];
+    add_round_key(round);
+    // InvMixColumns (skipped after the last iteration == original round 0)
+    if (round > 0) {
+      for (std::size_t c = 0; c < 4; ++c) {
+        std::uint8_t a0 = s[4 * c], a1 = s[4 * c + 1], a2 = s[4 * c + 2],
+                     a3 = s[4 * c + 3];
+        s[4 * c] = static_cast<std::uint8_t>(gf_mul(a0, 14) ^ gf_mul(a1, 11) ^
+                                             gf_mul(a2, 13) ^ gf_mul(a3, 9));
+        s[4 * c + 1] = static_cast<std::uint8_t>(gf_mul(a0, 9) ^ gf_mul(a1, 14) ^
+                                                 gf_mul(a2, 11) ^ gf_mul(a3, 13));
+        s[4 * c + 2] = static_cast<std::uint8_t>(gf_mul(a0, 13) ^ gf_mul(a1, 9) ^
+                                                 gf_mul(a2, 14) ^ gf_mul(a3, 11));
+        s[4 * c + 3] = static_cast<std::uint8_t>(gf_mul(a0, 11) ^ gf_mul(a1, 13) ^
+                                                 gf_mul(a2, 9) ^ gf_mul(a3, 14));
+      }
+    }
+  }
+  std::memcpy(out, s, 16);
+}
+
+Aes::Block Aes::encrypt(const Block& in) const {
+  Block out;
+  encrypt_block(in.data(), out.data());
+  return out;
+}
+
+Aes::Block Aes::decrypt(const Block& in) const {
+  Block out;
+  decrypt_block(in.data(), out.data());
+  return out;
+}
+
+AesCtr::AesCtr(common::ByteView key, common::ByteView nonce12,
+               std::uint32_t initial_counter)
+    : aes_(key) {
+  WORM_REQUIRE(nonce12.size() == 12, "AesCtr: nonce must be 12 bytes");
+  std::memcpy(counter_block_.data(), nonce12.data(), 12);
+  counter_block_[12] = static_cast<std::uint8_t>(initial_counter >> 24);
+  counter_block_[13] = static_cast<std::uint8_t>(initial_counter >> 16);
+  counter_block_[14] = static_cast<std::uint8_t>(initial_counter >> 8);
+  counter_block_[15] = static_cast<std::uint8_t>(initial_counter);
+}
+
+void AesCtr::crypt(common::ByteView in, common::Bytes& out) {
+  out.resize(in.size());
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    if (used_ == Aes::kBlockSize) {
+      keystream_ = aes_.encrypt(counter_block_);
+      used_ = 0;
+      // Increment the trailing 32-bit big-endian counter.
+      for (int b = 15; b >= 12; --b) {
+        if (++counter_block_[static_cast<std::size_t>(b)] != 0) break;
+      }
+    }
+    out[i] = static_cast<std::uint8_t>(in[i] ^ keystream_[used_++]);
+  }
+}
+
+common::Bytes AesCtr::crypt(common::ByteView key, common::ByteView nonce12,
+                            common::ByteView in,
+                            std::uint32_t initial_counter) {
+  AesCtr ctr(key, nonce12, initial_counter);
+  common::Bytes out;
+  ctr.crypt(in, out);
+  return out;
+}
+
+}  // namespace worm::crypto

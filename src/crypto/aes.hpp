@@ -1,0 +1,60 @@
+// AES-128/192/256 (FIPS 197), from scratch, plus CTR mode. Completes the
+// block-cipher surface of the CCA-style API the paper's SCPU exposes (the
+// 4764 ships DES/3DES/AES engines; we implement the modern one) and backs
+// the encrypted-record-store option. The S-box is computed at startup from
+// the GF(2^8) inverse + affine transform rather than transcribed.
+//
+// Not hardened: table lookups are not constant-time (see README security
+// notes).
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "common/bytes.hpp"
+
+namespace worm::crypto {
+
+class Aes {
+ public:
+  static constexpr std::size_t kBlockSize = 16;
+  using Block = std::array<std::uint8_t, kBlockSize>;
+
+  /// key must be 16, 24 or 32 bytes (AES-128/192/256).
+  explicit Aes(common::ByteView key);
+
+  void encrypt_block(const std::uint8_t in[16], std::uint8_t out[16]) const;
+  void decrypt_block(const std::uint8_t in[16], std::uint8_t out[16]) const;
+
+  [[nodiscard]] Block encrypt(const Block& in) const;
+  [[nodiscard]] Block decrypt(const Block& in) const;
+
+  [[nodiscard]] std::size_t rounds() const { return rounds_; }
+
+ private:
+  std::size_t rounds_ = 0;
+  // Round keys as 4-byte words, enough for AES-256 (15 round keys).
+  std::array<std::uint32_t, 60> round_keys_{};
+};
+
+/// AES-CTR stream: encryption == decryption; nonce is 12 bytes + 32-bit
+/// big-endian counter (NIST SP 800-38A style).
+class AesCtr {
+ public:
+  AesCtr(common::ByteView key, common::ByteView nonce12,
+         std::uint32_t initial_counter = 0);
+
+  void crypt(common::ByteView in, common::Bytes& out);
+
+  static common::Bytes crypt(common::ByteView key, common::ByteView nonce12,
+                             common::ByteView in,
+                             std::uint32_t initial_counter = 0);
+
+ private:
+  Aes aes_;
+  Aes::Block counter_block_{};
+  Aes::Block keystream_{};
+  std::size_t used_ = Aes::kBlockSize;
+};
+
+}  // namespace worm::crypto

@@ -1,0 +1,450 @@
+#include "crypto/biguint.hpp"
+
+#include <algorithm>
+#include <bit>
+
+#include "common/error.hpp"
+
+namespace worm::crypto {
+
+using common::Bytes;
+using common::ByteView;
+
+namespace {
+constexpr std::uint64_t kBase = 1ull << 32;
+}
+
+BigUInt::BigUInt(std::uint64_t v) {
+  if (v != 0) limbs_.push_back(static_cast<std::uint32_t>(v));
+  if (v >> 32) limbs_.push_back(static_cast<std::uint32_t>(v >> 32));
+}
+
+void BigUInt::normalize() {
+  while (!limbs_.empty() && limbs_.back() == 0) limbs_.pop_back();
+}
+
+BigUInt BigUInt::from_limbs(std::vector<std::uint32_t> limbs) {
+  BigUInt out;
+  out.limbs_ = std::move(limbs);
+  out.normalize();
+  return out;
+}
+
+BigUInt BigUInt::from_be_bytes(ByteView bytes) {
+  BigUInt out;
+  out.limbs_.assign((bytes.size() + 3) / 4, 0);
+  for (std::size_t i = 0; i < bytes.size(); ++i) {
+    // Byte i (big-endian) contributes to bit position 8*(size-1-i).
+    std::size_t bitpos = 8 * (bytes.size() - 1 - i);
+    out.limbs_[bitpos / 32] |= static_cast<std::uint32_t>(bytes[i])
+                               << (bitpos % 32);
+  }
+  out.normalize();
+  return out;
+}
+
+BigUInt BigUInt::from_hex(std::string_view hex) {
+  return from_be_bytes(common::hex_decode(
+      hex.size() % 2 == 0 ? std::string(hex) : "0" + std::string(hex)));
+}
+
+Bytes BigUInt::to_be_bytes() const {
+  std::size_t nbytes = (bit_length() + 7) / 8;
+  if (nbytes == 0) nbytes = 1;
+  return to_be_bytes_padded(nbytes);
+}
+
+Bytes BigUInt::to_be_bytes_padded(std::size_t len) const {
+  WORM_REQUIRE(bit_length() <= len * 8,
+               "BigUInt::to_be_bytes_padded: value does not fit");
+  Bytes out(len, 0);
+  for (std::size_t i = 0; i < len; ++i) {
+    std::size_t bitpos = 8 * i;
+    if (bitpos / 32 < limbs_.size()) {
+      out[len - 1 - i] =
+          static_cast<std::uint8_t>(limbs_[bitpos / 32] >> (bitpos % 32));
+    }
+  }
+  return out;
+}
+
+std::string BigUInt::to_hex() const {
+  std::string s = common::hex_encode(to_be_bytes());
+  // Trim leading zero nibble noise but keep at least one digit.
+  std::size_t first = s.find_first_not_of('0');
+  if (first == std::string::npos) return "0";
+  return s.substr(first);
+}
+
+std::size_t BigUInt::bit_length() const {
+  if (limbs_.empty()) return 0;
+  return 32 * (limbs_.size() - 1) +
+         (32 - static_cast<std::size_t>(std::countl_zero(limbs_.back())));
+}
+
+bool BigUInt::bit(std::size_t i) const {
+  std::size_t limb = i / 32;
+  if (limb >= limbs_.size()) return false;
+  return (limbs_[limb] >> (i % 32)) & 1u;
+}
+
+std::uint64_t BigUInt::low_u64() const {
+  std::uint64_t v = limbs_.empty() ? 0 : limbs_[0];
+  if (limbs_.size() > 1) v |= static_cast<std::uint64_t>(limbs_[1]) << 32;
+  return v;
+}
+
+std::strong_ordering BigUInt::operator<=>(const BigUInt& o) const {
+  if (limbs_.size() != o.limbs_.size())
+    return limbs_.size() <=> o.limbs_.size();
+  for (std::size_t i = limbs_.size(); i-- > 0;) {
+    if (limbs_[i] != o.limbs_[i]) return limbs_[i] <=> o.limbs_[i];
+  }
+  return std::strong_ordering::equal;
+}
+
+BigUInt BigUInt::operator+(const BigUInt& o) const {
+  std::vector<std::uint32_t> out(std::max(limbs_.size(), o.limbs_.size()) + 1,
+                                 0);
+  std::uint64_t carry = 0;
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    std::uint64_t sum = carry;
+    if (i < limbs_.size()) sum += limbs_[i];
+    if (i < o.limbs_.size()) sum += o.limbs_[i];
+    out[i] = static_cast<std::uint32_t>(sum);
+    carry = sum >> 32;
+  }
+  WORM_CHECK(carry == 0, "BigUInt::operator+: carry overflow");
+  return from_limbs(std::move(out));
+}
+
+BigUInt BigUInt::operator-(const BigUInt& o) const {
+  WORM_REQUIRE(*this >= o, "BigUInt::operator-: underflow");
+  std::vector<std::uint32_t> out(limbs_.size(), 0);
+  std::int64_t borrow = 0;
+  for (std::size_t i = 0; i < limbs_.size(); ++i) {
+    std::int64_t diff = static_cast<std::int64_t>(limbs_[i]) - borrow;
+    if (i < o.limbs_.size()) diff -= o.limbs_[i];
+    if (diff < 0) {
+      diff += static_cast<std::int64_t>(kBase);
+      borrow = 1;
+    } else {
+      borrow = 0;
+    }
+    out[i] = static_cast<std::uint32_t>(diff);
+  }
+  WORM_CHECK(borrow == 0, "BigUInt::operator-: borrow left over");
+  return from_limbs(std::move(out));
+}
+
+namespace {
+// Operands below this limb count multiply faster with schoolbook than with
+// Karatsuba's recursion overhead (64 limbs = 2048 bits; below that the recursion's temporaries cost more than the saved limb products, measured via BM_BigUIntMul).
+constexpr std::size_t kKaratsubaThreshold = 64;
+}  // namespace
+
+BigUInt BigUInt::mul_schoolbook(const BigUInt& a, const BigUInt& b) {
+  if (a.is_zero() || b.is_zero()) return BigUInt();
+  std::vector<std::uint32_t> out(a.limbs_.size() + b.limbs_.size(), 0);
+  for (std::size_t i = 0; i < a.limbs_.size(); ++i) {
+    std::uint64_t carry = 0;
+    std::uint64_t ai = a.limbs_[i];
+    for (std::size_t j = 0; j < b.limbs_.size(); ++j) {
+      std::uint64_t cur = out[i + j] + ai * b.limbs_[j] + carry;
+      out[i + j] = static_cast<std::uint32_t>(cur);
+      carry = cur >> 32;
+    }
+    std::size_t k = i + b.limbs_.size();
+    while (carry != 0) {
+      std::uint64_t cur = out[k] + carry;
+      out[k] = static_cast<std::uint32_t>(cur);
+      carry = cur >> 32;
+      ++k;
+    }
+  }
+  return from_limbs(std::move(out));
+}
+
+BigUInt BigUInt::limb_slice(std::size_t from, std::size_t to) const {
+  if (from >= limbs_.size()) return BigUInt();
+  to = std::min(to, limbs_.size());
+  return from_limbs(std::vector<std::uint32_t>(
+      limbs_.begin() + static_cast<std::ptrdiff_t>(from),
+      limbs_.begin() + static_cast<std::ptrdiff_t>(to)));
+}
+
+BigUInt BigUInt::mul_karatsuba(const BigUInt& a, const BigUInt& b) {
+  // Karatsuba: split at m limbs; three half-size products instead of four.
+  std::size_t n = std::max(a.limbs_.size(), b.limbs_.size());
+  if (std::min(a.limbs_.size(), b.limbs_.size()) < kKaratsubaThreshold) {
+    return mul_schoolbook(a, b);
+  }
+  std::size_t m = n / 2;
+  BigUInt a0 = a.limb_slice(0, m);
+  BigUInt a1 = a.limb_slice(m, a.limbs_.size());
+  BigUInt b0 = b.limb_slice(0, m);
+  BigUInt b1 = b.limb_slice(m, b.limbs_.size());
+
+  BigUInt z0 = mul_karatsuba(a0, b0);
+  BigUInt z2 = mul_karatsuba(a1, b1);
+  BigUInt z1 = mul_karatsuba(a0 + a1, b0 + b1) - z0 - z2;
+  return (z2 << (64 * m)) + (z1 << (32 * m)) + z0;
+}
+
+BigUInt BigUInt::operator*(const BigUInt& o) const {
+  if (is_zero() || o.is_zero()) return BigUInt();
+  if (std::min(limbs_.size(), o.limbs_.size()) >= kKaratsubaThreshold) {
+    return mul_karatsuba(*this, o);
+  }
+  return mul_schoolbook(*this, o);
+}
+
+BigUInt BigUInt::operator<<(std::size_t bits) const {
+  if (is_zero()) return BigUInt();
+  std::size_t limb_shift = bits / 32;
+  std::size_t bit_shift = bits % 32;
+  std::vector<std::uint32_t> out(limbs_.size() + limb_shift + 1, 0);
+  for (std::size_t i = 0; i < limbs_.size(); ++i) {
+    std::uint64_t v = static_cast<std::uint64_t>(limbs_[i]) << bit_shift;
+    out[i + limb_shift] |= static_cast<std::uint32_t>(v);
+    out[i + limb_shift + 1] |= static_cast<std::uint32_t>(v >> 32);
+  }
+  return from_limbs(std::move(out));
+}
+
+BigUInt BigUInt::operator>>(std::size_t bits) const {
+  std::size_t limb_shift = bits / 32;
+  std::size_t bit_shift = bits % 32;
+  if (limb_shift >= limbs_.size()) return BigUInt();
+  std::vector<std::uint32_t> out(limbs_.size() - limb_shift, 0);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    std::uint64_t v = limbs_[i + limb_shift];
+    if (i + limb_shift + 1 < limbs_.size()) {
+      v |= static_cast<std::uint64_t>(limbs_[i + limb_shift + 1]) << 32;
+    }
+    out[i] = static_cast<std::uint32_t>(v >> bit_shift);
+  }
+  return from_limbs(std::move(out));
+}
+
+std::pair<BigUInt, std::uint32_t> BigUInt::divmod_u32(std::uint32_t d) const {
+  WORM_REQUIRE(d != 0, "BigUInt::divmod_u32: division by zero");
+  std::vector<std::uint32_t> q(limbs_.size(), 0);
+  std::uint64_t rem = 0;
+  for (std::size_t i = limbs_.size(); i-- > 0;) {
+    std::uint64_t cur = (rem << 32) | limbs_[i];
+    q[i] = static_cast<std::uint32_t>(cur / d);
+    rem = cur % d;
+  }
+  return {from_limbs(std::move(q)), static_cast<std::uint32_t>(rem)};
+}
+
+std::pair<BigUInt, BigUInt> BigUInt::divmod(const BigUInt& d) const {
+  WORM_REQUIRE(!d.is_zero(), "BigUInt::divmod: division by zero");
+  if (*this < d) return {BigUInt(), *this};
+  if (d.limbs_.size() == 1) {
+    auto [q, r] = divmod_u32(d.limbs_[0]);
+    return {std::move(q), BigUInt(r)};
+  }
+
+  // Knuth TAOCP vol. 2, Algorithm D.
+  std::size_t n = d.limbs_.size();
+  std::size_t m = limbs_.size() - n;
+  unsigned s = static_cast<unsigned>(std::countl_zero(d.limbs_.back()));
+
+  // Normalized copies: v's top limb has its high bit set.
+  BigUInt u_big = *this << s;
+  BigUInt v_big = d << s;
+  std::vector<std::uint32_t> u = u_big.limbs_;
+  u.resize(limbs_.size() + 1, 0);  // u gets one extra high limb
+  const std::vector<std::uint32_t>& v = v_big.limbs_;
+  WORM_CHECK(v.size() == n, "divmod: normalization changed divisor length");
+
+  std::vector<std::uint32_t> q(m + 1, 0);
+  for (std::size_t j = m + 1; j-- > 0;) {
+    std::uint64_t top = (static_cast<std::uint64_t>(u[j + n]) << 32) | u[j + n - 1];
+    std::uint64_t qhat = top / v[n - 1];
+    std::uint64_t rhat = top % v[n - 1];
+    while (qhat >= kBase ||
+           qhat * v[n - 2] > ((rhat << 32) | u[j + n - 2])) {
+      --qhat;
+      rhat += v[n - 1];
+      if (rhat >= kBase) break;
+    }
+
+    // Multiply and subtract: u[j..j+n] -= qhat * v.
+    std::int64_t borrow = 0;
+    std::uint64_t carry = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      std::uint64_t p = qhat * v[i] + carry;
+      carry = p >> 32;
+      std::int64_t t = static_cast<std::int64_t>(u[i + j]) -
+                       static_cast<std::int64_t>(p & 0xffffffffull) - borrow;
+      if (t < 0) {
+        t += static_cast<std::int64_t>(kBase);
+        borrow = 1;
+      } else {
+        borrow = 0;
+      }
+      u[i + j] = static_cast<std::uint32_t>(t);
+    }
+    std::int64_t t = static_cast<std::int64_t>(u[j + n]) -
+                     static_cast<std::int64_t>(carry) - borrow;
+    if (t < 0) {
+      // qhat was one too large; add v back and decrement.
+      t += static_cast<std::int64_t>(kBase);
+      --qhat;
+      std::uint64_t c2 = 0;
+      for (std::size_t i = 0; i < n; ++i) {
+        std::uint64_t sum = static_cast<std::uint64_t>(u[i + j]) + v[i] + c2;
+        u[i + j] = static_cast<std::uint32_t>(sum);
+        c2 = sum >> 32;
+      }
+      t += static_cast<std::int64_t>(c2);
+      t &= static_cast<std::int64_t>(kBase - 1);
+    }
+    u[j + n] = static_cast<std::uint32_t>(t);
+    q[j] = static_cast<std::uint32_t>(qhat);
+  }
+
+  u.resize(n);
+  BigUInt rem = from_limbs(std::move(u)) >> s;
+  return {from_limbs(std::move(q)), std::move(rem)};
+}
+
+BigUInt BigUInt::gcd(BigUInt a, BigUInt b) {
+  while (!b.is_zero()) {
+    BigUInt r = a % b;
+    a = std::move(b);
+    b = std::move(r);
+  }
+  return a;
+}
+
+BigUInt BigUInt::mod_inverse(const BigUInt& a, const BigUInt& m) {
+  WORM_REQUIRE(m > BigUInt(1), "mod_inverse: modulus must be > 1");
+  // Extended Euclid with explicit sign tracking for the Bezout coefficient.
+  BigUInt old_r = a % m, r = m;
+  BigUInt old_t = 1, t = 0;
+  bool old_t_neg = false, t_neg = false;
+  while (!r.is_zero()) {
+    auto [q, rem] = old_r.divmod(r);
+    old_r = std::move(r);
+    r = std::move(rem);
+
+    // new_t = old_t - q * t  (signed arithmetic over magnitudes).
+    BigUInt qt = q * t;
+    BigUInt new_t;
+    bool new_t_neg;
+    if (old_t_neg == t_neg) {
+      if (old_t >= qt) {
+        new_t = old_t - qt;
+        new_t_neg = old_t_neg;
+      } else {
+        new_t = qt - old_t;
+        new_t_neg = !old_t_neg;
+      }
+    } else {
+      new_t = old_t + qt;
+      new_t_neg = old_t_neg;
+    }
+    old_t = std::move(t);
+    old_t_neg = t_neg;
+    t = std::move(new_t);
+    t_neg = new_t_neg;
+  }
+  WORM_REQUIRE(old_r == BigUInt(1), "mod_inverse: arguments not coprime");
+  if (old_t_neg) return m - (old_t % m);
+  return old_t % m;
+}
+
+// ---------------------------------------------------------------------------
+// Montgomery context
+// ---------------------------------------------------------------------------
+
+namespace {
+// -m^-1 mod 2^32 for odd m, via Newton–Hensel lifting.
+std::uint32_t neg_inv_u32(std::uint32_t m) {
+  std::uint32_t x = m;  // correct mod 2^3 already (m odd)
+  for (int i = 0; i < 5; ++i) x *= 2u - m * x;
+  return ~x + 1u;  // -(m^-1)
+}
+}  // namespace
+
+MontgomeryCtx::MontgomeryCtx(const BigUInt& m) : m_(m) {
+  WORM_REQUIRE(m.is_odd() && m > BigUInt(1),
+               "MontgomeryCtx: modulus must be odd and > 1");
+  k_ = m.limbs().size();
+  n0inv_ = neg_inv_u32(m.limbs()[0]);
+  // R^2 mod m with R = 2^(32k): one shift + one division at setup.
+  BigUInt r = (BigUInt(1) << (32 * k_)) % m;
+  r2_ = (r * r) % m;
+}
+
+BigUInt BigUInt::mod_exp(const BigUInt& base, const BigUInt& exp,
+                         const BigUInt& m) {
+  WORM_REQUIRE(m > BigUInt(1), "mod_exp: modulus must be > 1");
+  if (m.is_odd()) return MontgomeryCtx(m).mod_exp(base % m, exp);
+  // Even modulus: plain square-and-multiply (rare; not an RSA path).
+  BigUInt result(1);
+  BigUInt b = base % m;
+  for (std::size_t i = exp.bit_length(); i-- > 0;) {
+    result = (result * result) % m;
+    if (exp.bit(i)) result = (result * b) % m;
+  }
+  return result;
+}
+
+BigUInt MontgomeryCtx::mul(const BigUInt& a, const BigUInt& b) const {
+  // CIOS (Coarsely Integrated Operand Scanning) Montgomery multiplication.
+  const auto& n = m_.limbs();
+  std::vector<std::uint32_t> t(k_ + 2, 0);
+  for (std::size_t i = 0; i < k_; ++i) {
+    std::uint64_t bi = i < b.limbs().size() ? b.limbs()[i] : 0;
+    std::uint64_t carry = 0;
+    for (std::size_t j = 0; j < k_; ++j) {
+      std::uint64_t aj = j < a.limbs().size() ? a.limbs()[j] : 0;
+      std::uint64_t cur = t[j] + aj * bi + carry;
+      t[j] = static_cast<std::uint32_t>(cur);
+      carry = cur >> 32;
+    }
+    std::uint64_t cur = t[k_] + carry;
+    t[k_] = static_cast<std::uint32_t>(cur);
+    t[k_ + 1] = static_cast<std::uint32_t>(cur >> 32);
+
+    std::uint32_t mfac = t[0] * n0inv_;
+    cur = t[0] + static_cast<std::uint64_t>(mfac) * n[0];
+    carry = cur >> 32;
+    for (std::size_t j = 1; j < k_; ++j) {
+      cur = t[j] + static_cast<std::uint64_t>(mfac) * n[j] + carry;
+      t[j - 1] = static_cast<std::uint32_t>(cur);
+      carry = cur >> 32;
+    }
+    cur = t[k_] + carry;
+    t[k_ - 1] = static_cast<std::uint32_t>(cur);
+    t[k_] = t[k_ + 1] + static_cast<std::uint32_t>(cur >> 32);
+    t[k_ + 1] = 0;
+  }
+  t.resize(k_ + 1);
+  BigUInt res = BigUInt::from_limbs(std::move(t));
+  if (res >= m_) res = res - m_;
+  return res;
+}
+
+BigUInt MontgomeryCtx::to_mont(const BigUInt& x) const { return mul(x, r2_); }
+
+BigUInt MontgomeryCtx::from_mont(const BigUInt& x) const {
+  return mul(x, BigUInt(1));
+}
+
+BigUInt MontgomeryCtx::mod_exp(const BigUInt& base, const BigUInt& exp) const {
+  BigUInt base_m = to_mont(base % m_);
+  BigUInt acc = to_mont(BigUInt(1));
+  for (std::size_t i = exp.bit_length(); i-- > 0;) {
+    acc = mul(acc, acc);
+    if (exp.bit(i)) acc = mul(acc, base_m);
+  }
+  return from_mont(acc);
+}
+
+}  // namespace worm::crypto

@@ -1,0 +1,137 @@
+// Arbitrary-precision unsigned integers, written from scratch for the RSA
+// implementation (the paper's SCPU exposes RSA via the IBM CCA API; we link no
+// external crypto library). 32-bit limbs, little-endian limb order, with
+// Knuth Algorithm D division and Montgomery modular exponentiation.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/bytes.hpp"
+
+namespace worm::crypto {
+
+/// Non-negative big integer. Value semantics; normalized representation
+/// (no high zero limbs, zero == empty limb vector).
+class BigUInt {
+ public:
+  BigUInt() = default;
+  BigUInt(std::uint64_t v);  // NOLINT(google-explicit-constructor): numeric literal convenience
+
+  /// Parses big-endian bytes (leading zeros allowed), the RSA wire format.
+  static BigUInt from_be_bytes(common::ByteView bytes);
+
+  /// Parses a hex string (no 0x prefix). Throws ParseError on bad digits.
+  static BigUInt from_hex(std::string_view hex);
+
+  /// Minimal-length big-endian encoding ("0" encodes as one zero byte).
+  [[nodiscard]] common::Bytes to_be_bytes() const;
+
+  /// Big-endian encoding left-padded with zeros to exactly len bytes.
+  /// Throws PreconditionError if the value does not fit.
+  [[nodiscard]] common::Bytes to_be_bytes_padded(std::size_t len) const;
+
+  [[nodiscard]] std::string to_hex() const;
+
+  [[nodiscard]] bool is_zero() const { return limbs_.empty(); }
+  [[nodiscard]] bool is_odd() const {
+    return !limbs_.empty() && (limbs_[0] & 1u);
+  }
+  [[nodiscard]] bool is_even() const { return !is_odd(); }
+
+  /// Number of significant bits (0 for zero).
+  [[nodiscard]] std::size_t bit_length() const;
+
+  /// Value of bit i (LSB = bit 0).
+  [[nodiscard]] bool bit(std::size_t i) const;
+
+  /// Low 64 bits of the value.
+  [[nodiscard]] std::uint64_t low_u64() const;
+
+  std::strong_ordering operator<=>(const BigUInt& o) const;
+  bool operator==(const BigUInt& o) const = default;
+
+  BigUInt operator+(const BigUInt& o) const;
+  /// Throws PreconditionError on underflow (values are unsigned).
+  BigUInt operator-(const BigUInt& o) const;
+  BigUInt operator*(const BigUInt& o) const;
+  BigUInt operator/(const BigUInt& o) const { return divmod(o).first; }
+  BigUInt operator%(const BigUInt& o) const { return divmod(o).second; }
+  BigUInt operator<<(std::size_t bits) const;
+  BigUInt operator>>(std::size_t bits) const;
+
+  BigUInt& operator+=(const BigUInt& o) { return *this = *this + o; }
+  BigUInt& operator-=(const BigUInt& o) { return *this = *this - o; }
+
+  /// Quotient and remainder. Throws PreconditionError on division by zero.
+  [[nodiscard]] std::pair<BigUInt, BigUInt> divmod(const BigUInt& d) const;
+
+  /// Division by a single limb (fast path for trial division / decimal I/O).
+  [[nodiscard]] std::pair<BigUInt, std::uint32_t> divmod_u32(
+      std::uint32_t d) const;
+
+  /// (base^exp) mod m. Uses Montgomery multiplication when m is odd (the RSA
+  /// case); falls back to plain square-and-multiply otherwise. m must be > 1.
+  static BigUInt mod_exp(const BigUInt& base, const BigUInt& exp,
+                         const BigUInt& m);
+
+  /// Multiplicative inverse of a modulo m (extended Euclid). Throws
+  /// PreconditionError if gcd(a, m) != 1.
+  static BigUInt mod_inverse(const BigUInt& a, const BigUInt& m);
+
+  static BigUInt gcd(BigUInt a, BigUInt b);
+
+  [[nodiscard]] const std::vector<std::uint32_t>& limbs() const {
+    return limbs_;
+  }
+
+  /// Schoolbook multiplication (always correct; operator* dispatches to
+  /// Karatsuba above a limb-count threshold). Exposed for the equivalence
+  /// property tests.
+  static BigUInt mul_schoolbook(const BigUInt& a, const BigUInt& b);
+  static BigUInt mul_karatsuba(const BigUInt& a, const BigUInt& b);
+
+ private:
+  friend class MontgomeryCtx;
+
+  void normalize();
+  static BigUInt from_limbs(std::vector<std::uint32_t> limbs);
+  [[nodiscard]] BigUInt limb_slice(std::size_t from, std::size_t to) const;
+
+  std::vector<std::uint32_t> limbs_;
+};
+
+/// Precomputed context for repeated modular multiplication mod an odd modulus
+/// (Montgomery REDC, CIOS variant). One RSA exponentiation reuses one context
+/// across all its squarings/multiplications.
+class MontgomeryCtx {
+ public:
+  /// Throws PreconditionError unless m is odd and > 1.
+  explicit MontgomeryCtx(const BigUInt& m);
+
+  /// x * R mod m (into Montgomery domain). x must be < m.
+  [[nodiscard]] BigUInt to_mont(const BigUInt& x) const;
+
+  /// x * R^-1 mod m (out of Montgomery domain).
+  [[nodiscard]] BigUInt from_mont(const BigUInt& x) const;
+
+  /// Montgomery product a*b*R^-1 mod m; operands in Montgomery domain.
+  [[nodiscard]] BigUInt mul(const BigUInt& a, const BigUInt& b) const;
+
+  /// base^exp mod m via this context; base must be < m.
+  [[nodiscard]] BigUInt mod_exp(const BigUInt& base, const BigUInt& exp) const;
+
+  [[nodiscard]] const BigUInt& modulus() const { return m_; }
+
+ private:
+  BigUInt m_;
+  BigUInt r2_;          // R^2 mod m
+  std::uint32_t n0inv_;  // -m^-1 mod 2^32
+  std::size_t k_;        // limb count of m
+};
+
+}  // namespace worm::crypto

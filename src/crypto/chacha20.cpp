@@ -1,0 +1,89 @@
+#include "crypto/chacha20.hpp"
+
+#include <bit>
+#include <cstring>
+
+namespace worm::crypto {
+
+namespace {
+std::uint32_t load_le32(const std::uint8_t* p) {
+  return static_cast<std::uint32_t>(p[0]) |
+         (static_cast<std::uint32_t>(p[1]) << 8) |
+         (static_cast<std::uint32_t>(p[2]) << 16) |
+         (static_cast<std::uint32_t>(p[3]) << 24);
+}
+
+void quarter_round(std::uint32_t& a, std::uint32_t& b, std::uint32_t& c,
+                   std::uint32_t& d) {
+  a += b;
+  d = std::rotl(d ^ a, 16);
+  c += d;
+  b = std::rotl(b ^ c, 12);
+  a += b;
+  d = std::rotl(d ^ a, 8);
+  c += d;
+  b = std::rotl(b ^ c, 7);
+}
+}  // namespace
+
+ChaCha20::ChaCha20(const Key& key, const Nonce& nonce, std::uint32_t counter) {
+  state_[0] = 0x61707865;
+  state_[1] = 0x3320646e;
+  state_[2] = 0x79622d32;
+  state_[3] = 0x6b206574;
+  for (int i = 0; i < 8; ++i) state_[static_cast<std::size_t>(4 + i)] = load_le32(key.data() + 4 * i);
+  state_[12] = counter;
+  for (int i = 0; i < 3; ++i) state_[static_cast<std::size_t>(13 + i)] = load_le32(nonce.data() + 4 * i);
+}
+
+void ChaCha20::block(std::array<std::uint8_t, 64>& out) {
+  std::array<std::uint32_t, 16> x = state_;
+  for (int round = 0; round < 10; ++round) {
+    quarter_round(x[0], x[4], x[8], x[12]);
+    quarter_round(x[1], x[5], x[9], x[13]);
+    quarter_round(x[2], x[6], x[10], x[14]);
+    quarter_round(x[3], x[7], x[11], x[15]);
+    quarter_round(x[0], x[5], x[10], x[15]);
+    quarter_round(x[1], x[6], x[11], x[12]);
+    quarter_round(x[2], x[7], x[8], x[13]);
+    quarter_round(x[3], x[4], x[9], x[14]);
+  }
+  for (std::size_t i = 0; i < 16; ++i) {
+    std::uint32_t v = x[i] + state_[i];
+    out[4 * i] = static_cast<std::uint8_t>(v);
+    out[4 * i + 1] = static_cast<std::uint8_t>(v >> 8);
+    out[4 * i + 2] = static_cast<std::uint8_t>(v >> 16);
+    out[4 * i + 3] = static_cast<std::uint8_t>(v >> 24);
+  }
+  ++state_[12];
+}
+
+void ChaCha20::keystream(std::uint8_t* out, std::size_t len) {
+  std::size_t off = 0;
+  while (off < len) {
+    if (partial_used_ == 64) {
+      block(partial_);
+      partial_used_ = 0;
+    }
+    std::size_t take = std::min(len - off, 64 - partial_used_);
+    std::memcpy(out + off, partial_.data() + partial_used_, take);
+    partial_used_ += take;
+    off += take;
+  }
+}
+
+void ChaCha20::crypt(common::ByteView in, common::Bytes& out) {
+  out.resize(in.size());
+  keystream(out.data(), out.size());
+  for (std::size_t i = 0; i < in.size(); ++i) out[i] ^= in[i];
+}
+
+common::Bytes ChaCha20::crypt(const Key& key, const Nonce& nonce,
+                              common::ByteView in, std::uint32_t counter) {
+  ChaCha20 c(key, nonce, counter);
+  common::Bytes out;
+  c.crypt(in, out);
+  return out;
+}
+
+}  // namespace worm::crypto

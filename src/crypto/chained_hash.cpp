@@ -1,0 +1,30 @@
+#include "crypto/chained_hash.hpp"
+
+#include "common/serial.hpp"
+
+namespace worm::crypto {
+
+ChainedHash::ChainedHash() {
+  static const Sha256::Digest kInit =
+      Sha256::hash(common::to_bytes("worm-chained-hash-v1"));
+  state_ = kInit;
+}
+
+void ChainedHash::add(common::ByteView segment) {
+  Sha256 h;
+  h.update(common::ByteView(state_.data(), state_.size()));
+  common::ByteWriter len;
+  len.u64(segment.size());
+  h.update(len.bytes());
+  h.update(segment);
+  state_ = h.finalize();
+  ++count_;
+}
+
+Sha256::Digest ChainedHash::over(const std::vector<common::Bytes>& segments) {
+  ChainedHash c;
+  for (const auto& s : segments) c.add(s);
+  return c.digest();
+}
+
+}  // namespace worm::crypto

@@ -1,0 +1,38 @@
+// Order-sensitive chained hash over a sequence of data segments:
+//   H_0 = SHA256(domain tag), H_i = SHA256(H_{i-1} || len(seg_i) || seg_i).
+// This is the paper's datasig construct: "a chained hash (or other
+// incremental secure hashing) of the data records" (Table 1). Appending a
+// segment costs one hash of that segment only — the incremental property the
+// WORM write path relies on.
+#pragma once
+
+#include "common/bytes.hpp"
+#include "crypto/sha256.hpp"
+
+namespace worm::crypto {
+
+class ChainedHash {
+ public:
+  ChainedHash();
+
+  /// Folds the next segment into the chain.
+  void add(common::ByteView segment);
+
+  /// Current chain value. Stable: add() then digest() is deterministic.
+  [[nodiscard]] Sha256::Digest digest() const { return state_; }
+  [[nodiscard]] common::Bytes digest_bytes() const {
+    return common::Bytes(state_.begin(), state_.end());
+  }
+
+  [[nodiscard]] std::size_t segments() const { return count_; }
+
+  /// One-shot over a list of segments.
+  static Sha256::Digest over(
+      const std::vector<common::Bytes>& segments);
+
+ private:
+  Sha256::Digest state_;
+  std::size_t count_ = 0;
+};
+
+}  // namespace worm::crypto

@@ -1,0 +1,55 @@
+// DES and 3DES-EDE (FIPS 46-3), from scratch. The paper's SCPU speaks the
+// IBM CCA API, whose bulk ciphers in 2008 were "DES/3DES" (§2.2) — this
+// module completes that surface for era-faithful deployments (new code
+// should prefer AES/ChaCha20; DES's 56-bit keyspace is long broken and the
+// implementation is table-based, not constant-time).
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "common/bytes.hpp"
+
+namespace worm::crypto {
+
+class Des {
+ public:
+  static constexpr std::size_t kBlockSize = 8;
+  using Block = std::array<std::uint8_t, kBlockSize>;
+
+  /// key: 8 bytes (parity bits ignored, per FIPS 46-3 practice).
+  explicit Des(common::ByteView key);
+
+  [[nodiscard]] Block encrypt(const Block& in) const;
+  [[nodiscard]] Block decrypt(const Block& in) const;
+
+ private:
+  std::uint64_t feistel(std::uint64_t block, bool decrypt) const;
+
+  std::array<std::uint64_t, 16> subkeys_{};  // 48-bit round keys
+};
+
+/// Triple-DES EDE: E_{k1}(D_{k2}(E_{k3}^{-1}... — classic
+/// encrypt-decrypt-encrypt with a 24-byte key (k1|k2|k3). With
+/// k1 == k2 == k3 it degenerates to single DES (the standard
+/// interoperability property, tested).
+class TripleDes {
+ public:
+  static constexpr std::size_t kBlockSize = 8;
+  using Block = Des::Block;
+
+  /// key: 24 bytes.
+  explicit TripleDes(common::ByteView key);
+
+  [[nodiscard]] Block encrypt(const Block& in) const;
+  [[nodiscard]] Block decrypt(const Block& in) const;
+
+  /// CBC mode over whole blocks (input size must be a multiple of 8).
+  common::Bytes encrypt_cbc(common::ByteView iv8, common::ByteView data) const;
+  common::Bytes decrypt_cbc(common::ByteView iv8, common::ByteView data) const;
+
+ private:
+  Des k1_, k2_, k3_;
+};
+
+}  // namespace worm::crypto

@@ -1,0 +1,98 @@
+#include "crypto/drbg.hpp"
+
+#include <cstring>
+
+#include "common/error.hpp"
+#include "common/serial.hpp"
+#include "crypto/sha256.hpp"
+
+namespace worm::crypto {
+
+namespace {
+ChaCha20::Nonce nonce_for(std::uint64_t stream) {
+  ChaCha20::Nonce n{};
+  for (int i = 0; i < 8; ++i) {
+    n[static_cast<std::size_t>(i)] = static_cast<std::uint8_t>(stream >> (8 * i));
+  }
+  return n;
+}
+}  // namespace
+
+Drbg::Drbg(common::ByteView seed) : cipher_(key_, nonce_for(0)) {
+  rekey(seed);
+}
+
+Drbg::Drbg(std::uint64_t seed) : cipher_(key_, nonce_for(0)) {
+  common::ByteWriter w;
+  w.str("worm-drbg-seed");
+  w.u64(seed);
+  rekey(w.bytes());
+}
+
+void Drbg::rekey(common::ByteView material) {
+  Sha256::Digest d = Sha256::hash(material);
+  std::memcpy(key_.data(), d.data(), key_.size());
+  ++stream_;
+  cipher_ = ChaCha20(key_, nonce_for(stream_));
+}
+
+void Drbg::reseed(common::ByteView entropy) {
+  common::ByteWriter w;
+  w.raw(common::ByteView(key_.data(), key_.size()));
+  w.blob(entropy);
+  rekey(w.bytes());
+}
+
+void Drbg::fill(std::uint8_t* out, std::size_t len) {
+  cipher_.keystream(out, len);
+}
+
+common::Bytes Drbg::bytes(std::size_t len) {
+  common::Bytes out(len);
+  fill(out.data(), len);
+  return out;
+}
+
+std::uint64_t Drbg::next_u64() {
+  std::uint8_t buf[8];
+  fill(buf, sizeof(buf));
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(buf[i]) << (8 * i);
+  return v;
+}
+
+std::uint64_t Drbg::uniform(std::uint64_t bound) {
+  WORM_REQUIRE(bound != 0, "Drbg::uniform: zero bound");
+  // Rejection sampling to avoid modulo bias.
+  std::uint64_t limit = UINT64_MAX - UINT64_MAX % bound;
+  for (;;) {
+    std::uint64_t v = next_u64();
+    if (v < limit) return v % bound;
+  }
+}
+
+BigUInt Drbg::big_with_bits(std::size_t bits) {
+  WORM_REQUIRE(bits > 0, "Drbg::big_with_bits: zero bits");
+  std::size_t nbytes = (bits + 7) / 8;
+  common::Bytes buf = bytes(nbytes);
+  // Clear excess high bits, then force the top bit so bit_length() == bits.
+  std::size_t excess = nbytes * 8 - bits;
+  buf[0] = static_cast<std::uint8_t>(buf[0] & (0xffu >> excess));
+  buf[0] = static_cast<std::uint8_t>(buf[0] | (0x80u >> excess));
+  return BigUInt::from_be_bytes(buf);
+}
+
+BigUInt Drbg::big_below(const BigUInt& bound) {
+  WORM_REQUIRE(!bound.is_zero(), "Drbg::big_below: zero bound");
+  std::size_t bits = bound.bit_length();
+  std::size_t nbytes = (bits + 7) / 8;
+  std::size_t excess = nbytes * 8 - bits;
+  for (;;) {
+    common::Bytes buf = bytes(nbytes);
+    buf[0] = static_cast<std::uint8_t>(buf[0] & (0xffu >> excess));
+    BigUInt v = BigUInt::from_be_bytes(buf);
+    if (v < bound) return v;
+  }
+}
+
+}  // namespace worm::crypto

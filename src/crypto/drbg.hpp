@@ -1,0 +1,47 @@
+// Deterministic random bit generator built on ChaCha20, modelling the SCPU's
+// CCA random-number service. Deterministic seeding keeps every test and
+// benchmark in the repo reproducible; reseed() mixes in fresh entropy the way
+// the 4764's hardware RNG would.
+#pragma once
+
+#include <cstdint>
+
+#include "common/bytes.hpp"
+#include "crypto/biguint.hpp"
+#include "crypto/chacha20.hpp"
+
+namespace worm::crypto {
+
+class Drbg {
+ public:
+  /// Seeds from arbitrary bytes (hashed into the key).
+  explicit Drbg(common::ByteView seed);
+
+  /// Seeds from a test-friendly integer.
+  explicit Drbg(std::uint64_t seed);
+
+  /// Mixes additional entropy into the generator state.
+  void reseed(common::ByteView entropy);
+
+  void fill(std::uint8_t* out, std::size_t len);
+  common::Bytes bytes(std::size_t len);
+  std::uint64_t next_u64();
+
+  /// Uniform in [0, bound). bound must be nonzero.
+  std::uint64_t uniform(std::uint64_t bound);
+
+  /// Random BigUInt with exactly `bits` significant bits (top bit set).
+  BigUInt big_with_bits(std::size_t bits);
+
+  /// Uniform BigUInt in [0, bound).
+  BigUInt big_below(const BigUInt& bound);
+
+ private:
+  void rekey(common::ByteView material);
+
+  ChaCha20::Key key_{};
+  std::uint64_t stream_ = 0;
+  ChaCha20 cipher_;
+};
+
+}  // namespace worm::crypto

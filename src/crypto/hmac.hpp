@@ -1,0 +1,71 @@
+// HMAC (RFC 2104) over any hash with the Sha1/Sha256 interface shape.
+// The paper's §4.3 proposes HMACs as the fastest burst-time witnessing
+// construct: SCPU-keyed MACs committed now, upgraded to signatures later.
+#pragma once
+
+#include <cstring>
+
+#include "common/bytes.hpp"
+#include "crypto/sha256.hpp"
+
+namespace worm::crypto {
+
+/// Streaming HMAC keyed at construction. H is Sha1 or Sha256.
+template <typename H>
+class Hmac {
+ public:
+  static constexpr std::size_t kDigestSize = H::kDigestSize;
+  using Digest = typename H::Digest;
+
+  explicit Hmac(common::ByteView key) {
+    std::array<std::uint8_t, H::kBlockSize> k{};
+    if (key.size() > H::kBlockSize) {
+      Digest kd = H::hash(key);
+      std::memcpy(k.data(), kd.data(), kd.size());
+    } else {
+      std::memcpy(k.data(), key.data(), key.size());
+    }
+    for (std::size_t i = 0; i < k.size(); ++i) {
+      ipad_[i] = static_cast<std::uint8_t>(k[i] ^ 0x36);
+      opad_[i] = static_cast<std::uint8_t>(k[i] ^ 0x5c);
+    }
+    reset();
+  }
+
+  void reset() {
+    inner_.reset();
+    inner_.update(common::ByteView(ipad_.data(), ipad_.size()));
+  }
+
+  void update(common::ByteView data) { inner_.update(data); }
+
+  [[nodiscard]] Digest finalize() {
+    Digest inner_digest = inner_.finalize();
+    H outer;
+    outer.update(common::ByteView(opad_.data(), opad_.size()));
+    outer.update(common::ByteView(inner_digest.data(), inner_digest.size()));
+    reset();
+    return outer.finalize();
+  }
+
+  /// One-shot convenience.
+  static Digest mac(common::ByteView key, common::ByteView data) {
+    Hmac h(key);
+    h.update(data);
+    return h.finalize();
+  }
+
+  static common::Bytes mac_bytes(common::ByteView key, common::ByteView data) {
+    Digest d = mac(key, data);
+    return common::Bytes(d.begin(), d.end());
+  }
+
+ private:
+  std::array<std::uint8_t, H::kBlockSize> ipad_{};
+  std::array<std::uint8_t, H::kBlockSize> opad_{};
+  H inner_;
+};
+
+using HmacSha256 = Hmac<Sha256>;
+
+}  // namespace worm::crypto

@@ -1,0 +1,45 @@
+#include "crypto/mset_hash.hpp"
+
+#include "common/serial.hpp"
+#include "crypto/sha256.hpp"
+
+namespace worm::crypto {
+
+namespace {
+const BigUInt& modulus() {
+  static const BigUInt kMod = BigUInt(1) << MsetHash::kBits;
+  return kMod;
+}
+}  // namespace
+
+BigUInt MsetHash::expand(common::ByteView element) {
+  // Expand SHA256(element) to kBits bits with counter-mode hashing.
+  Sha256::Digest seed = Sha256::hash(element);
+  common::Bytes wide;
+  wide.reserve(kBits / 8);
+  for (std::uint32_t ctr = 0; wide.size() < kBits / 8; ++ctr) {
+    common::ByteWriter w;
+    w.raw(common::ByteView(seed.data(), seed.size()));
+    w.u32(ctr);
+    common::append(wide, Sha256::hash_bytes(w.bytes()));
+  }
+  wide.resize(kBits / 8);
+  return BigUInt::from_be_bytes(wide);
+}
+
+void MsetHash::add(common::ByteView element) {
+  acc_ = (acc_ + expand(element)) % modulus();
+  ++count_;
+}
+
+void MsetHash::remove(common::ByteView element) {
+  BigUInt e = expand(element) % modulus();
+  acc_ = acc_ >= e ? acc_ - e : (acc_ + modulus()) - e;
+  if (count_ > 0) --count_;
+}
+
+common::Bytes MsetHash::digest() const {
+  return acc_.to_be_bytes_padded(kBits / 8);
+}
+
+}  // namespace worm::crypto

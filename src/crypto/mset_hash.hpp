@@ -1,0 +1,38 @@
+// Incremental multiset hash (Bellare–Micciancio AdHash over Z_{2^2048}),
+// the paper's cited alternative [4,6] to the chained hash for datasig when
+// segment order should not matter and removal must be supported:
+//   H(S) = sum over elements of SHA256-expand(elem)  (mod 2^2048).
+// add() and remove() are O(1) in the multiset size.
+#pragma once
+
+#include "common/bytes.hpp"
+#include "crypto/biguint.hpp"
+
+namespace worm::crypto {
+
+class MsetHash {
+ public:
+  static constexpr std::size_t kBits = 2048;
+
+  MsetHash() = default;
+
+  void add(common::ByteView element);
+
+  /// Removes one occurrence. The caller asserts membership; removing a
+  /// non-member silently corrupts the accumulator (as with any AdHash).
+  void remove(common::ByteView element);
+
+  [[nodiscard]] common::Bytes digest() const;
+
+  [[nodiscard]] std::size_t size() const { return count_; }
+
+  bool operator==(const MsetHash& o) const { return acc_ == o.acc_; }
+
+ private:
+  static BigUInt expand(common::ByteView element);
+
+  BigUInt acc_;
+  std::size_t count_ = 0;
+};
+
+}  // namespace worm::crypto

@@ -1,0 +1,20 @@
+// Probabilistic prime generation for RSA keygen: small-prime sieve followed
+// by Miller–Rabin, with round counts per HAC Table 4.4.
+#pragma once
+
+#include <cstddef>
+
+#include "crypto/biguint.hpp"
+#include "crypto/drbg.hpp"
+
+namespace worm::crypto {
+
+/// Miller–Rabin with `rounds` random bases. rounds == 0 picks a count giving
+/// < 2^-80 error for random candidates of n's size.
+bool is_probable_prime(const BigUInt& n, Drbg& rng, std::size_t rounds = 0);
+
+/// Random prime with exactly `bits` bits and the top two bits set (so a
+/// product of two such primes has full 2*bits length, as RSA keygen needs).
+BigUInt generate_prime(Drbg& rng, std::size_t bits);
+
+}  // namespace worm::crypto

@@ -1,0 +1,123 @@
+#include "crypto/sha1.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cstring>
+
+namespace worm::crypto {
+
+namespace {
+std::uint32_t load_be32(const std::uint8_t* p) {
+  return (static_cast<std::uint32_t>(p[0]) << 24) |
+         (static_cast<std::uint32_t>(p[1]) << 16) |
+         (static_cast<std::uint32_t>(p[2]) << 8) |
+         static_cast<std::uint32_t>(p[3]);
+}
+}  // namespace
+
+void Sha1::reset() {
+  state_ = {0x67452301, 0xefcdab89, 0x98badcfe, 0x10325476, 0xc3d2e1f0};
+  buffer_len_ = 0;
+  total_len_ = 0;
+}
+
+void Sha1::process_block(const std::uint8_t* block) {
+  std::array<std::uint32_t, 80> w;
+  for (int i = 0; i < 16; ++i) w[static_cast<std::size_t>(i)] = load_be32(block + 4 * i);
+  for (std::size_t i = 16; i < 80; ++i) {
+    w[i] = std::rotl(w[i - 3] ^ w[i - 8] ^ w[i - 14] ^ w[i - 16], 1);
+  }
+  std::uint32_t a = state_[0], b = state_[1], c = state_[2], d = state_[3],
+                e = state_[4];
+  for (std::size_t i = 0; i < 80; ++i) {
+    std::uint32_t f, k;
+    if (i < 20) {
+      f = (b & c) | (~b & d);
+      k = 0x5a827999;
+    } else if (i < 40) {
+      f = b ^ c ^ d;
+      k = 0x6ed9eba1;
+    } else if (i < 60) {
+      f = (b & c) | (b & d) | (c & d);
+      k = 0x8f1bbcdc;
+    } else {
+      f = b ^ c ^ d;
+      k = 0xca62c1d6;
+    }
+    std::uint32_t tmp = std::rotl(a, 5) + f + e + k + w[i];
+    e = d;
+    d = c;
+    c = std::rotl(b, 30);
+    b = a;
+    a = tmp;
+  }
+  state_[0] += a;
+  state_[1] += b;
+  state_[2] += c;
+  state_[3] += d;
+  state_[4] += e;
+}
+
+void Sha1::update(common::ByteView data) {
+  total_len_ += data.size();
+  std::size_t off = 0;
+  if (buffer_len_ > 0) {
+    std::size_t take = std::min(kBlockSize - buffer_len_, data.size());
+    std::memcpy(buffer_.data() + buffer_len_, data.data(), take);
+    buffer_len_ += take;
+    off += take;
+    if (buffer_len_ == kBlockSize) {
+      process_block(buffer_.data());
+      buffer_len_ = 0;
+    }
+  }
+  while (off + kBlockSize <= data.size()) {
+    process_block(data.data() + off);
+    off += kBlockSize;
+  }
+  if (off < data.size()) {
+    std::memcpy(buffer_.data(), data.data() + off, data.size() - off);
+    buffer_len_ = data.size() - off;
+  }
+}
+
+Sha1::Digest Sha1::finalize() {
+  std::uint64_t bit_len = total_len_ * 8;
+  std::uint8_t pad = 0x80;
+  update(common::ByteView(&pad, 1));
+  static constexpr std::uint8_t kZeros[kBlockSize] = {};
+  while (buffer_len_ != 56) {
+    std::size_t gap = buffer_len_ < 56 ? 56 - buffer_len_
+                                       : kBlockSize - buffer_len_ + 56;
+    update(common::ByteView(kZeros, std::min(gap, sizeof(kZeros))));
+  }
+  std::uint8_t len_be[8];
+  for (int i = 0; i < 8; ++i) {
+    len_be[i] = static_cast<std::uint8_t>(bit_len >> (56 - 8 * i));
+  }
+  std::memcpy(buffer_.data() + 56, len_be, 8);
+  process_block(buffer_.data());
+
+  Digest out;
+  for (std::size_t i = 0; i < 5; ++i) {
+    out[4 * i] = static_cast<std::uint8_t>(state_[i] >> 24);
+    out[4 * i + 1] = static_cast<std::uint8_t>(state_[i] >> 16);
+    out[4 * i + 2] = static_cast<std::uint8_t>(state_[i] >> 8);
+    out[4 * i + 3] = static_cast<std::uint8_t>(state_[i]);
+  }
+  reset();
+  return out;
+}
+
+Sha1::Digest Sha1::hash(common::ByteView data) {
+  Sha1 h;
+  h.update(data);
+  return h.finalize();
+}
+
+common::Bytes Sha1::hash_bytes(common::ByteView data) {
+  Digest d = hash(data);
+  return common::Bytes(d.begin(), d.end());
+}
+
+}  // namespace worm::crypto

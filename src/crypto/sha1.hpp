@@ -1,0 +1,38 @@
+// SHA-1 (FIPS 180-4), from scratch. Kept because the paper's Table 2
+// benchmarks SHA-1 throughput on the IBM 4764; new protocol constructs in
+// this repo use SHA-256, SHA-1 exists for the Table 2 reproduction and for
+// era-faithful chained hashing.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "common/bytes.hpp"
+
+namespace worm::crypto {
+
+class Sha1 {
+ public:
+  static constexpr std::size_t kDigestSize = 20;
+  static constexpr std::size_t kBlockSize = 64;
+  using Digest = std::array<std::uint8_t, kDigestSize>;
+
+  Sha1() { reset(); }
+
+  void reset();
+  void update(common::ByteView data);
+  [[nodiscard]] Digest finalize();
+
+  static Digest hash(common::ByteView data);
+  static common::Bytes hash_bytes(common::ByteView data);
+
+ private:
+  void process_block(const std::uint8_t* block);
+
+  std::array<std::uint32_t, 5> state_{};
+  std::array<std::uint8_t, kBlockSize> buffer_{};
+  std::size_t buffer_len_ = 0;
+  std::uint64_t total_len_ = 0;
+};
+
+}  // namespace worm::crypto

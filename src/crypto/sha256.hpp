@@ -1,0 +1,40 @@
+// SHA-256 (FIPS 180-4), from scratch. Streaming interface plus one-shot
+// helper. This is the workhorse digest for signatures, HMACs, chained hashes
+// and Merkle trees throughout the repo.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "common/bytes.hpp"
+
+namespace worm::crypto {
+
+class Sha256 {
+ public:
+  static constexpr std::size_t kDigestSize = 32;
+  static constexpr std::size_t kBlockSize = 64;
+  using Digest = std::array<std::uint8_t, kDigestSize>;
+
+  Sha256() { reset(); }
+
+  void reset();
+  void update(common::ByteView data);
+  [[nodiscard]] Digest finalize();
+
+  /// One-shot convenience.
+  static Digest hash(common::ByteView data);
+
+  /// One-shot returning an owned buffer (handy for serialization).
+  static common::Bytes hash_bytes(common::ByteView data);
+
+ private:
+  void process_block(const std::uint8_t* block);
+
+  std::array<std::uint32_t, 8> state_{};
+  std::array<std::uint8_t, kBlockSize> buffer_{};
+  std::size_t buffer_len_ = 0;
+  std::uint64_t total_len_ = 0;
+};
+
+}  // namespace worm::crypto

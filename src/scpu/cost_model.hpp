@@ -1,0 +1,79 @@
+// Calibrated performance models for the two processors in the paper's
+// architecture (Table 2): the IBM 4764-001 PCI-X secure coprocessor and the
+// untrusted P4 @ 3.4 GHz host. Every cryptographic operation executed by the
+// simulation charges simulated time from these models, which is what lets
+// bench_table2 / bench_figure1 reproduce the paper's absolute numbers on
+// arbitrary build hardware.
+//
+// Calibration detail: Table 2 reports SHA-1 at 1.42 MB/s on 1 KB blocks but
+// 18.6 MB/s on 64 KB blocks. Fitting t(block) = per_byte*block + per_call
+// to those two points yields a per-invocation overhead of ~0.68 ms (the
+// device's command/DMA round-trip) and an asymptotic ~23 MB/s hash engine —
+// the model below reproduces both measurements exactly.
+#pragma once
+
+#include <cstdint>
+
+#include "common/time.hpp"
+
+namespace worm::scpu {
+
+struct CostModel {
+  // RSA private-key signatures per second at the three anchor strengths.
+  double rsa512_sign_per_sec = 0;
+  double rsa1024_sign_per_sec = 0;
+  double rsa2048_sign_per_sec = 0;
+
+  // Hashing: t(n bytes, one call) = hash_per_byte_sec * n + hash_per_call_sec
+  double hash_per_byte_sec = 0;
+  double hash_per_call_sec = 0;
+
+  // Bulk data movement into/out of the processor (DMA for the SCPU, memory
+  // bus for the host), bytes per second.
+  double dma_bytes_per_sec = 0;
+
+  // Fixed cost of one mailbox command round-trip (0 for the host).
+  double command_overhead_sec = 0;
+
+  // RSA key generation anchor: seconds for a 1024-bit keypair.
+  double keygen1024_sec = 0;
+
+  /// IBM 4764-001, per Table 2. 2048-bit signing uses 400/s (the table
+  /// reports 316-470/s); 512-bit uses the table's 4200/s estimate.
+  static CostModel ibm4764();
+
+  /// Pentium 4 @ 3.4 GHz running OpenSSL 0.9.7f, per Table 2.
+  static CostModel host_p4();
+
+  /// Zero-cost model (disables simulated-time accounting).
+  static CostModel zero();
+
+  /// Signature cost for an arbitrary modulus size. Interpolates between the
+  /// Table 2 anchors with the cubic law of modular exponentiation
+  /// (t ~ bits^3) — the paper's §4.3 "how much faster is a signature of x
+  /// bits" question answered from the measured anchors.
+  [[nodiscard]] common::Duration sign_cost(std::size_t bits) const;
+
+  /// Public-exponent (e = 65537) verification; ~1/20 of signing (estimate —
+  /// verification is dominated by ~17 squarings vs ~1.5*bits for signing).
+  [[nodiscard]] common::Duration verify_cost(std::size_t bits) const;
+
+  /// Hashing n bytes streamed in `chunk`-byte invocations.
+  [[nodiscard]] common::Duration hash_cost(std::size_t nbytes,
+                                           std::size_t chunk = 65536) const;
+
+  /// HMAC = two extra compression calls over plain hashing; modelled as one
+  /// hash pass plus one fixed call overhead.
+  [[nodiscard]] common::Duration hmac_cost(std::size_t nbytes) const;
+
+  /// Moving n bytes across the device boundary.
+  [[nodiscard]] common::Duration dma_cost(std::size_t nbytes) const;
+
+  /// One command round-trip (charged once per mailbox command).
+  [[nodiscard]] common::Duration command_cost() const;
+
+  /// RSA keypair generation (t ~ bits^4 from the 1024-bit anchor).
+  [[nodiscard]] common::Duration keygen_cost(std::size_t bits) const;
+};
+
+}  // namespace worm::scpu

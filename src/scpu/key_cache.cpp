@@ -1,0 +1,25 @@
+#include "scpu/key_cache.hpp"
+
+#include <map>
+#include <mutex>
+
+#include "crypto/drbg.hpp"
+
+namespace worm::scpu {
+
+const crypto::RsaPrivateKey& cached_rsa_key(std::uint64_t seed,
+                                            std::size_t bits) {
+  static std::mutex mu;
+  static std::map<std::pair<std::uint64_t, std::size_t>, crypto::RsaPrivateKey>
+      cache;
+  std::lock_guard<std::mutex> lock(mu);
+  auto key = std::make_pair(seed, bits);
+  auto it = cache.find(key);
+  if (it == cache.end()) {
+    crypto::Drbg rng(seed ^ (0x9e3779b97f4a7c15ull * bits));
+    it = cache.emplace(key, crypto::rsa_generate(rng, bits)).first;
+  }
+  return it->second;
+}
+
+}  // namespace worm::scpu

@@ -1,0 +1,18 @@
+// Process-wide memoization of deterministic RSA keygen. Real 4764 cards ship
+// with pre-generated key material; regenerating 1024/2048-bit keys from
+// scratch in every unit test and benchmark iteration would dominate runtime
+// without adding coverage. Keys are keyed by (seed, bits) so distinct
+// simulated devices still get distinct keys.
+#pragma once
+
+#include <cstdint>
+
+#include "crypto/rsa.hpp"
+
+namespace worm::scpu {
+
+/// Returns the cached key for (seed, bits), generating it on first use.
+const crypto::RsaPrivateKey& cached_rsa_key(std::uint64_t seed,
+                                            std::size_t bits);
+
+}  // namespace worm::scpu

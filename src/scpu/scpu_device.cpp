@@ -1,0 +1,27 @@
+#include "scpu/scpu_device.hpp"
+
+namespace worm::scpu {
+
+ScpuDevice::ScpuDevice(common::SimClock& clock, CostModel model,
+                       std::size_t secure_memory_bytes)
+    : clock_(clock), model_(model), capacity_(secure_memory_bytes) {}
+
+void ScpuDevice::alloc_secure(std::size_t bytes) {
+  ensure_alive();
+  if (used_ + bytes > capacity_) {
+    throw common::ScpuError("SCPU: secure memory exhausted");
+  }
+  used_ += bytes;
+}
+
+void ScpuDevice::free_secure(std::size_t bytes) {
+  used_ = bytes > used_ ? 0 : used_ - bytes;
+}
+
+void ScpuDevice::trigger_tamper_response() {
+  // Battery-powered zeroization; all secure state is gone for good.
+  used_ = 0;
+  tampered_ = true;
+}
+
+}  // namespace worm::scpu

@@ -1,0 +1,124 @@
+#include "storage/block_device.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/error.hpp"
+
+namespace worm::storage {
+
+using common::Bytes;
+using common::ByteView;
+using common::StorageError;
+
+MemBlockDevice::MemBlockDevice(std::size_t block_size, std::size_t block_count,
+                               common::SimClock* clock, LatencyModel latency)
+    : block_size_(block_size),
+      blocks_(block_count, Bytes(block_size, 0)),
+      clock_(clock),
+      latency_(latency) {
+  WORM_REQUIRE(block_size > 0, "MemBlockDevice: zero block size");
+}
+
+void MemBlockDevice::check_index(std::size_t index) const {
+  if (index >= blocks_.size()) {
+    throw StorageError("MemBlockDevice: block index out of range");
+  }
+}
+
+void MemBlockDevice::charge(std::size_t bytes) {
+  if (clock_ != nullptr) clock_->charge(latency_.cost(bytes));
+}
+
+void MemBlockDevice::read_block(std::size_t index, Bytes& out) {
+  check_index(index);
+  out = blocks_[index];
+  ++stats_.reads;
+  stats_.bytes_read += block_size_;
+  charge(block_size_);
+}
+
+void MemBlockDevice::write_block(std::size_t index, ByteView data) {
+  check_index(index);
+  WORM_REQUIRE(data.size() == block_size_,
+               "MemBlockDevice: write size != block size");
+  blocks_[index].assign(data.begin(), data.end());
+  ++stats_.writes;
+  stats_.bytes_written += block_size_;
+  charge(block_size_);
+}
+
+void MemBlockDevice::grow(std::size_t additional_blocks) {
+  blocks_.resize(blocks_.size() + additional_blocks, Bytes(block_size_, 0));
+}
+
+Bytes& MemBlockDevice::raw_block(std::size_t index) {
+  check_index(index);
+  return blocks_[index];
+}
+
+FileBlockDevice::FileBlockDevice(const std::string& path,
+                                 std::size_t block_size,
+                                 std::size_t block_count)
+    : path_(path), block_size_(block_size), block_count_(block_count) {
+  WORM_REQUIRE(block_size > 0, "FileBlockDevice: zero block size");
+  fd_ = ::open(path.c_str(), O_RDWR | O_CREAT, 0600);
+  if (fd_ < 0) {
+    throw StorageError("FileBlockDevice: cannot open " + path + ": " +
+                       std::strerror(errno));
+  }
+  if (::ftruncate(fd_, static_cast<off_t>(block_size * block_count)) != 0) {
+    ::close(fd_);
+    throw StorageError("FileBlockDevice: cannot size " + path);
+  }
+}
+
+FileBlockDevice::~FileBlockDevice() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+void FileBlockDevice::read_block(std::size_t index, Bytes& out) {
+  if (index >= block_count_) {
+    throw StorageError("FileBlockDevice: block index out of range");
+  }
+  out.resize(block_size_);
+  ssize_t n = ::pread(fd_, out.data(), block_size_,
+                      static_cast<off_t>(index * block_size_));
+  if (n != static_cast<ssize_t>(block_size_)) {
+    throw StorageError("FileBlockDevice: short read");
+  }
+  ++stats_.reads;
+  stats_.bytes_read += block_size_;
+}
+
+void FileBlockDevice::write_block(std::size_t index, ByteView data) {
+  if (index >= block_count_) {
+    throw StorageError("FileBlockDevice: block index out of range");
+  }
+  WORM_REQUIRE(data.size() == block_size_,
+               "FileBlockDevice: write size != block size");
+  ssize_t n = ::pwrite(fd_, data.data(), block_size_,
+                       static_cast<off_t>(index * block_size_));
+  if (n != static_cast<ssize_t>(block_size_)) {
+    throw StorageError("FileBlockDevice: short write");
+  }
+  ++stats_.writes;
+  stats_.bytes_written += block_size_;
+}
+
+void FileBlockDevice::grow(std::size_t additional_blocks) {
+  std::size_t new_count = block_count_ + additional_blocks;
+  if (::ftruncate(fd_, static_cast<off_t>(block_size_ * new_count)) != 0) {
+    throw StorageError("FileBlockDevice: cannot grow " + path_);
+  }
+  block_count_ = new_count;
+}
+
+void FileBlockDevice::flush() {
+  if (::fsync(fd_) != 0) throw StorageError("FileBlockDevice: fsync failed");
+}
+
+}  // namespace worm::storage

@@ -1,0 +1,137 @@
+// Untrusted block storage under the main CPU's control, with a parameterized
+// latency model. The paper observes (§5) that 3-4 ms enterprise-disk seek
+// latencies — not the WORM layer — become the operational bottleneck; the
+// latency model lets bench_disk_bound reproduce that claim. The adversary
+// module mutates blocks through raw_block(), modelling the insider who opens
+// the drive enclosure and edits the platters.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "common/sim_clock.hpp"
+
+namespace worm::storage {
+
+/// Simulated device timing, charged to the SimClock on each access.
+struct LatencyModel {
+  common::Duration seek_per_op{};  // positioning cost per block access
+  double transfer_bytes_per_sec = 0;  // 0 == infinite
+
+  /// 2008-era enterprise disk per the paper: "3-4ms+ latencies for
+  /// individual block disk access"; ~80 MB/s sustained transfer.
+  static LatencyModel enterprise_disk_2008() {
+    return {common::Duration::micros(3500), 80e6};
+  }
+
+  /// No modelled latency (isolates WORM-layer cost in benchmarks).
+  static LatencyModel none() { return {}; }
+
+  [[nodiscard]] common::Duration cost(std::size_t bytes) const {
+    common::Duration d = seek_per_op;
+    if (transfer_bytes_per_sec > 0) {
+      d += common::Duration::from_seconds_f(static_cast<double>(bytes) /
+                                            transfer_bytes_per_sec);
+    }
+    return d;
+  }
+};
+
+/// Access counters for experiments.
+struct DeviceStats {
+  std::uint64_t reads = 0;
+  std::uint64_t writes = 0;
+  std::uint64_t bytes_read = 0;
+  std::uint64_t bytes_written = 0;
+};
+
+/// Fixed-block-size device interface.
+class BlockDevice {
+ public:
+  virtual ~BlockDevice() = default;
+
+  [[nodiscard]] virtual std::size_t block_size() const = 0;
+  [[nodiscard]] virtual std::size_t block_count() const = 0;
+
+  /// Reads block `index` into out (resized to block_size()).
+  /// Throws StorageError when index is out of range.
+  virtual void read_block(std::size_t index, common::Bytes& out) = 0;
+
+  /// Writes block `index`. data must be exactly block_size() bytes.
+  virtual void write_block(std::size_t index, common::ByteView data) = 0;
+
+  /// Extends the device by additional_blocks (attaching media). Devices that
+  /// cannot grow throw StorageError.
+  virtual void grow(std::size_t additional_blocks) = 0;
+
+  [[nodiscard]] const DeviceStats& stats() const { return stats_; }
+  void reset_stats() { stats_ = {}; }
+
+ protected:
+  DeviceStats stats_;
+};
+
+/// In-memory device; optionally charges a SimClock per the latency model.
+class MemBlockDevice final : public BlockDevice {
+ public:
+  MemBlockDevice(std::size_t block_size, std::size_t block_count,
+                 common::SimClock* clock = nullptr,
+                 LatencyModel latency = LatencyModel::none());
+
+  [[nodiscard]] std::size_t block_size() const override { return block_size_; }
+  [[nodiscard]] std::size_t block_count() const override {
+    return blocks_.size();
+  }
+
+  void read_block(std::size_t index, common::Bytes& out) override;
+  void write_block(std::size_t index, common::ByteView data) override;
+
+  /// Grows the device (models attaching more platters).
+  void grow(std::size_t additional_blocks) override;
+
+  /// Direct mutable access for the adversary — bypasses stats, latency and
+  /// every software check, exactly like physical platter access would.
+  common::Bytes& raw_block(std::size_t index);
+
+ private:
+  void check_index(std::size_t index) const;
+  void charge(std::size_t bytes);
+
+  std::size_t block_size_;
+  std::vector<common::Bytes> blocks_;
+  common::SimClock* clock_;
+  LatencyModel latency_;
+};
+
+/// File-backed device (one flat file, block i at offset i*block_size).
+class FileBlockDevice final : public BlockDevice {
+ public:
+  /// Opens (creating if needed) the backing file sized to block_count blocks.
+  FileBlockDevice(const std::string& path, std::size_t block_size,
+                  std::size_t block_count);
+  ~FileBlockDevice() override;
+
+  FileBlockDevice(const FileBlockDevice&) = delete;
+  FileBlockDevice& operator=(const FileBlockDevice&) = delete;
+
+  [[nodiscard]] std::size_t block_size() const override { return block_size_; }
+  [[nodiscard]] std::size_t block_count() const override {
+    return block_count_;
+  }
+
+  void read_block(std::size_t index, common::Bytes& out) override;
+  void write_block(std::size_t index, common::ByteView data) override;
+  void grow(std::size_t additional_blocks) override;
+
+  void flush();
+
+ private:
+  std::string path_;
+  std::size_t block_size_;
+  std::size_t block_count_;
+  int fd_ = -1;
+};
+
+}  // namespace worm::storage

@@ -1,0 +1,79 @@
+#include "storage/crypto_shred.hpp"
+
+#include "common/error.hpp"
+#include "common/serial.hpp"
+#include "crypto/aes.hpp"
+#include "crypto/hmac.hpp"
+
+namespace worm::storage {
+
+using common::Bytes;
+using common::ByteView;
+
+CryptoShredder::CryptoShredder(ByteView master_secret, std::uint64_t seed)
+    : master_(common::to_bytes(master_secret)), rng_(seed) {
+  WORM_REQUIRE(master_.size() >= 16,
+               "CryptoShredder: master secret too short");
+}
+
+Bytes CryptoShredder::derive_key(std::uint64_t key_id,
+                                 const Bytes& nonce) const {
+  common::ByteWriter w;
+  w.str("worm-record-key-v1");
+  w.u64(key_id);
+  w.blob(nonce);
+  return crypto::HmacSha256::mac_bytes(master_, w.bytes());  // 32B = AES-256
+}
+
+CryptoShredder::Sealed CryptoShredder::seal(ByteView plaintext) {
+  Sealed out;
+  out.key_id = next_id_++;
+  Bytes nonce = rng_.bytes(12);
+  Bytes key = derive_key(out.key_id, nonce);
+  out.ciphertext = crypto::AesCtr::crypt(key, nonce, plaintext);
+  nonces_.emplace(out.key_id, std::move(nonce));
+  return out;
+}
+
+Bytes CryptoShredder::unseal(std::uint64_t key_id, ByteView ciphertext) {
+  auto it = nonces_.find(key_id);
+  if (it == nonces_.end()) {
+    throw common::StorageError(
+        "CryptoShredder: key destroyed — record is crypto-shredded");
+  }
+  Bytes key = derive_key(key_id, it->second);
+  return crypto::AesCtr::crypt(key, it->second, ciphertext);
+}
+
+bool CryptoShredder::destroy_key(std::uint64_t key_id) {
+  return nonces_.erase(key_id) > 0;
+}
+
+Bytes CryptoShredder::save_key_table() const {
+  common::ByteWriter w;
+  w.str("worm-keytable-v1");
+  w.u64(next_id_);
+  w.u32(static_cast<std::uint32_t>(nonces_.size()));
+  for (const auto& [id, nonce] : nonces_) {
+    w.u64(id);
+    w.blob(nonce);
+  }
+  return w.take();
+}
+
+void CryptoShredder::restore_key_table(ByteView data) {
+  common::ByteReader r(data);
+  if (r.str() != "worm-keytable-v1") {
+    throw common::ParseError("CryptoShredder: bad key table magic");
+  }
+  next_id_ = r.u64();
+  nonces_.clear();
+  std::uint32_t n = r.count(16);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    std::uint64_t id = r.u64();
+    nonces_[id] = r.blob();
+  }
+  r.expect_end();
+}
+
+}  // namespace worm::storage

@@ -1,0 +1,158 @@
+#include "storage/record_store.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace worm::storage {
+
+using common::Bytes;
+using common::ByteView;
+
+const char* to_string(ShredPolicy p) {
+  switch (p) {
+    case ShredPolicy::kNone:
+      return "none";
+    case ShredPolicy::kZeroFill:
+      return "zero-fill";
+    case ShredPolicy::kNist3Pass:
+      return "nist-3-pass";
+    case ShredPolicy::kRandom7Pass:
+      return "random-7-pass";
+    case ShredPolicy::kCryptoShred:
+      return "crypto-shred";
+  }
+  return "?";
+}
+
+void RecordDescriptor::serialize(common::ByteWriter& w) const {
+  w.u64(record_id);
+  w.u64(size);
+  w.u32(static_cast<std::uint32_t>(blocks.size()));
+  for (std::uint64_t b : blocks) w.u64(b);
+}
+
+RecordDescriptor RecordDescriptor::deserialize(common::ByteReader& r) {
+  RecordDescriptor rd;
+  rd.record_id = r.u64();
+  rd.size = r.u64();
+  std::uint32_t n = r.count(8);
+  rd.blocks.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) rd.blocks.push_back(r.u64());
+  return rd;
+}
+
+RecordStore::RecordStore(BlockDevice& device) : device_(device) {}
+
+std::uint64_t RecordStore::allocate_block() {
+  if (!free_.empty()) {
+    std::uint64_t b = *free_.begin();
+    free_.erase(free_.begin());
+    return b;
+  }
+  if (next_block_ >= device_.block_count()) {
+    device_.grow(std::max<std::size_t>(64, device_.block_count()));
+  }
+  return next_block_++;
+}
+
+RecordDescriptor RecordStore::write(ByteView data) {
+  const std::size_t bs = device_.block_size();
+  RecordDescriptor rd;
+  rd.record_id = next_id_++;
+  rd.size = data.size();
+  std::size_t nblocks = (data.size() + bs - 1) / bs;
+  if (nblocks == 0) nblocks = 1;  // empty records still own one block
+  Bytes block(bs, 0);
+  for (std::size_t i = 0; i < nblocks; ++i) {
+    std::uint64_t idx = allocate_block();
+    rd.blocks.push_back(idx);
+    std::size_t off = i * bs;
+    std::size_t take = std::min(bs, data.size() - std::min(data.size(), off));
+    std::fill(block.begin(), block.end(), 0);
+    if (take > 0) {
+      std::copy(data.begin() + static_cast<std::ptrdiff_t>(off),
+                data.begin() + static_cast<std::ptrdiff_t>(off + take),
+                block.begin());
+    }
+    device_.write_block(idx, block);
+  }
+  return rd;
+}
+
+Bytes RecordStore::read(const RecordDescriptor& rd) {
+  const std::size_t bs = device_.block_size();
+  WORM_REQUIRE(rd.blocks.size() * bs >= rd.size,
+               "RecordStore::read: descriptor size/blocks mismatch");
+  Bytes out;
+  out.reserve(rd.size);
+  Bytes block;
+  for (std::size_t i = 0; i < rd.blocks.size() && out.size() < rd.size; ++i) {
+    device_.read_block(rd.blocks[i], block);
+    std::size_t take = std::min(bs, static_cast<std::size_t>(rd.size) - out.size());
+    out.insert(out.end(), block.begin(),
+               block.begin() + static_cast<std::ptrdiff_t>(take));
+  }
+  return out;
+}
+
+common::Bytes RecordStore::save_state() const {
+  common::ByteWriter w;
+  w.str("worm-recordstore-v1");
+  w.u64(next_block_);
+  w.u64(next_id_);
+  w.u32(static_cast<std::uint32_t>(free_.size()));
+  for (std::uint64_t b : free_) w.u64(b);
+  return w.take();
+}
+
+void RecordStore::restore_state(ByteView state) {
+  common::ByteReader r(state);
+  if (r.str() != "worm-recordstore-v1") {
+    throw common::ParseError("RecordStore: bad state magic");
+  }
+  next_block_ = r.u64();
+  next_id_ = r.u64();
+  free_.clear();
+  std::uint32_t n = r.count(8);
+  for (std::uint32_t i = 0; i < n; ++i) free_.insert(r.u64());
+  r.expect_end();
+}
+
+void RecordStore::overwrite_pass(const RecordDescriptor& rd,
+                                 const Bytes& pattern) {
+  for (std::uint64_t b : rd.blocks) device_.write_block(b, pattern);
+}
+
+void RecordStore::random_pass(const RecordDescriptor& rd, crypto::Drbg& rng) {
+  Bytes pattern(device_.block_size());
+  for (std::uint64_t b : rd.blocks) {
+    rng.fill(pattern.data(), pattern.size());
+    device_.write_block(b, pattern);
+  }
+}
+
+void RecordStore::shred(const RecordDescriptor& rd, ShredPolicy policy,
+                        crypto::Drbg& rng) {
+  const Bytes zeros(device_.block_size(), 0x00);
+  const Bytes ones(device_.block_size(), 0xff);
+  switch (policy) {
+    case ShredPolicy::kNone:
+      break;
+    case ShredPolicy::kZeroFill:
+    case ShredPolicy::kCryptoShred:  // key destroyed in SCPU; one zero pass
+      overwrite_pass(rd, zeros);
+      break;
+    case ShredPolicy::kNist3Pass:
+      overwrite_pass(rd, zeros);
+      overwrite_pass(rd, ones);
+      random_pass(rd, rng);
+      break;
+    case ShredPolicy::kRandom7Pass:
+      for (int pass = 0; pass < 7; ++pass) random_pass(rd, rng);
+      break;
+  }
+  for (std::uint64_t b : rd.blocks) free_.insert(b);
+}
+
+}  // namespace worm::storage

@@ -1,0 +1,82 @@
+// Data-record layer over a block device: allocation of variable-size records,
+// reads by descriptor, and shredding on deletion. Records here are the
+// paper's "data records" — application items (files, tuples, inodes)
+// identified by record descriptors (RDs) that the VRD's RDL points at.
+#pragma once
+
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "common/serial.hpp"
+#include "crypto/drbg.hpp"
+#include "storage/block_device.hpp"
+
+namespace worm::storage {
+
+/// Media-level destruction policy, one of the VRD attr's "shredding
+/// algorithm" choices (§4.2). CryptoShred is listed here for attr
+/// completeness; the key destruction itself happens inside the SCPU.
+enum class ShredPolicy : std::uint8_t {
+  kNone = 0,        // free blocks, leave residual data (weakest)
+  kZeroFill = 1,    // single zero pass
+  kNist3Pass = 2,   // zeros, ones, random
+  kRandom7Pass = 3, // seven random passes (Gutmann-style, paranoid)
+  kCryptoShred = 4, // destroy the per-record key in the SCPU, then zero once
+};
+
+const char* to_string(ShredPolicy p);
+
+/// Physical record descriptor (RD): where a data record lives on the device.
+struct RecordDescriptor {
+  std::uint64_t record_id = 0;
+  std::uint64_t size = 0;            // payload bytes
+  std::vector<std::uint64_t> blocks; // device block indices, in order
+
+  void serialize(common::ByteWriter& w) const;
+  static RecordDescriptor deserialize(common::ByteReader& r);
+
+  bool operator==(const RecordDescriptor&) const = default;
+};
+
+/// Allocates, reads and shreds records on one block device. Allocation is
+/// append-mostly with a free list fed by shredded records.
+class RecordStore {
+ public:
+  explicit RecordStore(BlockDevice& device);
+
+  /// Writes a record; allocates blocks (growing the device when supported).
+  RecordDescriptor write(common::ByteView data);
+
+  /// Reads a record's payload back. Throws StorageError on a descriptor that
+  /// points outside the device.
+  [[nodiscard]] common::Bytes read(const RecordDescriptor& rd);
+
+  /// Destroys the record's blocks per policy and recycles them.
+  /// `rng` supplies the random passes.
+  void shred(const RecordDescriptor& rd, ShredPolicy policy,
+             crypto::Drbg& rng);
+
+  [[nodiscard]] std::size_t free_blocks() const { return free_.size(); }
+  [[nodiscard]] std::uint64_t records_written() const { return next_id_; }
+
+  /// Serializes allocator state (free list, watermarks) so a host restart
+  /// over a persistent device resumes without clobbering live records.
+  [[nodiscard]] common::Bytes save_state() const;
+  void restore_state(common::ByteView state);
+
+  [[nodiscard]] BlockDevice& device() { return device_; }
+
+ private:
+  std::uint64_t allocate_block();
+  void overwrite_pass(const RecordDescriptor& rd, const common::Bytes& pattern);
+  void random_pass(const RecordDescriptor& rd, crypto::Drbg& rng);
+
+  BlockDevice& device_;
+  std::set<std::uint64_t> free_;
+  std::uint64_t next_block_ = 0;
+  std::uint64_t next_id_ = 0;
+};
+
+}  // namespace worm::storage

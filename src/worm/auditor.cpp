@@ -1,0 +1,69 @@
+#include "worm/auditor.hpp"
+
+#include <sstream>
+
+namespace worm::core {
+
+AuditReport Auditor::audit_range(WormStore& store,
+                                 const ClientVerifier& verifier, Sn first,
+                                 Sn last) {
+  AuditReport report;
+  report.first_sn = first;
+  report.last_sn = last;
+  for (Sn sn = first; sn <= last; ++sn) {
+    Outcome out = verifier.verify_read(sn, store.read(sn));
+    switch (out.verdict) {
+      case Verdict::kAuthentic:
+        ++report.authentic;
+        break;
+      case Verdict::kDeletedVerified:
+        ++report.deleted_verified;
+        break;
+      case Verdict::kUnverifiableYet:
+        ++report.unverifiable_yet;
+        break;
+      case Verdict::kNeverExistedVerified:
+        // Inside [1, SN_current] "never existed" is itself a contradiction:
+        // the SCPU issued this SN.
+        report.findings.push_back(
+            {sn, out.verdict,
+             "store denies an SN the SCPU provably issued: " + out.detail});
+        break;
+      default:
+        report.findings.push_back({sn, out.verdict, out.detail});
+        break;
+    }
+  }
+  return report;
+}
+
+AuditReport Auditor::audit_store(WormStore& store,
+                                 const ClientVerifier& verifier) {
+  // Establish the audit horizon from a verified, fresh heartbeat.
+  const SignedSnCurrent& hb = store.latest_heartbeat();
+  Outcome hb_check = verifier.verify_current(hb, hb.sn_current + 1);
+  if (hb_check.verdict != Verdict::kNeverExistedVerified) {
+    AuditReport report;
+    report.findings.push_back(
+        {kInvalidSn, hb_check.verdict,
+         "heartbeat failed verification: " + hb_check.detail});
+    return report;
+  }
+  if (hb.sn_current == 0) return AuditReport{};  // empty store, trivially clean
+  return audit_range(store, verifier, 1, hb.sn_current);
+}
+
+std::string Auditor::summarize(const AuditReport& report) {
+  std::ostringstream os;
+  os << "audited SN " << report.first_sn << ".." << report.last_sn << ": "
+     << report.authentic << " authentic, " << report.deleted_verified
+     << " deleted-with-proof, " << report.unverifiable_yet
+     << " pending-upgrade, " << report.findings.size() << " finding(s)";
+  for (const auto& f : report.findings) {
+    os << "\n  SN " << f.sn << ": " << to_string(f.verdict) << " — "
+       << f.detail;
+  }
+  return os.str();
+}
+
+}  // namespace worm::core

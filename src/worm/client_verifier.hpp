@@ -1,0 +1,85 @@
+// Client-side verification (the "Bob"/federal-investigator role). Clients
+// trust only the SCPU public-key certificates and a (roughly) synchronized
+// time source (§4.2.2 footnote); everything the storage server hands them is
+// checked against those anchors. The verdicts below are the paper's §4.1
+// client assurances made executable: on a successful read, "the block was
+// not tampered with"; on a failed read, either "deleted according to its
+// retention policy" or "never existed in this store" — anything else is
+// evidence of tampering.
+#pragma once
+
+#include <string>
+
+#include "common/time.hpp"
+#include "worm/proofs.hpp"
+#include "worm/worm_store.hpp"
+
+namespace worm::core {
+
+enum class Verdict : std::uint8_t {
+  /// Data and attributes authentic under an SCPU signature.
+  kAuthentic = 0,
+  /// Absence proven: rightful end-of-retention deletion.
+  kDeletedVerified = 1,
+  /// Absence proven: the SN was never allocated.
+  kNeverExistedVerified = 2,
+  /// The record carries only an HMAC witness: integrity cannot be verified
+  /// by the client until the SCPU upgrades it (§4.3 "HMACs"). Not evidence
+  /// of tampering, but not yet an assurance either.
+  kUnverifiableYet = 3,
+  /// A proof was presented but is stale (replayed old S_s(SN_current) /
+  /// expired S_s(SN_base)) — treat as hostile until refreshed.
+  kStaleProof = 4,
+  /// Verification failed: the store's answer is cryptographically wrong.
+  kTampered = 5,
+};
+
+const char* to_string(Verdict v);
+
+struct Outcome {
+  Verdict verdict = Verdict::kTampered;
+  std::string detail;
+
+  [[nodiscard]] bool trustworthy() const {
+    return verdict == Verdict::kAuthentic ||
+           verdict == Verdict::kDeletedVerified ||
+           verdict == Verdict::kNeverExistedVerified;
+  }
+};
+
+class ClientVerifier {
+ public:
+  /// `trusted_time` is the client's synchronized clock, used for freshness
+  /// checks on timestamped proofs.
+  ClientVerifier(TrustAnchors anchors, const common::TimeSource& trusted_time);
+
+  /// Full read-response verification for a request of `requested` SN.
+  [[nodiscard]] Outcome verify_read(Sn requested,
+                                    const ReadResult& result) const;
+
+  // Individual checks (composable; verify_read is built from these).
+
+  /// VRD signatures + payload hash against the VRD's data_hash.
+  [[nodiscard]] Outcome verify_vrd(
+      const Vrd& vrd, const std::vector<common::Bytes>& payloads) const;
+
+  [[nodiscard]] bool verify_deletion_proof(const DeletionProof& proof) const;
+  [[nodiscard]] Outcome verify_base(const SignedSnBase& base,
+                                    Sn requested) const;
+  [[nodiscard]] Outcome verify_current(const SignedSnCurrent& current,
+                                       Sn requested) const;
+  [[nodiscard]] Outcome verify_window(const DeletedWindow& window,
+                                      Sn requested) const;
+
+  /// Validates a short-term key certificate chain entry.
+  [[nodiscard]] bool verify_short_cert(const ShortKeyCert& cert) const;
+
+ private:
+  [[nodiscard]] Outcome verify_sigbox(const SigBox& box,
+                                      common::ByteView payload) const;
+
+  TrustAnchors anchors_;
+  const common::TimeSource& time_;
+};
+
+}  // namespace worm::core

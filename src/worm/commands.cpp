@@ -1,0 +1,504 @@
+#include "worm/commands.hpp"
+
+#include "common/serial.hpp"
+
+namespace worm::core {
+
+using common::ByteReader;
+using common::Bytes;
+using common::ByteView;
+using common::ByteWriter;
+
+namespace {
+
+constexpr std::uint8_t kStatusOk = 0;
+constexpr std::uint8_t kStatusError = 1;
+
+Bytes ok_response(const ByteWriter& payload) {
+  ByteWriter w;
+  w.u8(kStatusOk);
+  w.raw(payload.bytes());
+  return w.take();
+}
+
+Bytes error_response(const std::string& message) {
+  ByteWriter w;
+  w.u8(kStatusError);
+  w.str(message);
+  return w.take();
+}
+
+// --- field codecs ---------------------------------------------------------
+
+void put_witness(ByteWriter& w, const WriteWitness& ww) {
+  w.u64(ww.sn);
+  ww.attr.serialize(w);
+  w.blob(ww.data_hash);
+  ww.metasig.serialize(w);
+  ww.datasig.serialize(w);
+}
+
+WriteWitness get_witness(ByteReader& r) {
+  WriteWitness ww;
+  ww.sn = r.u64();
+  ww.attr = Attr::deserialize(r);
+  ww.data_hash = r.blob();
+  ww.metasig = SigBox::deserialize(r);
+  ww.datasig = SigBox::deserialize(r);
+  return ww;
+}
+
+void put_payloads(ByteWriter& w, const std::vector<Bytes>& payloads) {
+  w.u32(static_cast<std::uint32_t>(payloads.size()));
+  for (const auto& p : payloads) w.blob(p);
+}
+
+std::vector<Bytes> get_payloads(ByteReader& r) {
+  std::uint32_t n = r.count(4);
+  std::vector<Bytes> out;
+  out.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) out.push_back(r.blob());
+  return out;
+}
+
+void put_proofs(ByteWriter& w, const std::vector<DeletionProof>& proofs) {
+  w.u32(static_cast<std::uint32_t>(proofs.size()));
+  for (const auto& p : proofs) p.serialize(w);
+}
+
+std::vector<DeletionProof> get_proofs(ByteReader& r) {
+  std::uint32_t n = r.count(20);
+  std::vector<DeletionProof> out;
+  out.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    out.push_back(DeletionProof::deserialize(r));
+  }
+  return out;
+}
+
+void put_windows(ByteWriter& w, const std::vector<DeletedWindow>& windows) {
+  w.u32(static_cast<std::uint32_t>(windows.size()));
+  for (const auto& win : windows) win.serialize(w);
+}
+
+std::vector<DeletedWindow> get_windows(ByteReader& r) {
+  std::uint32_t n = r.count(40);
+  std::vector<DeletedWindow> out;
+  out.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    out.push_back(DeletedWindow::deserialize(r));
+  }
+  return out;
+}
+
+void put_lit_update(ByteWriter& w, const Firmware::LitUpdate& up) {
+  up.attr.serialize(w);
+  up.metasig.serialize(w);
+}
+
+Firmware::LitUpdate get_lit_update(ByteReader& r) {
+  Firmware::LitUpdate up;
+  up.attr = Attr::deserialize(r);
+  up.metasig = SigBox::deserialize(r);
+  return up;
+}
+
+void put_sns(ByteWriter& w, const std::vector<Sn>& sns) {
+  w.u32(static_cast<std::uint32_t>(sns.size()));
+  for (Sn sn : sns) w.u64(sn);
+}
+
+std::vector<Sn> get_sns(ByteReader& r) {
+  std::uint32_t n = r.count(8);
+  std::vector<Sn> out;
+  out.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) out.push_back(r.u64());
+  return out;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Device-side dispatch
+// ---------------------------------------------------------------------------
+
+Bytes ScpuChannel::dispatch(ByteView request) {
+  ByteReader r(request);
+  OpCode op = static_cast<OpCode>(r.u8());
+  ByteWriter out;
+  switch (op) {
+    case OpCode::kWrite: {
+      Attr attr = Attr::deserialize(r);
+      std::uint32_t nrd = r.count(20);
+      std::vector<storage::RecordDescriptor> rdl;
+      rdl.reserve(nrd);
+      for (std::uint32_t i = 0; i < nrd; ++i) {
+        rdl.push_back(storage::RecordDescriptor::deserialize(r));
+      }
+      std::vector<Bytes> payloads = get_payloads(r);
+      Bytes claimed = r.blob();
+      std::uint8_t mode_raw = r.u8();
+      std::uint8_t hash_raw = r.u8();
+      if (mode_raw > 2) throw common::ParseError("bad witness mode");
+      if (hash_raw > 1) throw common::ParseError("bad hash mode");
+      auto mode = static_cast<WitnessMode>(mode_raw);
+      auto hash_mode = static_cast<HashMode>(hash_raw);
+      r.expect_end();
+      put_witness(out, fw_.write(attr, rdl, payloads, claimed, mode, hash_mode));
+      break;
+    }
+    case OpCode::kHeartbeat: {
+      r.expect_end();
+      fw_.heartbeat().serialize(out);
+      break;
+    }
+    case OpCode::kSignBase: {
+      r.expect_end();
+      fw_.sign_base().serialize(out);
+      break;
+    }
+    case OpCode::kAdvanceBase: {
+      Sn new_base = r.u64();
+      auto proofs = get_proofs(r);
+      auto windows = get_windows(r);
+      r.expect_end();
+      fw_.advance_base(new_base, proofs, windows).serialize(out);
+      break;
+    }
+    case OpCode::kCertifyWindow: {
+      Sn lo = r.u64();
+      Sn hi = r.u64();
+      auto proofs = get_proofs(r);
+      auto windows = get_windows(r);
+      r.expect_end();
+      fw_.certify_window(lo, hi, proofs, windows).serialize(out);
+      break;
+    }
+    case OpCode::kStrengthen: {
+      std::uint32_t n = r.count(32);
+      std::vector<Vrd> vrds;
+      vrds.reserve(n);
+      for (std::uint32_t i = 0; i < n; ++i) vrds.push_back(Vrd::deserialize(r));
+      std::uint32_t np = r.count(4);
+      std::vector<std::vector<Bytes>> payloads;
+      payloads.reserve(np);
+      for (std::uint32_t i = 0; i < np; ++i) payloads.push_back(get_payloads(r));
+      r.expect_end();
+      auto results = fw_.strengthen(vrds, payloads);
+      out.u32(static_cast<std::uint32_t>(results.size()));
+      for (const auto& res : results) {
+        out.u64(res.sn);
+        res.metasig.serialize(out);
+        res.datasig.serialize(out);
+      }
+      break;
+    }
+    case OpCode::kAuditHash: {
+      Sn sn = r.u64();
+      auto payloads = get_payloads(r);
+      r.expect_end();
+      fw_.audit_hash(sn, payloads);
+      break;
+    }
+    case OpCode::kLitHold: {
+      Vrd vrd = Vrd::deserialize(r);
+      common::SimTime hold_until{r.i64()};
+      std::uint64_t lit_id = r.u64();
+      common::SimTime issued{r.i64()};
+      Bytes cred = r.blob();
+      r.expect_end();
+      put_lit_update(out, fw_.lit_hold(vrd, hold_until, lit_id, issued, cred));
+      break;
+    }
+    case OpCode::kLitRelease: {
+      Vrd vrd = Vrd::deserialize(r);
+      std::uint64_t lit_id = r.u64();
+      common::SimTime issued{r.i64()};
+      Bytes cred = r.blob();
+      r.expect_end();
+      put_lit_update(out, fw_.lit_release(vrd, lit_id, issued, cred));
+      break;
+    }
+    case OpCode::kGetCertificates: {
+      r.expect_end();
+      out.blob(fw_.meta_public_key().serialize());
+      out.blob(fw_.deletion_public_key().serialize());
+      auto certs = fw_.short_key_certs();
+      out.u32(static_cast<std::uint32_t>(certs.size()));
+      for (const auto& c : certs) c.serialize(out);
+      break;
+    }
+    case OpCode::kVexpRebuildBegin: {
+      r.expect_end();
+      fw_.vexp_rebuild_begin();
+      break;
+    }
+    case OpCode::kVexpRebuildAdd: {
+      Vrd vrd = Vrd::deserialize(r);
+      r.expect_end();
+      fw_.vexp_rebuild_add(vrd);
+      break;
+    }
+    case OpCode::kVexpRebuildEnd: {
+      r.expect_end();
+      fw_.vexp_rebuild_end();
+      break;
+    }
+    case OpCode::kProcessIdle: {
+      r.expect_end();
+      fw_.process_idle();
+      break;
+    }
+    case OpCode::kSignMigration: {
+      Bytes manifest = r.blob();
+      std::uint64_t src = r.u64();
+      std::uint64_t dst = r.u64();
+      r.expect_end();
+      fw_.sign_migration(manifest, src, dst).serialize(out);
+      break;
+    }
+    case OpCode::kDeferredPending: {
+      std::uint32_t limit = r.u32();
+      r.expect_end();
+      put_sns(out, fw_.deferred_pending(limit));
+      break;
+    }
+    case OpCode::kHashAuditsPending: {
+      std::uint32_t limit = r.u32();
+      r.expect_end();
+      put_sns(out, fw_.hash_audits_pending(limit));
+      break;
+    }
+    default:
+      throw common::ParseError("unknown opcode");
+  }
+  return ok_response(out);
+}
+
+Bytes ScpuChannel::call(ByteView request) {
+  // The device boundary: hostile or malformed bytes become error responses.
+  // InternalError is NOT caught — that is a bug in this codebase, not input.
+  try {
+    return dispatch(request);
+  } catch (const common::ParseError& e) {
+    return error_response(std::string("malformed command: ") + e.what());
+  } catch (const common::ScpuError& e) {
+    return error_response(std::string("rejected: ") + e.what());
+  } catch (const common::PreconditionError& e) {
+    return error_response(std::string("rejected: ") + e.what());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Host-side typed wrappers
+// ---------------------------------------------------------------------------
+
+Bytes ScpuChannel::invoke_ok(const Bytes& request) {
+  Bytes response = call(request);
+  ByteReader r(response);
+  std::uint8_t status = r.u8();
+  if (status != kStatusOk) {
+    throw ChannelError("SCPU error: " + r.str());
+  }
+  return Bytes(response.begin() + 1, response.end());
+}
+
+WriteWitness ScpuChannel::write(
+    const Attr& attr, const std::vector<storage::RecordDescriptor>& rdl,
+    const std::vector<Bytes>& payloads, ByteView claimed_hash,
+    WitnessMode mode, HashMode hash_mode) {
+  ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(OpCode::kWrite));
+  attr.serialize(w);
+  w.u32(static_cast<std::uint32_t>(rdl.size()));
+  for (const auto& rd : rdl) rd.serialize(w);
+  put_payloads(w, payloads);
+  w.blob(claimed_hash);
+  w.u8(static_cast<std::uint8_t>(mode));
+  w.u8(static_cast<std::uint8_t>(hash_mode));
+  Bytes payload = invoke_ok(w.take());
+  ByteReader r(payload);
+  WriteWitness ww = get_witness(r);
+  r.expect_end();
+  return ww;
+}
+
+SignedSnCurrent ScpuChannel::heartbeat() {
+  ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(OpCode::kHeartbeat));
+  Bytes payload_bytes = invoke_ok(w.take());
+  ByteReader r(payload_bytes);
+  return SignedSnCurrent::deserialize(r);
+}
+
+SignedSnBase ScpuChannel::sign_base() {
+  ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(OpCode::kSignBase));
+  Bytes payload_bytes = invoke_ok(w.take());
+  ByteReader r(payload_bytes);
+  return SignedSnBase::deserialize(r);
+}
+
+SignedSnBase ScpuChannel::advance_base(
+    Sn new_base, const std::vector<DeletionProof>& proofs,
+    const std::vector<DeletedWindow>& windows) {
+  ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(OpCode::kAdvanceBase));
+  w.u64(new_base);
+  put_proofs(w, proofs);
+  put_windows(w, windows);
+  Bytes payload_bytes = invoke_ok(w.take());
+  ByteReader r(payload_bytes);
+  return SignedSnBase::deserialize(r);
+}
+
+DeletedWindow ScpuChannel::certify_window(
+    Sn lo, Sn hi, const std::vector<DeletionProof>& proofs,
+    const std::vector<DeletedWindow>& windows) {
+  ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(OpCode::kCertifyWindow));
+  w.u64(lo);
+  w.u64(hi);
+  put_proofs(w, proofs);
+  put_windows(w, windows);
+  Bytes payload_bytes = invoke_ok(w.take());
+  ByteReader r(payload_bytes);
+  return DeletedWindow::deserialize(r);
+}
+
+std::vector<StrengthenResult> ScpuChannel::strengthen(
+    const std::vector<Vrd>& vrds,
+    const std::vector<std::vector<Bytes>>& payloads_per_vrd) {
+  ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(OpCode::kStrengthen));
+  w.u32(static_cast<std::uint32_t>(vrds.size()));
+  for (const auto& v : vrds) v.serialize(w);
+  w.u32(static_cast<std::uint32_t>(payloads_per_vrd.size()));
+  for (const auto& p : payloads_per_vrd) put_payloads(w, p);
+  Bytes payload_bytes = invoke_ok(w.take());
+  ByteReader r(payload_bytes);
+  std::uint32_t n = r.u32();
+  std::vector<StrengthenResult> out;
+  out.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    StrengthenResult res;
+    res.sn = r.u64();
+    res.metasig = SigBox::deserialize(r);
+    res.datasig = SigBox::deserialize(r);
+    out.push_back(std::move(res));
+  }
+  return out;
+}
+
+void ScpuChannel::audit_hash(Sn sn, const std::vector<Bytes>& payloads) {
+  ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(OpCode::kAuditHash));
+  w.u64(sn);
+  put_payloads(w, payloads);
+  invoke_ok(w.take());
+}
+
+Firmware::LitUpdate ScpuChannel::lit_hold(const Vrd& vrd,
+                                          common::SimTime hold_until,
+                                          std::uint64_t lit_id,
+                                          common::SimTime cred_issued_at,
+                                          ByteView credential) {
+  ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(OpCode::kLitHold));
+  vrd.serialize(w);
+  w.i64(hold_until.ns);
+  w.u64(lit_id);
+  w.i64(cred_issued_at.ns);
+  w.blob(credential);
+  Bytes payload_bytes = invoke_ok(w.take());
+  ByteReader r(payload_bytes);
+  return get_lit_update(r);
+}
+
+Firmware::LitUpdate ScpuChannel::lit_release(const Vrd& vrd,
+                                             std::uint64_t lit_id,
+                                             common::SimTime cred_issued_at,
+                                             ByteView credential) {
+  ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(OpCode::kLitRelease));
+  vrd.serialize(w);
+  w.u64(lit_id);
+  w.i64(cred_issued_at.ns);
+  w.blob(credential);
+  Bytes payload_bytes = invoke_ok(w.take());
+  ByteReader r(payload_bytes);
+  return get_lit_update(r);
+}
+
+CertificateBundle ScpuChannel::get_certificates() {
+  ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(OpCode::kGetCertificates));
+  Bytes payload_bytes = invoke_ok(w.take());
+  ByteReader r(payload_bytes);
+  CertificateBundle b;
+  b.meta_pub = r.blob();
+  b.deletion_pub = r.blob();
+  std::uint32_t n = r.u32();
+  for (std::uint32_t i = 0; i < n; ++i) {
+    b.short_certs.push_back(ShortKeyCert::deserialize(r));
+  }
+  return b;
+}
+
+void ScpuChannel::vexp_rebuild_begin() {
+  ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(OpCode::kVexpRebuildBegin));
+  invoke_ok(w.take());
+}
+
+void ScpuChannel::vexp_rebuild_add(const Vrd& vrd) {
+  ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(OpCode::kVexpRebuildAdd));
+  vrd.serialize(w);
+  invoke_ok(w.take());
+}
+
+void ScpuChannel::vexp_rebuild_end() {
+  ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(OpCode::kVexpRebuildEnd));
+  invoke_ok(w.take());
+}
+
+void ScpuChannel::process_idle() {
+  ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(OpCode::kProcessIdle));
+  invoke_ok(w.take());
+}
+
+MigrationAttestation ScpuChannel::sign_migration(ByteView manifest_hash,
+                                                 std::uint64_t source_id,
+                                                 std::uint64_t dest_id) {
+  ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(OpCode::kSignMigration));
+  w.blob(manifest_hash);
+  w.u64(source_id);
+  w.u64(dest_id);
+  Bytes payload_bytes = invoke_ok(w.take());
+  ByteReader r(payload_bytes);
+  return MigrationAttestation::deserialize(r);
+}
+
+std::vector<Sn> ScpuChannel::deferred_pending(std::uint32_t limit) {
+  ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(OpCode::kDeferredPending));
+  w.u32(limit);
+  Bytes payload_bytes = invoke_ok(w.take());
+  ByteReader r(payload_bytes);
+  return get_sns(r);
+}
+
+std::vector<Sn> ScpuChannel::hash_audits_pending(std::uint32_t limit) {
+  ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(OpCode::kHashAuditsPending));
+  w.u32(limit);
+  Bytes payload_bytes = invoke_ok(w.take());
+  ByteReader r(payload_bytes);
+  return get_sns(r);
+}
+
+}  // namespace worm::core

@@ -1,0 +1,109 @@
+// Serialized command channel to the SCPU firmware — the wire form of the
+// CCA-style API the host uses on a real IBM 4764 (requests and responses are
+// byte strings crossing the PCI-X boundary). worm::WormStore binds to the
+// firmware in-process; this channel is the transport used when the host and
+// device are separated (and the surface the fault-injection tests fuzz:
+// malformed bytes must come back as error responses, never crash the
+// certified logic or corrupt its state).
+//
+// Wire format. Request: u8 opcode, then opcode-specific fields. Response:
+// u8 status (0 = ok, 1 = error); on error a length-prefixed message; on ok
+// the opcode-specific payload.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "worm/firmware.hpp"
+
+namespace worm::core {
+
+enum class OpCode : std::uint8_t {
+  kWrite = 1,
+  kHeartbeat = 2,
+  kSignBase = 3,
+  kAdvanceBase = 4,
+  kCertifyWindow = 5,
+  kStrengthen = 6,
+  kAuditHash = 7,
+  kLitHold = 8,
+  kLitRelease = 9,
+  kGetCertificates = 10,
+  kVexpRebuildBegin = 11,
+  kVexpRebuildAdd = 12,
+  kVexpRebuildEnd = 13,
+  kProcessIdle = 14,
+  kSignMigration = 15,
+  kDeferredPending = 16,
+  kHashAuditsPending = 17,
+};
+
+/// Thrown by typed wrappers when the device answered with an error status.
+class ChannelError : public common::Error {
+ public:
+  using Error::Error;
+};
+
+/// Certificates bundle returned by kGetCertificates.
+struct CertificateBundle {
+  common::Bytes meta_pub;      // serialized RsaPublicKey (key s)
+  common::Bytes deletion_pub;  // serialized RsaPublicKey (key d)
+  std::vector<ShortKeyCert> short_certs;
+};
+
+class ScpuChannel {
+ public:
+  explicit ScpuChannel(Firmware& firmware) : fw_(firmware) {}
+
+  /// Raw entry point: dispatches one serialized command. Malformed or
+  /// rejected commands produce an error *response*; this function only
+  /// throws on host-side bugs (never for hostile request bytes).
+  common::Bytes call(common::ByteView request);
+
+  // --- typed wrappers (encode -> call -> decode) ---------------------------
+
+  WriteWitness write(const Attr& attr,
+                     const std::vector<storage::RecordDescriptor>& rdl,
+                     const std::vector<common::Bytes>& payloads,
+                     common::ByteView claimed_hash, WitnessMode mode,
+                     HashMode hash_mode);
+  SignedSnCurrent heartbeat();
+  SignedSnBase sign_base();
+  SignedSnBase advance_base(Sn new_base,
+                            const std::vector<DeletionProof>& proofs,
+                            const std::vector<DeletedWindow>& windows);
+  DeletedWindow certify_window(Sn lo, Sn hi,
+                               const std::vector<DeletionProof>& proofs,
+                               const std::vector<DeletedWindow>& windows);
+  std::vector<StrengthenResult> strengthen(
+      const std::vector<Vrd>& vrds,
+      const std::vector<std::vector<common::Bytes>>& payloads_per_vrd);
+  void audit_hash(Sn sn, const std::vector<common::Bytes>& payloads);
+  Firmware::LitUpdate lit_hold(const Vrd& vrd, common::SimTime hold_until,
+                               std::uint64_t lit_id,
+                               common::SimTime cred_issued_at,
+                               common::ByteView credential);
+  Firmware::LitUpdate lit_release(const Vrd& vrd, std::uint64_t lit_id,
+                                  common::SimTime cred_issued_at,
+                                  common::ByteView credential);
+  CertificateBundle get_certificates();
+  void vexp_rebuild_begin();
+  void vexp_rebuild_add(const Vrd& vrd);
+  void vexp_rebuild_end();
+  void process_idle();
+  MigrationAttestation sign_migration(common::ByteView manifest_hash,
+                                      std::uint64_t source_id,
+                                      std::uint64_t dest_id);
+  std::vector<Sn> deferred_pending(std::uint32_t limit);
+  std::vector<Sn> hash_audits_pending(std::uint32_t limit);
+
+ private:
+  common::Bytes dispatch(common::ByteView request);
+  common::Bytes invoke_ok(const common::Bytes& request);
+
+  Firmware& fw_;
+};
+
+}  // namespace worm::core

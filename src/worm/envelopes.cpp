@@ -1,0 +1,96 @@
+#include "worm/envelopes.hpp"
+
+namespace worm::core {
+
+using common::Bytes;
+using common::ByteView;
+using common::ByteWriter;
+using common::SimTime;
+
+namespace {
+ByteWriter begin(EnvelopeTag tag) {
+  ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(tag));
+  return w;
+}
+}  // namespace
+
+Bytes metasig_payload(Sn sn, const Attr& attr) {
+  ByteWriter w = begin(EnvelopeTag::kMetaSig);
+  w.u64(sn);
+  attr.serialize(w);
+  return w.take();
+}
+
+Bytes datasig_payload(Sn sn, ByteView data_hash) {
+  ByteWriter w = begin(EnvelopeTag::kDataSig);
+  w.u64(sn);
+  w.blob(data_hash);
+  return w.take();
+}
+
+Bytes deletion_proof_payload(Sn sn, SimTime deleted_at) {
+  ByteWriter w = begin(EnvelopeTag::kDeletionProof);
+  w.u64(sn);
+  w.i64(deleted_at.ns);
+  return w.take();
+}
+
+Bytes sn_current_payload(Sn sn_current, SimTime stamped_at) {
+  ByteWriter w = begin(EnvelopeTag::kSnCurrent);
+  w.u64(sn_current);
+  w.i64(stamped_at.ns);
+  return w.take();
+}
+
+Bytes sn_base_payload(Sn sn_base, SimTime stamped_at, SimTime expires_at) {
+  ByteWriter w = begin(EnvelopeTag::kSnBase);
+  w.u64(sn_base);
+  w.i64(stamped_at.ns);
+  w.i64(expires_at.ns);
+  return w.take();
+}
+
+Bytes window_bound_payload(bool is_upper, std::uint64_t window_id, Sn sn,
+                           SimTime created_at) {
+  ByteWriter w =
+      begin(is_upper ? EnvelopeTag::kWindowHi : EnvelopeTag::kWindowLo);
+  w.u64(window_id);
+  w.u64(sn);
+  w.i64(created_at.ns);
+  return w.take();
+}
+
+Bytes short_key_cert_payload(std::uint32_t key_id, std::uint32_t bits,
+                             ByteView pubkey, SimTime valid_from,
+                             SimTime valid_until) {
+  ByteWriter w = begin(EnvelopeTag::kShortKeyCert);
+  w.u32(key_id);
+  w.u32(bits);
+  w.blob(pubkey);
+  w.i64(valid_from.ns);
+  w.i64(valid_until.ns);
+  return w.take();
+}
+
+Bytes lit_credential_payload(Sn sn, SimTime issued_at, std::uint64_t lit_id,
+                             bool hold) {
+  ByteWriter w = begin(EnvelopeTag::kLitCredential);
+  w.u64(sn);
+  w.i64(issued_at.ns);
+  w.u64(lit_id);
+  w.boolean(hold);
+  return w.take();
+}
+
+Bytes migration_payload(ByteView manifest_hash, std::uint64_t source_store_id,
+                        std::uint64_t dest_store_id, SimTime migrated_at) {
+  ByteWriter w = begin(EnvelopeTag::kMigration);
+  w.blob(manifest_hash);
+  w.u64(source_store_id);
+  w.u64(dest_store_id);
+  w.i64(migrated_at.ns);
+  return w.take();
+}
+
+}  // namespace worm::core

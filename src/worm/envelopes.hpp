@@ -1,0 +1,67 @@
+// Signature envelopes: the exact byte strings the SCPU signs (and clients
+// verify). Every signed message is domain-separated by a tag byte so a
+// signature issued for one purpose can never be replayed as another — e.g. a
+// window lower bound can't be presented as an upper bound, and a deletion
+// proof can't impersonate a metasig (§4.2.1 discusses exactly these splicing
+// and replay attacks).
+#pragma once
+
+#include <cstdint>
+
+#include "common/bytes.hpp"
+#include "common/time.hpp"
+#include "worm/types.hpp"
+
+namespace worm::core {
+
+enum class EnvelopeTag : std::uint8_t {
+  kMetaSig = 1,       // (SN, attr)                        — key s
+  kDataSig = 2,       // (SN, Hash(data))                  — key s
+  kDeletionProof = 3, // (SN, deleted_at)                  — key d
+  kSnCurrent = 4,     // (SN_current, timestamp)           — key s
+  kSnBase = 5,        // (SN_base, timestamp, expires_at)  — key s
+  kWindowLo = 6,      // (window_id, SN, created_at)       — key s
+  kWindowHi = 7,      // (window_id, SN, created_at)       — key s
+  kShortKeyCert = 8,  // (key_id, bits, pubkey, validity)  — key s
+  kLitCredential = 9, // (SN, issued_at, lit_id, hold?)    — regulator key
+  kMigration = 10,    // (manifest_hash, src, dst, time)   — key s of source
+};
+
+/// (SN, attr) — Table 1 metasig payload.
+common::Bytes metasig_payload(Sn sn, const Attr& attr);
+
+/// (SN, Hash(data)) — Table 1 datasig payload.
+common::Bytes datasig_payload(Sn sn, common::ByteView data_hash);
+
+/// S_d(SN) deletion proof payload; carries the deletion instant for audit.
+common::Bytes deletion_proof_payload(Sn sn, common::SimTime deleted_at);
+
+/// Freshness-stamped S_s(SN_current) (§4.2.1 mechanism (ii)).
+common::Bytes sn_current_payload(Sn sn_current, common::SimTime stamped_at);
+
+/// S_s(SN_base) with expiry to prevent replay of stale bases (§4.2.1).
+common::Bytes sn_base_payload(Sn sn_base, common::SimTime stamped_at,
+                              common::SimTime expires_at);
+
+/// Deleted-window bounds, correlated by a shared random window id so the
+/// main CPU cannot splice bounds of unrelated windows (§4.2.1).
+common::Bytes window_bound_payload(bool is_upper, std::uint64_t window_id,
+                                   Sn sn, common::SimTime created_at);
+
+/// Certificate binding a short-term key to its security lifetime (§4.3).
+common::Bytes short_key_cert_payload(std::uint32_t key_id, std::uint32_t bits,
+                                     common::ByteView pubkey,
+                                     common::SimTime valid_from,
+                                     common::SimTime valid_until);
+
+/// Litigation authority credential C = S_reg(SN, time) (§4.2.2 Litigation).
+common::Bytes lit_credential_payload(Sn sn, common::SimTime issued_at,
+                                     std::uint64_t lit_id, bool hold);
+
+/// Compliant-migration manifest commitment.
+common::Bytes migration_payload(common::ByteView manifest_hash,
+                                std::uint64_t source_store_id,
+                                std::uint64_t dest_store_id,
+                                common::SimTime migrated_at);
+
+}  // namespace worm::core

@@ -1,0 +1,75 @@
+#include "worm/migrator.hpp"
+
+#include "common/error.hpp"
+#include "crypto/chained_hash.hpp"
+#include "crypto/rsa.hpp"
+#include "worm/envelopes.hpp"
+
+namespace worm::core {
+
+using common::Bytes;
+using common::ByteWriter;
+
+Bytes Migrator::manifest_hash(const std::vector<MigrationEntry>& entries) {
+  crypto::ChainedHash chain;
+  for (const auto& e : entries) {
+    ByteWriter w;
+    w.u64(e.source_sn);
+    w.u64(e.dest_sn);
+    w.blob(e.data_hash);
+    chain.add(w.bytes());
+  }
+  return chain.digest_bytes();
+}
+
+MigrationReport Migrator::migrate(WormStore& source, WormStore& dest,
+                                  const ClientVerifier& source_verifier) {
+  MigrationReport report;
+  common::SimTime now = dest.firmware().device().now();
+
+  for (Sn sn : source.vrdt().active_sns()) {
+    ReadResult res = source.read(sn);
+    Outcome outcome = source_verifier.verify_read(sn, res);
+    const auto* ok = std::get_if<ReadOk>(&res);
+    // HMAC-witnessed records are legitimate but not yet client-verifiable —
+    // a compliant migration forces their strengthening first (the caller
+    // should pump_idle() the source); refuse them here.
+    if (ok == nullptr || outcome.verdict != Verdict::kAuthentic) {
+      report.rejected.push_back(sn);
+      continue;
+    }
+
+    // Preserve the expiry instant: remaining retention continues to run at
+    // the destination from its own (trusted) clock.
+    Attr attr = ok->vrd.attr;
+    common::SimTime expiry = attr.expiry();
+    attr.retention = expiry > now ? expiry - now : common::Duration::nanos(1);
+
+    Sn dest_sn = dest.write(ok->payloads, attr);
+    MigrationEntry entry;
+    entry.source_sn = sn;
+    entry.dest_sn = dest_sn;
+    entry.data_hash = ok->vrd.data_hash;
+    report.entries.push_back(std::move(entry));
+  }
+
+  report.attestation = source.firmware().sign_migration(
+      manifest_hash(report.entries), source.config().store_id,
+      dest.config().store_id);
+  return report;
+}
+
+bool Migrator::verify_report(const MigrationReport& report,
+                             const TrustAnchors& source_anchors) {
+  Bytes expected = manifest_hash(report.entries);
+  if (expected != report.attestation.manifest_hash) return false;
+  return crypto::rsa_verify(
+      source_anchors.meta_key,
+      migration_payload(report.attestation.manifest_hash,
+                        report.attestation.source_store_id,
+                        report.attestation.dest_store_id,
+                        report.attestation.signed_at),
+      report.attestation.sig);
+}
+
+}  // namespace worm::core

@@ -1,0 +1,59 @@
+// Compliant migration (§1 requirement): move records from an obsolete store
+// to a new one while preserving their security assurances. Retention periods
+// span decades; hardware does not. The protocol:
+//
+//   1. every active record is read from the source and *verified as a
+//      client would* (a tampered source must not launder bad data into a
+//      fresh store),
+//   2. re-written into the destination, where the destination SCPU
+//      re-witnesses it; the remaining retention is preserved (expiry instant
+//      is carried over, litigation holds travel with the record),
+//   3. the source SCPU signs a manifest attesting the exact record set that
+//      left it, so an auditor can later confirm nothing was dropped or
+//      altered in transit.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "worm/client_verifier.hpp"
+#include "worm/worm_store.hpp"
+
+namespace worm::core {
+
+struct MigrationEntry {
+  Sn source_sn = kInvalidSn;
+  Sn dest_sn = kInvalidSn;
+  common::Bytes data_hash;
+};
+
+struct MigrationReport {
+  std::vector<MigrationEntry> entries;
+  /// Source records that FAILED client verification and were refused.
+  std::vector<Sn> rejected;
+  MigrationAttestation attestation;
+
+  [[nodiscard]] std::size_t migrated() const { return entries.size(); }
+  [[nodiscard]] bool clean() const { return rejected.empty(); }
+};
+
+class Migrator {
+ public:
+  /// Migrates every active record from `source` to `dest`. Records that
+  /// fail verification are refused and listed in the report (the paper's
+  /// adversary must not survive a migration).
+  static MigrationReport migrate(WormStore& source, WormStore& dest,
+                                 const ClientVerifier& source_verifier);
+
+  /// Auditor-side check: does the manifest match the entry list, is the
+  /// attestation signature valid under the source's anchors?
+  static bool verify_report(const MigrationReport& report,
+                            const TrustAnchors& source_anchors);
+
+  /// Deterministic manifest hash over the entry list.
+  static common::Bytes manifest_hash(const std::vector<MigrationEntry>& entries);
+};
+
+}  // namespace worm::core

@@ -1,0 +1,110 @@
+#include "worm/proofs.hpp"
+
+namespace worm::core {
+
+using common::ByteReader;
+using common::ByteWriter;
+
+void SignedSnCurrent::serialize(ByteWriter& w) const {
+  w.u64(sn_current);
+  w.i64(stamped_at.ns);
+  w.blob(sig);
+}
+
+SignedSnCurrent SignedSnCurrent::deserialize(ByteReader& r) {
+  SignedSnCurrent s;
+  s.sn_current = r.u64();
+  s.stamped_at.ns = r.i64();
+  s.sig = r.blob();
+  return s;
+}
+
+void SignedSnBase::serialize(ByteWriter& w) const {
+  w.u64(sn_base);
+  w.i64(stamped_at.ns);
+  w.i64(expires_at.ns);
+  w.blob(sig);
+}
+
+SignedSnBase SignedSnBase::deserialize(ByteReader& r) {
+  SignedSnBase s;
+  s.sn_base = r.u64();
+  s.stamped_at.ns = r.i64();
+  s.expires_at.ns = r.i64();
+  s.sig = r.blob();
+  return s;
+}
+
+void DeletionProof::serialize(ByteWriter& w) const {
+  w.u64(sn);
+  w.i64(deleted_at.ns);
+  w.blob(sig);
+}
+
+DeletionProof DeletionProof::deserialize(ByteReader& r) {
+  DeletionProof p;
+  p.sn = r.u64();
+  p.deleted_at.ns = r.i64();
+  p.sig = r.blob();
+  return p;
+}
+
+void DeletedWindow::serialize(ByteWriter& w) const {
+  w.u64(window_id);
+  w.u64(lo);
+  w.u64(hi);
+  w.i64(created_at.ns);
+  w.blob(sig_lo);
+  w.blob(sig_hi);
+}
+
+DeletedWindow DeletedWindow::deserialize(ByteReader& r) {
+  DeletedWindow d;
+  d.window_id = r.u64();
+  d.lo = r.u64();
+  d.hi = r.u64();
+  d.created_at.ns = r.i64();
+  d.sig_lo = r.blob();
+  d.sig_hi = r.blob();
+  return d;
+}
+
+void ShortKeyCert::serialize(ByteWriter& w) const {
+  w.u32(key_id);
+  w.u32(bits);
+  w.blob(pubkey);
+  w.i64(valid_from.ns);
+  w.i64(valid_until.ns);
+  w.blob(sig);
+}
+
+ShortKeyCert ShortKeyCert::deserialize(ByteReader& r) {
+  ShortKeyCert c;
+  c.key_id = r.u32();
+  c.bits = r.u32();
+  c.pubkey = r.blob();
+  c.valid_from.ns = r.i64();
+  c.valid_until.ns = r.i64();
+  c.sig = r.blob();
+  return c;
+}
+
+void MigrationAttestation::serialize(ByteWriter& w) const {
+  w.blob(manifest_hash);
+  w.u64(source_store_id);
+  w.u64(dest_store_id);
+  w.i64(signed_at.ns);
+  w.blob(sig);
+}
+
+MigrationAttestation MigrationAttestation::deserialize(ByteReader& r) {
+  MigrationAttestation a;
+  a.manifest_hash = r.blob();
+  a.source_store_id = r.u64();
+  a.dest_store_id = r.u64();
+  a.signed_at.ns = r.i64();
+  a.sig = r.blob();
+  return a;
+}
+
+}  // namespace worm::core

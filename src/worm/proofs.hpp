@@ -1,0 +1,135 @@
+// Signed artifacts the main CPU hands to clients, and the read-result
+// variants of §4.2.2: a successful read carries the VRD + data; a failed
+// read must carry a *proof* of why — deletion proof, out-of-window proof, or
+// deleted-window proof. "No proof" is itself evidence of tampering.
+#pragma once
+
+#include <cstdint>
+#include <variant>
+
+#include "common/bytes.hpp"
+#include "common/serial.hpp"
+#include "common/time.hpp"
+#include "worm/types.hpp"
+
+namespace worm::core {
+
+/// Freshness-stamped S_s(SN_current): "no SN above this has been issued".
+struct SignedSnCurrent {
+  Sn sn_current = kInvalidSn;
+  common::SimTime stamped_at{};
+  common::Bytes sig;
+
+  void serialize(common::ByteWriter& w) const;
+  static SignedSnCurrent deserialize(common::ByteReader& r);
+  bool operator==(const SignedSnCurrent&) const = default;
+};
+
+/// S_s(SN_base) with expiry: "every SN below this was rightfully deleted".
+struct SignedSnBase {
+  Sn sn_base = kInvalidSn;
+  common::SimTime stamped_at{};
+  common::SimTime expires_at{};
+  common::Bytes sig;
+
+  void serialize(common::ByteWriter& w) const;
+  static SignedSnBase deserialize(common::ByteReader& r);
+  bool operator==(const SignedSnBase&) const = default;
+};
+
+/// S_d(SN): the record with this SN was deleted in compliance with policy.
+struct DeletionProof {
+  Sn sn = kInvalidSn;
+  common::SimTime deleted_at{};
+  common::Bytes sig;
+
+  void serialize(common::ByteWriter& w) const;
+  static DeletionProof deserialize(common::ByteReader& r);
+  bool operator==(const DeletionProof&) const = default;
+};
+
+/// A compacted segment of >= 3 contiguous expired SNs (§4.2.1), replaced in
+/// the VRDT by SCPU signatures on its bounds, correlated by window_id.
+struct DeletedWindow {
+  std::uint64_t window_id = 0;
+  Sn lo = kInvalidSn;
+  Sn hi = kInvalidSn;
+  common::SimTime created_at{};
+  common::Bytes sig_lo;
+  common::Bytes sig_hi;
+
+  [[nodiscard]] bool contains(Sn sn) const { return lo <= sn && sn <= hi; }
+
+  void serialize(common::ByteWriter& w) const;
+  static DeletedWindow deserialize(common::ByteReader& r);
+  bool operator==(const DeletedWindow&) const = default;
+};
+
+/// Certificate for a short-term burst key (§4.3), signed by the strong key.
+struct ShortKeyCert {
+  std::uint32_t key_id = 0;
+  std::uint32_t bits = 0;
+  common::Bytes pubkey;  // serialized RsaPublicKey
+  common::SimTime valid_from{};
+  common::SimTime valid_until{};
+  common::Bytes sig;
+
+  void serialize(common::ByteWriter& w) const;
+  static ShortKeyCert deserialize(common::ByteReader& r);
+  bool operator==(const ShortKeyCert&) const = default;
+};
+
+/// Source-SCPU attestation over a compliant-migration manifest.
+struct MigrationAttestation {
+  common::Bytes manifest_hash;
+  std::uint64_t source_store_id = 0;
+  std::uint64_t dest_store_id = 0;
+  common::SimTime signed_at{};
+  common::Bytes sig;
+
+  void serialize(common::ByteWriter& w) const;
+  static MigrationAttestation deserialize(common::ByteReader& r);
+  bool operator==(const MigrationAttestation&) const = default;
+};
+
+// ---------------------------------------------------------------------------
+// Read results (§4.2.2 "Read")
+// ---------------------------------------------------------------------------
+
+/// The read succeeded; client should verify metasig/datasig.
+struct ReadOk {
+  Vrd vrd;
+  std::vector<common::Bytes> payloads;  // one per RDL entry
+};
+
+/// The record was deleted at end-of-retention; here is S_d(SN).
+struct ReadDeleted {
+  DeletionProof proof;
+};
+
+/// SN is below the sliding window: rightfully deleted long ago.
+struct ReadBelowBase {
+  SignedSnBase base;
+};
+
+/// SN was never allocated (above SN_current as of the stamped time).
+struct ReadNotAllocated {
+  SignedSnCurrent current;
+};
+
+/// SN falls in a compacted deleted window.
+struct ReadInDeletedWindow {
+  DeletedWindow window;
+};
+
+/// The store could not produce data *or* a proof — in the WORM model this is
+/// already evidence of tampering or data loss, surfaced explicitly.
+struct ReadFailure {
+  std::string reason;
+};
+
+using ReadResult = std::variant<ReadOk, ReadDeleted, ReadBelowBase,
+                                ReadNotAllocated, ReadInDeletedWindow,
+                                ReadFailure>;
+
+}  // namespace worm::core

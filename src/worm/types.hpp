@@ -1,0 +1,95 @@
+// Core protocol types of the Strong WORM design (paper §4.2, Table 1):
+// serial numbers, WORM attributes, signature boxes, and the Virtual Record
+// Descriptor (VRD). These are shared between the SCPU firmware (which signs
+// them), the host store (which persists them in the VRDT), and clients
+// (which verify them) — so their serialization is the signed wire format.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "common/serial.hpp"
+#include "common/time.hpp"
+#include "storage/record_store.hpp"
+
+namespace worm::core {
+
+/// System-wide unique, SCPU-issued, monotonically *consecutive* serial
+/// number. Consecutiveness is load-bearing: it is what lets windows be
+/// authenticated by signing only their boundaries (§4.2.1).
+using Sn = std::uint64_t;
+
+/// SN 0 is reserved ("never allocated"); the first issued SN is 1.
+inline constexpr Sn kInvalidSn = 0;
+
+/// WORM-related attributes of a VRD (Table 1 "attr").
+struct Attr {
+  common::SimTime creation_time{};
+  common::Duration retention{};          // mandated retention period
+  std::uint32_t regulation_policy = 0;   // applicable regulation id
+  storage::ShredPolicy shredding = storage::ShredPolicy::kZeroFill;
+  bool litigation_hold = false;
+  common::SimTime lit_hold_expiry{};     // hold auto-times-out here
+  common::Bytes lit_credential;          // S_reg(SN, time) that set the hold
+  std::uint8_t f_flag = 0;               // free-form flag byte (Table 1)
+  std::uint16_t mac_label = 0;           // mandatory access control label
+  std::uint16_t dac_mode = 0;            // discretionary access bits
+
+  /// Expiry instant implied by creation + retention (ignoring holds).
+  [[nodiscard]] common::SimTime expiry() const {
+    return creation_time + retention;
+  }
+
+  /// True when the record may be deleted at time `now`: retention has
+  /// elapsed and no litigation hold is in force.
+  [[nodiscard]] bool deletable_at(common::SimTime now) const;
+
+  void serialize(common::ByteWriter& w) const;
+  static Attr deserialize(common::ByteReader& r);
+  [[nodiscard]] common::Bytes to_bytes() const;
+
+  bool operator==(const Attr&) const = default;
+};
+
+/// Which construct witnessed a signature box (§4.3).
+enum class SigKind : std::uint8_t {
+  kStrong = 0,     // permanent key s — clients verify immediately
+  kShortTerm = 1,  // short-lived key (burst mode) — must be strengthened
+                   // within its security lifetime
+  kHmac = 2,       // SCPU-keyed MAC — clients cannot verify until upgraded
+};
+
+const char* to_string(SigKind k);
+
+/// A witnessing value plus enough metadata to verify/upgrade it.
+struct SigBox {
+  SigKind kind = SigKind::kStrong;
+  std::uint32_t key_id = 0;  // short-term key epoch (kShortTerm only)
+  common::Bytes value;       // RSA signature or HMAC tag
+
+  void serialize(common::ByteWriter& w) const;
+  static SigBox deserialize(common::ByteReader& r);
+
+  bool operator==(const SigBox&) const = default;
+};
+
+/// Virtual Record Descriptor (Table 1). Groups the data records of one
+/// virtual record under a single serial number with SCPU-witnessed
+/// attributes and content hash.
+struct Vrd {
+  Sn sn = kInvalidSn;
+  Attr attr;
+  std::vector<storage::RecordDescriptor> rdl;  // Record Descriptor List
+  common::Bytes data_hash;  // chained hash over the records' payloads
+  SigBox metasig;           // witnesses (SN, attr)
+  SigBox datasig;           // witnesses (SN, data_hash)
+
+  void serialize(common::ByteWriter& w) const;
+  static Vrd deserialize(common::ByteReader& r);
+  [[nodiscard]] common::Bytes to_bytes() const;
+
+  bool operator==(const Vrd&) const = default;
+};
+
+}  // namespace worm::core

@@ -1,0 +1,131 @@
+// The Virtual Record Descriptor Table (§4.2.1): maintained on untrusted
+// storage by the main CPU, indexed by serial number. Each live slot holds
+// either the VRD of an active record or the SCPU deletion proof S_d(SN) of
+// an expired one. Contiguous runs of >= 3 deletion proofs may be compacted
+// into signed deleted-window markers, and everything below the signed
+// SN_base is trimmed entirely — the storage-reduction mechanisms of §4.2.1.
+//
+// NOTHING in this class is trusted: the adversary module edits it at will;
+// WORM guarantees come from the signatures inside the entries, never from
+// this container's bookkeeping.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "worm/proofs.hpp"
+#include "worm/types.hpp"
+
+namespace worm::core {
+
+class Vrdt {
+ public:
+  struct Entry {
+    enum class Kind : std::uint8_t { kActive = 0, kDeleted = 1 };
+    Kind kind = Kind::kActive;
+    Vrd vrd;              // kActive
+    DeletionProof proof;  // kDeleted
+
+    void serialize(common::ByteWriter& w) const;
+    static Entry deserialize(common::ByteReader& r);
+  };
+
+  Vrdt() = default;
+
+  /// Inserts/overwrites the entry for vrd.sn as active.
+  void put_active(Vrd vrd);
+
+  /// Replaces an entry with its deletion proof (record expired).
+  void put_deleted(DeletionProof proof);
+
+  /// Entry lookup; nullptr when the SN has no per-SN entry (it may still be
+  /// covered by a deleted window or lie below the trimmed base).
+  [[nodiscard]] const Entry* find(Sn sn) const;
+
+  /// Records a compacted deleted window and expels the per-SN entries it
+  /// covers. Requires every covered entry to be a deletion proof (it is the
+  /// SCPU that enforced this when signing the window; the check here guards
+  /// against honest-host bugs).
+  void apply_window(const DeletedWindow& window);
+
+  /// Deleted-window marker covering sn, if any.
+  [[nodiscard]] const DeletedWindow* find_window(Sn sn) const;
+
+  /// Drops all entries and windows entirely below `sn_base` (their deletion
+  /// proofs are superseded by the signed base bound).
+  void trim_below(Sn sn_base);
+
+  [[nodiscard]] std::size_t entry_count() const { return entries_.size(); }
+  [[nodiscard]] std::size_t window_count() const { return windows_.size(); }
+  [[nodiscard]] std::size_t active_count() const;
+
+  /// All SNs whose entry is an active VRD, ascending (idle-time scans).
+  [[nodiscard]] std::vector<Sn> active_sns() const;
+
+  /// All per-SN entries, ascending by SN.
+  [[nodiscard]] const std::map<Sn, Entry>& entries() const { return entries_; }
+  [[nodiscard]] const std::vector<DeletedWindow>& windows() const {
+    return windows_;
+  }
+
+  /// Longest run of contiguous deletion-proof entries with length >= min_len,
+  /// if any — compaction candidate search.
+  [[nodiscard]] std::optional<std::pair<Sn, Sn>> find_compaction_run(
+      std::size_t min_len) const;
+
+  /// A maximal contiguous span of proven-deleted SNs (deletion-proof entries
+  /// and/or already-certified windows), for merge-compaction.
+  struct DeadSpan {
+    Sn lo = kInvalidSn;
+    Sn hi = kInvalidSn;
+    std::size_t proof_entries = 0;  // per-SN deletion proofs inside
+    std::size_t windows = 0;        // certified windows inside
+
+    [[nodiscard]] std::size_t length() const {
+      return static_cast<std::size_t>(hi - lo + 1);
+    }
+    /// Worth re-certifying: long enough, and strictly reduces VRDT items.
+    [[nodiscard]] bool reducible(std::size_t min_len) const {
+      if (length() < min_len) return false;
+      return proof_entries > 0 ? true : windows > 1;
+    }
+  };
+
+  /// Best (longest reducible) dead span, if any.
+  [[nodiscard]] std::optional<DeadSpan> find_dead_span(
+      std::size_t min_len) const;
+
+  /// Serialized size in bytes — the VRDT storage-footprint metric used by
+  /// bench_window_compaction.
+  [[nodiscard]] std::size_t storage_bytes() const;
+
+  common::Bytes serialize() const;
+  static Vrdt deserialize(common::ByteView data);
+
+  /// Persistence to a flat file (the "on disk" of §4.2.1).
+  void save(const std::string& path) const;
+  static Vrdt load(const std::string& path);
+
+  // --- adversary surface (the insider has full disk access) ---------------
+
+  /// Mutable access to an entry; nullptr if absent.
+  Entry* mutable_entry(Sn sn);
+
+  /// Removes an entry without any proof — the "hide a record" attack.
+  bool force_erase(Sn sn);
+
+  /// Inserts an arbitrary forged entry.
+  void force_put(Sn sn, Entry entry);
+
+  /// Injects an arbitrary (possibly spliced) deleted-window marker.
+  void force_add_window(DeletedWindow window);
+
+ private:
+  std::map<Sn, Entry> entries_;
+  std::vector<DeletedWindow> windows_;  // kept sorted by lo
+};
+
+}  // namespace worm::core

@@ -1,0 +1,121 @@
+// File-system primitives layered on the record-level WORM store — the
+// paper's stated future work ("In future research it is important to explore
+// traditional file system primitives layered on top of block-level WORM",
+// §6), built here as an extension.
+//
+// Design. Files are write-once, so "updating" a path creates a new immutable
+// *version*; every version is one virtual record whose first payload is a
+// self-describing header (magic, path, version number, previous version's
+// SN) and whose second payload is the file content. Consequences:
+//
+//  * the directory index kept by the (untrusted) host is pure cache: the
+//    whole namespace can be rebuilt from the records themselves, so a host
+//    crash — or a hostile host — cannot silently lose the mapping;
+//  * version histories are hash-chained through SCPU-witnessed records:
+//    hiding an intermediate version of a file breaks the prev-SN chain and
+//    is detected by the namespace audit;
+//  * deletion remains exclusively retention-driven, per record (version).
+//
+// Caveat: prev-SN pointers name serial numbers of the store a version was
+// written into. After a compliant migration the destination issues new SNs,
+// so a post-migration chain audit must translate historical pointers through
+// the migration manifest (MigrationReport.entries); rebuild_index(), reads
+// and listings work unchanged since they key on (path, version).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "worm/client_verifier.hpp"
+#include "worm/worm_store.hpp"
+
+namespace worm::core {
+
+/// Header prepended (as payload 0) to every file-version record.
+struct FsHeader {
+  static constexpr std::uint32_t kMagic = 0x57464653;  // "WFFS"
+
+  std::string path;          // absolute, '/'-separated
+  std::uint32_t version = 0; // 1-based per path
+  Sn prev_sn = kInvalidSn;   // previous version of this path (0 for v1)
+
+  [[nodiscard]] common::Bytes to_bytes() const;
+  /// Returns nullopt if the payload is not a WormFs header.
+  static std::optional<FsHeader> parse(common::ByteView payload);
+};
+
+struct FsVersionInfo {
+  std::uint32_t version = 0;
+  Sn sn = kInvalidSn;
+  common::SimTime created{};
+  common::SimTime expiry{};
+};
+
+struct FsReadOk {
+  FsHeader header;
+  common::Bytes content;
+  Vrd vrd;
+};
+
+/// Outcome of a namespace audit.
+struct FsAuditReport {
+  std::size_t files = 0;
+  std::size_t versions = 0;
+  /// Paths whose version chain is broken (a predecessor SN is neither
+  /// readable nor covered by a deletion proof) — evidence of hiding.
+  std::vector<std::string> broken_chains;
+  /// Records that failed client verification outright.
+  std::vector<Sn> tampered;
+
+  [[nodiscard]] bool clean() const {
+    return broken_chains.empty() && tampered.empty();
+  }
+};
+
+class WormFs {
+ public:
+  explicit WormFs(WormStore& store) : store_(store) {}
+
+  /// Writes a new version of `path` (version 1 if the path is new).
+  /// Returns the version's serial number.
+  Sn write_file(const std::string& path, common::ByteView content,
+                Attr attr, std::optional<WitnessMode> mode = std::nullopt);
+
+  /// Reads a specific version (0 = latest). Returns the applicable
+  /// ReadResult from the store when the version is gone/expired.
+  std::variant<FsReadOk, ReadResult> read_file(const std::string& path,
+                                               std::uint32_t version = 0);
+
+  [[nodiscard]] bool exists(const std::string& path) const;
+
+  /// All versions of a path, ascending.
+  [[nodiscard]] std::vector<FsVersionInfo> versions(
+      const std::string& path) const;
+
+  /// Paths under `dir_prefix` ("/a/" lists "/a/x" and "/a/b/y"), sorted.
+  [[nodiscard]] std::vector<std::string> list(
+      const std::string& dir_prefix) const;
+
+  /// Discards the in-memory index and rebuilds it from the store's active
+  /// records (crash recovery / mounting an existing store).
+  void rebuild_index();
+
+  /// Full namespace audit: verifies every active version as a client and
+  /// walks each file's version chain back through deletion proofs.
+  FsAuditReport audit(const ClientVerifier& verifier);
+
+  [[nodiscard]] std::size_t file_count() const { return index_.size(); }
+
+ private:
+  struct PathState {
+    std::vector<FsVersionInfo> chain;  // ascending versions
+  };
+
+  WormStore& store_;
+  std::map<std::string, PathState> index_;
+};
+
+}  // namespace worm::core

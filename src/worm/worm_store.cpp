@@ -1,0 +1,365 @@
+#include "worm/worm_store.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "common/error.hpp"
+#include "common/log.hpp"
+#include "crypto/chained_hash.hpp"
+#include "crypto/sha256.hpp"
+
+namespace worm::core {
+
+using common::Bytes;
+using common::ByteView;
+using common::SimTime;
+
+WormStore::WormStore(common::SimClock& clock, Firmware& firmware,
+                     storage::RecordStore& records, StoreConfig config)
+    : clock_(clock),
+      firmware_(firmware),
+      records_(records),
+      config_(std::move(config)) {
+  firmware_.set_host_agent(this);
+  heartbeat_ = firmware_.heartbeat();
+}
+
+WormStore::~WormStore() { firmware_.set_host_agent(nullptr); }
+
+storage::RecordDescriptor WormStore::store_payload(const Bytes& payload) {
+  if (!config_.dedup) return records_.write(payload);
+  // Content-addressed sharing: identical payloads reuse one physical record.
+  Bytes digest = crypto::Sha256::hash_bytes(payload);
+  charge_host(config_.host_model.hash_cost(payload.size()));
+  if (auto it = content_index_.find(digest); it != content_index_.end()) {
+    ++rd_refs_[it->second.record_id];
+    ++stats_.dedup_hits;
+    return it->second;
+  }
+  storage::RecordDescriptor rd = records_.write(payload);
+  content_index_.emplace(std::move(digest), rd);
+  rd_refs_[rd.record_id] = 1;
+  return rd;
+}
+
+void WormStore::release_rd(const storage::RecordDescriptor& rd,
+                           storage::ShredPolicy policy) {
+  static thread_local crypto::Drbg shred_rng(0xdead5eed);
+  if (!config_.dedup) {
+    records_.shred(rd, policy, shred_rng);
+    return;
+  }
+  auto it = rd_refs_.find(rd.record_id);
+  WORM_CHECK(it != rd_refs_.end() && it->second > 0,
+             "WormStore: releasing an untracked shared record");
+  if (--it->second > 0) {
+    ++stats_.deferred_shreds;  // other virtual records still reference it
+    return;
+  }
+  rd_refs_.erase(it);
+  std::erase_if(content_index_, [&](const auto& kv) {
+    return kv.second.record_id == rd.record_id;
+  });
+  records_.shred(rd, policy, shred_rng);
+}
+
+Sn WormStore::write(const std::vector<Bytes>& payloads, Attr attr,
+                    std::optional<WitnessMode> mode) {
+  WORM_REQUIRE(!payloads.empty(), "WormStore::write: no payloads");
+  WitnessMode m = mode.value_or(config_.default_mode);
+
+  // 1. Main CPU writes the actual data to disk (§4.2.2 "Write").
+  std::vector<storage::RecordDescriptor> rdl;
+  rdl.reserve(payloads.size());
+  std::size_t total = 0;
+  for (const auto& p : payloads) {
+    rdl.push_back(store_payload(p));
+    total += p.size();
+  }
+
+  // 2. Optionally hash on the host (trusted-hash burst model): the SCPU will
+  //    audit this hash during idle time.
+  Bytes claimed_hash;
+  if (config_.hash_mode == HashMode::kHostHash) {
+    charge_host(config_.host_model.hash_cost(total));
+    crypto::ChainedHash chain;
+    for (const auto& p : payloads) chain.add(p);
+    claimed_hash = chain.digest_bytes();
+  }
+
+  // 3. SCPU witnesses the update: allocates the SN and signs. In host-hash
+  //    mode only the 32-byte hash crosses the device boundary, not the data.
+  static const std::vector<Bytes> kNoPayloads;
+  const std::vector<Bytes>& to_scpu =
+      config_.hash_mode == HashMode::kScpuHash ? payloads : kNoPayloads;
+  WriteWitness w =
+      firmware_.write(attr, rdl, to_scpu, claimed_hash, m, config_.hash_mode);
+
+  // 4. Main CPU assembles the VRD and persists it in the VRDT.
+  Vrd vrd;
+  vrd.sn = w.sn;
+  vrd.attr = w.attr;
+  vrd.rdl = std::move(rdl);
+  vrd.data_hash = w.data_hash;
+  vrd.metasig = std::move(w.metasig);
+  vrd.datasig = std::move(w.datasig);
+  vrdt_.put_active(std::move(vrd));
+
+  ++stats_.writes;
+  return w.sn;
+}
+
+std::vector<Bytes> WormStore::read_payloads(const Vrd& vrd) {
+  std::vector<Bytes> payloads;
+  payloads.reserve(vrd.rdl.size());
+  for (const auto& rd : vrd.rdl) payloads.push_back(records_.read(rd));
+  return payloads;
+}
+
+SignedSnBase& WormStore::fresh_base() {
+  if (!base_.has_value() || clock_.now() >= base_->expires_at) {
+    base_ = firmware_.sign_base();  // rare SCPU access; cached until expiry
+  }
+  return *base_;
+}
+
+ReadResult WormStore::read(Sn sn) {
+  ++stats_.reads;
+  if (const Vrdt::Entry* e = vrdt_.find(sn); e != nullptr) {
+    if (e->kind == Vrdt::Entry::Kind::kActive) {
+      ReadOk ok;
+      ok.vrd = e->vrd;
+      ok.payloads = read_payloads(e->vrd);
+      return ok;
+    }
+    return ReadDeleted{e->proof};
+  }
+  if (const DeletedWindow* w = vrdt_.find_window(sn); w != nullptr) {
+    return ReadInDeletedWindow{*w};
+  }
+  if (sn < firmware_.sn_base()) {
+    // Refreshing an expired cached base is the one read-path step that may
+    // touch the SCPU; if the device is gone (tamper response), the read
+    // still answers — with an honest "no proof available".
+    try {
+      return ReadBelowBase{fresh_base()};
+    } catch (const common::ScpuError& e) {
+      if (base_.has_value()) return ReadBelowBase{*base_};  // maybe stale
+      return ReadFailure{std::string("cannot obtain base proof: ") + e.what()};
+    }
+  }
+  if (sn > heartbeat_.sn_current) {
+    return ReadNotAllocated{heartbeat_};
+  }
+  // An allocated, in-window SN with no entry and no proof: the store has
+  // lost (or hidden) a record — there is nothing honest to answer.
+  return ReadFailure{"no entry and no deletion proof for SN " +
+                     std::to_string(sn)};
+}
+
+void WormStore::lit_hold(Sn sn, SimTime hold_until, std::uint64_t lit_id,
+                         SimTime cred_issued_at, ByteView credential) {
+  Vrdt::Entry* e = vrdt_.mutable_entry(sn);
+  WORM_REQUIRE(e != nullptr && e->kind == Vrdt::Entry::Kind::kActive,
+               "lit_hold: record not active");
+  Firmware::LitUpdate up =
+      firmware_.lit_hold(e->vrd, hold_until, lit_id, cred_issued_at,
+                         credential);
+  e->vrd.attr = std::move(up.attr);
+  e->vrd.metasig = std::move(up.metasig);
+}
+
+void WormStore::lit_release(Sn sn, std::uint64_t lit_id,
+                            SimTime cred_issued_at, ByteView credential) {
+  Vrdt::Entry* e = vrdt_.mutable_entry(sn);
+  WORM_REQUIRE(e != nullptr && e->kind == Vrdt::Entry::Kind::kActive,
+               "lit_release: record not active");
+  Firmware::LitUpdate up =
+      firmware_.lit_release(e->vrd, lit_id, cred_issued_at, credential);
+  e->vrd.attr = std::move(up.attr);
+  e->vrd.metasig = std::move(up.metasig);
+}
+
+void WormStore::on_expire(Sn sn, DeletionProof proof) {
+  Vrdt::Entry* e = vrdt_.mutable_entry(sn);
+  if (e == nullptr || e->kind != Vrdt::Entry::Kind::kActive) {
+    // Already gone (e.g. duplicate expiration after a lit-release); the
+    // proof is still the authoritative record of deletion.
+    vrdt_.put_deleted(std::move(proof));
+    return;
+  }
+  // Shred the data per the record's own policy, then replace the VRDT entry
+  // with the proof of rightful deletion (§4.2.2 "delete"). With dedup on,
+  // shared records are only destroyed when their last reference expires.
+  for (const auto& rd : e->vrd.rdl) {
+    release_rd(rd, e->vrd.attr.shredding);
+  }
+  vrdt_.put_deleted(std::move(proof));
+  ++stats_.expirations;
+}
+
+void WormStore::on_heartbeat(SignedSnCurrent current) {
+  heartbeat_ = std::move(current);
+}
+
+void WormStore::adopt_vrdt(Vrdt vrdt) {
+  WORM_REQUIRE(stats_.writes == 0 && vrdt_.entry_count() == 0,
+               "adopt_vrdt: store already in service");
+  vrdt_ = std::move(vrdt);
+  if (!config_.dedup) return;
+  // Rebuild the content index: payloads hashed once per referenced record.
+  content_index_.clear();
+  rd_refs_.clear();
+  for (Sn sn : vrdt_.active_sns()) {
+    const Vrdt::Entry* e = vrdt_.find(sn);
+    for (const auto& rd : e->vrd.rdl) {
+      auto [it, fresh] = rd_refs_.try_emplace(rd.record_id, 0);
+      ++it->second;
+      if (fresh) {
+        Bytes payload = records_.read(rd);
+        charge_host(config_.host_model.hash_cost(payload.size()));
+        content_index_[crypto::Sha256::hash_bytes(payload)] = rd;
+      }
+    }
+  }
+}
+
+TrustAnchors WormStore::anchors() const {
+  TrustAnchors a;
+  a.meta_key = firmware_.meta_public_key();
+  a.deletion_key = firmware_.deletion_public_key();
+  a.short_certs = firmware_.short_key_certs();
+  a.sn_current_max_age = firmware_.config().sn_current_max_age;
+  a.short_sig_acceptance = firmware_.config().short_sig_lifetime;
+  return a;
+}
+
+// ---------------------------------------------------------------------------
+// Idle-period duties
+// ---------------------------------------------------------------------------
+
+bool WormStore::do_strengthen_batch() {
+  std::vector<Sn> pending = firmware_.deferred_pending(config_.idle_batch);
+  if (pending.empty()) return false;
+
+  std::vector<Vrd> vrds;
+  std::vector<std::vector<Bytes>> payloads;
+  std::vector<Sn> audits = firmware_.hash_audits_pending(SIZE_MAX);
+  std::set<Sn> audit_set(audits.begin(), audits.end());
+
+  for (Sn sn : pending) {
+    const Vrdt::Entry* e = vrdt_.find(sn);
+    if (e == nullptr || e->kind != Vrdt::Entry::Kind::kActive) continue;
+    vrds.push_back(e->vrd);
+    if (audit_set.count(sn) > 0) {
+      payloads.push_back(read_payloads(e->vrd));
+    } else {
+      payloads.emplace_back();
+    }
+  }
+  if (vrds.empty()) return false;
+
+  std::vector<StrengthenResult> results = firmware_.strengthen(vrds, payloads);
+  for (StrengthenResult& r : results) {
+    Vrdt::Entry* e = vrdt_.mutable_entry(r.sn);
+    if (e == nullptr || e->kind != Vrdt::Entry::Kind::kActive) continue;
+    e->vrd.metasig = std::move(r.metasig);
+    e->vrd.datasig = std::move(r.datasig);
+  }
+  return true;
+}
+
+bool WormStore::do_hash_audits() {
+  std::vector<Sn> audits = firmware_.hash_audits_pending(config_.idle_batch);
+  bool any = false;
+  for (Sn sn : audits) {
+    const Vrdt::Entry* e = vrdt_.find(sn);
+    if (e == nullptr || e->kind != Vrdt::Entry::Kind::kActive) continue;
+    firmware_.audit_hash(sn, read_payloads(e->vrd));
+    any = true;
+  }
+  return any;
+}
+
+bool WormStore::do_compaction() {
+  auto span = vrdt_.find_dead_span(config_.compaction_min_run);
+  if (!span.has_value()) return false;
+  std::vector<DeletionProof> proofs;
+  std::vector<DeletedWindow> windows;
+  for (Sn sn = span->lo; sn <= span->hi; ++sn) {
+    if (const Vrdt::Entry* e = vrdt_.find(sn); e != nullptr) {
+      WORM_CHECK(e->kind == Vrdt::Entry::Kind::kDeleted,
+                 "compaction span inconsistent");
+      proofs.push_back(e->proof);
+      continue;
+    }
+    const DeletedWindow* w = vrdt_.find_window(sn);
+    WORM_CHECK(w != nullptr, "compaction span has an evidence hole");
+    if (windows.empty() || windows.back().window_id != w->window_id) {
+      windows.push_back(*w);
+    }
+    sn = w->hi;  // skip to the window's end
+  }
+  DeletedWindow merged =
+      firmware_.certify_window(span->lo, span->hi, proofs, windows);
+  vrdt_.apply_window(merged);
+  ++stats_.compactions;
+  return true;
+}
+
+bool WormStore::do_advance_base() {
+  Sn base = firmware_.sn_base();
+  // Walk upward while every SN is proven deleted (entry proof or window).
+  Sn new_base = base;
+  std::vector<DeletionProof> proofs;
+  std::vector<DeletedWindow> windows;
+  while (new_base <= firmware_.sn_current()) {
+    if (const Vrdt::Entry* e = vrdt_.find(new_base);
+        e != nullptr && e->kind == Vrdt::Entry::Kind::kDeleted) {
+      proofs.push_back(e->proof);
+      ++new_base;
+      continue;
+    }
+    if (const DeletedWindow* w = vrdt_.find_window(new_base); w != nullptr) {
+      windows.push_back(*w);
+      new_base = w->hi + 1;
+      continue;
+    }
+    break;
+  }
+  if (new_base == base) return false;
+  base_ = firmware_.advance_base(new_base, proofs, windows);
+  vrdt_.trim_below(new_base);
+  ++stats_.base_advances;
+  return true;
+}
+
+bool WormStore::do_vexp_rebuild() {
+  if (!firmware_.vexp_incomplete()) return false;
+  firmware_.vexp_rebuild_begin();
+  for (Sn sn : vrdt_.active_sns()) {
+    const Vrdt::Entry* e = vrdt_.find(sn);
+    firmware_.vexp_rebuild_add(e->vrd);
+  }
+  firmware_.vexp_rebuild_end();
+  return true;
+}
+
+bool WormStore::deadline_pressure(common::Duration margin) const {
+  common::SimTime earliest = firmware_.earliest_deadline();
+  if (earliest == common::SimTime::max()) return false;
+  return clock_.now() + margin >= earliest;
+}
+
+bool WormStore::pump_idle() {
+  firmware_.process_idle();
+  bool any = false;
+  any |= do_strengthen_batch();
+  any |= do_hash_audits();
+  any |= do_compaction();
+  any |= do_advance_base();
+  any |= do_vexp_rebuild();
+  return any;
+}
+
+}  // namespace worm::core

@@ -1,0 +1,163 @@
+// Host-side (untrusted main CPU) orchestration of the Strong WORM protocol:
+// the component a storage server embeds. It persists data records and the
+// VRDT, calls into the SCPU firmware for every regulated update, serves
+// reads entirely from its own (fast, untrusted) resources, and runs the
+// idle-time duties: strengthening deferred witnesses, auditing host-claimed
+// hashes, compacting deleted windows and advancing the window base.
+//
+// Nothing here is trusted by clients — their assurance comes from verifying
+// the SCPU signatures carried in the results (client_verifier.hpp).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "common/sim_clock.hpp"
+#include "scpu/cost_model.hpp"
+#include "storage/record_store.hpp"
+#include "worm/firmware.hpp"
+#include "worm/proofs.hpp"
+#include "worm/vrdt.hpp"
+
+namespace worm::core {
+
+/// Everything a client must trust to verify WORM assurances: the SCPU's
+/// public keys (via regulator-signed certificates in deployment; modelled
+/// directly here) and the acceptance policies for time-stamped proofs.
+struct TrustAnchors {
+  crypto::RsaPublicKey meta_key;      // verifies metasig/datasig/window/SN sigs
+  crypto::RsaPublicKey deletion_key;  // verifies S_d deletion proofs
+  std::vector<ShortKeyCert> short_certs;
+  common::Duration sn_current_max_age{};  // freshness policy (§4.2.1 (ii))
+  common::Duration short_sig_acceptance{};  // §4.3 security lifetime
+};
+
+struct StoreConfig {
+  WitnessMode default_mode = WitnessMode::kStrong;
+  HashMode hash_mode = HashMode::kScpuHash;
+  /// Host-CPU cost model (hashing in kHostHash mode is charged here).
+  scpu::CostModel host_model = scpu::CostModel::host_p4();
+  /// Minimum contiguous expired run for window compaction (paper: 3).
+  std::size_t compaction_min_run = 3;
+  /// Per-pump_idle strengthening batch size.
+  std::size_t idle_batch = 64;
+  /// Identity of this store in migration manifests.
+  std::uint64_t store_id = 1;
+  /// Content-addressed data-record sharing (§4.2: VRs may overlap, letting
+  /// "repeatedly stored objects (such as popular email attachments)" be
+  /// stored once). Shared records are reference-counted; physical shredding
+  /// happens only when the LAST referencing virtual record expires.
+  bool dedup = false;
+};
+
+class WormStore final : public HostAgent {
+ public:
+  WormStore(common::SimClock& clock, Firmware& firmware,
+            storage::RecordStore& records, StoreConfig config);
+  ~WormStore() override;
+
+  WormStore(const WormStore&) = delete;
+  WormStore& operator=(const WormStore&) = delete;
+
+  // --- WORM operations -----------------------------------------------------
+
+  /// Stores a virtual record made of `payloads` (one data record each) under
+  /// `attr`, witnessed by the SCPU. Returns the issued serial number.
+  Sn write(const std::vector<common::Bytes>& payloads, Attr attr,
+           std::optional<WitnessMode> mode = std::nullopt);
+
+  /// Serves a read using main-CPU resources only (§4.2.2): data + VRD on
+  /// success, or the applicable proof of rightful absence.
+  ReadResult read(Sn sn);
+
+  /// Applies a litigation hold / release with an authority credential.
+  void lit_hold(Sn sn, common::SimTime hold_until, std::uint64_t lit_id,
+                common::SimTime cred_issued_at, common::ByteView credential);
+  void lit_release(Sn sn, std::uint64_t lit_id,
+                   common::SimTime cred_issued_at,
+                   common::ByteView credential);
+
+  /// Idle-period duties (§4.1, §4.3): strengthen deferred witnesses, audit
+  /// host-claimed hashes, compact expired windows, advance the base, rebuild
+  /// the VEXP if it overflowed. Returns true if any work was done.
+  bool pump_idle();
+
+  /// True when the earliest strengthening deadline is within `margin` — the
+  /// §4.3 contract says short-lived witnesses must be strengthened inside
+  /// their security lifetime, so a conforming host must interrupt even a
+  /// burst and pump when this trips. Pinned by tests; the library cannot
+  /// force a malicious host to call it (clients then see kStaleProof).
+  [[nodiscard]] bool deadline_pressure(
+      common::Duration margin = common::Duration::minutes(10)) const;
+
+  // --- HostAgent (SCPU -> host interrupts) ---------------------------------
+
+  void on_expire(Sn sn, DeletionProof proof) override;
+  void on_heartbeat(SignedSnCurrent current) override;
+
+  // --- client-facing state --------------------------------------------------
+
+  /// Trust anchors clients verify against (in deployment these arrive as CA
+  /// certificates; the transfer itself is out of band).
+  [[nodiscard]] TrustAnchors anchors() const;
+
+  /// Latest S_s(SN_current) heartbeat (what a read of a too-high SN returns).
+  [[nodiscard]] const SignedSnCurrent& latest_heartbeat() const {
+    return heartbeat_;
+  }
+
+  [[nodiscard]] const Vrdt& vrdt() const { return vrdt_; }
+  [[nodiscard]] Firmware& firmware() { return firmware_; }
+  [[nodiscard]] storage::RecordStore& records() { return records_; }
+  [[nodiscard]] const StoreConfig& config() const { return config_; }
+
+  /// Adversary/test access: the insider owns this machine.
+  Vrdt& vrdt_mutable() { return vrdt_; }
+
+  /// Host restart: adopts a persisted VRDT (and, with dedup enabled,
+  /// rebuilds the content index and reference counts from the active VRDs).
+  /// Only valid on a store that has not served writes yet.
+  void adopt_vrdt(Vrdt vrdt);
+
+  struct Stats {
+    std::uint64_t writes = 0;
+    std::uint64_t reads = 0;
+    std::uint64_t expirations = 0;
+    std::uint64_t compactions = 0;
+    std::uint64_t base_advances = 0;
+    std::uint64_t dedup_hits = 0;      // payloads served by an existing RD
+    std::uint64_t deferred_shreds = 0; // shreds delayed by live references
+  };
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+
+ private:
+  storage::RecordDescriptor store_payload(const common::Bytes& payload);
+  void release_rd(const storage::RecordDescriptor& rd,
+                  storage::ShredPolicy policy);
+  SignedSnBase& fresh_base();
+  void charge_host(common::Duration d) { clock_.charge(d); }
+  std::vector<common::Bytes> read_payloads(const Vrd& vrd);
+  bool do_strengthen_batch();
+  bool do_hash_audits();
+  bool do_compaction();
+  bool do_advance_base();
+  bool do_vexp_rebuild();
+
+  common::SimClock& clock_;
+  Firmware& firmware_;
+  storage::RecordStore& records_;
+  StoreConfig config_;
+  Vrdt vrdt_;
+  SignedSnCurrent heartbeat_;
+  std::optional<SignedSnBase> base_;
+  Stats stats_;
+
+  // Dedup state (config_.dedup only): content digest -> shared descriptor,
+  // and per-record-id reference counts.
+  std::map<common::Bytes, storage::RecordDescriptor> content_index_;
+  std::map<std::uint64_t, std::uint32_t> rd_refs_;
+};
+
+}  // namespace worm::core

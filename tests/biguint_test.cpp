@@ -1,0 +1,300 @@
+// BigUInt correctness: hand vectors, Python-generated cross-check vectors
+// (biguint_vectors.inc), and property-based sweeps over random operands —
+// this arithmetic underpins every RSA signature in the system.
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "crypto/biguint.hpp"
+#include "crypto/drbg.hpp"
+#include "crypto/prime.hpp"
+
+#include "biguint_vectors.inc"
+
+namespace worm::crypto {
+namespace {
+
+using common::PreconditionError;
+
+TEST(BigUInt, ZeroBasics) {
+  BigUInt z;
+  EXPECT_TRUE(z.is_zero());
+  EXPECT_EQ(z.bit_length(), 0u);
+  EXPECT_EQ(z.to_hex(), "0");
+  EXPECT_EQ(z, BigUInt(0));
+  EXPECT_EQ(z.to_be_bytes(), common::Bytes{0});
+}
+
+TEST(BigUInt, U64RoundTrip) {
+  BigUInt v(0x0123456789abcdefull);
+  EXPECT_EQ(v.low_u64(), 0x0123456789abcdefull);
+  EXPECT_EQ(v.bit_length(), 57u);
+  EXPECT_EQ(v.to_hex(), "123456789abcdef");
+}
+
+TEST(BigUInt, BeBytesRoundTrip) {
+  common::Bytes raw = {0x01, 0x00, 0xff, 0xee};
+  BigUInt v = BigUInt::from_be_bytes(raw);
+  EXPECT_EQ(v.low_u64(), 0x0100ffeeull);
+  EXPECT_EQ(v.to_be_bytes(), raw);
+  // Leading zeros in input are tolerated and normalized away.
+  common::Bytes padded = {0x00, 0x00, 0x01, 0x00, 0xff, 0xee};
+  EXPECT_EQ(BigUInt::from_be_bytes(padded), v);
+  EXPECT_EQ(v.to_be_bytes_padded(6), padded);
+}
+
+TEST(BigUInt, PaddedEncodingRejectsOverflow) {
+  BigUInt v(0x10000);
+  EXPECT_THROW(v.to_be_bytes_padded(2), PreconditionError);
+}
+
+TEST(BigUInt, ComparisonOrdering) {
+  EXPECT_LT(BigUInt(5), BigUInt(7));
+  EXPECT_GT(BigUInt::from_hex("100000000"), BigUInt(0xffffffffull));
+  EXPECT_EQ(BigUInt::from_hex("ff"), BigUInt(255));
+}
+
+TEST(BigUInt, AddSubCarryChains) {
+  BigUInt a = BigUInt::from_hex("ffffffffffffffffffffffff");
+  BigUInt one(1);
+  BigUInt sum = a + one;
+  EXPECT_EQ(sum.to_hex(), "1000000000000000000000000");
+  EXPECT_EQ(sum - one, a);
+  EXPECT_EQ(sum - a, one);
+}
+
+TEST(BigUInt, SubtractUnderflowThrows) {
+  EXPECT_THROW(BigUInt(1) - BigUInt(2), PreconditionError);
+}
+
+TEST(BigUInt, MulBasics) {
+  EXPECT_EQ(BigUInt(0) * BigUInt(12345), BigUInt(0));
+  EXPECT_EQ((BigUInt(0xffffffffull) * BigUInt(0xffffffffull)).to_hex(),
+            "fffffffe00000001");
+}
+
+TEST(BigUInt, ShiftRoundTrip) {
+  BigUInt v = BigUInt::from_hex("deadbeefcafe");
+  EXPECT_EQ((v << 67) >> 67, v);
+  EXPECT_EQ((v << 3).to_hex(), "6f56df77e57f0");
+  EXPECT_EQ(v >> 200, BigUInt(0));
+}
+
+TEST(BigUInt, DivmodSmall) {
+  auto [q, r] = BigUInt::from_hex("deadbeefdeadbeef").divmod_u32(1000);
+  EXPECT_EQ(q, BigUInt(16045690984833335023ull / 1000));
+  EXPECT_EQ(r, 16045690984833335023ull % 1000);
+}
+
+TEST(BigUInt, DivisionByZeroThrows) {
+  EXPECT_THROW(BigUInt(1).divmod(BigUInt(0)), PreconditionError);
+  EXPECT_THROW(BigUInt(1).divmod_u32(0), PreconditionError);
+}
+
+TEST(BigUInt, DivmodSmallerDividend) {
+  auto [q, r] = BigUInt(5).divmod(BigUInt::from_hex("ffffffffffffffff"));
+  EXPECT_TRUE(q.is_zero());
+  EXPECT_EQ(r, BigUInt(5));
+}
+
+// The classic Knuth-D trap: divisor whose top limb forces qhat adjustment.
+TEST(BigUInt, DivmodQhatAdjustmentCases) {
+  // u = 0x7fff800100000000, v = 0x800080020005 — exercises the add-back path
+  BigUInt u = BigUInt::from_hex("7fff8001000000000000000000000000");
+  BigUInt v = BigUInt::from_hex("80008002000500060007");
+  auto [q, r] = u.divmod(v);
+  EXPECT_EQ(q * v + r, u);
+  EXPECT_LT(r, v);
+}
+
+TEST(BigUInt, PythonVectors) {
+  for (const BigVector& vec : kBigVectors) {
+    BigUInt a = BigUInt::from_hex(vec.a);
+    BigUInt b = BigUInt::from_hex(vec.b);
+    BigUInt m = BigUInt::from_hex(vec.m);
+    EXPECT_EQ((a + b).to_hex(), vec.sum);
+    EXPECT_EQ((a * b).to_hex(), vec.prod);
+    auto [q, r] = a.divmod(b);
+    EXPECT_EQ(q.to_hex(), vec.quot);
+    EXPECT_EQ(r.to_hex(), vec.rem);
+    EXPECT_EQ(BigUInt::mod_exp(a, b, m).to_hex(), vec.modexp);
+  }
+}
+
+TEST(BigUInt, DivmodPropertyRandom) {
+  Drbg rng(7);
+  for (int i = 0; i < 200; ++i) {
+    std::size_t abits = 1 + rng.uniform(512);
+    std::size_t bbits = 1 + rng.uniform(256);
+    BigUInt a = rng.big_with_bits(abits);
+    BigUInt b = rng.big_with_bits(bbits);
+    auto [q, r] = a.divmod(b);
+    EXPECT_EQ(q * b + r, a) << "a=" << a.to_hex() << " b=" << b.to_hex();
+    EXPECT_LT(r, b);
+  }
+}
+
+TEST(BigUInt, AddSubPropertyRandom) {
+  Drbg rng(8);
+  for (int i = 0; i < 200; ++i) {
+    BigUInt a = rng.big_with_bits(1 + rng.uniform(300));
+    BigUInt b = rng.big_with_bits(1 + rng.uniform(300));
+    EXPECT_EQ((a + b) - b, a);
+    EXPECT_EQ(a + b, b + a);
+  }
+}
+
+TEST(BigUInt, KaratsubaMatchesSchoolbook) {
+  // Sweep operand sizes straddling the Karatsuba threshold, including
+  // lopsided shapes and limbs full of carries.
+  Drbg rng(0x4a7a);
+  for (std::size_t abits :
+       {64u, 512u, 768u, 1024u, 1536u, 2048u, 4096u, 8191u}) {
+    for (std::size_t bbits : {32u, 768u, 2048u, 4099u}) {
+      BigUInt a = rng.big_with_bits(abits);
+      BigUInt b = rng.big_with_bits(bbits);
+      EXPECT_EQ(BigUInt::mul_karatsuba(a, b),
+                BigUInt::mul_schoolbook(a, b))
+          << abits << "x" << bbits;
+    }
+  }
+  // All-ones operands maximize internal carries.
+  BigUInt ones = (BigUInt(1) << 3072) - BigUInt(1);
+  EXPECT_EQ(BigUInt::mul_karatsuba(ones, ones),
+            BigUInt::mul_schoolbook(ones, ones));
+}
+
+TEST(BigUInt, MulDistributesOverAdd) {
+  Drbg rng(9);
+  for (int i = 0; i < 100; ++i) {
+    BigUInt a = rng.big_with_bits(1 + rng.uniform(200));
+    BigUInt b = rng.big_with_bits(1 + rng.uniform(200));
+    BigUInt c = rng.big_with_bits(1 + rng.uniform(200));
+    EXPECT_EQ(a * (b + c), a * b + a * c);
+  }
+}
+
+TEST(BigUInt, ModExpMatchesNaive) {
+  Drbg rng(10);
+  for (int i = 0; i < 40; ++i) {
+    BigUInt base = rng.big_with_bits(1 + rng.uniform(64));
+    std::uint64_t exp = rng.uniform(200);
+    BigUInt m = rng.big_with_bits(64);
+    if (m.is_even()) m = m + BigUInt(1);
+    BigUInt naive(1);
+    for (std::uint64_t j = 0; j < exp; ++j) naive = (naive * base) % m;
+    EXPECT_EQ(BigUInt::mod_exp(base, BigUInt(exp), m), naive);
+  }
+}
+
+TEST(BigUInt, ModExpEvenModulus) {
+  // Even modulus exercises the non-Montgomery fallback.
+  EXPECT_EQ(BigUInt::mod_exp(BigUInt(3), BigUInt(100), BigUInt(1000)),
+            BigUInt(1));  // 3^100 mod 1000 == 1 (3^100 ends ...001)
+  EXPECT_EQ(BigUInt::mod_exp(BigUInt(7), BigUInt(13), BigUInt(2048)),
+            BigUInt(96889010407ull % 2048));
+}
+
+TEST(BigUInt, ModInverseProperty) {
+  Drbg rng(11);
+  int tested = 0;
+  while (tested < 60) {
+    BigUInt a = rng.big_with_bits(1 + rng.uniform(128));
+    BigUInt m = rng.big_with_bits(2 + rng.uniform(128));
+    if (m < BigUInt(2) || BigUInt::gcd(a, m) != BigUInt(1)) continue;
+    BigUInt inv = BigUInt::mod_inverse(a, m);
+    EXPECT_EQ((a * inv) % m, BigUInt(1) % m);
+    EXPECT_LT(inv, m);
+    ++tested;
+  }
+}
+
+TEST(BigUInt, ModInverseNonCoprimeThrows) {
+  EXPECT_THROW(BigUInt::mod_inverse(BigUInt(6), BigUInt(9)),
+               PreconditionError);
+  EXPECT_THROW(BigUInt::mod_inverse(BigUInt(0), BigUInt(9)),
+               PreconditionError);
+}
+
+TEST(BigUInt, GcdKnownValues) {
+  EXPECT_EQ(BigUInt::gcd(BigUInt(48), BigUInt(36)), BigUInt(12));
+  EXPECT_EQ(BigUInt::gcd(BigUInt(17), BigUInt(31)), BigUInt(1));
+  EXPECT_EQ(BigUInt::gcd(BigUInt(0), BigUInt(5)), BigUInt(5));
+}
+
+TEST(Montgomery, MulMatchesPlainModMul) {
+  Drbg rng(12);
+  for (int i = 0; i < 60; ++i) {
+    BigUInt m = rng.big_with_bits(128);
+    if (m.is_even()) m = m + BigUInt(1);
+    MontgomeryCtx ctx(m);
+    BigUInt a = rng.big_below(m);
+    BigUInt b = rng.big_below(m);
+    BigUInt got = ctx.from_mont(ctx.mul(ctx.to_mont(a), ctx.to_mont(b)));
+    EXPECT_EQ(got, (a * b) % m);
+  }
+}
+
+TEST(Montgomery, RequiresOddModulus) {
+  EXPECT_THROW(MontgomeryCtx(BigUInt(10)), PreconditionError);
+  EXPECT_THROW(MontgomeryCtx(BigUInt(1)), PreconditionError);
+}
+
+TEST(Prime, KnownPrimesAndComposites) {
+  Drbg rng(13);
+  for (std::uint32_t p : {2u, 3u, 5u, 65537u, 104729u}) {
+    EXPECT_TRUE(is_probable_prime(BigUInt(p), rng)) << p;
+  }
+  for (std::uint32_t c : {1u, 4u, 561u /*Carmichael*/, 65536u, 104730u}) {
+    EXPECT_FALSE(is_probable_prime(BigUInt(c), rng)) << c;
+  }
+  // Mersenne prime 2^127 - 1 and composite 2^128 + 1.
+  EXPECT_TRUE(is_probable_prime((BigUInt(1) << 127) - BigUInt(1), rng));
+  EXPECT_FALSE(is_probable_prime((BigUInt(1) << 128) + BigUInt(1), rng));
+}
+
+TEST(Prime, GeneratedPrimeShape) {
+  Drbg rng(14);
+  BigUInt p = generate_prime(rng, 128);
+  EXPECT_EQ(p.bit_length(), 128u);
+  EXPECT_TRUE(p.bit(126));  // top two bits forced for full-length RSA moduli
+  EXPECT_TRUE(p.is_odd());
+  EXPECT_TRUE(is_probable_prime(p, rng));
+}
+
+TEST(Drbg, DeterministicAndDistinctStreams) {
+  Drbg a(99), b(99), c(100);
+  EXPECT_EQ(a.bytes(32), b.bytes(32));
+  EXPECT_NE(Drbg(99).bytes(32), c.bytes(32));
+}
+
+TEST(Drbg, ReseedChangesStream) {
+  Drbg a(1), b(1);
+  b.reseed(common::to_bytes("extra entropy"));
+  EXPECT_NE(a.bytes(16), b.bytes(16));
+}
+
+TEST(Drbg, UniformBounds) {
+  Drbg rng(15);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.uniform(17), 17u);
+  }
+  EXPECT_EQ(rng.uniform(1), 0u);
+}
+
+TEST(Drbg, BigBelowRespectsBound) {
+  Drbg rng(16);
+  BigUInt bound = BigUInt::from_hex("10000000000000001");
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_LT(rng.big_below(bound), bound);
+  }
+}
+
+TEST(Drbg, BigWithBitsExact) {
+  Drbg rng(17);
+  for (std::size_t bits : {1u, 7u, 8u, 9u, 31u, 32u, 33u, 255u, 256u}) {
+    EXPECT_EQ(rng.big_with_bits(bits).bit_length(), bits);
+  }
+}
+
+}  // namespace
+}  // namespace worm::crypto

@@ -1,0 +1,150 @@
+// DES/3DES tests: two independent classic known-answer vectors, plus the
+// algebraic properties unique to real DES — the complementation property
+// E_{~k}(~p) == ~E_k(p) (exercises the whole linear skeleton) and weak-key
+// involution E_k(E_k(p)) == p (exercises the key schedule) — plus 3DES
+// degeneration to single DES and CBC round trips.
+#include <gtest/gtest.h>
+
+#include "common/bytes.hpp"
+#include "common/error.hpp"
+#include "crypto/des.hpp"
+#include "crypto/drbg.hpp"
+
+namespace worm::crypto {
+namespace {
+
+using common::Bytes;
+using common::hex_decode;
+using common::hex_encode;
+
+Des::Block block_from_hex(const std::string& hex) {
+  Bytes b = hex_decode(hex);
+  Des::Block out{};
+  std::copy(b.begin(), b.end(), out.begin());
+  return out;
+}
+
+std::string block_hex(const Des::Block& b) {
+  return hex_encode(common::ByteView(b.data(), b.size()));
+}
+
+TEST(Des, ClassicKnownAnswerStallings) {
+  // The worked example in Stallings' "Cryptography and Network Security".
+  Des des(hex_decode("133457799bbcdff1"));
+  EXPECT_EQ(block_hex(des.encrypt(block_from_hex("0123456789abcdef"))),
+            "85e813540f0ab405");
+}
+
+TEST(Des, ClassicKnownAnswerVaseline) {
+  // The famous 'Your lips are smoother than vaseline' DES teaching vector:
+  // this key encrypts 8787878787878787 to all zeros.
+  Des des(hex_decode("0e329232ea6d0d73"));
+  EXPECT_EQ(block_hex(des.encrypt(block_from_hex("8787878787878787"))),
+            "0000000000000000");
+  EXPECT_EQ(block_hex(des.decrypt(block_from_hex("0000000000000000"))),
+            "8787878787878787");
+}
+
+TEST(Des, DecryptInvertsEncrypt) {
+  Drbg rng(0xde5);
+  for (int i = 0; i < 50; ++i) {
+    Des des(rng.bytes(8));
+    Des::Block pt;
+    rng.fill(pt.data(), pt.size());
+    EXPECT_EQ(des.decrypt(des.encrypt(pt)), pt);
+  }
+}
+
+TEST(Des, ComplementationProperty) {
+  // E_{~k}(~p) == ~E_k(p) holds for genuine DES; almost any table slip in
+  // IP/FP/E/P or the key schedule breaks it.
+  Drbg rng(0xde6);
+  for (int i = 0; i < 20; ++i) {
+    Bytes key = rng.bytes(8);
+    Des::Block pt;
+    rng.fill(pt.data(), pt.size());
+
+    Bytes nkey = key;
+    for (auto& b : nkey) b = static_cast<std::uint8_t>(~b);
+    Des::Block npt;
+    for (std::size_t j = 0; j < 8; ++j) {
+      npt[j] = static_cast<std::uint8_t>(~pt[j]);
+    }
+
+    Des::Block ct = Des(key).encrypt(pt);
+    Des::Block nct = Des(nkey).encrypt(npt);
+    for (std::size_t j = 0; j < 8; ++j) {
+      EXPECT_EQ(nct[j], static_cast<std::uint8_t>(~ct[j]));
+    }
+  }
+}
+
+TEST(Des, WeakKeyInvolution) {
+  // For the four DES weak keys, encryption is an involution: all 16
+  // subkeys coincide, so E_k(E_k(p)) == p. Validates PC1/PC2/rotations.
+  for (const char* weak :
+       {"0101010101010101", "fefefefefefefefe",
+        "1f1f1f1f0e0e0e0e", "e0e0e0e0f1f1f1f1"}) {
+    Des des(hex_decode(weak));
+    Drbg rng(0xde7);
+    Des::Block pt;
+    rng.fill(pt.data(), pt.size());
+    EXPECT_EQ(des.encrypt(des.encrypt(pt)), pt) << weak;
+  }
+}
+
+TEST(Des, RejectsBadKeySize) {
+  EXPECT_THROW(Des(Bytes(7, 0)), common::PreconditionError);
+  EXPECT_THROW(Des(Bytes(9, 0)), common::PreconditionError);
+}
+
+TEST(TripleDes, DegeneratesToSingleDesWithRepeatedKey) {
+  Drbg rng(0x3de);
+  Bytes k = rng.bytes(8);
+  Bytes k3;
+  for (int i = 0; i < 3; ++i) common::append(k3, k);
+  Des single(k);
+  TripleDes triple(k3);
+  Des::Block pt;
+  rng.fill(pt.data(), pt.size());
+  EXPECT_EQ(triple.encrypt(pt), single.encrypt(pt));
+  EXPECT_EQ(triple.decrypt(single.encrypt(pt)), pt);
+}
+
+TEST(TripleDes, RoundTripWithIndependentKeys) {
+  Drbg rng(0x3df);
+  TripleDes tdes(rng.bytes(24));
+  for (int i = 0; i < 20; ++i) {
+    Des::Block pt;
+    rng.fill(pt.data(), pt.size());
+    EXPECT_EQ(tdes.decrypt(tdes.encrypt(pt)), pt);
+  }
+}
+
+TEST(TripleDes, CbcRoundTripAndChaining) {
+  Drbg rng(0x3e0);
+  TripleDes tdes(rng.bytes(24));
+  Bytes iv = rng.bytes(8);
+  Bytes pt = rng.bytes(64);
+  Bytes ct = tdes.encrypt_cbc(iv, pt);
+  EXPECT_EQ(tdes.decrypt_cbc(iv, ct), pt);
+
+  // Identical plaintext blocks must yield distinct ciphertext blocks.
+  Bytes repeated(32, 0x41);
+  Bytes ct2 = tdes.encrypt_cbc(iv, repeated);
+  EXPECT_NE(Bytes(ct2.begin(), ct2.begin() + 8),
+            Bytes(ct2.begin() + 8, ct2.begin() + 16));
+}
+
+TEST(TripleDes, CbcValidation) {
+  Drbg rng(0x3e1);
+  TripleDes tdes(rng.bytes(24));
+  EXPECT_THROW(tdes.encrypt_cbc(Bytes(7, 0), Bytes(8, 0)),
+               common::PreconditionError);
+  EXPECT_THROW(tdes.encrypt_cbc(Bytes(8, 0), Bytes(9, 0)),
+               common::PreconditionError);
+  EXPECT_THROW(TripleDes(Bytes(23, 0)), common::PreconditionError);
+}
+
+}  // namespace
+}  // namespace worm::crypto

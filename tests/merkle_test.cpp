@@ -1,0 +1,132 @@
+// Merkle tree tests: proofs verify, tampering is caught, update semantics,
+// and the O(log n) hash-op growth that motivates the paper's O(1) windowed
+// alternative.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/error.hpp"
+#include "crypto/merkle.hpp"
+
+namespace worm::crypto {
+namespace {
+
+using common::to_bytes;
+
+common::Bytes leaf(std::size_t i) {
+  return to_bytes("leaf-" + std::to_string(i));
+}
+
+TEST(Merkle, EmptyTreeHasStableRoot) {
+  MerkleTree a, b;
+  EXPECT_EQ(a.root(), b.root());
+  EXPECT_EQ(a.size(), 0u);
+}
+
+TEST(Merkle, SingleLeafRootIsLeafHash) {
+  MerkleTree t;
+  t.append(leaf(0));
+  EXPECT_EQ(t.size(), 1u);
+  EXPECT_TRUE(MerkleTree::verify(t.root(), 0, leaf(0), t.prove(0)));
+}
+
+TEST(Merkle, AppendChangesRoot) {
+  MerkleTree t;
+  t.append(leaf(0));
+  auto r1 = t.root();
+  t.append(leaf(1));
+  EXPECT_NE(t.root(), r1);
+}
+
+class MerkleSizes : public ::testing::TestWithParam<std::size_t> {};
+
+INSTANTIATE_TEST_SUITE_P(TreeShapes, MerkleSizes,
+                         ::testing::Values(1, 2, 3, 4, 5, 7, 8, 9, 15, 16, 17,
+                                           33, 100),
+                         [](const auto& param_info) {
+                           return "n" + std::to_string(param_info.param);
+                         });
+
+TEST_P(MerkleSizes, AllProofsVerify) {
+  MerkleTree t;
+  for (std::size_t i = 0; i < GetParam(); ++i) t.append(leaf(i));
+  for (std::size_t i = 0; i < GetParam(); ++i) {
+    EXPECT_TRUE(MerkleTree::verify(t.root(), i, leaf(i), t.prove(i)))
+        << "leaf " << i << " of " << GetParam();
+  }
+}
+
+TEST_P(MerkleSizes, WrongLeafFailsProof) {
+  MerkleTree t;
+  for (std::size_t i = 0; i < GetParam(); ++i) t.append(leaf(i));
+  for (std::size_t i = 0; i < GetParam(); ++i) {
+    EXPECT_FALSE(
+        MerkleTree::verify(t.root(), i, to_bytes("forged"), t.prove(i)));
+  }
+}
+
+TEST_P(MerkleSizes, IncrementalRootMatchesRebuild) {
+  MerkleTree incremental, rebuilt;
+  for (std::size_t i = 0; i < GetParam(); ++i) incremental.append(leaf(i));
+  for (std::size_t i = 0; i < GetParam(); ++i) rebuilt.append(leaf(i));
+  EXPECT_EQ(incremental.root(), rebuilt.root());
+}
+
+TEST(Merkle, UpdateChangesOnlyThatLeafsValidity) {
+  MerkleTree t;
+  for (std::size_t i = 0; i < 10; ++i) t.append(leaf(i));
+  auto old_root = t.root();
+  t.update(4, to_bytes("rewritten"));
+  EXPECT_NE(t.root(), old_root);
+  EXPECT_TRUE(MerkleTree::verify(t.root(), 4, to_bytes("rewritten"), t.prove(4)));
+  EXPECT_FALSE(MerkleTree::verify(t.root(), 4, leaf(4), t.prove(4)));
+  // Other leaves still verify under the new root.
+  for (std::size_t i = 0; i < 10; ++i) {
+    if (i == 4) continue;
+    EXPECT_TRUE(MerkleTree::verify(t.root(), i, leaf(i), t.prove(i)));
+  }
+}
+
+TEST(Merkle, UpdateThenRestoreRestoresRoot) {
+  MerkleTree t;
+  for (std::size_t i = 0; i < 9; ++i) t.append(leaf(i));
+  auto original = t.root();
+  t.update(3, to_bytes("temp"));
+  t.update(3, leaf(3));
+  EXPECT_EQ(t.root(), original);
+}
+
+TEST(Merkle, OutOfRangeThrows) {
+  MerkleTree t;
+  t.append(leaf(0));
+  EXPECT_THROW(t.prove(1), common::PreconditionError);
+  EXPECT_THROW(t.update(1, leaf(1)), common::PreconditionError);
+}
+
+TEST(Merkle, ProofAgainstWrongRootFails) {
+  MerkleTree t1, t2;
+  for (std::size_t i = 0; i < 8; ++i) t1.append(leaf(i));
+  for (std::size_t i = 0; i < 8; ++i) t2.append(to_bytes("other-" + std::to_string(i)));
+  EXPECT_FALSE(MerkleTree::verify(t2.root(), 0, leaf(0), t1.prove(0)));
+}
+
+TEST(Merkle, ProofSizeIsLogarithmic) {
+  MerkleTree t;
+  for (std::size_t i = 0; i < 1024; ++i) t.append(leaf(i));
+  EXPECT_EQ(t.prove(0).size(), 10u);  // log2(1024)
+}
+
+TEST(Merkle, UpdateHashOpsAreLogarithmic) {
+  // This is the paper's core complaint about Merkle authentication: each
+  // update costs O(log n) hash invocations inside the slow SCPU.
+  MerkleTree t;
+  for (std::size_t i = 0; i < 4096; ++i) t.append(leaf(i));
+  t.reset_hash_ops();
+  t.update(2048, to_bytes("x"));
+  std::uint64_t ops = t.hash_ops();
+  EXPECT_GE(ops, 12u);  // ~log2(4096) node recomputations + leaf hash
+  EXPECT_LE(ops, 14u);
+}
+
+}  // namespace
+}  // namespace worm::crypto

@@ -1,0 +1,142 @@
+// SCPU enclosure + cost model unit tests: Table 2 calibration points, the
+// interpolation laws, secure-memory accounting, tamper response, and busy
+// accounting.
+#include <gtest/gtest.h>
+
+#include "common/sim_clock.hpp"
+#include "scpu/cost_model.hpp"
+#include "scpu/key_cache.hpp"
+#include "scpu/scpu_device.hpp"
+
+namespace worm::scpu {
+namespace {
+
+using common::Duration;
+
+constexpr double kTol = 0.02;  // 2% calibration tolerance
+
+void expect_rate(double rate, double expected) {
+  EXPECT_NEAR(rate / expected, 1.0, kTol) << rate << " vs " << expected;
+}
+
+TEST(CostModel, Ibm4764SignAnchorsMatchTable2) {
+  CostModel m = CostModel::ibm4764();
+  expect_rate(1.0 / m.sign_cost(512).to_seconds_f(), 4200);
+  expect_rate(1.0 / m.sign_cost(1024).to_seconds_f(), 848);
+  expect_rate(1.0 / m.sign_cost(2048).to_seconds_f(), 400);
+}
+
+TEST(CostModel, HostP4SignAnchorsMatchTable2) {
+  CostModel m = CostModel::host_p4();
+  expect_rate(1.0 / m.sign_cost(512).to_seconds_f(), 1315);
+  expect_rate(1.0 / m.sign_cost(1024).to_seconds_f(), 261);
+  expect_rate(1.0 / m.sign_cost(2048).to_seconds_f(), 43);
+}
+
+TEST(CostModel, ShaCalibrationMatchesTable2) {
+  CostModel m = CostModel::ibm4764();
+  // 1 KB per call -> 1.42 MB/s; 64 KB per call -> 18.6 MB/s.
+  expect_rate(1024.0 / m.hash_cost(1024, 1024).to_seconds_f(), 1.42e6);
+  expect_rate(65536.0 / m.hash_cost(65536, 65536).to_seconds_f(), 18.6e6);
+}
+
+TEST(CostModel, HostShaCalibrationMatchesTable2) {
+  CostModel m = CostModel::host_p4();
+  expect_rate(1024.0 / m.hash_cost(1024, 1024).to_seconds_f(), 80e6);
+  expect_rate(65536.0 / m.hash_cost(65536, 65536).to_seconds_f(), 120e6);
+}
+
+TEST(CostModel, SignCostMonotoneInBits) {
+  CostModel m = CostModel::ibm4764();
+  Duration prev{};
+  for (std::size_t bits = 384; bits <= 4096; bits += 64) {
+    Duration c = m.sign_cost(bits);
+    EXPECT_GE(c, prev) << bits;
+    prev = c;
+  }
+}
+
+TEST(CostModel, SignCostRejectsAbsurdSizes) {
+  CostModel m = CostModel::ibm4764();
+  EXPECT_THROW((void)m.sign_cost(128), common::PreconditionError);
+  EXPECT_THROW((void)m.sign_cost(1 << 20), common::PreconditionError);
+}
+
+TEST(CostModel, HashCostScalesWithChunking) {
+  CostModel m = CostModel::ibm4764();
+  // Streaming 1 MB in 64 KB chunks beats 1 KB chunks (fewer invocations).
+  EXPECT_LT(m.hash_cost(1 << 20, 65536), m.hash_cost(1 << 20, 1024));
+  EXPECT_THROW((void)m.hash_cost(100, 0), common::PreconditionError);
+}
+
+TEST(CostModel, HmacIsEngineSpeed) {
+  // HMACs inside the firmware pay no API round trip: far cheaper than one
+  // hash_cost() call of the same size (§4.3 bus-limited claim).
+  CostModel m = CostModel::ibm4764();
+  EXPECT_LT(m.hmac_cost(100).ns, m.hash_cost(100).ns / 10);
+}
+
+TEST(CostModel, VerifyMuchCheaperThanSign) {
+  CostModel m = CostModel::ibm4764();
+  EXPECT_EQ(m.verify_cost(1024).ns, m.sign_cost(1024).ns / 20);
+}
+
+TEST(CostModel, ZeroModelChargesNothing) {
+  CostModel m = CostModel::zero();
+  EXPECT_EQ(m.sign_cost(1024).ns, 0);
+  EXPECT_EQ(m.dma_cost(1 << 20).ns, 0);
+  EXPECT_EQ(m.command_cost().ns, 0);
+}
+
+TEST(CostModel, KeygenScalesQuartically) {
+  CostModel m = CostModel::ibm4764();
+  double ratio = m.keygen_cost(2048).to_seconds_f() /
+                 m.keygen_cost(1024).to_seconds_f();
+  EXPECT_NEAR(ratio, 16.0, 0.1);
+}
+
+TEST(ScpuDevice, ChargeAccumulatesBusyTime) {
+  common::SimClock clock;
+  ScpuDevice dev(clock, CostModel::ibm4764());
+  dev.charge(Duration::millis(5));
+  dev.charge(Duration::millis(7));
+  EXPECT_EQ(dev.busy_time(), Duration::millis(12));
+  EXPECT_EQ(clock.now(), common::SimTime::epoch() + Duration::millis(12));
+}
+
+TEST(ScpuDevice, SecureMemoryAccounting) {
+  common::SimClock clock;
+  ScpuDevice dev(clock, CostModel::zero(), /*secure_memory_bytes=*/100);
+  dev.alloc_secure(60);
+  EXPECT_EQ(dev.secure_memory_used(), 60u);
+  EXPECT_THROW(dev.alloc_secure(50), common::ScpuError);
+  dev.free_secure(30);
+  EXPECT_NO_THROW(dev.alloc_secure(50));
+  // Over-free clamps to zero rather than underflowing.
+  dev.free_secure(10'000);
+  EXPECT_EQ(dev.secure_memory_used(), 0u);
+}
+
+TEST(ScpuDevice, TamperResponseZeroizesAndKills) {
+  common::SimClock clock;
+  ScpuDevice dev(clock, CostModel::zero(), 100);
+  dev.alloc_secure(80);
+  dev.trigger_tamper_response();
+  EXPECT_TRUE(dev.tampered());
+  EXPECT_EQ(dev.secure_memory_used(), 0u);  // zeroized
+  EXPECT_THROW(dev.charge(Duration::millis(1)), common::ScpuError);
+  EXPECT_THROW(dev.alloc_secure(1), common::ScpuError);
+  EXPECT_THROW(dev.ensure_alive(), common::ScpuError);
+}
+
+TEST(KeyCache, SameSeedSameKeyDifferentSeedDifferentKey) {
+  const auto& a = cached_rsa_key(123, 512);
+  const auto& b = cached_rsa_key(123, 512);
+  const auto& c = cached_rsa_key(124, 512);
+  EXPECT_EQ(&a, &b);  // memoized
+  EXPECT_NE(a.n, c.n);
+  EXPECT_NE(a.n, cached_rsa_key(123, 768).n);  // bits is part of the key
+}
+
+}  // namespace
+}  // namespace worm::scpu

@@ -1,0 +1,89 @@
+// Shared test rig: one simulated deployment (clock + SCPU + firmware + block
+// device + record store + WormStore + regulator authority + client verifier).
+#pragma once
+
+#include <memory>
+#include <optional>
+
+#include "common/sim_clock.hpp"
+#include "crypto/rsa.hpp"
+#include "scpu/key_cache.hpp"
+#include "scpu/scpu_device.hpp"
+#include "storage/block_device.hpp"
+#include "storage/record_store.hpp"
+#include "worm/client_verifier.hpp"
+#include "worm/envelopes.hpp"
+#include "worm/firmware.hpp"
+#include "worm/migrator.hpp"
+#include "worm/worm_store.hpp"
+
+namespace worm::testing {
+
+inline constexpr std::uint64_t kRegulatorSeed = 0x1e6a1;
+
+inline const crypto::RsaPrivateKey& regulator_key() {
+  return scpu::cached_rsa_key(kRegulatorSeed, 1024);
+}
+
+/// One full deployment. Tweak configs before first use via the constructor.
+struct Rig {
+  explicit Rig(core::FirmwareConfig fw_config = {},
+               core::StoreConfig store_config = {},
+               std::size_t secure_mem = 32u << 20)
+      : device(clock, scpu::CostModel::ibm4764(), secure_mem),
+        firmware(device, fw_config, regulator_key().public_key()),
+        disk(4096, 4096, &clock, storage::LatencyModel::none()),
+        records(disk),
+        store(clock, firmware, records, store_config),
+        verifier(store.anchors(), clock) {}
+
+  /// Default attributes: given retention, zero-fill shredding.
+  core::Attr attr(common::Duration retention,
+                  storage::ShredPolicy shred =
+                      storage::ShredPolicy::kZeroFill) const {
+    core::Attr a;
+    a.retention = retention;
+    a.shredding = shred;
+    a.regulation_policy = 17;  // SEC rule 17a-4, say
+    return a;
+  }
+
+  /// Single-payload write helper.
+  core::Sn put(const std::string& text, common::Duration retention,
+               std::optional<core::WitnessMode> mode = std::nullopt) {
+    return store.write({common::to_bytes(text)}, attr(retention), mode);
+  }
+
+  /// Regulator-signed litigation credential.
+  common::Bytes lit_credential(core::Sn sn, std::uint64_t lit_id, bool hold) {
+    return crypto::rsa_sign(
+        regulator_key(),
+        core::lit_credential_payload(sn, clock.now(), lit_id, hold));
+  }
+
+  /// Refreshed verifier (e.g. after new short-key epochs appear).
+  core::ClientVerifier fresh_verifier() {
+    return core::ClientVerifier(store.anchors(), clock);
+  }
+
+  common::SimClock clock;
+  scpu::ScpuDevice device;
+  core::Firmware firmware;
+  storage::MemBlockDevice disk;
+  storage::RecordStore records;
+  core::WormStore store;
+  core::ClientVerifier verifier;
+};
+
+/// Firmware config with long heartbeat/rotation periods so tests can
+/// fast-forward months of simulated time without millions of alarm firings.
+inline core::FirmwareConfig slow_timers_config() {
+  core::FirmwareConfig c;
+  c.heartbeat_interval = common::Duration::days(1);
+  c.short_key_rotation = common::Duration::days(1);
+  c.sn_current_max_age = common::Duration::days(2);
+  c.sn_base_validity = common::Duration::days(2);
+  return c;
+}
+
+}  // namespace worm::testing

@@ -1,0 +1,642 @@
+// End-to-end protocol tests over the full deployment: write/read/verify in
+// every witnessing mode, retention-driven deletion with proofs, litigation
+// holds, sliding-window management, compaction, and compliant migration —
+// the behavioural form of the paper's §4.2-§4.3.
+#include <gtest/gtest.h>
+
+#include "worm_fixture.hpp"
+
+namespace worm::core {
+namespace {
+
+using common::Duration;
+using common::to_bytes;
+using storage::ShredPolicy;
+using worm::testing::Rig;
+using worm::testing::slow_timers_config;
+
+// ---------------------------------------------------------------------------
+// Basic write/read/verify
+// ---------------------------------------------------------------------------
+
+TEST(WormStore, WriteReadVerifyRoundTrip) {
+  Rig rig;
+  Sn sn = rig.put("patient chart 1337", Duration::days(30));
+  EXPECT_EQ(sn, 1u);
+
+  ReadResult res = rig.store.read(sn);
+  auto* ok = std::get_if<ReadOk>(&res);
+  ASSERT_NE(ok, nullptr);
+  EXPECT_EQ(common::to_string(ok->payloads.at(0)), "patient chart 1337");
+  EXPECT_EQ(ok->vrd.sn, sn);
+  EXPECT_EQ(ok->vrd.metasig.kind, SigKind::kStrong);
+
+  Outcome out = rig.verifier.verify_read(sn, res);
+  EXPECT_EQ(out.verdict, Verdict::kAuthentic) << out.detail;
+}
+
+TEST(WormStore, MultiPayloadVirtualRecord) {
+  // A VR groups several data records (e.g. email + attachments) under one SN.
+  Rig rig;
+  std::vector<common::Bytes> payloads = {
+      to_bytes("email body"), to_bytes("attachment-1"), to_bytes("attachment-2")};
+  Sn sn = rig.store.write(payloads, rig.attr(Duration::days(365)));
+
+  ReadResult res = rig.store.read(sn);
+  auto* ok = std::get_if<ReadOk>(&res);
+  ASSERT_NE(ok, nullptr);
+  ASSERT_EQ(ok->payloads.size(), 3u);
+  EXPECT_EQ(ok->vrd.rdl.size(), 3u);
+  EXPECT_EQ(rig.verifier.verify_read(sn, res).verdict, Verdict::kAuthentic);
+}
+
+TEST(WormStore, SerialNumbersAreConsecutive) {
+  Rig rig;
+  for (Sn expected = 1; expected <= 20; ++expected) {
+    EXPECT_EQ(rig.put("r", Duration::days(1)), expected);
+  }
+  EXPECT_EQ(rig.firmware.sn_current(), 20u);
+}
+
+TEST(WormStore, CreationTimeIsScpuAuthoritative) {
+  // The host cannot backdate records: the SCPU stamps creation_time itself.
+  Rig rig;
+  rig.clock.advance(Duration::hours(5));
+  Attr a = rig.attr(Duration::days(1));
+  a.creation_time = common::SimTime{-12345};  // host-supplied lie
+  common::SimTime before = rig.clock.now();
+  Sn sn = rig.store.write({to_bytes("x")}, a);
+  common::SimTime after = rig.clock.now();
+  auto res = rig.store.read(sn);
+  auto* ok = std::get_if<ReadOk>(&res);
+  ASSERT_NE(ok, nullptr);
+  // The backdated host timestamp was discarded for the SCPU's own clock.
+  EXPECT_GE(ok->vrd.attr.creation_time, before);
+  EXPECT_LE(ok->vrd.attr.creation_time, after);
+}
+
+TEST(WormStore, ReadOfUnallocatedSnProvesNonExistence) {
+  Rig rig;
+  rig.put("only record", Duration::days(1));
+  ReadResult res = rig.store.read(42);
+  ASSERT_TRUE(std::holds_alternative<ReadNotAllocated>(res));
+  Outcome out = rig.verifier.verify_read(42, res);
+  EXPECT_EQ(out.verdict, Verdict::kNeverExistedVerified) << out.detail;
+}
+
+TEST(WormStore, EmptyStoreAnswersNotAllocated) {
+  Rig rig;
+  Outcome out = rig.verifier.verify_read(1, rig.store.read(1));
+  EXPECT_EQ(out.verdict, Verdict::kNeverExistedVerified) << out.detail;
+}
+
+TEST(WormStore, RejectsZeroRetention) {
+  Rig rig;
+  EXPECT_THROW(rig.put("r", Duration::nanos(0)), common::PreconditionError);
+}
+
+TEST(WormStore, HeartbeatRefreshesAutomatically) {
+  // §4.2.1 (ii): the SCPU re-stamps S_s(SN_current) every few minutes even
+  // with no updates, so clients never accept stale allocation claims.
+  Rig rig;
+  auto first = rig.store.latest_heartbeat();
+  rig.clock.advance(Duration::minutes(10));
+  auto later = rig.store.latest_heartbeat();
+  EXPECT_GT(later.stamped_at, first.stamped_at);
+  EXPECT_EQ(rig.verifier.verify_read(9, rig.store.read(9)).verdict,
+            Verdict::kNeverExistedVerified);
+}
+
+// ---------------------------------------------------------------------------
+// Retention expiry & secure deletion (§4.2.2)
+// ---------------------------------------------------------------------------
+
+TEST(WormStore, RetentionExpiryYieldsDeletionProof) {
+  Rig rig;
+  Sn sn = rig.put("expiring record", Duration::hours(1));
+  rig.clock.advance(Duration::hours(2));
+
+  ReadResult res = rig.store.read(sn);
+  ASSERT_TRUE(std::holds_alternative<ReadDeleted>(res));
+  Outcome out = rig.verifier.verify_read(sn, res);
+  EXPECT_EQ(out.verdict, Verdict::kDeletedVerified) << out.detail;
+  EXPECT_EQ(rig.store.stats().expirations, 1u);
+}
+
+TEST(WormStore, DeletionShredsDataBlocks) {
+  Rig rig;
+  Sn sn = rig.put("TOP SECRET CONTENT", Duration::hours(1));
+  auto res = rig.store.read(sn);
+  auto* ok = std::get_if<ReadOk>(&res);
+  ASSERT_NE(ok, nullptr);
+  std::uint64_t block = ok->vrd.rdl.at(0).blocks.at(0);
+
+  rig.clock.advance(Duration::hours(2));
+  // Zero-fill policy: the physical block holds no residue of the payload.
+  const common::Bytes& raw = rig.disk.raw_block(block);
+  EXPECT_TRUE(std::all_of(raw.begin(), raw.end(),
+                          [](std::uint8_t b) { return b == 0; }));
+}
+
+TEST(WormStore, RecordsExpireIndividuallyInOrder) {
+  Rig rig;
+  Sn a = rig.put("a", Duration::hours(1));
+  Sn b = rig.put("b", Duration::hours(3));
+  rig.clock.advance(Duration::hours(2));
+  EXPECT_TRUE(std::holds_alternative<ReadDeleted>(rig.store.read(a)));
+  EXPECT_TRUE(std::holds_alternative<ReadOk>(rig.store.read(b)));
+  rig.clock.advance(Duration::hours(2));
+  EXPECT_TRUE(std::holds_alternative<ReadDeleted>(rig.store.read(b)));
+}
+
+TEST(WormStore, OutOfOrderExpiration) {
+  // Later-written records may expire earlier — VEXP is expiry-sorted (§4.2.2).
+  Rig rig;
+  Sn long_lived = rig.put("keeps", Duration::days(10));
+  Sn short_lived = rig.put("goes", Duration::hours(1));
+  rig.clock.advance(Duration::hours(2));
+  EXPECT_TRUE(std::holds_alternative<ReadOk>(rig.store.read(long_lived)));
+  EXPECT_TRUE(std::holds_alternative<ReadDeleted>(rig.store.read(short_lived)));
+}
+
+TEST(WormStore, MultiYearRetentionSurvives) {
+  Rig rig(slow_timers_config());
+  Sn sn = rig.put("20-year health record", Duration::years(20));
+  rig.clock.advance(Duration::years(19));
+  EXPECT_EQ(rig.verifier.verify_read(sn, rig.store.read(sn)).verdict,
+            Verdict::kAuthentic);
+  rig.clock.advance(Duration::years(2));
+  EXPECT_EQ(rig.verifier.verify_read(sn, rig.store.read(sn)).verdict,
+            Verdict::kDeletedVerified);
+}
+
+class ShredPolicies : public ::testing::TestWithParam<ShredPolicy> {};
+INSTANTIATE_TEST_SUITE_P(AllPolicies, ShredPolicies,
+                         ::testing::Values(ShredPolicy::kZeroFill,
+                                           ShredPolicy::kNist3Pass,
+                                           ShredPolicy::kRandom7Pass,
+                                           ShredPolicy::kCryptoShred),
+                         [](const auto& param_info) {
+                           return std::string(storage::to_string(param_info.param))
+                                      .substr(0, 4) +
+                                  std::to_string(static_cast<int>(param_info.param));
+                         });
+
+TEST_P(ShredPolicies, ShreddingRemovesPayloadResidue) {
+  Rig rig;
+  common::Bytes payload = to_bytes("the incriminating memo, quite long "
+                                   "so residue would be recognisable");
+  Sn sn = rig.store.write({payload},
+                          rig.attr(Duration::hours(1), GetParam()));
+  auto res = rig.store.read(sn);
+  std::uint64_t block = std::get<ReadOk>(res).vrd.rdl.at(0).blocks.at(0);
+  rig.clock.advance(Duration::hours(2));
+  const common::Bytes& raw = rig.disk.raw_block(block);
+  // No policy may leave the plaintext prefix in place.
+  EXPECT_NE(common::to_string(common::ByteView(raw.data(), 20)),
+            "the incriminating me");
+}
+
+// ---------------------------------------------------------------------------
+// Litigation holds (§4.2.2)
+// ---------------------------------------------------------------------------
+
+TEST(WormStore, LitigationHoldBlocksDeletion) {
+  Rig rig;
+  Sn sn = rig.put("under subpoena", Duration::hours(1));
+  rig.store.lit_hold(sn, rig.clock.now() + Duration::days(30), /*lit_id=*/7,
+                     rig.clock.now(), rig.lit_credential(sn, 7, true));
+  rig.clock.advance(Duration::hours(5));  // retention long past
+  ReadResult res = rig.store.read(sn);
+  ASSERT_TRUE(std::holds_alternative<ReadOk>(res));
+  EXPECT_TRUE(std::get<ReadOk>(res).vrd.attr.litigation_hold);
+  EXPECT_EQ(rig.verifier.verify_read(sn, res).verdict, Verdict::kAuthentic);
+}
+
+TEST(WormStore, LitigationReleaseAllowsDeletion) {
+  Rig rig;
+  Sn sn = rig.put("under subpoena", Duration::hours(1));
+  rig.store.lit_hold(sn, rig.clock.now() + Duration::days(30), 7,
+                     rig.clock.now(), rig.lit_credential(sn, 7, true));
+  rig.clock.advance(Duration::hours(5));
+  rig.store.lit_release(sn, 7, rig.clock.now(),
+                        rig.lit_credential(sn, 7, false));
+  // Retention already lapsed, so deletion is due immediately.
+  rig.clock.advance(Duration::seconds(1));
+  EXPECT_EQ(rig.verifier.verify_read(sn, rig.store.read(sn)).verdict,
+            Verdict::kDeletedVerified);
+}
+
+TEST(WormStore, LitigationHoldTimesOutOnItsOwn) {
+  Rig rig;
+  Sn sn = rig.put("held", Duration::hours(1));
+  rig.store.lit_hold(sn, rig.clock.now() + Duration::hours(10), 9,
+                     rig.clock.now(), rig.lit_credential(sn, 9, true));
+  rig.clock.advance(Duration::hours(5));
+  EXPECT_TRUE(std::holds_alternative<ReadOk>(rig.store.read(sn)));
+  rig.clock.advance(Duration::hours(6));  // past the hold timeout
+  EXPECT_EQ(rig.verifier.verify_read(sn, rig.store.read(sn)).verdict,
+            Verdict::kDeletedVerified);
+}
+
+TEST(WormStore, LitHoldRejectsForgedCredential) {
+  Rig rig;
+  Sn sn = rig.put("target", Duration::days(1));
+  // Signed by some other key, not the regulation authority.
+  const auto& rogue = scpu::cached_rsa_key(0xbad, 1024);
+  common::Bytes forged = crypto::rsa_sign(
+      rogue, lit_credential_payload(sn, rig.clock.now(), 7, true));
+  EXPECT_THROW(rig.store.lit_hold(sn, rig.clock.now() + Duration::days(1), 7,
+                                  rig.clock.now(), forged),
+               common::ScpuError);
+}
+
+TEST(WormStore, LitHoldRejectsCredentialForOtherRecord) {
+  Rig rig;
+  Sn a = rig.put("a", Duration::days(1));
+  Sn b = rig.put("b", Duration::days(1));
+  common::Bytes cred_for_a = rig.lit_credential(a, 7, true);
+  EXPECT_THROW(rig.store.lit_hold(b, rig.clock.now() + Duration::days(1), 7,
+                                  rig.clock.now(), cred_for_a),
+               common::ScpuError);
+}
+
+TEST(WormStore, LitHoldRejectsExpiredCredential) {
+  Rig rig(slow_timers_config());
+  Sn sn = rig.put("x", Duration::days(30));
+  common::SimTime issued = rig.clock.now();
+  common::Bytes cred = rig.lit_credential(sn, 7, true);
+  rig.clock.advance(Duration::days(3));  // beyond lit_credential_max_age
+  EXPECT_THROW(rig.store.lit_hold(sn, rig.clock.now() + Duration::days(9), 7,
+                                  issued, cred),
+               common::ScpuError);
+}
+
+TEST(WormStore, LitReleaseRequiresActiveHold) {
+  Rig rig;
+  Sn sn = rig.put("never held", Duration::days(1));
+  EXPECT_THROW(rig.store.lit_release(sn, 7, rig.clock.now(),
+                                     rig.lit_credential(sn, 7, false)),
+               common::ScpuError);
+}
+
+// ---------------------------------------------------------------------------
+// Sliding window: base advance + compaction (§4.2.1)
+// ---------------------------------------------------------------------------
+
+TEST(WormStore, BaseAdvancesOverFullyExpiredPrefix) {
+  Rig rig;
+  for (int i = 0; i < 5; ++i) rig.put("r", Duration::hours(1));
+  Sn live = rig.put("live", Duration::days(30));
+  rig.clock.advance(Duration::hours(2));
+  ASSERT_TRUE(rig.store.pump_idle());
+
+  EXPECT_EQ(rig.firmware.sn_base(), 6u);
+  // Proof entries below the base were expelled from the VRDT...
+  EXPECT_EQ(rig.store.vrdt().entry_count(), 1u);
+  // ...but reads still produce verifiable absence proofs.
+  Outcome out = rig.verifier.verify_read(2, rig.store.read(2));
+  EXPECT_EQ(out.verdict, Verdict::kDeletedVerified) << out.detail;
+  EXPECT_EQ(rig.verifier.verify_read(live, rig.store.read(live)).verdict,
+            Verdict::kAuthentic);
+}
+
+TEST(WormStore, CompactionReplacesInteriorRunWithWindow) {
+  Rig rig;
+  Sn keep_low = rig.put("low", Duration::days(30));
+  for (int i = 0; i < 4; ++i) rig.put("mid", Duration::hours(1));
+  Sn keep_high = rig.put("high", Duration::days(30));
+  rig.clock.advance(Duration::hours(2));
+  ASSERT_TRUE(rig.store.pump_idle());
+
+  EXPECT_EQ(rig.store.vrdt().window_count(), 1u);
+  EXPECT_EQ(rig.store.vrdt().entry_count(), 2u);  // the two live records
+  Outcome out = rig.verifier.verify_read(3, rig.store.read(3));
+  EXPECT_EQ(out.verdict, Verdict::kDeletedVerified) << out.detail;
+  EXPECT_EQ(rig.verifier.verify_read(keep_low, rig.store.read(keep_low)).verdict,
+            Verdict::kAuthentic);
+  EXPECT_EQ(rig.verifier.verify_read(keep_high, rig.store.read(keep_high)).verdict,
+            Verdict::kAuthentic);
+}
+
+TEST(WormStore, ShortRunsAreNotCompacted) {
+  // §4.2.1: only runs of 3+ expired records may become windows.
+  Rig rig;
+  rig.put("low", Duration::days(30));
+  rig.put("mid-1", Duration::hours(1));
+  rig.put("mid-2", Duration::hours(1));
+  rig.put("high", Duration::days(30));
+  rig.clock.advance(Duration::hours(2));
+  rig.store.pump_idle();
+  EXPECT_EQ(rig.store.vrdt().window_count(), 0u);
+  // The two deletion proofs stay as individual entries.
+  EXPECT_EQ(rig.store.vrdt().entry_count(), 4u);
+}
+
+TEST(WormStore, WindowedStoreStorageShrinks) {
+  Rig rig;
+  rig.put("anchor", Duration::days(365));
+  for (int i = 0; i < 50; ++i) rig.put("bulk", Duration::hours(1));
+  rig.clock.advance(Duration::hours(2));
+  std::size_t before = rig.store.vrdt().storage_bytes();
+  while (rig.store.pump_idle()) {
+  }
+  std::size_t after = rig.store.vrdt().storage_bytes();
+  EXPECT_LT(after, before / 4);  // 50 proofs collapsed into one window
+}
+
+// ---------------------------------------------------------------------------
+// Deferred witnessing & HMAC mode (§4.3)
+// ---------------------------------------------------------------------------
+
+TEST(WormStore, DeferredWriteVerifiesUnderShortKey) {
+  Rig rig;
+  Sn sn = rig.put("burst record", Duration::days(1), WitnessMode::kDeferred);
+  ReadResult res = rig.store.read(sn);
+  auto* ok = std::get_if<ReadOk>(&res);
+  ASSERT_NE(ok, nullptr);
+  EXPECT_EQ(ok->vrd.metasig.kind, SigKind::kShortTerm);
+  Outcome out = rig.verifier.verify_read(sn, res);
+  EXPECT_EQ(out.verdict, Verdict::kAuthentic) << out.detail;
+}
+
+TEST(WormStore, DeferredWriteIsStrengthenedDuringIdle) {
+  Rig rig;
+  Sn sn = rig.put("burst record", Duration::days(1), WitnessMode::kDeferred);
+  EXPECT_EQ(rig.firmware.deferred_count(), 1u);
+  ASSERT_TRUE(rig.store.pump_idle());
+  EXPECT_EQ(rig.firmware.deferred_count(), 0u);
+
+  ReadResult res = rig.store.read(sn);
+  auto* ok = std::get_if<ReadOk>(&res);
+  ASSERT_NE(ok, nullptr);
+  EXPECT_EQ(ok->vrd.metasig.kind, SigKind::kStrong);
+  EXPECT_EQ(ok->vrd.datasig.kind, SigKind::kStrong);
+  EXPECT_EQ(rig.verifier.verify_read(sn, res).verdict, Verdict::kAuthentic);
+}
+
+TEST(WormStore, UnstrengthenedShortSigGoesStaleAfterLifetime) {
+  // If the store never strengthens (malicious idleness), clients refuse the
+  // short-lived witness once its security lifetime has run out.
+  Rig rig;
+  Sn sn = rig.put("burst record", Duration::days(10), WitnessMode::kDeferred);
+  rig.clock.advance(Duration::hours(3));  // > rotation + lifetime
+  Outcome out = rig.verifier.verify_read(sn, rig.store.read(sn));
+  EXPECT_EQ(out.verdict, Verdict::kStaleProof) << out.detail;
+}
+
+TEST(WormStore, StrengthenedRecordSurvivesShortKeyHorizon) {
+  Rig rig;
+  Sn sn = rig.put("burst record", Duration::days(10), WitnessMode::kDeferred);
+  rig.store.pump_idle();
+  rig.clock.advance(Duration::hours(3));
+  EXPECT_EQ(rig.verifier.verify_read(sn, rig.store.read(sn)).verdict,
+            Verdict::kAuthentic);
+}
+
+TEST(WormStore, HmacWitnessIsUnverifiableUntilUpgraded) {
+  Rig rig;
+  Sn sn = rig.put("hmac record", Duration::days(1), WitnessMode::kHmac);
+  Outcome out = rig.verifier.verify_read(sn, rig.store.read(sn));
+  EXPECT_EQ(out.verdict, Verdict::kUnverifiableYet) << out.detail;
+
+  rig.store.pump_idle();
+  EXPECT_EQ(rig.verifier.verify_read(sn, rig.store.read(sn)).verdict,
+            Verdict::kAuthentic);
+}
+
+TEST(WormStore, MixedModeBurstAllStrengthened) {
+  Rig rig;
+  std::vector<Sn> sns;
+  for (int i = 0; i < 30; ++i) {
+    auto mode = i % 3 == 0   ? WitnessMode::kStrong
+                : i % 3 == 1 ? WitnessMode::kDeferred
+                             : WitnessMode::kHmac;
+    sns.push_back(rig.put("r" + std::to_string(i), Duration::days(1), mode));
+  }
+  EXPECT_EQ(rig.firmware.deferred_count(), 20u);
+  while (rig.store.pump_idle()) {
+  }
+  EXPECT_EQ(rig.firmware.deferred_count(), 0u);
+  for (Sn sn : sns) {
+    EXPECT_EQ(rig.verifier.verify_read(sn, rig.store.read(sn)).verdict,
+              Verdict::kAuthentic);
+  }
+}
+
+TEST(WormStore, ShortKeyRotatesAcrossEpochs) {
+  Rig rig;
+  rig.put("epoch-1", Duration::days(10), WitnessMode::kDeferred);
+  rig.store.pump_idle();  // pre-generates the spare key
+  rig.clock.advance(Duration::minutes(45));  // past short_key_rotation
+  Sn sn2 = rig.put("epoch-2", Duration::days(10), WitnessMode::kDeferred);
+  EXPECT_GE(rig.firmware.counters().key_rotations, 1u);
+  // New epoch's signature verifies through its own certificate.
+  auto verifier = rig.fresh_verifier();
+  EXPECT_EQ(verifier.verify_read(sn2, rig.store.read(sn2)).verdict,
+            Verdict::kAuthentic);
+}
+
+// ---------------------------------------------------------------------------
+// Trusted-hash burst model (§4.2.2 "Write")
+// ---------------------------------------------------------------------------
+
+TEST(WormStore, HostHashModeAuditsDuringIdle) {
+  StoreConfig sc;
+  sc.hash_mode = HashMode::kHostHash;
+  Rig rig({}, sc);
+  Sn sn = rig.put("host hashed", Duration::days(1));
+  EXPECT_EQ(rig.firmware.hash_audits_pending(10).size(), 1u);
+  EXPECT_EQ(rig.verifier.verify_read(sn, rig.store.read(sn)).verdict,
+            Verdict::kAuthentic);
+
+  rig.store.pump_idle();
+  EXPECT_TRUE(rig.firmware.hash_audits_pending(10).empty());
+  EXPECT_EQ(rig.firmware.counters().hash_audits, 1u);
+}
+
+TEST(WormStore, HostHashDeferredStrengthensWithAudit) {
+  StoreConfig sc;
+  sc.hash_mode = HashMode::kHostHash;
+  sc.default_mode = WitnessMode::kDeferred;
+  Rig rig({}, sc);
+  Sn sn = rig.put("host hashed burst", Duration::days(1));
+  while (rig.store.pump_idle()) {
+  }
+  auto res = rig.store.read(sn);
+  EXPECT_EQ(std::get<ReadOk>(res).vrd.metasig.kind, SigKind::kStrong);
+  EXPECT_EQ(rig.verifier.verify_read(sn, res).verdict, Verdict::kAuthentic);
+  EXPECT_TRUE(rig.firmware.hash_audits_pending(10).empty());
+}
+
+// ---------------------------------------------------------------------------
+// VEXP memory pressure (§4.2.2)
+// ---------------------------------------------------------------------------
+
+TEST(WormStore, VexpOverflowIsRebuiltAndStillDeletes) {
+  core::FirmwareConfig fw;
+  fw.vexp_memory_bytes = 24 * 8;  // room for only 8 entries
+  Rig rig(fw);
+  std::vector<Sn> sns;
+  for (int i = 0; i < 30; ++i) sns.push_back(rig.put("r", Duration::hours(1)));
+  EXPECT_TRUE(rig.firmware.vexp_incomplete());
+
+  rig.store.pump_idle();  // triggers the VEXP rebuild scan
+  rig.clock.advance(Duration::hours(2));
+  // Rebuild can itself overflow again; keep pumping as a real host would.
+  for (int round = 0; round < 10; ++round) {
+    rig.store.pump_idle();
+    rig.clock.advance(Duration::minutes(1));
+  }
+  std::size_t deleted = 0;
+  for (Sn sn : sns) {
+    auto res = rig.store.read(sn);
+    if (!std::holds_alternative<ReadOk>(res)) ++deleted;
+  }
+  EXPECT_EQ(deleted, sns.size());
+}
+
+// ---------------------------------------------------------------------------
+// Compliant migration (§1)
+// ---------------------------------------------------------------------------
+
+TEST(Migration, MovesRecordsAndPreservesExpiry) {
+  Rig src;
+  Rig dst(core::FirmwareConfig{.seed = 0xd15c}, StoreConfig{.store_id = 2});
+  Sn a = src.put("record A", Duration::days(10));
+  src.put("record B", Duration::days(20));
+  src.clock.advance(Duration::days(4));
+  dst.clock.advance(Duration::days(4));
+
+  MigrationReport report = Migrator::migrate(src.store, dst.store, src.verifier);
+  ASSERT_TRUE(report.clean());
+  EXPECT_EQ(report.migrated(), 2u);
+  EXPECT_TRUE(Migrator::verify_report(report, src.store.anchors()));
+
+  // Destination serves authentic reads under ITS OWN anchors.
+  ClientVerifier dst_verifier(dst.store.anchors(), dst.clock);
+  for (const auto& e : report.entries) {
+    Outcome out = dst_verifier.verify_read(e.dest_sn, dst.store.read(e.dest_sn));
+    EXPECT_EQ(out.verdict, Verdict::kAuthentic) << out.detail;
+  }
+
+  // Record A had 6 days left; it must expire ~6 days later at the dest.
+  Sn a_dst = report.entries.at(0).source_sn == a ? report.entries.at(0).dest_sn
+                                                 : report.entries.at(1).dest_sn;
+  dst.clock.advance(Duration::days(5));
+  EXPECT_TRUE(std::holds_alternative<ReadOk>(dst.store.read(a_dst)));
+  dst.clock.advance(Duration::days(2));
+  EXPECT_TRUE(std::holds_alternative<ReadDeleted>(dst.store.read(a_dst)));
+}
+
+TEST(Migration, RefusesTamperedSourceRecords) {
+  Rig src;
+  Rig dst(core::FirmwareConfig{.seed = 0xd15c}, StoreConfig{.store_id = 2});
+  Sn good = src.put("good", Duration::days(10));
+  Sn bad = src.put("bad", Duration::days(10));
+  // Insider rewrites the data blocks of `bad` behind the WORM layer.
+  auto res = src.store.read(bad);
+  std::uint64_t block = std::get<ReadOk>(res).vrd.rdl.at(0).blocks.at(0);
+  src.disk.raw_block(block)[0] ^= 0xff;
+
+  MigrationReport report = Migrator::migrate(src.store, dst.store, src.verifier);
+  EXPECT_EQ(report.migrated(), 1u);
+  ASSERT_EQ(report.rejected.size(), 1u);
+  EXPECT_EQ(report.rejected.at(0), bad);
+  EXPECT_EQ(report.entries.at(0).source_sn, good);
+  EXPECT_TRUE(Migrator::verify_report(report, src.store.anchors()));
+}
+
+TEST(Migration, LitigationHoldTravelsWithRecord) {
+  Rig src;
+  Rig dst(core::FirmwareConfig{.seed = 0xd15c}, StoreConfig{.store_id = 2});
+  Sn sn = src.put("held", Duration::hours(1));
+  src.store.lit_hold(sn, src.clock.now() + Duration::days(30), 7,
+                     src.clock.now(), src.lit_credential(sn, 7, true));
+
+  MigrationReport report = Migrator::migrate(src.store, dst.store, src.verifier);
+  ASSERT_EQ(report.migrated(), 1u);
+  Sn dst_sn = report.entries.at(0).dest_sn;
+
+  // Retention lapses at dest, but the hold must still block deletion there.
+  dst.clock.advance(Duration::hours(5));
+  auto res = dst.store.read(dst_sn);
+  ASSERT_TRUE(std::holds_alternative<ReadOk>(res));
+  EXPECT_TRUE(std::get<ReadOk>(res).vrd.attr.litigation_hold);
+}
+
+TEST(Migration, TamperedManifestFailsAudit) {
+  Rig src;
+  Rig dst(core::FirmwareConfig{.seed = 0xd15c}, StoreConfig{.store_id = 2});
+  src.put("r1", Duration::days(10));
+  src.put("r2", Duration::days(10));
+  MigrationReport report = Migrator::migrate(src.store, dst.store, src.verifier);
+  ASSERT_TRUE(Migrator::verify_report(report, src.store.anchors()));
+  report.entries.pop_back();  // auditor sees a dropped record
+  EXPECT_FALSE(Migrator::verify_report(report, src.store.anchors()));
+}
+
+// ---------------------------------------------------------------------------
+// Tamper response (FIPS 140-2 L4, §2.2)
+// ---------------------------------------------------------------------------
+
+TEST(WormStore, TamperResponseKillsTheDevice) {
+  Rig rig;
+  rig.put("r", Duration::days(1));
+  rig.device.trigger_tamper_response();
+  EXPECT_THROW(rig.put("after tamper", Duration::days(1)), common::ScpuError);
+  // Existing records remain client-verifiable (signatures are on disk).
+  EXPECT_EQ(rig.verifier.verify_read(1, rig.store.read(1)).verdict,
+            Verdict::kAuthentic);
+}
+
+TEST(WormStore, ReadsStayTotalAfterTamperResponse) {
+  // Reads are host-only; even with the SCPU zeroized, every read returns an
+  // answer (possibly an honest failure) rather than throwing.
+  Rig rig;
+  for (int i = 0; i < 3; ++i) rig.put("r", Duration::hours(1));
+  rig.clock.advance(Duration::hours(2));
+  while (rig.store.pump_idle()) {
+  }
+  ASSERT_EQ(rig.firmware.sn_base(), 4u);
+
+  rig.device.trigger_tamper_response();
+  // Expire the cached base proof, then read below the base: no throw.
+  rig.clock.advance(Duration::hours(2));
+  ReadResult res = rig.store.read(1);
+  // Whatever came back, the client is not fooled: the stale base proof (or
+  // explicit failure) is not a trustworthy denial... but it IS an answer.
+  Outcome out = rig.verifier.verify_read(1, res);
+  EXPECT_TRUE(out.verdict == Verdict::kStaleProof ||
+              out.verdict == Verdict::kTampered ||
+              out.verdict == Verdict::kDeletedVerified)
+      << to_string(out.verdict);
+}
+
+// ---------------------------------------------------------------------------
+// Persistence
+// ---------------------------------------------------------------------------
+
+TEST(Vrdt, SurvivesSaveLoadRoundTrip) {
+  Rig rig;
+  rig.put("persisted-1", Duration::days(1));
+  rig.put("persisted-2", Duration::hours(1));
+  rig.put("persisted-3", Duration::days(1));
+  rig.clock.advance(Duration::hours(2));  // middle record now deleted
+
+  std::string path = ::testing::TempDir() + "/vrdt.bin";
+  rig.store.vrdt().save(path);
+  Vrdt loaded = Vrdt::load(path);
+  EXPECT_EQ(loaded.entry_count(), rig.store.vrdt().entry_count());
+  EXPECT_EQ(loaded.active_count(), 2u);
+  ASSERT_NE(loaded.find(2), nullptr);
+  EXPECT_EQ(loaded.find(2)->kind, Vrdt::Entry::Kind::kDeleted);
+  // Signatures still verify after the round trip.
+  EXPECT_TRUE(rig.verifier
+                  .verify_vrd(loaded.find(1)->vrd,
+                              {common::to_bytes("persisted-1")})
+                  .verdict == Verdict::kAuthentic);
+}
+
+}  // namespace
+}  // namespace worm::core
