@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_crypto_wallclock.dir/bench_crypto_wallclock.cpp.o"
+  "CMakeFiles/bench_crypto_wallclock.dir/bench_crypto_wallclock.cpp.o.d"
+  "bench_crypto_wallclock"
+  "bench_crypto_wallclock.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_crypto_wallclock.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

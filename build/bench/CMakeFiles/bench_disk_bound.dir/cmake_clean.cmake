@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_disk_bound.dir/bench_disk_bound.cpp.o"
+  "CMakeFiles/bench_disk_bound.dir/bench_disk_bound.cpp.o.d"
+  "bench_disk_bound"
+  "bench_disk_bound.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_disk_bound.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_merkle_ablation.dir/bench_merkle_ablation.cpp.o"
+  "CMakeFiles/bench_merkle_ablation.dir/bench_merkle_ablation.cpp.o.d"
+  "bench_merkle_ablation"
+  "bench_merkle_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_merkle_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_window_compaction.dir/bench_window_compaction.cpp.o"
+  "CMakeFiles/bench_window_compaction.dir/bench_window_compaction.cpp.o.d"
+  "bench_window_compaction"
+  "bench_window_compaction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_window_compaction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compliant_migration.dir/compliant_migration.cpp.o"
+  "CMakeFiles/compliant_migration.dir/compliant_migration.cpp.o.d"
+  "compliant_migration"
+  "compliant_migration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compliant_migration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

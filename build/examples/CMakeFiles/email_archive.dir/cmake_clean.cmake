@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/email_archive.dir/email_archive.cpp.o"
+  "CMakeFiles/email_archive.dir/email_archive.cpp.o.d"
+  "email_archive"
+  "email_archive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/email_archive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

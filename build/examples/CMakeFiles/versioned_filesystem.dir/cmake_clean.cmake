@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/versioned_filesystem.dir/versioned_filesystem.cpp.o"
+  "CMakeFiles/versioned_filesystem.dir/versioned_filesystem.cpp.o.d"
+  "versioned_filesystem"
+  "versioned_filesystem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/versioned_filesystem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

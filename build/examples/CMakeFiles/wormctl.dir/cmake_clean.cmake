@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wormctl.dir/wormctl.cpp.o"
+  "CMakeFiles/wormctl.dir/wormctl.cpp.o.d"
+  "wormctl"
+  "wormctl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wormctl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/worm_adversary.dir/mallory.cpp.o"
+  "CMakeFiles/worm_adversary.dir/mallory.cpp.o.d"
+  "libworm_adversary.a"
+  "libworm_adversary.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/worm_adversary.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

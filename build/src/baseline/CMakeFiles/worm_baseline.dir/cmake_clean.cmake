@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/worm_baseline.dir/merkle_store.cpp.o"
+  "CMakeFiles/worm_baseline.dir/merkle_store.cpp.o.d"
+  "libworm_baseline.a"
+  "libworm_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/worm_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/worm_common.dir/bytes.cpp.o"
+  "CMakeFiles/worm_common.dir/bytes.cpp.o.d"
+  "CMakeFiles/worm_common.dir/log.cpp.o"
+  "CMakeFiles/worm_common.dir/log.cpp.o.d"
+  "CMakeFiles/worm_common.dir/serial.cpp.o"
+  "CMakeFiles/worm_common.dir/serial.cpp.o.d"
+  "CMakeFiles/worm_common.dir/sim_clock.cpp.o"
+  "CMakeFiles/worm_common.dir/sim_clock.cpp.o.d"
+  "libworm_common.a"
+  "libworm_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/worm_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

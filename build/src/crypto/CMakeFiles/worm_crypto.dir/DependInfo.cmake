@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/crypto/aes.cpp" "src/crypto/CMakeFiles/worm_crypto.dir/aes.cpp.o" "gcc" "src/crypto/CMakeFiles/worm_crypto.dir/aes.cpp.o.d"
+  "/root/repo/src/crypto/biguint.cpp" "src/crypto/CMakeFiles/worm_crypto.dir/biguint.cpp.o" "gcc" "src/crypto/CMakeFiles/worm_crypto.dir/biguint.cpp.o.d"
+  "/root/repo/src/crypto/chacha20.cpp" "src/crypto/CMakeFiles/worm_crypto.dir/chacha20.cpp.o" "gcc" "src/crypto/CMakeFiles/worm_crypto.dir/chacha20.cpp.o.d"
+  "/root/repo/src/crypto/chained_hash.cpp" "src/crypto/CMakeFiles/worm_crypto.dir/chained_hash.cpp.o" "gcc" "src/crypto/CMakeFiles/worm_crypto.dir/chained_hash.cpp.o.d"
+  "/root/repo/src/crypto/des.cpp" "src/crypto/CMakeFiles/worm_crypto.dir/des.cpp.o" "gcc" "src/crypto/CMakeFiles/worm_crypto.dir/des.cpp.o.d"
+  "/root/repo/src/crypto/drbg.cpp" "src/crypto/CMakeFiles/worm_crypto.dir/drbg.cpp.o" "gcc" "src/crypto/CMakeFiles/worm_crypto.dir/drbg.cpp.o.d"
+  "/root/repo/src/crypto/merkle.cpp" "src/crypto/CMakeFiles/worm_crypto.dir/merkle.cpp.o" "gcc" "src/crypto/CMakeFiles/worm_crypto.dir/merkle.cpp.o.d"
+  "/root/repo/src/crypto/mset_hash.cpp" "src/crypto/CMakeFiles/worm_crypto.dir/mset_hash.cpp.o" "gcc" "src/crypto/CMakeFiles/worm_crypto.dir/mset_hash.cpp.o.d"
+  "/root/repo/src/crypto/prime.cpp" "src/crypto/CMakeFiles/worm_crypto.dir/prime.cpp.o" "gcc" "src/crypto/CMakeFiles/worm_crypto.dir/prime.cpp.o.d"
+  "/root/repo/src/crypto/rsa.cpp" "src/crypto/CMakeFiles/worm_crypto.dir/rsa.cpp.o" "gcc" "src/crypto/CMakeFiles/worm_crypto.dir/rsa.cpp.o.d"
+  "/root/repo/src/crypto/sha1.cpp" "src/crypto/CMakeFiles/worm_crypto.dir/sha1.cpp.o" "gcc" "src/crypto/CMakeFiles/worm_crypto.dir/sha1.cpp.o.d"
+  "/root/repo/src/crypto/sha256.cpp" "src/crypto/CMakeFiles/worm_crypto.dir/sha256.cpp.o" "gcc" "src/crypto/CMakeFiles/worm_crypto.dir/sha256.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/worm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

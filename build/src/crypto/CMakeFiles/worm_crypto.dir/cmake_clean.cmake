@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/worm_crypto.dir/aes.cpp.o"
+  "CMakeFiles/worm_crypto.dir/aes.cpp.o.d"
+  "CMakeFiles/worm_crypto.dir/biguint.cpp.o"
+  "CMakeFiles/worm_crypto.dir/biguint.cpp.o.d"
+  "CMakeFiles/worm_crypto.dir/chacha20.cpp.o"
+  "CMakeFiles/worm_crypto.dir/chacha20.cpp.o.d"
+  "CMakeFiles/worm_crypto.dir/chained_hash.cpp.o"
+  "CMakeFiles/worm_crypto.dir/chained_hash.cpp.o.d"
+  "CMakeFiles/worm_crypto.dir/des.cpp.o"
+  "CMakeFiles/worm_crypto.dir/des.cpp.o.d"
+  "CMakeFiles/worm_crypto.dir/drbg.cpp.o"
+  "CMakeFiles/worm_crypto.dir/drbg.cpp.o.d"
+  "CMakeFiles/worm_crypto.dir/merkle.cpp.o"
+  "CMakeFiles/worm_crypto.dir/merkle.cpp.o.d"
+  "CMakeFiles/worm_crypto.dir/mset_hash.cpp.o"
+  "CMakeFiles/worm_crypto.dir/mset_hash.cpp.o.d"
+  "CMakeFiles/worm_crypto.dir/prime.cpp.o"
+  "CMakeFiles/worm_crypto.dir/prime.cpp.o.d"
+  "CMakeFiles/worm_crypto.dir/rsa.cpp.o"
+  "CMakeFiles/worm_crypto.dir/rsa.cpp.o.d"
+  "CMakeFiles/worm_crypto.dir/sha1.cpp.o"
+  "CMakeFiles/worm_crypto.dir/sha1.cpp.o.d"
+  "CMakeFiles/worm_crypto.dir/sha256.cpp.o"
+  "CMakeFiles/worm_crypto.dir/sha256.cpp.o.d"
+  "libworm_crypto.a"
+  "libworm_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/worm_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/scpu/cost_model.cpp" "src/scpu/CMakeFiles/worm_scpu.dir/cost_model.cpp.o" "gcc" "src/scpu/CMakeFiles/worm_scpu.dir/cost_model.cpp.o.d"
+  "/root/repo/src/scpu/key_cache.cpp" "src/scpu/CMakeFiles/worm_scpu.dir/key_cache.cpp.o" "gcc" "src/scpu/CMakeFiles/worm_scpu.dir/key_cache.cpp.o.d"
+  "/root/repo/src/scpu/scpu_device.cpp" "src/scpu/CMakeFiles/worm_scpu.dir/scpu_device.cpp.o" "gcc" "src/scpu/CMakeFiles/worm_scpu.dir/scpu_device.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/worm_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/worm_crypto.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

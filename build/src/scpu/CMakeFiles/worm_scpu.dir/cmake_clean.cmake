@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/worm_scpu.dir/cost_model.cpp.o"
+  "CMakeFiles/worm_scpu.dir/cost_model.cpp.o.d"
+  "CMakeFiles/worm_scpu.dir/key_cache.cpp.o"
+  "CMakeFiles/worm_scpu.dir/key_cache.cpp.o.d"
+  "CMakeFiles/worm_scpu.dir/scpu_device.cpp.o"
+  "CMakeFiles/worm_scpu.dir/scpu_device.cpp.o.d"
+  "libworm_scpu.a"
+  "libworm_scpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/worm_scpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

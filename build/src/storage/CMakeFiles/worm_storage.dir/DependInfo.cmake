@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/storage/block_device.cpp" "src/storage/CMakeFiles/worm_storage.dir/block_device.cpp.o" "gcc" "src/storage/CMakeFiles/worm_storage.dir/block_device.cpp.o.d"
+  "/root/repo/src/storage/crypto_shred.cpp" "src/storage/CMakeFiles/worm_storage.dir/crypto_shred.cpp.o" "gcc" "src/storage/CMakeFiles/worm_storage.dir/crypto_shred.cpp.o.d"
+  "/root/repo/src/storage/record_store.cpp" "src/storage/CMakeFiles/worm_storage.dir/record_store.cpp.o" "gcc" "src/storage/CMakeFiles/worm_storage.dir/record_store.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/worm_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/worm_crypto.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

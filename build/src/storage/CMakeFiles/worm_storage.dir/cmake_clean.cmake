@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/worm_storage.dir/block_device.cpp.o"
+  "CMakeFiles/worm_storage.dir/block_device.cpp.o.d"
+  "CMakeFiles/worm_storage.dir/crypto_shred.cpp.o"
+  "CMakeFiles/worm_storage.dir/crypto_shred.cpp.o.d"
+  "CMakeFiles/worm_storage.dir/record_store.cpp.o"
+  "CMakeFiles/worm_storage.dir/record_store.cpp.o.d"
+  "libworm_storage.a"
+  "libworm_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/worm_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/worm/auditor.cpp" "src/worm/CMakeFiles/worm_core.dir/auditor.cpp.o" "gcc" "src/worm/CMakeFiles/worm_core.dir/auditor.cpp.o.d"
+  "/root/repo/src/worm/block_worm.cpp" "src/worm/CMakeFiles/worm_core.dir/block_worm.cpp.o" "gcc" "src/worm/CMakeFiles/worm_core.dir/block_worm.cpp.o.d"
+  "/root/repo/src/worm/client_verifier.cpp" "src/worm/CMakeFiles/worm_core.dir/client_verifier.cpp.o" "gcc" "src/worm/CMakeFiles/worm_core.dir/client_verifier.cpp.o.d"
+  "/root/repo/src/worm/commands.cpp" "src/worm/CMakeFiles/worm_core.dir/commands.cpp.o" "gcc" "src/worm/CMakeFiles/worm_core.dir/commands.cpp.o.d"
+  "/root/repo/src/worm/envelopes.cpp" "src/worm/CMakeFiles/worm_core.dir/envelopes.cpp.o" "gcc" "src/worm/CMakeFiles/worm_core.dir/envelopes.cpp.o.d"
+  "/root/repo/src/worm/firmware.cpp" "src/worm/CMakeFiles/worm_core.dir/firmware.cpp.o" "gcc" "src/worm/CMakeFiles/worm_core.dir/firmware.cpp.o.d"
+  "/root/repo/src/worm/migrator.cpp" "src/worm/CMakeFiles/worm_core.dir/migrator.cpp.o" "gcc" "src/worm/CMakeFiles/worm_core.dir/migrator.cpp.o.d"
+  "/root/repo/src/worm/proofs.cpp" "src/worm/CMakeFiles/worm_core.dir/proofs.cpp.o" "gcc" "src/worm/CMakeFiles/worm_core.dir/proofs.cpp.o.d"
+  "/root/repo/src/worm/types.cpp" "src/worm/CMakeFiles/worm_core.dir/types.cpp.o" "gcc" "src/worm/CMakeFiles/worm_core.dir/types.cpp.o.d"
+  "/root/repo/src/worm/vrdt.cpp" "src/worm/CMakeFiles/worm_core.dir/vrdt.cpp.o" "gcc" "src/worm/CMakeFiles/worm_core.dir/vrdt.cpp.o.d"
+  "/root/repo/src/worm/worm_fs.cpp" "src/worm/CMakeFiles/worm_core.dir/worm_fs.cpp.o" "gcc" "src/worm/CMakeFiles/worm_core.dir/worm_fs.cpp.o.d"
+  "/root/repo/src/worm/worm_store.cpp" "src/worm/CMakeFiles/worm_core.dir/worm_store.cpp.o" "gcc" "src/worm/CMakeFiles/worm_core.dir/worm_store.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/worm_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/worm_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/worm_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/scpu/CMakeFiles/worm_scpu.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/worm_core.dir/auditor.cpp.o"
+  "CMakeFiles/worm_core.dir/auditor.cpp.o.d"
+  "CMakeFiles/worm_core.dir/block_worm.cpp.o"
+  "CMakeFiles/worm_core.dir/block_worm.cpp.o.d"
+  "CMakeFiles/worm_core.dir/client_verifier.cpp.o"
+  "CMakeFiles/worm_core.dir/client_verifier.cpp.o.d"
+  "CMakeFiles/worm_core.dir/commands.cpp.o"
+  "CMakeFiles/worm_core.dir/commands.cpp.o.d"
+  "CMakeFiles/worm_core.dir/envelopes.cpp.o"
+  "CMakeFiles/worm_core.dir/envelopes.cpp.o.d"
+  "CMakeFiles/worm_core.dir/firmware.cpp.o"
+  "CMakeFiles/worm_core.dir/firmware.cpp.o.d"
+  "CMakeFiles/worm_core.dir/migrator.cpp.o"
+  "CMakeFiles/worm_core.dir/migrator.cpp.o.d"
+  "CMakeFiles/worm_core.dir/proofs.cpp.o"
+  "CMakeFiles/worm_core.dir/proofs.cpp.o.d"
+  "CMakeFiles/worm_core.dir/types.cpp.o"
+  "CMakeFiles/worm_core.dir/types.cpp.o.d"
+  "CMakeFiles/worm_core.dir/vrdt.cpp.o"
+  "CMakeFiles/worm_core.dir/vrdt.cpp.o.d"
+  "CMakeFiles/worm_core.dir/worm_fs.cpp.o"
+  "CMakeFiles/worm_core.dir/worm_fs.cpp.o.d"
+  "CMakeFiles/worm_core.dir/worm_store.cpp.o"
+  "CMakeFiles/worm_core.dir/worm_store.cpp.o.d"
+  "libworm_core.a"
+  "libworm_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/worm_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/biguint_test.dir/biguint_test.cpp.o"
+  "CMakeFiles/biguint_test.dir/biguint_test.cpp.o.d"
+  "biguint_test"
+  "biguint_test.pdb"
+  "biguint_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/biguint_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

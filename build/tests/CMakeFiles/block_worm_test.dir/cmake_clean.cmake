@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/block_worm_test.dir/block_worm_test.cpp.o"
+  "CMakeFiles/block_worm_test.dir/block_worm_test.cpp.o.d"
+  "block_worm_test"
+  "block_worm_test.pdb"
+  "block_worm_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/block_worm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

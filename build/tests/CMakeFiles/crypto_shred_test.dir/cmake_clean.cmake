@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crypto_shred_test.dir/crypto_shred_test.cpp.o"
+  "CMakeFiles/crypto_shred_test.dir/crypto_shred_test.cpp.o.d"
+  "crypto_shred_test"
+  "crypto_shred_test.pdb"
+  "crypto_shred_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crypto_shred_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scpu_test.dir/scpu_test.cpp.o"
+  "CMakeFiles/scpu_test.dir/scpu_test.cpp.o.d"
+  "scpu_test"
+  "scpu_test.pdb"
+  "scpu_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scpu_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

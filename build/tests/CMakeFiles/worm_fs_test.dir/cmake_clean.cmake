@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/worm_fs_test.dir/worm_fs_test.cpp.o"
+  "CMakeFiles/worm_fs_test.dir/worm_fs_test.cpp.o.d"
+  "worm_fs_test"
+  "worm_fs_test.pdb"
+  "worm_fs_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/worm_fs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

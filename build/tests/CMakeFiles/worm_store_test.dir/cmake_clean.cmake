@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/worm_store_test.dir/worm_store_test.cpp.o"
+  "CMakeFiles/worm_store_test.dir/worm_store_test.cpp.o.d"
+  "worm_store_test"
+  "worm_store_test.pdb"
+  "worm_store_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/worm_store_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
