@@ -1,0 +1,77 @@
+// Mailbox transport microbenchmark: what the PCI-X boundary costs and what
+// batching buys back.
+//
+//   (a) A/B the per-crossing transfer charge (MailboxConfig::charge_transfer)
+//       to isolate the transport's share of burst latency,
+//   (b) sweep kWriteBatch batch sizes at fixed workload,
+//   (c) dump the store's counters so the crossing/byte arithmetic is visible.
+//
+// The transfer cost is command_cost (~0.68 ms round trip, Table 2) plus DMA
+// for the bytes actually moved — so for small records the crossing, not the
+// crypto, dominates, and batching converts N crossings into one.
+#include <cstdio>
+
+#include "bench_util.hpp"
+
+using namespace worm;
+
+namespace {
+
+core::StoreConfig burst_config(bool charge_transfer, std::size_t max_batch) {
+  core::StoreConfig sc;
+  sc.default_mode = core::WitnessMode::kDeferred;
+  sc.hash_mode = core::HashMode::kHostHash;
+  sc.mailbox.charge_transfer = charge_transfer;
+  sc.mailbox.max_batch = max_batch;
+  return sc;
+}
+
+}  // namespace
+
+int main() {
+  const std::size_t kN = 400;
+
+  bench::print_header(
+      "Mailbox A/B — per-record deferred burst, transfer cost on vs off",
+      "Table 2 command cost ~0.68 ms/crossing; off = legacy in-process bind");
+  std::printf("%8s %20s %20s\n", "size", "with transfer", "without");
+  for (std::size_t size : {512u, 1024u, 4096u, 16384u}) {
+    bench::BenchRig with(bench::bench_fw_config(), burst_config(true, 64));
+    bench::BenchRig without(bench::bench_fw_config(), burst_config(false, 64));
+    auto tw =
+        bench::measure_writes(with, size, kN, core::WitnessMode::kDeferred);
+    auto to =
+        bench::measure_writes(without, size, kN, core::WitnessMode::kDeferred);
+    std::printf("%7zuB %14.0f rec/s %14.0f rec/s\n", size, tw.records_per_sec,
+                to.records_per_sec);
+  }
+
+  bench::print_header(
+      "kWriteBatch sweep — 400 x 1KB deferred burst, transfer cost on",
+      "§4.1 amortization: one crossing witnesses up to max_batch records");
+  std::printf("%10s %16s %12s %14s\n", "batch", "throughput", "crossings",
+              "bytes crossed");
+  for (std::size_t batch : {1u, 2u, 4u, 8u, 16u, 32u, 64u, 128u}) {
+    bench::BenchRig rig(bench::bench_fw_config(), burst_config(true, batch));
+    auto t = bench::measure_batched_writes(rig, 1024, kN,
+                                           core::WitnessMode::kDeferred, batch);
+    auto counters = rig.store.counters();
+    std::printf("%10zu %10.0f rec/s %12llu %14llu\n", batch,
+                t.records_per_sec,
+                static_cast<unsigned long long>(counters.at("mailbox_commands")),
+                static_cast<unsigned long long>(
+                    counters.at("mailbox_bytes_crossed")));
+  }
+
+  bench::print_header("Counter dump — batched burst followed by idle pumping",
+                      "WormStore::counters(): operation + transport metrics");
+  {
+    bench::BenchRig rig(bench::bench_fw_config(), burst_config(true, 64));
+    bench::measure_batched_writes(rig, 1024, kN, core::WitnessMode::kDeferred,
+                                  64);
+    while (rig.store.pump_idle()) {
+    }
+    bench::print_counters(rig.store);
+  }
+  return 0;
+}

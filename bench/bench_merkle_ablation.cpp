@@ -26,7 +26,7 @@ Costs measure_windowed(std::size_t prefill) {
   attr.retention = common::Duration::years(5);
   // Windowed design cost is size-independent; a token prefill shows that.
   for (std::size_t i = 0; i < std::min<std::size_t>(prefill, 64); ++i) {
-    rig.store.write({payload}, attr);
+    rig.store.write({.payloads = {payload}, .attr = attr});
   }
 
   const std::size_t n = 64;
@@ -35,7 +35,7 @@ Costs measure_windowed(std::size_t prefill) {
   expiring.retention = common::Duration::hours(1);
   std::vector<core::Sn> sns;
   for (std::size_t i = 0; i < n; ++i) {
-    sns.push_back(rig.store.write({payload}, expiring));
+    sns.push_back(rig.store.write({.payloads = {payload}, .attr = expiring}));
   }
   double write_us =
       (rig.device.busy_time() - b0).to_seconds_f() * 1e6 / static_cast<double>(n);

@@ -30,7 +30,9 @@ int main() {
     attr.retention = common::Duration::years(5);
     // Seed some records so reads have targets.
     for (int i = 0; i < 50; ++i) {
-      rig.store.write({payload}, attr, core::WitnessMode::kDeferred);
+      rig.store.write({.payloads = {payload},
+                       .attr = attr,
+                       .mode = core::WitnessMode::kDeferred});
     }
 
     const std::size_t ops = 2000;
@@ -45,7 +47,9 @@ int main() {
         rig.clock.charge(
             rig.store.config().host_model.dma_cost(payload.size()));
       } else {
-        rig.store.write({payload}, attr, core::WitnessMode::kDeferred);
+        rig.store.write({.payloads = {payload},
+                       .attr = attr,
+                       .mode = core::WitnessMode::kDeferred});
         ++writes;
       }
     }

@@ -34,7 +34,9 @@ int main() {
     core::Attr attr;
     attr.retention = common::Duration::years(5);
     for (std::size_t i = 0; i < total; ++i) {
-      shards[i % k]->store.write({payload}, attr, core::WitnessMode::kDeferred);
+      shards[i % k]->store.write({.payloads = {payload},
+                                  .attr = attr,
+                                  .mode = core::WitnessMode::kDeferred});
     }
     double slowest = 0;
     for (auto& s : shards) {

@@ -4,9 +4,11 @@
 // paper's absolute throughput numbers regardless of build hardware.
 #pragma once
 
+#include <algorithm>
 #include <cstdio>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "common/sim_clock.hpp"
 #include "scpu/key_cache.hpp"
@@ -69,7 +71,7 @@ inline Throughput measure_writes(BenchRig& rig, std::size_t size,
   common::SimTime t0 = rig.clock.now();
   common::Duration busy0 = rig.device.busy_time();
   for (std::size_t i = 0; i < n; ++i) {
-    rig.store.write({payload}, attr, mode);
+    rig.store.write({.payloads = {payload}, .attr = attr, .mode = mode});
   }
   Throughput t;
   t.elapsed_sec = (rig.clock.now() - t0).to_seconds_f();
@@ -77,6 +79,42 @@ inline Throughput measure_writes(BenchRig& rig, std::size_t size,
   t.scpu_busy_frac =
       (rig.device.busy_time() - busy0).to_seconds_f() / t.elapsed_sec;
   return t;
+}
+
+/// Same burst shipped through WormStore::write_batch (kWriteBatch crossings,
+/// `batch` requests queued per submission).
+inline Throughput measure_batched_writes(BenchRig& rig, std::size_t size,
+                                         std::size_t n, core::WitnessMode mode,
+                                         std::size_t batch) {
+  common::Bytes payload(size, 0x5a);
+  core::Attr attr;
+  attr.retention = common::Duration::years(5);
+
+  common::SimTime t0 = rig.clock.now();
+  common::Duration busy0 = rig.device.busy_time();
+  std::size_t done = 0;
+  while (done < n) {
+    std::size_t take = std::min(batch, n - done);
+    std::vector<core::WriteRequest> queue(
+        take, {.payloads = {payload}, .attr = attr, .mode = mode});
+    rig.store.write_batch(queue);
+    done += take;
+  }
+  Throughput t;
+  t.elapsed_sec = (rig.clock.now() - t0).to_seconds_f();
+  t.records_per_sec = static_cast<double>(n) / t.elapsed_sec;
+  t.scpu_busy_frac =
+      (rig.device.busy_time() - busy0).to_seconds_f() / t.elapsed_sec;
+  return t;
+}
+
+/// Dumps the store's named counters (operation counts + mailbox transport
+/// metrics) in a stable two-column form.
+inline void print_counters(const core::WormStore& store) {
+  for (const auto& [name, value] : store.counters()) {
+    std::printf("  %-24s %llu\n", std::string(name).c_str(),
+                static_cast<unsigned long long>(value));
+  }
 }
 
 /// Record count that keeps memory and wall time bounded across sizes.

@@ -37,12 +37,14 @@ int main() {
   logs.retention = common::Duration::days(30);
   for (int month = 0; month < 12; ++month) {
     for (int i = 0; i < 3; ++i) {
-      store.write({common::to_bytes("contract m" + std::to_string(month) +
-                                    "#" + std::to_string(i))},
-                  contracts);
+      store.write(
+          {.payloads = {common::to_bytes("contract m" + std::to_string(month) +
+                                         "#" + std::to_string(i))},
+           .attr = contracts});
     }
     for (int i = 0; i < 5; ++i) {
-      store.write({common::to_bytes("session log")}, logs);
+      store.write(
+          {.payloads = {common::to_bytes("session log")}, .attr = logs});
     }
     clock.advance(common::Duration::days(30));
     while (store.pump_idle()) {

@@ -63,7 +63,8 @@ int main() {
   const int kRecords = 25;
   for (int i = 0; i < kRecords; ++i) {
     old_array.store.write(
-        {common::to_bytes("ledger entry " + std::to_string(i))}, attr);
+        {.payloads = {common::to_bytes("ledger entry " + std::to_string(i))},
+         .attr = attr});
   }
   clock.advance(common::Duration::years(4));
   std::printf("old array: %d records, 4 years into their 10-year "

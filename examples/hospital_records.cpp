@@ -50,11 +50,13 @@ int main() {
   hipaa.shredding = storage::ShredPolicy::kNist3Pass;
 
   core::Sn chart_a = store.write(
-      {common::to_bytes("patient A: appendectomy, 2026-07-06, Dr. Reyes")},
-      hipaa);
+      {.payloads = {common::to_bytes(
+           "patient A: appendectomy, 2026-07-06, Dr. Reyes")},
+       .attr = hipaa});
   core::Sn chart_b = store.write(
-      {common::to_bytes("patient B: cardiac stent, 2026-07-06, Dr. Okafor")},
-      hipaa);
+      {.payloads = {common::to_bytes(
+           "patient B: cardiac stent, 2026-07-06, Dr. Okafor")},
+       .attr = hipaa});
   std::printf("two charts archived (retention: 20 years, NIST 3-pass "
               "shredding)\n\n");
 
@@ -69,7 +71,11 @@ int main() {
   common::Bytes credential = crypto::rsa_sign(
       court, core::lit_credential_payload(chart_b, clock.now(), /*lit_id=*/88,
                                           /*hold=*/true));
-  store.lit_hold(chart_b, hold_until, 88, clock.now(), credential);
+  store.lit_hold({.sn = chart_b,
+                  .lit_id = 88,
+                  .hold_until = hold_until,
+                  .cred_issued_at = clock.now(),
+                  .credential = credential});
 
   // --- year 21: retention lapsed — chart A goes, chart B must stay ----------
   clock.advance(common::Duration::years(2));
@@ -82,7 +88,10 @@ int main() {
   std::printf("\n[court] case settled; releasing the hold\n");
   common::Bytes release = crypto::rsa_sign(
       court, core::lit_credential_payload(chart_b, clock.now(), 88, false));
-  store.lit_release(chart_b, 88, clock.now(), release);
+  store.lit_release({.sn = chart_b,
+                     .lit_id = 88,
+                     .cred_issued_at = clock.now(),
+                     .credential = release});
   clock.advance(common::Duration::days(1));  // RM wakes and deletes
 
   std::printf("\nafter release:\n");

@@ -48,8 +48,10 @@ int main() {
   attr.regulation_policy = 17;  // e.g. SEC rule 17a-4
   attr.shredding = storage::ShredPolicy::kNist3Pass;
 
-  core::Sn sn = store.write({common::to_bytes("trade ticket #8571: SELL 500 ACME @ 42.17")},
-                            attr);
+  core::Sn sn = store.write(
+      {.payloads = {common::to_bytes(
+           "trade ticket #8571: SELL 500 ACME @ 42.17")},
+       .attr = attr});
   std::printf("wrote record, SCPU issued serial number %llu\n",
               static_cast<unsigned long long>(sn));
 
@@ -79,7 +81,7 @@ int main() {
   std::printf("read after retention: %s (%s)\n", core::to_string(out.verdict),
               out.detail.c_str());
   std::printf("records shredded by retention monitor: %llu\n",
-              static_cast<unsigned long long>(store.stats().expirations));
+              static_cast<unsigned long long>(store.counters().at("expirations")));
 
   std::printf("\nSCPU lifetime busy time: %.1f ms of %.0f hours simulated\n",
               device.busy_time().to_seconds_f() * 1e3,

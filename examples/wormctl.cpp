@@ -138,7 +138,8 @@ int main(int argc, char** argv) {
         if (i > 4) text += ' ';
         text += argv[i];
       }
-      core::Sn sn = d.store->write({common::to_bytes(text)}, attr);
+      core::Sn sn = d.store->write(
+          {.payloads = {common::to_bytes(text)}, .attr = attr});
       std::printf("stored as SN %llu (retention %s days)\n",
                   static_cast<unsigned long long>(sn), argv[3]);
     } else if (cmd == "get" && argc == 4) {

@@ -6,7 +6,7 @@ using core::Vrdt;
 
 namespace {
 core::Vrd* active_vrd(core::WormStore& store, Sn sn) {
-  Vrdt::Entry* e = store.vrdt_mutable().mutable_entry(sn);
+  Vrdt::Entry* e = core::InsiderHandle(store).vrdt().mutable_entry(sn);
   if (e == nullptr || e->kind != Vrdt::Entry::Kind::kActive) return nullptr;
   return &e->vrd;
 }
@@ -42,7 +42,7 @@ bool cross_wire_records(core::WormStore& store, Sn a, Sn b) {
 }
 
 bool hide_record(core::WormStore& store, Sn sn) {
-  return store.vrdt_mutable().force_erase(sn);
+  return core::InsiderHandle(store).vrdt().force_erase(sn);
 }
 
 bool forge_deletion(core::WormStore& store, Sn sn, crypto::Drbg& rng) {
@@ -54,7 +54,7 @@ bool forge_deletion(core::WormStore& store, Sn sn, crypto::Drbg& rng) {
   Vrdt::Entry entry;
   entry.kind = Vrdt::Entry::Kind::kDeleted;
   entry.proof = std::move(fake);
-  store.vrdt_mutable().force_put(sn, std::move(entry));
+  core::InsiderHandle(store).vrdt().force_put(sn, std::move(entry));
   return true;
 }
 
@@ -66,7 +66,7 @@ bool replay_foreign_deletion(core::WormStore& store, Sn victim, Sn donor) {
   Vrdt::Entry entry;
   entry.kind = Vrdt::Entry::Kind::kDeleted;
   entry.proof = std::move(stolen);
-  store.vrdt_mutable().force_put(victim, std::move(entry));
+  core::InsiderHandle(store).vrdt().force_put(victim, std::move(entry));
   return true;
 }
 
@@ -87,7 +87,7 @@ DeletedWindow splice_windows(const DeletedWindow& first,
 }
 
 void install_spliced_window(core::WormStore& store, DeletedWindow forged) {
-  Vrdt& vrdt = store.vrdt_mutable();
+  Vrdt& vrdt = core::InsiderHandle(store).vrdt();
   for (Sn sn = forged.lo; sn <= forged.hi; ++sn) vrdt.force_erase(sn);
   vrdt.force_add_window(std::move(forged));
 }
@@ -97,7 +97,7 @@ Vrdt snapshot_vrdt(const core::WormStore& store) {
 }
 
 void rollback_vrdt(core::WormStore& store, Vrdt snapshot) {
-  store.vrdt_mutable() = std::move(snapshot);
+  core::InsiderHandle(store).vrdt() = std::move(snapshot);
 }
 
 }  // namespace worm::adversary

@@ -98,6 +98,11 @@ Duration CostModel::command_cost() const {
   return Duration::from_seconds_f(command_overhead_sec);
 }
 
+Duration CostModel::transfer_cost(std::size_t request_bytes,
+                                  std::size_t response_bytes) const {
+  return command_cost() + dma_cost(request_bytes + response_bytes);
+}
+
 Duration CostModel::keygen_cost(std::size_t bits) const {
   double t = keygen1024_sec * std::pow(static_cast<double>(bits) / 1024.0, 4.0);
   return Duration::from_seconds_f(t);

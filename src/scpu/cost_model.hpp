@@ -72,6 +72,14 @@ struct CostModel {
   /// One command round-trip (charged once per mailbox command).
   [[nodiscard]] common::Duration command_cost() const;
 
+  /// One mailbox crossing carrying `request_bytes` in and `response_bytes`
+  /// out: the fixed PCI-X command round-trip plus DMA for the bytes actually
+  /// moved. Charged at the transport boundary (ScpuChannel), which is the
+  /// only layer that knows the real wire sizes — firmware methods no longer
+  /// estimate them.
+  [[nodiscard]] common::Duration transfer_cost(std::size_t request_bytes,
+                                               std::size_t response_bytes) const;
+
   /// RSA keypair generation (t ~ bits^4 from the 1024-bit anchor).
   [[nodiscard]] common::Duration keygen_cost(std::size_t bits) const;
 };

@@ -25,7 +25,7 @@ void WormBlockDevice::write_block(std::size_t lbn, common::ByteView data) {
                "WormBlockDevice: block already written (WORM)");
   Attr attr;
   attr.retention = retention_;
-  map_[lbn] = store_.write({common::to_bytes(data)}, attr);
+  map_[lbn] = store_.write({.payloads = {common::to_bytes(data)}, .attr = attr});
 }
 
 bool WormBlockDevice::is_written(std::size_t lbn) const {

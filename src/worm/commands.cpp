@@ -14,6 +14,11 @@ namespace {
 constexpr std::uint8_t kStatusOk = 0;
 constexpr std::uint8_t kStatusError = 1;
 
+/// Hard cap on writes per kWriteBatch crossing: bounds the device-side
+/// buffering one crossing may demand, independently of what the length
+/// fields in hostile input claim.
+constexpr std::uint32_t kMaxBatchItems = 1024;
+
 Bytes ok_response(const ByteWriter& payload) {
   ByteWriter w;
   w.u8(kStatusOk);
@@ -147,6 +152,50 @@ Bytes ScpuChannel::dispatch(ByteView request) {
       put_witness(out, fw_.write(attr, rdl, payloads, claimed, mode, hash_mode));
       break;
     }
+    case OpCode::kWriteBatch: {
+      std::uint8_t mode_raw = r.u8();
+      std::uint8_t hash_raw = r.u8();
+      if (mode_raw > 2) throw common::ParseError("bad witness mode");
+      if (hash_raw > 1) throw common::ParseError("bad hash mode");
+      auto mode = static_cast<WitnessMode>(mode_raw);
+      auto hash_mode = static_cast<HashMode>(hash_raw);
+      // Each item needs at least an attr + one descriptor; 20 bytes is a
+      // safe floor that still rejects forged multi-gigabyte counts.
+      std::uint32_t n = r.count(20);
+      if (n == 0) throw common::ParseError("empty write batch");
+      if (n > kMaxBatchItems) throw common::ParseError("write batch too large");
+      std::vector<Firmware::BatchItem> items;
+      items.reserve(n);
+      for (std::uint32_t i = 0; i < n; ++i) {
+        Firmware::BatchItem item;
+        item.attr = Attr::deserialize(r);
+        std::uint32_t nrd = r.count(20);
+        item.rdl.reserve(nrd);
+        for (std::uint32_t k = 0; k < nrd; ++k) {
+          item.rdl.push_back(storage::RecordDescriptor::deserialize(r));
+        }
+        item.payloads = get_payloads(r);
+        item.claimed_hash = r.blob();
+        items.push_back(std::move(item));
+      }
+      r.expect_end();
+      // Parsing is complete before the firmware sees the batch: a truncated
+      // or malformed request therefore cannot issue any serial number.
+      auto witnesses = fw_.write_batch(items, mode, hash_mode);
+      out.u32(static_cast<std::uint32_t>(witnesses.size()));
+      for (const auto& ww : witnesses) put_witness(out, ww);
+      break;
+    }
+    case OpCode::kStatus: {
+      r.expect_end();
+      fw_.device().ensure_alive();
+      out.u64(fw_.sn_current());
+      out.u64(fw_.sn_base());
+      out.boolean(fw_.vexp_incomplete());
+      out.u32(static_cast<std::uint32_t>(fw_.deferred_count()));
+      out.i64(fw_.earliest_deadline().ns);
+      break;
+    }
     case OpCode::kHeartbeat: {
       r.expect_end();
       fw_.heartbeat().serialize(out);
@@ -278,15 +327,28 @@ Bytes ScpuChannel::dispatch(ByteView request) {
 Bytes ScpuChannel::call(ByteView request) {
   // The device boundary: hostile or malformed bytes become error responses.
   // InternalError is NOT caught — that is a bug in this codebase, not input.
+  Bytes response;
   try {
-    return dispatch(request);
+    response = dispatch(request);
   } catch (const common::ParseError& e) {
-    return error_response(std::string("malformed command: ") + e.what());
+    response = error_response(std::string("malformed command: ") + e.what());
   } catch (const common::ScpuError& e) {
-    return error_response(std::string("rejected: ") + e.what());
+    response = error_response(std::string("rejected: ") + e.what());
   } catch (const common::PreconditionError& e) {
-    return error_response(std::string("rejected: ") + e.what());
+    response = error_response(std::string("rejected: ") + e.what());
   }
+  // The crossing itself costs one PCI-X command round-trip plus DMA for the
+  // bytes actually moved — charged here because only the transport knows the
+  // real wire sizes. Rejected commands still crossed the boundary and still
+  // pay; a zeroized device no longer accounts time (it is gone).
+  if (charge_transfer_ && !fw_.device().tampered()) {
+    fw_.device().charge(
+        fw_.device().cost().transfer_cost(request.size(), response.size()));
+  }
+  ++wire_.commands;
+  wire_.bytes_crossed += request.size() + response.size();
+  if (!response.empty() && response[0] == kStatusError) ++wire_.errors;
+  return response;
 }
 
 // ---------------------------------------------------------------------------
@@ -321,6 +383,45 @@ WriteWitness ScpuChannel::write(
   WriteWitness ww = get_witness(r);
   r.expect_end();
   return ww;
+}
+
+std::vector<WriteWitness> ScpuChannel::write_batch(
+    const std::vector<Firmware::BatchItem>& items, WitnessMode mode,
+    HashMode hash_mode) {
+  ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(OpCode::kWriteBatch));
+  w.u8(static_cast<std::uint8_t>(mode));
+  w.u8(static_cast<std::uint8_t>(hash_mode));
+  w.u32(static_cast<std::uint32_t>(items.size()));
+  for (const auto& item : items) {
+    item.attr.serialize(w);
+    w.u32(static_cast<std::uint32_t>(item.rdl.size()));
+    for (const auto& rd : item.rdl) rd.serialize(w);
+    put_payloads(w, item.payloads);
+    w.blob(item.claimed_hash);
+  }
+  Bytes payload_bytes = invoke_ok(w.take());
+  ByteReader r(payload_bytes);
+  std::uint32_t n = r.u32();
+  std::vector<WriteWitness> out;
+  out.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) out.push_back(get_witness(r));
+  r.expect_end();
+  return out;
+}
+
+ScpuStatus ScpuChannel::status() {
+  ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(OpCode::kStatus));
+  Bytes payload_bytes = invoke_ok(w.take());
+  ByteReader r(payload_bytes);
+  ScpuStatus st;
+  st.sn_current = r.u64();
+  st.sn_base = r.u64();
+  st.vexp_incomplete = r.boolean();
+  st.deferred_count = r.u32();
+  st.earliest_deadline = common::SimTime{r.i64()};
+  return st;
 }
 
 SignedSnCurrent ScpuChannel::heartbeat() {

@@ -38,6 +38,19 @@ enum class OpCode : std::uint8_t {
   kSignMigration = 15,
   kDeferredPending = 16,
   kHashAuditsPending = 17,
+  kWriteBatch = 18,
+  kStatus = 19,
+};
+
+/// Device-state snapshot returned by kStatus: the one crossing the host
+/// makes to (re)seed its scheduling mirrors (SN bounds, strengthening
+/// backlog, VEXP completeness) instead of poking firmware state directly.
+struct ScpuStatus {
+  Sn sn_current = 0;
+  Sn sn_base = 1;
+  bool vexp_incomplete = false;
+  std::uint32_t deferred_count = 0;
+  common::SimTime earliest_deadline = common::SimTime::max();
 };
 
 /// Thrown by typed wrappers when the device answered with an error status.
@@ -55,12 +68,26 @@ struct CertificateBundle {
 
 class ScpuChannel {
  public:
-  explicit ScpuChannel(Firmware& firmware) : fw_(firmware) {}
+  /// Running totals for the transport itself (feeds the mailbox metrics).
+  struct WireStats {
+    std::uint64_t commands = 0;       // crossings dispatched
+    std::uint64_t bytes_crossed = 0;  // request + response bytes
+    std::uint64_t errors = 0;         // crossings answered with error status
+  };
+
+  /// `charge_transfer` = false restores the legacy in-process binding cost
+  /// (no per-crossing PCI-X charge); kept for A/B benchmarking.
+  explicit ScpuChannel(Firmware& firmware, bool charge_transfer = true)
+      : fw_(firmware), charge_transfer_(charge_transfer) {}
 
   /// Raw entry point: dispatches one serialized command. Malformed or
   /// rejected commands produce an error *response*; this function only
-  /// throws on host-side bugs (never for hostile request bytes).
+  /// throws on host-side bugs (never for hostile request bytes). Every
+  /// crossing — including a rejected one — charges the transfer cost for
+  /// the bytes actually moved.
   common::Bytes call(common::ByteView request);
+
+  [[nodiscard]] const WireStats& wire_stats() const { return wire_; }
 
   // --- typed wrappers (encode -> call -> decode) ---------------------------
 
@@ -69,6 +96,10 @@ class ScpuChannel {
                      const std::vector<common::Bytes>& payloads,
                      common::ByteView claimed_hash, WitnessMode mode,
                      HashMode hash_mode);
+  std::vector<WriteWitness> write_batch(
+      const std::vector<Firmware::BatchItem>& items, WitnessMode mode,
+      HashMode hash_mode);
+  ScpuStatus status();
   SignedSnCurrent heartbeat();
   SignedSnBase sign_base();
   SignedSnBase advance_base(Sn new_base,
@@ -104,6 +135,8 @@ class ScpuChannel {
   common::Bytes invoke_ok(const common::Bytes& request);
 
   Firmware& fw_;
+  bool charge_transfer_;
+  WireStats wire_;
 };
 
 }  // namespace worm::core

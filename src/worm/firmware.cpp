@@ -56,11 +56,8 @@ Firmware::~Firmware() {
   if (rm_scheduled_) dev_.clock().cancel(rm_alarm_);
 }
 
-void Firmware::charge_command(std::size_t request_bytes,
-                              std::size_t response_bytes) {
-  dev_.charge(dev_.cost().command_cost() +
-              dev_.cost().dma_cost(request_bytes + response_bytes));
-}
+// Command/DMA round-trip costs are charged by the transport (ScpuChannel)
+// from the actual wire encodings, not estimated here — see commands.cpp.
 
 Bytes Firmware::sign_with(const crypto::RsaPrivateKey& key, ByteView payload,
                           std::size_t bits) {
@@ -153,18 +150,6 @@ WriteWitness Firmware::write(const Attr& attr_in,
   WORM_REQUIRE(attr_in.retention.ns > 0, "Firmware::write: zero retention");
   WORM_REQUIRE(!rdl.empty(), "Firmware::write: empty RDL");
 
-  std::size_t payload_bytes = 0;
-  for (const auto& p : payloads) payload_bytes += p.size();
-
-  // Request DMA: descriptors + attributes always cross the boundary; record
-  // payloads do only when the SCPU hashes them itself.
-  std::size_t request_bytes = 128 + rdl.size() * 32;
-  if (hash_mode == HashMode::kScpuHash) {
-    request_bytes += payload_bytes;
-  } else {
-    request_bytes += 32;  // the claimed hash
-  }
-
   WriteWitness out;
   out.attr = attr_in;
   out.attr.creation_time = dev_.now();  // SCPU-authoritative timestamp
@@ -223,10 +208,36 @@ WriteWitness Firmware::write(const Attr& attr_in,
 
   vexp_insert(out.attr.expiry(), out.sn);
 
-  std::size_t response_bytes =
-      64 + out.metasig.value.size() + out.datasig.value.size();
-  charge_command(request_bytes, response_bytes);
   ++counters_.writes;
+  return out;
+}
+
+std::vector<WriteWitness> Firmware::write_batch(
+    const std::vector<BatchItem>& items, WitnessMode mode, HashMode hash_mode) {
+  dev_.ensure_alive();
+  WORM_REQUIRE(!items.empty(), "write_batch: empty batch");
+  // Admission-check the whole batch before issuing any serial number: a
+  // batch is atomic, so a malformed item must not leave a half-witnessed SN
+  // range (or stray VEXP entries) behind. These mirror write()'s own
+  // preconditions, which therefore cannot fire in the loop below.
+  for (const auto& item : items) {
+    WORM_REQUIRE(item.attr.retention.ns > 0, "write_batch: zero retention");
+    WORM_REQUIRE(!item.rdl.empty(), "write_batch: empty RDL");
+    if (hash_mode == HashMode::kScpuHash) {
+      WORM_REQUIRE(!item.payloads.empty(),
+                   "write_batch: kScpuHash requires payloads");
+    } else {
+      WORM_REQUIRE(item.claimed_hash.size() == 32,
+                   "write_batch: kHostHash requires a 32-byte claimed hash");
+    }
+  }
+  std::vector<WriteWitness> out;
+  out.reserve(items.size());
+  for (const auto& item : items) {
+    out.push_back(
+        write(item.attr, item.rdl, item.payloads, item.claimed_hash, mode,
+              hash_mode));
+  }
   return out;
 }
 
@@ -289,7 +300,6 @@ Firmware::LitUpdate Firmware::lit_hold(const Vrd& vrd, SimTime hold_until,
                                        SimTime cred_issued_at,
                                        ByteView credential) {
   dev_.ensure_alive();
-  charge_command(vrd.to_bytes().size() + credential.size(), 256);
   verify_lit_credential(vrd.sn, lit_id, cred_issued_at, credential,
                         /*hold=*/true);
   if (!verify_metasig(vrd)) {
@@ -314,7 +324,6 @@ Firmware::LitUpdate Firmware::lit_release(const Vrd& vrd, std::uint64_t lit_id,
                                           SimTime cred_issued_at,
                                           ByteView credential) {
   dev_.ensure_alive();
-  charge_command(vrd.to_bytes().size() + credential.size(), 256);
   verify_lit_credential(vrd.sn, lit_id, cred_issued_at, credential,
                         /*hold=*/false);
   if (!verify_metasig(vrd)) {
@@ -346,7 +355,6 @@ Firmware::LitUpdate Firmware::lit_release(const Vrd& vrd, std::uint64_t lit_id,
 
 SignedSnCurrent Firmware::heartbeat() {
   dev_.ensure_alive();
-  charge_command(16, 192);
   SignedSnCurrent s;
   s.sn_current = sn_current_;
   s.stamped_at = dev_.now();
@@ -367,7 +375,6 @@ void Firmware::heartbeat_fire() {
 
 SignedSnBase Firmware::sign_base() {
   dev_.ensure_alive();
-  charge_command(16, 192);
   SignedSnBase s;
   s.sn_base = sn_base_;
   s.stamped_at = dev_.now();
@@ -385,7 +392,6 @@ SignedSnBase Firmware::advance_base(Sn new_base,
   WORM_REQUIRE(new_base > sn_base_, "advance_base: base may only move up");
   WORM_REQUIRE(new_base <= sn_current_ + 1,
                "advance_base: base beyond allocated SNs");
-  charge_command(proofs.size() * 150 + windows.size() * 300 + 16, 192);
 
   std::map<Sn, const DeletionProof*> by_sn;
   for (const auto& p : proofs) by_sn.emplace(p.sn, &p);
@@ -443,7 +449,6 @@ DeletedWindow Firmware::certify_window(Sn lo, Sn hi,
     throw ScpuError("certify_window: windows need >= 3 entries (§4.2.1)");
   }
   WORM_REQUIRE(hi <= sn_current_, "certify_window: range beyond SN_current");
-  charge_command(proofs.size() * 150 + windows.size() * 300 + 16, 400);
 
   // Prior windows count as evidence once their (correlated) bounds verify.
   for (const auto& w : windows) {
@@ -509,9 +514,6 @@ std::vector<StrengthenResult> Firmware::strengthen(
   WORM_REQUIRE(payloads_per_vrd.empty() ||
                    payloads_per_vrd.size() == vrds.size(),
                "strengthen: payload vector shape mismatch");
-  std::size_t req = 0;
-  for (const auto& v : vrds) req += v.to_bytes().size();
-  charge_command(req, vrds.size() * 300);
 
   std::vector<StrengthenResult> out;
   out.reserve(vrds.size());
@@ -557,7 +559,6 @@ MigrationAttestation Firmware::sign_migration(ByteView manifest_hash,
                                               std::uint64_t source_store_id,
                                               std::uint64_t dest_store_id) {
   dev_.ensure_alive();
-  charge_command(manifest_hash.size() + 16, 192);
   MigrationAttestation a;
   a.manifest_hash = common::to_bytes(manifest_hash);
   a.source_store_id = source_store_id;
@@ -576,9 +577,9 @@ void Firmware::audit_hash(Sn sn, const std::vector<Bytes>& payloads) {
   if (it == pending_hash_audits_.end()) {
     throw ScpuError("audit_hash: SN has no pending audit");
   }
-  std::size_t total = 0;
-  for (const auto& p : payloads) total += p.size();
-  dev_.charge(dev_.cost().dma_cost(total));
+  // Moving the payloads back into the enclosure is charged by the transport
+  // (they cross the mailbox inside the kAuditHash request); only the hashing
+  // itself is compute inside the device.
   Bytes actual = compute_chained_hash(payloads, /*charge=*/true);
   if (!common::ct_equal(actual, it->second)) {
     // The host committed a hash that does not match the data it stored —
@@ -724,7 +725,6 @@ void Firmware::vexp_rebuild_begin() {
 void Firmware::vexp_rebuild_add(const Vrd& vrd) {
   dev_.ensure_alive();
   WORM_REQUIRE(vexp_rebuilding_, "vexp_rebuild_add: no rebuild in progress");
-  charge_command(vrd.to_bytes().size(), 16);
   if (!verify_metasig(vrd)) {
     throw ScpuError("vexp_rebuild: VRD metasig invalid");
   }

@@ -133,6 +133,23 @@ class Firmware {
                      common::ByteView claimed_hash, WitnessMode mode,
                      HashMode hash_mode);
 
+  /// One pending write inside a kWriteBatch crossing (§4.1 amortization:
+  /// many witnesses ride one mailbox round-trip).
+  struct BatchItem {
+    Attr attr;
+    std::vector<storage::RecordDescriptor> rdl;
+    std::vector<common::Bytes> payloads;  // kScpuHash mode
+    common::Bytes claimed_hash;           // kHostHash mode
+  };
+
+  /// Witnesses a batch of writes atomically: every item is admission-checked
+  /// before any serial number is issued, then each record receives exactly
+  /// the witness it would get from a sequential write() — one consecutive SN
+  /// range, byte-identical signatures. Only the crossing is amortized;
+  /// clients cannot distinguish batched from sequential history.
+  std::vector<WriteWitness> write_batch(const std::vector<BatchItem>& items,
+                                        WitnessMode mode, HashMode hash_mode);
+
   /// Places a litigation hold (§4.2.2): verifies the authority credential
   /// and the VRD's metasig, rewrites attr, re-signs. Returns the updated
   /// attr + metasig. Throws ScpuError on bad credential/signature.
@@ -262,7 +279,6 @@ class Firmware {
     common::SimTime deadline{};
   };
 
-  void charge_command(std::size_t request_bytes, std::size_t response_bytes);
   common::Bytes sign_with(const crypto::RsaPrivateKey& key,
                           common::ByteView payload, std::size_t bits);
   bool verify_metasig(const Vrd& vrd);

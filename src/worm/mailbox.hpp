@@ -1,0 +1,96 @@
+// Host-side command pipeline in front of the SCPU mailbox (§4.1): the layer
+// that amortizes access to the slow trusted device. It owns the serialized
+// transport (ScpuChannel), batches pending writes into kWriteBatch crossings,
+// keeps a rotation of standing idle duties (strengthening, hash audits,
+// compaction, base advance, VEXP rebuild), and lets deadline pressure force
+// the urgent duties ahead of foreground traffic.
+//
+// Everything here runs on the untrusted main CPU. The mailbox never holds
+// protocol authority — it only decides *when* commands cross the boundary,
+// which is exactly the freedom §4.1 gives the host.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "worm/commands.hpp"
+
+namespace worm::core {
+
+struct MailboxConfig {
+  /// Charge the PCI-X transfer cost (command round-trip + DMA for the bytes
+  /// actually moved) once per crossing. Off restores the legacy in-process
+  /// binding; kept selectable for A/B benchmarking (bench_mailbox).
+  bool charge_transfer = true;
+  /// Maximum writes witnessed per kWriteBatch crossing.
+  std::size_t max_batch = 64;
+};
+
+/// Counter snapshot surfaced through WormStore::counters().
+struct MailboxMetrics {
+  std::uint64_t commands = 0;         // mailbox crossings
+  std::uint64_t bytes_crossed = 0;    // request + response wire bytes
+  std::uint64_t error_responses = 0;  // crossings answered with error status
+  std::uint64_t batches = 0;          // kWriteBatch crossings
+  std::uint64_t batched_writes = 0;   // writes those crossings carried
+  std::uint64_t queue_hwm = 0;        // high-water mark of queued commands
+  std::uint64_t duty_runs = 0;        // idle duties that found work
+  std::uint64_t urgent_services = 0;  // duty runs forced by deadline pressure
+};
+
+class ScpuMailbox {
+ public:
+  /// A standing idle duty. Returns true when it found work to do.
+  using Duty = std::function<bool()>;
+
+  ScpuMailbox(Firmware& firmware, MailboxConfig config)
+      : channel_(firmware, config.charge_transfer), config_(config) {}
+
+  ScpuMailbox(const ScpuMailbox&) = delete;
+  ScpuMailbox& operator=(const ScpuMailbox&) = delete;
+
+  [[nodiscard]] ScpuChannel& channel() { return channel_; }
+  [[nodiscard]] const MailboxConfig& config() const { return config_; }
+
+  /// Witnesses the pending writes in order, at most config().max_batch per
+  /// crossing. Witnesses come back in submission order.
+  std::vector<WriteWitness> write_batch(
+      const std::vector<Firmware::BatchItem>& items, WitnessMode mode,
+      HashMode hash_mode);
+
+  /// Registers a standing duty for the idle rotation. Urgent duties are the
+  /// ones deadline pressure may force ahead of foreground traffic
+  /// (strengthening, §4.3).
+  void add_duty(std::string name, Duty duty, bool urgent = false);
+
+  /// One full rotation: every standing duty runs at most once, in
+  /// registration order. Returns true if any duty found work.
+  bool pump();
+
+  /// Runs only the urgent duties — called from the foreground path when
+  /// deadline_pressure() trips mid-burst. Returns true if any found work.
+  bool service_urgent();
+
+  /// Records the depth of the host-side request queue at submission time
+  /// (feeds the queue high-water mark metric).
+  void note_queue_depth(std::size_t depth);
+
+  /// Metrics merged with the transport's own wire statistics.
+  [[nodiscard]] MailboxMetrics metrics() const;
+
+ private:
+  struct DutySlot {
+    std::string name;
+    Duty duty;
+    bool urgent = false;
+  };
+
+  ScpuChannel channel_;
+  MailboxConfig config_;
+  std::vector<DutySlot> duties_;
+  MailboxMetrics m_;
+};
+
+}  // namespace worm::core

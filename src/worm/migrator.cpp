@@ -25,7 +25,7 @@ Bytes Migrator::manifest_hash(const std::vector<MigrationEntry>& entries) {
 MigrationReport Migrator::migrate(WormStore& source, WormStore& dest,
                                   const ClientVerifier& source_verifier) {
   MigrationReport report;
-  common::SimTime now = dest.firmware().device().now();
+  common::SimTime now = dest.now();
 
   for (Sn sn : source.vrdt().active_sns()) {
     ReadResult res = source.read(sn);
@@ -45,7 +45,7 @@ MigrationReport Migrator::migrate(WormStore& source, WormStore& dest,
     common::SimTime expiry = attr.expiry();
     attr.retention = expiry > now ? expiry - now : common::Duration::nanos(1);
 
-    Sn dest_sn = dest.write(ok->payloads, attr);
+    Sn dest_sn = dest.write({.payloads = ok->payloads, .attr = attr});
     MigrationEntry entry;
     entry.source_sn = sn;
     entry.dest_sn = dest_sn;
@@ -53,9 +53,8 @@ MigrationReport Migrator::migrate(WormStore& source, WormStore& dest,
     report.entries.push_back(std::move(entry));
   }
 
-  report.attestation = source.firmware().sign_migration(
-      manifest_hash(report.entries), source.config().store_id,
-      dest.config().store_id);
+  report.attestation = source.sign_migration(manifest_hash(report.entries),
+                                             dest.config().store_id);
   return report;
 }
 

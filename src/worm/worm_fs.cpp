@@ -49,8 +49,10 @@ Sn WormFs::write_file(const std::string& path, ByteView content, Attr attr,
     header.prev_sn = it->second.chain.back().sn;
   }
 
-  Sn sn = store_.write({header.to_bytes(), common::to_bytes(content)}, attr,
-                       mode);
+  Sn sn = store_.write(
+      {.payloads = {header.to_bytes(), common::to_bytes(content)},
+       .attr = attr,
+       .mode = mode});
   const Vrdt::Entry* e = store_.vrdt().find(sn);
   WORM_CHECK(e != nullptr, "WormFs: write did not land in the VRDT");
   FsVersionInfo info;

@@ -19,9 +19,30 @@ WormStore::WormStore(common::SimClock& clock, Firmware& firmware,
     : clock_(clock),
       firmware_(firmware),
       records_(records),
-      config_(std::move(config)) {
+      config_(std::move(config)),
+      mailbox_(firmware, config_.mailbox) {
+  // Out-of-band deployment wiring: interrupt registration and policy
+  // parameters a real host learns at provisioning time. Everything else —
+  // including this constructor's heartbeat and status fetch — crosses the
+  // mailbox.
   firmware_.set_host_agent(this);
-  heartbeat_ = firmware_.heartbeat();
+  short_sig_lifetime_ = firmware_.config().short_sig_lifetime;
+
+  mailbox_.add_duty("strengthen", [this] { return do_strengthen_batch(); },
+                    /*urgent=*/true);
+  mailbox_.add_duty("hash-audit", [this] { return do_hash_audits(); });
+  mailbox_.add_duty("compact", [this] { return do_compaction(); });
+  mailbox_.add_duty("advance-base", [this] { return do_advance_base(); });
+  mailbox_.add_duty("vexp-rebuild", [this] { return do_vexp_rebuild(); });
+
+  heartbeat_ = mailbox_.channel().heartbeat();
+  // Seed the scheduling mirrors — non-zero when the firmware was restored
+  // from battery-backed NVRAM before this store attached.
+  ScpuStatus st = mailbox_.channel().status();
+  sn_current_mirror_ = st.sn_current;
+  sn_base_mirror_ = st.sn_base;
+  deferred_mirror_count_ = st.deferred_count;
+  deferred_mirror_earliest_ = st.earliest_deadline;
 }
 
 WormStore::~WormStore() { firmware_.set_host_agent(nullptr); }
@@ -33,7 +54,7 @@ storage::RecordDescriptor WormStore::store_payload(const Bytes& payload) {
   charge_host(config_.host_model.hash_cost(payload.size()));
   if (auto it = content_index_.find(digest); it != content_index_.end()) {
     ++rd_refs_[it->second.record_id];
-    ++stats_.dedup_hits;
+    ++ops_.dedup_hits;
     return it->second;
   }
   storage::RecordDescriptor rd = records_.write(payload);
@@ -53,7 +74,7 @@ void WormStore::release_rd(const storage::RecordDescriptor& rd,
   WORM_CHECK(it != rd_refs_.end() && it->second > 0,
              "WormStore: releasing an untracked shared record");
   if (--it->second > 0) {
-    ++stats_.deferred_shreds;  // other virtual records still reference it
+    ++ops_.deferred_shreds;  // other virtual records still reference it
     return;
   }
   rd_refs_.erase(it);
@@ -63,51 +84,115 @@ void WormStore::release_rd(const storage::RecordDescriptor& rd,
   records_.shred(rd, policy, shred_rng);
 }
 
-Sn WormStore::write(const std::vector<Bytes>& payloads, Attr attr,
-                    std::optional<WitnessMode> mode) {
-  WORM_REQUIRE(!payloads.empty(), "WormStore::write: no payloads");
-  WitnessMode m = mode.value_or(config_.default_mode);
+// ---------------------------------------------------------------------------
+// Writes
+// ---------------------------------------------------------------------------
+
+Firmware::BatchItem WormStore::prepare_item(const WriteRequest& request) {
+  WORM_REQUIRE(!request.payloads.empty(), "WormStore::write: no payloads");
 
   // 1. Main CPU writes the actual data to disk (§4.2.2 "Write").
-  std::vector<storage::RecordDescriptor> rdl;
-  rdl.reserve(payloads.size());
+  Firmware::BatchItem item;
+  item.attr = request.attr;
+  item.rdl.reserve(request.payloads.size());
   std::size_t total = 0;
-  for (const auto& p : payloads) {
-    rdl.push_back(store_payload(p));
+  for (const auto& p : request.payloads) {
+    item.rdl.push_back(store_payload(p));
     total += p.size();
   }
 
   // 2. Optionally hash on the host (trusted-hash burst model): the SCPU will
-  //    audit this hash during idle time.
-  Bytes claimed_hash;
+  //    audit this hash during idle time. In host-hash mode only the 32-byte
+  //    hash crosses the device boundary, not the data.
   if (config_.hash_mode == HashMode::kHostHash) {
     charge_host(config_.host_model.hash_cost(total));
     crypto::ChainedHash chain;
-    for (const auto& p : payloads) chain.add(p);
-    claimed_hash = chain.digest_bytes();
+    for (const auto& p : request.payloads) chain.add(p);
+    item.claimed_hash = chain.digest_bytes();
+  } else {
+    item.payloads = request.payloads;
   }
+  return item;
+}
 
-  // 3. SCPU witnesses the update: allocates the SN and signs. In host-hash
-  //    mode only the 32-byte hash crosses the device boundary, not the data.
-  static const std::vector<Bytes> kNoPayloads;
-  const std::vector<Bytes>& to_scpu =
-      config_.hash_mode == HashMode::kScpuHash ? payloads : kNoPayloads;
-  WriteWitness w =
-      firmware_.write(attr, rdl, to_scpu, claimed_hash, m, config_.hash_mode);
-
-  // 4. Main CPU assembles the VRD and persists it in the VRDT.
+Sn WormStore::finish_write(WriteWitness witness,
+                           std::vector<storage::RecordDescriptor> rdl,
+                           WitnessMode mode) {
+  // Main CPU assembles the VRD and persists it in the VRDT.
   Vrd vrd;
-  vrd.sn = w.sn;
-  vrd.attr = w.attr;
+  vrd.sn = witness.sn;
+  vrd.attr = witness.attr;
   vrd.rdl = std::move(rdl);
-  vrd.data_hash = w.data_hash;
-  vrd.metasig = std::move(w.metasig);
-  vrd.datasig = std::move(w.datasig);
+  vrd.data_hash = std::move(witness.data_hash);
+  vrd.metasig = std::move(witness.metasig);
+  vrd.datasig = std::move(witness.datasig);
+  SimTime created = vrd.attr.creation_time;
+  Sn sn = vrd.sn;
   vrdt_.put_active(std::move(vrd));
 
-  ++stats_.writes;
-  return w.sn;
+  sn_current_mirror_ = std::max(sn_current_mirror_, sn);
+  if (mode != WitnessMode::kStrong) note_deferred_witness(created);
+  ++ops_.writes;
+  return sn;
 }
+
+Sn WormStore::write(const WriteRequest& request) {
+  maybe_service_deadline();
+  WitnessMode mode = request.mode.value_or(config_.default_mode);
+  Firmware::BatchItem item = prepare_item(request);
+  std::vector<storage::RecordDescriptor> rdl = item.rdl;
+
+  // 3. SCPU witnesses the update over one mailbox crossing.
+  WriteWitness w =
+      mailbox_.channel().write(item.attr, item.rdl, item.payloads,
+                               item.claimed_hash, mode, config_.hash_mode);
+  return finish_write(std::move(w), std::move(rdl), mode);
+}
+
+std::vector<Sn> WormStore::write_batch(
+    const std::vector<WriteRequest>& requests) {
+  std::vector<Sn> sns;
+  if (requests.empty()) return sns;
+  maybe_service_deadline();
+  mailbox_.note_queue_depth(requests.size());
+  sns.reserve(requests.size());
+
+  // Consecutive requests with the same effective witness mode share
+  // kWriteBatch crossings (the wire command carries one mode per batch).
+  std::size_t i = 0;
+  while (i < requests.size()) {
+    WitnessMode mode = requests[i].mode.value_or(config_.default_mode);
+    std::vector<Firmware::BatchItem> items;
+    std::vector<std::vector<storage::RecordDescriptor>> rdls;
+    std::size_t j = i;
+    while (j < requests.size() &&
+           requests[j].mode.value_or(config_.default_mode) == mode) {
+      Firmware::BatchItem item = prepare_item(requests[j]);
+      rdls.push_back(item.rdl);
+      items.push_back(std::move(item));
+      ++j;
+    }
+    std::vector<WriteWitness> witnesses =
+        mailbox_.write_batch(items, mode, config_.hash_mode);
+    WORM_CHECK(witnesses.size() == items.size(),
+               "write_batch: witness count mismatch");
+    for (std::size_t k = 0; k < witnesses.size(); ++k) {
+      sns.push_back(
+          finish_write(std::move(witnesses[k]), std::move(rdls[k]), mode));
+    }
+    i = j;
+  }
+  return sns;
+}
+
+Sn WormStore::write(const std::vector<Bytes>& payloads, Attr attr,
+                    std::optional<WitnessMode> mode) {
+  return write(WriteRequest{payloads, attr, mode});
+}
+
+// ---------------------------------------------------------------------------
+// Reads (host-only, §4.2.2)
+// ---------------------------------------------------------------------------
 
 std::vector<Bytes> WormStore::read_payloads(const Vrd& vrd) {
   std::vector<Bytes> payloads;
@@ -118,13 +203,14 @@ std::vector<Bytes> WormStore::read_payloads(const Vrd& vrd) {
 
 SignedSnBase& WormStore::fresh_base() {
   if (!base_.has_value() || clock_.now() >= base_->expires_at) {
-    base_ = firmware_.sign_base();  // rare SCPU access; cached until expiry
+    base_ = mailbox_.channel().sign_base();  // rare crossing; cached to expiry
+    sn_base_mirror_ = base_->sn_base;
   }
   return *base_;
 }
 
 ReadResult WormStore::read(Sn sn) {
-  ++stats_.reads;
+  ++ops_.reads;
   if (const Vrdt::Entry* e = vrdt_.find(sn); e != nullptr) {
     if (e->kind == Vrdt::Entry::Kind::kActive) {
       ReadOk ok;
@@ -137,13 +223,13 @@ ReadResult WormStore::read(Sn sn) {
   if (const DeletedWindow* w = vrdt_.find_window(sn); w != nullptr) {
     return ReadInDeletedWindow{*w};
   }
-  if (sn < firmware_.sn_base()) {
+  if (sn < sn_base_mirror_) {
     // Refreshing an expired cached base is the one read-path step that may
     // touch the SCPU; if the device is gone (tamper response), the read
     // still answers — with an honest "no proof available".
     try {
       return ReadBelowBase{fresh_base()};
-    } catch (const common::ScpuError& e) {
+    } catch (const ChannelError& e) {
       if (base_.has_value()) return ReadBelowBase{*base_};  // maybe stale
       return ReadFailure{std::string("cannot obtain base proof: ") + e.what()};
     }
@@ -157,28 +243,46 @@ ReadResult WormStore::read(Sn sn) {
                      std::to_string(sn)};
 }
 
-void WormStore::lit_hold(Sn sn, SimTime hold_until, std::uint64_t lit_id,
-                         SimTime cred_issued_at, ByteView credential) {
-  Vrdt::Entry* e = vrdt_.mutable_entry(sn);
+// ---------------------------------------------------------------------------
+// Litigation
+// ---------------------------------------------------------------------------
+
+void WormStore::lit_hold(const LitigationRequest& request) {
+  Vrdt::Entry* e = vrdt_.mutable_entry(request.sn);
   WORM_REQUIRE(e != nullptr && e->kind == Vrdt::Entry::Kind::kActive,
                "lit_hold: record not active");
-  Firmware::LitUpdate up =
-      firmware_.lit_hold(e->vrd, hold_until, lit_id, cred_issued_at,
-                         credential);
+  Firmware::LitUpdate up = mailbox_.channel().lit_hold(
+      e->vrd, request.hold_until, request.lit_id, request.cred_issued_at,
+      request.credential);
   e->vrd.attr = std::move(up.attr);
   e->vrd.metasig = std::move(up.metasig);
 }
 
-void WormStore::lit_release(Sn sn, std::uint64_t lit_id,
-                            SimTime cred_issued_at, ByteView credential) {
-  Vrdt::Entry* e = vrdt_.mutable_entry(sn);
+void WormStore::lit_release(const LitigationRequest& request) {
+  Vrdt::Entry* e = vrdt_.mutable_entry(request.sn);
   WORM_REQUIRE(e != nullptr && e->kind == Vrdt::Entry::Kind::kActive,
                "lit_release: record not active");
-  Firmware::LitUpdate up =
-      firmware_.lit_release(e->vrd, lit_id, cred_issued_at, credential);
+  Firmware::LitUpdate up = mailbox_.channel().lit_release(
+      e->vrd, request.lit_id, request.cred_issued_at, request.credential);
   e->vrd.attr = std::move(up.attr);
   e->vrd.metasig = std::move(up.metasig);
 }
+
+void WormStore::lit_hold(Sn sn, SimTime hold_until, std::uint64_t lit_id,
+                         SimTime cred_issued_at, ByteView credential) {
+  lit_hold(LitigationRequest{sn, lit_id, hold_until, cred_issued_at,
+                             common::to_bytes(credential)});
+}
+
+void WormStore::lit_release(Sn sn, std::uint64_t lit_id,
+                            SimTime cred_issued_at, ByteView credential) {
+  lit_release(LitigationRequest{sn, lit_id, SimTime{}, cred_issued_at,
+                                common::to_bytes(credential)});
+}
+
+// ---------------------------------------------------------------------------
+// Interrupts + restart
+// ---------------------------------------------------------------------------
 
 void WormStore::on_expire(Sn sn, DeletionProof proof) {
   Vrdt::Entry* e = vrdt_.mutable_entry(sn);
@@ -195,15 +299,16 @@ void WormStore::on_expire(Sn sn, DeletionProof proof) {
     release_rd(rd, e->vrd.attr.shredding);
   }
   vrdt_.put_deleted(std::move(proof));
-  ++stats_.expirations;
+  ++ops_.expirations;
 }
 
 void WormStore::on_heartbeat(SignedSnCurrent current) {
   heartbeat_ = std::move(current);
+  sn_current_mirror_ = std::max(sn_current_mirror_, heartbeat_.sn_current);
 }
 
 void WormStore::adopt_vrdt(Vrdt vrdt) {
-  WORM_REQUIRE(stats_.writes == 0 && vrdt_.entry_count() == 0,
+  WORM_REQUIRE(ops_.writes == 0 && vrdt_.entry_count() == 0,
                "adopt_vrdt: store already in service");
   vrdt_ = std::move(vrdt);
   if (!config_.dedup) return;
@@ -224,27 +329,92 @@ void WormStore::adopt_vrdt(Vrdt vrdt) {
   }
 }
 
-TrustAnchors WormStore::anchors() const {
+TrustAnchors WormStore::anchors() {
+  CertificateBundle bundle = mailbox_.channel().get_certificates();
   TrustAnchors a;
-  a.meta_key = firmware_.meta_public_key();
-  a.deletion_key = firmware_.deletion_public_key();
-  a.short_certs = firmware_.short_key_certs();
+  a.meta_key = crypto::RsaPublicKey::deserialize(bundle.meta_pub);
+  a.deletion_key = crypto::RsaPublicKey::deserialize(bundle.deletion_pub);
+  a.short_certs = std::move(bundle.short_certs);
+  // Acceptance policies are deployment parameters, not secrets.
   a.sn_current_max_age = firmware_.config().sn_current_max_age;
   a.short_sig_acceptance = firmware_.config().short_sig_lifetime;
   return a;
 }
 
+MigrationAttestation WormStore::sign_migration(ByteView manifest_hash,
+                                               std::uint64_t dest_store_id) {
+  return mailbox_.channel().sign_migration(manifest_hash, config_.store_id,
+                                           dest_store_id);
+}
+
+std::map<std::string_view, std::uint64_t> WormStore::counters() const {
+  MailboxMetrics m = mailbox_.metrics();
+  return {
+      {"writes", ops_.writes},
+      {"reads", ops_.reads},
+      {"expirations", ops_.expirations},
+      {"compactions", ops_.compactions},
+      {"base_advances", ops_.base_advances},
+      {"dedup_hits", ops_.dedup_hits},
+      {"deferred_shreds", ops_.deferred_shreds},
+      {"mailbox_commands", m.commands},
+      {"mailbox_bytes_crossed", m.bytes_crossed},
+      {"mailbox_error_responses", m.error_responses},
+      {"mailbox_batches", m.batches},
+      {"mailbox_batched_writes", m.batched_writes},
+      {"mailbox_queue_hwm", m.queue_hwm},
+      {"mailbox_duty_runs", m.duty_runs},
+      {"mailbox_urgent_services", m.urgent_services},
+  };
+}
+
 // ---------------------------------------------------------------------------
-// Idle-period duties
+// Deadline-aware scheduling + idle-period duties
 // ---------------------------------------------------------------------------
 
+void WormStore::note_deferred_witness(SimTime creation_time) {
+  SimTime deadline = creation_time + short_sig_lifetime_;
+  if (deferred_mirror_count_ == 0 || deadline < deferred_mirror_earliest_) {
+    deferred_mirror_earliest_ = deadline;
+  }
+  ++deferred_mirror_count_;
+}
+
+void WormStore::sync_deferred_mirror() {
+  ScpuStatus st = mailbox_.channel().status();
+  deferred_mirror_count_ = st.deferred_count;
+  deferred_mirror_earliest_ = st.earliest_deadline;
+}
+
+bool WormStore::deadline_pressure(common::Duration margin) const {
+  if (deferred_mirror_count_ == 0) return false;
+  if (deferred_mirror_earliest_ == SimTime::max()) return false;
+  return clock_.now() + margin >= deferred_mirror_earliest_;
+}
+
+void WormStore::maybe_service_deadline() {
+  // §4.3: strengthening that is about to go stale preempts foreground
+  // traffic. The check is mirror-only (free); the urgent duties run at most
+  // until pressure clears or they run dry.
+  while (deadline_pressure(config_.strengthen_margin)) {
+    if (!mailbox_.service_urgent()) break;
+  }
+}
+
 bool WormStore::do_strengthen_batch() {
-  std::vector<Sn> pending = firmware_.deferred_pending(config_.idle_batch);
-  if (pending.empty()) return false;
+  std::vector<Sn> pending = mailbox_.channel().deferred_pending(
+      static_cast<std::uint32_t>(config_.idle_batch));
+  if (pending.empty()) {
+    // Keep the mirror honest: records can leave the device-side queue
+    // without host action (expiry before strengthening).
+    if (deferred_mirror_count_ != 0) sync_deferred_mirror();
+    return false;
+  }
 
   std::vector<Vrd> vrds;
   std::vector<std::vector<Bytes>> payloads;
-  std::vector<Sn> audits = firmware_.hash_audits_pending(SIZE_MAX);
+  std::vector<Sn> audits =
+      mailbox_.channel().hash_audits_pending(UINT32_MAX);
   std::set<Sn> audit_set(audits.begin(), audits.end());
 
   for (Sn sn : pending) {
@@ -257,25 +427,31 @@ bool WormStore::do_strengthen_batch() {
       payloads.emplace_back();
     }
   }
-  if (vrds.empty()) return false;
+  if (vrds.empty()) {
+    sync_deferred_mirror();
+    return false;
+  }
 
-  std::vector<StrengthenResult> results = firmware_.strengthen(vrds, payloads);
+  std::vector<StrengthenResult> results =
+      mailbox_.channel().strengthen(vrds, payloads);
   for (StrengthenResult& r : results) {
     Vrdt::Entry* e = vrdt_.mutable_entry(r.sn);
     if (e == nullptr || e->kind != Vrdt::Entry::Kind::kActive) continue;
     e->vrd.metasig = std::move(r.metasig);
     e->vrd.datasig = std::move(r.datasig);
   }
+  sync_deferred_mirror();
   return true;
 }
 
 bool WormStore::do_hash_audits() {
-  std::vector<Sn> audits = firmware_.hash_audits_pending(config_.idle_batch);
+  std::vector<Sn> audits = mailbox_.channel().hash_audits_pending(
+      static_cast<std::uint32_t>(config_.idle_batch));
   bool any = false;
   for (Sn sn : audits) {
     const Vrdt::Entry* e = vrdt_.find(sn);
     if (e == nullptr || e->kind != Vrdt::Entry::Kind::kActive) continue;
-    firmware_.audit_hash(sn, read_payloads(e->vrd));
+    mailbox_.channel().audit_hash(sn, read_payloads(e->vrd));
     any = true;
   }
   return any;
@@ -301,19 +477,19 @@ bool WormStore::do_compaction() {
     sn = w->hi;  // skip to the window's end
   }
   DeletedWindow merged =
-      firmware_.certify_window(span->lo, span->hi, proofs, windows);
+      mailbox_.channel().certify_window(span->lo, span->hi, proofs, windows);
   vrdt_.apply_window(merged);
-  ++stats_.compactions;
+  ++ops_.compactions;
   return true;
 }
 
 bool WormStore::do_advance_base() {
-  Sn base = firmware_.sn_base();
+  Sn base = sn_base_mirror_;
   // Walk upward while every SN is proven deleted (entry proof or window).
   Sn new_base = base;
   std::vector<DeletionProof> proofs;
   std::vector<DeletedWindow> windows;
-  while (new_base <= firmware_.sn_current()) {
+  while (new_base <= sn_current_mirror_) {
     if (const Vrdt::Entry* e = vrdt_.find(new_base);
         e != nullptr && e->kind == Vrdt::Entry::Kind::kDeleted) {
       proofs.push_back(e->proof);
@@ -328,38 +504,27 @@ bool WormStore::do_advance_base() {
     break;
   }
   if (new_base == base) return false;
-  base_ = firmware_.advance_base(new_base, proofs, windows);
+  base_ = mailbox_.channel().advance_base(new_base, proofs, windows);
+  sn_base_mirror_ = base_->sn_base;
   vrdt_.trim_below(new_base);
-  ++stats_.base_advances;
+  ++ops_.base_advances;
   return true;
 }
 
 bool WormStore::do_vexp_rebuild() {
-  if (!firmware_.vexp_incomplete()) return false;
-  firmware_.vexp_rebuild_begin();
+  if (!mailbox_.channel().status().vexp_incomplete) return false;
+  mailbox_.channel().vexp_rebuild_begin();
   for (Sn sn : vrdt_.active_sns()) {
     const Vrdt::Entry* e = vrdt_.find(sn);
-    firmware_.vexp_rebuild_add(e->vrd);
+    mailbox_.channel().vexp_rebuild_add(e->vrd);
   }
-  firmware_.vexp_rebuild_end();
+  mailbox_.channel().vexp_rebuild_end();
   return true;
 }
 
-bool WormStore::deadline_pressure(common::Duration margin) const {
-  common::SimTime earliest = firmware_.earliest_deadline();
-  if (earliest == common::SimTime::max()) return false;
-  return clock_.now() + margin >= earliest;
-}
-
 bool WormStore::pump_idle() {
-  firmware_.process_idle();
-  bool any = false;
-  any |= do_strengthen_batch();
-  any |= do_hash_audits();
-  any |= do_compaction();
-  any |= do_advance_base();
-  any |= do_vexp_rebuild();
-  return any;
+  mailbox_.channel().process_idle();
+  return mailbox_.pump();
 }
 
 }  // namespace worm::core

@@ -1,9 +1,10 @@
 // Host-side (untrusted main CPU) orchestration of the Strong WORM protocol:
 // the component a storage server embeds. It persists data records and the
-// VRDT, calls into the SCPU firmware for every regulated update, serves
-// reads entirely from its own (fast, untrusted) resources, and runs the
-// idle-time duties: strengthening deferred witnesses, auditing host-claimed
-// hashes, compacting deleted windows and advancing the window base.
+// VRDT, crosses the SCPU mailbox (ScpuMailbox -> ScpuChannel, the serialized
+// CCA-style transport) for every regulated update, serves reads entirely
+// from its own (fast, untrusted) resources, and runs the idle-time duties:
+// strengthening deferred witnesses, auditing host-claimed hashes, compacting
+// deleted windows and advancing the window base.
 //
 // Nothing here is trusted by clients — their assurance comes from verifying
 // the SCPU signatures carried in the results (client_verifier.hpp).
@@ -12,12 +13,14 @@
 #include <cstdint>
 #include <map>
 #include <optional>
+#include <string_view>
 #include <vector>
 
 #include "common/sim_clock.hpp"
 #include "scpu/cost_model.hpp"
 #include "storage/record_store.hpp"
 #include "worm/firmware.hpp"
+#include "worm/mailbox.hpp"
 #include "worm/proofs.hpp"
 #include "worm/vrdt.hpp"
 
@@ -50,7 +53,34 @@ struct StoreConfig {
   /// stored once). Shared records are reference-counted; physical shredding
   /// happens only when the LAST referencing virtual record expires.
   bool dedup = false;
+  /// Mailbox transport tuning (see MailboxConfig).
+  MailboxConfig mailbox{};
+  /// Margin for the foreground deadline check: a write that arrives with a
+  /// strengthening deadline inside this margin services the urgent duties
+  /// first (§4.3 — the burst must yield before witnesses go stale).
+  common::Duration strengthen_margin = common::Duration::minutes(10);
 };
+
+/// A write, spelled out. Designated initializers read like the operation:
+///   store.write({.payloads = {bytes}, .attr = attr});
+struct WriteRequest {
+  std::vector<common::Bytes> payloads{};
+  Attr attr{};
+  // Defaults to StoreConfig::default_mode when unset.
+  std::optional<WitnessMode> mode = std::nullopt;
+};
+
+/// A litigation hold or release with its authority credential. `hold_until`
+/// is ignored by lit_release.
+struct LitigationRequest {
+  Sn sn = kInvalidSn;
+  std::uint64_t lit_id = 0;
+  common::SimTime hold_until{};
+  common::SimTime cred_issued_at{};
+  common::Bytes credential;
+};
+
+class InsiderHandle;
 
 class WormStore final : public HostAgent {
  public:
@@ -63,32 +93,49 @@ class WormStore final : public HostAgent {
 
   // --- WORM operations -----------------------------------------------------
 
-  /// Stores a virtual record made of `payloads` (one data record each) under
-  /// `attr`, witnessed by the SCPU. Returns the issued serial number.
-  Sn write(const std::vector<common::Bytes>& payloads, Attr attr,
-           std::optional<WitnessMode> mode = std::nullopt);
+  /// Stores a virtual record made of `request.payloads` (one data record
+  /// each) under `request.attr`, witnessed by the SCPU over the mailbox.
+  /// Returns the issued serial number.
+  Sn write(const WriteRequest& request);
+
+  /// Witnesses many pending writes with as few mailbox crossings as possible
+  /// (kWriteBatch, at most StoreConfig::mailbox.max_batch per crossing).
+  /// Requests with the same effective witness mode share crossings; returned
+  /// SNs parallel `requests`.
+  std::vector<Sn> write_batch(const std::vector<WriteRequest>& requests);
 
   /// Serves a read using main-CPU resources only (§4.2.2): data + VRD on
   /// success, or the applicable proof of rightful absence.
   ReadResult read(Sn sn);
 
   /// Applies a litigation hold / release with an authority credential.
-  void lit_hold(Sn sn, common::SimTime hold_until, std::uint64_t lit_id,
-                common::SimTime cred_issued_at, common::ByteView credential);
-  void lit_release(Sn sn, std::uint64_t lit_id,
-                   common::SimTime cred_issued_at,
-                   common::ByteView credential);
+  void lit_hold(const LitigationRequest& request);
+  void lit_release(const LitigationRequest& request);
+
+  // Positional forms retained for one PR cycle; migrate to the request
+  // structs above.
+  [[deprecated("pass a WriteRequest")]] Sn write(
+      const std::vector<common::Bytes>& payloads, Attr attr,
+      std::optional<WitnessMode> mode = std::nullopt);
+  [[deprecated("pass a LitigationRequest")]] void lit_hold(
+      Sn sn, common::SimTime hold_until, std::uint64_t lit_id,
+      common::SimTime cred_issued_at, common::ByteView credential);
+  [[deprecated("pass a LitigationRequest")]] void lit_release(
+      Sn sn, std::uint64_t lit_id, common::SimTime cred_issued_at,
+      common::ByteView credential);
 
   /// Idle-period duties (§4.1, §4.3): strengthen deferred witnesses, audit
   /// host-claimed hashes, compact expired windows, advance the base, rebuild
-  /// the VEXP if it overflowed. Returns true if any work was done.
+  /// the VEXP if it overflowed — one rotation of the mailbox duty queue.
+  /// Returns true if any work was done.
   bool pump_idle();
 
   /// True when the earliest strengthening deadline is within `margin` — the
   /// §4.3 contract says short-lived witnesses must be strengthened inside
   /// their security lifetime, so a conforming host must interrupt even a
-  /// burst and pump when this trips. Pinned by tests; the library cannot
-  /// force a malicious host to call it (clients then see kStaleProof).
+  /// burst and pump when this trips. Answered from host-side mirrors (no
+  /// mailbox crossing). Pinned by tests; the library cannot force a
+  /// malicious host to call it (clients then see kStaleProof).
   [[nodiscard]] bool deadline_pressure(
       common::Duration margin = common::Duration::minutes(10)) const;
 
@@ -100,28 +147,79 @@ class WormStore final : public HostAgent {
   // --- client-facing state --------------------------------------------------
 
   /// Trust anchors clients verify against (in deployment these arrive as CA
-  /// certificates; the transfer itself is out of band).
-  [[nodiscard]] TrustAnchors anchors() const;
+  /// certificates; the transfer itself is out of band). Fetches the
+  /// certificate bundle over the mailbox.
+  [[nodiscard]] TrustAnchors anchors();
 
   /// Latest S_s(SN_current) heartbeat (what a read of a too-high SN returns).
   [[nodiscard]] const SignedSnCurrent& latest_heartbeat() const {
     return heartbeat_;
   }
 
+  /// Source-side attestation of a compliant-migration manifest.
+  MigrationAttestation sign_migration(common::ByteView manifest_hash,
+                                      std::uint64_t dest_store_id);
+
   [[nodiscard]] const Vrdt& vrdt() const { return vrdt_; }
-  [[nodiscard]] Firmware& firmware() { return firmware_; }
   [[nodiscard]] storage::RecordStore& records() { return records_; }
   [[nodiscard]] const StoreConfig& config() const { return config_; }
+  [[nodiscard]] common::SimTime now() const { return clock_.now(); }
 
-  /// Adversary/test access: the insider owns this machine.
-  Vrdt& vrdt_mutable() { return vrdt_; }
+  /// The command pipeline (metrics / transport introspection).
+  [[nodiscard]] const ScpuMailbox& mailbox() const { return mailbox_; }
 
   /// Host restart: adopts a persisted VRDT (and, with dedup enabled,
   /// rebuilds the content index and reference counts from the active VRDs).
   /// Only valid on a store that has not served writes yet.
   void adopt_vrdt(Vrdt vrdt);
 
-  struct Stats {
+  /// Named-counter snapshot: store-level operation counts plus the mailbox
+  /// transport metrics (mailbox_* keys). Keys are stable identifiers meant
+  /// for dashboards and benches; see DESIGN.md for the list.
+  [[nodiscard]] std::map<std::string_view, std::uint64_t> counters() const;
+
+ private:
+  friend class InsiderHandle;
+
+  storage::RecordDescriptor store_payload(const common::Bytes& payload);
+  void release_rd(const storage::RecordDescriptor& rd,
+                  storage::ShredPolicy policy);
+  SignedSnBase& fresh_base();
+  void charge_host(common::Duration d) { clock_.charge(d); }
+  std::vector<common::Bytes> read_payloads(const Vrd& vrd);
+  Firmware::BatchItem prepare_item(const WriteRequest& request);
+  Sn finish_write(WriteWitness witness,
+                  std::vector<storage::RecordDescriptor> rdl, WitnessMode mode);
+  void note_deferred_witness(common::SimTime creation_time);
+  void sync_deferred_mirror();
+  void maybe_service_deadline();
+  bool do_strengthen_batch();
+  bool do_hash_audits();
+  bool do_compaction();
+  bool do_advance_base();
+  bool do_vexp_rebuild();
+
+  common::SimClock& clock_;
+  // Held only for host-agent (interrupt) registration and out-of-band
+  // deployment parameters; every operation crosses mailbox_.channel().
+  Firmware& firmware_;
+  storage::RecordStore& records_;
+  StoreConfig config_;
+  ScpuMailbox mailbox_;
+  Vrdt vrdt_;
+  SignedSnCurrent heartbeat_;
+  std::optional<SignedSnBase> base_;
+
+  // Host-side mirrors of device scheduling state, maintained from command
+  // results so the read path and deadline_pressure() never cross the
+  // mailbox (§4.2.2: reads are main-CPU only).
+  Sn sn_current_mirror_ = 0;
+  Sn sn_base_mirror_ = 1;
+  std::uint64_t deferred_mirror_count_ = 0;
+  common::SimTime deferred_mirror_earliest_ = common::SimTime::max();
+  common::Duration short_sig_lifetime_{};  // deployment parameter
+
+  struct OpCounters {
     std::uint64_t writes = 0;
     std::uint64_t reads = 0;
     std::uint64_t expirations = 0;
@@ -130,34 +228,29 @@ class WormStore final : public HostAgent {
     std::uint64_t dedup_hits = 0;      // payloads served by an existing RD
     std::uint64_t deferred_shreds = 0; // shreds delayed by live references
   };
-  [[nodiscard]] const Stats& stats() const { return stats_; }
-
- private:
-  storage::RecordDescriptor store_payload(const common::Bytes& payload);
-  void release_rd(const storage::RecordDescriptor& rd,
-                  storage::ShredPolicy policy);
-  SignedSnBase& fresh_base();
-  void charge_host(common::Duration d) { clock_.charge(d); }
-  std::vector<common::Bytes> read_payloads(const Vrd& vrd);
-  bool do_strengthen_batch();
-  bool do_hash_audits();
-  bool do_compaction();
-  bool do_advance_base();
-  bool do_vexp_rebuild();
-
-  common::SimClock& clock_;
-  Firmware& firmware_;
-  storage::RecordStore& records_;
-  StoreConfig config_;
-  Vrdt vrdt_;
-  SignedSnCurrent heartbeat_;
-  std::optional<SignedSnBase> base_;
-  Stats stats_;
+  OpCounters ops_;
 
   // Dedup state (config_.dedup only): content digest -> shared descriptor,
   // and per-record-id reference counts.
   std::map<common::Bytes, storage::RecordDescriptor> content_index_;
   std::map<std::uint64_t, std::uint32_t> rd_refs_;
+};
+
+/// The insider adversary's surface (§2.1 threat model: Mallory owns the
+/// machine). Constructing one is the explicit, greppable act of stepping
+/// outside the honest API — nothing on WormStore itself hands out mutable
+/// host soft-state any more. Used by src/adversary and the adversary tests;
+/// production code has no business instantiating it.
+class InsiderHandle {
+ public:
+  explicit InsiderHandle(WormStore& store) : store_(store) {}
+
+  /// Mutable access to the host's VRDT — the soft state an insider can
+  /// rewrite at will (and the SCPU witnesses exist to catch).
+  [[nodiscard]] Vrdt& vrdt() { return store_.vrdt_; }
+
+ private:
+  WormStore& store_;
 };
 
 }  // namespace worm::core

@@ -57,10 +57,13 @@ TEST(Theorem1, RetentionShorteningIsDetected) {
 TEST(Theorem1, LitigationHoldStrippingIsDetected) {
   Rig rig;
   Sn sn = rig.put("under hold", Duration::days(1));
-  rig.store.lit_hold(sn, rig.clock.now() + Duration::days(30), 7,
-                     rig.clock.now(), rig.lit_credential(sn, 7, true));
+  rig.store.lit_hold({.sn = sn,
+                      .lit_id = 7,
+                      .hold_until = rig.clock.now() + Duration::days(30),
+                      .cred_issued_at = rig.clock.now(),
+                      .credential = rig.lit_credential(sn, 7, true)});
   // Mallory clears the hold flag directly in the VRDT.
-  auto* e = rig.store.vrdt_mutable().mutable_entry(sn);
+  auto* e = core::InsiderHandle(rig.store).vrdt().mutable_entry(sn);
   e->vrd.attr.litigation_hold = false;
   EXPECT_EQ(rig.verifier.verify_read(sn, rig.store.read(sn)).verdict,
             Verdict::kTampered);
@@ -106,8 +109,8 @@ TEST(Theorem1, MetasigSwapBetweenRecordsIsDetected) {
   Rig rig;
   Sn a = rig.put("same body", Duration::days(30));
   Sn b = rig.put("same body", Duration::days(30));
-  auto* ea = rig.store.vrdt_mutable().mutable_entry(a);
-  auto* eb = rig.store.vrdt_mutable().mutable_entry(b);
+  auto* ea = core::InsiderHandle(rig.store).vrdt().mutable_entry(a);
+  auto* eb = core::InsiderHandle(rig.store).vrdt().mutable_entry(b);
   std::swap(ea->vrd.metasig, eb->vrd.metasig);
   EXPECT_EQ(rig.verifier.verify_read(a, rig.store.read(a)).verdict,
             Verdict::kTampered);
@@ -280,7 +283,7 @@ TEST(ThreatModel, RememberingDeletedDataIsOutOfScopeByDesign) {
   ASSERT_TRUE(std::holds_alternative<core::ReadDeleted>(rig.store.read(sn)));
 
   // Restore from her private copies.
-  rig.store.vrdt_mutable().force_put(sn, saved);
+  core::InsiderHandle(rig.store).vrdt().force_put(sn, saved);
   for (std::size_t i = 0; i < ok.vrd.rdl.size(); ++i) {
     // Rewrite payload bytes back onto the (reallocated) blocks.
     const auto& rd = ok.vrd.rdl[i];

@@ -120,8 +120,10 @@ TEST(Restart, FullPowerCycleOverFileBackedDevice) {
     keep.retention = Duration::days(30);
     Attr brief;
     brief.retention = Duration::hours(1);
-    live = store.write({to_bytes("survives the reboot")}, keep);
-    dying = store.write({to_bytes("expires after the reboot")}, brief);
+    live = store.write(
+        {.payloads = {to_bytes("survives the reboot")}, .attr = keep});
+    dying = store.write(
+        {.payloads = {to_bytes("expires after the reboot")}, .attr = brief});
 
     store.vrdt().save(vrdt_path);
     rs_state = records.save_state();
@@ -152,7 +154,8 @@ TEST(Restart, FullPowerCycleOverFileBackedDevice) {
     // New writes continue the serial-number sequence (no counter reset).
     Attr keep;
     keep.retention = Duration::days(30);
-    Sn next = store.write({to_bytes("post-reboot record")}, keep);
+    Sn next = store.write(
+        {.payloads = {to_bytes("post-reboot record")}, .attr = keep});
     EXPECT_EQ(next, dying + 1);
 
     // Allocator state survived: the new record did not overwrite live data.
@@ -182,8 +185,10 @@ TEST(Restart, DedupIndexRebuiltOnAdopt) {
   Rig first({}, dedup_cfg);
   Bytes shared = to_bytes("shared across restart");
   first.put("other", Duration::days(30));
-  Sn a = first.store.write({shared}, first.attr(Duration::hours(1)));
-  Sn b = first.store.write({shared}, first.attr(Duration::days(30)));
+  Sn a = first.store.write(
+      {.payloads = {shared}, .attr = first.attr(Duration::hours(1))});
+  Sn b = first.store.write(
+      {.payloads = {shared}, .attr = first.attr(Duration::days(30))});
 
   // "Restart" the host side onto the same firmware/records.
   Bytes vrdt_bytes = first.store.vrdt().serialize();
@@ -191,8 +196,9 @@ TEST(Restart, DedupIndexRebuiltOnAdopt) {
   store2.adopt_vrdt(Vrdt::deserialize(vrdt_bytes));
 
   // Dedup still recognizes the shared payload after the rebuild...
-  Sn c = store2.write({shared}, first.attr(Duration::days(30)));
-  EXPECT_EQ(store2.stats().dedup_hits, 1u);
+  Sn c = store2.write(
+      {.payloads = {shared}, .attr = first.attr(Duration::days(30))});
+  EXPECT_EQ(store2.counters().at("dedup_hits"), 1u);
   // ...and refcounts were reconstructed: the first reference expiring does
   // not shred the bytes the others still need.
   first.clock.advance(Duration::hours(2));

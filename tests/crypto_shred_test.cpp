@@ -100,7 +100,8 @@ TEST(CryptoShred, EndToEndWithWormStore) {
   Bytes pt = to_bytes("patient exam results, confidential");
   auto sealed = cs.seal(pt);
   core::Attr attr = rig.attr(Duration::hours(1), ShredPolicy::kCryptoShred);
-  core::Sn sn = rig.store.write({sealed.ciphertext}, attr);
+  core::Sn sn =
+      rig.store.write({.payloads = {sealed.ciphertext}, .attr = attr});
 
   // Verified read + unseal while alive.
   auto res = rig.store.read(sn);

@@ -26,11 +26,11 @@ struct DedupRig : Rig {
 TEST(Dedup, IdenticalPayloadsShareOneRecord) {
   DedupRig rig;
   Bytes attachment = to_bytes("popular-attachment.pdf contents");
-  Sn a = rig.store.write({to_bytes("mail A"), attachment},
-                         rig.attr(Duration::days(10)));
-  Sn b = rig.store.write({to_bytes("mail B"), attachment},
-                         rig.attr(Duration::days(10)));
-  EXPECT_EQ(rig.store.stats().dedup_hits, 1u);
+  Sn a = rig.store.write({.payloads = {to_bytes("mail A"), attachment},
+                          .attr = rig.attr(Duration::days(10))});
+  Sn b = rig.store.write({.payloads = {to_bytes("mail B"), attachment},
+                          .attr = rig.attr(Duration::days(10))});
+  EXPECT_EQ(rig.store.counters().at("dedup_hits"), 1u);
 
   auto ra = rig.store.read(a);
   auto rb = rig.store.read(b);
@@ -44,24 +44,28 @@ TEST(Dedup, IdenticalPayloadsShareOneRecord) {
 
 TEST(Dedup, DifferentPayloadsDoNotShare) {
   DedupRig rig;
-  Sn a = rig.store.write({to_bytes("unique A")}, rig.attr(Duration::days(1)));
-  Sn b = rig.store.write({to_bytes("unique B")}, rig.attr(Duration::days(1)));
+  Sn a = rig.store.write({.payloads = {to_bytes("unique A")},
+                          .attr = rig.attr(Duration::days(1))});
+  Sn b = rig.store.write({.payloads = {to_bytes("unique B")},
+                          .attr = rig.attr(Duration::days(1))});
   auto ra = rig.store.read(a);
   auto rb = rig.store.read(b);
   EXPECT_NE(std::get<ReadOk>(ra).vrd.rdl.at(0),
             std::get<ReadOk>(rb).vrd.rdl.at(0));
-  EXPECT_EQ(rig.store.stats().dedup_hits, 0u);
+  EXPECT_EQ(rig.store.counters().at("dedup_hits"), 0u);
 }
 
 TEST(Dedup, SharedDataSurvivesPartialExpiry) {
   DedupRig rig;
   Bytes shared = to_bytes("shared evidence exhibit");
-  Sn short_lived = rig.store.write({shared}, rig.attr(Duration::hours(1)));
-  Sn long_lived = rig.store.write({shared}, rig.attr(Duration::days(30)));
+  Sn short_lived = rig.store.write(
+      {.payloads = {shared}, .attr = rig.attr(Duration::hours(1))});
+  Sn long_lived = rig.store.write(
+      {.payloads = {shared}, .attr = rig.attr(Duration::days(30))});
 
   rig.clock.advance(Duration::hours(2));  // the short record expires
   EXPECT_TRUE(std::holds_alternative<ReadDeleted>(rig.store.read(short_lived)));
-  EXPECT_EQ(rig.store.stats().deferred_shreds, 1u);
+  EXPECT_EQ(rig.store.counters().at("deferred_shreds"), 1u);
 
   // The shared bytes are still intact for the long-lived reference.
   auto res = rig.store.read(long_lived);
@@ -74,8 +78,10 @@ TEST(Dedup, SharedDataSurvivesPartialExpiry) {
 TEST(Dedup, LastReferenceExpiryShredsForReal) {
   DedupRig rig;
   Bytes shared = to_bytes("disappears with the last reference");
-  Sn a = rig.store.write({shared}, rig.attr(Duration::hours(1)));
-  Sn b = rig.store.write({shared}, rig.attr(Duration::hours(2)));
+  Sn a = rig.store.write(
+      {.payloads = {shared}, .attr = rig.attr(Duration::hours(1))});
+  Sn b = rig.store.write(
+      {.payloads = {shared}, .attr = rig.attr(Duration::hours(2))});
   auto res = rig.store.read(a);
   std::uint64_t block = std::get<ReadOk>(res).vrd.rdl.at(0).blocks.at(0);
 
@@ -94,9 +100,10 @@ TEST(Dedup, ReusableAfterFullExpiry) {
   // fresh record (no stale index entry resurrects the old descriptor).
   DedupRig rig;
   Bytes shared = to_bytes("phoenix payload");
-  rig.store.write({shared}, rig.attr(Duration::hours(1)));
+  rig.store.write({.payloads = {shared}, .attr = rig.attr(Duration::hours(1))});
   rig.clock.advance(Duration::hours(2));
-  Sn again = rig.store.write({shared}, rig.attr(Duration::days(1)));
+  Sn again = rig.store.write(
+      {.payloads = {shared}, .attr = rig.attr(Duration::days(1))});
   auto res = rig.store.read(again);
   ASSERT_TRUE(std::holds_alternative<ReadOk>(res));
   EXPECT_EQ(std::get<ReadOk>(res).payloads.at(0), shared);
@@ -112,8 +119,9 @@ TEST(Dedup, StorageFootprintShrinks) {
     Rig rig({}, c);
     Bytes attachment(3000, 0xaa);
     for (int i = 0; i < 30; ++i) {
-      rig.store.write({to_bytes("mail " + std::to_string(i)), attachment},
-                      rig.attr(Duration::days(1)));
+      rig.store.write(
+          {.payloads = {to_bytes("mail " + std::to_string(i)), attachment},
+           .attr = rig.attr(Duration::days(1))});
     }
     return rig.disk.stats().bytes_written;
   };

@@ -206,12 +206,12 @@ TEST(FirmwareNvram, RetentionEnforcedAcrossReboot) {
   Bytes nvram;
   {
     WormStore store1(clock, fw1, records, StoreConfig{});
-    store1.write({to_bytes("expires soon")},
-                 [&] {
-                   Attr a;
-                   a.retention = Duration::hours(1);
-                   return a;
-                 }());
+    store1.write({.payloads = {to_bytes("expires soon")},
+                  .attr = [&] {
+                    Attr a;
+                    a.retention = Duration::hours(1);
+                    return a;
+                  }()});
     nvram = fw1.save_nvram();
   }
 

@@ -61,7 +61,8 @@ TEST_P(ModelSweep, RandomOperationSequenceStaysVerifiable) {
         Attr attr;
         attr.retention = retention;
         attr.shredding = static_cast<storage::ShredPolicy>(rng.uniform(5));
-        Sn sn = rig.store.write(payloads, attr, mode);
+        Sn sn = rig.store.write(
+            {.payloads = payloads, .attr = attr, .mode = mode});
         ModelRecord m;
         m.expiry = rig.clock.now() + retention;
         m.deadline = m.expiry;
@@ -83,8 +84,11 @@ TEST_P(ModelSweep, RandomOperationSequenceStaysVerifiable) {
         SimTime until = rig.clock.now() +
                         Duration::hours(static_cast<std::int64_t>(
                             1 + rng.uniform(300)));
-        rig.store.lit_hold(sn, until, sn, rig.clock.now(),
-                           rig.lit_credential(sn, sn, true));
+        rig.store.lit_hold({.sn = sn,
+                            .lit_id = sn,
+                            .hold_until = until,
+                            .cred_issued_at = rig.clock.now(),
+                            .credential = rig.lit_credential(sn, sn, true)});
         model[sn].held = true;
         model[sn].deadline = std::max(model[sn].expiry, until);
         break;
@@ -98,8 +102,11 @@ TEST_P(ModelSweep, RandomOperationSequenceStaysVerifiable) {
           }
         }
         if (candidate == kInvalidSn) break;
-        rig.store.lit_release(candidate, candidate, rig.clock.now(),
-                              rig.lit_credential(candidate, candidate, false));
+        rig.store.lit_release(
+            {.sn = candidate,
+             .lit_id = candidate,
+             .cred_issued_at = rig.clock.now(),
+             .credential = rig.lit_credential(candidate, candidate, false)});
         model[candidate].held = false;
         model[candidate].deadline =
             std::max(rig.clock.now(), model[candidate].expiry);

@@ -34,7 +34,9 @@ TEST(Soak, OneSimulatedYearOfOperation) {
                            : Duration::days(static_cast<std::int64_t>(
                                  3 + rng.uniform(40)));  // working set
       auto mode = static_cast<WitnessMode>(rng.uniform(3));
-      rig.store.write({rng.bytes(100 + rng.uniform(2000))}, attr, mode);
+      rig.store.write({.payloads = {rng.bytes(100 + rng.uniform(2000))},
+                       .attr = attr,
+                       .mode = mode});
       ++writes;
     }
 
@@ -44,8 +46,12 @@ TEST(Soak, OneSimulatedYearOfOperation) {
         const Vrdt::Entry* e = rig.store.vrdt().find(sn);
         if (e != nullptr && e->kind == Vrdt::Entry::Kind::kActive &&
             !e->vrd.attr.litigation_hold) {
-          rig.store.lit_hold(sn, rig.clock.now() + Duration::days(45), sn,
-                             rig.clock.now(), rig.lit_credential(sn, sn, true));
+          rig.store.lit_hold(
+              {.sn = sn,
+               .lit_id = sn,
+               .hold_until = rig.clock.now() + Duration::days(45),
+               .cred_issued_at = rig.clock.now(),
+               .credential = rig.lit_credential(sn, sn, true)});
           ++held;
           break;
         }
@@ -74,7 +80,7 @@ TEST(Soak, OneSimulatedYearOfOperation) {
   }
   EXPECT_EQ(rig.firmware.counters().writes, writes);
   EXPECT_GT(rig.firmware.counters().deletions, writes / 2);  // working set died
-  EXPECT_GT(rig.store.stats().compactions, 0u);
+  EXPECT_GT(rig.store.counters().at("compactions"), 0u);
   // (Base advance usually stays at 0 here: an early 7-year record pins the
   // window base for the whole year — realistic, and why multi-window
   // compaction exists.)
@@ -93,6 +99,55 @@ TEST(Soak, OneSimulatedYearOfOperation) {
   auto verifier = rig.fresh_verifier();
   AuditReport final_report = Auditor::audit_store(rig.store, verifier);
   EXPECT_TRUE(final_report.clean()) << Auditor::summarize(final_report);
+}
+
+TEST(Soak, ChannelBackedStoreMatchesDirectFirmwareProofStream) {
+  // The mailbox/channel transport must be semantically invisible: the proof
+  // stream a WormStore produces through serialized commands has to be
+  // byte-identical to what the same workload produces by calling the
+  // firmware directly. Zero-cost models pin simulated time on both sides so
+  // signatures (which embed SCPU timestamps) can be compared byte for byte.
+  Rig through_store({}, {}, 32u << 20, scpu::CostModel::zero());
+  Rig direct({}, {}, 32u << 20, scpu::CostModel::zero());
+
+  struct Item {
+    std::string text;
+    Duration retention;
+    WitnessMode mode;
+  };
+  std::vector<Item> workload;
+  crypto::Drbg rng(0x1d397);
+  for (int i = 0; i < 40; ++i) {
+    workload.push_back({"record " + std::to_string(i),
+                        Duration::hours(static_cast<std::int64_t>(
+                            1 + rng.uniform(500))),
+                        static_cast<WitnessMode>(rng.uniform(3))});
+  }
+
+  std::vector<Sn> sns;
+  std::vector<WriteWitness> direct_witnesses;
+  for (const auto& item : workload) {
+    common::Bytes payload = common::to_bytes(item.text);
+    sns.push_back(through_store.store.write(
+        {.payloads = {payload},
+         .attr = through_store.attr(item.retention),
+         .mode = item.mode}));
+    storage::RecordDescriptor rd = direct.records.write(payload);
+    direct_witnesses.push_back(direct.firmware.write(
+        direct.attr(item.retention), {rd}, {payload}, {}, item.mode,
+        HashMode::kScpuHash));
+  }
+
+  for (std::size_t i = 0; i < workload.size(); ++i) {
+    const Vrdt::Entry* e = through_store.store.vrdt().find(sns[i]);
+    ASSERT_NE(e, nullptr);
+    EXPECT_EQ(e->vrd.sn, direct_witnesses[i].sn);
+    EXPECT_EQ(e->vrd.data_hash, direct_witnesses[i].data_hash);
+    EXPECT_EQ(e->vrd.metasig.value, direct_witnesses[i].metasig.value)
+        << "metasig diverged at record " << i;
+    EXPECT_EQ(e->vrd.datasig.value, direct_witnesses[i].datasig.value)
+        << "datasig diverged at record " << i;
+  }
 }
 
 }  // namespace

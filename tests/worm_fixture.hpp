@@ -26,11 +26,15 @@ inline const crypto::RsaPrivateKey& regulator_key() {
 }
 
 /// One full deployment. Tweak configs before first use via the constructor.
+/// `cost_model` defaults to the calibrated IBM 4764 model; pass
+/// CostModel::zero() when a test needs two rigs to produce byte-identical
+/// proof streams (signatures embed creation times, so time must not move).
 struct Rig {
   explicit Rig(core::FirmwareConfig fw_config = {},
                core::StoreConfig store_config = {},
-               std::size_t secure_mem = 32u << 20)
-      : device(clock, scpu::CostModel::ibm4764(), secure_mem),
+               std::size_t secure_mem = 32u << 20,
+               const scpu::CostModel& cost_model = scpu::CostModel::ibm4764())
+      : device(clock, cost_model, secure_mem),
         firmware(device, fw_config, regulator_key().public_key()),
         disk(4096, 4096, &clock, storage::LatencyModel::none()),
         records(disk),
@@ -51,7 +55,9 @@ struct Rig {
   /// Single-payload write helper.
   core::Sn put(const std::string& text, common::Duration retention,
                std::optional<core::WitnessMode> mode = std::nullopt) {
-    return store.write({common::to_bytes(text)}, attr(retention), mode);
+    return store.write({.payloads = {common::to_bytes(text)},
+                        .attr = attr(retention),
+                        .mode = mode});
   }
 
   /// Regulator-signed litigation credential.

@@ -40,7 +40,8 @@ TEST(WormStore, MultiPayloadVirtualRecord) {
   Rig rig;
   std::vector<common::Bytes> payloads = {
       to_bytes("email body"), to_bytes("attachment-1"), to_bytes("attachment-2")};
-  Sn sn = rig.store.write(payloads, rig.attr(Duration::days(365)));
+  Sn sn = rig.store.write(
+      {.payloads = payloads, .attr = rig.attr(Duration::days(365))});
 
   ReadResult res = rig.store.read(sn);
   auto* ok = std::get_if<ReadOk>(&res);
@@ -65,7 +66,7 @@ TEST(WormStore, CreationTimeIsScpuAuthoritative) {
   Attr a = rig.attr(Duration::days(1));
   a.creation_time = common::SimTime{-12345};  // host-supplied lie
   common::SimTime before = rig.clock.now();
-  Sn sn = rig.store.write({to_bytes("x")}, a);
+  Sn sn = rig.store.write({.payloads = {to_bytes("x")}, .attr = a});
   common::SimTime after = rig.clock.now();
   auto res = rig.store.read(sn);
   auto* ok = std::get_if<ReadOk>(&res);
@@ -92,7 +93,8 @@ TEST(WormStore, EmptyStoreAnswersNotAllocated) {
 
 TEST(WormStore, RejectsZeroRetention) {
   Rig rig;
-  EXPECT_THROW(rig.put("r", Duration::nanos(0)), common::PreconditionError);
+  // Rejected by the device's admission check; surfaces as a channel error.
+  EXPECT_THROW(rig.put("r", Duration::nanos(0)), ChannelError);
 }
 
 TEST(WormStore, HeartbeatRefreshesAutomatically) {
@@ -120,7 +122,7 @@ TEST(WormStore, RetentionExpiryYieldsDeletionProof) {
   ASSERT_TRUE(std::holds_alternative<ReadDeleted>(res));
   Outcome out = rig.verifier.verify_read(sn, res);
   EXPECT_EQ(out.verdict, Verdict::kDeletedVerified) << out.detail;
-  EXPECT_EQ(rig.store.stats().expirations, 1u);
+  EXPECT_EQ(rig.store.counters().at("expirations"), 1u);
 }
 
 TEST(WormStore, DeletionShredsDataBlocks) {
@@ -186,8 +188,8 @@ TEST_P(ShredPolicies, ShreddingRemovesPayloadResidue) {
   Rig rig;
   common::Bytes payload = to_bytes("the incriminating memo, quite long "
                                    "so residue would be recognisable");
-  Sn sn = rig.store.write({payload},
-                          rig.attr(Duration::hours(1), GetParam()));
+  Sn sn = rig.store.write(
+      {.payloads = {payload}, .attr = rig.attr(Duration::hours(1), GetParam())});
   auto res = rig.store.read(sn);
   std::uint64_t block = std::get<ReadOk>(res).vrd.rdl.at(0).blocks.at(0);
   rig.clock.advance(Duration::hours(2));
@@ -204,8 +206,11 @@ TEST_P(ShredPolicies, ShreddingRemovesPayloadResidue) {
 TEST(WormStore, LitigationHoldBlocksDeletion) {
   Rig rig;
   Sn sn = rig.put("under subpoena", Duration::hours(1));
-  rig.store.lit_hold(sn, rig.clock.now() + Duration::days(30), /*lit_id=*/7,
-                     rig.clock.now(), rig.lit_credential(sn, 7, true));
+  rig.store.lit_hold({.sn = sn,
+                      .lit_id = 7,
+                      .hold_until = rig.clock.now() + Duration::days(30),
+                      .cred_issued_at = rig.clock.now(),
+                      .credential = rig.lit_credential(sn, 7, true)});
   rig.clock.advance(Duration::hours(5));  // retention long past
   ReadResult res = rig.store.read(sn);
   ASSERT_TRUE(std::holds_alternative<ReadOk>(res));
@@ -216,11 +221,16 @@ TEST(WormStore, LitigationHoldBlocksDeletion) {
 TEST(WormStore, LitigationReleaseAllowsDeletion) {
   Rig rig;
   Sn sn = rig.put("under subpoena", Duration::hours(1));
-  rig.store.lit_hold(sn, rig.clock.now() + Duration::days(30), 7,
-                     rig.clock.now(), rig.lit_credential(sn, 7, true));
+  rig.store.lit_hold({.sn = sn,
+                      .lit_id = 7,
+                      .hold_until = rig.clock.now() + Duration::days(30),
+                      .cred_issued_at = rig.clock.now(),
+                      .credential = rig.lit_credential(sn, 7, true)});
   rig.clock.advance(Duration::hours(5));
-  rig.store.lit_release(sn, 7, rig.clock.now(),
-                        rig.lit_credential(sn, 7, false));
+  rig.store.lit_release({.sn = sn,
+                         .lit_id = 7,
+                         .cred_issued_at = rig.clock.now(),
+                         .credential = rig.lit_credential(sn, 7, false)});
   // Retention already lapsed, so deletion is due immediately.
   rig.clock.advance(Duration::seconds(1));
   EXPECT_EQ(rig.verifier.verify_read(sn, rig.store.read(sn)).verdict,
@@ -230,8 +240,11 @@ TEST(WormStore, LitigationReleaseAllowsDeletion) {
 TEST(WormStore, LitigationHoldTimesOutOnItsOwn) {
   Rig rig;
   Sn sn = rig.put("held", Duration::hours(1));
-  rig.store.lit_hold(sn, rig.clock.now() + Duration::hours(10), 9,
-                     rig.clock.now(), rig.lit_credential(sn, 9, true));
+  rig.store.lit_hold({.sn = sn,
+                      .lit_id = 9,
+                      .hold_until = rig.clock.now() + Duration::hours(10),
+                      .cred_issued_at = rig.clock.now(),
+                      .credential = rig.lit_credential(sn, 9, true)});
   rig.clock.advance(Duration::hours(5));
   EXPECT_TRUE(std::holds_alternative<ReadOk>(rig.store.read(sn)));
   rig.clock.advance(Duration::hours(6));  // past the hold timeout
@@ -246,9 +259,13 @@ TEST(WormStore, LitHoldRejectsForgedCredential) {
   const auto& rogue = scpu::cached_rsa_key(0xbad, 1024);
   common::Bytes forged = crypto::rsa_sign(
       rogue, lit_credential_payload(sn, rig.clock.now(), 7, true));
-  EXPECT_THROW(rig.store.lit_hold(sn, rig.clock.now() + Duration::days(1), 7,
-                                  rig.clock.now(), forged),
-               common::ScpuError);
+  EXPECT_THROW(
+      rig.store.lit_hold({.sn = sn,
+                          .lit_id = 7,
+                          .hold_until = rig.clock.now() + Duration::days(1),
+                          .cred_issued_at = rig.clock.now(),
+                          .credential = forged}),
+      ChannelError);
 }
 
 TEST(WormStore, LitHoldRejectsCredentialForOtherRecord) {
@@ -256,9 +273,13 @@ TEST(WormStore, LitHoldRejectsCredentialForOtherRecord) {
   Sn a = rig.put("a", Duration::days(1));
   Sn b = rig.put("b", Duration::days(1));
   common::Bytes cred_for_a = rig.lit_credential(a, 7, true);
-  EXPECT_THROW(rig.store.lit_hold(b, rig.clock.now() + Duration::days(1), 7,
-                                  rig.clock.now(), cred_for_a),
-               common::ScpuError);
+  EXPECT_THROW(
+      rig.store.lit_hold({.sn = b,
+                          .lit_id = 7,
+                          .hold_until = rig.clock.now() + Duration::days(1),
+                          .cred_issued_at = rig.clock.now(),
+                          .credential = cred_for_a}),
+      ChannelError);
 }
 
 TEST(WormStore, LitHoldRejectsExpiredCredential) {
@@ -267,17 +288,24 @@ TEST(WormStore, LitHoldRejectsExpiredCredential) {
   common::SimTime issued = rig.clock.now();
   common::Bytes cred = rig.lit_credential(sn, 7, true);
   rig.clock.advance(Duration::days(3));  // beyond lit_credential_max_age
-  EXPECT_THROW(rig.store.lit_hold(sn, rig.clock.now() + Duration::days(9), 7,
-                                  issued, cred),
-               common::ScpuError);
+  EXPECT_THROW(
+      rig.store.lit_hold({.sn = sn,
+                          .lit_id = 7,
+                          .hold_until = rig.clock.now() + Duration::days(9),
+                          .cred_issued_at = issued,
+                          .credential = cred}),
+      ChannelError);
 }
 
 TEST(WormStore, LitReleaseRequiresActiveHold) {
   Rig rig;
   Sn sn = rig.put("never held", Duration::days(1));
-  EXPECT_THROW(rig.store.lit_release(sn, 7, rig.clock.now(),
-                                     rig.lit_credential(sn, 7, false)),
-               common::ScpuError);
+  EXPECT_THROW(
+      rig.store.lit_release({.sn = sn,
+                             .lit_id = 7,
+                             .cred_issued_at = rig.clock.now(),
+                             .credential = rig.lit_credential(sn, 7, false)}),
+      ChannelError);
 }
 
 // ---------------------------------------------------------------------------
@@ -438,6 +466,126 @@ TEST(WormStore, ShortKeyRotatesAcrossEpochs) {
 }
 
 // ---------------------------------------------------------------------------
+// Batched writes & mailbox scheduling
+// ---------------------------------------------------------------------------
+
+TEST(WormStore, WriteBatchPreservesOrderAndVerifies) {
+  Rig rig;
+  std::vector<WriteRequest> requests;
+  for (int i = 0; i < 10; ++i) {
+    requests.push_back({.payloads = {to_bytes("batched " + std::to_string(i))},
+                        .attr = rig.attr(Duration::days(1 + i))});
+  }
+  std::vector<Sn> sns = rig.store.write_batch(requests);
+  ASSERT_EQ(sns.size(), requests.size());
+  for (std::size_t i = 0; i < sns.size(); ++i) {
+    EXPECT_EQ(sns[i], i + 1);  // submission order == SN order
+    auto res = rig.store.read(sns[i]);
+    auto* ok = std::get_if<ReadOk>(&res);
+    ASSERT_NE(ok, nullptr);
+    EXPECT_EQ(common::to_string(ok->payloads.at(0)),
+              "batched " + std::to_string(i));
+    EXPECT_EQ(rig.verifier.verify_read(sns[i], res).verdict,
+              Verdict::kAuthentic);
+  }
+}
+
+TEST(WormStore, WriteBatchGroupsByModeAndAmortizesCrossings) {
+  Rig rig;
+  std::vector<WriteRequest> requests;
+  for (int i = 0; i < 12; ++i) {
+    // Two mode runs: 6 strong then 6 deferred — two kWriteBatch crossings.
+    requests.push_back({.payloads = {to_bytes("r" + std::to_string(i))},
+                        .attr = rig.attr(Duration::days(1)),
+                        .mode = i < 6 ? WitnessMode::kStrong
+                                      : WitnessMode::kDeferred});
+  }
+  auto before = rig.store.counters();
+  std::vector<Sn> sns = rig.store.write_batch(requests);
+  auto after = rig.store.counters();
+  EXPECT_EQ(after.at("mailbox_batches") - before.at("mailbox_batches"), 2u);
+  EXPECT_EQ(after.at("mailbox_batched_writes") -
+                before.at("mailbox_batched_writes"),
+            12u);
+  EXPECT_GE(after.at("mailbox_queue_hwm"), 12u);
+  // Mode boundaries respected: 6 strong witnesses, 6 short-term ones.
+  for (std::size_t i = 0; i < sns.size(); ++i) {
+    auto res = rig.store.read(sns[i]);
+    EXPECT_EQ(std::get<ReadOk>(res).vrd.metasig.kind,
+              i < 6 ? SigKind::kStrong : SigKind::kShortTerm);
+  }
+}
+
+TEST(WormStore, WriteBatchChunksAtMaxBatch) {
+  StoreConfig sc;
+  sc.mailbox.max_batch = 4;
+  Rig rig({}, sc);
+  std::vector<WriteRequest> requests(
+      10, {.payloads = {to_bytes("x")}, .attr = rig.attr(Duration::days(1))});
+  rig.store.write_batch(requests);
+  // ceil(10 / 4) = 3 kWriteBatch crossings.
+  EXPECT_EQ(rig.store.counters().at("mailbox_batches"), 3u);
+}
+
+TEST(WormStore, DeadlinePressureServicesStrengtheningMidBurst) {
+  // §4.3: when a deferred witness's security lifetime is about to lapse, the
+  // next foreground write must let the urgent strengthen duty run first.
+  core::FirmwareConfig fw = slow_timers_config();
+  fw.short_key_rotation = Duration::hours(4);
+  fw.short_sig_lifetime = Duration::hours(1);
+  Rig rig(fw);
+  rig.put("burst", Duration::days(1), WitnessMode::kDeferred);
+  EXPECT_FALSE(rig.store.deadline_pressure(Duration::minutes(10)));
+
+  rig.clock.advance(Duration::minutes(55));  // inside the 10-minute margin
+  EXPECT_TRUE(rig.store.deadline_pressure(Duration::minutes(10)));
+
+  // The foreground write triggers the urgent duty before witnessing.
+  Sn sn = rig.put("foreground", Duration::days(1), WitnessMode::kDeferred);
+  EXPECT_GE(rig.store.counters().at("mailbox_urgent_services"), 1u);
+  // The first record was strengthened to a permanent signature in time.
+  auto res = rig.store.read(1);
+  EXPECT_EQ(std::get<ReadOk>(res).vrd.metasig.kind, SigKind::kStrong);
+  // The new write's own deadline is an hour out — no pressure now.
+  EXPECT_FALSE(rig.store.deadline_pressure(Duration::minutes(10)));
+  EXPECT_EQ(std::get<ReadOk>(rig.store.read(sn)).vrd.metasig.kind,
+            SigKind::kShortTerm);
+}
+
+TEST(WormStore, WritePathsNeverTouchFirmwareDirectly) {
+  // Every write crosses the mailbox: the transport's command counter must
+  // account for each of them (plus the constructor's seeding crossings).
+  Rig rig;
+  auto base = rig.store.counters().at("mailbox_commands");
+  rig.put("one", Duration::days(1));
+  rig.put("two", Duration::days(1));
+  EXPECT_EQ(rig.store.counters().at("mailbox_commands"), base + 2);
+  // Reads are host-only (§4.2.2): no crossings at all.
+  auto before_reads = rig.store.counters().at("mailbox_commands");
+  rig.store.read(1);
+  rig.store.read(2);
+  rig.store.read(99);  // not allocated — answered from the heartbeat mirror
+  EXPECT_EQ(rig.store.counters().at("mailbox_commands"), before_reads);
+}
+
+TEST(WormStore, DeprecatedPositionalOverloadsStillForward) {
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+  Rig rig;
+  Sn sn = rig.store.write({to_bytes("legacy caller")},
+                          rig.attr(Duration::hours(1)));
+  rig.store.lit_hold(sn, rig.clock.now() + Duration::days(2), 7,
+                     rig.clock.now(), rig.lit_credential(sn, 7, true));
+  rig.clock.advance(Duration::hours(2));
+  EXPECT_TRUE(std::holds_alternative<ReadOk>(rig.store.read(sn)));
+  rig.store.lit_release(sn, 7, rig.clock.now(),
+                        rig.lit_credential(sn, 7, false));
+  rig.clock.advance(Duration::days(1));
+  EXPECT_TRUE(std::holds_alternative<ReadDeleted>(rig.store.read(sn)));
+#pragma GCC diagnostic pop
+}
+
+// ---------------------------------------------------------------------------
 // Trusted-hash burst model (§4.2.2 "Write")
 // ---------------------------------------------------------------------------
 
@@ -551,8 +699,11 @@ TEST(Migration, LitigationHoldTravelsWithRecord) {
   Rig src;
   Rig dst(core::FirmwareConfig{.seed = 0xd15c}, StoreConfig{.store_id = 2});
   Sn sn = src.put("held", Duration::hours(1));
-  src.store.lit_hold(sn, src.clock.now() + Duration::days(30), 7,
-                     src.clock.now(), src.lit_credential(sn, 7, true));
+  src.store.lit_hold({.sn = sn,
+                      .lit_id = 7,
+                      .hold_until = src.clock.now() + Duration::days(30),
+                      .cred_issued_at = src.clock.now(),
+                      .credential = src.lit_credential(sn, 7, true)});
 
   MigrationReport report = Migrator::migrate(src.store, dst.store, src.verifier);
   ASSERT_EQ(report.migrated(), 1u);
@@ -584,7 +735,7 @@ TEST(WormStore, TamperResponseKillsTheDevice) {
   Rig rig;
   rig.put("r", Duration::days(1));
   rig.device.trigger_tamper_response();
-  EXPECT_THROW(rig.put("after tamper", Duration::days(1)), common::ScpuError);
+  EXPECT_THROW(rig.put("after tamper", Duration::days(1)), ChannelError);
   // Existing records remain client-verifiable (signatures are on disk).
   EXPECT_EQ(rig.verifier.verify_read(1, rig.store.read(1)).verdict,
             Verdict::kAuthentic);
