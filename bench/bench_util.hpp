@@ -108,6 +108,54 @@ inline Throughput measure_batched_writes(BenchRig& rig, std::size_t size,
   return t;
 }
 
+/// Latency percentile over per-op samples (`p` in [0,100]). Sorts a copy;
+/// fine at bench sample counts.
+inline double percentile(std::vector<double> samples, double p) {
+  if (samples.empty()) return 0;
+  std::sort(samples.begin(), samples.end());
+  double rank = p / 100.0 * static_cast<double>(samples.size() - 1);
+  std::size_t lo = static_cast<std::size_t>(rank);
+  std::size_t hi = std::min(lo + 1, samples.size() - 1);
+  double frac = rank - static_cast<double>(lo);
+  return samples[lo] + (samples[hi] - samples[lo]) * frac;
+}
+
+/// One machine-readable result row. Latencies are microseconds; zero-valued
+/// optional fields are omitted from the JSON.
+struct BenchRow {
+  std::string op;
+  std::size_t threads = 1;
+  double throughput_ops_s = 0;
+  double p50_us = 0;
+  double p99_us = 0;
+};
+
+/// Writes rows to BENCH_<name>.json in the working directory so harnesses
+/// can diff results across commits without scraping stdout.
+inline void write_bench_json(const std::string& name,
+                             const std::vector<BenchRow>& rows) {
+  std::string path = "BENCH_" + name + ".json";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
+    return;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"rows\": [\n", name.c_str());
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const BenchRow& r = rows[i];
+    std::fprintf(f,
+                 "    {\"op\": \"%s\", \"threads\": %zu, "
+                 "\"throughput_ops_s\": %.2f",
+                 r.op.c_str(), r.threads, r.throughput_ops_s);
+    if (r.p50_us > 0) std::fprintf(f, ", \"p50_us\": %.3f", r.p50_us);
+    if (r.p99_us > 0) std::fprintf(f, ", \"p99_us\": %.3f", r.p99_us);
+    std::fprintf(f, "}%s\n", i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("\n[wrote %s]\n", path.c_str());
+}
+
 /// Dumps the store's named counters (operation counts + mailbox transport
 /// metrics) in a stable two-column form.
 inline void print_counters(const core::WormStore& store) {

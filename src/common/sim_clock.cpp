@@ -4,29 +4,37 @@
 
 namespace worm::common {
 
+void SimClock::raise_now_to(std::int64_t t_ns) {
+  std::int64_t cur = now_ns_.load(std::memory_order_relaxed);
+  while (cur < t_ns && !now_ns_.compare_exchange_weak(
+                           cur, t_ns, std::memory_order_relaxed)) {
+  }
+}
+
 void SimClock::charge(Duration d) {
   WORM_REQUIRE(d.ns >= 0, "SimClock::charge: negative duration");
-  now_ = now_ + d;
-  total_charged_ += d;
+  now_ns_.fetch_add(d.ns, std::memory_order_relaxed);
+  charged_ns_.fetch_add(d.ns, std::memory_order_relaxed);
 }
 
 void SimClock::advance(Duration d) {
   WORM_REQUIRE(d.ns >= 0, "SimClock::advance: negative duration");
-  advance_to(now_ + d);
+  advance_to(now() + d);
 }
 
 void SimClock::advance_to(SimTime t) {
-  if (t <= now_) {
+  if (t <= now()) {
     dispatch_due();
     return;
   }
   dispatch_until(t);
-  if (now_ < t) now_ = t;
+  raise_now_to(t.ns);
 }
 
-void SimClock::dispatch_due() { dispatch_until(now_); }
+void SimClock::dispatch_due() { dispatch_until(now()); }
 
 void SimClock::dispatch_until(SimTime t) {
+  std::unique_lock<std::mutex> lk(mu_);
   // Re-entrant dispatch (an alarm callback advancing the clock) would fire
   // alarms out of order; defer to the outer dispatch loop instead.
   if (dispatching_) return;
@@ -37,12 +45,14 @@ void SimClock::dispatch_until(SimTime t) {
     // Advance the clock to the alarm's scheduled time before invoking it, so
     // the callback observes a consistent now(). Callbacks may charge() cost,
     // pushing now_ past other due alarms; those still fire, at now_.
-    if (it->first.t > now_) now_ = it->first.t;
+    raise_now_to(it->first.t.ns);
     auto cb = std::move(it->second.second);
     by_id_.erase(it->second.first);
     alarms_.erase(it);
     dispatching_ = false;  // allow the callback to schedule/cancel freely
+    lk.unlock();
     cb();
+    lk.lock();
     dispatching_ = true;
   }
   dispatching_ = false;
@@ -50,6 +60,7 @@ void SimClock::dispatch_until(SimTime t) {
 
 AlarmId SimClock::schedule_at(SimTime t, std::function<void()> cb) {
   WORM_REQUIRE(cb != nullptr, "SimClock::schedule_at: null callback");
+  std::lock_guard<std::mutex> lk(mu_);
   Key key{t, next_seq_++};
   AlarmId id = next_id_++;
   alarms_.emplace(key, std::make_pair(id, std::move(cb)));
@@ -58,6 +69,7 @@ AlarmId SimClock::schedule_at(SimTime t, std::function<void()> cb) {
 }
 
 bool SimClock::cancel(AlarmId id) {
+  std::lock_guard<std::mutex> lk(mu_);
   auto it = by_id_.find(id);
   if (it == by_id_.end()) return false;
   alarms_.erase(it->second);
@@ -66,6 +78,7 @@ bool SimClock::cancel(AlarmId id) {
 }
 
 SimTime SimClock::next_alarm() const {
+  std::lock_guard<std::mutex> lk(mu_);
   if (alarms_.empty()) return SimTime::max();
   return alarms_.begin()->first.t;
 }

@@ -1,11 +1,20 @@
-// Discrete-event simulated clock with alarms. Single-threaded and
-// deterministic: the driver advances time explicitly and due alarms fire in
-// timestamp order (FIFO among equal timestamps).
+// Discrete-event simulated clock with alarms. Deterministic: the driver
+// advances time explicitly and due alarms fire in timestamp order (FIFO
+// among equal timestamps).
+//
+// Thread-safety (the concurrent read path charges cost from worker
+// threads): now(), charge() and total_charged() are lock-free and safe from
+// any thread. advance()/advance_to()/dispatch_due() remain *driver-thread*
+// operations — alarms are dispatched by exactly one simulation driver, as
+// before — but the alarm book-keeping is mutex-protected so schedule/cancel
+// from a callback or another thread cannot corrupt it.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <mutex>
 
 #include "common/time.hpp"
 
@@ -25,19 +34,22 @@ using AlarmId = std::uint64_t;
 class SimClock final : public TimeSource {
  public:
   SimClock() = default;
-  explicit SimClock(SimTime start) : now_(start) {}
+  explicit SimClock(SimTime start) : now_ns_(start.ns) {}
 
   SimClock(const SimClock&) = delete;
   SimClock& operator=(const SimClock&) = delete;
 
-  [[nodiscard]] SimTime now() const override { return now_; }
+  [[nodiscard]] SimTime now() const override {
+    return SimTime{now_ns_.load(std::memory_order_relaxed)};
+  }
 
   /// Accounts simulated cost; never dispatches alarms (see class comment).
+  /// Safe from any thread; concurrent charges sum.
   void charge(Duration d);
 
   /// Moves time forward by d, firing due alarms in order. Each alarm callback
   /// observes now() == its scheduled time (or later, if an earlier callback
-  /// charged cost past it).
+  /// charged cost past it). Driver thread only.
   void advance(Duration d);
 
   /// Advances straight to t (no-op if t is in the past), dispatching alarms.
@@ -50,7 +62,7 @@ class SimClock final : public TimeSource {
   /// next dispatch. Returns an id usable with cancel().
   AlarmId schedule_at(SimTime t, std::function<void()> cb);
   AlarmId schedule_after(Duration d, std::function<void()> cb) {
-    return schedule_at(now_ + d, std::move(cb));
+    return schedule_at(now() + d, std::move(cb));
   }
 
   /// Cancels a pending alarm. Returns false if it already fired/was cancelled.
@@ -59,10 +71,15 @@ class SimClock final : public TimeSource {
   /// Earliest pending alarm time, or SimTime::max() when none.
   [[nodiscard]] SimTime next_alarm() const;
 
-  [[nodiscard]] std::size_t pending_alarms() const { return alarms_.size(); }
+  [[nodiscard]] std::size_t pending_alarms() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return alarms_.size();
+  }
 
   /// Total simulated compute cost accounted via charge() (benchmark metric).
-  [[nodiscard]] Duration total_charged() const { return total_charged_; }
+  [[nodiscard]] Duration total_charged() const {
+    return Duration{charged_ns_.load(std::memory_order_relaxed)};
+  }
 
  private:
   struct Key {
@@ -72,9 +89,12 @@ class SimClock final : public TimeSource {
   };
 
   void dispatch_until(SimTime t);
+  void raise_now_to(std::int64_t t_ns);
 
-  SimTime now_ = SimTime::epoch();
-  Duration total_charged_{};
+  std::atomic<std::int64_t> now_ns_{0};
+  std::atomic<std::int64_t> charged_ns_{0};
+
+  mutable std::mutex mu_;  // guards everything below
   std::uint64_t next_seq_ = 0;
   std::uint64_t next_id_ = 1;
   std::map<Key, std::pair<AlarmId, std::function<void()>>> alarms_;

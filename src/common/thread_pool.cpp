@@ -1,0 +1,89 @@
+#include "common/thread_pool.hpp"
+
+#include <atomic>
+#include <exception>
+#include <latch>
+
+#include "common/error.hpp"
+
+namespace worm::common {
+
+ThreadPool::ThreadPool(std::size_t workers) {
+  workers_.reserve(workers);
+  for (std::size_t i = 0; i < workers; ++i) {
+    workers_.emplace_back([this] { run(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void ThreadPool::run() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      cv_.wait(lk, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ and drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  WORM_REQUIRE(task != nullptr, "ThreadPool::submit: null task");
+  if (workers_.empty()) {
+    task();
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    queue_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::parallel_for(std::size_t n,
+                              const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  std::atomic<std::size_t> next{0};
+  std::exception_ptr first_error;
+  std::mutex error_mu;
+
+  auto drain = [&] {
+    for (;;) {
+      std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) return;
+      try {
+        fn(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lk(error_mu);
+        if (!first_error) first_error = std::current_exception();
+      }
+    }
+  };
+
+  // One helper per worker, capped at n-1 (the caller is the n-th lane).
+  std::size_t helpers = workers_.size();
+  if (helpers > n - 1) helpers = n - 1;
+  std::latch done(static_cast<std::ptrdiff_t>(helpers));
+  for (std::size_t h = 0; h < helpers; ++h) {
+    submit([&] {
+      drain();
+      done.count_down();
+    });
+  }
+  drain();
+  done.wait();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace worm::common

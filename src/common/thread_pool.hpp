@@ -1,0 +1,52 @@
+// Fixed-size worker pool for host-side fan-out. The paper's read path is
+// served entirely by the (fast, untrusted) main CPU (§4.2.2); serving
+// "millions of users" means serving it from every core the host has. The
+// pool is deliberately small and boring: a locked deque, condition-variable
+// wakeups, and a parallel_for in which the calling thread participates, so a
+// pool of N workers yields N+1 lanes and a pool is never required for
+// correctness (size 0 degrades to the caller doing all the work inline).
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace worm::common {
+
+class ThreadPool {
+ public:
+  /// Spawns `workers` threads. 0 is allowed: submit() then runs tasks
+  /// inline and parallel_for degrades to a sequential loop.
+  explicit ThreadPool(std::size_t workers);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] std::size_t size() const { return workers_.size(); }
+
+  /// Enqueues a task. Tasks must not block waiting for later submissions
+  /// (the pool has no work stealing); they may submit new tasks.
+  void submit(std::function<void()> task);
+
+  /// Runs fn(0..n-1) across the workers plus the calling thread and returns
+  /// when every call has finished. Work is claimed from a shared atomic
+  /// index, so uneven item costs self-balance. The first exception thrown
+  /// by any fn is rethrown on the caller after all items complete or drain.
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+ private:
+  void run();
+
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool stop_ = false;
+};
+
+}  // namespace worm::common

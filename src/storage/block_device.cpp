@@ -34,24 +34,29 @@ void MemBlockDevice::charge(std::size_t bytes) {
 }
 
 void MemBlockDevice::read_block(std::size_t index, Bytes& out) {
-  check_index(index);
-  out = blocks_[index];
-  ++stats_.reads;
-  stats_.bytes_read += block_size_;
+  {
+    std::shared_lock<std::shared_mutex> lk(mu_);
+    check_index(index);
+    out = blocks_[index];
+  }
+  note_read(block_size_);
   charge(block_size_);
 }
 
 void MemBlockDevice::write_block(std::size_t index, ByteView data) {
-  check_index(index);
   WORM_REQUIRE(data.size() == block_size_,
                "MemBlockDevice: write size != block size");
-  blocks_[index].assign(data.begin(), data.end());
-  ++stats_.writes;
-  stats_.bytes_written += block_size_;
+  {
+    std::shared_lock<std::shared_mutex> lk(mu_);
+    check_index(index);
+    blocks_[index].assign(data.begin(), data.end());
+  }
+  note_write(block_size_);
   charge(block_size_);
 }
 
 void MemBlockDevice::grow(std::size_t additional_blocks) {
+  std::unique_lock<std::shared_mutex> lk(mu_);
   blocks_.resize(blocks_.size() + additional_blocks, Bytes(block_size_, 0));
 }
 
@@ -90,8 +95,7 @@ void FileBlockDevice::read_block(std::size_t index, Bytes& out) {
   if (n != static_cast<ssize_t>(block_size_)) {
     throw StorageError("FileBlockDevice: short read");
   }
-  ++stats_.reads;
-  stats_.bytes_read += block_size_;
+  note_read(block_size_);
 }
 
 void FileBlockDevice::write_block(std::size_t index, ByteView data) {
@@ -105,8 +109,7 @@ void FileBlockDevice::write_block(std::size_t index, ByteView data) {
   if (n != static_cast<ssize_t>(block_size_)) {
     throw StorageError("FileBlockDevice: short write");
   }
-  ++stats_.writes;
-  stats_.bytes_written += block_size_;
+  note_write(block_size_);
 }
 
 void FileBlockDevice::grow(std::size_t additional_blocks) {

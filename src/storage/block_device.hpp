@@ -6,7 +6,9 @@
 // the drive enclosure and edits the platters.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
@@ -39,7 +41,7 @@ struct LatencyModel {
   }
 };
 
-/// Access counters for experiments.
+/// Access-counter snapshot for experiments.
 struct DeviceStats {
   std::uint64_t reads = 0;
   std::uint64_t writes = 0;
@@ -47,7 +49,9 @@ struct DeviceStats {
   std::uint64_t bytes_written = 0;
 };
 
-/// Fixed-block-size device interface.
+/// Fixed-block-size device interface. Counters are atomic so concurrent
+/// readers (the multi-threaded read path) can share a device; block-level
+/// data consistency under concurrent access is the derived class's contract.
 class BlockDevice {
  public:
   virtual ~BlockDevice() = default;
@@ -66,14 +70,43 @@ class BlockDevice {
   /// cannot grow throw StorageError.
   virtual void grow(std::size_t additional_blocks) = 0;
 
-  [[nodiscard]] const DeviceStats& stats() const { return stats_; }
-  void reset_stats() { stats_ = {}; }
+  [[nodiscard]] DeviceStats stats() const {
+    return {reads_.load(std::memory_order_relaxed),
+            writes_.load(std::memory_order_relaxed),
+            bytes_read_.load(std::memory_order_relaxed),
+            bytes_written_.load(std::memory_order_relaxed)};
+  }
+  void reset_stats() {
+    reads_ = 0;
+    writes_ = 0;
+    bytes_read_ = 0;
+    bytes_written_ = 0;
+  }
 
  protected:
-  DeviceStats stats_;
+  void note_read(std::size_t bytes) {
+    reads_.fetch_add(1, std::memory_order_relaxed);
+    bytes_read_.fetch_add(bytes, std::memory_order_relaxed);
+  }
+  void note_write(std::size_t bytes) {
+    writes_.fetch_add(1, std::memory_order_relaxed);
+    bytes_written_.fetch_add(bytes, std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> reads_{0};
+  std::atomic<std::uint64_t> writes_{0};
+  std::atomic<std::uint64_t> bytes_read_{0};
+  std::atomic<std::uint64_t> bytes_written_{0};
 };
 
 /// In-memory device; optionally charges a SimClock per the latency model.
+///
+/// Concurrency contract: any number of threads may read_block/write_block
+/// concurrently (distinct blocks — concurrent access to the SAME block is
+/// the caller's data race to prevent, which WormStore's reader-writer lock
+/// does); grow() excludes everything. raw_block() is the adversary's
+/// unsynchronized platter access and stays outside the contract.
 class MemBlockDevice final : public BlockDevice {
  public:
   MemBlockDevice(std::size_t block_size, std::size_t block_count,
@@ -103,6 +136,8 @@ class MemBlockDevice final : public BlockDevice {
   std::vector<common::Bytes> blocks_;
   common::SimClock* clock_;
   LatencyModel latency_;
+  // Readers/writers share; grow() (which reallocates blocks_) excludes.
+  mutable std::shared_mutex mu_;
 };
 
 /// File-backed device (one flat file, block i at offset i*block_size).

@@ -5,6 +5,7 @@
 #pragma once
 
 #include <cstdint>
+#include <mutex>
 #include <set>
 #include <vector>
 
@@ -42,6 +43,12 @@ struct RecordDescriptor {
 
 /// Allocates, reads and shreds records on one block device. Allocation is
 /// append-mostly with a free list fed by shredded records.
+///
+/// Concurrency: read() touches only the device and is safe from any number
+/// of threads; write()/shred()/restore_state() serialize on the allocator
+/// mutex (and mutate device blocks, so callers must not read a record that
+/// is concurrently being written or shredded — WormStore's reader-writer
+/// lock guarantees this).
 class RecordStore {
  public:
   explicit RecordStore(BlockDevice& device);
@@ -58,8 +65,14 @@ class RecordStore {
   void shred(const RecordDescriptor& rd, ShredPolicy policy,
              crypto::Drbg& rng);
 
-  [[nodiscard]] std::size_t free_blocks() const { return free_.size(); }
-  [[nodiscard]] std::uint64_t records_written() const { return next_id_; }
+  [[nodiscard]] std::size_t free_blocks() const {
+    std::lock_guard<std::mutex> lk(alloc_mu_);
+    return free_.size();
+  }
+  [[nodiscard]] std::uint64_t records_written() const {
+    std::lock_guard<std::mutex> lk(alloc_mu_);
+    return next_id_;
+  }
 
   /// Serializes allocator state (free list, watermarks) so a host restart
   /// over a persistent device resumes without clobbering live records.
@@ -74,6 +87,7 @@ class RecordStore {
   void random_pass(const RecordDescriptor& rd, crypto::Drbg& rng);
 
   BlockDevice& device_;
+  mutable std::mutex alloc_mu_;  // free list + watermarks
   std::set<std::uint64_t> free_;
   std::uint64_t next_block_ = 0;
   std::uint64_t next_id_ = 0;

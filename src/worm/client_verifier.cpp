@@ -28,11 +28,15 @@ const char* to_string(Verdict v) {
 }
 
 ClientVerifier::ClientVerifier(TrustAnchors anchors,
-                               const common::TimeSource& trusted_time)
-    : anchors_(std::move(anchors)), time_(trusted_time) {}
+                               const common::TimeSource& trusted_time,
+                               std::shared_ptr<SigVerifyMemo> memo)
+    : anchors_(std::move(anchors)),
+      time_(trusted_time),
+      memo_(memo != nullptr ? std::move(memo)
+                            : std::make_shared<SigVerifyMemo>()) {}
 
 bool ClientVerifier::verify_short_cert(const ShortKeyCert& cert) const {
-  return crypto::rsa_verify(
+  return memo_->verify(
       anchors_.meta_key,
       short_key_cert_payload(cert.key_id, cert.bits, cert.pubkey,
                              cert.valid_from, cert.valid_until),
@@ -43,7 +47,7 @@ Outcome ClientVerifier::verify_sigbox(const SigBox& box,
                                       ByteView payload) const {
   switch (box.kind) {
     case SigKind::kStrong:
-      if (crypto::rsa_verify(anchors_.meta_key, payload, box.value)) {
+      if (memo_->verify(anchors_.meta_key, payload, box.value)) {
         return {Verdict::kAuthentic, ""};
       }
       return {Verdict::kTampered, "strong signature invalid"};
@@ -61,7 +65,7 @@ Outcome ClientVerifier::verify_sigbox(const SigBox& box,
                   "never strengthened"};
         }
         crypto::RsaPublicKey pk = crypto::RsaPublicKey::deserialize(cert.pubkey);
-        if (crypto::rsa_verify(pk, payload, box.value)) {
+        if (memo_->verify(pk, payload, box.value)) {
           return {Verdict::kAuthentic, ""};
         }
         return {Verdict::kTampered, "short-term signature invalid"};
@@ -104,14 +108,14 @@ Outcome ClientVerifier::verify_vrd(const Vrd& vrd,
 }
 
 bool ClientVerifier::verify_deletion_proof(const DeletionProof& proof) const {
-  return crypto::rsa_verify(anchors_.deletion_key,
-                            deletion_proof_payload(proof.sn, proof.deleted_at),
-                            proof.sig);
+  return memo_->verify(anchors_.deletion_key,
+                       deletion_proof_payload(proof.sn, proof.deleted_at),
+                       proof.sig);
 }
 
 Outcome ClientVerifier::verify_base(const SignedSnBase& base,
                                     Sn requested) const {
-  if (!crypto::rsa_verify(
+  if (!memo_->verify(
           anchors_.meta_key,
           sn_base_payload(base.sn_base, base.stamped_at, base.expires_at),
           base.sig)) {
@@ -130,7 +134,7 @@ Outcome ClientVerifier::verify_base(const SignedSnBase& base,
 
 Outcome ClientVerifier::verify_current(const SignedSnCurrent& current,
                                        Sn requested) const {
-  if (!crypto::rsa_verify(
+  if (!memo_->verify(
           anchors_.meta_key,
           sn_current_payload(current.sn_current, current.stamped_at),
           current.sig)) {
@@ -153,12 +157,12 @@ Outcome ClientVerifier::verify_window(const DeletedWindow& window,
                                       Sn requested) const {
   // Both bounds must verify AND carry the same window id — the correlation
   // that stops the main CPU splicing bounds of unrelated windows (§4.2.1).
-  bool lo_ok = crypto::rsa_verify(
+  bool lo_ok = memo_->verify(
       anchors_.meta_key,
       window_bound_payload(false, window.window_id, window.lo,
                            window.created_at),
       window.sig_lo);
-  bool hi_ok = crypto::rsa_verify(
+  bool hi_ok = memo_->verify(
       anchors_.meta_key,
       window_bound_payload(true, window.window_id, window.hi,
                            window.created_at),

@@ -8,10 +8,12 @@
 // evidence of tampering.
 #pragma once
 
+#include <memory>
 #include <string>
 
 #include "common/time.hpp"
 #include "worm/proofs.hpp"
+#include "worm/sig_memo.hpp"
 #include "worm/worm_store.hpp"
 
 namespace worm::core {
@@ -50,8 +52,14 @@ struct Outcome {
 class ClientVerifier {
  public:
   /// `trusted_time` is the client's synchronized clock, used for freshness
-  /// checks on timestamped proofs.
-  ClientVerifier(TrustAnchors anchors, const common::TimeSource& trusted_time);
+  /// checks on timestamped proofs. Every verifier gets its own signature
+  /// memo by default; pass a shared one to pool memoized verifications
+  /// across verifiers (e.g. many auditor threads over one store).
+  ClientVerifier(TrustAnchors anchors, const common::TimeSource& trusted_time,
+                 std::shared_ptr<SigVerifyMemo> memo = nullptr);
+
+  /// The memo's hit/miss counts (how much RSA work repetition saved).
+  [[nodiscard]] SigMemoStats memo_stats() const { return memo_->stats(); }
 
   /// Full read-response verification for a request of `requested` SN.
   [[nodiscard]] Outcome verify_read(Sn requested,
@@ -80,6 +88,9 @@ class ClientVerifier {
 
   TrustAnchors anchors_;
   const common::TimeSource& time_;
+  // Memoizes only the pure rsa_verify() result; every time-dependent check
+  // (cert validity, proof freshness) runs on each call regardless.
+  std::shared_ptr<SigVerifyMemo> memo_;
 };
 
 }  // namespace worm::core

@@ -1,0 +1,78 @@
+// Memoization of raw RSA signature verifications. The read path re-verifies
+// the same SCPU signatures constantly — every read of record SN re-checks the
+// same S_s(VRD) and the same witness chain — and each rsa_verify is a modular
+// exponentiation. A signature over fixed bytes under a fixed key never
+// changes validity, so the (pubkey, message, sig) -> bool result is pure and
+// safe to memoize forever; both true AND false results are cached (a forged
+// signature stays forged).
+//
+// What must NOT go through this memo: anything time-dependent — certificate
+// validity windows, S_s(SN_current)/S_s(SN_base) freshness, short-lived
+// signature expiry. ClientVerifier keeps those checks outside, after the
+// memoized mathematical check passes.
+//
+// Keys are SHA-256 digests over the length-prefixed tuple, so the memo holds
+// 32 bytes + bool per distinct signature rather than whole messages.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <shared_mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "crypto/rsa.hpp"
+
+namespace worm::core {
+
+struct SigMemoStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+};
+
+class SigVerifyMemo {
+ public:
+  /// `capacity` bounds the number of memoized results per shard group;
+  /// 0 disables memoization (every call verifies).
+  explicit SigVerifyMemo(std::size_t capacity = 8192);
+
+  SigVerifyMemo(const SigVerifyMemo&) = delete;
+  SigVerifyMemo& operator=(const SigVerifyMemo&) = delete;
+
+  /// rsa_verify(key, message, sig), memoized.
+  [[nodiscard]] bool verify(const crypto::RsaPublicKey& key,
+                            common::ByteView message, common::ByteView sig);
+
+  [[nodiscard]] SigMemoStats stats() const;
+  void clear();
+
+ private:
+  struct Key {
+    std::array<std::uint8_t, 32> digest;
+    bool operator==(const Key&) const = default;
+  };
+  struct KeyHash {
+    std::size_t operator()(const Key& k) const {
+      std::size_t h;  // digest bytes are uniform; fold the first word
+      static_assert(sizeof(h) <= 32);
+      std::memcpy(&h, k.digest.data(), sizeof(h));
+      return h;
+    }
+  };
+  static constexpr std::size_t kShards = 8;
+  struct Shard {
+    mutable std::shared_mutex mu;
+    std::unordered_map<Key, bool, KeyHash> map;
+  };
+
+  std::size_t per_shard_cap_;
+  std::array<Shard, kShards> shards_;
+  mutable std::atomic<std::uint64_t> hits_{0};
+  mutable std::atomic<std::uint64_t> misses_{0};
+};
+
+}  // namespace worm::core

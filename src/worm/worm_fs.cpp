@@ -144,6 +144,18 @@ void WormFs::rebuild_index() {
 FsAuditReport WormFs::audit(const ClientVerifier& verifier) {
   FsAuditReport report;
   report.files = index_.size();
+
+  // Prefetch every indexed version in one batch: read_many fans the reads
+  // across the store's read pool and leaves the results in its read cache,
+  // so the sequential chain walk below is served from memory. Chain hops
+  // are data-dependent (each header names its predecessor) and cannot
+  // themselves be batched.
+  std::vector<Sn> all_sns;
+  for (const auto& [path, state] : index_) {
+    for (const FsVersionInfo& v : state.chain) all_sns.push_back(v.sn);
+  }
+  store_.read_many(all_sns);
+
   for (const auto& [path, state] : index_) {
     bool chain_ok = true;
     // Walk the latest version's prev-chain back to version 1; every hop must
@@ -157,8 +169,10 @@ FsAuditReport WormFs::audit(const ClientVerifier& verifier) {
       Outcome out = verifier.verify_read(cursor, res);
       if (out.verdict == Verdict::kAuthentic) {
         auto* ok = std::get_if<ReadOk>(&res);
-        Bytes head = store_.records().read(ok->vrd.rdl[0]);
-        auto header = FsHeader::parse(head);
+        // The verifier just checked these payloads against the witnessed
+        // hash; parse the header from them rather than re-reading the disk.
+        std::optional<FsHeader> header;
+        if (!ok->payloads.empty()) header = FsHeader::parse(ok->payloads[0]);
         if (!header.has_value() || header->path != path ||
             header->version != expected_version) {
           chain_ok = false;  // a record was swapped in from another path

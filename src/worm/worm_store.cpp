@@ -20,7 +20,8 @@ WormStore::WormStore(common::SimClock& clock, Firmware& firmware,
       firmware_(firmware),
       records_(records),
       config_(std::move(config)),
-      mailbox_(firmware, config_.mailbox) {
+      mailbox_(firmware, config_.mailbox),
+      read_cache_(config_.read_cache_shards, config_.read_cache_capacity) {
   // Out-of-band deployment wiring: interrupt registration and policy
   // parameters a real host learns at provisioning time. Everything else —
   // including this constructor's heartbeat and status fetch — crosses the
@@ -46,6 +47,13 @@ WormStore::WormStore(common::SimClock& clock, Firmware& firmware,
 }
 
 WormStore::~WormStore() { firmware_.set_host_agent(nullptr); }
+
+common::ThreadPool& WormStore::read_pool() {
+  std::call_once(read_pool_once_, [this] {
+    read_pool_ = std::make_unique<common::ThreadPool>(config_.read_workers);
+  });
+  return *read_pool_;
+}
 
 storage::RecordDescriptor WormStore::store_payload(const Bytes& payload) {
   if (!config_.dedup) return records_.write(payload);
@@ -137,6 +145,7 @@ Sn WormStore::finish_write(WriteWitness witness,
 }
 
 Sn WormStore::write(const WriteRequest& request) {
+  std::unique_lock<std::shared_mutex> lk(state_mu_);
   maybe_service_deadline();
   WitnessMode mode = request.mode.value_or(config_.default_mode);
   Firmware::BatchItem item = prepare_item(request);
@@ -153,6 +162,7 @@ std::vector<Sn> WormStore::write_batch(
     const std::vector<WriteRequest>& requests) {
   std::vector<Sn> sns;
   if (requests.empty()) return sns;
+  std::unique_lock<std::shared_mutex> lk(state_mu_);
   maybe_service_deadline();
   mailbox_.note_queue_depth(requests.size());
   sns.reserve(requests.size());
@@ -185,13 +195,8 @@ std::vector<Sn> WormStore::write_batch(
   return sns;
 }
 
-Sn WormStore::write(const std::vector<Bytes>& payloads, Attr attr,
-                    std::optional<WitnessMode> mode) {
-  return write(WriteRequest{payloads, attr, mode});
-}
-
 // ---------------------------------------------------------------------------
-// Reads (host-only, §4.2.2)
+// Reads (host-only, §4.2.2; shared lock — readers run in parallel)
 // ---------------------------------------------------------------------------
 
 std::vector<Bytes> WormStore::read_payloads(const Vrd& vrd) {
@@ -209,38 +214,100 @@ SignedSnBase& WormStore::fresh_base() {
   return *base_;
 }
 
-ReadResult WormStore::read(Sn sn) {
-  ++ops_.reads;
+void WormStore::maybe_cache_locked(Sn sn, const ReadResult& r) {
+  // Cacheability policy lives with ReadCache's header comment: VRDs and
+  // time-invariant absence proofs only — no payload bytes, no
+  // freshness-stamped proofs, no failures.
+  if (const auto* ok = std::get_if<ReadOk>(&r)) {
+    ReadOk skeleton;
+    skeleton.vrd = ok->vrd;  // payloads re-read from the device on each hit
+    read_cache_.insert(
+        sn, std::make_shared<const ReadResult>(std::move(skeleton)));
+  } else if (std::holds_alternative<ReadDeleted>(r) ||
+             std::holds_alternative<ReadInDeletedWindow>(r)) {
+    read_cache_.insert(sn, std::make_shared<const ReadResult>(r));
+  }
+}
+
+std::optional<ReadResult> WormStore::read_locked(Sn sn) {
   if (const Vrdt::Entry* e = vrdt_.find(sn); e != nullptr) {
     if (e->kind == Vrdt::Entry::Kind::kActive) {
       ReadOk ok;
       ok.vrd = e->vrd;
       ok.payloads = read_payloads(e->vrd);
-      return ok;
+      return ReadResult{std::move(ok)};
     }
-    return ReadDeleted{e->proof};
+    return ReadResult{ReadDeleted{e->proof}};
   }
   if (const DeletedWindow* w = vrdt_.find_window(sn); w != nullptr) {
-    return ReadInDeletedWindow{*w};
+    return ReadResult{ReadInDeletedWindow{*w}};
   }
   if (sn < sn_base_mirror_) {
-    // Refreshing an expired cached base is the one read-path step that may
-    // touch the SCPU; if the device is gone (tamper response), the read
-    // still answers — with an honest "no proof available".
-    try {
-      return ReadBelowBase{fresh_base()};
-    } catch (const ChannelError& e) {
-      if (base_.has_value()) return ReadBelowBase{*base_};  // maybe stale
-      return ReadFailure{std::string("cannot obtain base proof: ") + e.what()};
+    if (base_.has_value() && clock_.now() < base_->expires_at) {
+      return ReadResult{ReadBelowBase{*base_}};
     }
+    return std::nullopt;  // expired base: refreshing needs a mailbox crossing
   }
   if (sn > heartbeat_.sn_current) {
-    return ReadNotAllocated{heartbeat_};
+    return ReadResult{ReadNotAllocated{heartbeat_}};
   }
   // An allocated, in-window SN with no entry and no proof: the store has
   // lost (or hidden) a record — there is nothing honest to answer.
-  return ReadFailure{"no entry and no deletion proof for SN " +
-                     std::to_string(sn)};
+  return ReadResult{ReadFailure{"no entry and no deletion proof for SN " +
+                                std::to_string(sn)}};
+}
+
+ReadResult WormStore::read_below_base_locked(Sn sn) {
+  // Refreshing an expired cached base is the one read-path step that may
+  // touch the SCPU; if the device is gone (tamper response), the read
+  // still answers — with an honest "no proof available".
+  try {
+    return ReadBelowBase{fresh_base()};
+  } catch (const ChannelError& e) {
+    if (base_.has_value()) return ReadBelowBase{*base_};  // maybe stale
+    return ReadFailure{std::string("cannot obtain base proof for SN ") +
+                       std::to_string(sn) + ": " + e.what()};
+  }
+}
+
+ReadResult WormStore::read(Sn sn) {
+  ++ops_.reads;
+  {
+    std::shared_lock<std::shared_mutex> lk(state_mu_);
+    if (auto cached = read_cache_.lookup(sn)) {
+      if (const auto* ok = std::get_if<ReadOk>(cached.get())) {
+        // Cached entries hold no payload bytes; fetch them from the device
+        // so platter-level tampering is never masked by host memory. The
+        // shared lock orders this against expiry-time shredding.
+        ReadOk out;
+        out.vrd = ok->vrd;
+        out.payloads = read_payloads(out.vrd);
+        return out;
+      }
+      return *cached;
+    }
+    if (auto r = read_locked(sn)) {
+      maybe_cache_locked(sn, *r);
+      return std::move(*r);
+    }
+  }
+  // The base proof expired; refreshing it crosses the mailbox, which only
+  // the exclusive path may do. State may have moved while the shared lock
+  // was dropped, so answer again from scratch.
+  std::unique_lock<std::shared_mutex> lk(state_mu_);
+  if (auto r = read_locked(sn)) {
+    maybe_cache_locked(sn, *r);
+    return std::move(*r);
+  }
+  return read_below_base_locked(sn);
+}
+
+std::vector<ReadResult> WormStore::read_many(const std::vector<Sn>& sns) {
+  ++ops_.read_many_batches;
+  std::vector<ReadResult> out(sns.size());
+  read_pool().parallel_for(sns.size(),
+                           [&](std::size_t i) { out[i] = read(sns[i]); });
+  return out;
 }
 
 // ---------------------------------------------------------------------------
@@ -248,6 +315,7 @@ ReadResult WormStore::read(Sn sn) {
 // ---------------------------------------------------------------------------
 
 void WormStore::lit_hold(const LitigationRequest& request) {
+  std::unique_lock<std::shared_mutex> lk(state_mu_);
   Vrdt::Entry* e = vrdt_.mutable_entry(request.sn);
   WORM_REQUIRE(e != nullptr && e->kind == Vrdt::Entry::Kind::kActive,
                "lit_hold: record not active");
@@ -256,9 +324,11 @@ void WormStore::lit_hold(const LitigationRequest& request) {
       request.credential);
   e->vrd.attr = std::move(up.attr);
   e->vrd.metasig = std::move(up.metasig);
+  read_cache_.invalidate(request.sn);
 }
 
 void WormStore::lit_release(const LitigationRequest& request) {
+  std::unique_lock<std::shared_mutex> lk(state_mu_);
   Vrdt::Entry* e = vrdt_.mutable_entry(request.sn);
   WORM_REQUIRE(e != nullptr && e->kind == Vrdt::Entry::Kind::kActive,
                "lit_release: record not active");
@@ -266,18 +336,7 @@ void WormStore::lit_release(const LitigationRequest& request) {
       e->vrd, request.lit_id, request.cred_issued_at, request.credential);
   e->vrd.attr = std::move(up.attr);
   e->vrd.metasig = std::move(up.metasig);
-}
-
-void WormStore::lit_hold(Sn sn, SimTime hold_until, std::uint64_t lit_id,
-                         SimTime cred_issued_at, ByteView credential) {
-  lit_hold(LitigationRequest{sn, lit_id, hold_until, cred_issued_at,
-                             common::to_bytes(credential)});
-}
-
-void WormStore::lit_release(Sn sn, std::uint64_t lit_id,
-                            SimTime cred_issued_at, ByteView credential) {
-  lit_release(LitigationRequest{sn, lit_id, SimTime{}, cred_issued_at,
-                                common::to_bytes(credential)});
+  read_cache_.invalidate(request.sn);
 }
 
 // ---------------------------------------------------------------------------
@@ -285,11 +344,15 @@ void WormStore::lit_release(Sn sn, std::uint64_t lit_id,
 // ---------------------------------------------------------------------------
 
 void WormStore::on_expire(Sn sn, DeletionProof proof) {
+  // Fired from the driver thread's clock dispatch (never re-entrantly from
+  // inside a mailbox crossing), so taking the exclusive lock is safe.
+  std::unique_lock<std::shared_mutex> lk(state_mu_);
   Vrdt::Entry* e = vrdt_.mutable_entry(sn);
   if (e == nullptr || e->kind != Vrdt::Entry::Kind::kActive) {
     // Already gone (e.g. duplicate expiration after a lit-release); the
     // proof is still the authoritative record of deletion.
     vrdt_.put_deleted(std::move(proof));
+    read_cache_.invalidate(sn);
     return;
   }
   // Shred the data per the record's own policy, then replace the VRDT entry
@@ -299,18 +362,22 @@ void WormStore::on_expire(Sn sn, DeletionProof proof) {
     release_rd(rd, e->vrd.attr.shredding);
   }
   vrdt_.put_deleted(std::move(proof));
+  read_cache_.invalidate(sn);
   ++ops_.expirations;
 }
 
 void WormStore::on_heartbeat(SignedSnCurrent current) {
+  std::unique_lock<std::shared_mutex> lk(state_mu_);
   heartbeat_ = std::move(current);
   sn_current_mirror_ = std::max(sn_current_mirror_, heartbeat_.sn_current);
 }
 
 void WormStore::adopt_vrdt(Vrdt vrdt) {
+  std::unique_lock<std::shared_mutex> lk(state_mu_);
   WORM_REQUIRE(ops_.writes == 0 && vrdt_.entry_count() == 0,
                "adopt_vrdt: store already in service");
   vrdt_ = std::move(vrdt);
+  read_cache_.clear();
   if (!config_.dedup) return;
   // Rebuild the content index: payloads hashed once per referenced record.
   content_index_.clear();
@@ -330,6 +397,7 @@ void WormStore::adopt_vrdt(Vrdt vrdt) {
 }
 
 TrustAnchors WormStore::anchors() {
+  std::unique_lock<std::shared_mutex> lk(state_mu_);
   CertificateBundle bundle = mailbox_.channel().get_certificates();
   TrustAnchors a;
   a.meta_key = crypto::RsaPublicKey::deserialize(bundle.meta_pub);
@@ -343,20 +411,28 @@ TrustAnchors WormStore::anchors() {
 
 MigrationAttestation WormStore::sign_migration(ByteView manifest_hash,
                                                std::uint64_t dest_store_id) {
+  std::unique_lock<std::shared_mutex> lk(state_mu_);
   return mailbox_.channel().sign_migration(manifest_hash, config_.store_id,
                                            dest_store_id);
 }
 
 std::map<std::string_view, std::uint64_t> WormStore::counters() const {
+  std::shared_lock<std::shared_mutex> lk(state_mu_);
   MailboxMetrics m = mailbox_.metrics();
+  ReadCacheStats c = read_cache_.stats();
   return {
-      {"writes", ops_.writes},
-      {"reads", ops_.reads},
-      {"expirations", ops_.expirations},
-      {"compactions", ops_.compactions},
-      {"base_advances", ops_.base_advances},
-      {"dedup_hits", ops_.dedup_hits},
-      {"deferred_shreds", ops_.deferred_shreds},
+      {"writes", ops_.writes.load()},
+      {"reads", ops_.reads.load()},
+      {"read_many_batches", ops_.read_many_batches.load()},
+      {"read_cache_hits", c.hits},
+      {"read_cache_misses", c.misses},
+      {"read_cache_evictions", c.evictions},
+      {"read_cache_invalidations", c.invalidations},
+      {"expirations", ops_.expirations.load()},
+      {"compactions", ops_.compactions.load()},
+      {"base_advances", ops_.base_advances.load()},
+      {"dedup_hits", ops_.dedup_hits.load()},
+      {"deferred_shreds", ops_.deferred_shreds.load()},
       {"mailbox_commands", m.commands},
       {"mailbox_bytes_crossed", m.bytes_crossed},
       {"mailbox_error_responses", m.error_responses},
@@ -369,7 +445,8 @@ std::map<std::string_view, std::uint64_t> WormStore::counters() const {
 }
 
 // ---------------------------------------------------------------------------
-// Deadline-aware scheduling + idle-period duties
+// Deadline-aware scheduling + idle-period duties (all under the exclusive
+// lock: duty callbacks run inside pump_idle / maybe_service_deadline)
 // ---------------------------------------------------------------------------
 
 void WormStore::note_deferred_witness(SimTime creation_time) {
@@ -386,17 +463,22 @@ void WormStore::sync_deferred_mirror() {
   deferred_mirror_earliest_ = st.earliest_deadline;
 }
 
-bool WormStore::deadline_pressure(common::Duration margin) const {
+bool WormStore::deadline_pressure_locked(common::Duration margin) const {
   if (deferred_mirror_count_ == 0) return false;
   if (deferred_mirror_earliest_ == SimTime::max()) return false;
   return clock_.now() + margin >= deferred_mirror_earliest_;
+}
+
+bool WormStore::deadline_pressure(common::Duration margin) const {
+  std::shared_lock<std::shared_mutex> lk(state_mu_);
+  return deadline_pressure_locked(margin);
 }
 
 void WormStore::maybe_service_deadline() {
   // §4.3: strengthening that is about to go stale preempts foreground
   // traffic. The check is mirror-only (free); the urgent duties run at most
   // until pressure clears or they run dry.
-  while (deadline_pressure(config_.strengthen_margin)) {
+  while (deadline_pressure_locked(config_.strengthen_margin)) {
     if (!mailbox_.service_urgent()) break;
   }
 }
@@ -439,6 +521,8 @@ bool WormStore::do_strengthen_batch() {
     if (e == nullptr || e->kind != Vrdt::Entry::Kind::kActive) continue;
     e->vrd.metasig = std::move(r.metasig);
     e->vrd.datasig = std::move(r.datasig);
+    // A cached ReadOk still carries the short-lived signatures.
+    read_cache_.invalidate(r.sn);
   }
   sync_deferred_mirror();
   return true;
@@ -479,6 +563,9 @@ bool WormStore::do_compaction() {
   DeletedWindow merged =
       mailbox_.channel().certify_window(span->lo, span->hi, proofs, windows);
   vrdt_.apply_window(merged);
+  // Every SN the merged window covers was answered by an individual proof
+  // or a narrower window before; those answers are superseded.
+  read_cache_.invalidate_range(merged.lo, merged.hi);
   ++ops_.compactions;
   return true;
 }
@@ -507,6 +594,9 @@ bool WormStore::do_advance_base() {
   base_ = mailbox_.channel().advance_base(new_base, proofs, windows);
   sn_base_mirror_ = base_->sn_base;
   vrdt_.trim_below(new_base);
+  // Trimmed SNs now answer ReadBelowBase (never cached) instead of their
+  // cached per-SN proofs.
+  read_cache_.invalidate_below(new_base);
   ++ops_.base_advances;
   return true;
 }
@@ -523,6 +613,7 @@ bool WormStore::do_vexp_rebuild() {
 }
 
 bool WormStore::pump_idle() {
+  std::unique_lock<std::shared_mutex> lk(state_mu_);
   mailbox_.channel().process_idle();
   return mailbox_.pump();
 }

@@ -8,20 +8,35 @@
 //
 // Nothing here is trusted by clients — their assurance comes from verifying
 // the SCPU signatures carried in the results (client_verifier.hpp).
+//
+// Threading model: the read path (read/read_many/deadline_pressure) runs
+// under a shared lock, so any number of reader threads proceed in parallel
+// (§4.2.2 — reads are main-CPU-only and must scale with host resources).
+// Everything that mutates host state or crosses the SCPU mailbox — writes,
+// litigation, idle duties, interrupts, anchors — takes the lock exclusively;
+// the mailbox itself stays strictly serialized. Mutators invalidate exactly
+// the read-cache entries they touch, so a read issued after a mutation
+// returns never sees the pre-mutation result. See DESIGN.md §7.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <map>
+#include <memory>
+#include <mutex>
 #include <optional>
+#include <shared_mutex>
 #include <string_view>
 #include <vector>
 
 #include "common/sim_clock.hpp"
+#include "common/thread_pool.hpp"
 #include "scpu/cost_model.hpp"
 #include "storage/record_store.hpp"
 #include "worm/firmware.hpp"
 #include "worm/mailbox.hpp"
 #include "worm/proofs.hpp"
+#include "worm/read_cache.hpp"
 #include "worm/vrdt.hpp"
 
 namespace worm::core {
@@ -59,6 +74,13 @@ struct StoreConfig {
   /// strengthening deadline inside this margin services the urgent duties
   /// first (§4.3 — the burst must yield before witnesses go stale).
   common::Duration strengthen_margin = common::Duration::minutes(10);
+  /// Read-result cache: shard count and total entry budget (0 disables).
+  /// Sharding bounds reader contention; see ReadCache.
+  std::size_t read_cache_shards = 16;
+  std::size_t read_cache_capacity = 4096;
+  /// Extra worker threads for read_many (0 = serve on the caller's thread).
+  /// The pool is created lazily on the first read_many call.
+  std::size_t read_workers = 0;
 };
 
 /// A write, spelled out. Designated initializers read like the operation:
@@ -105,24 +127,18 @@ class WormStore final : public HostAgent {
   std::vector<Sn> write_batch(const std::vector<WriteRequest>& requests);
 
   /// Serves a read using main-CPU resources only (§4.2.2): data + VRD on
-  /// success, or the applicable proof of rightful absence.
+  /// success, or the applicable proof of rightful absence. Safe to call from
+  /// any number of threads concurrently with writes and idle duties.
   ReadResult read(Sn sn);
+
+  /// Reads many SNs, fanning the work across the read pool (plus the
+  /// caller's thread) when StoreConfig::read_workers > 0. Results parallel
+  /// `sns`; each element is exactly what read() would have returned.
+  std::vector<ReadResult> read_many(const std::vector<Sn>& sns);
 
   /// Applies a litigation hold / release with an authority credential.
   void lit_hold(const LitigationRequest& request);
   void lit_release(const LitigationRequest& request);
-
-  // Positional forms retained for one PR cycle; migrate to the request
-  // structs above.
-  [[deprecated("pass a WriteRequest")]] Sn write(
-      const std::vector<common::Bytes>& payloads, Attr attr,
-      std::optional<WitnessMode> mode = std::nullopt);
-  [[deprecated("pass a LitigationRequest")]] void lit_hold(
-      Sn sn, common::SimTime hold_until, std::uint64_t lit_id,
-      common::SimTime cred_issued_at, common::ByteView credential);
-  [[deprecated("pass a LitigationRequest")]] void lit_release(
-      Sn sn, std::uint64_t lit_id, common::SimTime cred_issued_at,
-      common::ByteView credential);
 
   /// Idle-period duties (§4.1, §4.3): strengthen deferred witnesses, audit
   /// host-claimed hashes, compact expired windows, advance the base, rebuild
@@ -152,7 +168,10 @@ class WormStore final : public HostAgent {
   [[nodiscard]] TrustAnchors anchors();
 
   /// Latest S_s(SN_current) heartbeat (what a read of a too-high SN returns).
-  [[nodiscard]] const SignedSnCurrent& latest_heartbeat() const {
+  /// Returned by value: the stored copy can be replaced concurrently by the
+  /// heartbeat interrupt.
+  [[nodiscard]] SignedSnCurrent latest_heartbeat() const {
+    std::shared_lock<std::shared_mutex> lk(state_mu_);
     return heartbeat_;
   }
 
@@ -187,11 +206,23 @@ class WormStore final : public HostAgent {
   SignedSnBase& fresh_base();
   void charge_host(common::Duration d) { clock_.charge(d); }
   std::vector<common::Bytes> read_payloads(const Vrd& vrd);
+  /// Answers the read from host state under the caller's lock, or nullopt
+  /// when the answer needs a mailbox crossing (expired base proof) — which
+  /// only the exclusive-lock path may perform.
+  std::optional<ReadResult> read_locked(Sn sn);
+  ReadResult read_below_base_locked(Sn sn);
+  /// Caches `r` for sn if its kind is time-invariant. Must run under the
+  /// state lock (shared suffices): that orders the insert against exclusive
+  /// mutators, so a stale result can never be inserted after the
+  /// invalidation that should have killed it.
+  void maybe_cache_locked(Sn sn, const ReadResult& r);
+  common::ThreadPool& read_pool();
   Firmware::BatchItem prepare_item(const WriteRequest& request);
   Sn finish_write(WriteWitness witness,
                   std::vector<storage::RecordDescriptor> rdl, WitnessMode mode);
   void note_deferred_witness(common::SimTime creation_time);
   void sync_deferred_mirror();
+  [[nodiscard]] bool deadline_pressure_locked(common::Duration margin) const;
   void maybe_service_deadline();
   bool do_strengthen_batch();
   bool do_hash_audits();
@@ -205,10 +236,16 @@ class WormStore final : public HostAgent {
   Firmware& firmware_;
   storage::RecordStore& records_;
   StoreConfig config_;
+  // Readers shared; every mutation and every mailbox crossing exclusive.
+  // Lock order: state_mu_ before any ReadCache shard mutex.
+  mutable std::shared_mutex state_mu_;
   ScpuMailbox mailbox_;
   Vrdt vrdt_;
+  ReadCache read_cache_;
   SignedSnCurrent heartbeat_;
   std::optional<SignedSnBase> base_;
+  std::once_flag read_pool_once_;
+  std::unique_ptr<common::ThreadPool> read_pool_;
 
   // Host-side mirrors of device scheduling state, maintained from command
   // results so the read path and deadline_pressure() never cross the
@@ -219,14 +256,17 @@ class WormStore final : public HostAgent {
   common::SimTime deferred_mirror_earliest_ = common::SimTime::max();
   common::Duration short_sig_lifetime_{};  // deployment parameter
 
+  // Atomics: reads bump these under the shared lock, so plain increments
+  // from two readers would race.
   struct OpCounters {
-    std::uint64_t writes = 0;
-    std::uint64_t reads = 0;
-    std::uint64_t expirations = 0;
-    std::uint64_t compactions = 0;
-    std::uint64_t base_advances = 0;
-    std::uint64_t dedup_hits = 0;      // payloads served by an existing RD
-    std::uint64_t deferred_shreds = 0; // shreds delayed by live references
+    std::atomic<std::uint64_t> writes{0};
+    std::atomic<std::uint64_t> reads{0};
+    std::atomic<std::uint64_t> read_many_batches{0};
+    std::atomic<std::uint64_t> expirations{0};
+    std::atomic<std::uint64_t> compactions{0};
+    std::atomic<std::uint64_t> base_advances{0};
+    std::atomic<std::uint64_t> dedup_hits{0};      // served by an existing RD
+    std::atomic<std::uint64_t> deferred_shreds{0}; // delayed by live refs
   };
   OpCounters ops_;
 
@@ -246,8 +286,14 @@ class InsiderHandle {
   explicit InsiderHandle(WormStore& store) : store_(store) {}
 
   /// Mutable access to the host's VRDT — the soft state an insider can
-  /// rewrite at will (and the SCPU witnesses exist to catch).
-  [[nodiscard]] Vrdt& vrdt() { return store_.vrdt_; }
+  /// rewrite at will (and the SCPU witnesses exist to catch). Drops the
+  /// read cache first: Mallory controls host RAM too, and a cache that kept
+  /// serving pre-tamper answers would only hide her own edits from her.
+  /// Bypasses the store's locks, like any insider write to host memory.
+  [[nodiscard]] Vrdt& vrdt() {
+    store_.read_cache_.clear();
+    return store_.vrdt_;
+  }
 
  private:
   WormStore& store_;

@@ -1,0 +1,278 @@
+// Read-path concurrency (§4.2.2): reads are served by the untrusted main
+// CPU with no SCPU involvement, so many client threads may read while the
+// single store driver writes, applies litigation holds, strengthens
+// signatures and compacts deleted windows. These tests race real threads
+// over the real locking (run them under the tsan preset) and pin down the
+// two correctness contracts the read cache must not weaken:
+//
+//  * Theorem 1 still holds mid-race: a concurrent reader never observes a
+//    result that fails client verification, no matter how the race with
+//    writes / holds / expiry / compaction interleaves.
+//  * Coherence: a read issued after a mutation returns completes reflects
+//    that mutation — the cache never serves a stale VRD — and a cached
+//    deployment emits a proof stream byte-identical to an uncached one.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <variant>
+#include <vector>
+
+#include "worm_fixture.hpp"
+
+namespace worm {
+namespace {
+
+using namespace worm::testing;
+using common::Duration;
+using core::ClientVerifier;
+using core::Outcome;
+using core::ReadDeleted;
+using core::ReadOk;
+using core::ReadResult;
+using core::SigKind;
+using core::Sn;
+using core::StoreConfig;
+using core::Verdict;
+using core::WitnessMode;
+
+/// Field-wise ReadResult equality (the variant alternatives carry proof
+/// structs with defaulted operator==, but ReadResult itself does not).
+bool same_read(const ReadResult& a, const ReadResult& b) {
+  if (a.index() != b.index()) return false;
+  if (const auto* ao = std::get_if<ReadOk>(&a)) {
+    const auto& bo = std::get<ReadOk>(b);
+    return ao->vrd == bo.vrd && ao->payloads == bo.payloads;
+  }
+  if (const auto* ad = std::get_if<ReadDeleted>(&a)) {
+    return ad->proof == std::get<ReadDeleted>(b).proof;
+  }
+  if (const auto* ab = std::get_if<core::ReadBelowBase>(&a)) {
+    return ab->base == std::get<core::ReadBelowBase>(b).base;
+  }
+  if (const auto* an = std::get_if<core::ReadNotAllocated>(&a)) {
+    return an->current == std::get<core::ReadNotAllocated>(b).current;
+  }
+  if (const auto* aw = std::get_if<core::ReadInDeletedWindow>(&a)) {
+    return aw->window == std::get<core::ReadInDeletedWindow>(b).window;
+  }
+  return std::get<core::ReadFailure>(a).reason ==
+         std::get<core::ReadFailure>(b).reason;
+}
+
+// ---------------------------------------------------------------------------
+// The race: N verifying readers vs. the store driver
+// ---------------------------------------------------------------------------
+
+TEST(ConcurrentRead, RacingReadersNeverObserveTamper) {
+  // Four reader threads hammer a fixed SN range while the driver thread
+  // writes new records, toggles a litigation hold, expires short-retention
+  // records, strengthens deferred witnesses and compacts deleted windows.
+  // Every concurrent read must verify: authentic while the record lives, a
+  // valid deletion/window/base proof afterwards. Anything else is a stale
+  // cache entry or a torn read — exactly the bugs this test exists to catch.
+  Rig rig(slow_timers_config());
+  constexpr Sn kSeeded = 64;
+  constexpr std::size_t kReaders = 4;
+  constexpr std::size_t kReadsPerThread = 400;
+
+  // Low SNs expire (and later compact) during the race; high SNs live on.
+  for (Sn sn = 1; sn <= kSeeded; ++sn) {
+    rig.put("record " + std::to_string(sn),
+            sn <= 24 ? Duration::minutes(30) : Duration::days(30));
+  }
+  const ClientVerifier verifier = rig.fresh_verifier();
+
+  std::atomic<std::size_t> bad{0};
+  std::mutex detail_mu;
+  std::string first_detail;
+  auto reader = [&](std::size_t t) {
+    for (std::size_t i = 0; i < kReadsPerThread; ++i) {
+      Sn sn = 1 + (t * 37 + i * 11) % kSeeded;
+      Outcome out = verifier.verify_read(sn, rig.store.read(sn));
+      if (!out.trustworthy()) {
+        bad.fetch_add(1, std::memory_order_relaxed);
+        std::lock_guard<std::mutex> lk(detail_mu);
+        if (first_detail.empty()) {
+          first_detail = "sn " + std::to_string(sn) + ": " +
+                         core::to_string(out.verdict) + " — " + out.detail;
+        }
+      }
+    }
+  };
+
+  std::vector<std::thread> readers;
+  for (std::size_t t = 0; t < kReaders; ++t) readers.emplace_back(reader, t);
+
+  // Driver: the only thread that advances the clock or crosses the mailbox.
+  Sn held = 30;
+  rig.store.lit_hold({.sn = held,
+                      .lit_id = 11,
+                      .hold_until = rig.clock.now() + Duration::days(3),
+                      .cred_issued_at = rig.clock.now(),
+                      .credential = rig.lit_credential(held, 11, true)});
+  for (int round = 0; round < 40; ++round) {
+    rig.put("racing write " + std::to_string(round), Duration::days(30));
+    rig.clock.advance(Duration::minutes(2));  // expiries fire past round 15
+    rig.store.pump_idle();                    // strengthen + compact windows
+  }
+  rig.store.lit_release({.sn = held,
+                         .lit_id = 11,
+                         .cred_issued_at = rig.clock.now(),
+                         .credential = rig.lit_credential(held, 11, false)});
+  rig.clock.advance(Duration::minutes(10));
+  while (rig.store.pump_idle()) {
+  }
+
+  for (auto& th : readers) th.join();
+  EXPECT_EQ(bad.load(), 0u) << "first untrustworthy read: " << first_detail;
+
+  // The race exercised both cache populations and invalidations.
+  auto counters = rig.store.counters();
+  EXPECT_GT(counters.at("read_cache_hits"), 0u);
+  EXPECT_GT(counters.at("read_cache_invalidations"), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Coherence: mutations are visible to the very next read
+// ---------------------------------------------------------------------------
+
+TEST(ConcurrentRead, ReadAfterStrengthenSeesStrongSignature) {
+  // Warm the cache while the record still carries a short-term witness; the
+  // strengthening pass must invalidate that entry, so the next read shows
+  // the permanent signature — not the cached short-term one.
+  Rig rig;
+  Sn sn = rig.put("deferred", Duration::days(1), WitnessMode::kDeferred);
+  ASSERT_EQ(std::get<ReadOk>(rig.store.read(sn)).vrd.metasig.kind,
+            SigKind::kShortTerm);
+  while (rig.store.pump_idle()) {
+  }
+  ReadResult res = rig.store.read(sn);
+  EXPECT_EQ(std::get<ReadOk>(res).vrd.metasig.kind, SigKind::kStrong);
+  EXPECT_EQ(std::get<ReadOk>(res).vrd.datasig.kind, SigKind::kStrong);
+}
+
+TEST(ConcurrentRead, ReadAfterLitigationHoldSeesUpdatedAttr) {
+  Rig rig;
+  Sn sn = rig.put("held", Duration::hours(1));
+  ASSERT_FALSE(std::get<ReadOk>(rig.store.read(sn)).vrd.attr.litigation_hold);
+
+  rig.store.lit_hold({.sn = sn,
+                      .lit_id = 3,
+                      .hold_until = rig.clock.now() + Duration::days(2),
+                      .cred_issued_at = rig.clock.now(),
+                      .credential = rig.lit_credential(sn, 3, true)});
+  // The hold mutated the VRD after the cache was warmed: the next read must
+  // show it, signed, and still verify.
+  ReadResult res = rig.store.read(sn);
+  EXPECT_TRUE(std::get<ReadOk>(res).vrd.attr.litigation_hold);
+  EXPECT_EQ(rig.verifier.verify_read(sn, res).verdict, Verdict::kAuthentic);
+
+  rig.store.lit_release({.sn = sn,
+                         .lit_id = 3,
+                         .cred_issued_at = rig.clock.now(),
+                         .credential = rig.lit_credential(sn, 3, false)});
+  EXPECT_FALSE(std::get<ReadOk>(rig.store.read(sn)).vrd.attr.litigation_hold);
+}
+
+TEST(ConcurrentRead, ReadAfterExpiryReturnsDeletionProof) {
+  Rig rig;
+  Sn sn = rig.put("short lived", Duration::minutes(5));
+  ASSERT_TRUE(std::holds_alternative<ReadOk>(rig.store.read(sn)));  // warm
+  rig.clock.advance(Duration::minutes(6));
+  ReadResult res = rig.store.read(sn);
+  ASSERT_TRUE(std::holds_alternative<ReadDeleted>(res));
+  EXPECT_EQ(rig.verifier.verify_read(sn, res).verdict,
+            Verdict::kDeletedVerified);
+}
+
+// ---------------------------------------------------------------------------
+// Proof-stream equivalence: the cache is invisible to clients
+// ---------------------------------------------------------------------------
+
+TEST(ConcurrentRead, ProofStreamMatchesUncachedStore) {
+  // Two identically seeded deployments — one with the read cache disabled —
+  // driven through the same write / re-read / hold / expiry / compaction
+  // script must answer every read identically, field for field. Zero cost
+  // models keep the clocks in lockstep so signatures embed equal timestamps.
+  StoreConfig cached;
+  StoreConfig uncached;
+  uncached.read_cache_capacity = 0;
+  Rig a(slow_timers_config(), cached, 32u << 20, scpu::CostModel::zero());
+  Rig b(slow_timers_config(), uncached, 32u << 20, scpu::CostModel::zero());
+
+  auto drive = [](Rig& rig) {
+    std::vector<ReadResult> stream;
+    for (int i = 0; i < 12; ++i) {
+      rig.put("record " + std::to_string(i), Duration::minutes(40),
+              i % 3 == 0 ? WitnessMode::kDeferred : WitnessMode::kStrong);
+    }
+    auto read_all = [&] {
+      for (Sn sn = 1; sn <= 12; ++sn) stream.push_back(rig.store.read(sn));
+    };
+    read_all();  // first pass fills the cache (rig a) or nothing (rig b)
+    read_all();  // second pass is all hits on rig a
+    rig.store.lit_hold({.sn = 5,
+                        .lit_id = 9,
+                        .hold_until = rig.clock.now() + Duration::days(1),
+                        .cred_issued_at = rig.clock.now(),
+                        .credential = rig.lit_credential(5, 9, true)});
+    stream.push_back(rig.store.read(5));
+    rig.clock.advance(Duration::minutes(90));  // everything unheld expires
+    while (rig.store.pump_idle()) {
+    }
+    read_all();  // deletion proofs / compacted windows / the held survivor
+    stream.push_back(rig.store.read(200));  // never allocated
+    return stream;
+  };
+
+  std::vector<ReadResult> sa = drive(a);
+  std::vector<ReadResult> sb = drive(b);
+  ASSERT_EQ(sa.size(), sb.size());
+  for (std::size_t i = 0; i < sa.size(); ++i) {
+    EXPECT_TRUE(same_read(sa[i], sb[i])) << "stream diverges at read " << i;
+  }
+  // Sanity: the cached rig actually answered from the cache.
+  EXPECT_GT(a.store.counters().at("read_cache_hits"), 0u);
+  EXPECT_EQ(b.store.counters().at("read_cache_hits"), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// read_many
+// ---------------------------------------------------------------------------
+
+TEST(ConcurrentRead, ReadManyMatchesSequentialReads) {
+  StoreConfig sc;
+  sc.read_workers = 3;
+  Rig rig(slow_timers_config(), sc);
+  std::vector<Sn> sns;
+  for (int i = 0; i < 40; ++i) {
+    sns.push_back(rig.put("batch " + std::to_string(i),
+                          i < 10 ? Duration::minutes(5) : Duration::days(30),
+                          i % 2 == 0 ? WitnessMode::kStrong
+                                     : WitnessMode::kDeferred));
+  }
+  rig.clock.advance(Duration::minutes(10));  // first ten become deleted
+  sns.push_back(999);                        // and one never-allocated SN
+
+  std::vector<ReadResult> sequential;
+  for (Sn sn : sns) sequential.push_back(rig.store.read(sn));
+  std::vector<ReadResult> batched = rig.store.read_many(sns);
+
+  ASSERT_EQ(batched.size(), sns.size());
+  for (std::size_t i = 0; i < sns.size(); ++i) {
+    EXPECT_TRUE(same_read(sequential[i], batched[i]))
+        << "read_many diverges from read() at sn " << sns[i];
+  }
+  EXPECT_EQ(rig.store.counters().at("read_many_batches"), 1u);
+
+  // Every batched result verifies, same as its sequential twin.
+  for (std::size_t i = 0; i < sns.size(); ++i) {
+    EXPECT_TRUE(rig.verifier.verify_read(sns[i], batched[i]).trustworthy());
+  }
+}
+
+}  // namespace
+}  // namespace worm

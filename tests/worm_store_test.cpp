@@ -568,21 +568,26 @@ TEST(WormStore, WritePathsNeverTouchFirmwareDirectly) {
   EXPECT_EQ(rig.store.counters().at("mailbox_commands"), before_reads);
 }
 
-TEST(WormStore, DeprecatedPositionalOverloadsStillForward) {
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+TEST(WormStore, RequestStructLitigationRoundTrip) {
+  // write / lit_hold / lit_release through the request structs (the
+  // positional overloads are gone): a hold outlives the retention period,
+  // and release hands the record back to the retention clock.
   Rig rig;
-  Sn sn = rig.store.write({to_bytes("legacy caller")},
-                          rig.attr(Duration::hours(1)));
-  rig.store.lit_hold(sn, rig.clock.now() + Duration::days(2), 7,
-                     rig.clock.now(), rig.lit_credential(sn, 7, true));
+  Sn sn = rig.store.write({.payloads = {to_bytes("request structs")},
+                          .attr = rig.attr(Duration::hours(1))});
+  rig.store.lit_hold({.sn = sn,
+                      .lit_id = 7,
+                      .hold_until = rig.clock.now() + Duration::days(2),
+                      .cred_issued_at = rig.clock.now(),
+                      .credential = rig.lit_credential(sn, 7, true)});
   rig.clock.advance(Duration::hours(2));
   EXPECT_TRUE(std::holds_alternative<ReadOk>(rig.store.read(sn)));
-  rig.store.lit_release(sn, 7, rig.clock.now(),
-                        rig.lit_credential(sn, 7, false));
+  rig.store.lit_release({.sn = sn,
+                         .lit_id = 7,
+                         .cred_issued_at = rig.clock.now(),
+                         .credential = rig.lit_credential(sn, 7, false)});
   rig.clock.advance(Duration::days(1));
   EXPECT_TRUE(std::holds_alternative<ReadDeleted>(rig.store.read(sn)));
-#pragma GCC diagnostic pop
 }
 
 // ---------------------------------------------------------------------------
