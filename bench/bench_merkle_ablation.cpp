@@ -26,7 +26,7 @@ Costs measure_windowed(std::size_t prefill) {
   attr.retention = common::Duration::years(5);
   // Windowed design cost is size-independent; a token prefill shows that.
   for (std::size_t i = 0; i < std::min<std::size_t>(prefill, 64); ++i) {
-    rig.store.write({.payloads = {payload}, .attr = attr});
+    (void)rig.store.write({.payloads = {payload}, .attr = attr});
   }
 
   const std::size_t n = 64;
@@ -60,7 +60,7 @@ Costs measure_merkle(std::size_t prefill) {
   const std::size_t n = 64;
   common::Bytes payload(1024, 0x5a);
   common::Duration b0 = device.busy_time();
-  for (std::size_t i = 0; i < n; ++i) store.write(payload, attr);
+  for (std::size_t i = 0; i < n; ++i) (void)store.write(payload, attr);
   double write_us =
       (device.busy_time() - b0).to_seconds_f() * 1e6 / static_cast<double>(n);
 

@@ -33,9 +33,9 @@ int main() {
     attr.retention = common::Duration::years(5);
     // Seed some records so reads have targets.
     for (int i = 0; i < 50; ++i) {
-      rig.store.write({.payloads = {payload},
-                       .attr = attr,
-                       .mode = core::WitnessMode::kDeferred});
+      (void)rig.store.write({.payloads = {payload},
+                             .attr = attr,
+                             .mode = core::WitnessMode::kDeferred});
     }
     // Warm-up: touch every seeded record once so the measured loop sees a
     // steady state (read cache populated, short-term keys generated) instead
@@ -57,9 +57,9 @@ int main() {
         rig.clock.charge(
             rig.store.config().host_model.dma_cost(payload.size()));
       } else {
-        rig.store.write({.payloads = {payload},
-                       .attr = attr,
-                       .mode = core::WitnessMode::kDeferred});
+        (void)rig.store.write({.payloads = {payload},
+                               .attr = attr,
+                               .mode = core::WitnessMode::kDeferred});
         ++writes;
       }
       op_us.push_back((rig.clock.now() - op_start).to_seconds_f() * 1e6);

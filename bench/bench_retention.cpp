@@ -36,9 +36,9 @@ int main() {
       attr.retention = common::Duration::nanos(
           static_cast<std::int64_t>(rng.uniform(3'600'000'000'000ull)) +
           3'600'000'000'000ll);  // expires within [1h, 2h)
-      rig.store.write({.payloads = {payload},
-                       .attr = attr,
-                       .mode = core::WitnessMode::kDeferred});
+      (void)rig.store.write({.payloads = {payload},
+                             .attr = attr,
+                             .mode = core::WitnessMode::kDeferred});
     }
 
     common::SimTime t0 = rig.clock.now();

@@ -34,9 +34,9 @@ int main() {
     core::Attr attr;
     attr.retention = common::Duration::years(5);
     for (std::size_t i = 0; i < total; ++i) {
-      shards[i % k]->store.write({.payloads = {payload},
-                                  .attr = attr,
-                                  .mode = core::WitnessMode::kDeferred});
+      (void)shards[i % k]->store.write({.payloads = {payload},
+                                        .attr = attr,
+                                        .mode = core::WitnessMode::kDeferred});
     }
     double slowest = 0;
     for (auto& s : shards) {

@@ -71,7 +71,7 @@ inline Throughput measure_writes(BenchRig& rig, std::size_t size,
   common::SimTime t0 = rig.clock.now();
   common::Duration busy0 = rig.device.busy_time();
   for (std::size_t i = 0; i < n; ++i) {
-    rig.store.write({.payloads = {payload}, .attr = attr, .mode = mode});
+    (void)rig.store.write({.payloads = {payload}, .attr = attr, .mode = mode});
   }
   Throughput t;
   t.elapsed_sec = (rig.clock.now() - t0).to_seconds_f();
@@ -97,7 +97,7 @@ inline Throughput measure_batched_writes(BenchRig& rig, std::size_t size,
     std::size_t take = std::min(batch, n - done);
     std::vector<core::WriteRequest> queue(
         take, {.payloads = {payload}, .attr = attr, .mode = mode});
-    rig.store.write_batch(queue);
+    (void)rig.store.write_batch(queue);
     done += take;
   }
   Throughput t;

@@ -38,7 +38,7 @@ Result run(bool compaction_enabled, std::size_t n_records) {
                          ? common::Duration::years(1)
                          : common::Duration::hours(
                                1 + static_cast<std::int64_t>(rng.uniform(50)));
-    rig.store.write({.payloads = {payload}, .attr = attr});
+    (void)rig.store.write({.payloads = {payload}, .attr = attr});
   }
   // Let everything short-lived expire, pumping idle duties as a host would.
   for (int step = 0; step < 60; ++step) {

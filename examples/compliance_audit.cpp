@@ -37,13 +37,13 @@ int main() {
   logs.retention = common::Duration::days(30);
   for (int month = 0; month < 12; ++month) {
     for (int i = 0; i < 3; ++i) {
-      store.write(
+      (void)store.write(
           {.payloads = {common::to_bytes("contract m" + std::to_string(month) +
                                          "#" + std::to_string(i))},
            .attr = contracts});
     }
     for (int i = 0; i < 5; ++i) {
-      store.write(
+      (void)store.write(
           {.payloads = {common::to_bytes("session log")}, .attr = logs});
     }
     clock.advance(common::Duration::days(30));

@@ -62,7 +62,7 @@ int main() {
   attr.retention = common::Duration::years(10);
   const int kRecords = 25;
   for (int i = 0; i < kRecords; ++i) {
-    old_array.store.write(
+    (void)old_array.store.write(
         {.payloads = {common::to_bytes("ledger entry " + std::to_string(i))},
          .attr = attr});
   }

@@ -46,7 +46,7 @@ class MerkleWormStore {
 
   /// Appends a record; the SCPU hashes the leaf, recomputes the path to the
   /// root (O(log n) hash invocations) and re-signs the root.
-  core::Sn write(common::ByteView payload, const core::Attr& attr);
+  [[nodiscard]] core::Sn write(common::ByteView payload, const core::Attr& attr);
 
   /// Marks a record deleted (tombstone leaf) — also O(log n) + resign.
   void expire(core::Sn sn);
@@ -60,7 +60,8 @@ class MerkleWormStore {
   [[nodiscard]] std::optional<MerkleReadOk> read(core::Sn sn);
 
   /// Client-side verification given the SCPU public key.
-  static bool verify(const MerkleReadOk& r, const crypto::RsaPublicKey& pub);
+  [[nodiscard]] static bool verify(const MerkleReadOk& r,
+                                   const crypto::RsaPublicKey& pub);
 
   [[nodiscard]] crypto::RsaPublicKey public_key() const;
   [[nodiscard]] const SignedRoot& latest_root() const { return root_; }

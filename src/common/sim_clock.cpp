@@ -34,7 +34,7 @@ void SimClock::advance_to(SimTime t) {
 void SimClock::dispatch_due() { dispatch_until(now()); }
 
 void SimClock::dispatch_until(SimTime t) {
-  std::unique_lock<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   // Re-entrant dispatch (an alarm callback advancing the clock) would fire
   // alarms out of order; defer to the outer dispatch loop instead.
   if (dispatching_) return;
@@ -60,7 +60,7 @@ void SimClock::dispatch_until(SimTime t) {
 
 AlarmId SimClock::schedule_at(SimTime t, std::function<void()> cb) {
   WORM_REQUIRE(cb != nullptr, "SimClock::schedule_at: null callback");
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   Key key{t, next_seq_++};
   AlarmId id = next_id_++;
   alarms_.emplace(key, std::make_pair(id, std::move(cb)));
@@ -69,7 +69,7 @@ AlarmId SimClock::schedule_at(SimTime t, std::function<void()> cb) {
 }
 
 bool SimClock::cancel(AlarmId id) {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   auto it = by_id_.find(id);
   if (it == by_id_.end()) return false;
   alarms_.erase(it->second);
@@ -78,7 +78,7 @@ bool SimClock::cancel(AlarmId id) {
 }
 
 SimTime SimClock::next_alarm() const {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   if (alarms_.empty()) return SimTime::max();
   return alarms_.begin()->first.t;
 }

@@ -14,8 +14,8 @@
 #include <cstdint>
 #include <functional>
 #include <map>
-#include <mutex>
 
+#include "common/annotations.hpp"
 #include "common/time.hpp"
 
 namespace worm::common {
@@ -71,8 +71,8 @@ class SimClock final : public TimeSource {
   /// Earliest pending alarm time, or SimTime::max() when none.
   [[nodiscard]] SimTime next_alarm() const;
 
-  [[nodiscard]] std::size_t pending_alarms() const {
-    std::lock_guard<std::mutex> lk(mu_);
+  [[nodiscard]] std::size_t pending_alarms() const EXCLUDES(mu_) {
+    MutexLock lk(mu_);
     return alarms_.size();
   }
 
@@ -88,18 +88,19 @@ class SimClock final : public TimeSource {
     auto operator<=>(const Key&) const = default;
   };
 
-  void dispatch_until(SimTime t);
+  void dispatch_until(SimTime t) EXCLUDES(mu_);
   void raise_now_to(std::int64_t t_ns);
 
   std::atomic<std::int64_t> now_ns_{0};
   std::atomic<std::int64_t> charged_ns_{0};
 
-  mutable std::mutex mu_;  // guards everything below
-  std::uint64_t next_seq_ = 0;
-  std::uint64_t next_id_ = 1;
-  std::map<Key, std::pair<AlarmId, std::function<void()>>> alarms_;
-  std::map<AlarmId, Key> by_id_;
-  bool dispatching_ = false;
+  mutable AnnotatedMutex mu_;  // guards the alarm book-keeping below
+  std::uint64_t next_seq_ GUARDED_BY(mu_) = 0;
+  std::uint64_t next_id_ GUARDED_BY(mu_) = 1;
+  std::map<Key, std::pair<AlarmId, std::function<void()>>> alarms_
+      GUARDED_BY(mu_);
+  std::map<AlarmId, Key> by_id_ GUARDED_BY(mu_);
+  bool dispatching_ GUARDED_BY(mu_) = false;
 };
 
 }  // namespace worm::common

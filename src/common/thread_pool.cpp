@@ -17,7 +17,7 @@ ThreadPool::ThreadPool(std::size_t workers) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    MutexLock lk(mu_);
     stop_ = true;
   }
   cv_.notify_all();
@@ -28,8 +28,10 @@ void ThreadPool::run() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lk(mu_);
-      cv_.wait(lk, [this] { return stop_ || !queue_.empty(); });
+      MutexLock lk(mu_);
+      // Open-coded wait loop: the analysis sees the guarded reads happen
+      // with mu_ held (a predicate lambda would be analyzed lock-free).
+      while (!stop_ && queue_.empty()) cv_.wait(lk);
       if (queue_.empty()) return;  // stop_ and drained
       task = std::move(queue_.front());
       queue_.pop_front();
@@ -45,7 +47,7 @@ void ThreadPool::submit(std::function<void()> task) {
     return;
   }
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    MutexLock lk(mu_);
     queue_.push_back(std::move(task));
   }
   cv_.notify_one();
@@ -56,7 +58,7 @@ void ThreadPool::parallel_for(std::size_t n,
   if (n == 0) return;
   std::atomic<std::size_t> next{0};
   std::exception_ptr first_error;
-  std::mutex error_mu;
+  AnnotatedMutex error_mu;
 
   auto drain = [&] {
     for (;;) {
@@ -65,7 +67,7 @@ void ThreadPool::parallel_for(std::size_t n,
       try {
         fn(i);
       } catch (...) {
-        std::lock_guard<std::mutex> lk(error_mu);
+        MutexLock lk(error_mu);
         if (!first_error) first_error = std::current_exception();
       }
     }

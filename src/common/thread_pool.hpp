@@ -5,15 +5,20 @@
 // wakeups, and a parallel_for in which the calling thread participates, so a
 // pool of N workers yields N+1 lanes and a pool is never required for
 // correctness (size 0 degrades to the caller doing all the work inline).
+//
+// Lock discipline (compile-time checked on clang, DESIGN.md §8): the queue
+// and the stop flag live under mu_; workers_ is immutable between the
+// constructor's return and the destructor, so it needs no capability.
 #pragma once
 
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/annotations.hpp"
 
 namespace worm::common {
 
@@ -30,23 +35,30 @@ class ThreadPool {
   [[nodiscard]] std::size_t size() const { return workers_.size(); }
 
   /// Enqueues a task. Tasks must not block waiting for later submissions
-  /// (the pool has no work stealing); they may submit new tasks.
-  void submit(std::function<void()> task);
+  /// (the pool has no work stealing); they may submit new tasks, including
+  /// from inside a running task (reentrant submit). A task that lets an
+  /// exception escape terminates the process (there is nowhere to deliver
+  /// it); route fallible work through parallel_for, which captures and
+  /// rethrows on the caller.
+  void submit(std::function<void()> task) EXCLUDES(mu_);
 
   /// Runs fn(0..n-1) across the workers plus the calling thread and returns
   /// when every call has finished. Work is claimed from a shared atomic
   /// index, so uneven item costs self-balance. The first exception thrown
   /// by any fn is rethrown on the caller after all items complete or drain.
-  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn)
+      EXCLUDES(mu_);
 
  private:
-  void run();
+  void run() EXCLUDES(mu_);
 
   std::vector<std::thread> workers_;
-  std::mutex mu_;
-  std::condition_variable cv_;
-  std::deque<std::function<void()>> queue_;
-  bool stop_ = false;
+  AnnotatedMutex mu_;
+  // _any: waits on the annotated guard (a BasicLockable) rather than a raw
+  // std::unique_lock<std::mutex> the analysis could not track.
+  std::condition_variable_any cv_;
+  std::deque<std::function<void()>> queue_ GUARDED_BY(mu_);
+  bool stop_ GUARDED_BY(mu_) = false;
 };
 
 }  // namespace worm::common

@@ -50,7 +50,8 @@ common::Bytes rsa_sign(const RsaPrivateKey& key, common::ByteView message);
 
 /// Verifies an rsa_sign() signature. Returns false on any mismatch
 /// (never throws for bad signatures — hostile input is an expected outcome).
-bool rsa_verify(const RsaPublicKey& key, common::ByteView message,
+/// [[nodiscard]]: a dropped verdict means a forged signature goes unnoticed.
+[[nodiscard]] bool rsa_verify(const RsaPublicKey& key, common::ByteView message,
                 common::ByteView signature);
 
 /// Signature size in bytes for a key (== modulus size).

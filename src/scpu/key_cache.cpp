@@ -1,18 +1,18 @@
 #include "scpu/key_cache.hpp"
 
 #include <map>
-#include <mutex>
 
+#include "common/annotations.hpp"
 #include "crypto/drbg.hpp"
 
 namespace worm::scpu {
 
 const crypto::RsaPrivateKey& cached_rsa_key(std::uint64_t seed,
                                             std::size_t bits) {
-  static std::mutex mu;
+  static common::AnnotatedMutex mu;
   static std::map<std::pair<std::uint64_t, std::size_t>, crypto::RsaPrivateKey>
       cache;
-  std::lock_guard<std::mutex> lock(mu);
+  common::MutexLock lock(mu);
   auto key = std::make_pair(seed, bits);
   auto it = cache.find(key);
   if (it == cache.end()) {

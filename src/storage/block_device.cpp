@@ -35,7 +35,7 @@ void MemBlockDevice::charge(std::size_t bytes) {
 
 void MemBlockDevice::read_block(std::size_t index, Bytes& out) {
   {
-    std::shared_lock<std::shared_mutex> lk(mu_);
+    common::SharedLock lk(mu_);
     check_index(index);
     out = blocks_[index];
   }
@@ -47,7 +47,7 @@ void MemBlockDevice::write_block(std::size_t index, ByteView data) {
   WORM_REQUIRE(data.size() == block_size_,
                "MemBlockDevice: write size != block size");
   {
-    std::shared_lock<std::shared_mutex> lk(mu_);
+    common::SharedLock lk(mu_);
     check_index(index);
     blocks_[index].assign(data.begin(), data.end());
   }
@@ -56,7 +56,7 @@ void MemBlockDevice::write_block(std::size_t index, ByteView data) {
 }
 
 void MemBlockDevice::grow(std::size_t additional_blocks) {
-  std::unique_lock<std::shared_mutex> lk(mu_);
+  common::ExclusiveLock lk(mu_);
   blocks_.resize(blocks_.size() + additional_blocks, Bytes(block_size_, 0));
 }
 

@@ -8,10 +8,10 @@
 
 #include <atomic>
 #include <cstdint>
-#include <shared_mutex>
 #include <string>
 #include <vector>
 
+#include "common/annotations.hpp"
 #include "common/bytes.hpp"
 #include "common/sim_clock.hpp"
 
@@ -115,6 +115,7 @@ class MemBlockDevice final : public BlockDevice {
 
   [[nodiscard]] std::size_t block_size() const override { return block_size_; }
   [[nodiscard]] std::size_t block_count() const override {
+    common::SharedLock lk(mu_);
     return blocks_.size();
   }
 
@@ -124,20 +125,21 @@ class MemBlockDevice final : public BlockDevice {
   /// Grows the device (models attaching more platters).
   void grow(std::size_t additional_blocks) override;
 
-  /// Direct mutable access for the adversary — bypasses stats, latency and
-  /// every software check, exactly like physical platter access would.
-  common::Bytes& raw_block(std::size_t index);
+  /// Direct mutable access for the adversary — bypasses stats, latency,
+  /// every software check AND the lock discipline, exactly like physical
+  /// platter access would (hence the analysis opt-out).
+  common::Bytes& raw_block(std::size_t index) NO_THREAD_SAFETY_ANALYSIS;
 
  private:
-  void check_index(std::size_t index) const;
+  void check_index(std::size_t index) const REQUIRES_SHARED(mu_);
   void charge(std::size_t bytes);
 
   std::size_t block_size_;
-  std::vector<common::Bytes> blocks_;
+  // Readers/writers share; grow() (which reallocates blocks_) excludes.
+  mutable common::AnnotatedSharedMutex mu_;
+  std::vector<common::Bytes> blocks_ GUARDED_BY(mu_);
   common::SimClock* clock_;
   LatencyModel latency_;
-  // Readers/writers share; grow() (which reallocates blocks_) excludes.
-  mutable std::shared_mutex mu_;
 };
 
 /// File-backed device (one flat file, block i at offset i*block_size).

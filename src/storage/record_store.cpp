@@ -57,7 +57,7 @@ std::uint64_t RecordStore::allocate_block() {
 }
 
 RecordDescriptor RecordStore::write(ByteView data) {
-  std::lock_guard<std::mutex> lk(alloc_mu_);
+  common::MutexLock lk(alloc_mu_);
   const std::size_t bs = device_.block_size();
   RecordDescriptor rd;
   rd.record_id = next_id_++;
@@ -98,7 +98,7 @@ Bytes RecordStore::read(const RecordDescriptor& rd) {
 }
 
 common::Bytes RecordStore::save_state() const {
-  std::lock_guard<std::mutex> lk(alloc_mu_);
+  common::MutexLock lk(alloc_mu_);
   common::ByteWriter w;
   w.str("worm-recordstore-v1");
   w.u64(next_block_);
@@ -109,7 +109,7 @@ common::Bytes RecordStore::save_state() const {
 }
 
 void RecordStore::restore_state(ByteView state) {
-  std::lock_guard<std::mutex> lk(alloc_mu_);
+  common::MutexLock lk(alloc_mu_);
   common::ByteReader r(state);
   if (r.str() != "worm-recordstore-v1") {
     throw common::ParseError("RecordStore: bad state magic");
@@ -155,7 +155,7 @@ void RecordStore::shred(const RecordDescriptor& rd, ShredPolicy policy,
       for (int pass = 0; pass < 7; ++pass) random_pass(rd, rng);
       break;
   }
-  std::lock_guard<std::mutex> lk(alloc_mu_);
+  common::MutexLock lk(alloc_mu_);
   for (std::uint64_t b : rd.blocks) free_.insert(b);
 }
 

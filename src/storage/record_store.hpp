@@ -5,10 +5,10 @@
 #pragma once
 
 #include <cstdint>
-#include <mutex>
 #include <set>
 #include <vector>
 
+#include "common/annotations.hpp"
 #include "common/bytes.hpp"
 #include "common/serial.hpp"
 #include "crypto/drbg.hpp"
@@ -54,7 +54,9 @@ class RecordStore {
   explicit RecordStore(BlockDevice& device);
 
   /// Writes a record; allocates blocks (growing the device when supported).
-  RecordDescriptor write(common::ByteView data);
+  /// The descriptor is the only handle to the record — dropping it leaks
+  /// the blocks.
+  [[nodiscard]] RecordDescriptor write(common::ByteView data);
 
   /// Reads a record's payload back. Throws StorageError on a descriptor that
   /// points outside the device.
@@ -65,12 +67,12 @@ class RecordStore {
   void shred(const RecordDescriptor& rd, ShredPolicy policy,
              crypto::Drbg& rng);
 
-  [[nodiscard]] std::size_t free_blocks() const {
-    std::lock_guard<std::mutex> lk(alloc_mu_);
+  [[nodiscard]] std::size_t free_blocks() const EXCLUDES(alloc_mu_) {
+    common::MutexLock lk(alloc_mu_);
     return free_.size();
   }
-  [[nodiscard]] std::uint64_t records_written() const {
-    std::lock_guard<std::mutex> lk(alloc_mu_);
+  [[nodiscard]] std::uint64_t records_written() const EXCLUDES(alloc_mu_) {
+    common::MutexLock lk(alloc_mu_);
     return next_id_;
   }
 
@@ -82,15 +84,15 @@ class RecordStore {
   [[nodiscard]] BlockDevice& device() { return device_; }
 
  private:
-  std::uint64_t allocate_block();
+  std::uint64_t allocate_block() REQUIRES(alloc_mu_);
   void overwrite_pass(const RecordDescriptor& rd, const common::Bytes& pattern);
   void random_pass(const RecordDescriptor& rd, crypto::Drbg& rng);
 
   BlockDevice& device_;
-  mutable std::mutex alloc_mu_;  // free list + watermarks
-  std::set<std::uint64_t> free_;
-  std::uint64_t next_block_ = 0;
-  std::uint64_t next_id_ = 0;
+  mutable common::AnnotatedMutex alloc_mu_;  // free list + watermarks
+  std::set<std::uint64_t> free_ GUARDED_BY(alloc_mu_);
+  std::uint64_t next_block_ GUARDED_BY(alloc_mu_) = 0;
+  std::uint64_t next_id_ GUARDED_BY(alloc_mu_) = 0;
 };
 
 }  // namespace worm::storage

@@ -85,50 +85,50 @@ class ScpuChannel {
   /// throws on host-side bugs (never for hostile request bytes). Every
   /// crossing — including a rejected one — charges the transfer cost for
   /// the bytes actually moved.
-  common::Bytes call(common::ByteView request);
+  [[nodiscard]] common::Bytes call(common::ByteView request);
 
   [[nodiscard]] const WireStats& wire_stats() const { return wire_; }
 
   // --- typed wrappers (encode -> call -> decode) ---------------------------
 
-  WriteWitness write(const Attr& attr,
+  [[nodiscard]] WriteWitness write(const Attr& attr,
                      const std::vector<storage::RecordDescriptor>& rdl,
                      const std::vector<common::Bytes>& payloads,
                      common::ByteView claimed_hash, WitnessMode mode,
                      HashMode hash_mode);
-  std::vector<WriteWitness> write_batch(
+  [[nodiscard]] std::vector<WriteWitness> write_batch(
       const std::vector<Firmware::BatchItem>& items, WitnessMode mode,
       HashMode hash_mode);
-  ScpuStatus status();
-  SignedSnCurrent heartbeat();
-  SignedSnBase sign_base();
-  SignedSnBase advance_base(Sn new_base,
+  [[nodiscard]] ScpuStatus status();
+  [[nodiscard]] SignedSnCurrent heartbeat();
+  [[nodiscard]] SignedSnBase sign_base();
+  [[nodiscard]] SignedSnBase advance_base(Sn new_base,
                             const std::vector<DeletionProof>& proofs,
                             const std::vector<DeletedWindow>& windows);
-  DeletedWindow certify_window(Sn lo, Sn hi,
+  [[nodiscard]] DeletedWindow certify_window(Sn lo, Sn hi,
                                const std::vector<DeletionProof>& proofs,
                                const std::vector<DeletedWindow>& windows);
-  std::vector<StrengthenResult> strengthen(
+  [[nodiscard]] std::vector<StrengthenResult> strengthen(
       const std::vector<Vrd>& vrds,
       const std::vector<std::vector<common::Bytes>>& payloads_per_vrd);
   void audit_hash(Sn sn, const std::vector<common::Bytes>& payloads);
-  Firmware::LitUpdate lit_hold(const Vrd& vrd, common::SimTime hold_until,
+  [[nodiscard]] Firmware::LitUpdate lit_hold(const Vrd& vrd, common::SimTime hold_until,
                                std::uint64_t lit_id,
                                common::SimTime cred_issued_at,
                                common::ByteView credential);
-  Firmware::LitUpdate lit_release(const Vrd& vrd, std::uint64_t lit_id,
+  [[nodiscard]] Firmware::LitUpdate lit_release(const Vrd& vrd, std::uint64_t lit_id,
                                   common::SimTime cred_issued_at,
                                   common::ByteView credential);
-  CertificateBundle get_certificates();
+  [[nodiscard]] CertificateBundle get_certificates();
   void vexp_rebuild_begin();
   void vexp_rebuild_add(const Vrd& vrd);
   void vexp_rebuild_end();
   void process_idle();
-  MigrationAttestation sign_migration(common::ByteView manifest_hash,
+  [[nodiscard]] MigrationAttestation sign_migration(common::ByteView manifest_hash,
                                       std::uint64_t source_id,
                                       std::uint64_t dest_id);
-  std::vector<Sn> deferred_pending(std::uint32_t limit);
-  std::vector<Sn> hash_audits_pending(std::uint32_t limit);
+  [[nodiscard]] std::vector<Sn> deferred_pending(std::uint32_t limit);
+  [[nodiscard]] std::vector<Sn> hash_audits_pending(std::uint32_t limit);
 
  private:
   common::Bytes dispatch(common::ByteView request);

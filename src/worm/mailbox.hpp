@@ -56,7 +56,7 @@ class ScpuMailbox {
 
   /// Witnesses the pending writes in order, at most config().max_batch per
   /// crossing. Witnesses come back in submission order.
-  std::vector<WriteWitness> write_batch(
+  [[nodiscard]] std::vector<WriteWitness> write_batch(
       const std::vector<Firmware::BatchItem>& items, WitnessMode mode,
       HashMode hash_mode);
 

@@ -23,7 +23,7 @@ std::shared_ptr<const ReadResult> ReadCache::lookup(Sn sn) {
     return nullptr;
   }
   Shard& s = shard_for(sn);
-  std::shared_lock<std::shared_mutex> lk(s.mu);
+  common::SharedLock lk(s.mu);
   auto it = s.map.find(sn);
   if (it == s.map.end()) {
     misses_.fetch_add(1, std::memory_order_relaxed);
@@ -38,7 +38,7 @@ std::shared_ptr<const ReadResult> ReadCache::lookup(Sn sn) {
 void ReadCache::insert(Sn sn, std::shared_ptr<const ReadResult> result) {
   if (!enabled() || result == nullptr) return;
   Shard& s = shard_for(sn);
-  std::unique_lock<std::shared_mutex> lk(s.mu);
+  common::ExclusiveLock lk(s.mu);
   auto it = s.map.find(sn);
   if (it != s.map.end()) {
     it->second->result = std::move(result);
@@ -70,7 +70,7 @@ void ReadCache::insert(Sn sn, std::shared_ptr<const ReadResult> result) {
 void ReadCache::invalidate(Sn sn) {
   if (!enabled()) return;
   Shard& s = shard_for(sn);
-  std::unique_lock<std::shared_mutex> lk(s.mu);
+  common::ExclusiveLock lk(s.mu);
   if (s.map.erase(sn) > 0) {
     invalidations_.fetch_add(1, std::memory_order_relaxed);
   }
@@ -82,7 +82,7 @@ void ReadCache::invalidate_range(Sn lo, Sn hi) {
   // every Sn in [lo, hi].
   std::uint64_t dropped = 0;
   for (auto& shard : shards_) {
-    std::unique_lock<std::shared_mutex> lk(shard->mu);
+    common::ExclusiveLock lk(shard->mu);
     for (auto it = shard->map.begin(); it != shard->map.end();) {
       if (it->first >= lo && it->first <= hi) {
         it = shard->map.erase(it);
@@ -103,7 +103,7 @@ void ReadCache::invalidate_below(Sn sn) {
 void ReadCache::clear() {
   std::uint64_t dropped = 0;
   for (auto& shard : shards_) {
-    std::unique_lock<std::shared_mutex> lk(shard->mu);
+    common::ExclusiveLock lk(shard->mu);
     dropped += shard->map.size();
     shard->map.clear();
   }
@@ -120,7 +120,7 @@ ReadCacheStats ReadCache::stats() const {
 std::size_t ReadCache::entry_count() const {
   std::size_t n = 0;
   for (const auto& shard : shards_) {
-    std::shared_lock<std::shared_mutex> lk(shard->mu);
+    common::SharedLock lk(shard->mu);
     n += shard->map.size();
   }
   return n;

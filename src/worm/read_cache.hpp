@@ -20,7 +20,7 @@
 // pre-update answer, so the write/strengthen/litigation/expiry/compaction
 // paths invalidate exactly the entries they touch (see WormStore).
 //
-// Concurrency: Sn-sharded; each shard holds a std::shared_mutex. Hits take
+// Concurrency: Sn-sharded; each shard holds an AnnotatedSharedMutex. Hits take
 // the shard lock shared and refresh an atomic recency tick (approximate
 // LRU — exact list maintenance would serialize readers on the hot path);
 // inserts/invalidations take it exclusive. Counters are process-wide atomics
@@ -30,10 +30,10 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <shared_mutex>
 #include <unordered_map>
 #include <vector>
 
+#include "common/annotations.hpp"
 #include "worm/proofs.hpp"
 #include "worm/types.hpp"
 
@@ -78,8 +78,8 @@ class ReadCache {
     std::atomic<std::uint64_t> last_used{0};
   };
   struct Shard {
-    mutable std::shared_mutex mu;
-    std::unordered_map<Sn, std::shared_ptr<Entry>> map;
+    mutable common::AnnotatedSharedMutex mu;
+    std::unordered_map<Sn, std::shared_ptr<Entry>> map GUARDED_BY(mu);
   };
 
   Shard& shard_for(Sn sn) { return *shards_[sn % shards_.size()]; }

@@ -1,7 +1,5 @@
 #include "worm/sig_memo.hpp"
 
-#include <mutex>
-
 #include "crypto/sha256.hpp"
 
 namespace worm::core {
@@ -35,7 +33,7 @@ bool SigVerifyMemo::verify(const crypto::RsaPublicKey& key,
 
   Shard& s = shards_[k.digest[0] % kShards];
   {
-    std::shared_lock<std::shared_mutex> lk(s.mu);
+    common::SharedLock lk(s.mu);
     auto it = s.map.find(k);
     if (it != s.map.end()) {
       hits_.fetch_add(1, std::memory_order_relaxed);
@@ -45,7 +43,7 @@ bool SigVerifyMemo::verify(const crypto::RsaPublicKey& key,
   misses_.fetch_add(1, std::memory_order_relaxed);
   bool ok = crypto::rsa_verify(key, message, sig);
   {
-    std::unique_lock<std::shared_mutex> lk(s.mu);
+    common::ExclusiveLock lk(s.mu);
     if (s.map.size() >= per_shard_cap_ && !s.map.contains(k)) {
       // Bound memory without LRU bookkeeping: drop an arbitrary entry.
       // Re-verification of the dropped signature is correct, just slower.
@@ -63,7 +61,7 @@ SigMemoStats SigVerifyMemo::stats() const {
 
 void SigVerifyMemo::clear() {
   for (auto& s : shards_) {
-    std::unique_lock<std::shared_mutex> lk(s.mu);
+    common::ExclusiveLock lk(s.mu);
     s.map.clear();
   }
 }

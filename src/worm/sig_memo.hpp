@@ -20,10 +20,10 @@
 #include <cstdint>
 #include <cstring>
 #include <memory>
-#include <shared_mutex>
 #include <unordered_map>
 #include <vector>
 
+#include "common/annotations.hpp"
 #include "common/bytes.hpp"
 #include "crypto/rsa.hpp"
 
@@ -65,8 +65,8 @@ class SigVerifyMemo {
   };
   static constexpr std::size_t kShards = 8;
   struct Shard {
-    mutable std::shared_mutex mu;
-    std::unordered_map<Key, bool, KeyHash> map;
+    mutable common::AnnotatedSharedMutex mu;
+    std::unordered_map<Key, bool, KeyHash> map GUARDED_BY(mu);
   };
 
   std::size_t per_shard_cap_;

@@ -154,7 +154,8 @@ FsAuditReport WormFs::audit(const ClientVerifier& verifier) {
   for (const auto& [path, state] : index_) {
     for (const FsVersionInfo& v : state.chain) all_sns.push_back(v.sn);
   }
-  store_.read_many(all_sns);
+  // Results deliberately dropped: this call is pure cache warm-up.
+  (void)store_.read_many(all_sns);
 
   for (const auto& [path, state] : index_) {
     bool chain_ok = true;

@@ -29,12 +29,31 @@ WormStore::WormStore(common::SimClock& clock, Firmware& firmware,
   firmware_.set_host_agent(this);
   short_sig_lifetime_ = firmware_.config().short_sig_lifetime;
 
-  mailbox_.add_duty("strengthen", [this] { return do_strengthen_batch(); },
+  // Duty trampolines run only from pump()/service_urgent(), which the store
+  // enters exclusively; assert_held() hands that fact to the thread-safety
+  // analysis, which cannot trace a std::function back to its call sites.
+  mailbox_.add_duty("strengthen",
+                    [this] {
+                      state_mu_.assert_held();
+                      return do_strengthen_batch();
+                    },
                     /*urgent=*/true);
-  mailbox_.add_duty("hash-audit", [this] { return do_hash_audits(); });
-  mailbox_.add_duty("compact", [this] { return do_compaction(); });
-  mailbox_.add_duty("advance-base", [this] { return do_advance_base(); });
-  mailbox_.add_duty("vexp-rebuild", [this] { return do_vexp_rebuild(); });
+  mailbox_.add_duty("hash-audit", [this] {
+    state_mu_.assert_held();
+    return do_hash_audits();
+  });
+  mailbox_.add_duty("compact", [this] {
+    state_mu_.assert_held();
+    return do_compaction();
+  });
+  mailbox_.add_duty("advance-base", [this] {
+    state_mu_.assert_held();
+    return do_advance_base();
+  });
+  mailbox_.add_duty("vexp-rebuild", [this] {
+    state_mu_.assert_held();
+    return do_vexp_rebuild();
+  });
 
   heartbeat_ = mailbox_.channel().heartbeat();
   // Seed the scheduling mirrors — non-zero when the firmware was restored
@@ -145,7 +164,7 @@ Sn WormStore::finish_write(WriteWitness witness,
 }
 
 Sn WormStore::write(const WriteRequest& request) {
-  std::unique_lock<std::shared_mutex> lk(state_mu_);
+  common::ExclusiveLock lk(state_mu_);
   maybe_service_deadline();
   WitnessMode mode = request.mode.value_or(config_.default_mode);
   Firmware::BatchItem item = prepare_item(request);
@@ -162,7 +181,7 @@ std::vector<Sn> WormStore::write_batch(
     const std::vector<WriteRequest>& requests) {
   std::vector<Sn> sns;
   if (requests.empty()) return sns;
-  std::unique_lock<std::shared_mutex> lk(state_mu_);
+  common::ExclusiveLock lk(state_mu_);
   maybe_service_deadline();
   mailbox_.note_queue_depth(requests.size());
   sns.reserve(requests.size());
@@ -273,7 +292,7 @@ ReadResult WormStore::read_below_base_locked(Sn sn) {
 ReadResult WormStore::read(Sn sn) {
   ++ops_.reads;
   {
-    std::shared_lock<std::shared_mutex> lk(state_mu_);
+    common::SharedLock lk(state_mu_);
     if (auto cached = read_cache_.lookup(sn)) {
       if (const auto* ok = std::get_if<ReadOk>(cached.get())) {
         // Cached entries hold no payload bytes; fetch them from the device
@@ -294,7 +313,7 @@ ReadResult WormStore::read(Sn sn) {
   // The base proof expired; refreshing it crosses the mailbox, which only
   // the exclusive path may do. State may have moved while the shared lock
   // was dropped, so answer again from scratch.
-  std::unique_lock<std::shared_mutex> lk(state_mu_);
+  common::ExclusiveLock lk(state_mu_);
   if (auto r = read_locked(sn)) {
     maybe_cache_locked(sn, *r);
     return std::move(*r);
@@ -315,7 +334,7 @@ std::vector<ReadResult> WormStore::read_many(const std::vector<Sn>& sns) {
 // ---------------------------------------------------------------------------
 
 void WormStore::lit_hold(const LitigationRequest& request) {
-  std::unique_lock<std::shared_mutex> lk(state_mu_);
+  common::ExclusiveLock lk(state_mu_);
   Vrdt::Entry* e = vrdt_.mutable_entry(request.sn);
   WORM_REQUIRE(e != nullptr && e->kind == Vrdt::Entry::Kind::kActive,
                "lit_hold: record not active");
@@ -328,7 +347,7 @@ void WormStore::lit_hold(const LitigationRequest& request) {
 }
 
 void WormStore::lit_release(const LitigationRequest& request) {
-  std::unique_lock<std::shared_mutex> lk(state_mu_);
+  common::ExclusiveLock lk(state_mu_);
   Vrdt::Entry* e = vrdt_.mutable_entry(request.sn);
   WORM_REQUIRE(e != nullptr && e->kind == Vrdt::Entry::Kind::kActive,
                "lit_release: record not active");
@@ -346,7 +365,7 @@ void WormStore::lit_release(const LitigationRequest& request) {
 void WormStore::on_expire(Sn sn, DeletionProof proof) {
   // Fired from the driver thread's clock dispatch (never re-entrantly from
   // inside a mailbox crossing), so taking the exclusive lock is safe.
-  std::unique_lock<std::shared_mutex> lk(state_mu_);
+  common::ExclusiveLock lk(state_mu_);
   Vrdt::Entry* e = vrdt_.mutable_entry(sn);
   if (e == nullptr || e->kind != Vrdt::Entry::Kind::kActive) {
     // Already gone (e.g. duplicate expiration after a lit-release); the
@@ -367,13 +386,13 @@ void WormStore::on_expire(Sn sn, DeletionProof proof) {
 }
 
 void WormStore::on_heartbeat(SignedSnCurrent current) {
-  std::unique_lock<std::shared_mutex> lk(state_mu_);
+  common::ExclusiveLock lk(state_mu_);
   heartbeat_ = std::move(current);
   sn_current_mirror_ = std::max(sn_current_mirror_, heartbeat_.sn_current);
 }
 
 void WormStore::adopt_vrdt(Vrdt vrdt) {
-  std::unique_lock<std::shared_mutex> lk(state_mu_);
+  common::ExclusiveLock lk(state_mu_);
   WORM_REQUIRE(ops_.writes == 0 && vrdt_.entry_count() == 0,
                "adopt_vrdt: store already in service");
   vrdt_ = std::move(vrdt);
@@ -397,7 +416,7 @@ void WormStore::adopt_vrdt(Vrdt vrdt) {
 }
 
 TrustAnchors WormStore::anchors() {
-  std::unique_lock<std::shared_mutex> lk(state_mu_);
+  common::ExclusiveLock lk(state_mu_);
   CertificateBundle bundle = mailbox_.channel().get_certificates();
   TrustAnchors a;
   a.meta_key = crypto::RsaPublicKey::deserialize(bundle.meta_pub);
@@ -411,13 +430,13 @@ TrustAnchors WormStore::anchors() {
 
 MigrationAttestation WormStore::sign_migration(ByteView manifest_hash,
                                                std::uint64_t dest_store_id) {
-  std::unique_lock<std::shared_mutex> lk(state_mu_);
+  common::ExclusiveLock lk(state_mu_);
   return mailbox_.channel().sign_migration(manifest_hash, config_.store_id,
                                            dest_store_id);
 }
 
 std::map<std::string_view, std::uint64_t> WormStore::counters() const {
-  std::shared_lock<std::shared_mutex> lk(state_mu_);
+  common::SharedLock lk(state_mu_);
   MailboxMetrics m = mailbox_.metrics();
   ReadCacheStats c = read_cache_.stats();
   return {
@@ -470,7 +489,7 @@ bool WormStore::deadline_pressure_locked(common::Duration margin) const {
 }
 
 bool WormStore::deadline_pressure(common::Duration margin) const {
-  std::shared_lock<std::shared_mutex> lk(state_mu_);
+  common::SharedLock lk(state_mu_);
   return deadline_pressure_locked(margin);
 }
 
@@ -613,7 +632,7 @@ bool WormStore::do_vexp_rebuild() {
 }
 
 bool WormStore::pump_idle() {
-  std::unique_lock<std::shared_mutex> lk(state_mu_);
+  common::ExclusiveLock lk(state_mu_);
   mailbox_.channel().process_idle();
   return mailbox_.pump();
 }

@@ -17,18 +17,23 @@
 // the mailbox itself stays strictly serialized. Mutators invalidate exactly
 // the read-cache entries they touch, so a read issued after a mutation
 // returns never sees the pre-mutation result. See DESIGN.md §7.
+//
+// The discipline is machine-checked (DESIGN.md §8): every piece of host soft
+// state is GUARDED_BY(state_mu_), every locked helper declares REQUIRES /
+// REQUIRES_SHARED, and a clang build under -Werror=thread-safety refuses to
+// compile an access that breaks the model.
 #pragma once
 
 #include <atomic>
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
+#include <mutex>  // std::once_flag (locks themselves are annotated wrappers)
 #include <optional>
-#include <shared_mutex>
 #include <string_view>
 #include <vector>
 
+#include "common/annotations.hpp"
 #include "common/sim_clock.hpp"
 #include "common/thread_pool.hpp"
 #include "scpu/cost_model.hpp"
@@ -117,34 +122,37 @@ class WormStore final : public HostAgent {
 
   /// Stores a virtual record made of `request.payloads` (one data record
   /// each) under `request.attr`, witnessed by the SCPU over the mailbox.
-  /// Returns the issued serial number.
-  Sn write(const WriteRequest& request);
+  /// Returns the issued serial number — discarding it orphans the record
+  /// (nothing else names it), so the compiler rejects a dropped result.
+  [[nodiscard]] Sn write(const WriteRequest& request) EXCLUDES(state_mu_);
 
   /// Witnesses many pending writes with as few mailbox crossings as possible
   /// (kWriteBatch, at most StoreConfig::mailbox.max_batch per crossing).
   /// Requests with the same effective witness mode share crossings; returned
   /// SNs parallel `requests`.
-  std::vector<Sn> write_batch(const std::vector<WriteRequest>& requests);
+  [[nodiscard]] std::vector<Sn> write_batch(
+      const std::vector<WriteRequest>& requests) EXCLUDES(state_mu_);
 
   /// Serves a read using main-CPU resources only (§4.2.2): data + VRD on
   /// success, or the applicable proof of rightful absence. Safe to call from
   /// any number of threads concurrently with writes and idle duties.
-  ReadResult read(Sn sn);
+  [[nodiscard]] ReadResult read(Sn sn) EXCLUDES(state_mu_);
 
   /// Reads many SNs, fanning the work across the read pool (plus the
   /// caller's thread) when StoreConfig::read_workers > 0. Results parallel
   /// `sns`; each element is exactly what read() would have returned.
-  std::vector<ReadResult> read_many(const std::vector<Sn>& sns);
+  [[nodiscard]] std::vector<ReadResult> read_many(const std::vector<Sn>& sns)
+      EXCLUDES(state_mu_);
 
   /// Applies a litigation hold / release with an authority credential.
-  void lit_hold(const LitigationRequest& request);
-  void lit_release(const LitigationRequest& request);
+  void lit_hold(const LitigationRequest& request) EXCLUDES(state_mu_);
+  void lit_release(const LitigationRequest& request) EXCLUDES(state_mu_);
 
   /// Idle-period duties (§4.1, §4.3): strengthen deferred witnesses, audit
   /// host-claimed hashes, compact expired windows, advance the base, rebuild
   /// the VEXP if it overflowed — one rotation of the mailbox duty queue.
   /// Returns true if any work was done.
-  bool pump_idle();
+  bool pump_idle() EXCLUDES(state_mu_);
 
   /// True when the earliest strengthening deadline is within `margin` — the
   /// §4.3 contract says short-lived witnesses must be strengthened inside
@@ -153,82 +161,100 @@ class WormStore final : public HostAgent {
   /// mailbox crossing). Pinned by tests; the library cannot force a
   /// malicious host to call it (clients then see kStaleProof).
   [[nodiscard]] bool deadline_pressure(
-      common::Duration margin = common::Duration::minutes(10)) const;
+      common::Duration margin = common::Duration::minutes(10)) const
+      EXCLUDES(state_mu_);
 
   // --- HostAgent (SCPU -> host interrupts) ---------------------------------
 
-  void on_expire(Sn sn, DeletionProof proof) override;
-  void on_heartbeat(SignedSnCurrent current) override;
+  void on_expire(Sn sn, DeletionProof proof) override EXCLUDES(state_mu_);
+  void on_heartbeat(SignedSnCurrent current) override EXCLUDES(state_mu_);
 
   // --- client-facing state --------------------------------------------------
 
   /// Trust anchors clients verify against (in deployment these arrive as CA
   /// certificates; the transfer itself is out of band). Fetches the
   /// certificate bundle over the mailbox.
-  [[nodiscard]] TrustAnchors anchors();
+  [[nodiscard]] TrustAnchors anchors() EXCLUDES(state_mu_);
 
   /// Latest S_s(SN_current) heartbeat (what a read of a too-high SN returns).
   /// Returned by value: the stored copy can be replaced concurrently by the
   /// heartbeat interrupt.
-  [[nodiscard]] SignedSnCurrent latest_heartbeat() const {
-    std::shared_lock<std::shared_mutex> lk(state_mu_);
+  [[nodiscard]] SignedSnCurrent latest_heartbeat() const EXCLUDES(state_mu_) {
+    common::SharedLock lk(state_mu_);
     return heartbeat_;
   }
 
   /// Source-side attestation of a compliant-migration manifest.
   MigrationAttestation sign_migration(common::ByteView manifest_hash,
-                                      std::uint64_t dest_store_id);
+                                      std::uint64_t dest_store_id)
+      EXCLUDES(state_mu_);
 
-  [[nodiscard]] const Vrdt& vrdt() const { return vrdt_; }
+  /// Quiescent-state introspection for drivers and tests; not synchronized
+  /// (the analysis opt-out below), so never call it concurrently with
+  /// mutators.
+  [[nodiscard]] const Vrdt& vrdt() const NO_THREAD_SAFETY_ANALYSIS {
+    return vrdt_;
+  }
   [[nodiscard]] storage::RecordStore& records() { return records_; }
   [[nodiscard]] const StoreConfig& config() const { return config_; }
   [[nodiscard]] common::SimTime now() const { return clock_.now(); }
 
-  /// The command pipeline (metrics / transport introspection).
-  [[nodiscard]] const ScpuMailbox& mailbox() const { return mailbox_; }
+  /// The command pipeline (metrics / transport introspection). Quiescent
+  /// introspection only — the mailbox is state_mu_-serialized, and this
+  /// accessor deliberately steps outside that discipline.
+  [[nodiscard]] const ScpuMailbox& mailbox() const NO_THREAD_SAFETY_ANALYSIS {
+    return mailbox_;
+  }
 
   /// Host restart: adopts a persisted VRDT (and, with dedup enabled,
   /// rebuilds the content index and reference counts from the active VRDs).
   /// Only valid on a store that has not served writes yet.
-  void adopt_vrdt(Vrdt vrdt);
+  void adopt_vrdt(Vrdt vrdt) EXCLUDES(state_mu_);
 
   /// Named-counter snapshot: store-level operation counts plus the mailbox
   /// transport metrics (mailbox_* keys). Keys are stable identifiers meant
   /// for dashboards and benches; see DESIGN.md for the list.
-  [[nodiscard]] std::map<std::string_view, std::uint64_t> counters() const;
+  [[nodiscard]] std::map<std::string_view, std::uint64_t> counters() const
+      EXCLUDES(state_mu_);
 
  private:
   friend class InsiderHandle;
 
-  storage::RecordDescriptor store_payload(const common::Bytes& payload);
+  storage::RecordDescriptor store_payload(const common::Bytes& payload)
+      REQUIRES(state_mu_);
   void release_rd(const storage::RecordDescriptor& rd,
-                  storage::ShredPolicy policy);
-  SignedSnBase& fresh_base();
+                  storage::ShredPolicy policy) REQUIRES(state_mu_);
+  SignedSnBase& fresh_base() REQUIRES(state_mu_);
   void charge_host(common::Duration d) { clock_.charge(d); }
   std::vector<common::Bytes> read_payloads(const Vrd& vrd);
   /// Answers the read from host state under the caller's lock, or nullopt
   /// when the answer needs a mailbox crossing (expired base proof) — which
   /// only the exclusive-lock path may perform.
-  std::optional<ReadResult> read_locked(Sn sn);
-  ReadResult read_below_base_locked(Sn sn);
+  std::optional<ReadResult> read_locked(Sn sn) REQUIRES_SHARED(state_mu_);
+  ReadResult read_below_base_locked(Sn sn) REQUIRES(state_mu_);
   /// Caches `r` for sn if its kind is time-invariant. Must run under the
   /// state lock (shared suffices): that orders the insert against exclusive
   /// mutators, so a stale result can never be inserted after the
   /// invalidation that should have killed it.
-  void maybe_cache_locked(Sn sn, const ReadResult& r);
+  void maybe_cache_locked(Sn sn, const ReadResult& r)
+      REQUIRES_SHARED(state_mu_);
   common::ThreadPool& read_pool();
-  Firmware::BatchItem prepare_item(const WriteRequest& request);
+  Firmware::BatchItem prepare_item(const WriteRequest& request)
+      REQUIRES(state_mu_);
   Sn finish_write(WriteWitness witness,
-                  std::vector<storage::RecordDescriptor> rdl, WitnessMode mode);
-  void note_deferred_witness(common::SimTime creation_time);
-  void sync_deferred_mirror();
-  [[nodiscard]] bool deadline_pressure_locked(common::Duration margin) const;
-  void maybe_service_deadline();
-  bool do_strengthen_batch();
-  bool do_hash_audits();
-  bool do_compaction();
-  bool do_advance_base();
-  bool do_vexp_rebuild();
+                  std::vector<storage::RecordDescriptor> rdl, WitnessMode mode)
+      REQUIRES(state_mu_);
+  void note_deferred_witness(common::SimTime creation_time)
+      REQUIRES(state_mu_);
+  void sync_deferred_mirror() REQUIRES(state_mu_);
+  [[nodiscard]] bool deadline_pressure_locked(common::Duration margin) const
+      REQUIRES_SHARED(state_mu_);
+  void maybe_service_deadline() REQUIRES(state_mu_);
+  bool do_strengthen_batch() REQUIRES(state_mu_);
+  bool do_hash_audits() REQUIRES(state_mu_);
+  bool do_compaction() REQUIRES(state_mu_);
+  bool do_advance_base() REQUIRES(state_mu_);
+  bool do_vexp_rebuild() REQUIRES(state_mu_);
 
   common::SimClock& clock_;
   // Held only for host-agent (interrupt) registration and out-of-band
@@ -238,22 +264,27 @@ class WormStore final : public HostAgent {
   StoreConfig config_;
   // Readers shared; every mutation and every mailbox crossing exclusive.
   // Lock order: state_mu_ before any ReadCache shard mutex.
-  mutable std::shared_mutex state_mu_;
-  ScpuMailbox mailbox_;
-  Vrdt vrdt_;
+  mutable common::AnnotatedSharedMutex state_mu_;
+  // The mailbox is not internally synchronized (DESIGN.md §6): guarding it
+  // with state_mu_ makes "no crossing without the store lock" compile-time.
+  ScpuMailbox mailbox_ GUARDED_BY(state_mu_);
+  Vrdt vrdt_ GUARDED_BY(state_mu_);
+  // Internally sharded/locked; held only to shared-lock ordering rules (see
+  // maybe_cache_locked), which GUARDED_BY cannot express.
   ReadCache read_cache_;
-  SignedSnCurrent heartbeat_;
-  std::optional<SignedSnBase> base_;
+  SignedSnCurrent heartbeat_ GUARDED_BY(state_mu_);
+  std::optional<SignedSnBase> base_ GUARDED_BY(state_mu_);
   std::once_flag read_pool_once_;
   std::unique_ptr<common::ThreadPool> read_pool_;
 
   // Host-side mirrors of device scheduling state, maintained from command
   // results so the read path and deadline_pressure() never cross the
   // mailbox (§4.2.2: reads are main-CPU only).
-  Sn sn_current_mirror_ = 0;
-  Sn sn_base_mirror_ = 1;
-  std::uint64_t deferred_mirror_count_ = 0;
-  common::SimTime deferred_mirror_earliest_ = common::SimTime::max();
+  Sn sn_current_mirror_ GUARDED_BY(state_mu_) = 0;
+  Sn sn_base_mirror_ GUARDED_BY(state_mu_) = 1;
+  std::uint64_t deferred_mirror_count_ GUARDED_BY(state_mu_) = 0;
+  common::SimTime deferred_mirror_earliest_ GUARDED_BY(state_mu_) =
+      common::SimTime::max();
   common::Duration short_sig_lifetime_{};  // deployment parameter
 
   // Atomics: reads bump these under the shared lock, so plain increments
@@ -272,8 +303,9 @@ class WormStore final : public HostAgent {
 
   // Dedup state (config_.dedup only): content digest -> shared descriptor,
   // and per-record-id reference counts.
-  std::map<common::Bytes, storage::RecordDescriptor> content_index_;
-  std::map<std::uint64_t, std::uint32_t> rd_refs_;
+  std::map<common::Bytes, storage::RecordDescriptor> content_index_
+      GUARDED_BY(state_mu_);
+  std::map<std::uint64_t, std::uint32_t> rd_refs_ GUARDED_BY(state_mu_);
 };
 
 /// The insider adversary's surface (§2.1 threat model: Mallory owns the
@@ -289,8 +321,10 @@ class InsiderHandle {
   /// rewrite at will (and the SCPU witnesses exist to catch). Drops the
   /// read cache first: Mallory controls host RAM too, and a cache that kept
   /// serving pre-tamper answers would only hide her own edits from her.
-  /// Bypasses the store's locks, like any insider write to host memory.
-  [[nodiscard]] Vrdt& vrdt() {
+  /// Bypasses the store's locks, like any insider write to host memory —
+  /// the one deliberate hole in the lock discipline, hence the analysis
+  /// opt-out (worm-lint keeps its constructor greppable instead).
+  [[nodiscard]] Vrdt& vrdt() NO_THREAD_SAFETY_ANALYSIS {
     store_.read_cache_.clear();
     return store_.vrdt_;
   }

@@ -92,7 +92,7 @@ TEST(MerkleStore, TombstoneCannotBeRevertedUndetected) {
 TEST(MerkleStore, AllRecordsVerifyAfterManyUpdates) {
   BaselineRig rig;
   for (int i = 0; i < 40; ++i) {
-    rig.store.write(to_bytes("rec-" + std::to_string(i)), rig.attr());
+    (void)rig.store.write(to_bytes("rec-" + std::to_string(i)), rig.attr());
   }
   for (core::Sn sn = 1; sn <= 40; ++sn) {
     auto r = rig.store.read(sn);
@@ -108,7 +108,7 @@ TEST(MerkleStore, ScpuHashWorkGrowsLogarithmically) {
   // is the in-place expiry updates that pay the logarithm.)
   BaselineRig rig;
   for (int i = 0; i < 512; ++i) {
-    rig.store.write(to_bytes("x"), rig.attr());
+    (void)rig.store.write(to_bytes("x"), rig.attr());
   }
   std::uint64_t before = rig.store.scpu_hash_ops();
   rig.store.expire(200);  // middle leaf: full root path recomputed

@@ -403,7 +403,7 @@ TEST(Channel, EveryCrossingIsMeteredAndCharged) {
   ChannelRig rig;
   auto before = rig.channel.wire_stats();
   common::Duration busy0 = rig.device.busy_time();
-  rig.channel.heartbeat();
+  (void)rig.channel.heartbeat();  // the metering is the point
   Bytes resp = rig.channel.call(Bytes{0xEE});  // malformed: still a crossing
   EXPECT_EQ(resp[0], 1);
   auto after = rig.channel.wire_stats();

@@ -100,7 +100,8 @@ TEST(Dedup, ReusableAfterFullExpiry) {
   // fresh record (no stale index entry resurrects the old descriptor).
   DedupRig rig;
   Bytes shared = to_bytes("phoenix payload");
-  rig.store.write({.payloads = {shared}, .attr = rig.attr(Duration::hours(1))});
+  (void)rig.store.write(
+      {.payloads = {shared}, .attr = rig.attr(Duration::hours(1))});
   rig.clock.advance(Duration::hours(2));
   Sn again = rig.store.write(
       {.payloads = {shared}, .attr = rig.attr(Duration::days(1))});
@@ -119,7 +120,7 @@ TEST(Dedup, StorageFootprintShrinks) {
     Rig rig({}, c);
     Bytes attachment(3000, 0xaa);
     for (int i = 0; i < 30; ++i) {
-      rig.store.write(
+      (void)rig.store.write(
           {.payloads = {to_bytes("mail " + std::to_string(i)), attachment},
            .attr = rig.attr(Duration::days(1))});
     }

@@ -206,7 +206,7 @@ TEST(FirmwareNvram, RetentionEnforcedAcrossReboot) {
   Bytes nvram;
   {
     WormStore store1(clock, fw1, records, StoreConfig{});
-    store1.write({.payloads = {to_bytes("expires soon")},
+    (void)store1.write({.payloads = {to_bytes("expires soon")},
                   .attr = [&] {
                     Attr a;
                     a.retention = Duration::hours(1);

@@ -1,0 +1,13 @@
+// lint fixture: discarded verification verdict. Must be flagged
+// dropped-result.
+#include "crypto/rsa.hpp"
+
+namespace worm {
+
+void accept_record(const crypto::RsaPublicKey& pk, common::ByteView payload,
+                   const common::Bytes& sig) {
+  // The verdict is dropped on the floor: a forged signature sails through.
+  crypto::rsa_verify(pk, payload, sig);
+}
+
+}  // namespace worm

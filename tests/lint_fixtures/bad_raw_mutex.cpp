@@ -1,0 +1,16 @@
+// lint fixture: raw std synchronization primitives. Every declaration and
+// guard below must be flagged raw-mutex — none of them are visible to
+// thread-safety analysis.
+#include <mutex>
+
+namespace worm {
+
+std::mutex g_table_mu;
+int g_table_entries = 0;  // unguarded: the analysis can't see g_table_mu
+
+void bump() {
+  std::lock_guard<std::mutex> lk(g_table_mu);
+  ++g_table_entries;
+}
+
+}  // namespace worm

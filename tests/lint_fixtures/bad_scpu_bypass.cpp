@@ -1,0 +1,18 @@
+// lint fixture: host code reaching around the mailbox straight into the SCPU.
+// Every line touching the device must be flagged scpu-isolation.
+#include "scpu/scpu_device.hpp"
+
+#include "common/sim_clock.hpp"
+
+namespace worm {
+
+// An "optimised" write path that skips the serialized command pipeline and
+// drives the coprocessor directly — exactly the bypass the isolation rule
+// exists to catch: it would race the mailbox's in-flight commands and dodge
+// the cost model.
+void sneaky_fast_write(common::SimClock& clock) {
+  scpu::ScpuDevice device(clock, {});
+  device.reset();
+}
+
+}  // namespace worm

@@ -1,0 +1,16 @@
+// lint fixture: wall-clock use inside src/. Must be flagged wall-clock.
+#include <chrono>
+#include <cstdint>
+
+namespace worm {
+
+// Stamping records with the host's real clock breaks determinism and lets
+// test runs disagree with the SimClock the SCPU charges against.
+std::int64_t current_unix_nanos() {
+  auto now = std::chrono::system_clock::now();
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             now.time_since_epoch())
+      .count();
+}
+
+}  // namespace worm

@@ -1,0 +1,29 @@
+// lint fixture: patterns that look close to violations but are all
+// legitimate. The lint must report this file clean — each section guards
+// against a specific false-positive regression.
+#include "common/annotations.hpp"
+#include "crypto/rsa.hpp"
+
+namespace worm {
+
+// Mentioning std::mutex or std::chrono in a comment is prose, not code.
+// A string literal saying "std::mutex" or "ScpuDevice" is data, not code.
+const char* kDoc = "prefer AnnotatedMutex over std::mutex; see ScpuDevice";
+
+// The annotated wrappers and condition_variable_any are the sanctioned
+// vocabulary.
+common::AnnotatedMutex g_mu;
+int g_count GUARDED_BY(g_mu) = 0;
+
+bool consume_verdict(const crypto::RsaPublicKey& pk, common::ByteView payload,
+                     const common::Bytes& sig) {
+  // Multi-line continuation: the call is the RHS of an assignment, so the
+  // statement-boundary check must not read line 2 as a bare call.
+  bool ok =
+      crypto::rsa_verify(pk, payload, sig);
+  // Explicit discard with justification is the sanctioned escape hatch.
+  (void)crypto::rsa_verify(pk, payload, sig);  // warm-up only
+  return ok;
+}
+
+}  // namespace worm

@@ -34,9 +34,9 @@ TEST(Soak, OneSimulatedYearOfOperation) {
                            : Duration::days(static_cast<std::int64_t>(
                                  3 + rng.uniform(40)));  // working set
       auto mode = static_cast<WitnessMode>(rng.uniform(3));
-      rig.store.write({.payloads = {rng.bytes(100 + rng.uniform(2000))},
-                       .attr = attr,
-                       .mode = mode});
+      (void)rig.store.write({.payloads = {rng.bytes(100 + rng.uniform(2000))},
+                             .attr = attr,
+                             .mode = mode});
       ++writes;
     }
 

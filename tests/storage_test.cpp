@@ -192,7 +192,7 @@ TEST(RecordStore, WriteChargesDiskLatency) {
                      LatencyModel::enterprise_disk_2008());
   RecordStore store(dev);
   common::SimTime t0 = clock.now();
-  store.write(Bytes(8192, 0x11));  // two blocks
+  (void)store.write(Bytes(8192, 0x11));  // two blocks; only the cost matters
   double ms = (clock.now() - t0).to_seconds_f() * 1e3;
   EXPECT_GE(ms, 7.0);  // 2 seeks at 3.5ms + transfer
 }

@@ -1,0 +1,152 @@
+// Edge cases of the host-side worker pool: empty work sets, zero-worker
+// degradation, exceptions crossing parallel_for, and reentrant submission.
+// The happy path is exercised constantly through WormStore's read pool;
+// these are the corners that path never hits.
+#include "common/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <functional>
+#include <latch>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace worm::common {
+namespace {
+
+TEST(ThreadPool, ParallelForZeroTasksIsANoOp) {
+  ThreadPool pool(4);
+  std::atomic<int> calls{0};
+  pool.parallel_for(0, [&](std::size_t) { calls.fetch_add(1); });
+  EXPECT_EQ(calls.load(), 0);
+}
+
+TEST(ThreadPool, ParallelForSingleItemRunsOnCaller) {
+  ThreadPool pool(4);
+  std::thread::id runner;
+  pool.parallel_for(1, [&](std::size_t i) {
+    EXPECT_EQ(i, 0u);
+    runner = std::this_thread::get_id();
+  });
+  // With one item there are no helper lanes; the caller is the only one.
+  EXPECT_EQ(runner, std::this_thread::get_id());
+}
+
+TEST(ThreadPool, ZeroWorkerPoolRunsSubmitInline) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.size(), 0u);
+  std::thread::id runner;
+  pool.submit([&] { runner = std::this_thread::get_id(); });
+  // No workers: the task already ran, on this thread.
+  EXPECT_EQ(runner, std::this_thread::get_id());
+}
+
+TEST(ThreadPool, ZeroWorkerParallelForIsSequential) {
+  ThreadPool pool(0);
+  std::vector<std::size_t> order;
+  pool.parallel_for(8, [&](std::size_t i) { order.push_back(i); });
+  ASSERT_EQ(order.size(), 8u);
+  for (std::size_t i = 0; i < 8; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(ThreadPool, ParallelForCoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  constexpr std::size_t kN = 1000;
+  std::vector<std::atomic<int>> counts(kN);
+  pool.parallel_for(kN, [&](std::size_t i) { counts[i].fetch_add(1); });
+  for (std::size_t i = 0; i < kN; ++i) EXPECT_EQ(counts[i].load(), 1) << i;
+}
+
+TEST(ThreadPool, ParallelForRethrowsTaskException) {
+  ThreadPool pool(4);
+  constexpr std::size_t kN = 64;
+  std::atomic<int> completed{0};
+  EXPECT_THROW(
+      pool.parallel_for(kN,
+                        [&](std::size_t i) {
+                          if (i == 17) throw std::runtime_error("item 17");
+                          completed.fetch_add(1);
+                        }),
+      std::runtime_error);
+  // The failure does not abandon the rest of the work set: every other
+  // item still ran before the rethrow.
+  EXPECT_EQ(completed.load(), static_cast<int>(kN) - 1);
+}
+
+TEST(ThreadPool, ParallelForKeepsFirstExceptionWhenAllThrow) {
+  ThreadPool pool(2);
+  try {
+    pool.parallel_for(16, [&](std::size_t i) {
+      throw std::runtime_error("item " + std::to_string(i));
+    });
+    FAIL() << "parallel_for swallowed the exceptions";
+  } catch (const std::runtime_error& e) {
+    EXPECT_EQ(std::string(e.what()).rfind("item ", 0), 0u);
+  }
+}
+
+TEST(ThreadPool, ExceptionInZeroWorkerParallelForPropagatesInline) {
+  ThreadPool pool(0);
+  EXPECT_THROW(
+      pool.parallel_for(3, [](std::size_t) { throw Error("inline failure"); }),
+      Error);
+}
+
+TEST(ThreadPool, ReentrantSubmitFromInsideATask) {
+  ThreadPool pool(2);
+  std::latch both_ran(2);
+  std::atomic<int> inner_ran{0};
+  pool.submit([&] {
+    pool.submit([&] {
+      inner_ran.fetch_add(1);
+      both_ran.count_down();
+    });
+    both_ran.count_down();
+  });
+  both_ran.wait();
+  EXPECT_EQ(inner_ran.load(), 1);
+}
+
+TEST(ThreadPool, DestructorDrainsQueuedTasks) {
+  // Queue work behind a blocked worker, then destroy the pool: workers exit
+  // only once stop_ is set AND the queue is empty, so everything queued
+  // before destruction still runs.
+  std::atomic<int> ran{0};
+  std::latch gate(1);
+  {
+    ThreadPool pool(1);
+    pool.submit([&] { gate.wait(); });
+    for (int i = 0; i < 50; ++i) pool.submit([&] { ran.fetch_add(1); });
+    gate.count_down();
+  }
+  EXPECT_EQ(ran.load(), 50);
+}
+
+TEST(ThreadPool, ReentrantSubmitChainDrainsOnDestruction) {
+  // Each task enqueues the next; the chain keeps extending the queue while
+  // the destructor is already draining it. Raw new/delete on purpose:
+  // unique_ptr::reset() nulls the pointer before destroying, and the chain
+  // must still reach the pool mid-destruction.
+  std::atomic<int> depth{0};
+  constexpr int kDepth = 100;
+  auto* pool = new ThreadPool(1);
+  std::function<void()> step = [&] {
+    if (depth.fetch_add(1) + 1 < kDepth) pool->submit(step);
+  };
+  pool->submit(step);
+  delete pool;
+  EXPECT_EQ(depth.load(), kDepth);
+}
+
+TEST(ThreadPool, NullTaskIsRejected) {
+  ThreadPool pool(1);
+  EXPECT_THROW(pool.submit(std::function<void()>()), PreconditionError);
+}
+
+}  // namespace
+}  // namespace worm::common

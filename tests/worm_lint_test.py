@@ -1,0 +1,90 @@
+#!/usr/bin/env python3
+"""Tests for tools/worm_lint.py.
+
+Asserts (a) the real tree lints clean, (b) every known-bad fixture in
+tests/lint_fixtures/ is flagged with the expected rule, (c) the good fixture
+— which deliberately skirts each rule's edge — produces zero findings, and
+(d) seeding a fixture violation into src/ makes the tree lint fail.
+
+Run directly or via ctest (registered as WormLint.Suite).
+"""
+
+import shutil
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+LINT = REPO / "tools" / "worm_lint.py"
+FIXTURES = REPO / "tests" / "lint_fixtures"
+
+EXPECTED_RULE = {
+    "bad_scpu_bypass.cpp": "scpu-isolation",
+    "bad_wall_clock.cpp": "wall-clock",
+    "bad_dropped_verify.cpp": "dropped-result",
+    "bad_raw_mutex.cpp": "raw-mutex",
+}
+
+failures = []
+
+
+def check(name, cond, detail=""):
+    status = "ok" if cond else "FAIL"
+    print(f"[{status}] {name}" + (f" — {detail}" if detail and not cond else ""))
+    if not cond:
+        failures.append(name)
+
+
+def run_lint(*args):
+    return subprocess.run(
+        [sys.executable, str(LINT), *args], capture_output=True, text=True)
+
+
+def main():
+    # (a) the real tree is clean.
+    r = run_lint("--repo", str(REPO))
+    check("tree-clean", r.returncode == 0, f"rc={r.returncode}\n{r.stdout}")
+
+    # (b) each bad fixture is flagged, with the rule it was written to trip.
+    for fixture, rule in EXPECTED_RULE.items():
+        path = FIXTURES / fixture
+        r = run_lint("--as-src", str(path))
+        check(f"{fixture}:flagged", r.returncode == 1,
+              f"rc={r.returncode}\n{r.stdout}{r.stderr}")
+        check(f"{fixture}:rule", f"[{rule}]" in r.stdout,
+              f"expected [{rule}] in:\n{r.stdout}")
+
+    # (c) the near-miss fixture is clean: no false positives on comments,
+    # strings, continuations, (void) discards or the annotated wrappers.
+    r = run_lint("--as-src", str(FIXTURES / "good_patterns.cpp"))
+    check("good_patterns:clean", r.returncode == 0,
+          f"rc={r.returncode}\n{r.stdout}")
+
+    # (d) seeding a violation into src/ fails the tree scan: copy the repo's
+    # src/ + the headers the meta-check reads into a scratch repo, drop a bad
+    # fixture in, and lint it.
+    with tempfile.TemporaryDirectory() as tmp:
+        scratch = Path(tmp) / "repo"
+        shutil.copytree(REPO / "src", scratch / "src")
+        (scratch / "tools").mkdir()
+        shutil.copy(LINT, scratch / "tools" / "worm_lint.py")
+        r = run_lint("--repo", str(scratch))
+        check("scratch-clean", r.returncode == 0,
+              f"rc={r.returncode}\n{r.stdout}")
+        shutil.copy(FIXTURES / "bad_wall_clock.cpp",
+                    scratch / "src" / "worm" / "bad_wall_clock.cpp")
+        r = run_lint("--repo", str(scratch))
+        check("seeded-violation-fails",
+              r.returncode == 1 and "[wall-clock]" in r.stdout,
+              f"rc={r.returncode}\n{r.stdout}")
+
+    if failures:
+        print(f"\n{len(failures)} check(s) failed: {', '.join(failures)}")
+        return 1
+    print("\nall checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

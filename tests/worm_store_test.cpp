@@ -522,7 +522,7 @@ TEST(WormStore, WriteBatchChunksAtMaxBatch) {
   Rig rig({}, sc);
   std::vector<WriteRequest> requests(
       10, {.payloads = {to_bytes("x")}, .attr = rig.attr(Duration::days(1))});
-  rig.store.write_batch(requests);
+  (void)rig.store.write_batch(requests);  // only the crossing count matters
   // ceil(10 / 4) = 3 kWriteBatch crossings.
   EXPECT_EQ(rig.store.counters().at("mailbox_batches"), 3u);
 }
@@ -562,9 +562,9 @@ TEST(WormStore, WritePathsNeverTouchFirmwareDirectly) {
   EXPECT_EQ(rig.store.counters().at("mailbox_commands"), base + 2);
   // Reads are host-only (§4.2.2): no crossings at all.
   auto before_reads = rig.store.counters().at("mailbox_commands");
-  rig.store.read(1);
-  rig.store.read(2);
-  rig.store.read(99);  // not allocated — answered from the heartbeat mirror
+  (void)rig.store.read(1);
+  (void)rig.store.read(2);
+  (void)rig.store.read(99);  // not allocated — answered from the heartbeat mirror
   EXPECT_EQ(rig.store.counters().at("mailbox_commands"), before_reads);
 }
 

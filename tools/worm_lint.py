@@ -1,0 +1,324 @@
+#!/usr/bin/env python3
+"""worm-lint: WORM-invariant lint for the strongworm tree.
+
+The compiler-enforced discipline (clang thread-safety analysis, [[nodiscard]])
+catches lock and dropped-result bugs *inside* one translation unit. This lint
+enforces the architectural invariants that no single-TU analysis can see:
+
+  scpu-isolation      The SCPU is the trust anchor; every host interaction
+                      must cross the serialized mailbox/channel pipeline.
+                      Nothing outside the allowlisted wrappers may include or
+                      name the SCPU internals (scpu_device.hpp, key_cache.hpp).
+                      scpu/cost_model.hpp is a public parameter block and is
+                      exempt.
+
+  wall-clock          All time comes from the discrete-event SimClock so runs
+                      are deterministic and the paper's latency model is the
+                      only clock. std::chrono / time() / clock_gettime & co.
+                      are banned in src/ outside the clock's own
+                      implementation. (bench/ and tests/ live outside src/
+                      and may time real execution.)
+
+  dropped-result      Calling a fallible crypto/verify/write API as a bare
+                      statement discards the verdict or the only handle to
+                      the data. The compiler enforces this per-TU via
+                      [[nodiscard]]; the lint (a) catches bare-statement
+                      calls lexically so the rule holds even for code paths
+                      compiled without -Werror, and (b) meta-checks that the
+                      listed APIs still carry [[nodiscard]] in their headers
+                      so the compiler gate cannot silently rot.
+
+  raw-mutex           Bare std::mutex / std::shared_mutex / lock guards are
+                      invisible to thread-safety analysis. src/ must use the
+                      annotated wrappers from common/annotations.hpp (which
+                      is itself the one allowed definition site).
+                      std::condition_variable_any and std::once_flag /
+                      std::call_once are allowed: they compose with the
+                      annotated wrappers.
+
+Usage:
+  worm_lint.py [--repo DIR] [--compile-commands FILE] [--as-src FILE...]
+
+Default mode scans DIR/src (headers and sources). When a
+compile_commands.json is present (DIR/build/compile_commands.json, or the
+path given with --compile-commands) the lint cross-checks it: every src/
+translation unit the build knows about must be covered by the scan, so a
+source added to the build but hidden from the lint is itself a finding.
+
+--as-src treats the given files as if they lived under src/ (fixture mode:
+tests/lint_fixtures/ feeds known-bad snippets through the same rules). The
+[[nodiscard]] meta-check is skipped in fixture mode since it inspects the
+real headers, not the fixture.
+
+Exit status: 0 when clean, 1 when any finding is reported, 2 on usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import re
+import sys
+from pathlib import Path
+
+# --- rule configuration ------------------------------------------------------
+
+SCPU_INTERNAL_HEADERS = ("scpu/scpu_device.hpp", "scpu/key_cache.hpp")
+SCPU_INTERNAL_SYMBOLS = ("ScpuDevice", "KeyCache")
+# Files allowed to touch SCPU internals:
+#   src/scpu/**            the SCPU implementation itself
+#   src/worm/firmware.*    the firmware wrapper that *is* the SCPU side of
+#                          the mailbox boundary
+#   src/baseline/**        the non-WORM Merkle baseline deliberately talks to
+#                          the coprocessor directly; it exists to measure what
+#                          the mailbox discipline costs (documented exception)
+SCPU_ALLOWLIST = re.compile(r"^src/(scpu/|worm/firmware\.|baseline/)")
+
+WALL_CLOCK_PATTERN = re.compile(
+    r"std::chrono\b|[^\w.]gettimeofday\s*\(|[^\w.]clock_gettime\s*\(|"
+    r"[^\w.]time\s*\(\s*(?:NULL|nullptr|0)?\s*\)|[^\w.]localtime\s*\(|"
+    r"[^\w.]gmtime\s*\(|steady_clock\b|system_clock\b|high_resolution_clock\b"
+)
+# The clock itself, and the Duration/SimTime value types it hands out.
+WALL_CLOCK_ALLOWLIST = re.compile(r"^src/common/(sim_clock\.(hpp|cpp)|time\.hpp)$")
+
+# Fallible APIs whose result must never be dropped. Each entry is
+# (method name, header that must declare it [[nodiscard]]). The name list
+# feeds the bare-statement scan; the header list feeds the meta-check.
+FALLIBLE_APIS = [
+    ("rsa_verify", "src/crypto/rsa.hpp"),
+    ("verify_read", "src/worm/client_verifier.hpp"),
+    ("verify_deletion_proof", "src/worm/client_verifier.hpp"),
+    ("verify_sigbox", "src/worm/client_verifier.hpp"),
+    ("write_batch", "src/worm/worm_store.hpp"),
+    ("read_many", "src/worm/worm_store.hpp"),
+]
+
+# A bare statement that begins with an (optionally qualified) call to one of
+# the fallible APIs: `rsa_verify(...)`, `store.write_batch(...)`,
+# `verifier->verify_read(...)`. Assignments, returns, conditions and explicit
+# `(void)` discards all fail this match because the line starts differently;
+# continuation lines (`bool ok =` on the previous line) are excluded by the
+# statement-boundary check in lint_file.
+_FALLIBLE_NAMES = "|".join(name for name, _ in FALLIBLE_APIS)
+DROPPED_CALL_PATTERN = re.compile(
+    r"^\s*(?:[A-Za-z_]\w*(?:\[\w+\])?\s*(?:\.|->|::)\s*)*(?:%s)\s*\("
+    % _FALLIBLE_NAMES
+)
+# Characters that can precede the start of a statement. `)` admits the
+# brace-less `if (cond)\n  rsa_verify(...);` body, which is still a drop.
+_STATEMENT_BOUNDARY = ";{}):"
+
+RAW_MUTEX_PATTERN = re.compile(
+    r"std::(?:mutex|shared_mutex|recursive_mutex|timed_mutex|"
+    r"shared_timed_mutex|condition_variable|lock_guard|unique_lock|"
+    r"shared_lock|scoped_lock)\b"
+)
+RAW_MUTEX_ALLOWLIST = re.compile(r"^src/common/annotations\.hpp$")
+
+
+class Finding:
+    def __init__(self, rule: str, path: str, line: int, message: str):
+        self.rule = rule
+        self.path = path
+        self.line = line
+        self.message = message
+
+    def __str__(self) -> str:
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+def strip_comments_and_strings(text: str) -> str:
+    """Blanks comments and string/char literals, preserving line structure.
+
+    Rules must not fire on prose ('std::mutex' in a design comment) or on
+    log strings. Newlines inside block comments are kept so reported line
+    numbers stay true.
+    """
+    out = []
+    i, n = 0, len(text)
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if c == "/" and nxt == "/":
+            while i < n and text[i] != "\n":
+                i += 1
+        elif c == "/" and nxt == "*":
+            i += 2
+            while i + 1 < n and not (text[i] == "*" and text[i + 1] == "/"):
+                if text[i] == "\n":
+                    out.append("\n")
+                i += 1
+            i += 2
+        elif c in "\"'":
+            quote = c
+            i += 1
+            while i < n and text[i] != quote:
+                i += 2 if text[i] == "\\" else 1
+            i += 1
+            out.append('""' if quote == '"' else "' '")
+        else:
+            out.append(c)
+            i += 1
+    return "".join(out)
+
+
+def _starts_statement(lines: list[str], lineno: int) -> bool:
+    """True when 1-based line `lineno` begins a new statement.
+
+    Scans back for the previous non-blank code character; a line whose
+    predecessor ends mid-expression (`=`, `&&`, `(`, ...) is a continuation,
+    not a bare-statement call.
+    """
+    for prev in range(lineno - 2, -1, -1):
+        stripped = lines[prev].rstrip()
+        if stripped:
+            return stripped[-1] in _STATEMENT_BOUNDARY
+    return True  # first code line of the file
+
+
+def lint_file(rel: str, text: str) -> list[Finding]:
+    findings: list[Finding] = []
+    code = strip_comments_and_strings(text)
+    lines = code.split("\n")
+
+    scpu_exempt = bool(SCPU_ALLOWLIST.match(rel))
+    clock_exempt = bool(WALL_CLOCK_ALLOWLIST.match(rel))
+    mutex_exempt = bool(RAW_MUTEX_ALLOWLIST.match(rel))
+
+    for lineno, line in enumerate(lines, start=1):
+        if not scpu_exempt:
+            for header in SCPU_INTERNAL_HEADERS:
+                if re.search(r'#\s*include\s*[<"]%s[>"]' % re.escape(header), line):
+                    findings.append(Finding(
+                        "scpu-isolation", rel, lineno,
+                        f"includes SCPU internal header {header}; host code "
+                        "must go through the mailbox/channel pipeline"))
+            for sym in SCPU_INTERNAL_SYMBOLS:
+                if re.search(r"\b%s\b" % sym, line):
+                    findings.append(Finding(
+                        "scpu-isolation", rel, lineno,
+                        f"names SCPU internal type {sym}; host code must go "
+                        "through the mailbox/channel pipeline"))
+
+        if not clock_exempt and WALL_CLOCK_PATTERN.search(line):
+            findings.append(Finding(
+                "wall-clock", rel, lineno,
+                "wall-clock/chrono use outside SimClock; all src/ time must "
+                "flow through the simulated clock"))
+
+        if DROPPED_CALL_PATTERN.match(line) and _starts_statement(lines, lineno):
+            findings.append(Finding(
+                "dropped-result", rel, lineno,
+                "result of a fallible crypto/verify/write API is discarded; "
+                "consume it or cast to (void) with a justification"))
+
+        if not mutex_exempt and RAW_MUTEX_PATTERN.search(line):
+            findings.append(Finding(
+                "raw-mutex", rel, lineno,
+                "raw std synchronization primitive; use the annotated "
+                "wrappers from common/annotations.hpp so thread-safety "
+                "analysis can see the lock"))
+
+    return findings
+
+
+def check_nodiscard_declarations(repo: Path) -> list[Finding]:
+    """Meta-check: the fallible APIs must still be declared [[nodiscard]]."""
+    findings: list[Finding] = []
+    for name, header in FALLIBLE_APIS:
+        path = repo / header
+        if not path.is_file():
+            findings.append(Finding(
+                "dropped-result", header, 0,
+                f"expected header declaring {name}() is missing"))
+            continue
+        code = strip_comments_and_strings(path.read_text())
+        lines = code.split("\n")
+        decl_re = re.compile(r"[\w>&:\]]\s+%s\s*\(" % re.escape(name))
+        declared_at = [i for i, l in enumerate(lines) if decl_re.search(l)]
+        if not declared_at:
+            findings.append(Finding(
+                "dropped-result", header, 0,
+                f"could not find declaration of {name}(); update worm_lint's "
+                "FALLIBLE_APIS map"))
+            continue
+        for i in declared_at:
+            window = "\n".join(lines[max(0, i - 2): i + 1])
+            if "[[nodiscard]]" not in window:
+                findings.append(Finding(
+                    "dropped-result", header, i + 1,
+                    f"{name}() is fallible but not declared [[nodiscard]]"))
+    return findings
+
+
+def discover_sources(repo: Path, compile_commands: Path | None) -> tuple[list[Path], list[Finding]]:
+    findings: list[Finding] = []
+    src = repo / "src"
+    files = sorted(p for p in src.rglob("*")
+                   if p.suffix in (".hpp", ".cpp", ".h", ".cc")
+                   and "CMakeFiles" not in p.parts)
+
+    cc = compile_commands
+    if cc is None:
+        candidate = repo / "build" / "compile_commands.json"
+        if candidate.is_file():
+            cc = candidate
+    if cc is not None and cc.is_file():
+        scanned = {p.resolve() for p in files}
+        try:
+            for entry in json.loads(cc.read_text()):
+                tu = Path(entry["file"])
+                if not tu.is_absolute():
+                    tu = Path(entry["directory"]) / tu
+                tu = tu.resolve()
+                if repo.resolve() / "src" in tu.parents and tu not in scanned:
+                    findings.append(Finding(
+                        "coverage", str(tu), 0,
+                        "translation unit is in compile_commands.json but "
+                        "not covered by the lint scan"))
+        except (json.JSONDecodeError, KeyError) as e:
+            findings.append(Finding(
+                "coverage", str(cc), 0, f"unreadable compile_commands.json: {e}"))
+    return files, findings
+
+
+def main(argv: list[str]) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.split("\n", 1)[0])
+    ap.add_argument("--repo", type=Path, default=Path(__file__).resolve().parent.parent)
+    ap.add_argument("--compile-commands", type=Path, default=None)
+    ap.add_argument("--as-src", nargs="+", type=Path, default=None,
+                    help="lint these files as if they lived under src/ "
+                         "(fixture mode; skips the [[nodiscard]] meta-check)")
+    args = ap.parse_args(argv)
+
+    findings: list[Finding] = []
+    if args.as_src:
+        for path in args.as_src:
+            if not path.is_file():
+                print(f"worm-lint: no such file: {path}", file=sys.stderr)
+                return 2
+            findings.extend(lint_file(f"src/{path.name}", path.read_text()))
+    else:
+        repo = args.repo
+        if not (repo / "src").is_dir():
+            print(f"worm-lint: {repo} has no src/ directory", file=sys.stderr)
+            return 2
+        files, cov = discover_sources(repo, args.compile_commands)
+        findings.extend(cov)
+        for path in files:
+            rel = path.relative_to(repo).as_posix()
+            findings.extend(lint_file(rel, path.read_text()))
+        findings.extend(check_nodiscard_declarations(repo))
+
+    for f in findings:
+        print(f)
+    if findings:
+        print(f"worm-lint: {len(findings)} finding(s)", file=sys.stderr)
+        return 1
+    print("worm-lint: clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
