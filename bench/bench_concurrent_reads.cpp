@@ -52,7 +52,7 @@ SweepResult run_sweep(bench::BenchRig& rig, const core::ClientVerifier& ver,
       for (std::size_t i = 0; i < ops; ++i) {
         core::Sn sn = sns[(t * ops + i) % sns.size()];
         auto w0 = std::chrono::steady_clock::now();
-        core::ReadResult res = rig.store.read(sn);
+        core::ReadOutcome res = rig.store.read(sn);
         core::Outcome out = ver.verify_read(sn, res);
         auto w1 = std::chrono::steady_clock::now();
         if (out.verdict != core::Verdict::kAuthentic) {

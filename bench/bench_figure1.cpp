@@ -86,7 +86,7 @@ int main() {
     std::printf("%14s %14.0f rec/s  (%llu crossings)\n", "per-record",
                 unbatched.records_per_sec,
                 static_cast<unsigned long long>(
-                    base.store.counters().at("mailbox_commands")));
+                    base.store.counters().at("mailbox.crossings")));
     for (std::size_t batch : {2u, 4u, 8u, 16u, 32u, 64u}) {
       bench::BenchRig rig(bench::bench_fw_config(), sc);
       auto t = bench::measure_batched_writes(rig, kSize, kN,
@@ -94,7 +94,7 @@ int main() {
       std::printf("%9s %-4zu %14.0f rec/s  (%llu crossings, speedup %.2fx)\n",
                   "batch", batch, t.records_per_sec,
                   static_cast<unsigned long long>(
-                      rig.store.counters().at("mailbox_commands")),
+                      rig.store.counters().at("mailbox.crossings")),
                   t.records_per_sec / unbatched.records_per_sec);
     }
   }

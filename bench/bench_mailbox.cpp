@@ -58,9 +58,9 @@ int main() {
     auto counters = rig.store.counters();
     std::printf("%10zu %10.0f rec/s %12llu %14llu\n", batch,
                 t.records_per_sec,
-                static_cast<unsigned long long>(counters.at("mailbox_commands")),
+                static_cast<unsigned long long>(counters.at("mailbox.crossings")),
                 static_cast<unsigned long long>(
-                    counters.at("mailbox_bytes_crossed")));
+                    counters.at("mailbox.bytes_crossed")));
   }
 
   bench::print_header("Counter dump — batched burst followed by idle pumping",

@@ -67,7 +67,7 @@ int main() {
               "(%.0f records/s, deferred 512-bit witnesses, "
               "%llu mailbox crossings)\n",
               kMessages, burst_sec, kMessages / burst_sec,
-              static_cast<unsigned long long>(counters.at("mailbox_commands")));
+              static_cast<unsigned long long>(counters.at("mailbox.crossings")));
   std::printf("strengthening backlog: %zu records\n",
               firmware.deferred_count());
 

@@ -56,10 +56,10 @@ int main() {
               static_cast<unsigned long long>(sn));
 
   // --- verified read --------------------------------------------------------
-  core::ReadResult res = store.read(sn);
+  core::ReadOutcome res = store.read(sn);
   core::Outcome out = client.verify_read(sn, res);
   std::printf("read + client verification: %s\n", core::to_string(out.verdict));
-  if (auto* ok = std::get_if<core::ReadOk>(&res)) {
+  if (auto* ok = res.get_if<core::ReadOk>()) {
     std::printf("  payload: \"%s\"\n",
                 common::to_string(ok->payloads[0]).c_str());
     std::printf("  metasig: %s RSA, %zu bytes\n",
@@ -81,7 +81,7 @@ int main() {
   std::printf("read after retention: %s (%s)\n", core::to_string(out.verdict),
               out.detail.c_str());
   std::printf("records shredded by retention monitor: %llu\n",
-              static_cast<unsigned long long>(store.counters().at("expirations")));
+              static_cast<unsigned long long>(store.counters().at("store.expirations")));
 
   std::printf("\nSCPU lifetime busy time: %.1f ms of %.0f hours simulated\n",
               device.busy_time().to_seconds_f() * 1e3,

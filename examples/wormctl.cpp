@@ -144,11 +144,11 @@ int main(int argc, char** argv) {
                   static_cast<unsigned long long>(sn), argv[3]);
     } else if (cmd == "get" && argc == 4) {
       core::Sn sn = static_cast<core::Sn>(std::atoll(argv[3]));
-      core::ReadResult res = d.store->read(sn);
+      core::ReadOutcome res = d.store->read(sn);
       core::Outcome out = verifier.verify_read(sn, res);
       std::printf("SN %llu: %s %s\n", static_cast<unsigned long long>(sn),
                   core::to_string(out.verdict), out.detail.c_str());
-      if (auto* ok = std::get_if<core::ReadOk>(&res)) {
+      if (auto* ok = res.get_if<core::ReadOk>()) {
         std::printf("  %s\n", common::to_string(ok->payloads.at(0)).c_str());
       }
     } else if (cmd == "status") {

@@ -70,7 +70,7 @@ bool replay_foreign_deletion(core::WormStore& store, Sn victim, Sn donor) {
   return true;
 }
 
-ReadResult stale_not_allocated_answer(SignedSnCurrent captured) {
+ReadOutcome stale_not_allocated_answer(SignedSnCurrent captured) {
   return core::ReadNotAllocated{std::move(captured)};
 }
 

@@ -19,7 +19,7 @@ namespace worm::adversary {
 
 using core::DeletedWindow;
 using core::DeletionProof;
-using core::ReadResult;
+using core::ReadOutcome;
 using core::SignedSnCurrent;
 using core::Sn;
 
@@ -50,7 +50,7 @@ bool replay_foreign_deletion(core::WormStore& store, Sn victim, Sn donor);
 
 /// Builds the "this SN was never allocated" answer using a captured stale
 /// heartbeat — the §4.2.1 replay attack against recently-added records.
-ReadResult stale_not_allocated_answer(SignedSnCurrent captured);
+ReadOutcome stale_not_allocated_answer(SignedSnCurrent captured);
 
 /// Splices the lower bound of one certified window with the upper bound of
 /// another, fabricating a bigger "deleted" range (§4.2.1's correlation

@@ -27,6 +27,22 @@ class StorageError : public Error {
   using Error::Error;
 };
 
+/// Transient storage-substrate failure: the same operation, retried, may
+/// succeed (bus glitch, torn write, injected fault). Callers with a retry
+/// budget should spend it before surfacing this as unavailability.
+class TransientStorageError : public StorageError {
+ public:
+  using StorageError::StorageError;
+};
+
+/// The store has degraded to read-only verified mode (the SCPU zeroized).
+/// Reads with existing proofs are still served; every mutation is rejected
+/// with this explicit outcome.
+class ReadOnlyStoreError : public Error {
+ public:
+  using Error::Error;
+};
+
 /// Secure-coprocessor failure: tamper response triggered, secure memory
 /// exhausted, command rejected by certified logic.
 class ScpuError : public Error {

@@ -3,6 +3,7 @@
 #include <fcntl.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstring>
 
@@ -12,7 +13,21 @@ namespace worm::storage {
 
 using common::Bytes;
 using common::ByteView;
+using common::FaultKind;
 using common::StorageError;
+using common::TransientStorageError;
+
+namespace {
+
+// Inverts one injector-chosen bit of `buf` (bit flips need a deterministic
+// target so failing schedules replay exactly).
+void flip_one_bit(common::FaultInjector& fault, Bytes& buf) {
+  if (buf.empty()) return;
+  std::uint64_t bit = fault.shape(buf.size() * 8);
+  buf[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
+}
+
+}  // namespace
 
 MemBlockDevice::MemBlockDevice(std::size_t block_size, std::size_t block_count,
                                common::SimClock* clock, LatencyModel latency)
@@ -41,18 +56,47 @@ void MemBlockDevice::read_block(std::size_t index, Bytes& out) {
   }
   note_read(block_size_);
   charge(block_size_);
+  switch (WORM_FAULT_POINT(fault_, "device.read")) {
+    case FaultKind::kTransient:
+      throw TransientStorageError("MemBlockDevice: injected transient read "
+                                  "fault at device.read");
+    case FaultKind::kBitFlip:
+      // Bus glitch: the in-flight copy is damaged, the stored block is not.
+      flip_one_bit(*fault_, out);
+      break;
+    default:
+      break;
+  }
 }
 
 void MemBlockDevice::write_block(std::size_t index, ByteView data) {
   WORM_REQUIRE(data.size() == block_size_,
                "MemBlockDevice: write size != block size");
+  FaultKind fault = WORM_FAULT_POINT(fault_, "device.write");
+  if (fault == FaultKind::kTransient) {
+    throw TransientStorageError("MemBlockDevice: injected transient write "
+                                "fault at device.write");
+  }
   {
     common::SharedLock lk(mu_);
     check_index(index);
-    blocks_[index].assign(data.begin(), data.end());
+    if (fault == FaultKind::kTorn) {
+      // Power-loss mid-write: only a prefix reaches the medium.
+      std::size_t torn = data.size() / 2;
+      std::copy(data.begin(),
+                data.begin() + static_cast<std::ptrdiff_t>(torn),
+                blocks_[index].begin());
+    } else {
+      blocks_[index].assign(data.begin(), data.end());
+      if (fault == FaultKind::kBitFlip) flip_one_bit(*fault_, blocks_[index]);
+    }
   }
   note_write(block_size_);
   charge(block_size_);
+  if (fault == FaultKind::kTorn) {
+    throw TransientStorageError(
+        "MemBlockDevice: injected torn write at device.write");
+  }
 }
 
 void MemBlockDevice::grow(std::size_t additional_blocks) {

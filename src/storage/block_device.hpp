@@ -13,6 +13,7 @@
 
 #include "common/annotations.hpp"
 #include "common/bytes.hpp"
+#include "common/fault.hpp"
 #include "common/sim_clock.hpp"
 
 namespace worm::storage {
@@ -130,6 +131,15 @@ class MemBlockDevice final : public BlockDevice {
   /// platter access would (hence the analysis opt-out).
   common::Bytes& raw_block(std::size_t index) NO_THREAD_SAFETY_ANALYSIS;
 
+  /// Attaches a fault injector. Fault points: "device.read" (kTransient
+  /// throws TransientStorageError; kBitFlip inverts one bit of the returned
+  /// copy — a bus glitch, the stored block stays intact) and "device.write"
+  /// (kTransient fails before any byte lands; kTorn persists only a prefix
+  /// then fails; kBitFlip corrupts the stored copy — medium damage the
+  /// datasig catches at the client). Call before concurrent use; the pointer
+  /// itself is not synchronized.
+  void set_fault_injector(common::FaultInjector* fault) { fault_ = fault; }
+
  private:
   void check_index(std::size_t index) const REQUIRES_SHARED(mu_);
   void charge(std::size_t bytes);
@@ -140,6 +150,7 @@ class MemBlockDevice final : public BlockDevice {
   std::vector<common::Bytes> blocks_ GUARDED_BY(mu_);
   common::SimClock* clock_;
   LatencyModel latency_;
+  common::FaultInjector* fault_ = nullptr;
 };
 
 /// File-backed device (one flat file, block i at offset i*block_size).

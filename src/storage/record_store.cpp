@@ -28,6 +28,7 @@ const char* to_string(ShredPolicy p) {
 void RecordDescriptor::serialize(common::ByteWriter& w) const {
   w.u64(record_id);
   w.u64(size);
+  w.u32(checksum);
   w.u32(static_cast<std::uint32_t>(blocks.size()));
   for (std::uint64_t b : blocks) w.u64(b);
 }
@@ -36,6 +37,7 @@ RecordDescriptor RecordDescriptor::deserialize(common::ByteReader& r) {
   RecordDescriptor rd;
   rd.record_id = r.u64();
   rd.size = r.u64();
+  rd.checksum = r.u32();
   std::uint32_t n = r.count(8);
   rd.blocks.reserve(n);
   for (std::uint32_t i = 0; i < n; ++i) rd.blocks.push_back(r.u64());
@@ -57,11 +59,17 @@ std::uint64_t RecordStore::allocate_block() {
 }
 
 RecordDescriptor RecordStore::write(ByteView data) {
+  if (WORM_FAULT_POINT(fault_, "records.write") ==
+      common::FaultKind::kTransient) {
+    throw common::TransientStorageError(
+        "RecordStore: injected transient fault at records.write");
+  }
   common::MutexLock lk(alloc_mu_);
   const std::size_t bs = device_.block_size();
   RecordDescriptor rd;
   rd.record_id = next_id_++;
   rd.size = data.size();
+  rd.checksum = common::fnv1a32(data);
   std::size_t nblocks = (data.size() + bs - 1) / bs;
   if (nblocks == 0) nblocks = 1;  // empty records still own one block
   Bytes block(bs, 0);
@@ -81,7 +89,12 @@ RecordDescriptor RecordStore::write(ByteView data) {
   return rd;
 }
 
-Bytes RecordStore::read(const RecordDescriptor& rd) {
+Bytes RecordStore::read_once(const RecordDescriptor& rd) {
+  if (WORM_FAULT_POINT(fault_, "records.read") ==
+      common::FaultKind::kTransient) {
+    throw common::TransientStorageError(
+        "RecordStore: injected transient fault at records.read");
+  }
   const std::size_t bs = device_.block_size();
   WORM_REQUIRE(rd.blocks.size() * bs >= rd.size,
                "RecordStore::read: descriptor size/blocks mismatch");
@@ -95,6 +108,25 @@ Bytes RecordStore::read(const RecordDescriptor& rd) {
                block.begin() + static_cast<std::ptrdiff_t>(take));
   }
   return out;
+}
+
+Bytes RecordStore::read(const RecordDescriptor& rd) {
+  constexpr int kAttempts = 3;
+  for (int attempt = 1;; ++attempt) {
+    try {
+      Bytes out = read_once(rd);
+      if (rd.checksum == 0 || common::fnv1a32(out) == rd.checksum ||
+          attempt >= kAttempts) {
+        // A mismatch that survives the retries is medium damage, not a
+        // glitch: serve the bytes — platter tampering must reach the client
+        // so the datasig can convict it.
+        return out;
+      }
+    } catch (const common::TransientStorageError&) {
+      if (attempt >= kAttempts) throw;
+    }
+    read_retries_.fetch_add(1, std::memory_order_relaxed);
+  }
 }
 
 common::Bytes RecordStore::save_state() const {

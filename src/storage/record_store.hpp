@@ -4,12 +4,14 @@
 // identified by record descriptors (RDs) that the VRD's RDL points at.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <set>
 #include <vector>
 
 #include "common/annotations.hpp"
 #include "common/bytes.hpp"
+#include "common/fault.hpp"
 #include "common/serial.hpp"
 #include "crypto/drbg.hpp"
 #include "storage/block_device.hpp"
@@ -34,6 +36,11 @@ struct RecordDescriptor {
   std::uint64_t record_id = 0;
   std::uint64_t size = 0;            // payload bytes
   std::vector<std::uint64_t> blocks; // device block indices, in order
+  // FNV-1a of the payload, set at write time. Purely a *fault* detector:
+  // it distinguishes a transient read glitch (retry) from persistent medium
+  // damage (serve the bytes anyway — the datasig is what convicts
+  // tampering at the client). 0 == no checksum (legacy descriptor).
+  std::uint32_t checksum = 0;
 
   void serialize(common::ByteWriter& w) const;
   static RecordDescriptor deserialize(common::ByteReader& r);
@@ -59,7 +66,11 @@ class RecordStore {
   [[nodiscard]] RecordDescriptor write(common::ByteView data);
 
   /// Reads a record's payload back. Throws StorageError on a descriptor that
-  /// points outside the device.
+  /// points outside the device. Transient device faults and checksum
+  /// mismatches are retried a few times; a mismatch that persists is served
+  /// as-is (medium damage is the client verifier's to convict), while a
+  /// transient fault that outlives the retry budget propagates as
+  /// TransientStorageError.
   [[nodiscard]] common::Bytes read(const RecordDescriptor& rd);
 
   /// Destroys the record's blocks per policy and recycles them.
@@ -83,8 +94,20 @@ class RecordStore {
 
   [[nodiscard]] BlockDevice& device() { return device_; }
 
+  /// Attaches a fault injector. Fault points: "records.write" and
+  /// "records.read" (kTransient throws TransientStorageError before the
+  /// device is touched). Call before concurrent use.
+  void set_fault_injector(common::FaultInjector* fault) { fault_ = fault; }
+
+  /// Reads that needed a second (or third) attempt — transient device
+  /// faults or checksum mismatches absorbed by the retry budget.
+  [[nodiscard]] std::uint64_t read_retries() const {
+    return read_retries_.load(std::memory_order_relaxed);
+  }
+
  private:
   std::uint64_t allocate_block() REQUIRES(alloc_mu_);
+  common::Bytes read_once(const RecordDescriptor& rd);
   void overwrite_pass(const RecordDescriptor& rd, const common::Bytes& pattern);
   void random_pass(const RecordDescriptor& rd, crypto::Drbg& rng);
 
@@ -93,6 +116,8 @@ class RecordStore {
   std::set<std::uint64_t> free_ GUARDED_BY(alloc_mu_);
   std::uint64_t next_block_ GUARDED_BY(alloc_mu_) = 0;
   std::uint64_t next_id_ GUARDED_BY(alloc_mu_) = 0;
+  common::FaultInjector* fault_ = nullptr;
+  std::atomic<std::uint64_t> read_retries_{0};
 };
 
 }  // namespace worm::storage

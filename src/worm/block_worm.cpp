@@ -41,10 +41,10 @@ WormBlockDevice::BlockRead WormBlockDevice::read_block(
     out.outcome = {Verdict::kTampered, "block never written"};
     return out;
   }
-  ReadResult res = store_.read(map_[lbn]);
+  ReadOutcome res = store_.read(map_[lbn]);
   out.outcome = verifier.verify_read(map_[lbn], res);
   if (out.outcome.verdict == Verdict::kAuthentic) {
-    out.data = std::get<ReadOk>(res).payloads.at(0);
+    out.data = res.get<ReadOk>().payloads.at(0);
   }
   return out;
 }
@@ -66,12 +66,12 @@ std::vector<WormBlockDevice::BlockRead> WormBlockDevice::read_blocks(
     sns.push_back(map_[lbn]);
     positions.push_back(i);
   }
-  std::vector<ReadResult> results = store_.read_many(sns);
+  std::vector<ReadOutcome> results = store_.read_many(sns);
   for (std::size_t k = 0; k < results.size(); ++k) {
     BlockRead& br = out[positions[k]];
     br.outcome = verifier.verify_read(sns[k], results[k]);
     if (br.outcome.verdict == Verdict::kAuthentic) {
-      br.data = std::get<ReadOk>(results[k]).payloads.at(0);
+      br.data = results[k].get<ReadOk>().payloads.at(0);
     }
   }
   return out;

@@ -23,6 +23,8 @@ const char* to_string(Verdict v) {
       return "stale-proof";
     case Verdict::kTampered:
       return "TAMPERED";
+    case Verdict::kUnavailable:
+      return "unavailable";
   }
   return "?";
 }
@@ -177,14 +179,14 @@ Outcome ClientVerifier::verify_window(const DeletedWindow& window,
 }
 
 Outcome ClientVerifier::verify_read(Sn requested,
-                                    const ReadResult& result) const {
-  if (const auto* ok = std::get_if<ReadOk>(&result)) {
+                                    const ReadOutcome& result) const {
+  if (const auto* ok = result.get_if<ReadOk>()) {
     if (ok->vrd.sn != requested) {
       return {Verdict::kTampered, "store answered with a different SN"};
     }
     return verify_vrd(ok->vrd, ok->payloads);
   }
-  if (const auto* del = std::get_if<ReadDeleted>(&result)) {
+  if (const auto* del = result.get_if<ReadDeleted>()) {
     if (del->proof.sn != requested) {
       return {Verdict::kTampered, "deletion proof names a different SN"};
     }
@@ -193,16 +195,23 @@ Outcome ClientVerifier::verify_read(Sn requested,
     }
     return {Verdict::kDeletedVerified, "deletion proof verified"};
   }
-  if (const auto* below = std::get_if<ReadBelowBase>(&result)) {
+  if (const auto* below = result.get_if<ReadBelowBase>()) {
     return verify_base(below->base, requested);
   }
-  if (const auto* nyet = std::get_if<ReadNotAllocated>(&result)) {
+  if (const auto* nyet = result.get_if<ReadNotAllocated>()) {
     return verify_current(nyet->current, requested);
   }
-  if (const auto* win = std::get_if<ReadInDeletedWindow>(&result)) {
+  if (const auto* win = result.get_if<ReadInDeletedWindow>()) {
     return verify_window(win->window, requested);
   }
-  if (const auto* fail = std::get_if<ReadFailure>(&result)) {
+  if (const auto* gone = result.get_if<ReadUnavailable>()) {
+    // No proof came back, but no *wrong* proof either. A store that stays
+    // unavailable forever is a compliance failure, not a cryptographic one.
+    return {Verdict::kUnavailable,
+            std::string(gone->retryable ? "transient: " : "permanent: ") +
+                gone->reason};
+  }
+  if (const auto* fail = result.get_if<ReadFailure>()) {
     return {Verdict::kTampered, "store produced no proof: " + fail->reason};
   }
   return {Verdict::kTampered, "unrecognized response"};

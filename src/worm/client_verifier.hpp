@@ -34,6 +34,11 @@ enum class Verdict : std::uint8_t {
   kStaleProof = 4,
   /// Verification failed: the store's answer is cryptographically wrong.
   kTampered = 5,
+  /// The store answered ReadUnavailable (transient fault or degraded mode):
+  /// no proof, but no forged proof either. Unavailability is never evidence
+  /// of tampering (Theorem 1 convicts wrong answers, not absent ones) —
+  /// retry, or escalate through channels outside the protocol.
+  kUnavailable = 6,
 };
 
 const char* to_string(Verdict v);
@@ -63,7 +68,7 @@ class ClientVerifier {
 
   /// Full read-response verification for a request of `requested` SN.
   [[nodiscard]] Outcome verify_read(Sn requested,
-                                    const ReadResult& result) const;
+                                    const ReadOutcome& result) const;
 
   // Individual checks (composable; verify_read is built from these).
 

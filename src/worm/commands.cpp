@@ -1,5 +1,7 @@
 #include "worm/commands.hpp"
 
+#include <optional>
+
 #include "common/serial.hpp"
 
 namespace worm::core {
@@ -8,16 +10,17 @@ using common::ByteReader;
 using common::Bytes;
 using common::ByteView;
 using common::ByteWriter;
+using common::FaultKind;
 
 namespace {
 
+// Response statuses. Protocol-level rejections (kStatusError) are final;
+// transport-level trouble (kStatusTransport) is retryable; kStatusDead means
+// the device zeroized and nothing will ever answer again.
 constexpr std::uint8_t kStatusOk = 0;
 constexpr std::uint8_t kStatusError = 1;
-
-/// Hard cap on writes per kWriteBatch crossing: bounds the device-side
-/// buffering one crossing may demand, independently of what the length
-/// fields in hostile input claim.
-constexpr std::uint32_t kMaxBatchItems = 1024;
+constexpr std::uint8_t kStatusTransport = 2;
+constexpr std::uint8_t kStatusDead = 3;
 
 Bytes ok_response(const ByteWriter& payload) {
   ByteWriter w;
@@ -31,6 +34,26 @@ Bytes error_response(const std::string& message) {
   w.u8(kStatusError);
   w.str(message);
   return w.take();
+}
+
+Bytes transport_response(const std::string& message) {
+  ByteWriter w;
+  w.u8(kStatusTransport);
+  w.str(message);
+  return w.take();
+}
+
+Bytes dead_response(const std::string& message) {
+  ByteWriter w;
+  w.u8(kStatusDead);
+  w.str(message);
+  return w.take();
+}
+
+void flip_wire_bit(common::FaultInjector& fault, Bytes& frame) {
+  if (frame.empty()) return;
+  std::uint64_t bit = fault.shape(frame.size() * 8);
+  frame[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
 }
 
 // --- field codecs ---------------------------------------------------------
@@ -121,6 +144,31 @@ std::vector<Sn> get_sns(ByteReader& r) {
   return out;
 }
 
+Firmware::BatchItem get_batch_item(ByteReader& r) {
+  Firmware::BatchItem item;
+  item.attr = Attr::deserialize(r);
+  std::uint32_t nrd = r.count(20);
+  item.rdl.reserve(nrd);
+  for (std::uint32_t k = 0; k < nrd; ++k) {
+    item.rdl.push_back(storage::RecordDescriptor::deserialize(r));
+  }
+  item.payloads = get_payloads(r);
+  item.claimed_hash = r.blob();
+  return item;
+}
+
+WitnessMode get_witness_mode(ByteReader& r) {
+  std::uint8_t raw = r.u8();
+  if (raw > 2) throw common::ParseError("bad witness mode");
+  return static_cast<WitnessMode>(raw);
+}
+
+HashMode get_hash_mode(ByteReader& r) {
+  std::uint8_t raw = r.u8();
+  if (raw > 1) throw common::ParseError("bad hash mode");
+  return static_cast<HashMode>(raw);
+}
+
 }  // namespace
 
 // ---------------------------------------------------------------------------
@@ -142,23 +190,15 @@ Bytes ScpuChannel::dispatch(ByteView request) {
       }
       std::vector<Bytes> payloads = get_payloads(r);
       Bytes claimed = r.blob();
-      std::uint8_t mode_raw = r.u8();
-      std::uint8_t hash_raw = r.u8();
-      if (mode_raw > 2) throw common::ParseError("bad witness mode");
-      if (hash_raw > 1) throw common::ParseError("bad hash mode");
-      auto mode = static_cast<WitnessMode>(mode_raw);
-      auto hash_mode = static_cast<HashMode>(hash_raw);
+      auto mode = get_witness_mode(r);
+      auto hash_mode = get_hash_mode(r);
       r.expect_end();
       put_witness(out, fw_.write(attr, rdl, payloads, claimed, mode, hash_mode));
       break;
     }
     case OpCode::kWriteBatch: {
-      std::uint8_t mode_raw = r.u8();
-      std::uint8_t hash_raw = r.u8();
-      if (mode_raw > 2) throw common::ParseError("bad witness mode");
-      if (hash_raw > 1) throw common::ParseError("bad hash mode");
-      auto mode = static_cast<WitnessMode>(mode_raw);
-      auto hash_mode = static_cast<HashMode>(hash_raw);
+      auto mode = get_witness_mode(r);
+      auto hash_mode = get_hash_mode(r);
       // Each item needs at least an attr + one descriptor; 20 bytes is a
       // safe floor that still rejects forged multi-gigabyte counts.
       std::uint32_t n = r.count(20);
@@ -167,16 +207,7 @@ Bytes ScpuChannel::dispatch(ByteView request) {
       std::vector<Firmware::BatchItem> items;
       items.reserve(n);
       for (std::uint32_t i = 0; i < n; ++i) {
-        Firmware::BatchItem item;
-        item.attr = Attr::deserialize(r);
-        std::uint32_t nrd = r.count(20);
-        item.rdl.reserve(nrd);
-        for (std::uint32_t k = 0; k < nrd; ++k) {
-          item.rdl.push_back(storage::RecordDescriptor::deserialize(r));
-        }
-        item.payloads = get_payloads(r);
-        item.claimed_hash = r.blob();
-        items.push_back(std::move(item));
+        items.push_back(get_batch_item(r));
       }
       r.expect_end();
       // Parsing is complete before the firmware sees the batch: a truncated
@@ -194,6 +225,7 @@ Bytes ScpuChannel::dispatch(ByteView request) {
       out.boolean(fw_.vexp_incomplete());
       out.u32(static_cast<std::uint32_t>(fw_.deferred_count()));
       out.i64(fw_.earliest_deadline().ns);
+      out.u64(fw_.transport_last_seq());
       break;
     }
     case OpCode::kHeartbeat: {
@@ -324,18 +356,48 @@ Bytes ScpuChannel::dispatch(ByteView request) {
   return ok_response(out);
 }
 
-Bytes ScpuChannel::call(ByteView request) {
+Bytes ScpuChannel::receive(std::uint64_t seq, std::uint32_t request_crc,
+                           ByteView request) {
   // The device boundary: hostile or malformed bytes become error responses.
   // InternalError is NOT caught — that is a bug in this codebase, not input.
   Bytes response;
-  try {
-    response = dispatch(request);
-  } catch (const common::ParseError& e) {
-    response = error_response(std::string("malformed command: ") + e.what());
-  } catch (const common::ScpuError& e) {
-    response = error_response(std::string("rejected: ") + e.what());
-  } catch (const common::PreconditionError& e) {
-    response = error_response(std::string("rejected: ") + e.what());
+  bool from_cache = false;
+  if (common::fnv1a32(request) != request_crc) {
+    // Frame damaged in transit: refuse before any certified logic runs.
+    response = transport_response("frame checksum mismatch");
+  } else {
+    // The tamper sensor may trip while the command sits in the mailbox.
+    if (WORM_FAULT_POINT(fault_, "scpu.tamper") == FaultKind::kZeroize) {
+      fw_.device().trigger_tamper_response();
+    }
+    if (seq != 0) {
+      if (const Bytes* hit = fw_.transport_cached(seq, request_crc)) {
+        // Duplicate delivery of an already-executed sequenced command:
+        // answer from the cache, execute nothing.
+        ++wire_.dedup_hits;
+        response = *hit;
+        from_cache = true;
+      }
+    }
+    if (!from_cache) {
+      try {
+        response = dispatch(request);
+      } catch (const common::ParseError& e) {
+        response = error_response(std::string("malformed command: ") + e.what());
+      } catch (const common::ScpuError& e) {
+        response = fw_.device().tampered()
+                       ? dead_response(e.what())
+                       : error_response(std::string("rejected: ") + e.what());
+      } catch (const common::PreconditionError& e) {
+        response = error_response(std::string("rejected: ") + e.what());
+      }
+      // Remember every executed sequenced response (ok or rejected) so a
+      // resend of the same frame can never execute twice; a dead device has
+      // nothing left worth remembering.
+      if (seq != 0 && !response.empty() && response[0] != kStatusDead) {
+        fw_.transport_remember(seq, request_crc, response);
+      }
+    }
   }
   // The crossing itself costs one PCI-X command round-trip plus DMA for the
   // bytes actually moved — charged here because only the transport knows the
@@ -351,12 +413,88 @@ Bytes ScpuChannel::call(ByteView request) {
   return response;
 }
 
-// ---------------------------------------------------------------------------
-// Host-side typed wrappers
-// ---------------------------------------------------------------------------
+Bytes ScpuChannel::call(ByteView request) {
+  // Legacy raw surface: one unsequenced crossing, no retry (tests and fuzz
+  // drive hostile bytes through here).
+  return receive(0, common::fnv1a32(request), request);
+}
 
-Bytes ScpuChannel::invoke_ok(const Bytes& request) {
-  Bytes response = call(request);
+ScpuChannel::Prepared ScpuChannel::prepare(Bytes request) {
+  return Prepared{next_seq_++, std::move(request)};
+}
+
+Bytes ScpuChannel::send(const Prepared& cmd) {
+  const std::uint32_t req_crc = common::fnv1a32(cmd.request);
+  common::Duration waited{};
+  common::Duration backoff = retry_.initial_backoff;
+  for (std::size_t attempt = 1;; ++attempt) {
+    FaultKind req_fault = WORM_FAULT_POINT(fault_, "channel.request");
+    bool response_lost = false;
+    std::optional<Bytes> response;
+    if (req_fault == FaultKind::kDrop) {
+      // Request vanished before reaching the device: nothing executed.
+      response_lost = true;
+    } else {
+      Bytes wire_request = cmd.request;
+      if (req_fault == FaultKind::kBitFlip) {
+        flip_wire_bit(*fault_, wire_request);
+      }
+      Bytes raw = receive(cmd.seq, req_crc, wire_request);
+      if (req_fault == FaultKind::kDuplicate) {
+        // Delayed duplicate delivery: the host acts on the later copy; the
+        // dedup cache must make the repeat execution-free.
+        raw = receive(cmd.seq, req_crc, wire_request);
+      }
+      // The response frame carries its own checksum across the wire.
+      const std::uint32_t resp_crc = common::fnv1a32(raw);
+      FaultKind resp_fault = WORM_FAULT_POINT(fault_, "channel.response");
+      if (req_fault == FaultKind::kTimeout ||
+          resp_fault == FaultKind::kDrop ||
+          resp_fault == FaultKind::kTimeout) {
+        // Executed, but the answer never made it back in time.
+        response_lost = true;
+      } else {
+        if (resp_fault == FaultKind::kBitFlip) flip_wire_bit(*fault_, raw);
+        if (common::fnv1a32(raw) == resp_crc) {
+          response = std::move(raw);
+        } else {
+          response_lost = true;  // damaged beyond the frame check
+        }
+      }
+    }
+    if (!response_lost && response.has_value()) {
+      const Bytes& resp = *response;
+      if (!resp.empty() && resp[0] == kStatusDead) {
+        ByteReader r(resp);
+        r.u8();
+        throw ScpuDeadError("SCPU zeroized: " + r.str());
+      }
+      if (resp.empty() || resp[0] != kStatusTransport) {
+        return resp;  // ok or protocol error: final either way
+      }
+      // kStatusTransport: the device refused a damaged frame — retryable.
+    }
+    ++wire_.transport_faults;
+    common::Duration wait{retry_.response_timeout.ns + backoff.ns};
+    if (attempt >= retry_.max_attempts ||
+        common::Duration{waited.ns + wait.ns} > retry_.deadline) {
+      ++wire_.timeouts;
+      throw ChannelTimeoutError(
+          "mailbox command timed out after " + std::to_string(attempt) +
+          " attempt(s) (seq " + std::to_string(cmd.seq) + ")");
+    }
+    // All waiting is simulated: charge the backoff to the clock and resend.
+    fw_.device().clock().charge(wait);
+    waited = common::Duration{waited.ns + wait.ns};
+    backoff =
+        common::Duration{backoff.ns * static_cast<std::int64_t>(
+                                          retry_.backoff_factor)};
+    ++wire_.retries;
+  }
+}
+
+Bytes ScpuChannel::send_ok(const Prepared& cmd) {
+  Bytes response = send(cmd);
   ByteReader r(response);
   std::uint8_t status = r.u8();
   if (status != kStatusOk) {
@@ -365,7 +503,11 @@ Bytes ScpuChannel::invoke_ok(const Bytes& request) {
   return Bytes(response.begin() + 1, response.end());
 }
 
-WriteWitness ScpuChannel::write(
+// ---------------------------------------------------------------------------
+// Request/response codecs
+// ---------------------------------------------------------------------------
+
+Bytes ScpuChannel::encode_write(
     const Attr& attr, const std::vector<storage::RecordDescriptor>& rdl,
     const std::vector<Bytes>& payloads, ByteView claimed_hash,
     WitnessMode mode, HashMode hash_mode) {
@@ -378,14 +520,10 @@ WriteWitness ScpuChannel::write(
   w.blob(claimed_hash);
   w.u8(static_cast<std::uint8_t>(mode));
   w.u8(static_cast<std::uint8_t>(hash_mode));
-  Bytes payload = invoke_ok(w.take());
-  ByteReader r(payload);
-  WriteWitness ww = get_witness(r);
-  r.expect_end();
-  return ww;
+  return w.take();
 }
 
-std::vector<WriteWitness> ScpuChannel::write_batch(
+Bytes ScpuChannel::encode_write_batch(
     const std::vector<Firmware::BatchItem>& items, WitnessMode mode,
     HashMode hash_mode) {
   ByteWriter w;
@@ -400,14 +538,208 @@ std::vector<WriteWitness> ScpuChannel::write_batch(
     put_payloads(w, item.payloads);
     w.blob(item.claimed_hash);
   }
-  Bytes payload_bytes = invoke_ok(w.take());
-  ByteReader r(payload_bytes);
+  return w.take();
+}
+
+Bytes ScpuChannel::encode_lit_hold(const Vrd& vrd, common::SimTime hold_until,
+                                   std::uint64_t lit_id,
+                                   common::SimTime cred_issued_at,
+                                   ByteView credential) {
+  ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(OpCode::kLitHold));
+  vrd.serialize(w);
+  w.i64(hold_until.ns);
+  w.u64(lit_id);
+  w.i64(cred_issued_at.ns);
+  w.blob(credential);
+  return w.take();
+}
+
+Bytes ScpuChannel::encode_lit_release(const Vrd& vrd, std::uint64_t lit_id,
+                                      common::SimTime cred_issued_at,
+                                      ByteView credential) {
+  ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(OpCode::kLitRelease));
+  vrd.serialize(w);
+  w.u64(lit_id);
+  w.i64(cred_issued_at.ns);
+  w.blob(credential);
+  return w.take();
+}
+
+Bytes ScpuChannel::encode_strengthen(
+    const std::vector<Vrd>& vrds,
+    const std::vector<std::vector<Bytes>>& payloads_per_vrd) {
+  ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(OpCode::kStrengthen));
+  w.u32(static_cast<std::uint32_t>(vrds.size()));
+  for (const auto& v : vrds) v.serialize(w);
+  w.u32(static_cast<std::uint32_t>(payloads_per_vrd.size()));
+  for (const auto& p : payloads_per_vrd) put_payloads(w, p);
+  return w.take();
+}
+
+Bytes ScpuChannel::encode_certify_window(
+    Sn lo, Sn hi, const std::vector<DeletionProof>& proofs,
+    const std::vector<DeletedWindow>& windows) {
+  ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(OpCode::kCertifyWindow));
+  w.u64(lo);
+  w.u64(hi);
+  put_proofs(w, proofs);
+  put_windows(w, windows);
+  return w.take();
+}
+
+Bytes ScpuChannel::encode_advance_base(
+    Sn new_base, const std::vector<DeletionProof>& proofs,
+    const std::vector<DeletedWindow>& windows) {
+  ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(OpCode::kAdvanceBase));
+  w.u64(new_base);
+  put_proofs(w, proofs);
+  put_windows(w, windows);
+  return w.take();
+}
+
+WriteWitness ScpuChannel::decode_write_response(ByteView payload) {
+  ByteReader r(payload);
+  WriteWitness ww = get_witness(r);
+  r.expect_end();
+  return ww;
+}
+
+std::vector<WriteWitness> ScpuChannel::decode_write_batch_response(
+    ByteView payload) {
+  ByteReader r(payload);
   std::uint32_t n = r.u32();
   std::vector<WriteWitness> out;
   out.reserve(n);
   for (std::uint32_t i = 0; i < n; ++i) out.push_back(get_witness(r));
   r.expect_end();
   return out;
+}
+
+Firmware::LitUpdate ScpuChannel::decode_lit_response(ByteView payload) {
+  ByteReader r(payload);
+  Firmware::LitUpdate up = get_lit_update(r);
+  r.expect_end();
+  return up;
+}
+
+std::vector<StrengthenResult> ScpuChannel::decode_strengthen_response(
+    ByteView payload) {
+  ByteReader r(payload);
+  std::uint32_t n = r.u32();
+  std::vector<StrengthenResult> out;
+  out.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    StrengthenResult res;
+    res.sn = r.u64();
+    res.metasig = SigBox::deserialize(r);
+    res.datasig = SigBox::deserialize(r);
+    out.push_back(std::move(res));
+  }
+  r.expect_end();
+  return out;
+}
+
+DeletedWindow ScpuChannel::decode_window_response(ByteView payload) {
+  ByteReader r(payload);
+  DeletedWindow win = DeletedWindow::deserialize(r);
+  r.expect_end();
+  return win;
+}
+
+SignedSnBase ScpuChannel::decode_base_response(ByteView payload) {
+  ByteReader r(payload);
+  SignedSnBase base = SignedSnBase::deserialize(r);
+  r.expect_end();
+  return base;
+}
+
+OpCode ScpuChannel::request_opcode(ByteView request) {
+  ByteReader r(request);
+  return static_cast<OpCode>(r.u8());
+}
+
+ScpuChannel::ParsedWrite ScpuChannel::decode_write_request(ByteView request) {
+  ByteReader r(request);
+  if (static_cast<OpCode>(r.u8()) != OpCode::kWrite) {
+    throw common::ParseError("decode_write_request: not a kWrite frame");
+  }
+  ParsedWrite p;
+  p.item.attr = Attr::deserialize(r);
+  std::uint32_t nrd = r.count(20);
+  p.item.rdl.reserve(nrd);
+  for (std::uint32_t i = 0; i < nrd; ++i) {
+    p.item.rdl.push_back(storage::RecordDescriptor::deserialize(r));
+  }
+  p.item.payloads = get_payloads(r);
+  p.item.claimed_hash = r.blob();
+  p.mode = get_witness_mode(r);
+  p.hash_mode = get_hash_mode(r);
+  r.expect_end();
+  return p;
+}
+
+ScpuChannel::ParsedWriteBatch ScpuChannel::decode_write_batch_request(
+    ByteView request) {
+  ByteReader r(request);
+  if (static_cast<OpCode>(r.u8()) != OpCode::kWriteBatch) {
+    throw common::ParseError("decode_write_batch_request: not a kWriteBatch frame");
+  }
+  ParsedWriteBatch p;
+  p.mode = get_witness_mode(r);
+  p.hash_mode = get_hash_mode(r);
+  std::uint32_t n = r.count(20);
+  p.items.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) p.items.push_back(get_batch_item(r));
+  r.expect_end();
+  return p;
+}
+
+Sn ScpuChannel::decode_lit_request_sn(ByteView request) {
+  ByteReader r(request);
+  OpCode op = static_cast<OpCode>(r.u8());
+  if (op != OpCode::kLitHold && op != OpCode::kLitRelease) {
+    throw common::ParseError("decode_lit_request_sn: not a litigation frame");
+  }
+  return Vrd::deserialize(r).sn;
+}
+
+Sn ScpuChannel::decode_advance_base_request_target(ByteView request) {
+  ByteReader r(request);
+  if (static_cast<OpCode>(r.u8()) != OpCode::kAdvanceBase) {
+    throw common::ParseError(
+        "decode_advance_base_request_target: not a kAdvanceBase frame");
+  }
+  return r.u64();
+}
+
+// ---------------------------------------------------------------------------
+// Host-side typed wrappers
+// ---------------------------------------------------------------------------
+
+Bytes ScpuChannel::invoke_ok(Bytes request) {
+  // Unsequenced (idempotent) command: retried per policy, never deduped.
+  return send_ok(Prepared{0, std::move(request)});
+}
+
+WriteWitness ScpuChannel::write(
+    const Attr& attr, const std::vector<storage::RecordDescriptor>& rdl,
+    const std::vector<Bytes>& payloads, ByteView claimed_hash,
+    WitnessMode mode, HashMode hash_mode) {
+  return decode_write_response(send_ok(
+      prepare(encode_write(attr, rdl, payloads, claimed_hash, mode,
+                           hash_mode))));
+}
+
+std::vector<WriteWitness> ScpuChannel::write_batch(
+    const std::vector<Firmware::BatchItem>& items, WitnessMode mode,
+    HashMode hash_mode) {
+  return decode_write_batch_response(
+      send_ok(prepare(encode_write_batch(items, mode, hash_mode))));
 }
 
 ScpuStatus ScpuChannel::status() {
@@ -421,6 +753,7 @@ ScpuStatus ScpuChannel::status() {
   st.vexp_incomplete = r.boolean();
   st.deferred_count = r.u32();
   st.earliest_deadline = common::SimTime{r.i64()};
+  st.last_seq = r.u64();
   return st;
 }
 
@@ -443,52 +776,22 @@ SignedSnBase ScpuChannel::sign_base() {
 SignedSnBase ScpuChannel::advance_base(
     Sn new_base, const std::vector<DeletionProof>& proofs,
     const std::vector<DeletedWindow>& windows) {
-  ByteWriter w;
-  w.u8(static_cast<std::uint8_t>(OpCode::kAdvanceBase));
-  w.u64(new_base);
-  put_proofs(w, proofs);
-  put_windows(w, windows);
-  Bytes payload_bytes = invoke_ok(w.take());
-  ByteReader r(payload_bytes);
-  return SignedSnBase::deserialize(r);
+  return decode_base_response(
+      send_ok(prepare(encode_advance_base(new_base, proofs, windows))));
 }
 
 DeletedWindow ScpuChannel::certify_window(
     Sn lo, Sn hi, const std::vector<DeletionProof>& proofs,
     const std::vector<DeletedWindow>& windows) {
-  ByteWriter w;
-  w.u8(static_cast<std::uint8_t>(OpCode::kCertifyWindow));
-  w.u64(lo);
-  w.u64(hi);
-  put_proofs(w, proofs);
-  put_windows(w, windows);
-  Bytes payload_bytes = invoke_ok(w.take());
-  ByteReader r(payload_bytes);
-  return DeletedWindow::deserialize(r);
+  return decode_window_response(
+      send_ok(prepare(encode_certify_window(lo, hi, proofs, windows))));
 }
 
 std::vector<StrengthenResult> ScpuChannel::strengthen(
     const std::vector<Vrd>& vrds,
     const std::vector<std::vector<Bytes>>& payloads_per_vrd) {
-  ByteWriter w;
-  w.u8(static_cast<std::uint8_t>(OpCode::kStrengthen));
-  w.u32(static_cast<std::uint32_t>(vrds.size()));
-  for (const auto& v : vrds) v.serialize(w);
-  w.u32(static_cast<std::uint32_t>(payloads_per_vrd.size()));
-  for (const auto& p : payloads_per_vrd) put_payloads(w, p);
-  Bytes payload_bytes = invoke_ok(w.take());
-  ByteReader r(payload_bytes);
-  std::uint32_t n = r.u32();
-  std::vector<StrengthenResult> out;
-  out.reserve(n);
-  for (std::uint32_t i = 0; i < n; ++i) {
-    StrengthenResult res;
-    res.sn = r.u64();
-    res.metasig = SigBox::deserialize(r);
-    res.datasig = SigBox::deserialize(r);
-    out.push_back(std::move(res));
-  }
-  return out;
+  return decode_strengthen_response(
+      send_ok(prepare(encode_strengthen(vrds, payloads_per_vrd))));
 }
 
 void ScpuChannel::audit_hash(Sn sn, const std::vector<Bytes>& payloads) {
@@ -504,31 +807,16 @@ Firmware::LitUpdate ScpuChannel::lit_hold(const Vrd& vrd,
                                           std::uint64_t lit_id,
                                           common::SimTime cred_issued_at,
                                           ByteView credential) {
-  ByteWriter w;
-  w.u8(static_cast<std::uint8_t>(OpCode::kLitHold));
-  vrd.serialize(w);
-  w.i64(hold_until.ns);
-  w.u64(lit_id);
-  w.i64(cred_issued_at.ns);
-  w.blob(credential);
-  Bytes payload_bytes = invoke_ok(w.take());
-  ByteReader r(payload_bytes);
-  return get_lit_update(r);
+  return decode_lit_response(send_ok(prepare(
+      encode_lit_hold(vrd, hold_until, lit_id, cred_issued_at, credential))));
 }
 
 Firmware::LitUpdate ScpuChannel::lit_release(const Vrd& vrd,
                                              std::uint64_t lit_id,
                                              common::SimTime cred_issued_at,
                                              ByteView credential) {
-  ByteWriter w;
-  w.u8(static_cast<std::uint8_t>(OpCode::kLitRelease));
-  vrd.serialize(w);
-  w.u64(lit_id);
-  w.i64(cred_issued_at.ns);
-  w.blob(credential);
-  Bytes payload_bytes = invoke_ok(w.take());
-  ByteReader r(payload_bytes);
-  return get_lit_update(r);
+  return decode_lit_response(send_ok(
+      prepare(encode_lit_release(vrd, lit_id, cred_issued_at, credential))));
 }
 
 CertificateBundle ScpuChannel::get_certificates() {

@@ -7,8 +7,23 @@
 // certified logic or corrupt its state).
 //
 // Wire format. Request: u8 opcode, then opcode-specific fields. Response:
-// u8 status (0 = ok, 1 = error); on error a length-prefixed message; on ok
-// the opcode-specific payload.
+// u8 status, then the opcode-specific payload (ok) or a length-prefixed
+// message (all other statuses). Each crossing is framed with a per-crossing
+// sequence number and an FNV-1a checksum (modelled as out-of-band parameters
+// of the in-process boundary rather than physically concatenated bytes).
+//
+// Reliability contract (see DESIGN.md §9):
+//  * Sequenced commands (nonzero seq — the mutating opcodes) are idempotent
+//    to resend: the device keeps a bounded cache of recent responses keyed
+//    by seq, so a duplicate delivery returns the cached response WITHOUT
+//    re-executing. send() retries transient transport faults (lost or
+//    corrupted frames) with bounded exponential backoff until the attempt
+//    or sim-time deadline budget runs out, then throws ChannelTimeoutError.
+//  * Unsequenced commands (seq 0 — status, heartbeat, sign_base, the pending
+//    queries, process_idle, ...) are naturally idempotent and bypass the
+//    dedup cache; they retry the same way.
+//  * A zeroized device answers kStatusDead; the channel converts that to
+//    ScpuDeadError immediately (no retry — the outage is permanent).
 #pragma once
 
 #include <cstdint>
@@ -16,6 +31,7 @@
 #include <vector>
 
 #include "common/bytes.hpp"
+#include "common/fault.hpp"
 #include "worm/firmware.hpp"
 
 namespace worm::core {
@@ -42,6 +58,11 @@ enum class OpCode : std::uint8_t {
   kStatus = 19,
 };
 
+/// Hard cap on writes per kWriteBatch crossing: bounds the device-side
+/// buffering one crossing may demand, independently of what the length
+/// fields in hostile input claim.
+inline constexpr std::uint32_t kMaxBatchItems = 1024;
+
 /// Device-state snapshot returned by kStatus: the one crossing the host
 /// makes to (re)seed its scheduling mirrors (SN bounds, strengthening
 /// backlog, VEXP completeness) instead of poking firmware state directly.
@@ -51,12 +72,31 @@ struct ScpuStatus {
   bool vexp_incomplete = false;
   std::uint32_t deferred_count = 0;
   common::SimTime earliest_deadline = common::SimTime::max();
+  // Highest sequenced crossing the device has executed. A restarting host
+  // continues numbering at last_seq + 1 so its fresh crossings can never
+  // collide with (and be swallowed by) the dedup cache.
+  std::uint64_t last_seq = 0;
 };
 
 /// Thrown by typed wrappers when the device answered with an error status.
 class ChannelError : public common::Error {
  public:
   using Error::Error;
+};
+
+/// Transient transport failure that outlived the retry budget (attempts or
+/// sim-time deadline). The command may or may not have executed; resending
+/// the same Prepared frame later is safe (sequenced dedup).
+class ChannelTimeoutError : public ChannelError {
+ public:
+  using ChannelError::ChannelError;
+};
+
+/// The device zeroized (tamper response). Permanent: the host should degrade
+/// to read-only verified mode, not retry.
+class ScpuDeadError : public ChannelError {
+ public:
+  using ChannelError::ChannelError;
 };
 
 /// Certificates bundle returned by kGetCertificates.
@@ -66,30 +106,149 @@ struct CertificateBundle {
   std::vector<ShortKeyCert> short_certs;
 };
 
+/// Host-side patience for one command. All waiting is charged to the
+/// SimClock through the device's cost model — nothing sleeps for real.
+/// (Namespace-scope so it can serve as a default argument below; spelled
+/// ScpuChannel::RetryPolicy at use sites.)
+struct ChannelRetryPolicy {
+  // Attempts per command (first try included).
+  std::size_t max_attempts = 6;
+  // Backoff before retry k is initial * factor^(k-1), capped by what the
+  // deadline budget still allows.
+  common::Duration initial_backoff = common::Duration::millis(1);
+  std::uint32_t backoff_factor = 2;
+  // Total sim-time a single command may spend waiting before
+  // ChannelTimeoutError.
+  common::Duration deadline = common::Duration::seconds(2);
+  // Charged once per lost crossing: how long the host waits before
+  // declaring a response missing.
+  common::Duration response_timeout = common::Duration::millis(5);
+};
+
 class ScpuChannel {
  public:
   /// Running totals for the transport itself (feeds the mailbox metrics).
   struct WireStats {
-    std::uint64_t commands = 0;       // crossings dispatched
+    std::uint64_t commands = 0;       // crossings dispatched (device side)
     std::uint64_t bytes_crossed = 0;  // request + response bytes
     std::uint64_t errors = 0;         // crossings answered with error status
+    std::uint64_t retries = 0;        // host resends after transport faults
+    std::uint64_t dedup_hits = 0;     // duplicate deliveries suppressed
+    std::uint64_t transport_faults = 0;  // lost/corrupt frames observed
+    std::uint64_t timeouts = 0;       // commands that exhausted the budget
+  };
+
+  using RetryPolicy = ChannelRetryPolicy;
+
+  /// A framed command: the sequence number plus the exact request bytes.
+  /// WormStore journals this frame as its write-ahead intent and resends it
+  /// verbatim during recovery — same seq, same bytes, exactly-once effect.
+  struct Prepared {
+    std::uint64_t seq = 0;  // 0 == unsequenced (idempotent, no dedup)
+    common::Bytes request;
   };
 
   /// `charge_transfer` = false restores the legacy in-process binding cost
-  /// (no per-crossing PCI-X charge); kept for A/B benchmarking.
-  explicit ScpuChannel(Firmware& firmware, bool charge_transfer = true)
-      : fw_(firmware), charge_transfer_(charge_transfer) {}
+  /// (no per-crossing PCI-X charge); kept for A/B benchmarking. `fault`
+  /// attaches the named fault points "channel.request", "channel.response"
+  /// and "scpu.tamper" (null = quiet).
+  explicit ScpuChannel(Firmware& firmware, bool charge_transfer = true,
+                       RetryPolicy retry = RetryPolicy(),
+                       common::FaultInjector* fault = nullptr)
+      : fw_(firmware),
+        charge_transfer_(charge_transfer),
+        retry_(retry),
+        fault_(fault) {}
 
-  /// Raw entry point: dispatches one serialized command. Malformed or
+  /// Raw entry point: one unsequenced crossing, no retry. Malformed or
   /// rejected commands produce an error *response*; this function only
   /// throws on host-side bugs (never for hostile request bytes). Every
   /// crossing — including a rejected one — charges the transfer cost for
   /// the bytes actually moved.
   [[nodiscard]] common::Bytes call(common::ByteView request);
 
-  [[nodiscard]] const WireStats& wire_stats() const { return wire_; }
+  /// Frames `request` with the next sequence number.
+  [[nodiscard]] Prepared prepare(common::Bytes request);
 
-  // --- typed wrappers (encode -> call -> decode) ---------------------------
+  /// Drives one framed command through the lossy wire: applies the fault
+  /// points, retries per policy, throws ChannelTimeoutError / ScpuDeadError.
+  /// Returns the full response (status byte + payload).
+  [[nodiscard]] common::Bytes send(const Prepared& cmd);
+
+  /// send() + status check: returns the ok-payload or throws ChannelError.
+  [[nodiscard]] common::Bytes send_ok(const Prepared& cmd);
+
+  /// Seq continuation across host restarts (from ScpuStatus::last_seq + 1).
+  void set_next_seq(std::uint64_t next) { next_seq_ = next; }
+  [[nodiscard]] std::uint64_t next_seq() const { return next_seq_; }
+
+  [[nodiscard]] const WireStats& wire_stats() const { return wire_; }
+  [[nodiscard]] const RetryPolicy& retry_policy() const { return retry_; }
+
+  // --- request/response codecs --------------------------------------------
+  // Public and static so WormStore can journal an encoded intent before the
+  // crossing and re-decode it during recovery; the typed wrappers below and
+  // the device dispatch use the same functions, keeping one wire format.
+
+  static common::Bytes encode_write(
+      const Attr& attr, const std::vector<storage::RecordDescriptor>& rdl,
+      const std::vector<common::Bytes>& payloads,
+      common::ByteView claimed_hash, WitnessMode mode, HashMode hash_mode);
+  static common::Bytes encode_write_batch(
+      const std::vector<Firmware::BatchItem>& items, WitnessMode mode,
+      HashMode hash_mode);
+  static common::Bytes encode_lit_hold(const Vrd& vrd,
+                                       common::SimTime hold_until,
+                                       std::uint64_t lit_id,
+                                       common::SimTime cred_issued_at,
+                                       common::ByteView credential);
+  static common::Bytes encode_lit_release(const Vrd& vrd, std::uint64_t lit_id,
+                                          common::SimTime cred_issued_at,
+                                          common::ByteView credential);
+  static common::Bytes encode_strengthen(
+      const std::vector<Vrd>& vrds,
+      const std::vector<std::vector<common::Bytes>>& payloads_per_vrd);
+  static common::Bytes encode_certify_window(
+      Sn lo, Sn hi, const std::vector<DeletionProof>& proofs,
+      const std::vector<DeletedWindow>& windows);
+  static common::Bytes encode_advance_base(
+      Sn new_base, const std::vector<DeletionProof>& proofs,
+      const std::vector<DeletedWindow>& windows);
+
+  static WriteWitness decode_write_response(common::ByteView payload);
+  static std::vector<WriteWitness> decode_write_batch_response(
+      common::ByteView payload);
+  static Firmware::LitUpdate decode_lit_response(common::ByteView payload);
+  static std::vector<StrengthenResult> decode_strengthen_response(
+      common::ByteView payload);
+  static DeletedWindow decode_window_response(common::ByteView payload);
+  static SignedSnBase decode_base_response(common::ByteView payload);
+
+  /// First byte of a request frame (for journal replay dispatch).
+  static OpCode request_opcode(common::ByteView request);
+
+  /// Re-parses a journaled kWrite request back into its batch-item shape
+  /// (recovery needs the RDL to rebuild the VRD around the resent witness).
+  struct ParsedWrite {
+    Firmware::BatchItem item;
+    WitnessMode mode = WitnessMode::kStrong;
+    HashMode hash_mode = HashMode::kScpuHash;
+  };
+  static ParsedWrite decode_write_request(common::ByteView request);
+  struct ParsedWriteBatch {
+    std::vector<Firmware::BatchItem> items;
+    WitnessMode mode = WitnessMode::kStrong;
+    HashMode hash_mode = HashMode::kScpuHash;
+  };
+  static ParsedWriteBatch decode_write_batch_request(common::ByteView request);
+  /// SN a journaled kLitHold/kLitRelease request targets.
+  static Sn decode_lit_request_sn(common::ByteView request);
+  /// Target base of a journaled kAdvanceBase request.
+  static Sn decode_advance_base_request_target(common::ByteView request);
+
+  // --- typed wrappers (encode -> send -> decode) ---------------------------
+  // Mutating opcodes go out sequenced; queries go out unsequenced. Both
+  // retry per policy.
 
   [[nodiscard]] WriteWitness write(const Attr& attr,
                      const std::vector<storage::RecordDescriptor>& rdl,
@@ -132,10 +291,17 @@ class ScpuChannel {
 
  private:
   common::Bytes dispatch(common::ByteView request);
-  common::Bytes invoke_ok(const common::Bytes& request);
+  // Device-side endpoint for one delivered frame: checksum verification,
+  // dedup, dispatch, response caching, transfer-cost accounting.
+  common::Bytes receive(std::uint64_t seq, std::uint32_t request_crc,
+                        common::ByteView request);
+  common::Bytes invoke_ok(common::Bytes request);  // unsequenced send_ok
 
   Firmware& fw_;
   bool charge_transfer_;
+  RetryPolicy retry_;
+  common::FaultInjector* fault_;
+  std::uint64_t next_seq_ = 1;
   WireStats wire_;
 };
 

@@ -778,6 +778,13 @@ common::Bytes Firmware::save_nvram() const {
     w.u64(sn);
     w.blob(hash);
   }
+  w.u64(transport_last_seq_);
+  w.u32(static_cast<std::uint32_t>(transport_cache_.size()));
+  for (const auto& e : transport_cache_) {
+    w.u64(e.seq);
+    w.u32(e.crc);
+    w.blob(e.response);
+  }
   return w.take();
 }
 
@@ -831,8 +838,41 @@ void Firmware::restore_nvram(common::ByteView nvram) {
     Sn sn = r.u64();
     pending_hash_audits_[sn] = r.blob();
   }
+  transport_last_seq_ = r.u64();
+  std::uint32_t ncached = r.count(16);
+  for (std::uint32_t i = 0; i < ncached; ++i) {
+    std::uint64_t seq = r.u64();
+    std::uint32_t crc = r.u32();
+    transport_cache_.push_back({seq, crc, r.blob()});
+  }
   r.expect_end();
   reschedule_rm();
+}
+
+const common::Bytes* Firmware::transport_cached(
+    std::uint64_t seq, std::uint32_t request_crc) const {
+  for (const auto& e : transport_cache_) {
+    // A seq hit with a different request checksum is not a resend — it is a
+    // distinct command reusing the number (e.g. an independent channel on the
+    // same device). Execute it fresh rather than replaying a stale response.
+    if (e.seq == seq && e.crc == request_crc) return &e.response;
+  }
+  return nullptr;
+}
+
+void Firmware::transport_remember(std::uint64_t seq, std::uint32_t request_crc,
+                                  common::Bytes response) {
+  if (seq > transport_last_seq_) transport_last_seq_ = seq;
+  for (auto it = transport_cache_.begin(); it != transport_cache_.end(); ++it) {
+    if (it->seq == seq) {
+      transport_cache_.erase(it);
+      break;
+    }
+  }
+  transport_cache_.push_back({seq, request_crc, std::move(response)});
+  while (transport_cache_.size() > kTransportCacheDepth) {
+    transport_cache_.pop_front();
+  }
 }
 
 void Firmware::process_idle() {

@@ -266,6 +266,29 @@ class Firmware {
   };
   [[nodiscard]] const Counters& counters() const { return counters_; }
 
+  // --- mailbox transport endpoint (device side) ----------------------------
+  // Exactly-once execution of sequenced crossings: the channel delivers each
+  // mutating command with a per-crossing sequence number; the firmware keeps
+  // a bounded cache of recent responses so a duplicate delivery (lost
+  // response, host crash, retry) returns the original answer WITHOUT
+  // re-executing. Lives here — not in the host-side channel object — because
+  // it must survive host restarts, like the rest of battery-backed state.
+
+  /// Highest sequenced crossing executed (0 = none). Reported in kStatus so
+  /// a restarting host resumes numbering past it.
+  [[nodiscard]] std::uint64_t transport_last_seq() const {
+    return transport_last_seq_;
+  }
+  /// Cached response for `seq`, or null when unknown (never executed, aged
+  /// out of the bounded cache, or recorded for a different request — the
+  /// frame checksum keys the entry too, so only a byte-identical resend
+  /// dedups; a reused seq with different content executes fresh).
+  [[nodiscard]] const common::Bytes* transport_cached(
+      std::uint64_t seq, std::uint32_t request_crc) const;
+  /// Records the response of a just-executed sequenced crossing.
+  void transport_remember(std::uint64_t seq, std::uint32_t request_crc,
+                          common::Bytes response);
+
  private:
   struct ShortKey {
     crypto::RsaPrivateKey key;
@@ -331,6 +354,18 @@ class Firmware {
   common::AlarmId rm_alarm_ = 0;
   bool rm_scheduled_ = false;
   common::AlarmId hb_alarm_ = 0;
+
+  // Mailbox endpoint state (see transport_* above). The cache is a FIFO of
+  // the most recent responses — deep enough for any in-flight window the
+  // serialized host pipeline can produce.
+  static constexpr std::size_t kTransportCacheDepth = 16;
+  struct TransportEntry {
+    std::uint64_t seq;
+    std::uint32_t crc;  // checksum of the request frame that produced it
+    common::Bytes response;
+  };
+  std::uint64_t transport_last_seq_ = 0;
+  std::deque<TransportEntry> transport_cache_;
 
   Counters counters_;
 };

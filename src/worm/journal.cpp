@@ -1,0 +1,157 @@
+#include "worm/journal.hpp"
+
+#include <cstdio>
+
+#include "common/error.hpp"
+#include "common/serial.hpp"
+
+namespace worm::core {
+
+using common::ByteReader;
+using common::Bytes;
+using common::ByteView;
+using common::ByteWriter;
+using common::FaultKind;
+
+namespace {
+
+Bytes encode_frame(JournalRecordType type, ByteView payload) {
+  ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(type));
+  w.u32(static_cast<std::uint32_t>(payload.size()));
+  w.raw(payload);
+  w.u32(common::fnv1a32(payload));
+  return w.take();
+}
+
+}  // namespace
+
+const char* to_string(JournalRecordType t) {
+  switch (t) {
+    case JournalRecordType::kIntent:
+      return "intent";
+    case JournalRecordType::kComplete:
+      return "complete";
+    case JournalRecordType::kPutActive:
+      return "put-active";
+    case JournalRecordType::kPutDeleted:
+      return "put-deleted";
+    case JournalRecordType::kSigUpdate:
+      return "sig-update";
+    case JournalRecordType::kApplyWindow:
+      return "apply-window";
+    case JournalRecordType::kTrimBelow:
+      return "trim-below";
+    case JournalRecordType::kCheckpoint:
+      return "checkpoint";
+  }
+  return "?";
+}
+
+HostJournal::HostJournal(std::string path, common::FaultInjector* fault)
+    : path_(std::move(path)), fault_(fault) {
+  WORM_REQUIRE(!path_.empty(), "journal path must not be empty");
+  open_for_append();
+}
+
+void HostJournal::open_for_append() {
+  out_.open(path_, std::ios::binary | std::ios::app);
+  if (!out_) {
+    throw common::StorageError("cannot open journal: " + path_);
+  }
+}
+
+void HostJournal::append(JournalRecordType type, ByteView payload) {
+  if (!enabled()) return;
+  Bytes frame = encode_frame(type, payload);
+  switch (WORM_FAULT_POINT(fault_, "journal.append")) {
+    case FaultKind::kTransient:
+      // The write never reached the disk at all.
+      throw common::TransientStorageError("journal append failed (injected)");
+    case FaultKind::kTorn: {
+      // Power cut mid-write: half a frame lands, then the host "crashes".
+      std::size_t half = frame.size() / 2;
+      out_.write(reinterpret_cast<const char*>(frame.data()),
+                 static_cast<std::streamsize>(half));
+      out_.flush();
+      throw common::TransientStorageError("journal append torn (injected)");
+    }
+    default:
+      break;
+  }
+  out_.write(reinterpret_cast<const char*>(frame.data()),
+             static_cast<std::streamsize>(frame.size()));
+  out_.flush();
+  if (!out_) {
+    throw common::StorageError("journal write failed: " + path_);
+  }
+  ++appended_;
+}
+
+HostJournal::ReplayResult HostJournal::replay() const {
+  ReplayResult result;
+  if (!enabled()) return result;
+  std::ifstream in(path_, std::ios::binary);
+  if (!in) return result;  // no journal yet: clean empty store
+  Bytes data((std::istreambuf_iterator<char>(in)),
+             std::istreambuf_iterator<char>());
+  std::size_t pos = 0;
+  while (pos < data.size()) {
+    // Header: u8 type + u32 len.
+    if (data.size() - pos < 5) break;
+    std::uint8_t type = data[pos];
+    std::uint32_t len = static_cast<std::uint32_t>(data[pos + 1]) |
+                        static_cast<std::uint32_t>(data[pos + 2]) << 8 |
+                        static_cast<std::uint32_t>(data[pos + 3]) << 16 |
+                        static_cast<std::uint32_t>(data[pos + 4]) << 24;
+    std::size_t body = pos + 5;
+    if (type < static_cast<std::uint8_t>(JournalRecordType::kIntent) ||
+        type > static_cast<std::uint8_t>(JournalRecordType::kCheckpoint)) {
+      break;  // garbage header
+    }
+    if (data.size() - body < static_cast<std::size_t>(len) + 4) break;
+    Bytes payload(data.begin() + static_cast<std::ptrdiff_t>(body),
+                  data.begin() + static_cast<std::ptrdiff_t>(body + len));
+    std::size_t crc_at = body + len;
+    std::uint32_t crc = static_cast<std::uint32_t>(data[crc_at]) |
+                        static_cast<std::uint32_t>(data[crc_at + 1]) << 8 |
+                        static_cast<std::uint32_t>(data[crc_at + 2]) << 16 |
+                        static_cast<std::uint32_t>(data[crc_at + 3]) << 24;
+    if (common::fnv1a32(payload) != crc) break;  // damaged frame
+    result.records.push_back(
+        {static_cast<JournalRecordType>(type), std::move(payload)});
+    pos = crc_at + 4;
+  }
+  if (pos < data.size()) {
+    result.torn_tail = true;
+    result.torn_bytes = data.size() - pos;
+  }
+  return result;
+}
+
+void HostJournal::rewrite(const std::vector<JournalRecord>& records) {
+  if (!enabled()) return;
+  out_.close();
+  const std::string tmp = path_ + ".tmp";
+  {
+    std::ofstream fresh(tmp, std::ios::binary | std::ios::trunc);
+    if (!fresh) {
+      throw common::StorageError("cannot open journal temp: " + tmp);
+    }
+    for (const JournalRecord& rec : records) {
+      Bytes frame = encode_frame(rec.type, rec.payload);
+      fresh.write(reinterpret_cast<const char*>(frame.data()),
+                  static_cast<std::streamsize>(frame.size()));
+    }
+    fresh.flush();
+    if (!fresh) {
+      throw common::StorageError("journal rewrite failed: " + tmp);
+    }
+  }
+  if (std::rename(tmp.c_str(), path_.c_str()) != 0) {
+    throw common::StorageError("journal rename failed: " + path_);
+  }
+  open_for_append();
+}
+
+}  // namespace worm::core

@@ -1,0 +1,110 @@
+// Write-ahead journal for the host's soft state (§4.2.1 bookkeeping): VRDT
+// mutations and in-flight sequenced mailbox commands. The journal makes host
+// crashes recoverable — WormStore::recover() replays it at startup, resends
+// any journaled intent whose completion never landed (the device-side dedup
+// cache makes the resend exactly-once), and reapplies the VRDT mutations.
+//
+// Like the VRDT itself, the journal lives on untrusted storage: it is a
+// CRASH-consistency mechanism, not a trust anchor. An adversary can delete
+// or rewrite it and gain nothing beyond unavailability — every verdict a
+// client accepts is still backed by SCPU signatures.
+//
+// On-disk format: a sequence of frames, each
+//     u8 type | u32 payload_len | payload bytes | u32 fnv1a32(payload)
+// A crash (or injected torn write) may leave a damaged tail; replay keeps
+// the longest clean prefix and reports the rest as torn.
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "common/fault.hpp"
+
+namespace worm::core {
+
+enum class JournalRecordType : std::uint8_t {
+  /// A sequenced mailbox command is about to cross: u64 seq + blob(frame).
+  /// The frame is the exact wire encoding — recovery resends it verbatim.
+  kIntent = 1,
+  /// The command's effects are fully applied to host soft state: u64 seq.
+  kComplete = 2,
+  /// VRDT gained/overwrote an active entry: serialized Vrd.
+  kPutActive = 3,
+  /// VRDT entry replaced by its deletion proof: serialized DeletionProof.
+  kPutDeleted = 4,
+  /// Signature refresh on an active entry (litigation update or strengthen):
+  /// u64 sn | boolean has_attr [Attr] | SigBox metasig |
+  /// boolean has_datasig [SigBox datasig].
+  kSigUpdate = 5,
+  /// Compacted deleted window applied: serialized DeletedWindow.
+  kApplyWindow = 6,
+  /// Everything below the signed base trimmed: u64 sn_base.
+  kTrimBelow = 7,
+  /// Full VRDT snapshot (blob of Vrdt::serialize()); replay restarts from the
+  /// latest checkpoint, so rewrite() uses one to truncate history.
+  kCheckpoint = 8,
+};
+
+[[nodiscard]] const char* to_string(JournalRecordType t);
+
+struct JournalRecord {
+  JournalRecordType type = JournalRecordType::kIntent;
+  common::Bytes payload;
+};
+
+/// Append-only journal file with checksummed frames and torn-tail-tolerant
+/// replay. Not internally synchronized: WormStore serializes access under its
+/// state lock. A default-constructed (pathless) journal is a no-op sink so
+/// callers never need to branch on "journaling enabled".
+class HostJournal {
+ public:
+  HostJournal() = default;
+
+  /// Opens (creating if absent) the journal at `path` for appending.
+  /// `fault` (not owned, may be nullptr) arms the "journal.append" site:
+  /// kTransient fails the append cleanly, kTorn writes a half frame first —
+  /// exactly what a power cut mid-write leaves behind.
+  explicit HostJournal(std::string path,
+                       common::FaultInjector* fault = nullptr);
+
+  HostJournal(const HostJournal&) = delete;
+  HostJournal& operator=(const HostJournal&) = delete;
+  HostJournal(HostJournal&&) = default;
+  HostJournal& operator=(HostJournal&&) = default;
+
+  [[nodiscard]] bool enabled() const { return !path_.empty(); }
+  [[nodiscard]] const std::string& path() const { return path_; }
+
+  /// Appends one frame and flushes it to the OS. Throws TransientStorageError
+  /// when the injected fault fires; the frame may then be torn on disk.
+  void append(JournalRecordType type, common::ByteView payload);
+
+  struct ReplayResult {
+    std::vector<JournalRecord> records;  // the clean prefix, in append order
+    bool torn_tail = false;              // damaged frame stopped the replay
+    std::size_t torn_bytes = 0;          // bytes discarded past the prefix
+  };
+
+  /// Parses the on-disk frames. Never throws on damage — a torn or corrupt
+  /// frame ends the replay and is reported, matching crash semantics.
+  [[nodiscard]] ReplayResult replay() const;
+
+  /// Atomically replaces the journal contents (write temp + rename), used to
+  /// truncate history after recovery folds it into a checkpoint.
+  void rewrite(const std::vector<JournalRecord>& records);
+
+  [[nodiscard]] std::uint64_t appended() const { return appended_; }
+
+ private:
+  void open_for_append();
+
+  std::string path_;
+  common::FaultInjector* fault_ = nullptr;
+  std::ofstream out_;
+  std::uint64_t appended_ = 0;
+};
+
+}  // namespace worm::core

@@ -62,6 +62,10 @@ MailboxMetrics ScpuMailbox::metrics() const {
   m.commands = w.commands;
   m.bytes_crossed = w.bytes_crossed;
   m.error_responses = w.errors;
+  m.retries = w.retries;
+  m.dedup_hits = w.dedup_hits;
+  m.transport_faults = w.transport_faults;
+  m.timeouts = w.timeouts;
   return m;
 }
 

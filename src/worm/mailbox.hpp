@@ -26,6 +26,30 @@ struct MailboxConfig {
   bool charge_transfer = true;
   /// Maximum writes witnessed per kWriteBatch crossing.
   std::size_t max_batch = 64;
+  /// Retry budget for a single command: total deliveries attempted before the
+  /// transport gives up with ChannelTimeoutError.
+  std::size_t retry_max_attempts = 6;
+  /// Backoff before the first resend; doubles (by retry_backoff_factor) per
+  /// further attempt. Zero is legal — the deterministic soak uses it to keep
+  /// faulted and reference clocks in lockstep.
+  common::Duration retry_initial_backoff = common::Duration::millis(1);
+  /// Multiplier applied to the backoff after every failed attempt.
+  std::uint32_t retry_backoff_factor = 2;
+  /// Wall-clock (SimClock) budget across all attempts of one command.
+  common::Duration retry_deadline = common::Duration::seconds(2);
+  /// How long the host waits for a response before declaring it lost.
+  common::Duration response_timeout = common::Duration::millis(5);
+
+  /// The retry knobs above, packaged for the transport.
+  [[nodiscard]] ScpuChannel::RetryPolicy retry_policy() const {
+    ScpuChannel::RetryPolicy p;
+    p.max_attempts = retry_max_attempts;
+    p.initial_backoff = retry_initial_backoff;
+    p.backoff_factor = retry_backoff_factor;
+    p.deadline = retry_deadline;
+    p.response_timeout = response_timeout;
+    return p;
+  }
 };
 
 /// Counter snapshot surfaced through WormStore::counters().
@@ -38,6 +62,10 @@ struct MailboxMetrics {
   std::uint64_t queue_hwm = 0;        // high-water mark of queued commands
   std::uint64_t duty_runs = 0;        // idle duties that found work
   std::uint64_t urgent_services = 0;  // duty runs forced by deadline pressure
+  std::uint64_t retries = 0;          // resends after transport faults
+  std::uint64_t dedup_hits = 0;       // duplicate deliveries answered from cache
+  std::uint64_t transport_faults = 0;  // lost/damaged crossings observed
+  std::uint64_t timeouts = 0;          // commands abandoned after retry budget
 };
 
 class ScpuMailbox {
@@ -45,8 +73,13 @@ class ScpuMailbox {
   /// A standing idle duty. Returns true when it found work to do.
   using Duty = std::function<bool()>;
 
-  ScpuMailbox(Firmware& firmware, MailboxConfig config)
-      : channel_(firmware, config.charge_transfer), config_(config) {}
+  /// `fault` (optional) arms the transport's fault points; the mailbox does
+  /// not own the injector.
+  ScpuMailbox(Firmware& firmware, MailboxConfig config,
+              common::FaultInjector* fault = nullptr)
+      : channel_(firmware, config.charge_transfer, config.retry_policy(),
+                 fault),
+        config_(config) {}
 
   ScpuMailbox(const ScpuMailbox&) = delete;
   ScpuMailbox& operator=(const ScpuMailbox&) = delete;
@@ -76,6 +109,13 @@ class ScpuMailbox {
   /// Records the depth of the host-side request queue at submission time
   /// (feeds the queue high-water mark metric).
   void note_queue_depth(std::size_t depth);
+
+  /// Records one kWriteBatch crossing carrying `writes` writes (the store
+  /// drives batching itself so crossings stay under its journal discipline).
+  void note_batch(std::size_t writes) {
+    ++m_.batches;
+    m_.batched_writes += writes;
+  }
 
   /// Metrics merged with the transport's own wire statistics.
   [[nodiscard]] MailboxMetrics metrics() const;

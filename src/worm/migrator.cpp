@@ -28,9 +28,9 @@ MigrationReport Migrator::migrate(WormStore& source, WormStore& dest,
   common::SimTime now = dest.now();
 
   for (Sn sn : source.vrdt().active_sns()) {
-    ReadResult res = source.read(sn);
+    ReadOutcome res = source.read(sn);
     Outcome outcome = source_verifier.verify_read(sn, res);
-    const auto* ok = std::get_if<ReadOk>(&res);
+    const auto* ok = res.get_if<ReadOk>();
     // HMAC-witnessed records are legitimate but not yet client-verifiable —
     // a compliant migration forces their strengthening first (the caller
     // should pump_idle() the source); refuse them here.

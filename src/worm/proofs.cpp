@@ -107,4 +107,54 @@ MigrationAttestation MigrationAttestation::deserialize(ByteReader& r) {
   return a;
 }
 
+const char* to_string(ReadStatus s) {
+  switch (s) {
+    case ReadStatus::kData:
+      return "data";
+    case ReadStatus::kHold:
+      return "hold";
+    case ReadStatus::kDeleted:
+      return "deleted";
+    case ReadStatus::kBelowBase:
+      return "below-base";
+    case ReadStatus::kNotAllocated:
+      return "not-allocated";
+    case ReadStatus::kDeletedWindow:
+      return "deleted-window";
+    case ReadStatus::kUnavailable:
+      return "unavailable";
+    case ReadStatus::kFailure:
+      return "failure";
+  }
+  return "?";
+}
+
+ReadStatus ReadOutcome::status() const {
+  struct Visitor {
+    ReadStatus operator()(const ReadOk& ok) const {
+      return ok.vrd.attr.litigation_hold ? ReadStatus::kHold
+                                         : ReadStatus::kData;
+    }
+    ReadStatus operator()(const ReadDeleted&) const {
+      return ReadStatus::kDeleted;
+    }
+    ReadStatus operator()(const ReadBelowBase&) const {
+      return ReadStatus::kBelowBase;
+    }
+    ReadStatus operator()(const ReadNotAllocated&) const {
+      return ReadStatus::kNotAllocated;
+    }
+    ReadStatus operator()(const ReadInDeletedWindow&) const {
+      return ReadStatus::kDeletedWindow;
+    }
+    ReadStatus operator()(const ReadUnavailable&) const {
+      return ReadStatus::kUnavailable;
+    }
+    ReadStatus operator()(const ReadFailure&) const {
+      return ReadStatus::kFailure;
+    }
+  };
+  return std::visit(Visitor{}, v_);
+}
+
 }  // namespace worm::core

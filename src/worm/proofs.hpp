@@ -93,10 +93,12 @@ struct MigrationAttestation {
 };
 
 // ---------------------------------------------------------------------------
-// Read results (§4.2.2 "Read")
+// Read outcomes (§4.2.2 "Read")
 // ---------------------------------------------------------------------------
 
-/// The read succeeded; client should verify metasig/datasig.
+/// The read succeeded; client should verify metasig/datasig. When the VRD's
+/// attr carries an active litigation hold, ReadOutcome::status() reports
+/// kHold instead of kData — same proof obligations, flagged for the caller.
 struct ReadOk {
   Vrd vrd;
   std::vector<common::Bytes> payloads;  // one per RDL entry
@@ -122,14 +124,90 @@ struct ReadInDeletedWindow {
   DeletedWindow window;
 };
 
+/// The store could not answer *right now* — transient infrastructure
+/// trouble (device fault past the retry budget, mailbox timeout) or the
+/// degraded read-only mode after SCPU zeroization. Unlike ReadFailure this
+/// is mere unavailability, never evidence of tampering: the WORM guarantees
+/// still hold, the answer just isn't obtainable yet.
+struct ReadUnavailable {
+  std::string reason;
+  bool retryable = true;  // false: SCPU zeroized — outage is permanent
+};
+
 /// The store could not produce data *or* a proof — in the WORM model this is
 /// already evidence of tampering or data loss, surfaced explicitly.
 struct ReadFailure {
   std::string reason;
 };
 
-using ReadResult = std::variant<ReadOk, ReadDeleted, ReadBelowBase,
-                                ReadNotAllocated, ReadInDeletedWindow,
-                                ReadFailure>;
+/// Coarse classification of a ReadOutcome, derived from the payload.
+enum class ReadStatus : std::uint8_t {
+  kData = 0,           // payload + proof (ReadOk, no hold)
+  kHold = 1,           // payload + proof, record under litigation hold
+  kDeleted = 2,        // per-SN deletion proof
+  kBelowBase = 3,      // rightfully deleted below the sliding window
+  kNotAllocated = 4,   // never written (fresh SN_current proof)
+  kDeletedWindow = 5,  // compacted deleted window proof
+  kUnavailable = 6,    // transiently or permanently unanswerable; no verdict
+  kFailure = 7,        // no data and no proof: tampering evidence
+};
+
+const char* to_string(ReadStatus s);
+
+/// The single result type of the read path: exactly one of the §4.2.2
+/// answers (payload+proof, deletion proof, window proof, base/current
+/// proof), the hold notice, transient unavailability, or proofless failure.
+/// Replaces the former bare std::variant alias: call sites use is<T>() /
+/// get_if<T>() / get<T>() or status() instead of std:: variant helpers, and
+/// payload() exposes the underlying variant for std::visit.
+class ReadOutcome {
+ public:
+  using Payload = std::variant<ReadOk, ReadDeleted, ReadBelowBase,
+                               ReadNotAllocated, ReadInDeletedWindow,
+                               ReadUnavailable, ReadFailure>;
+
+  ReadOutcome() : v_(ReadFailure{"empty outcome"}) {}
+  ReadOutcome(ReadOk ok) : v_(std::move(ok)) {}                        // NOLINT
+  ReadOutcome(ReadDeleted d) : v_(std::move(d)) {}                     // NOLINT
+  ReadOutcome(ReadBelowBase b) : v_(std::move(b)) {}                   // NOLINT
+  ReadOutcome(ReadNotAllocated n) : v_(std::move(n)) {}                // NOLINT
+  ReadOutcome(ReadInDeletedWindow w) : v_(std::move(w)) {}             // NOLINT
+  ReadOutcome(ReadUnavailable u) : v_(std::move(u)) {}                 // NOLINT
+  ReadOutcome(ReadFailure f) : v_(std::move(f)) {}                     // NOLINT
+
+  [[nodiscard]] ReadStatus status() const;
+
+  /// True when the outcome carries data (kData or kHold).
+  [[nodiscard]] bool served() const {
+    ReadStatus s = status();
+    return s == ReadStatus::kData || s == ReadStatus::kHold;
+  }
+
+  template <typename T>
+  [[nodiscard]] bool is() const {
+    return std::holds_alternative<T>(v_);
+  }
+  template <typename T>
+  [[nodiscard]] const T* get_if() const {
+    return std::get_if<T>(&v_);
+  }
+  template <typename T>
+  [[nodiscard]] const T& get() const {
+    return std::get<T>(v_);
+  }
+  template <typename T>
+  [[nodiscard]] T& get() {
+    return std::get<T>(v_);
+  }
+
+  /// Shorthand for the common case.
+  [[nodiscard]] const ReadOk* ok() const { return std::get_if<ReadOk>(&v_); }
+
+  /// The underlying variant, for std::visit.
+  [[nodiscard]] const Payload& payload() const { return v_; }
+
+ private:
+  Payload v_;
+};
 
 }  // namespace worm::core

@@ -17,7 +17,7 @@ ReadCache::ReadCache(std::size_t shards, std::size_t capacity) {
   }
 }
 
-std::shared_ptr<const ReadResult> ReadCache::lookup(Sn sn) {
+std::shared_ptr<const ReadOutcome> ReadCache::lookup(Sn sn) {
   if (!enabled()) {
     misses_.fetch_add(1, std::memory_order_relaxed);
     return nullptr;
@@ -35,7 +35,7 @@ std::shared_ptr<const ReadResult> ReadCache::lookup(Sn sn) {
   return it->second->result;
 }
 
-void ReadCache::insert(Sn sn, std::shared_ptr<const ReadResult> result) {
+void ReadCache::insert(Sn sn, std::shared_ptr<const ReadOutcome> result) {
   if (!enabled() || result == nullptr) return;
   Shard& s = shard_for(sn);
   common::ExclusiveLock lk(s.mu);

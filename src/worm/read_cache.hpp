@@ -58,11 +58,11 @@ class ReadCache {
   [[nodiscard]] bool enabled() const { return per_shard_cap_ > 0; }
 
   /// Cached result for sn, or nullptr. Refreshes recency on hit.
-  [[nodiscard]] std::shared_ptr<const ReadResult> lookup(Sn sn);
+  [[nodiscard]] std::shared_ptr<const ReadOutcome> lookup(Sn sn);
 
   /// Caches `result` for sn (overwrites), evicting the shard's least
   /// recently used entry when the shard is at capacity.
-  void insert(Sn sn, std::shared_ptr<const ReadResult> result);
+  void insert(Sn sn, std::shared_ptr<const ReadOutcome> result);
 
   void invalidate(Sn sn);
   void invalidate_range(Sn lo, Sn hi);  // inclusive
@@ -74,7 +74,7 @@ class ReadCache {
 
  private:
   struct Entry {
-    std::shared_ptr<const ReadResult> result;
+    std::shared_ptr<const ReadOutcome> result;
     std::atomic<std::uint64_t> last_used{0};
   };
   struct Shard {

@@ -64,8 +64,8 @@ Sn WormFs::write_file(const std::string& path, ByteView content, Attr attr,
   return sn;
 }
 
-std::variant<FsReadOk, ReadResult> WormFs::read_file(const std::string& path,
-                                                     std::uint32_t version) {
+std::variant<FsReadOk, ReadOutcome> WormFs::read_file(const std::string& path,
+                                                      std::uint32_t version) {
   auto it = index_.find(path);
   WORM_REQUIRE(it != index_.end() && !it->second.chain.empty(),
                "WormFs: unknown path " + path);
@@ -84,8 +84,8 @@ std::variant<FsReadOk, ReadResult> WormFs::read_file(const std::string& path,
                  "WormFs: no such version of " + path);
   }
 
-  ReadResult res = store_.read(target->sn);
-  if (auto* ok = std::get_if<ReadOk>(&res)) {
+  ReadOutcome res = store_.read(target->sn);
+  if (const auto* ok = res.get_if<ReadOk>()) {
     if (ok->payloads.size() == 2) {
       if (auto header = FsHeader::parse(ok->payloads[0])) {
         FsReadOk out;
@@ -166,10 +166,10 @@ FsAuditReport WormFs::audit(const ClientVerifier& verifier) {
     std::uint32_t expected_version = state.chain.back().version;
     while (cursor != kInvalidSn) {
       ++report.versions;
-      ReadResult res = store_.read(cursor);
+      ReadOutcome res = store_.read(cursor);
       Outcome out = verifier.verify_read(cursor, res);
       if (out.verdict == Verdict::kAuthentic) {
-        auto* ok = std::get_if<ReadOk>(&res);
+        const auto* ok = res.get_if<ReadOk>();
         // The verifier just checked these payloads against the witnessed
         // hash; parse the header from them rather than re-reading the disk.
         std::optional<FsHeader> header;

@@ -85,9 +85,10 @@ class WormFs {
                 Attr attr, std::optional<WitnessMode> mode = std::nullopt);
 
   /// Reads a specific version (0 = latest). Returns the applicable
-  /// ReadResult from the store when the version is gone/expired.
-  std::variant<FsReadOk, ReadResult> read_file(const std::string& path,
-                                               std::uint32_t version = 0);
+  /// ReadOutcome from the store when the version is gone/expired (or
+  /// transiently unavailable).
+  std::variant<FsReadOk, ReadOutcome> read_file(const std::string& path,
+                                                std::uint32_t version = 0);
 
   [[nodiscard]] bool exists(const std::string& path) const;
 

@@ -5,6 +5,7 @@
 
 #include "common/error.hpp"
 #include "common/log.hpp"
+#include "common/serial.hpp"
 #include "crypto/chained_hash.hpp"
 #include "crypto/sha256.hpp"
 
@@ -14,13 +15,51 @@ using common::Bytes;
 using common::ByteView;
 using common::SimTime;
 
+void StoreConfig::validate() const {
+  WORM_REQUIRE(compaction_min_run > 0,
+               "StoreConfig.compaction_min_run must be nonzero");
+  WORM_REQUIRE(idle_batch > 0 && idle_batch <= kMaxBatchItems,
+               "StoreConfig.idle_batch must be in [1, 1024]");
+  WORM_REQUIRE(read_cache_shards > 0,
+               "StoreConfig.read_cache_shards must be nonzero (zero shards "
+               "cannot hold any capacity; set read_cache_capacity = 0 to "
+               "disable the cache)");
+  WORM_REQUIRE(mailbox.max_batch > 0 && mailbox.max_batch <= kMaxBatchItems,
+               "StoreConfig.mailbox.max_batch must be in [1, 1024]");
+  WORM_REQUIRE(mailbox.retry_max_attempts > 0,
+               "StoreConfig.mailbox.retry_max_attempts must be nonzero");
+  WORM_REQUIRE(mailbox.retry_backoff_factor > 0,
+               "StoreConfig.mailbox.retry_backoff_factor must be nonzero");
+  WORM_REQUIRE(mailbox.retry_initial_backoff.ns >= 0,
+               "StoreConfig.mailbox.retry_initial_backoff must not be "
+               "negative");
+  WORM_REQUIRE(mailbox.response_timeout.ns >= 0,
+               "StoreConfig.mailbox.response_timeout must not be negative");
+  WORM_REQUIRE(mailbox.retry_deadline.ns >= 0,
+               "StoreConfig.mailbox.retry_deadline must not be negative");
+  WORM_REQUIRE(mailbox.retry_deadline >= mailbox.retry_initial_backoff,
+               "StoreConfig.mailbox.retry_deadline is shorter than "
+               "retry_initial_backoff (inverted durations)");
+  WORM_REQUIRE(strengthen_margin.ns >= 0,
+               "StoreConfig.strengthen_margin must not be negative");
+}
+
+namespace {
+/// Validates before any member that depends on the config is constructed
+/// (the read cache would otherwise be built from a rejected shard count).
+const StoreConfig& validated(const StoreConfig& config) {
+  config.validate();
+  return config;
+}
+}  // namespace
+
 WormStore::WormStore(common::SimClock& clock, Firmware& firmware,
                      storage::RecordStore& records, StoreConfig config)
     : clock_(clock),
       firmware_(firmware),
       records_(records),
       config_(std::move(config)),
-      mailbox_(firmware, config_.mailbox),
+      mailbox_(firmware, validated(config_).mailbox, config_.fault),
       read_cache_(config_.read_cache_shards, config_.read_cache_capacity) {
   // Out-of-band deployment wiring: interrupt registration and policy
   // parameters a real host learns at provisioning time. Everything else —
@@ -28,6 +67,10 @@ WormStore::WormStore(common::SimClock& clock, Firmware& firmware,
   // mailbox.
   firmware_.set_host_agent(this);
   short_sig_lifetime_ = firmware_.config().short_sig_lifetime;
+  records_.set_fault_injector(config_.fault);
+  if (!config_.journal_path.empty()) {
+    journal_ = HostJournal(config_.journal_path, config_.fault);
+  }
 
   // Duty trampolines run only from pump()/service_urgent(), which the store
   // enters exclusively; assert_held() hands that fact to the thread-safety
@@ -55,14 +98,23 @@ WormStore::WormStore(common::SimClock& clock, Firmware& firmware,
     return do_vexp_rebuild();
   });
 
-  heartbeat_ = mailbox_.channel().heartbeat();
-  // Seed the scheduling mirrors — non-zero when the firmware was restored
-  // from battery-backed NVRAM before this store attached.
-  ScpuStatus st = mailbox_.channel().status();
-  sn_current_mirror_ = st.sn_current;
-  sn_base_mirror_ = st.sn_base;
-  deferred_mirror_count_ = st.deferred_count;
-  deferred_mirror_earliest_ = st.earliest_deadline;
+  try {
+    // Seed the scheduling mirrors — non-zero when the firmware was restored
+    // from battery-backed NVRAM before this store attached — and continue
+    // the crossing sequence where the device last saw it, so fresh commands
+    // can never collide with the dedup cache.
+    ScpuStatus st = mailbox_.channel().status();
+    sn_current_mirror_ = st.sn_current;
+    sn_base_mirror_ = st.sn_base;
+    deferred_mirror_count_ = st.deferred_count;
+    deferred_mirror_earliest_ = st.earliest_deadline;
+    mailbox_.channel().set_next_seq(st.last_seq + 1);
+    heartbeat_ = mailbox_.channel().heartbeat();
+  } catch (const ScpuDeadError&) {
+    // Booting over a zeroized device: come up in read-only verified mode —
+    // reads are served from whatever proofs the host still holds.
+    degraded_ = true;
+  }
 }
 
 WormStore::~WormStore() { firmware_.set_host_agent(nullptr); }
@@ -73,6 +125,107 @@ common::ThreadPool& WormStore::read_pool() {
   });
   return *read_pool_;
 }
+
+void WormStore::require_mutable() const {
+  if (degraded_) {
+    throw common::ReadOnlyStoreError(
+        "store is in read-only verified mode (SCPU zeroized); mutation "
+        "rejected");
+  }
+}
+
+void WormStore::enter_degraded(const ScpuDeadError& cause) {
+  degraded_ = true;
+  throw common::ReadOnlyStoreError(
+      std::string("SCPU zeroized; store degraded to read-only verified "
+                  "mode: ") +
+      cause.what());
+}
+
+// ---------------------------------------------------------------------------
+// Journaled sequenced crossings (WAL discipline: intent before send, every
+// soft-state mutation journaled before it is applied, completion last)
+// ---------------------------------------------------------------------------
+
+WormStore::Sequenced WormStore::sequenced(Bytes frame) {
+  ScpuChannel::Prepared cmd = mailbox_.channel().prepare(std::move(frame));
+  if (journal_.enabled()) {
+    common::ByteWriter w;
+    w.u64(cmd.seq);
+    w.blob(cmd.request);
+    journal_.append(JournalRecordType::kIntent, w.bytes());
+    pending_seqs_.insert(cmd.seq);
+  }
+  Bytes payload;
+  try {
+    payload = mailbox_.channel().send_ok(cmd);
+  } catch (const ScpuDeadError&) {
+    throw;
+  } catch (const ChannelTimeoutError&) {
+    // The command may or may not have executed; the intent stays pending and
+    // recover() reconciles it (the device-side dedup makes that safe).
+    throw;
+  } catch (const ChannelError&) {
+    // Definitive rejection: the device answered, so it did NOT execute.
+    complete_intent(cmd.seq);
+    throw;
+  }
+  return {std::move(payload), cmd.seq};
+}
+
+void WormStore::complete_intent(std::uint64_t seq) {
+  if (!journal_.enabled()) return;
+  common::ByteWriter w;
+  w.u64(seq);
+  journal_.append(JournalRecordType::kComplete, w.bytes());
+  pending_seqs_.erase(seq);
+}
+
+void WormStore::journal_put_active(const Vrd& vrd) {
+  if (!journal_.enabled()) return;
+  common::ByteWriter w;
+  vrd.serialize(w);
+  journal_.append(JournalRecordType::kPutActive, w.bytes());
+}
+
+void WormStore::journal_put_deleted(const DeletionProof& proof) {
+  if (!journal_.enabled()) return;
+  common::ByteWriter w;
+  proof.serialize(w);
+  journal_.append(JournalRecordType::kPutDeleted, w.bytes());
+}
+
+void WormStore::journal_sig_update(Sn sn, const Attr* attr,
+                                   const SigBox& metasig,
+                                   const SigBox* datasig) {
+  if (!journal_.enabled()) return;
+  common::ByteWriter w;
+  w.u64(sn);
+  w.boolean(attr != nullptr);
+  if (attr != nullptr) attr->serialize(w);
+  metasig.serialize(w);
+  w.boolean(datasig != nullptr);
+  if (datasig != nullptr) datasig->serialize(w);
+  journal_.append(JournalRecordType::kSigUpdate, w.bytes());
+}
+
+void WormStore::journal_apply_window(const DeletedWindow& window) {
+  if (!journal_.enabled()) return;
+  common::ByteWriter w;
+  window.serialize(w);
+  journal_.append(JournalRecordType::kApplyWindow, w.bytes());
+}
+
+void WormStore::journal_trim_below(Sn sn_base) {
+  if (!journal_.enabled()) return;
+  common::ByteWriter w;
+  w.u64(sn_base);
+  journal_.append(JournalRecordType::kTrimBelow, w.bytes());
+}
+
+// ---------------------------------------------------------------------------
+// Storage helpers
+// ---------------------------------------------------------------------------
 
 storage::RecordDescriptor WormStore::store_payload(const Bytes& payload) {
   if (!config_.dedup) return records_.write(payload);
@@ -145,7 +298,7 @@ Firmware::BatchItem WormStore::prepare_item(const WriteRequest& request) {
 Sn WormStore::finish_write(WriteWitness witness,
                            std::vector<storage::RecordDescriptor> rdl,
                            WitnessMode mode) {
-  // Main CPU assembles the VRD and persists it in the VRDT.
+  // Main CPU assembles the VRD, journals it, and persists it in the VRDT.
   Vrd vrd;
   vrd.sn = witness.sn;
   vrd.attr = witness.attr;
@@ -155,6 +308,7 @@ Sn WormStore::finish_write(WriteWitness witness,
   vrd.datasig = std::move(witness.datasig);
   SimTime created = vrd.attr.creation_time;
   Sn sn = vrd.sn;
+  journal_put_active(vrd);
   vrdt_.put_active(std::move(vrd));
 
   sn_current_mirror_ = std::max(sn_current_mirror_, sn);
@@ -165,16 +319,24 @@ Sn WormStore::finish_write(WriteWitness witness,
 
 Sn WormStore::write(const WriteRequest& request) {
   common::ExclusiveLock lk(state_mu_);
-  maybe_service_deadline();
-  WitnessMode mode = request.mode.value_or(config_.default_mode);
-  Firmware::BatchItem item = prepare_item(request);
-  std::vector<storage::RecordDescriptor> rdl = item.rdl;
+  require_mutable();
+  try {
+    maybe_service_deadline();
+    WitnessMode mode = request.mode.value_or(config_.default_mode);
+    Firmware::BatchItem item = prepare_item(request);
+    std::vector<storage::RecordDescriptor> rdl = item.rdl;
 
-  // 3. SCPU witnesses the update over one mailbox crossing.
-  WriteWitness w =
-      mailbox_.channel().write(item.attr, item.rdl, item.payloads,
-                               item.claimed_hash, mode, config_.hash_mode);
-  return finish_write(std::move(w), std::move(rdl), mode);
+    // 3. SCPU witnesses the update over one sequenced mailbox crossing.
+    Sequenced sq = sequenced(ScpuChannel::encode_write(
+        item.attr, item.rdl, item.payloads, item.claimed_hash, mode,
+        config_.hash_mode));
+    Sn sn = finish_write(ScpuChannel::decode_write_response(sq.payload),
+                         std::move(rdl), mode);
+    complete_intent(sq.seq);
+    return sn;
+  } catch (const ScpuDeadError& e) {
+    enter_degraded(e);
+  }
 }
 
 std::vector<Sn> WormStore::write_batch(
@@ -182,34 +344,51 @@ std::vector<Sn> WormStore::write_batch(
   std::vector<Sn> sns;
   if (requests.empty()) return sns;
   common::ExclusiveLock lk(state_mu_);
-  maybe_service_deadline();
-  mailbox_.note_queue_depth(requests.size());
+  require_mutable();
   sns.reserve(requests.size());
+  try {
+    maybe_service_deadline();
+    mailbox_.note_queue_depth(requests.size());
 
-  // Consecutive requests with the same effective witness mode share
-  // kWriteBatch crossings (the wire command carries one mode per batch).
-  std::size_t i = 0;
-  while (i < requests.size()) {
-    WitnessMode mode = requests[i].mode.value_or(config_.default_mode);
-    std::vector<Firmware::BatchItem> items;
-    std::vector<std::vector<storage::RecordDescriptor>> rdls;
-    std::size_t j = i;
-    while (j < requests.size() &&
-           requests[j].mode.value_or(config_.default_mode) == mode) {
-      Firmware::BatchItem item = prepare_item(requests[j]);
-      rdls.push_back(item.rdl);
-      items.push_back(std::move(item));
-      ++j;
+    // Consecutive requests with the same effective witness mode share
+    // kWriteBatch crossings (the wire command carries one mode per batch).
+    std::size_t i = 0;
+    while (i < requests.size()) {
+      WitnessMode mode = requests[i].mode.value_or(config_.default_mode);
+      std::vector<Firmware::BatchItem> items;
+      std::vector<std::vector<storage::RecordDescriptor>> rdls;
+      std::size_t j = i;
+      while (j < requests.size() &&
+             requests[j].mode.value_or(config_.default_mode) == mode) {
+        Firmware::BatchItem item = prepare_item(requests[j]);
+        rdls.push_back(item.rdl);
+        items.push_back(std::move(item));
+        ++j;
+      }
+      // One journaled sequenced crossing per max_batch-sized chunk.
+      std::size_t chunk = std::max<std::size_t>(config_.mailbox.max_batch, 1);
+      for (std::size_t off = 0; off < items.size(); off += chunk) {
+        std::size_t n = std::min(chunk, items.size() - off);
+        std::vector<Firmware::BatchItem> slice(
+            items.begin() + static_cast<std::ptrdiff_t>(off),
+            items.begin() + static_cast<std::ptrdiff_t>(off + n));
+        Sequenced sq = sequenced(
+            ScpuChannel::encode_write_batch(slice, mode, config_.hash_mode));
+        std::vector<WriteWitness> witnesses =
+            ScpuChannel::decode_write_batch_response(sq.payload);
+        WORM_CHECK(witnesses.size() == n,
+                   "write_batch: witness count mismatch");
+        mailbox_.note_batch(witnesses.size());
+        for (std::size_t k = 0; k < witnesses.size(); ++k) {
+          sns.push_back(finish_write(std::move(witnesses[k]),
+                                     std::move(rdls[off + k]), mode));
+        }
+        complete_intent(sq.seq);
+      }
+      i = j;
     }
-    std::vector<WriteWitness> witnesses =
-        mailbox_.write_batch(items, mode, config_.hash_mode);
-    WORM_CHECK(witnesses.size() == items.size(),
-               "write_batch: witness count mismatch");
-    for (std::size_t k = 0; k < witnesses.size(); ++k) {
-      sns.push_back(
-          finish_write(std::move(witnesses[k]), std::move(rdls[k]), mode));
-    }
-    i = j;
+  } catch (const ScpuDeadError& e) {
+    enter_degraded(e);
   }
   return sns;
 }
@@ -233,97 +412,143 @@ SignedSnBase& WormStore::fresh_base() {
   return *base_;
 }
 
-void WormStore::maybe_cache_locked(Sn sn, const ReadResult& r) {
+void WormStore::maybe_cache_locked(Sn sn, const ReadOutcome& r) {
   // Cacheability policy lives with ReadCache's header comment: VRDs and
   // time-invariant absence proofs only — no payload bytes, no
-  // freshness-stamped proofs, no failures.
-  if (const auto* ok = std::get_if<ReadOk>(&r)) {
+  // freshness-stamped proofs, no failures or unavailability notices.
+  if (const ReadOk* ok = r.get_if<ReadOk>()) {
     ReadOk skeleton;
     skeleton.vrd = ok->vrd;  // payloads re-read from the device on each hit
     read_cache_.insert(
-        sn, std::make_shared<const ReadResult>(std::move(skeleton)));
-  } else if (std::holds_alternative<ReadDeleted>(r) ||
-             std::holds_alternative<ReadInDeletedWindow>(r)) {
-    read_cache_.insert(sn, std::make_shared<const ReadResult>(r));
+        sn, std::make_shared<const ReadOutcome>(std::move(skeleton)));
+  } else if (r.is<ReadDeleted>() || r.is<ReadInDeletedWindow>()) {
+    read_cache_.insert(sn, std::make_shared<const ReadOutcome>(r));
   }
 }
 
-std::optional<ReadResult> WormStore::read_locked(Sn sn) {
+std::optional<ReadOutcome> WormStore::read_locked(Sn sn) {
   if (const Vrdt::Entry* e = vrdt_.find(sn); e != nullptr) {
     if (e->kind == Vrdt::Entry::Kind::kActive) {
       ReadOk ok;
       ok.vrd = e->vrd;
       ok.payloads = read_payloads(e->vrd);
-      return ReadResult{std::move(ok)};
+      return ReadOutcome{std::move(ok)};
     }
-    return ReadResult{ReadDeleted{e->proof}};
+    return ReadOutcome{ReadDeleted{e->proof}};
   }
   if (const DeletedWindow* w = vrdt_.find_window(sn); w != nullptr) {
-    return ReadResult{ReadInDeletedWindow{*w}};
+    return ReadOutcome{ReadInDeletedWindow{*w}};
   }
   if (sn < sn_base_mirror_) {
     if (base_.has_value() && clock_.now() < base_->expires_at) {
-      return ReadResult{ReadBelowBase{*base_}};
+      return ReadOutcome{ReadBelowBase{*base_}};
     }
     return std::nullopt;  // expired base: refreshing needs a mailbox crossing
   }
+  if (!pending_seqs_.empty() && sn > sn_current_mirror_) {
+    // An unreconciled intent may have allocated this SN on the device: a
+    // "never existed" answer from the pre-intent heartbeat would be a lie
+    // the host knows it cannot stand behind. Unavailable until recover().
+    return ReadOutcome{ReadUnavailable{
+        "host journal holds unreconciled intents; SN " + std::to_string(sn) +
+            " may be in flight",
+        /*retryable=*/true}};
+  }
   if (sn > heartbeat_.sn_current) {
-    return ReadResult{ReadNotAllocated{heartbeat_}};
+    if (heartbeat_.sig.empty()) {
+      // Never obtained a signed heartbeat (booted over a dead device): an
+      // unsigned "not allocated" would be worthless to the client.
+      return ReadOutcome{ReadUnavailable{
+          "no signed SN_current heartbeat held", /*retryable=*/!degraded_}};
+    }
+    return ReadOutcome{ReadNotAllocated{heartbeat_}};
+  }
+  if (!pending_seqs_.empty()) {
+    // An in-flight sequenced command may have materialized this SN on the
+    // device while the host answer was lost; until recover() reconciles the
+    // journal, absence here is unavailability, not evidence.
+    return ReadOutcome{ReadUnavailable{
+        "host journal holds unreconciled intents; SN " + std::to_string(sn) +
+            " may be in flight",
+        /*retryable=*/true}};
   }
   // An allocated, in-window SN with no entry and no proof: the store has
   // lost (or hidden) a record — there is nothing honest to answer.
-  return ReadResult{ReadFailure{"no entry and no deletion proof for SN " +
-                                std::to_string(sn)}};
+  return ReadOutcome{ReadFailure{"no entry and no deletion proof for SN " +
+                                 std::to_string(sn)}};
 }
 
-ReadResult WormStore::read_below_base_locked(Sn sn) {
+ReadOutcome WormStore::read_below_base_locked(Sn sn) {
   // Refreshing an expired cached base is the one read-path step that may
-  // touch the SCPU; if the device is gone (tamper response), the read
-  // still answers — with an honest "no proof available".
+  // touch the SCPU; if the device is gone (tamper response), the read still
+  // answers — with the last held proof, or an honest unavailability notice.
   try {
-    return ReadBelowBase{fresh_base()};
+    return ReadOutcome{ReadBelowBase{fresh_base()}};
+  } catch (const ScpuDeadError& e) {
+    degraded_ = true;
+    if (base_.has_value()) return ReadOutcome{ReadBelowBase{*base_}};
+    return ReadOutcome{ReadUnavailable{
+        std::string("SCPU zeroized and no base proof held for SN ") +
+            std::to_string(sn) + ": " + e.what(),
+        /*retryable=*/false}};
   } catch (const ChannelError& e) {
-    if (base_.has_value()) return ReadBelowBase{*base_};  // maybe stale
-    return ReadFailure{std::string("cannot obtain base proof for SN ") +
-                       std::to_string(sn) + ": " + e.what()};
+    if (base_.has_value()) return ReadOutcome{ReadBelowBase{*base_}};
+    return ReadOutcome{ReadUnavailable{
+        std::string("cannot obtain base proof for SN ") + std::to_string(sn) +
+            ": " + e.what(),
+        /*retryable=*/true}};
   }
 }
 
-ReadResult WormStore::read(Sn sn) {
+ReadOutcome WormStore::read(Sn sn) {
   ++ops_.reads;
-  {
-    common::SharedLock lk(state_mu_);
-    if (auto cached = read_cache_.lookup(sn)) {
-      if (const auto* ok = std::get_if<ReadOk>(cached.get())) {
-        // Cached entries hold no payload bytes; fetch them from the device
-        // so platter-level tampering is never masked by host memory. The
-        // shared lock orders this against expiry-time shredding.
-        ReadOk out;
-        out.vrd = ok->vrd;
-        out.payloads = read_payloads(out.vrd);
-        return out;
+  ReadOutcome out = [&]() -> ReadOutcome {
+    try {
+      {
+        common::SharedLock lk(state_mu_);
+        if (auto cached = read_cache_.lookup(sn)) {
+          if (const ReadOk* ok = cached->get_if<ReadOk>()) {
+            // Cached entries hold no payload bytes; fetch them from the
+            // device so platter-level tampering is never masked by host
+            // memory. The shared lock orders this against expiry-time
+            // shredding.
+            ReadOk full;
+            full.vrd = ok->vrd;
+            full.payloads = read_payloads(full.vrd);
+            return ReadOutcome{std::move(full)};
+          }
+          return *cached;
+        }
+        if (auto r = read_locked(sn)) {
+          maybe_cache_locked(sn, *r);
+          return std::move(*r);
+        }
       }
-      return *cached;
+      // The base proof expired; refreshing it crosses the mailbox, which
+      // only the exclusive path may do. State may have moved while the
+      // shared lock was dropped, so answer again from scratch.
+      common::ExclusiveLock lk(state_mu_);
+      if (auto r = read_locked(sn)) {
+        maybe_cache_locked(sn, *r);
+        return std::move(*r);
+      }
+      return read_below_base_locked(sn);
+    } catch (const common::TransientStorageError& e) {
+      // Payload read kept failing past the device retry budget: transient
+      // unavailability, never silently-wrong bytes.
+      return ReadOutcome{ReadUnavailable{
+          std::string("payload read failed for SN ") + std::to_string(sn) +
+              ": " + e.what(),
+          /*retryable=*/true}};
     }
-    if (auto r = read_locked(sn)) {
-      maybe_cache_locked(sn, *r);
-      return std::move(*r);
-    }
-  }
-  // The base proof expired; refreshing it crosses the mailbox, which only
-  // the exclusive path may do. State may have moved while the shared lock
-  // was dropped, so answer again from scratch.
-  common::ExclusiveLock lk(state_mu_);
-  if (auto r = read_locked(sn)) {
-    maybe_cache_locked(sn, *r);
-    return std::move(*r);
-  }
-  return read_below_base_locked(sn);
+  }();
+  if (out.is<ReadUnavailable>()) ++ops_.reads_unavailable;
+  return out;
 }
 
-std::vector<ReadResult> WormStore::read_many(const std::vector<Sn>& sns) {
+std::vector<ReadOutcome> WormStore::read_many(const std::vector<Sn>& sns) {
   ++ops_.read_many_batches;
-  std::vector<ReadResult> out(sns.size());
+  std::vector<ReadOutcome> out(sns.size());
   read_pool().parallel_for(sns.size(),
                            [&](std::size_t i) { out[i] = read(sns[i]); });
   return out;
@@ -333,29 +558,48 @@ std::vector<ReadResult> WormStore::read_many(const std::vector<Sn>& sns) {
 // Litigation
 // ---------------------------------------------------------------------------
 
+void WormStore::apply_lit_update(Sn sn, Firmware::LitUpdate up) {
+  Vrdt::Entry* e = vrdt_.mutable_entry(sn);
+  if (e == nullptr || e->kind != Vrdt::Entry::Kind::kActive) return;
+  journal_sig_update(sn, &up.attr, up.metasig, nullptr);
+  e->vrd.attr = std::move(up.attr);
+  e->vrd.metasig = std::move(up.metasig);
+  read_cache_.invalidate(sn);
+}
+
 void WormStore::lit_hold(const LitigationRequest& request) {
   common::ExclusiveLock lk(state_mu_);
+  require_mutable();
   Vrdt::Entry* e = vrdt_.mutable_entry(request.sn);
   WORM_REQUIRE(e != nullptr && e->kind == Vrdt::Entry::Kind::kActive,
                "lit_hold: record not active");
-  Firmware::LitUpdate up = mailbox_.channel().lit_hold(
-      e->vrd, request.hold_until, request.lit_id, request.cred_issued_at,
-      request.credential);
-  e->vrd.attr = std::move(up.attr);
-  e->vrd.metasig = std::move(up.metasig);
-  read_cache_.invalidate(request.sn);
+  try {
+    Sequenced sq = sequenced(ScpuChannel::encode_lit_hold(
+        e->vrd, request.hold_until, request.lit_id, request.cred_issued_at,
+        request.credential));
+    apply_lit_update(request.sn,
+                     ScpuChannel::decode_lit_response(sq.payload));
+    complete_intent(sq.seq);
+  } catch (const ScpuDeadError& dead) {
+    enter_degraded(dead);
+  }
 }
 
 void WormStore::lit_release(const LitigationRequest& request) {
   common::ExclusiveLock lk(state_mu_);
+  require_mutable();
   Vrdt::Entry* e = vrdt_.mutable_entry(request.sn);
   WORM_REQUIRE(e != nullptr && e->kind == Vrdt::Entry::Kind::kActive,
                "lit_release: record not active");
-  Firmware::LitUpdate up = mailbox_.channel().lit_release(
-      e->vrd, request.lit_id, request.cred_issued_at, request.credential);
-  e->vrd.attr = std::move(up.attr);
-  e->vrd.metasig = std::move(up.metasig);
-  read_cache_.invalidate(request.sn);
+  try {
+    Sequenced sq = sequenced(ScpuChannel::encode_lit_release(
+        e->vrd, request.lit_id, request.cred_issued_at, request.credential));
+    apply_lit_update(request.sn,
+                     ScpuChannel::decode_lit_response(sq.payload));
+    complete_intent(sq.seq);
+  } catch (const ScpuDeadError& dead) {
+    enter_degraded(dead);
+  }
 }
 
 // ---------------------------------------------------------------------------
@@ -366,6 +610,9 @@ void WormStore::on_expire(Sn sn, DeletionProof proof) {
   // Fired from the driver thread's clock dispatch (never re-entrantly from
   // inside a mailbox crossing), so taking the exclusive lock is safe.
   common::ExclusiveLock lk(state_mu_);
+  // WAL first: the proof is delivered exactly once and must survive a crash
+  // between this interrupt and the next checkpoint.
+  journal_put_deleted(proof);
   Vrdt::Entry* e = vrdt_.mutable_entry(sn);
   if (e == nullptr || e->kind != Vrdt::Entry::Kind::kActive) {
     // Already gone (e.g. duplicate expiration after a lit-release); the
@@ -391,13 +638,7 @@ void WormStore::on_heartbeat(SignedSnCurrent current) {
   sn_current_mirror_ = std::max(sn_current_mirror_, heartbeat_.sn_current);
 }
 
-void WormStore::adopt_vrdt(Vrdt vrdt) {
-  common::ExclusiveLock lk(state_mu_);
-  WORM_REQUIRE(ops_.writes == 0 && vrdt_.entry_count() == 0,
-               "adopt_vrdt: store already in service");
-  vrdt_ = std::move(vrdt);
-  read_cache_.clear();
-  if (!config_.dedup) return;
+void WormStore::rebuild_dedup_index_locked() {
   // Rebuild the content index: payloads hashed once per referenced record.
   content_index_.clear();
   rd_refs_.clear();
@@ -415,6 +656,247 @@ void WormStore::adopt_vrdt(Vrdt vrdt) {
   }
 }
 
+void WormStore::adopt_vrdt(Vrdt vrdt) {
+  common::ExclusiveLock lk(state_mu_);
+  WORM_REQUIRE(ops_.writes == 0 && vrdt_.entry_count() == 0,
+               "adopt_vrdt: store already in service");
+  vrdt_ = std::move(vrdt);
+  read_cache_.clear();
+  if (journal_.enabled()) {
+    // The adopted snapshot becomes the journal's new baseline.
+    std::vector<JournalRecord> fresh;
+    fresh.push_back({JournalRecordType::kCheckpoint, vrdt_.serialize()});
+    journal_.rewrite(fresh);
+  }
+  if (config_.dedup) rebuild_dedup_index_locked();
+}
+
+// ---------------------------------------------------------------------------
+// Crash recovery
+// ---------------------------------------------------------------------------
+
+WormStore::RecoveryReport WormStore::recover() {
+  common::ExclusiveLock lk(state_mu_);
+  WORM_REQUIRE(journal_.enabled(),
+               "recover: store has no journal configured (journal_path)");
+  WORM_REQUIRE(ops_.writes == 0 && vrdt_.entry_count() == 0,
+               "recover: store already in service");
+
+  RecoveryReport report;
+  HostJournal::ReplayResult replay = journal_.replay();
+  report.torn_tail = replay.torn_tail;
+  report.torn_bytes = replay.torn_bytes;
+
+  // Phase 1: fold the journal into host soft state, collecting intents whose
+  // completion never landed.
+  std::map<std::uint64_t, Bytes> pending;
+  for (const JournalRecord& rec : replay.records) {
+    common::ByteReader r(rec.payload);
+    try {
+      switch (rec.type) {
+        case JournalRecordType::kCheckpoint:
+          vrdt_ = Vrdt::deserialize(rec.payload);
+          break;
+        case JournalRecordType::kPutActive:
+          vrdt_.put_active(Vrd::deserialize(r));
+          r.expect_end();
+          break;
+        case JournalRecordType::kPutDeleted: {
+          DeletionProof proof = DeletionProof::deserialize(r);
+          r.expect_end();
+          vrdt_.put_deleted(std::move(proof));
+          break;
+        }
+        case JournalRecordType::kSigUpdate: {
+          Sn sn = r.u64();
+          std::optional<Attr> attr;
+          if (r.boolean()) attr = Attr::deserialize(r);
+          SigBox metasig = SigBox::deserialize(r);
+          std::optional<SigBox> datasig;
+          if (r.boolean()) datasig = SigBox::deserialize(r);
+          r.expect_end();
+          if (Vrdt::Entry* e = vrdt_.mutable_entry(sn);
+              e != nullptr && e->kind == Vrdt::Entry::Kind::kActive) {
+            if (attr.has_value()) e->vrd.attr = std::move(*attr);
+            e->vrd.metasig = std::move(metasig);
+            if (datasig.has_value()) e->vrd.datasig = std::move(*datasig);
+          }
+          break;
+        }
+        case JournalRecordType::kApplyWindow: {
+          DeletedWindow window = DeletedWindow::deserialize(r);
+          r.expect_end();
+          vrdt_.apply_window(window);
+          break;
+        }
+        case JournalRecordType::kTrimBelow: {
+          Sn sn_base = r.u64();
+          r.expect_end();
+          vrdt_.trim_below(sn_base);
+          sn_base_mirror_ = std::max(sn_base_mirror_, sn_base);
+          break;
+        }
+        case JournalRecordType::kIntent: {
+          std::uint64_t seq = r.u64();
+          pending[seq] = r.blob();
+          r.expect_end();
+          break;
+        }
+        case JournalRecordType::kComplete: {
+          std::uint64_t seq = r.u64();
+          r.expect_end();
+          pending.erase(seq);
+          break;
+        }
+      }
+    } catch (const common::Error&) {
+      // Damaged (or adversarially edited) record: stop trusting the rest of
+      // the journal. Unavailability at worst — never a forged verdict, since
+      // everything served from here is still signature-checked by clients.
+      report.torn_tail = true;
+      break;
+    }
+    ++report.replayed;
+  }
+  recovery_replayed_ += report.replayed;
+  recovery_torn_bytes_ += report.torn_bytes;
+
+  // Phase 2: reconcile with the device and resend pending intents verbatim.
+  // The device's per-(seq, crc) response cache turns each resend into
+  // exactly-once: already-executed commands answer from the cache without
+  // re-executing.
+  std::map<std::uint64_t, Bytes> unresolved;
+  try {
+    ScpuStatus st = mailbox_.channel().status();
+    std::uint64_t next = st.last_seq;
+    if (!pending.empty()) next = std::max(next, pending.rbegin()->first);
+    mailbox_.channel().set_next_seq(next + 1);
+
+    for (auto& [seq, frame] : pending) {
+      ++report.resent;
+      ++recovery_resent_;
+      Bytes payload;
+      try {
+        payload = mailbox_.channel().send_ok(
+            ScpuChannel::Prepared{seq, frame});
+      } catch (const ScpuDeadError&) {
+        throw;
+      } catch (const ChannelTimeoutError&) {
+        // The resend itself timed out — the original delivery (or this one)
+        // may still have executed. The intent must stay on the books: reads
+        // of possibly-allocated SNs keep answering unavailable, and a later
+        // recover() retries the resend through the dedup cache.
+        ++report.unresolved;
+        unresolved.emplace(seq, frame);
+        continue;
+      } catch (const ChannelError&) {
+        // Rejected: deterministic, so the original delivery (if any) was
+        // rejected too. Nothing executed; abandon the intent.
+        ++report.abandoned;
+        complete_intent(seq);
+        continue;
+      }
+      switch (ScpuChannel::request_opcode(frame)) {
+        case OpCode::kWrite: {
+          ScpuChannel::ParsedWrite parsed =
+              ScpuChannel::decode_write_request(frame);
+          Sn sn = finish_write(ScpuChannel::decode_write_response(payload),
+                               std::move(parsed.item.rdl), parsed.mode);
+          report.recovered_sns.push_back(sn);
+          break;
+        }
+        case OpCode::kWriteBatch: {
+          ScpuChannel::ParsedWriteBatch parsed =
+              ScpuChannel::decode_write_batch_request(frame);
+          std::vector<WriteWitness> witnesses =
+              ScpuChannel::decode_write_batch_response(payload);
+          WORM_CHECK(witnesses.size() == parsed.items.size(),
+                     "recover: batch witness count mismatch");
+          for (std::size_t k = 0; k < witnesses.size(); ++k) {
+            Sn sn = finish_write(std::move(witnesses[k]),
+                                 std::move(parsed.items[k].rdl), parsed.mode);
+            report.recovered_sns.push_back(sn);
+          }
+          break;
+        }
+        case OpCode::kLitHold:
+        case OpCode::kLitRelease:
+          apply_lit_update(ScpuChannel::decode_lit_request_sn(frame),
+                           ScpuChannel::decode_lit_response(payload));
+          break;
+        case OpCode::kStrengthen:
+          apply_strengthen_results(
+              ScpuChannel::decode_strengthen_response(payload));
+          break;
+        case OpCode::kCertifyWindow: {
+          DeletedWindow merged = ScpuChannel::decode_window_response(payload);
+          try {
+            journal_apply_window(merged);
+            vrdt_.apply_window(merged);
+            ++ops_.compactions;
+          } catch (const common::Error&) {
+            // The journal replay may not have restored every covered proof;
+            // the signed window is still valid — skip the local compaction.
+          }
+          break;
+        }
+        case OpCode::kAdvanceBase: {
+          SignedSnBase base = ScpuChannel::decode_base_response(payload);
+          Sn new_base = base.sn_base;
+          base_ = std::move(base);
+          journal_trim_below(new_base);
+          vrdt_.trim_below(new_base);
+          sn_base_mirror_ = new_base;
+          ++ops_.base_advances;
+          break;
+        }
+        default:
+          break;  // unsequenced opcodes are never journaled
+      }
+      complete_intent(seq);
+    }
+
+    // Post-resend reconciliation with the device's signed view.
+    st = mailbox_.channel().status();
+    sn_current_mirror_ = st.sn_current;
+    if (st.sn_base > sn_base_mirror_) vrdt_.trim_below(st.sn_base);
+    sn_base_mirror_ = st.sn_base;
+    deferred_mirror_count_ = st.deferred_count;
+    deferred_mirror_earliest_ = st.earliest_deadline;
+    heartbeat_ = mailbox_.channel().heartbeat();
+    pending_seqs_.clear();
+    for (const auto& [seq, frame] : unresolved) pending_seqs_.insert(seq);
+  } catch (const ScpuDeadError&) {
+    // Dead device: keep pending intents on the books (reads of possibly
+    // in-flight SNs answer unavailable, not failure) and serve read-only.
+    degraded_ = true;
+    for (const auto& [seq, frame] : pending) pending_seqs_.insert(seq);
+  }
+
+  if (config_.dedup) rebuild_dedup_index_locked();
+  read_cache_.clear();
+
+  if (!degraded_) {
+    // Fold the replayed history into a single fresh checkpoint — plus one
+    // intent record per unresolved resend, so a crash before the next
+    // recover() cannot orphan a possibly-executed command.
+    std::vector<JournalRecord> fresh;
+    fresh.push_back({JournalRecordType::kCheckpoint, vrdt_.serialize()});
+    for (const auto& [seq, frame] : unresolved) {
+      common::ByteWriter w;
+      w.u64(seq);
+      w.blob(frame);
+      fresh.push_back({JournalRecordType::kIntent, w.take()});
+    }
+    journal_.rewrite(fresh);
+  }
+  return report;
+}
+
+// ---------------------------------------------------------------------------
+// Client-facing state
+// ---------------------------------------------------------------------------
+
 TrustAnchors WormStore::anchors() {
   common::ExclusiveLock lk(state_mu_);
   CertificateBundle bundle = mailbox_.channel().get_certificates();
@@ -431,35 +913,73 @@ TrustAnchors WormStore::anchors() {
 MigrationAttestation WormStore::sign_migration(ByteView manifest_hash,
                                                std::uint64_t dest_store_id) {
   common::ExclusiveLock lk(state_mu_);
-  return mailbox_.channel().sign_migration(manifest_hash, config_.store_id,
-                                           dest_store_id);
+  require_mutable();
+  try {
+    return mailbox_.channel().sign_migration(manifest_hash, config_.store_id,
+                                             dest_store_id);
+  } catch (const ScpuDeadError& e) {
+    enter_degraded(e);
+  }
 }
 
-std::map<std::string_view, std::uint64_t> WormStore::counters() const {
+WormStore::CountersSnapshot WormStore::counters_snapshot() const {
   common::SharedLock lk(state_mu_);
-  MailboxMetrics m = mailbox_.metrics();
-  ReadCacheStats c = read_cache_.stats();
+  CountersSnapshot s;
+  s.writes = ops_.writes.load();
+  s.reads = ops_.reads.load();
+  s.read_many_batches = ops_.read_many_batches.load();
+  s.reads_unavailable = ops_.reads_unavailable.load();
+  s.expirations = ops_.expirations.load();
+  s.compactions = ops_.compactions.load();
+  s.base_advances = ops_.base_advances.load();
+  s.dedup_hits = ops_.dedup_hits.load();
+  s.deferred_shreds = ops_.deferred_shreds.load();
+  s.degraded = degraded_ ? 1 : 0;
+  s.read_cache = read_cache_.stats();
+  s.mailbox = mailbox_.metrics();
+  s.storage_read_retries = records_.read_retries();
+  s.fault_injected =
+      config_.fault != nullptr ? config_.fault->injected_total() : 0;
+  s.recovery_replayed = recovery_replayed_;
+  s.recovery_resent = recovery_resent_;
+  s.recovery_torn_bytes = recovery_torn_bytes_;
+  return s;
+}
+
+std::map<std::string_view, std::uint64_t> WormStore::CountersSnapshot::as_map()
+    const {
   return {
-      {"writes", ops_.writes.load()},
-      {"reads", ops_.reads.load()},
-      {"read_many_batches", ops_.read_many_batches.load()},
-      {"read_cache_hits", c.hits},
-      {"read_cache_misses", c.misses},
-      {"read_cache_evictions", c.evictions},
-      {"read_cache_invalidations", c.invalidations},
-      {"expirations", ops_.expirations.load()},
-      {"compactions", ops_.compactions.load()},
-      {"base_advances", ops_.base_advances.load()},
-      {"dedup_hits", ops_.dedup_hits.load()},
-      {"deferred_shreds", ops_.deferred_shreds.load()},
-      {"mailbox_commands", m.commands},
-      {"mailbox_bytes_crossed", m.bytes_crossed},
-      {"mailbox_error_responses", m.error_responses},
-      {"mailbox_batches", m.batches},
-      {"mailbox_batched_writes", m.batched_writes},
-      {"mailbox_queue_hwm", m.queue_hwm},
-      {"mailbox_duty_runs", m.duty_runs},
-      {"mailbox_urgent_services", m.urgent_services},
+      {"store.writes", writes},
+      {"store.reads", reads},
+      {"store.read_many_batches", read_many_batches},
+      {"store.reads_unavailable", reads_unavailable},
+      {"store.expirations", expirations},
+      {"store.compactions", compactions},
+      {"store.base_advances", base_advances},
+      {"store.dedup_hits", dedup_hits},
+      {"store.deferred_shreds", deferred_shreds},
+      {"store.degraded", degraded},
+      {"read_cache.hits", read_cache.hits},
+      {"read_cache.misses", read_cache.misses},
+      {"read_cache.evictions", read_cache.evictions},
+      {"read_cache.invalidations", read_cache.invalidations},
+      {"mailbox.crossings", mailbox.commands},
+      {"mailbox.bytes_crossed", mailbox.bytes_crossed},
+      {"mailbox.error_responses", mailbox.error_responses},
+      {"mailbox.batches", mailbox.batches},
+      {"mailbox.batched_writes", mailbox.batched_writes},
+      {"mailbox.queue_hwm", mailbox.queue_hwm},
+      {"mailbox.duty_runs", mailbox.duty_runs},
+      {"mailbox.urgent_services", mailbox.urgent_services},
+      {"mailbox.retries", mailbox.retries},
+      {"mailbox.dedup_hits", mailbox.dedup_hits},
+      {"mailbox.transport_faults", mailbox.transport_faults},
+      {"mailbox.timeouts", mailbox.timeouts},
+      {"storage.read_retries", storage_read_retries},
+      {"fault.injected", fault_injected},
+      {"recovery.replayed", recovery_replayed},
+      {"recovery.resent", recovery_resent},
+      {"recovery.torn_bytes", recovery_torn_bytes},
   };
 }
 
@@ -502,6 +1022,19 @@ void WormStore::maybe_service_deadline() {
   }
 }
 
+void WormStore::apply_strengthen_results(
+    std::vector<StrengthenResult> results) {
+  for (StrengthenResult& r : results) {
+    Vrdt::Entry* e = vrdt_.mutable_entry(r.sn);
+    if (e == nullptr || e->kind != Vrdt::Entry::Kind::kActive) continue;
+    journal_sig_update(r.sn, nullptr, r.metasig, &r.datasig);
+    e->vrd.metasig = std::move(r.metasig);
+    e->vrd.datasig = std::move(r.datasig);
+    // A cached ReadOk still carries the short-lived signatures.
+    read_cache_.invalidate(r.sn);
+  }
+}
+
 bool WormStore::do_strengthen_batch() {
   std::vector<Sn> pending = mailbox_.channel().deferred_pending(
       static_cast<std::uint32_t>(config_.idle_batch));
@@ -533,16 +1066,9 @@ bool WormStore::do_strengthen_batch() {
     return false;
   }
 
-  std::vector<StrengthenResult> results =
-      mailbox_.channel().strengthen(vrds, payloads);
-  for (StrengthenResult& r : results) {
-    Vrdt::Entry* e = vrdt_.mutable_entry(r.sn);
-    if (e == nullptr || e->kind != Vrdt::Entry::Kind::kActive) continue;
-    e->vrd.metasig = std::move(r.metasig);
-    e->vrd.datasig = std::move(r.datasig);
-    // A cached ReadOk still carries the short-lived signatures.
-    read_cache_.invalidate(r.sn);
-  }
+  Sequenced sq = sequenced(ScpuChannel::encode_strengthen(vrds, payloads));
+  apply_strengthen_results(ScpuChannel::decode_strengthen_response(sq.payload));
+  complete_intent(sq.seq);
   sync_deferred_mirror();
   return true;
 }
@@ -579,13 +1105,16 @@ bool WormStore::do_compaction() {
     }
     sn = w->hi;  // skip to the window's end
   }
-  DeletedWindow merged =
-      mailbox_.channel().certify_window(span->lo, span->hi, proofs, windows);
+  Sequenced sq = sequenced(
+      ScpuChannel::encode_certify_window(span->lo, span->hi, proofs, windows));
+  DeletedWindow merged = ScpuChannel::decode_window_response(sq.payload);
+  journal_apply_window(merged);
   vrdt_.apply_window(merged);
   // Every SN the merged window covers was answered by an individual proof
   // or a narrower window before; those answers are superseded.
   read_cache_.invalidate_range(merged.lo, merged.hi);
   ++ops_.compactions;
+  complete_intent(sq.seq);
   return true;
 }
 
@@ -610,13 +1139,17 @@ bool WormStore::do_advance_base() {
     break;
   }
   if (new_base == base) return false;
-  base_ = mailbox_.channel().advance_base(new_base, proofs, windows);
+  Sequenced sq = sequenced(
+      ScpuChannel::encode_advance_base(new_base, proofs, windows));
+  base_ = ScpuChannel::decode_base_response(sq.payload);
   sn_base_mirror_ = base_->sn_base;
+  journal_trim_below(new_base);
   vrdt_.trim_below(new_base);
   // Trimmed SNs now answer ReadBelowBase (never cached) instead of their
   // cached per-SN proofs.
   read_cache_.invalidate_below(new_base);
   ++ops_.base_advances;
+  complete_intent(sq.seq);
   return true;
 }
 
@@ -633,8 +1166,13 @@ bool WormStore::do_vexp_rebuild() {
 
 bool WormStore::pump_idle() {
   common::ExclusiveLock lk(state_mu_);
-  mailbox_.channel().process_idle();
-  return mailbox_.pump();
+  if (degraded_) return false;  // nothing to pump into a dead device
+  try {
+    mailbox_.channel().process_idle();
+    return mailbox_.pump();
+  } catch (const ScpuDeadError& e) {
+    enter_degraded(e);
+  }
 }
 
 }  // namespace worm::core

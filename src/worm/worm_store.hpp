@@ -30,6 +30,8 @@
 #include <memory>
 #include <mutex>  // std::once_flag (locks themselves are annotated wrappers)
 #include <optional>
+#include <set>
+#include <string>
 #include <string_view>
 #include <vector>
 
@@ -39,6 +41,7 @@
 #include "scpu/cost_model.hpp"
 #include "storage/record_store.hpp"
 #include "worm/firmware.hpp"
+#include "worm/journal.hpp"
 #include "worm/mailbox.hpp"
 #include "worm/proofs.hpp"
 #include "worm/read_cache.hpp"
@@ -58,34 +61,59 @@ struct TrustAnchors {
 };
 
 struct StoreConfig {
+  /// Witness mode for writes that don't specify one. Default kStrong: every
+  /// write leaves with a full RSA witness (no deferred strengthening).
   WitnessMode default_mode = WitnessMode::kStrong;
+  /// Where payload hashing happens. Default kScpuHash: the device hashes, so
+  /// payload bytes cross the mailbox (the paper's baseline).
   HashMode hash_mode = HashMode::kScpuHash;
   /// Host-CPU cost model (hashing in kHostHash mode is charged here).
+  /// Default: the paper's P4 evaluation host.
   scpu::CostModel host_model = scpu::CostModel::host_p4();
-  /// Minimum contiguous expired run for window compaction (paper: 3).
+  /// Minimum contiguous expired run for window compaction. Default 3, the
+  /// paper's break-even run length; must be nonzero.
   std::size_t compaction_min_run = 3;
-  /// Per-pump_idle strengthening batch size.
+  /// Per-pump_idle strengthening batch size. Default 64 — one mailbox
+  /// crossing's worth; must be in [1, 1024] (the wire batch bound).
   std::size_t idle_batch = 64;
-  /// Identity of this store in migration manifests.
+  /// Identity of this store in migration manifests. Default 1.
   std::uint64_t store_id = 1;
   /// Content-addressed data-record sharing (§4.2: VRs may overlap, letting
   /// "repeatedly stored objects (such as popular email attachments)" be
   /// stored once). Shared records are reference-counted; physical shredding
   /// happens only when the LAST referencing virtual record expires.
+  /// Default off.
   bool dedup = false;
-  /// Mailbox transport tuning (see MailboxConfig).
+  /// Mailbox transport tuning (see MailboxConfig for the per-field
+  /// defaults, including the retry/backoff policy).
   MailboxConfig mailbox{};
   /// Margin for the foreground deadline check: a write that arrives with a
   /// strengthening deadline inside this margin services the urgent duties
   /// first (§4.3 — the burst must yield before witnesses go stale).
+  /// Default 10 minutes; must not be negative.
   common::Duration strengthen_margin = common::Duration::minutes(10);
-  /// Read-result cache: shard count and total entry budget (0 disables).
+  /// Read-result cache: shard count and total entry budget. Defaults
+  /// 16 shards / 4096 entries; capacity 0 disables the cache, but then the
+  /// shard count must be left nonzero (it sizes the shard vector).
   /// Sharding bounds reader contention; see ReadCache.
   std::size_t read_cache_shards = 16;
   std::size_t read_cache_capacity = 4096;
   /// Extra worker threads for read_many (0 = serve on the caller's thread).
-  /// The pool is created lazily on the first read_many call.
+  /// The pool is created lazily on the first read_many call. Default 0.
   std::size_t read_workers = 0;
+  /// Write-ahead journal for host soft state (VRDT + in-flight sequenced
+  /// commands). Empty (the default) disables journaling — the store then
+  /// restarts only via adopt_vrdt(). See journal.hpp and recover().
+  std::string journal_path{};
+  /// Fault injector armed across the store's own fault points (storage is
+  /// wired separately by the test rig). Not owned; must outlive the store.
+  /// Default nullptr: every fault point compiles to a no-op check.
+  common::FaultInjector* fault = nullptr;
+
+  /// Rejects configurations that cannot work before any of them is used,
+  /// throwing PreconditionError naming the offending field. Called by the
+  /// WormStore constructor.
+  void validate() const;
 };
 
 /// A write, spelled out. Designated initializers read like the operation:
@@ -134,14 +162,17 @@ class WormStore final : public HostAgent {
       const std::vector<WriteRequest>& requests) EXCLUDES(state_mu_);
 
   /// Serves a read using main-CPU resources only (§4.2.2): data + VRD on
-  /// success, or the applicable proof of rightful absence. Safe to call from
-  /// any number of threads concurrently with writes and idle duties.
-  [[nodiscard]] ReadResult read(Sn sn) EXCLUDES(state_mu_);
+  /// success, or the applicable proof of rightful absence, or — when
+  /// transient faults or degraded mode leave no honest proof at hand —
+  /// ReadUnavailable. Never throws for infrastructure trouble: reads map
+  /// every such condition into the outcome. Safe to call from any number of
+  /// threads concurrently with writes and idle duties.
+  [[nodiscard]] ReadOutcome read(Sn sn) EXCLUDES(state_mu_);
 
   /// Reads many SNs, fanning the work across the read pool (plus the
   /// caller's thread) when StoreConfig::read_workers > 0. Results parallel
   /// `sns`; each element is exactly what read() would have returned.
-  [[nodiscard]] std::vector<ReadResult> read_many(const std::vector<Sn>& sns)
+  [[nodiscard]] std::vector<ReadOutcome> read_many(const std::vector<Sn>& sns)
       EXCLUDES(state_mu_);
 
   /// Applies a litigation hold / release with an authority credential.
@@ -211,11 +242,73 @@ class WormStore final : public HostAgent {
   /// Only valid on a store that has not served writes yet.
   void adopt_vrdt(Vrdt vrdt) EXCLUDES(state_mu_);
 
-  /// Named-counter snapshot: store-level operation counts plus the mailbox
-  /// transport metrics (mailbox_* keys). Keys are stable identifiers meant
-  /// for dashboards and benches; see DESIGN.md for the list.
+  /// What recover() did, for logs and tests.
+  struct RecoveryReport {
+    std::size_t replayed = 0;   // journal records folded into host state
+    std::size_t resent = 0;     // pending intents resent to the device
+    std::size_t abandoned = 0;  // resends the device rejected (never ran)
+    std::size_t unresolved = 0;  // resends that timed out; still pending
+    bool torn_tail = false;     // the journal ended in a damaged frame
+    std::size_t torn_bytes = 0;
+    std::vector<Sn> recovered_sns;  // SNs materialized by resent writes
+  };
+
+  /// Crash recovery (journaled stores): replays the write-ahead journal into
+  /// the VRDT, resends every journaled intent whose completion never landed
+  /// (the device's per-sequence response cache makes the resend
+  /// exactly-once), reconciles with the device's signed status, and rewrites
+  /// the journal as a fresh checkpoint. Only valid on a store that has not
+  /// served writes yet. If the device turns out to be zeroized, the store
+  /// comes up in degraded read-only mode instead of failing.
+  RecoveryReport recover() EXCLUDES(state_mu_);
+
+  /// True once the SCPU zeroized (tamper response) — the store then serves
+  /// reads from existing proofs and rejects every mutation with
+  /// ReadOnlyStoreError. There is no way back: the keys are gone.
+  [[nodiscard]] bool degraded() const EXCLUDES(state_mu_) {
+    common::SharedLock lk(state_mu_);
+    return degraded_;
+  }
+
+  /// Typed counters snapshot; the map view below is derived from it.
+  struct CountersSnapshot {
+    // store.* — operation counts.
+    std::uint64_t writes = 0;
+    std::uint64_t reads = 0;
+    std::uint64_t read_many_batches = 0;
+    std::uint64_t reads_unavailable = 0;  // answered ReadUnavailable
+    std::uint64_t expirations = 0;
+    std::uint64_t compactions = 0;
+    std::uint64_t base_advances = 0;
+    std::uint64_t dedup_hits = 0;
+    std::uint64_t deferred_shreds = 0;
+    std::uint64_t degraded = 0;  // 1 once the SCPU zeroized
+    // read_cache.*
+    ReadCacheStats read_cache{};
+    // mailbox.* — crossings and transport reliability.
+    MailboxMetrics mailbox{};
+    // storage.* — record-store retry activity.
+    std::uint64_t storage_read_retries = 0;
+    // fault.* — total injected faults (all sites), 0 without an injector.
+    std::uint64_t fault_injected = 0;
+    // recovery.* — cumulative across recover() calls on this store.
+    std::uint64_t recovery_replayed = 0;
+    std::uint64_t recovery_resent = 0;
+    std::uint64_t recovery_torn_bytes = 0;
+
+    /// The stable dashboard view: namespaced `<subsystem>.<counter>` keys
+    /// (e.g. "mailbox.crossings", "read_cache.hits", "fault.injected").
+    /// See DESIGN.md §9 for the full list.
+    [[nodiscard]] std::map<std::string_view, std::uint64_t> as_map() const;
+  };
+
+  [[nodiscard]] CountersSnapshot counters_snapshot() const EXCLUDES(state_mu_);
+
+  /// Named-counter map: counters_snapshot().as_map().
   [[nodiscard]] std::map<std::string_view, std::uint64_t> counters() const
-      EXCLUDES(state_mu_);
+      EXCLUDES(state_mu_) {
+    return counters_snapshot().as_map();
+  }
 
  private:
   friend class InsiderHandle;
@@ -230,14 +323,48 @@ class WormStore final : public HostAgent {
   /// Answers the read from host state under the caller's lock, or nullopt
   /// when the answer needs a mailbox crossing (expired base proof) — which
   /// only the exclusive-lock path may perform.
-  std::optional<ReadResult> read_locked(Sn sn) REQUIRES_SHARED(state_mu_);
-  ReadResult read_below_base_locked(Sn sn) REQUIRES(state_mu_);
+  std::optional<ReadOutcome> read_locked(Sn sn) REQUIRES_SHARED(state_mu_);
+  ReadOutcome read_below_base_locked(Sn sn) REQUIRES(state_mu_);
   /// Caches `r` for sn if its kind is time-invariant. Must run under the
   /// state lock (shared suffices): that orders the insert against exclusive
   /// mutators, so a stale result can never be inserted after the
   /// invalidation that should have killed it.
-  void maybe_cache_locked(Sn sn, const ReadResult& r)
+  void maybe_cache_locked(Sn sn, const ReadOutcome& r)
       REQUIRES_SHARED(state_mu_);
+
+  /// Throws ReadOnlyStoreError when the store is degraded (mutation entry
+  /// guard).
+  void require_mutable() const REQUIRES_SHARED(state_mu_);
+  /// Flips to degraded read-only mode and rethrows as ReadOnlyStoreError.
+  [[noreturn]] void enter_degraded(const ScpuDeadError& cause)
+      REQUIRES(state_mu_);
+
+  /// One journaled sequenced crossing: assigns a sequence number, journals
+  /// the intent (exact wire frame), sends with retry, returns the ok
+  /// payload + the seq the caller must complete_intent() after applying.
+  struct Sequenced {
+    common::Bytes payload;
+    std::uint64_t seq = 0;
+  };
+  Sequenced sequenced(common::Bytes frame) REQUIRES(state_mu_);
+  void complete_intent(std::uint64_t seq) REQUIRES(state_mu_);
+
+  // WAL appends for host soft-state mutations; each runs BEFORE the
+  // in-memory mutation it describes.
+  void journal_put_active(const Vrd& vrd) REQUIRES(state_mu_);
+  void journal_put_deleted(const DeletionProof& proof) REQUIRES(state_mu_);
+  void journal_sig_update(Sn sn, const Attr* attr, const SigBox& metasig,
+                          const SigBox* datasig) REQUIRES(state_mu_);
+  void journal_apply_window(const DeletedWindow& window) REQUIRES(state_mu_);
+  void journal_trim_below(Sn sn_base) REQUIRES(state_mu_);
+
+  /// Applies (and journals) a litigation attr+metasig refresh.
+  void apply_lit_update(Sn sn, Firmware::LitUpdate up) REQUIRES(state_mu_);
+  /// Applies (and journals) strengthen results.
+  void apply_strengthen_results(std::vector<StrengthenResult> results)
+      REQUIRES(state_mu_);
+  /// Rebuilds the dedup content index from the active VRDs (restart paths).
+  void rebuild_dedup_index_locked() REQUIRES(state_mu_);
   common::ThreadPool& read_pool();
   Firmware::BatchItem prepare_item(const WriteRequest& request)
       REQUIRES(state_mu_);
@@ -269,6 +396,17 @@ class WormStore final : public HostAgent {
   // with state_mu_ makes "no crossing without the store lock" compile-time.
   ScpuMailbox mailbox_ GUARDED_BY(state_mu_);
   Vrdt vrdt_ GUARDED_BY(state_mu_);
+  // Write-ahead journal; a pathless journal is a no-op sink.
+  HostJournal journal_ GUARDED_BY(state_mu_);
+  // Sequence numbers journaled as intents but not yet completed. Non-empty
+  // means host soft state may lag the device until recover() reconciles.
+  std::set<std::uint64_t> pending_seqs_ GUARDED_BY(state_mu_);
+  // Degraded read-only mode: set when the SCPU reports zeroization.
+  bool degraded_ GUARDED_BY(state_mu_) = false;
+  // Cumulative recovery statistics (recovery.* counters).
+  std::uint64_t recovery_replayed_ GUARDED_BY(state_mu_) = 0;
+  std::uint64_t recovery_resent_ GUARDED_BY(state_mu_) = 0;
+  std::uint64_t recovery_torn_bytes_ GUARDED_BY(state_mu_) = 0;
   // Internally sharded/locked; held only to shared-lock ordering rules (see
   // maybe_cache_locked), which GUARDED_BY cannot express.
   ReadCache read_cache_;
@@ -293,6 +431,7 @@ class WormStore final : public HostAgent {
     std::atomic<std::uint64_t> writes{0};
     std::atomic<std::uint64_t> reads{0};
     std::atomic<std::uint64_t> read_many_batches{0};
+    std::atomic<std::uint64_t> reads_unavailable{0};
     std::atomic<std::uint64_t> expirations{0};
     std::atomic<std::uint64_t> compactions{0};
     std::atomic<std::uint64_t> base_advances{0};

@@ -17,7 +17,7 @@ namespace {
 using common::Duration;
 using core::Outcome;
 using core::ReadOk;
-using core::ReadResult;
+using core::ReadOutcome;
 using core::Sn;
 using core::Verdict;
 using worm::testing::Rig;
@@ -38,7 +38,7 @@ TEST(Theorem1, SingleBitFlipIsDetected) {
   Rig rig;
   Sn sn = rig.put("precision matters", Duration::days(30));
   auto res = rig.store.read(sn);
-  std::uint64_t block = std::get<ReadOk>(res).vrd.rdl.at(0).blocks.at(0);
+  std::uint64_t block = res.get<ReadOk>().vrd.rdl.at(0).blocks.at(0);
   rig.disk.raw_block(block)[3] ^= 0x01;  // one bit, one byte
   EXPECT_EQ(rig.verifier.verify_read(sn, rig.store.read(sn)).verdict,
             Verdict::kTampered);
@@ -137,8 +137,8 @@ TEST(Theorem1, SplicedDeletedWindowIsDetected) {
                                               rig.store.vrdt().windows()[1]);
   install_spliced_window(rig.store, forged);
 
-  ReadResult res = rig.store.read(live);
-  ASSERT_TRUE(std::holds_alternative<core::ReadInDeletedWindow>(res));
+  ReadOutcome res = rig.store.read(live);
+  ASSERT_TRUE(res.is<core::ReadInDeletedWindow>());
   Outcome out = rig.verifier.verify_read(live, res);
   EXPECT_EQ(out.verdict, Verdict::kTampered) << out.detail;
 }
@@ -170,7 +170,7 @@ TEST(Theorem2, HiddenRecordYieldsNoAcceptableAnswer) {
   ASSERT_TRUE(hide_record(rig.store, sn));
   // The store has no entry, no window, no below-base claim; its only honest
   // answer is "no proof", which the client treats as tampering.
-  ReadResult res = rig.store.read(sn);
+  ReadOutcome res = rig.store.read(sn);
   Outcome out = rig.verifier.verify_read(sn, res);
   EXPECT_EQ(out.verdict, Verdict::kTampered) << out.detail;
   EXPECT_FALSE(out.trustworthy());
@@ -202,7 +202,7 @@ TEST(Theorem2, StaleHeartbeatCannotHideRecentRecords) {
   Sn sn = rig.put("written after capture", Duration::days(30));
   rig.clock.advance(Duration::minutes(10));  // stamp now stale
 
-  ReadResult forged = stale_not_allocated_answer(captured);
+  ReadOutcome forged = stale_not_allocated_answer(captured);
   Outcome out = rig.verifier.verify_read(sn, forged);
   EXPECT_EQ(out.verdict, Verdict::kStaleProof) << out.detail;
   EXPECT_FALSE(out.trustworthy());
@@ -214,7 +214,7 @@ TEST(Theorem2, FreshHeartbeatCannotDenyAllocatedSn) {
   Rig rig;
   Sn sn = rig.put("allocated", Duration::days(30));
   rig.clock.advance(Duration::minutes(3));  // heartbeat now names sn_current >= sn
-  ReadResult forged = stale_not_allocated_answer(rig.store.latest_heartbeat());
+  ReadOutcome forged = stale_not_allocated_answer(rig.store.latest_heartbeat());
   Outcome out = rig.verifier.verify_read(sn, forged);
   EXPECT_EQ(out.verdict, Verdict::kTampered) << out.detail;
 }
@@ -228,7 +228,7 @@ TEST(Theorem2, VrdtRollbackIsDetected) {
   rig.clock.advance(Duration::minutes(3));  // one heartbeat covers the write
   rollback_vrdt(rig.store, std::move(snapshot));
 
-  ReadResult res = rig.store.read(sn);
+  ReadOutcome res = rig.store.read(sn);
   Outcome out = rig.verifier.verify_read(sn, res);
   EXPECT_FALSE(out.trustworthy()) << to_string(out.verdict) << ": "
                                   << out.detail;
@@ -246,7 +246,7 @@ TEST(Theorem2, ExpiredBaseProofCannotJustifyDeletion) {
   core::SignedSnBase base = rig.firmware.sign_base();
   rig.clock.advance(Duration::days(3));  // base proof now expired
 
-  core::ReadResult forged = core::ReadBelowBase{base};
+  core::ReadOutcome forged = core::ReadBelowBase{base};
   Outcome out = rig.verifier.verify_read(live, forged);
   EXPECT_FALSE(out.trustworthy());
 }
@@ -259,7 +259,7 @@ TEST(Theorem2, BaseProofCannotCoverSnAboveIt) {
   while (rig.store.pump_idle()) {
   }
   ASSERT_EQ(rig.firmware.sn_base(), 4u);
-  core::ReadResult forged = core::ReadBelowBase{rig.firmware.sign_base()};
+  core::ReadOutcome forged = core::ReadBelowBase{rig.firmware.sign_base()};
   // live == 4 >= base == 4: claim is structurally wrong.
   Outcome out = rig.verifier.verify_read(live, forged);
   EXPECT_EQ(out.verdict, Verdict::kTampered) << out.detail;
@@ -276,11 +276,11 @@ TEST(ThreatModel, RememberingDeletedDataIsOutOfScopeByDesign) {
   Rig rig;
   Sn sn = rig.put("she keeps a copy", Duration::hours(1));
   auto res = rig.store.read(sn);
-  auto ok = std::get<ReadOk>(res);
+  auto ok = res.get<ReadOk>();
   core::Vrdt::Entry saved = *rig.store.vrdt().find(sn);
 
   rig.clock.advance(Duration::hours(2));  // record deleted + shredded
-  ASSERT_TRUE(std::holds_alternative<core::ReadDeleted>(rig.store.read(sn)));
+  ASSERT_TRUE(rig.store.read(sn).is<core::ReadDeleted>());
 
   // Restore from her private copies.
   core::InsiderHandle(rig.store).vrdt().force_put(sn, saved);

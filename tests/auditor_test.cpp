@@ -160,7 +160,7 @@ TEST(Restart, FullPowerCycleOverFileBackedDevice) {
 
     // Allocator state survived: the new record did not overwrite live data.
     EXPECT_EQ(common::to_string(
-                  std::get<ReadOk>(store.read(live)).payloads.at(0)),
+                  store.read(live).get<ReadOk>().payloads.at(0)),
               "survives the reboot");
 
     // A full audit over the whole (pre- and post-reboot) history is clean.
@@ -198,13 +198,13 @@ TEST(Restart, DedupIndexRebuiltOnAdopt) {
   // Dedup still recognizes the shared payload after the rebuild...
   Sn c = store2.write(
       {.payloads = {shared}, .attr = first.attr(Duration::days(30))});
-  EXPECT_EQ(store2.counters().at("dedup_hits"), 1u);
+  EXPECT_EQ(store2.counters().at("store.dedup_hits"), 1u);
   // ...and refcounts were reconstructed: the first reference expiring does
   // not shred the bytes the others still need.
   first.clock.advance(Duration::hours(2));
   auto res = store2.read(b);
-  ASSERT_TRUE(std::holds_alternative<ReadOk>(res));
-  EXPECT_EQ(std::get<ReadOk>(res).payloads.at(0), shared);
+  ASSERT_TRUE(res.is<ReadOk>());
+  EXPECT_EQ(res.get<ReadOk>().payloads.at(0), shared);
   (void)a;
   (void)c;
 }

@@ -31,35 +31,39 @@ using core::ClientVerifier;
 using core::Outcome;
 using core::ReadDeleted;
 using core::ReadOk;
-using core::ReadResult;
+using core::ReadOutcome;
 using core::SigKind;
 using core::Sn;
 using core::StoreConfig;
 using core::Verdict;
 using core::WitnessMode;
 
-/// Field-wise ReadResult equality (the variant alternatives carry proof
-/// structs with defaulted operator==, but ReadResult itself does not).
-bool same_read(const ReadResult& a, const ReadResult& b) {
-  if (a.index() != b.index()) return false;
-  if (const auto* ao = std::get_if<ReadOk>(&a)) {
-    const auto& bo = std::get<ReadOk>(b);
+/// Field-wise ReadOutcome equality (the variant alternatives carry proof
+/// structs with defaulted operator==, but ReadOutcome itself does not).
+bool same_read(const ReadOutcome& a, const ReadOutcome& b) {
+  if (a.status() != b.status()) return false;
+  if (const auto* ao = a.get_if<ReadOk>()) {
+    const auto& bo = b.get<ReadOk>();
     return ao->vrd == bo.vrd && ao->payloads == bo.payloads;
   }
-  if (const auto* ad = std::get_if<ReadDeleted>(&a)) {
-    return ad->proof == std::get<ReadDeleted>(b).proof;
+  if (const auto* ad = a.get_if<ReadDeleted>()) {
+    return ad->proof == b.get<ReadDeleted>().proof;
   }
-  if (const auto* ab = std::get_if<core::ReadBelowBase>(&a)) {
-    return ab->base == std::get<core::ReadBelowBase>(b).base;
+  if (const auto* ab = a.get_if<core::ReadBelowBase>()) {
+    return ab->base == b.get<core::ReadBelowBase>().base;
   }
-  if (const auto* an = std::get_if<core::ReadNotAllocated>(&a)) {
-    return an->current == std::get<core::ReadNotAllocated>(b).current;
+  if (const auto* an = a.get_if<core::ReadNotAllocated>()) {
+    return an->current == b.get<core::ReadNotAllocated>().current;
   }
-  if (const auto* aw = std::get_if<core::ReadInDeletedWindow>(&a)) {
-    return aw->window == std::get<core::ReadInDeletedWindow>(b).window;
+  if (const auto* aw = a.get_if<core::ReadInDeletedWindow>()) {
+    return aw->window == b.get<core::ReadInDeletedWindow>().window;
   }
-  return std::get<core::ReadFailure>(a).reason ==
-         std::get<core::ReadFailure>(b).reason;
+  if (const auto* au = a.get_if<core::ReadUnavailable>()) {
+    const auto& bu = b.get<core::ReadUnavailable>();
+    return au->reason == bu.reason && au->retryable == bu.retryable;
+  }
+  return a.get<core::ReadFailure>().reason ==
+         b.get<core::ReadFailure>().reason;
 }
 
 // ---------------------------------------------------------------------------
@@ -131,8 +135,8 @@ TEST(ConcurrentRead, RacingReadersNeverObserveTamper) {
 
   // The race exercised both cache populations and invalidations.
   auto counters = rig.store.counters();
-  EXPECT_GT(counters.at("read_cache_hits"), 0u);
-  EXPECT_GT(counters.at("read_cache_invalidations"), 0u);
+  EXPECT_GT(counters.at("read_cache.hits"), 0u);
+  EXPECT_GT(counters.at("read_cache.invalidations"), 0u);
 }
 
 // ---------------------------------------------------------------------------
@@ -145,19 +149,19 @@ TEST(ConcurrentRead, ReadAfterStrengthenSeesStrongSignature) {
   // the permanent signature — not the cached short-term one.
   Rig rig;
   Sn sn = rig.put("deferred", Duration::days(1), WitnessMode::kDeferred);
-  ASSERT_EQ(std::get<ReadOk>(rig.store.read(sn)).vrd.metasig.kind,
+  ASSERT_EQ(rig.store.read(sn).get<ReadOk>().vrd.metasig.kind,
             SigKind::kShortTerm);
   while (rig.store.pump_idle()) {
   }
-  ReadResult res = rig.store.read(sn);
-  EXPECT_EQ(std::get<ReadOk>(res).vrd.metasig.kind, SigKind::kStrong);
-  EXPECT_EQ(std::get<ReadOk>(res).vrd.datasig.kind, SigKind::kStrong);
+  ReadOutcome res = rig.store.read(sn);
+  EXPECT_EQ(res.get<ReadOk>().vrd.metasig.kind, SigKind::kStrong);
+  EXPECT_EQ(res.get<ReadOk>().vrd.datasig.kind, SigKind::kStrong);
 }
 
 TEST(ConcurrentRead, ReadAfterLitigationHoldSeesUpdatedAttr) {
   Rig rig;
   Sn sn = rig.put("held", Duration::hours(1));
-  ASSERT_FALSE(std::get<ReadOk>(rig.store.read(sn)).vrd.attr.litigation_hold);
+  ASSERT_FALSE(rig.store.read(sn).get<ReadOk>().vrd.attr.litigation_hold);
 
   rig.store.lit_hold({.sn = sn,
                       .lit_id = 3,
@@ -166,24 +170,24 @@ TEST(ConcurrentRead, ReadAfterLitigationHoldSeesUpdatedAttr) {
                       .credential = rig.lit_credential(sn, 3, true)});
   // The hold mutated the VRD after the cache was warmed: the next read must
   // show it, signed, and still verify.
-  ReadResult res = rig.store.read(sn);
-  EXPECT_TRUE(std::get<ReadOk>(res).vrd.attr.litigation_hold);
+  ReadOutcome res = rig.store.read(sn);
+  EXPECT_TRUE(res.get<ReadOk>().vrd.attr.litigation_hold);
   EXPECT_EQ(rig.verifier.verify_read(sn, res).verdict, Verdict::kAuthentic);
 
   rig.store.lit_release({.sn = sn,
                          .lit_id = 3,
                          .cred_issued_at = rig.clock.now(),
                          .credential = rig.lit_credential(sn, 3, false)});
-  EXPECT_FALSE(std::get<ReadOk>(rig.store.read(sn)).vrd.attr.litigation_hold);
+  EXPECT_FALSE(rig.store.read(sn).get<ReadOk>().vrd.attr.litigation_hold);
 }
 
 TEST(ConcurrentRead, ReadAfterExpiryReturnsDeletionProof) {
   Rig rig;
   Sn sn = rig.put("short lived", Duration::minutes(5));
-  ASSERT_TRUE(std::holds_alternative<ReadOk>(rig.store.read(sn)));  // warm
+  ASSERT_TRUE(rig.store.read(sn).is<ReadOk>());  // warm
   rig.clock.advance(Duration::minutes(6));
-  ReadResult res = rig.store.read(sn);
-  ASSERT_TRUE(std::holds_alternative<ReadDeleted>(res));
+  ReadOutcome res = rig.store.read(sn);
+  ASSERT_TRUE(res.is<ReadDeleted>());
   EXPECT_EQ(rig.verifier.verify_read(sn, res).verdict,
             Verdict::kDeletedVerified);
 }
@@ -204,7 +208,7 @@ TEST(ConcurrentRead, ProofStreamMatchesUncachedStore) {
   Rig b(slow_timers_config(), uncached, 32u << 20, scpu::CostModel::zero());
 
   auto drive = [](Rig& rig) {
-    std::vector<ReadResult> stream;
+    std::vector<ReadOutcome> stream;
     for (int i = 0; i < 12; ++i) {
       rig.put("record " + std::to_string(i), Duration::minutes(40),
               i % 3 == 0 ? WitnessMode::kDeferred : WitnessMode::kStrong);
@@ -228,15 +232,15 @@ TEST(ConcurrentRead, ProofStreamMatchesUncachedStore) {
     return stream;
   };
 
-  std::vector<ReadResult> sa = drive(a);
-  std::vector<ReadResult> sb = drive(b);
+  std::vector<ReadOutcome> sa = drive(a);
+  std::vector<ReadOutcome> sb = drive(b);
   ASSERT_EQ(sa.size(), sb.size());
   for (std::size_t i = 0; i < sa.size(); ++i) {
     EXPECT_TRUE(same_read(sa[i], sb[i])) << "stream diverges at read " << i;
   }
   // Sanity: the cached rig actually answered from the cache.
-  EXPECT_GT(a.store.counters().at("read_cache_hits"), 0u);
-  EXPECT_EQ(b.store.counters().at("read_cache_hits"), 0u);
+  EXPECT_GT(a.store.counters().at("read_cache.hits"), 0u);
+  EXPECT_EQ(b.store.counters().at("read_cache.hits"), 0u);
 }
 
 // ---------------------------------------------------------------------------
@@ -257,16 +261,16 @@ TEST(ConcurrentRead, ReadManyMatchesSequentialReads) {
   rig.clock.advance(Duration::minutes(10));  // first ten become deleted
   sns.push_back(999);                        // and one never-allocated SN
 
-  std::vector<ReadResult> sequential;
+  std::vector<ReadOutcome> sequential;
   for (Sn sn : sns) sequential.push_back(rig.store.read(sn));
-  std::vector<ReadResult> batched = rig.store.read_many(sns);
+  std::vector<ReadOutcome> batched = rig.store.read_many(sns);
 
   ASSERT_EQ(batched.size(), sns.size());
   for (std::size_t i = 0; i < sns.size(); ++i) {
     EXPECT_TRUE(same_read(sequential[i], batched[i]))
         << "read_many diverges from read() at sn " << sns[i];
   }
-  EXPECT_EQ(rig.store.counters().at("read_many_batches"), 1u);
+  EXPECT_EQ(rig.store.counters().at("store.read_many_batches"), 1u);
 
   // Every batched result verifies, same as its sequential twin.
   for (std::size_t i = 0; i < sns.size(); ++i) {

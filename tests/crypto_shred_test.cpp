@@ -108,11 +108,11 @@ TEST(CryptoShred, EndToEndWithWormStore) {
   ASSERT_EQ(rig.verifier.verify_read(sn, res).verdict,
             core::Verdict::kAuthentic);
   EXPECT_EQ(cs.unseal(sealed.key_id,
-                      std::get<core::ReadOk>(res).payloads.at(0)),
+                      res.get<core::ReadOk>().payloads.at(0)),
             pt);
 
   // The insider images the disk before expiry.
-  Bytes stolen_ciphertext = std::get<core::ReadOk>(res).payloads.at(0);
+  Bytes stolen_ciphertext = res.get<core::ReadOk>().payloads.at(0);
 
   // Retention passes; the app destroys the record key alongside.
   rig.clock.advance(Duration::hours(2));

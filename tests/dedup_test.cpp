@@ -30,12 +30,12 @@ TEST(Dedup, IdenticalPayloadsShareOneRecord) {
                           .attr = rig.attr(Duration::days(10))});
   Sn b = rig.store.write({.payloads = {to_bytes("mail B"), attachment},
                           .attr = rig.attr(Duration::days(10))});
-  EXPECT_EQ(rig.store.counters().at("dedup_hits"), 1u);
+  EXPECT_EQ(rig.store.counters().at("store.dedup_hits"), 1u);
 
   auto ra = rig.store.read(a);
   auto rb = rig.store.read(b);
-  const auto& rd_a = std::get<ReadOk>(ra).vrd.rdl.at(1);
-  const auto& rd_b = std::get<ReadOk>(rb).vrd.rdl.at(1);
+  const auto& rd_a = ra.get<ReadOk>().vrd.rdl.at(1);
+  const auto& rd_b = rb.get<ReadOk>().vrd.rdl.at(1);
   EXPECT_EQ(rd_a, rd_b);  // same physical record
   // Both virtual records verify independently.
   EXPECT_EQ(rig.verifier.verify_read(a, ra).verdict, Verdict::kAuthentic);
@@ -50,9 +50,9 @@ TEST(Dedup, DifferentPayloadsDoNotShare) {
                           .attr = rig.attr(Duration::days(1))});
   auto ra = rig.store.read(a);
   auto rb = rig.store.read(b);
-  EXPECT_NE(std::get<ReadOk>(ra).vrd.rdl.at(0),
-            std::get<ReadOk>(rb).vrd.rdl.at(0));
-  EXPECT_EQ(rig.store.counters().at("dedup_hits"), 0u);
+  EXPECT_NE(ra.get<ReadOk>().vrd.rdl.at(0),
+            rb.get<ReadOk>().vrd.rdl.at(0));
+  EXPECT_EQ(rig.store.counters().at("store.dedup_hits"), 0u);
 }
 
 TEST(Dedup, SharedDataSurvivesPartialExpiry) {
@@ -64,13 +64,13 @@ TEST(Dedup, SharedDataSurvivesPartialExpiry) {
       {.payloads = {shared}, .attr = rig.attr(Duration::days(30))});
 
   rig.clock.advance(Duration::hours(2));  // the short record expires
-  EXPECT_TRUE(std::holds_alternative<ReadDeleted>(rig.store.read(short_lived)));
-  EXPECT_EQ(rig.store.counters().at("deferred_shreds"), 1u);
+  EXPECT_TRUE(rig.store.read(short_lived).is<ReadDeleted>());
+  EXPECT_EQ(rig.store.counters().at("store.deferred_shreds"), 1u);
 
   // The shared bytes are still intact for the long-lived reference.
   auto res = rig.store.read(long_lived);
-  ASSERT_TRUE(std::holds_alternative<ReadOk>(res));
-  EXPECT_EQ(std::get<ReadOk>(res).payloads.at(0), shared);
+  ASSERT_TRUE(res.is<ReadOk>());
+  EXPECT_EQ(res.get<ReadOk>().payloads.at(0), shared);
   EXPECT_EQ(rig.verifier.verify_read(long_lived, res).verdict,
             Verdict::kAuthentic);
 }
@@ -83,7 +83,7 @@ TEST(Dedup, LastReferenceExpiryShredsForReal) {
   Sn b = rig.store.write(
       {.payloads = {shared}, .attr = rig.attr(Duration::hours(2))});
   auto res = rig.store.read(a);
-  std::uint64_t block = std::get<ReadOk>(res).vrd.rdl.at(0).blocks.at(0);
+  std::uint64_t block = res.get<ReadOk>().vrd.rdl.at(0).blocks.at(0);
 
   rig.clock.advance(Duration::hours(1) + Duration::minutes(30));
   // First reference expired; bytes must still be there.
@@ -92,7 +92,7 @@ TEST(Dedup, LastReferenceExpiryShredsForReal) {
   rig.clock.advance(Duration::hours(1));
   // Second (last) reference expired; zero-fill shredding ran.
   EXPECT_EQ(rig.disk.raw_block(block), Bytes(rig.disk.block_size(), 0));
-  EXPECT_TRUE(std::holds_alternative<ReadDeleted>(rig.store.read(b)));
+  EXPECT_TRUE(rig.store.read(b).is<ReadDeleted>());
 }
 
 TEST(Dedup, ReusableAfterFullExpiry) {
@@ -106,8 +106,8 @@ TEST(Dedup, ReusableAfterFullExpiry) {
   Sn again = rig.store.write(
       {.payloads = {shared}, .attr = rig.attr(Duration::days(1))});
   auto res = rig.store.read(again);
-  ASSERT_TRUE(std::holds_alternative<ReadOk>(res));
-  EXPECT_EQ(std::get<ReadOk>(res).payloads.at(0), shared);
+  ASSERT_TRUE(res.is<ReadOk>());
+  EXPECT_EQ(res.get<ReadOk>().payloads.at(0), shared);
   EXPECT_EQ(rig.verifier.verify_read(again, res).verdict, Verdict::kAuthentic);
 }
 

@@ -1,0 +1,246 @@
+// Randomized crash/restart soak (ctest label: faults). Every iteration
+// schedules a deterministic fault at one of seven sites spanning the disk,
+// the record store, the mailbox transport and the journal, drives one write
+// through the faulted deployment, then kills and recovers the host process.
+// An uninjected reference deployment (same firmware seed, lockstep clock)
+// runs the identical workload, and the two proof streams must stay
+// byte-identical: no fault schedule may ever produce a WORM violation —
+// only unavailability, which recovery then clears.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <map>
+
+#include "crypto/drbg.hpp"
+#include "fault_fixture.hpp"
+
+namespace worm::core {
+namespace {
+
+using common::Bytes;
+using common::Duration;
+using common::FaultKind;
+using worm::testing::CrashRig;
+using worm::testing::outcome_fingerprint;
+
+struct SiteProfile {
+  const char* site;
+  std::vector<FaultKind> kinds;
+};
+
+// The soak's fault surface. device.write deliberately omits kBitFlip:
+// corrupting the stored medium is the *tampering* scenario (adversary_test's
+// beat), not a crash-consistency fault, and would rightly diverge the
+// payload stream.
+const std::array<SiteProfile, 7>& soak_sites() {
+  static const std::array<SiteProfile, 7> kSites = {{
+      {"device.read", {FaultKind::kTransient, FaultKind::kBitFlip}},
+      {"device.write", {FaultKind::kTransient, FaultKind::kTorn}},
+      {"records.read", {FaultKind::kTransient}},
+      {"records.write", {FaultKind::kTransient}},
+      {"channel.request",
+       {FaultKind::kDrop, FaultKind::kBitFlip, FaultKind::kDuplicate,
+        FaultKind::kTimeout}},
+      {"channel.response",
+       {FaultKind::kDrop, FaultKind::kBitFlip, FaultKind::kTimeout}},
+      {"journal.append", {FaultKind::kTransient, FaultKind::kTorn}},
+  }};
+  return kSites;
+}
+
+/// Asserts the faulted store answers every SN exactly like the reference.
+/// Runs with faults disarmed, so unavailability is not a legal answer here —
+/// and a ReadFailure or verdict divergence never is.
+void expect_equivalent_proof_streams(CrashRig& faulted, CrashRig& reference,
+                                     int iteration) {
+  ASSERT_EQ(faulted.firmware.sn_current(), reference.firmware.sn_current());
+  Sn top = reference.firmware.sn_current() + 3;  // overshoot: absence proofs
+  for (Sn sn = 1; sn <= top; ++sn) {
+    ReadOutcome f = faulted.store->read(sn);
+    ReadOutcome r = reference.store->read(sn);
+    ASSERT_FALSE(f.is<ReadFailure>())
+        << "iteration " << iteration << ", SN " << sn
+        << ": faulted store lost a record — WORM violation";
+    ASSERT_EQ(outcome_fingerprint(f), outcome_fingerprint(r))
+        << "iteration " << iteration << ", SN " << sn
+        << ": proof streams diverged (faulted=" << to_string(f.status())
+        << ", reference=" << to_string(r.status()) << ")";
+  }
+}
+
+TEST(FaultSoak, CrashRestartStormPreservesProofStreamEquivalence) {
+  constexpr int kIterations = 600;  // >= 500 crash/restart cycles
+
+  CrashRig faulted("fault_soak.wal", /*with_faults=*/true);
+  CrashRig reference("", /*with_faults=*/false);
+  crypto::Drbg rng(0xdecaf);
+
+  int crashes = 0;
+  std::uint64_t resent_total = 0;  // across host lifetimes — counters reset
+  std::map<std::string, std::uint64_t> fires_by_site;
+
+  for (int i = 0; i < kIterations; ++i) {
+    // --- one deterministic fault, armed for this iteration only ----------
+    const SiteProfile& profile =
+        soak_sites()[static_cast<std::size_t>(i) % soak_sites().size()];
+    const char* fired_site = profile.site;
+    bool outage = (i % 13 == 5);
+    if (outage) {
+      // A full response outage: the device executes but every answer is
+      // lost. The host times out with a journaled intent still pending, and
+      // recovery must resend it through the (seq, crc) dedup cache — the
+      // one-shot faults below never get that far, the retry budget absorbs
+      // them before the timeout.
+      fired_site = "channel.response";
+      faulted.fault.arm(fired_site, {.kind = FaultKind::kDrop});
+    } else {
+      FaultKind kind = profile.kinds[rng.uniform(profile.kinds.size())];
+      faulted.fault.schedule(profile.site, kind, 1 + rng.uniform(3));
+    }
+
+    // --- the workload step, identical on both sides -----------------------
+    bool expiring = (i % 5 == 0);
+    Duration retention = expiring
+                             ? Duration::minutes(10 + static_cast<std::int64_t>(
+                                                          rng.uniform(60)))
+                             : Duration::days(2 + static_cast<std::int64_t>(
+                                                      rng.uniform(30)));
+    auto mode = static_cast<WitnessMode>(rng.uniform(3));
+    std::string text = "soak record " + std::to_string(i);
+    Sn expect_sn = reference.firmware.sn_current() + 1;
+
+    std::uint64_t fires_before = faulted.fault.injected_total();
+    try {
+      Sn got = faulted.put(text, retention, mode);
+      ASSERT_EQ(got, expect_sn);
+    } catch (const common::TransientStorageError&) {
+      // Storage or journal fault before the crossing: nothing materialized.
+    } catch (const ChannelTimeoutError&) {
+      // Transport fault past the retry budget: the device may or may not
+      // have executed — exactly what recovery reconciles.
+    }
+    // A probe read while the fault is still armed: the write-only workload
+    // above never evaluates the read-path sites (device.read, records.read),
+    // and a faulted read must degrade to unavailable at worst — never throw.
+    if (faulted.firmware.sn_current() >= 1) {
+      Sn probe = 1 + rng.uniform(faulted.firmware.sn_current());
+      (void)faulted.store->read(probe);
+    }
+    fires_by_site[fired_site] += faulted.fault.injected_total() - fires_before;
+    faulted.fault.disarm_all();
+
+    // --- kill the host process, reboot, recover ---------------------------
+    resent_total += faulted.crash_and_recover().resent;
+    ++crashes;
+    ASSERT_FALSE(faulted.store->degraded());
+
+    if (faulted.firmware.sn_current() < expect_sn) {
+      // The op neither executed nor left a resendable intent: a client
+      // retry (the protocol's answer to unavailability) must now succeed.
+      ASSERT_EQ(faulted.put(text, retention, mode), expect_sn)
+          << "iteration " << i;
+    }
+    ASSERT_EQ(faulted.firmware.sn_current(), expect_sn) << "iteration " << i;
+
+    // Mirror the op to the reference deployment.
+    ASSERT_EQ(reference.put(text, retention, mode), expect_sn);
+
+    // --- identical passage of time, identical idle work -------------------
+    faulted.clock.advance(Duration::minutes(1));
+    reference.clock.advance(Duration::minutes(1));
+    while (faulted.store->pump_idle()) {
+    }
+    while (reference.store->pump_idle()) {
+    }
+
+    // The just-written SN must already match across the rigs.
+    ASSERT_EQ(outcome_fingerprint(faulted.store->read(expect_sn)),
+              outcome_fingerprint(reference.store->read(expect_sn)))
+        << "iteration " << i;
+
+    if ((i + 1) % 50 == 0) {
+      expect_equivalent_proof_streams(faulted, reference, i);
+    }
+  }
+
+  // --- acceptance bookkeeping ---------------------------------------------
+  EXPECT_GE(crashes, 500);
+  int sites_fired = 0;
+  for (const auto& profile : soak_sites()) {
+    std::uint64_t fires = fires_by_site[profile.site];
+    if (fires > 0) ++sites_fired;
+  }
+  EXPECT_GE(sites_fired, 6) << "fault surface under-exercised";
+  EXPECT_GT(resent_total, 0u);
+  EXPECT_GT(faulted.store->counters().at("fault.injected"), 0u);
+
+  // Final full equivalence sweep, plus the client's own verdicts: nothing
+  // in the faulted stream may verify worse than the reference stream.
+  expect_equivalent_proof_streams(faulted, reference, kIterations);
+  ClientVerifier verifier = faulted.verifier();
+  for (Sn sn = 1; sn <= faulted.firmware.sn_current(); ++sn) {
+    Outcome out = verifier.verify_read(sn, faulted.store->read(sn));
+    EXPECT_NE(out.verdict, Verdict::kTampered) << "SN " << sn << ": "
+                                               << out.detail;
+    EXPECT_NE(out.verdict, Verdict::kUnavailable) << "SN " << sn;
+  }
+}
+
+TEST(FaultSoak, ContinuousLowProbabilityFaultsWithPeriodicCrashes) {
+  // A different texture: every site armed at low probability for the whole
+  // run (faults can now hit heartbeats, idle duties and reads too), crashes
+  // only every few iterations, reads served while faults are live. The
+  // invariant is weaker — reads may be transiently unavailable — but
+  // unavailability must clear by the disarmed final sweep, and no read may
+  // ever come back as a proofless failure.
+  CrashRig faulted("fault_soak_cont.wal", /*with_faults=*/true, 0xbad5eed);
+  CrashRig reference("", /*with_faults=*/false);
+  crypto::Drbg rng(0x50a2);
+
+  for (const auto& profile : soak_sites()) {
+    // Drops and transients only: always retryable, never state-corrupting.
+    FaultKind kind = profile.kinds[0];
+    faulted.fault.arm(profile.site, {.kind = kind, .probability = 0.02});
+  }
+
+  constexpr int kIterations = 120;
+  for (int i = 0; i < kIterations; ++i) {
+    std::string text = "cont record " + std::to_string(i);
+    Duration retention = Duration::days(3);
+    Sn expect_sn = reference.firmware.sn_current() + 1;
+    bool done = false;
+    for (int attempt = 0; attempt < 8 && !done; ++attempt) {
+      try {
+        ASSERT_EQ(faulted.put(text, retention, WitnessMode::kStrong),
+                  expect_sn);
+        done = true;
+      } catch (const common::TransientStorageError&) {
+        // Storage and journal faults fire on both sides of the crossing: a
+        // post-crossing one (journaling the soft-state update, say) leaves
+        // the command executed with the host unaware — reconcile below.
+      } catch (const ChannelTimeoutError&) {
+        // May have executed; reconcile through recovery before retrying.
+      }
+      if (!done && faulted.firmware.sn_current() == expect_sn) {
+        (void)faulted.crash_and_recover();
+        done = faulted.firmware.sn_current() == expect_sn;
+      }
+    }
+    ASSERT_TRUE(done) << "iteration " << i
+                      << ": retry storm failed to land the write";
+    ASSERT_EQ(reference.put(text, retention, WitnessMode::kStrong), expect_sn);
+
+    // Reads under live faults: unavailable is legal, failure never.
+    ReadOutcome res = faulted.store->read(expect_sn);
+    EXPECT_FALSE(res.is<ReadFailure>()) << "iteration " << i;
+
+    if (i % 10 == 9) (void)faulted.crash_and_recover();
+  }
+
+  faulted.fault.disarm_all();
+  (void)faulted.crash_and_recover();
+  expect_equivalent_proof_streams(faulted, reference, kIterations);
+}
+
+}  // namespace
+}  // namespace worm::core

@@ -1,0 +1,17 @@
+// lint fixture: direct evaluate_site() calls. Every call below must be
+// flagged fault-bypass — bypassing WORM_FAULT_POINT hides the injection
+// site from the greppable fault-surface inventory and skips the null check.
+#include "common/fault.hpp"
+
+namespace worm {
+
+common::FaultKind probe(common::FaultInjector* fault) {
+  if (fault == nullptr) return common::FaultKind::kNone;
+  return fault->evaluate_site("storage.hidden_site");
+}
+
+common::FaultKind probe_ref(common::FaultInjector& fault) {
+  return fault.evaluate_site("channel.hidden_site");
+}
+
+}  // namespace worm

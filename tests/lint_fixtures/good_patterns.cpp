@@ -2,9 +2,17 @@
 // legitimate. The lint must report this file clean — each section guards
 // against a specific false-positive regression.
 #include "common/annotations.hpp"
+#include "common/fault.hpp"
 #include "crypto/rsa.hpp"
 
 namespace worm {
+
+// The WORM_FAULT_POINT macro is the sanctioned fault-point vocabulary; the
+// lexical scan must not mistake its use (or prose about evaluate_site) for
+// a direct evaluate_site() bypass.
+common::FaultKind sanctioned_fault_point(common::FaultInjector* fault) {
+  return WORM_FAULT_POINT(fault, "fixture.site");
+}
 
 // Mentioning std::mutex or std::chrono in a comment is prose, not code.
 // A string literal saying "std::mutex" or "ScpuDevice" is data, not code.

@@ -1,0 +1,171 @@
+// Crash-consistent host recovery: the write-ahead journal replays host soft
+// state after the process dies, pending intents are resent exactly-once
+// through the device's (seq, crc) response cache, torn tails are tolerated,
+// and a store rebooting against a zeroized SCPU comes up degraded instead of
+// failing.
+#include <gtest/gtest.h>
+
+#include "fault_fixture.hpp"
+
+namespace worm::core {
+namespace {
+
+using common::Duration;
+using common::FaultKind;
+using worm::testing::CrashRig;
+
+TEST(Recovery, JournaledStoreSurvivesACrash) {
+  CrashRig rig("recovery_basic.wal");
+  Sn s1 = rig.put("first", Duration::days(30));
+  Sn s2 = rig.put("second", Duration::days(30));
+  Sn s3 = rig.put("third", Duration::days(30));
+
+  auto report = rig.crash_and_recover();
+  EXPECT_GE(report.replayed, 3u);
+  EXPECT_EQ(report.resent, 0u);
+  EXPECT_FALSE(report.torn_tail);
+
+  ClientVerifier verifier = rig.verifier();
+  for (Sn sn : {s1, s2, s3}) {
+    ReadOutcome res = rig.store->read(sn);
+    EXPECT_EQ(verifier.verify_read(sn, res).verdict, Verdict::kAuthentic)
+        << "sn " << sn;
+  }
+  // Sequencing continues seamlessly: the next write gets the next SN.
+  EXPECT_EQ(rig.put("fourth", Duration::days(30)), 4u);
+  EXPECT_GT(rig.store->counters().at("recovery.replayed"), 0u);
+}
+
+TEST(Recovery, UnjournaledStoreRefusesRecover) {
+  CrashRig rig("");
+  EXPECT_THROW((void)rig.store->recover(), common::PreconditionError);
+}
+
+TEST(Recovery, PendingIntentResentExactlyOnce) {
+  // The device executes a write but every response delivery is lost: the
+  // host times out with a journaled intent still pending. Recovery resends
+  // the exact frame; the dedup cache answers without executing again.
+  CrashRig rig("recovery_pending.wal");
+  std::uint64_t executed_before = rig.firmware.counters().writes;
+  rig.fault.arm("channel.response", {.kind = FaultKind::kDrop});
+  EXPECT_THROW((void)rig.put("in flight", Duration::days(30)),
+               ChannelTimeoutError);
+  rig.fault.disarm_all();
+  // Executed once on the device, invisible to the host so far.
+  EXPECT_EQ(rig.firmware.counters().writes, executed_before + 1);
+  EXPECT_EQ(rig.firmware.sn_current(), 1u);
+
+  // Before recovery reconciles, a read of the in-flight SN is honest about
+  // the uncertainty: unavailable (retryable), never a tampering verdict.
+  ReadOutcome limbo = rig.store->read(1);
+  auto* gone = limbo.get_if<ReadUnavailable>();
+  ASSERT_NE(gone, nullptr) << to_string(limbo.status());
+  EXPECT_TRUE(gone->retryable);
+
+  auto report = rig.crash_and_recover();
+  EXPECT_EQ(report.resent, 1u);
+  EXPECT_EQ(report.abandoned, 0u);
+  ASSERT_EQ(report.recovered_sns.size(), 1u);
+  EXPECT_EQ(report.recovered_sns[0], 1u);
+  // Still exactly one execution — the resend was a cache hit.
+  EXPECT_EQ(rig.firmware.counters().writes, executed_before + 1);
+
+  ClientVerifier verifier = rig.verifier();
+  EXPECT_EQ(verifier.verify_read(1, rig.store->read(1)).verdict,
+            Verdict::kAuthentic);
+  EXPECT_EQ(rig.put("next", Duration::days(30)), 2u);
+  EXPECT_GT(rig.store->counters().at("recovery.resent"), 0u);
+}
+
+TEST(Recovery, TornJournalTailIsDiscardedNotFatal) {
+  CrashRig rig("recovery_torn.wal");
+  Sn s1 = rig.put("durable 1", Duration::days(30));
+  Sn s2 = rig.put("durable 2", Duration::days(30));
+  // The next intent append tears mid-frame — a power cut during the write.
+  rig.fault.schedule("journal.append", FaultKind::kTorn, 1);
+  EXPECT_THROW((void)rig.put("torn away", Duration::days(30)),
+               common::TransientStorageError);
+  rig.fault.disarm_all();
+
+  auto report = rig.crash_and_recover();
+  EXPECT_TRUE(report.torn_tail);
+  EXPECT_GT(report.torn_bytes, 0u);
+
+  ClientVerifier verifier = rig.verifier();
+  EXPECT_EQ(verifier.verify_read(s1, rig.store->read(s1)).verdict,
+            Verdict::kAuthentic);
+  EXPECT_EQ(verifier.verify_read(s2, rig.store->read(s2)).verdict,
+            Verdict::kAuthentic);
+  // The torn intent never crossed: SN 3 was never issued, and is issued now.
+  EXPECT_EQ(rig.put("after the tear", Duration::days(30)), 3u);
+  EXPECT_GT(rig.store->counters().at("recovery.torn_bytes"), 0u);
+}
+
+TEST(Recovery, CheckpointTruncatesReplayHistory) {
+  CrashRig rig("recovery_checkpoint.wal");
+  for (int i = 0; i < 8; ++i) (void)rig.put("r", Duration::days(30));
+  auto first = rig.crash_and_recover();
+  EXPECT_GE(first.replayed, 8u);
+  // Recovery rewrote the journal as one checkpoint: a second crash replays
+  // that snapshot, not the original mutation history.
+  auto second = rig.crash_and_recover();
+  EXPECT_EQ(second.replayed, 1u);
+  EXPECT_EQ(second.resent, 0u);
+  ClientVerifier verifier = rig.verifier();
+  EXPECT_EQ(verifier.verify_read(5, rig.store->read(5)).verdict,
+            Verdict::kAuthentic);
+  EXPECT_EQ(rig.put("ninth", Duration::days(30)), 9u);
+}
+
+TEST(Recovery, ExpirationProofsSurviveTheCrash) {
+  CrashRig rig("recovery_expiry.wal");
+  Sn sn = rig.put("short-lived", Duration::hours(1));
+  rig.clock.advance(Duration::hours(2));  // on_expire journals the proof
+  auto report = rig.crash_and_recover();
+  EXPECT_GT(report.replayed, 0u);
+  ClientVerifier verifier = rig.verifier();
+  ReadOutcome res = rig.store->read(sn);
+  ASSERT_TRUE(res.is<ReadDeleted>()) << to_string(res.status());
+  EXPECT_EQ(verifier.verify_read(sn, res).verdict, Verdict::kDeletedVerified);
+}
+
+TEST(Recovery, LitigationHoldSurvivesTheCrash) {
+  CrashRig rig("recovery_lit.wal");
+  Sn sn = rig.put("held", Duration::days(10));
+  common::Bytes cred = crypto::rsa_sign(
+      worm::testing::regulator_key(),
+      lit_credential_payload(sn, rig.clock.now(), 99, true));
+  rig.store->lit_hold({.sn = sn,
+                       .lit_id = 99,
+                       .hold_until = rig.clock.now() + Duration::days(60),
+                       .cred_issued_at = rig.clock.now(),
+                       .credential = cred});
+  (void)rig.crash_and_recover();
+  ReadOutcome res = rig.store->read(sn);
+  auto* ok = res.get_if<ReadOk>();
+  ASSERT_NE(ok, nullptr) << to_string(res.status());
+  EXPECT_TRUE(ok->vrd.attr.litigation_hold);
+  EXPECT_EQ(res.status(), ReadStatus::kHold);
+}
+
+TEST(Recovery, RebootAgainstZeroizedDeviceComesUpDegraded) {
+  CrashRig rig("recovery_zeroized.wal");
+  Sn sn = rig.put("outlives the device", Duration::days(30));
+  ClientVerifier verifier = rig.verifier();  // anchors fetched pre-outage
+  rig.device.trigger_tamper_response();
+
+  rig.crash();
+  rig.boot();  // the status probe finds the device dead — no throw
+  EXPECT_TRUE(rig.store->degraded());
+  auto report = rig.store->recover();
+  EXPECT_GE(report.replayed, 1u);
+
+  // Replayed proofs still serve and verify; mutations are refused.
+  EXPECT_EQ(verifier.verify_read(sn, rig.store->read(sn)).verdict,
+            Verdict::kAuthentic);
+  EXPECT_THROW((void)rig.put("no device left", Duration::days(1)),
+               common::ReadOnlyStoreError);
+}
+
+}  // namespace
+}  // namespace worm::core

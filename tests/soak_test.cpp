@@ -80,7 +80,7 @@ TEST(Soak, OneSimulatedYearOfOperation) {
   }
   EXPECT_EQ(rig.firmware.counters().writes, writes);
   EXPECT_GT(rig.firmware.counters().deletions, writes / 2);  // working set died
-  EXPECT_GT(rig.store.counters().at("compactions"), 0u);
+  EXPECT_GT(rig.store.counters().at("store.compactions"), 0u);
   // (Base advance usually stays at 0 here: an early 7-year record pins the
   // window base for the whole year — realistic, and why multi-window
   // compaction exists.)

@@ -23,7 +23,7 @@ TEST(Verifier, RejectsPayloadCountMismatch) {
   Rig rig;
   Sn sn = rig.put("one payload", Duration::days(1));
   auto res = rig.store.read(sn);
-  auto ok = std::get<ReadOk>(res);
+  auto ok = res.get<ReadOk>();
   // Drop a payload but keep the RDL — count mismatch must fail fast.
   EXPECT_EQ(rig.verifier.verify_vrd(ok.vrd, {}).verdict, Verdict::kTampered);
 }
@@ -32,7 +32,7 @@ TEST(Verifier, RejectsUnknownShortKeyEpoch) {
   Rig rig;
   Sn sn = rig.put("burst", Duration::days(1), WitnessMode::kDeferred);
   auto res = rig.store.read(sn);
-  auto ok = std::get<ReadOk>(res);
+  auto ok = res.get<ReadOk>();
   ok.vrd.metasig.key_id = 999;  // Mallory invents an epoch
   Outcome out = rig.verifier.verify_vrd(ok.vrd, ok.payloads);
   EXPECT_EQ(out.verdict, Verdict::kTampered);
@@ -121,7 +121,7 @@ TEST(Verifier, DeletionProofTimestampIsCovered) {
   Sn sn = rig.put("r", Duration::hours(1));
   rig.clock.advance(Duration::hours(2));
   auto res = rig.store.read(sn);
-  auto del = std::get<ReadDeleted>(res);
+  auto del = res.get<ReadDeleted>();
   del.proof.deleted_at = del.proof.deleted_at + Duration::days(365);
   EXPECT_FALSE(rig.verifier.verify_deletion_proof(del.proof));
 }

@@ -105,7 +105,7 @@ TEST(WormFs, ExpiredVersionYieldsDeletionEvidence) {
                     rig.attr(Duration::hours(1)));
   rig.clock.advance(Duration::hours(2));
   auto res = rig.fs.read_file("/temp", 1);
-  auto* raw = std::get_if<ReadResult>(&res);
+  auto* raw = std::get_if<ReadOutcome>(&res);
   ASSERT_NE(raw, nullptr);
   Outcome out = rig.verifier.verify_read(rig.fs.versions("/temp")[0].sn, *raw);
   EXPECT_EQ(out.verdict, Verdict::kDeletedVerified);

@@ -24,6 +24,7 @@ EXPECTED_RULE = {
     "bad_wall_clock.cpp": "wall-clock",
     "bad_dropped_verify.cpp": "dropped-result",
     "bad_raw_mutex.cpp": "raw-mutex",
+    "bad_fault_bypass.cpp": "fault-bypass",
 }
 
 failures = []

@@ -24,8 +24,8 @@ TEST(WormStore, WriteReadVerifyRoundTrip) {
   Sn sn = rig.put("patient chart 1337", Duration::days(30));
   EXPECT_EQ(sn, 1u);
 
-  ReadResult res = rig.store.read(sn);
-  auto* ok = std::get_if<ReadOk>(&res);
+  ReadOutcome res = rig.store.read(sn);
+  auto* ok = res.get_if<ReadOk>();
   ASSERT_NE(ok, nullptr);
   EXPECT_EQ(common::to_string(ok->payloads.at(0)), "patient chart 1337");
   EXPECT_EQ(ok->vrd.sn, sn);
@@ -43,8 +43,8 @@ TEST(WormStore, MultiPayloadVirtualRecord) {
   Sn sn = rig.store.write(
       {.payloads = payloads, .attr = rig.attr(Duration::days(365))});
 
-  ReadResult res = rig.store.read(sn);
-  auto* ok = std::get_if<ReadOk>(&res);
+  ReadOutcome res = rig.store.read(sn);
+  auto* ok = res.get_if<ReadOk>();
   ASSERT_NE(ok, nullptr);
   ASSERT_EQ(ok->payloads.size(), 3u);
   EXPECT_EQ(ok->vrd.rdl.size(), 3u);
@@ -69,7 +69,7 @@ TEST(WormStore, CreationTimeIsScpuAuthoritative) {
   Sn sn = rig.store.write({.payloads = {to_bytes("x")}, .attr = a});
   common::SimTime after = rig.clock.now();
   auto res = rig.store.read(sn);
-  auto* ok = std::get_if<ReadOk>(&res);
+  auto* ok = res.get_if<ReadOk>();
   ASSERT_NE(ok, nullptr);
   // The backdated host timestamp was discarded for the SCPU's own clock.
   EXPECT_GE(ok->vrd.attr.creation_time, before);
@@ -79,8 +79,8 @@ TEST(WormStore, CreationTimeIsScpuAuthoritative) {
 TEST(WormStore, ReadOfUnallocatedSnProvesNonExistence) {
   Rig rig;
   rig.put("only record", Duration::days(1));
-  ReadResult res = rig.store.read(42);
-  ASSERT_TRUE(std::holds_alternative<ReadNotAllocated>(res));
+  ReadOutcome res = rig.store.read(42);
+  ASSERT_TRUE(res.is<ReadNotAllocated>());
   Outcome out = rig.verifier.verify_read(42, res);
   EXPECT_EQ(out.verdict, Verdict::kNeverExistedVerified) << out.detail;
 }
@@ -118,18 +118,18 @@ TEST(WormStore, RetentionExpiryYieldsDeletionProof) {
   Sn sn = rig.put("expiring record", Duration::hours(1));
   rig.clock.advance(Duration::hours(2));
 
-  ReadResult res = rig.store.read(sn);
-  ASSERT_TRUE(std::holds_alternative<ReadDeleted>(res));
+  ReadOutcome res = rig.store.read(sn);
+  ASSERT_TRUE(res.is<ReadDeleted>());
   Outcome out = rig.verifier.verify_read(sn, res);
   EXPECT_EQ(out.verdict, Verdict::kDeletedVerified) << out.detail;
-  EXPECT_EQ(rig.store.counters().at("expirations"), 1u);
+  EXPECT_EQ(rig.store.counters().at("store.expirations"), 1u);
 }
 
 TEST(WormStore, DeletionShredsDataBlocks) {
   Rig rig;
   Sn sn = rig.put("TOP SECRET CONTENT", Duration::hours(1));
   auto res = rig.store.read(sn);
-  auto* ok = std::get_if<ReadOk>(&res);
+  auto* ok = res.get_if<ReadOk>();
   ASSERT_NE(ok, nullptr);
   std::uint64_t block = ok->vrd.rdl.at(0).blocks.at(0);
 
@@ -145,10 +145,10 @@ TEST(WormStore, RecordsExpireIndividuallyInOrder) {
   Sn a = rig.put("a", Duration::hours(1));
   Sn b = rig.put("b", Duration::hours(3));
   rig.clock.advance(Duration::hours(2));
-  EXPECT_TRUE(std::holds_alternative<ReadDeleted>(rig.store.read(a)));
-  EXPECT_TRUE(std::holds_alternative<ReadOk>(rig.store.read(b)));
+  EXPECT_TRUE(rig.store.read(a).is<ReadDeleted>());
+  EXPECT_TRUE(rig.store.read(b).is<ReadOk>());
   rig.clock.advance(Duration::hours(2));
-  EXPECT_TRUE(std::holds_alternative<ReadDeleted>(rig.store.read(b)));
+  EXPECT_TRUE(rig.store.read(b).is<ReadDeleted>());
 }
 
 TEST(WormStore, OutOfOrderExpiration) {
@@ -157,8 +157,8 @@ TEST(WormStore, OutOfOrderExpiration) {
   Sn long_lived = rig.put("keeps", Duration::days(10));
   Sn short_lived = rig.put("goes", Duration::hours(1));
   rig.clock.advance(Duration::hours(2));
-  EXPECT_TRUE(std::holds_alternative<ReadOk>(rig.store.read(long_lived)));
-  EXPECT_TRUE(std::holds_alternative<ReadDeleted>(rig.store.read(short_lived)));
+  EXPECT_TRUE(rig.store.read(long_lived).is<ReadOk>());
+  EXPECT_TRUE(rig.store.read(short_lived).is<ReadDeleted>());
 }
 
 TEST(WormStore, MultiYearRetentionSurvives) {
@@ -191,7 +191,7 @@ TEST_P(ShredPolicies, ShreddingRemovesPayloadResidue) {
   Sn sn = rig.store.write(
       {.payloads = {payload}, .attr = rig.attr(Duration::hours(1), GetParam())});
   auto res = rig.store.read(sn);
-  std::uint64_t block = std::get<ReadOk>(res).vrd.rdl.at(0).blocks.at(0);
+  std::uint64_t block = res.get<ReadOk>().vrd.rdl.at(0).blocks.at(0);
   rig.clock.advance(Duration::hours(2));
   const common::Bytes& raw = rig.disk.raw_block(block);
   // No policy may leave the plaintext prefix in place.
@@ -212,9 +212,9 @@ TEST(WormStore, LitigationHoldBlocksDeletion) {
                       .cred_issued_at = rig.clock.now(),
                       .credential = rig.lit_credential(sn, 7, true)});
   rig.clock.advance(Duration::hours(5));  // retention long past
-  ReadResult res = rig.store.read(sn);
-  ASSERT_TRUE(std::holds_alternative<ReadOk>(res));
-  EXPECT_TRUE(std::get<ReadOk>(res).vrd.attr.litigation_hold);
+  ReadOutcome res = rig.store.read(sn);
+  ASSERT_TRUE(res.is<ReadOk>());
+  EXPECT_TRUE(res.get<ReadOk>().vrd.attr.litigation_hold);
   EXPECT_EQ(rig.verifier.verify_read(sn, res).verdict, Verdict::kAuthentic);
 }
 
@@ -246,7 +246,7 @@ TEST(WormStore, LitigationHoldTimesOutOnItsOwn) {
                       .cred_issued_at = rig.clock.now(),
                       .credential = rig.lit_credential(sn, 9, true)});
   rig.clock.advance(Duration::hours(5));
-  EXPECT_TRUE(std::holds_alternative<ReadOk>(rig.store.read(sn)));
+  EXPECT_TRUE(rig.store.read(sn).is<ReadOk>());
   rig.clock.advance(Duration::hours(6));  // past the hold timeout
   EXPECT_EQ(rig.verifier.verify_read(sn, rig.store.read(sn)).verdict,
             Verdict::kDeletedVerified);
@@ -380,8 +380,8 @@ TEST(WormStore, WindowedStoreStorageShrinks) {
 TEST(WormStore, DeferredWriteVerifiesUnderShortKey) {
   Rig rig;
   Sn sn = rig.put("burst record", Duration::days(1), WitnessMode::kDeferred);
-  ReadResult res = rig.store.read(sn);
-  auto* ok = std::get_if<ReadOk>(&res);
+  ReadOutcome res = rig.store.read(sn);
+  auto* ok = res.get_if<ReadOk>();
   ASSERT_NE(ok, nullptr);
   EXPECT_EQ(ok->vrd.metasig.kind, SigKind::kShortTerm);
   Outcome out = rig.verifier.verify_read(sn, res);
@@ -395,8 +395,8 @@ TEST(WormStore, DeferredWriteIsStrengthenedDuringIdle) {
   ASSERT_TRUE(rig.store.pump_idle());
   EXPECT_EQ(rig.firmware.deferred_count(), 0u);
 
-  ReadResult res = rig.store.read(sn);
-  auto* ok = std::get_if<ReadOk>(&res);
+  ReadOutcome res = rig.store.read(sn);
+  auto* ok = res.get_if<ReadOk>();
   ASSERT_NE(ok, nullptr);
   EXPECT_EQ(ok->vrd.metasig.kind, SigKind::kStrong);
   EXPECT_EQ(ok->vrd.datasig.kind, SigKind::kStrong);
@@ -481,7 +481,7 @@ TEST(WormStore, WriteBatchPreservesOrderAndVerifies) {
   for (std::size_t i = 0; i < sns.size(); ++i) {
     EXPECT_EQ(sns[i], i + 1);  // submission order == SN order
     auto res = rig.store.read(sns[i]);
-    auto* ok = std::get_if<ReadOk>(&res);
+    auto* ok = res.get_if<ReadOk>();
     ASSERT_NE(ok, nullptr);
     EXPECT_EQ(common::to_string(ok->payloads.at(0)),
               "batched " + std::to_string(i));
@@ -503,15 +503,15 @@ TEST(WormStore, WriteBatchGroupsByModeAndAmortizesCrossings) {
   auto before = rig.store.counters();
   std::vector<Sn> sns = rig.store.write_batch(requests);
   auto after = rig.store.counters();
-  EXPECT_EQ(after.at("mailbox_batches") - before.at("mailbox_batches"), 2u);
-  EXPECT_EQ(after.at("mailbox_batched_writes") -
-                before.at("mailbox_batched_writes"),
+  EXPECT_EQ(after.at("mailbox.batches") - before.at("mailbox.batches"), 2u);
+  EXPECT_EQ(after.at("mailbox.batched_writes") -
+                before.at("mailbox.batched_writes"),
             12u);
-  EXPECT_GE(after.at("mailbox_queue_hwm"), 12u);
+  EXPECT_GE(after.at("mailbox.queue_hwm"), 12u);
   // Mode boundaries respected: 6 strong witnesses, 6 short-term ones.
   for (std::size_t i = 0; i < sns.size(); ++i) {
     auto res = rig.store.read(sns[i]);
-    EXPECT_EQ(std::get<ReadOk>(res).vrd.metasig.kind,
+    EXPECT_EQ(res.get<ReadOk>().vrd.metasig.kind,
               i < 6 ? SigKind::kStrong : SigKind::kShortTerm);
   }
 }
@@ -524,7 +524,7 @@ TEST(WormStore, WriteBatchChunksAtMaxBatch) {
       10, {.payloads = {to_bytes("x")}, .attr = rig.attr(Duration::days(1))});
   (void)rig.store.write_batch(requests);  // only the crossing count matters
   // ceil(10 / 4) = 3 kWriteBatch crossings.
-  EXPECT_EQ(rig.store.counters().at("mailbox_batches"), 3u);
+  EXPECT_EQ(rig.store.counters().at("mailbox.batches"), 3u);
 }
 
 TEST(WormStore, DeadlinePressureServicesStrengtheningMidBurst) {
@@ -542,13 +542,13 @@ TEST(WormStore, DeadlinePressureServicesStrengtheningMidBurst) {
 
   // The foreground write triggers the urgent duty before witnessing.
   Sn sn = rig.put("foreground", Duration::days(1), WitnessMode::kDeferred);
-  EXPECT_GE(rig.store.counters().at("mailbox_urgent_services"), 1u);
+  EXPECT_GE(rig.store.counters().at("mailbox.urgent_services"), 1u);
   // The first record was strengthened to a permanent signature in time.
   auto res = rig.store.read(1);
-  EXPECT_EQ(std::get<ReadOk>(res).vrd.metasig.kind, SigKind::kStrong);
+  EXPECT_EQ(res.get<ReadOk>().vrd.metasig.kind, SigKind::kStrong);
   // The new write's own deadline is an hour out — no pressure now.
   EXPECT_FALSE(rig.store.deadline_pressure(Duration::minutes(10)));
-  EXPECT_EQ(std::get<ReadOk>(rig.store.read(sn)).vrd.metasig.kind,
+  EXPECT_EQ(rig.store.read(sn).get<ReadOk>().vrd.metasig.kind,
             SigKind::kShortTerm);
 }
 
@@ -556,16 +556,16 @@ TEST(WormStore, WritePathsNeverTouchFirmwareDirectly) {
   // Every write crosses the mailbox: the transport's command counter must
   // account for each of them (plus the constructor's seeding crossings).
   Rig rig;
-  auto base = rig.store.counters().at("mailbox_commands");
+  auto base = rig.store.counters().at("mailbox.crossings");
   rig.put("one", Duration::days(1));
   rig.put("two", Duration::days(1));
-  EXPECT_EQ(rig.store.counters().at("mailbox_commands"), base + 2);
+  EXPECT_EQ(rig.store.counters().at("mailbox.crossings"), base + 2);
   // Reads are host-only (§4.2.2): no crossings at all.
-  auto before_reads = rig.store.counters().at("mailbox_commands");
+  auto before_reads = rig.store.counters().at("mailbox.crossings");
   (void)rig.store.read(1);
   (void)rig.store.read(2);
   (void)rig.store.read(99);  // not allocated — answered from the heartbeat mirror
-  EXPECT_EQ(rig.store.counters().at("mailbox_commands"), before_reads);
+  EXPECT_EQ(rig.store.counters().at("mailbox.crossings"), before_reads);
 }
 
 TEST(WormStore, RequestStructLitigationRoundTrip) {
@@ -581,13 +581,13 @@ TEST(WormStore, RequestStructLitigationRoundTrip) {
                       .cred_issued_at = rig.clock.now(),
                       .credential = rig.lit_credential(sn, 7, true)});
   rig.clock.advance(Duration::hours(2));
-  EXPECT_TRUE(std::holds_alternative<ReadOk>(rig.store.read(sn)));
+  EXPECT_TRUE(rig.store.read(sn).is<ReadOk>());
   rig.store.lit_release({.sn = sn,
                          .lit_id = 7,
                          .cred_issued_at = rig.clock.now(),
                          .credential = rig.lit_credential(sn, 7, false)});
   rig.clock.advance(Duration::days(1));
-  EXPECT_TRUE(std::holds_alternative<ReadDeleted>(rig.store.read(sn)));
+  EXPECT_TRUE(rig.store.read(sn).is<ReadDeleted>());
 }
 
 // ---------------------------------------------------------------------------
@@ -617,7 +617,7 @@ TEST(WormStore, HostHashDeferredStrengthensWithAudit) {
   while (rig.store.pump_idle()) {
   }
   auto res = rig.store.read(sn);
-  EXPECT_EQ(std::get<ReadOk>(res).vrd.metasig.kind, SigKind::kStrong);
+  EXPECT_EQ(res.get<ReadOk>().vrd.metasig.kind, SigKind::kStrong);
   EXPECT_EQ(rig.verifier.verify_read(sn, res).verdict, Verdict::kAuthentic);
   EXPECT_TRUE(rig.firmware.hash_audits_pending(10).empty());
 }
@@ -644,7 +644,7 @@ TEST(WormStore, VexpOverflowIsRebuiltAndStillDeletes) {
   std::size_t deleted = 0;
   for (Sn sn : sns) {
     auto res = rig.store.read(sn);
-    if (!std::holds_alternative<ReadOk>(res)) ++deleted;
+    if (!res.is<ReadOk>()) ++deleted;
   }
   EXPECT_EQ(deleted, sns.size());
 }
@@ -677,9 +677,9 @@ TEST(Migration, MovesRecordsAndPreservesExpiry) {
   Sn a_dst = report.entries.at(0).source_sn == a ? report.entries.at(0).dest_sn
                                                  : report.entries.at(1).dest_sn;
   dst.clock.advance(Duration::days(5));
-  EXPECT_TRUE(std::holds_alternative<ReadOk>(dst.store.read(a_dst)));
+  EXPECT_TRUE(dst.store.read(a_dst).is<ReadOk>());
   dst.clock.advance(Duration::days(2));
-  EXPECT_TRUE(std::holds_alternative<ReadDeleted>(dst.store.read(a_dst)));
+  EXPECT_TRUE(dst.store.read(a_dst).is<ReadDeleted>());
 }
 
 TEST(Migration, RefusesTamperedSourceRecords) {
@@ -689,7 +689,7 @@ TEST(Migration, RefusesTamperedSourceRecords) {
   Sn bad = src.put("bad", Duration::days(10));
   // Insider rewrites the data blocks of `bad` behind the WORM layer.
   auto res = src.store.read(bad);
-  std::uint64_t block = std::get<ReadOk>(res).vrd.rdl.at(0).blocks.at(0);
+  std::uint64_t block = res.get<ReadOk>().vrd.rdl.at(0).blocks.at(0);
   src.disk.raw_block(block)[0] ^= 0xff;
 
   MigrationReport report = Migrator::migrate(src.store, dst.store, src.verifier);
@@ -717,8 +717,8 @@ TEST(Migration, LitigationHoldTravelsWithRecord) {
   // Retention lapses at dest, but the hold must still block deletion there.
   dst.clock.advance(Duration::hours(5));
   auto res = dst.store.read(dst_sn);
-  ASSERT_TRUE(std::holds_alternative<ReadOk>(res));
-  EXPECT_TRUE(std::get<ReadOk>(res).vrd.attr.litigation_hold);
+  ASSERT_TRUE(res.is<ReadOk>());
+  EXPECT_TRUE(res.get<ReadOk>().vrd.attr.litigation_hold);
 }
 
 TEST(Migration, TamperedManifestFailsAudit) {
@@ -740,7 +740,11 @@ TEST(WormStore, TamperResponseKillsTheDevice) {
   Rig rig;
   rig.put("r", Duration::days(1));
   rig.device.trigger_tamper_response();
-  EXPECT_THROW(rig.put("after tamper", Duration::days(1)), ChannelError);
+  // The first crossing after zeroization degrades the store to read-only
+  // verified mode; the mutation is refused with the degraded-mode error.
+  EXPECT_THROW(rig.put("after tamper", Duration::days(1)),
+               common::ReadOnlyStoreError);
+  EXPECT_TRUE(rig.store.degraded());
   // Existing records remain client-verifiable (signatures are on disk).
   EXPECT_EQ(rig.verifier.verify_read(1, rig.store.read(1)).verdict,
             Verdict::kAuthentic);
@@ -759,7 +763,7 @@ TEST(WormStore, ReadsStayTotalAfterTamperResponse) {
   rig.device.trigger_tamper_response();
   // Expire the cached base proof, then read below the base: no throw.
   rig.clock.advance(Duration::hours(2));
-  ReadResult res = rig.store.read(1);
+  ReadOutcome res = rig.store.read(1);
   // Whatever came back, the client is not fooled: the stale base proof (or
   // explicit failure) is not a trustworthy denial... but it IS an answer.
   Outcome out = rig.verifier.verify_read(1, res);

@@ -36,6 +36,14 @@ enforces the architectural invariants that no single-TU analysis can see:
                       std::call_once are allowed: they compose with the
                       annotated wrappers.
 
+  fault-bypass        Fault points are declared only via the
+                      WORM_FAULT_POINT(injector, "site") macro, which is
+                      null-safe and keeps the complete fault surface
+                      greppable. Calling FaultInjector::evaluate_site()
+                      directly anywhere in src/ outside common/fault.{hpp,cpp}
+                      (the injector itself plus the macro's definition site)
+                      hides an injection site from that inventory.
+
 Usage:
   worm_lint.py [--repo DIR] [--compile-commands FILE] [--as-src FILE...]
 
@@ -116,6 +124,10 @@ RAW_MUTEX_PATTERN = re.compile(
 )
 RAW_MUTEX_ALLOWLIST = re.compile(r"^src/common/annotations\.hpp$")
 
+FAULT_BYPASS_PATTERN = re.compile(r"\bevaluate_site\s*\(")
+# The injector's own implementation and the WORM_FAULT_POINT macro definition.
+FAULT_BYPASS_ALLOWLIST = re.compile(r"^src/common/fault\.(hpp|cpp)$")
+
 
 class Finding:
     def __init__(self, rule: str, path: str, line: int, message: str):
@@ -185,6 +197,7 @@ def lint_file(rel: str, text: str) -> list[Finding]:
     scpu_exempt = bool(SCPU_ALLOWLIST.match(rel))
     clock_exempt = bool(WALL_CLOCK_ALLOWLIST.match(rel))
     mutex_exempt = bool(RAW_MUTEX_ALLOWLIST.match(rel))
+    fault_exempt = bool(FAULT_BYPASS_ALLOWLIST.match(rel))
 
     for lineno, line in enumerate(lines, start=1):
         if not scpu_exempt:
@@ -219,6 +232,13 @@ def lint_file(rel: str, text: str) -> list[Finding]:
                 "raw std synchronization primitive; use the annotated "
                 "wrappers from common/annotations.hpp so thread-safety "
                 "analysis can see the lock"))
+
+        if not fault_exempt and FAULT_BYPASS_PATTERN.search(line):
+            findings.append(Finding(
+                "fault-bypass", rel, lineno,
+                "direct evaluate_site() call; declare fault points with "
+                "WORM_FAULT_POINT(injector, \"site\") so the fault surface "
+                "stays null-safe and greppable"))
 
     return findings
 
