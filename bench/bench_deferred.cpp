@@ -6,6 +6,8 @@
 #include <cstdio>
 
 #include "bench_util.hpp"
+#include "common/error.hpp"
+#include "common/thread_pool.hpp"
 
 using namespace worm;
 
@@ -31,9 +33,19 @@ int main() {
     auto burst =
         bench::measure_writes(rig, 1024, n, core::WitnessMode::kDeferred);
 
-    // Drain the strengthening backlog and measure the idle-time rate.
+    // Drain the strengthening backlog and measure the idle-time rate. Bounded
+    // (one idle_batch-sized crossing per iteration, plus slack for audit and
+    // compaction rotations): a backlog that fails to shrink is a liveness bug
+    // this bench must crash on, not spin through.
     common::SimTime t0 = rig.clock.now();
-    while (rig.firmware.deferred_count() > 0) rig.store.pump_idle();
+    bool drained = common::bounded_drain(
+        [&] {
+          if (rig.firmware.deferred_count() == 0) return false;
+          rig.store.pump_idle();
+          return rig.firmware.deferred_count() > 0;
+        },
+        n / sc.idle_batch + 64);
+    WORM_CHECK(drained, "bench_deferred: strengthening backlog never drained");
     double drain_sec = (rig.clock.now() - t0).to_seconds_f();
     double strengthen_rate = static_cast<double>(n) / drain_sec;
 

@@ -1,0 +1,197 @@
+// Group-commit write pipeline: sync-vs-async throughput and the batch knob.
+// §4.1's arithmetic says the write path lives or dies by mailbox crossings —
+// 25us of command overhead per crossing that no faster host can hide — so the
+// pipeline's whole value is crossings-per-record. This bench measures it:
+// a synchronous single-writer baseline (one crossing per record), then the
+// async pipeline at 1/2/4/8 writer threads (one crossing per group), then a
+// max_batch sweep at 8 writers.
+//
+// Methodology (same convention as bench_concurrent_reads): writer threads
+// execute the REAL concurrent code path — admission-side chained hashing,
+// the journaling lock, the bounded queue, the committer's batched crossings —
+// so races are exercised (and caught under -fsanitize=thread), while
+// throughput is computed from the calibrated cost models, not container
+// wall-clock. In pipeline mode the store deliberately does NOT charge the
+// admission-side hash to the shared clock (it runs N-wide on the writers);
+// each thread accounts that modeled cost itself, and the makespan is the
+// slowest thread's busy time plus the serial fraction — everything the
+// committer charged on the shared clock (crossing overhead, MAC witnessing,
+// wire transfer). The sync baseline charges hash and crossing alike on the
+// shared clock, so its makespan is just the serial fraction. Wall-clock
+// ack latency (submit -> ticket resolution) is reported as p50/p99 for a
+// contention sanity check only.
+//
+// Exit code is a regression gate, mirroring bench_concurrent_reads: async
+// throughput at 8 writers with max_batch=16 must be >= 3x the synchronous
+// single-writer baseline.
+#include <chrono>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "bench_util.hpp"
+
+using namespace worm;
+
+namespace {
+
+constexpr std::size_t kPayload = 8192;
+constexpr std::size_t kOps = 512;  // per row; fresh rig each row
+constexpr std::size_t kWindow = 32;  // tickets in flight per writer
+
+core::StoreConfig pipeline_config(std::size_t max_batch) {
+  core::StoreConfig sc;
+  sc.default_mode = core::WitnessMode::kHmac;  // §4.3 burst mode
+  sc.hash_mode = core::HashMode::kHostHash;    // admission-side hashing
+  sc.pipeline.enabled = true;
+  sc.pipeline.max_batch = max_batch;
+  sc.pipeline.queue_capacity = 256;
+  return sc;
+}
+
+struct SweepResult {
+  double throughput = 0;  // modeled records/s
+  double p50_us = 0;      // wall-clock submit->ack
+  double p99_us = 0;
+};
+
+/// N writer threads push kOps/N records each through write_async, keeping up
+/// to kWindow tickets outstanding so the committer sees full groups.
+SweepResult run_async_sweep(bench::BenchRig& rig, std::size_t nthreads) {
+  const scpu::CostModel& host = rig.store.config().host_model;
+  const common::Duration hash_cost = host.hash_cost(kPayload);
+  common::Bytes payload(kPayload, 0x5a);
+  core::Attr attr;
+  attr.retention = common::Duration::years(5);
+
+  std::vector<std::thread> threads;
+  std::vector<common::Duration> busy(nthreads);
+  std::vector<std::vector<double>> wall(nthreads);
+  common::Duration serial0 = rig.clock.total_charged();
+
+  for (std::size_t t = 0; t < nthreads; ++t) {
+    threads.emplace_back([&, t] {
+      std::size_t ops = kOps / nthreads;
+      wall[t].reserve(ops);
+      std::vector<std::pair<core::WriteTicket,
+                            std::chrono::steady_clock::time_point>>
+          window;
+      window.reserve(kWindow);
+      auto collect = [&] {
+        for (auto& [ticket, w0] : window) {
+          (void)ticket.get();
+          wall[t].push_back(std::chrono::duration<double, std::micro>(
+                                std::chrono::steady_clock::now() - w0)
+                                .count());
+        }
+        window.clear();
+      };
+      for (std::size_t i = 0; i < ops; ++i) {
+        auto w0 = std::chrono::steady_clock::now();
+        window.emplace_back(
+            rig.store.write_async(
+                {.payloads = {payload}, .attr = attr}),
+            w0);
+        busy[t] += hash_cost;  // modeled admission-side work, run thread-wide
+        if (window.size() >= kWindow) collect();
+      }
+      collect();
+    });
+  }
+  for (auto& th : threads) th.join();
+  rig.store.drain_writes();
+
+  common::Duration serial = rig.clock.total_charged() - serial0;
+  common::Duration slowest{};
+  std::vector<double> all_wall;
+  for (std::size_t t = 0; t < nthreads; ++t) {
+    slowest = std::max(slowest, busy[t]);
+    all_wall.insert(all_wall.end(), wall[t].begin(), wall[t].end());
+  }
+  SweepResult r;
+  r.throughput =
+      static_cast<double>(all_wall.size()) / (slowest + serial).to_seconds_f();
+  r.p50_us = bench::percentile(all_wall, 50);
+  r.p99_us = bench::percentile(all_wall, 99);
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header(
+      "Group-commit write pipeline — sync vs async writers, batch sweep (8KB)",
+      "§4.1: write throughput is crossings-per-record; group commit amortizes "
+      "the 25us command overhead across a batch");
+
+  // Synchronous single-writer baseline: one crossing per record, everything
+  // serialized on the shared clock.
+  double sync_base = 0;
+  {
+    core::StoreConfig sc;
+    sc.default_mode = core::WitnessMode::kHmac;
+    sc.hash_mode = core::HashMode::kHostHash;
+    bench::BenchRig rig(bench::bench_fw_config(), sc);
+    common::Bytes payload(kPayload, 0x5a);
+    core::Attr attr;
+    attr.retention = common::Duration::years(5);
+    common::Duration serial0 = rig.clock.total_charged();
+    for (std::size_t i = 0; i < kOps; ++i) {
+      (void)rig.store.write({.payloads = {payload}, .attr = attr});
+    }
+    common::Duration serial = rig.clock.total_charged() - serial0;
+    sync_base = static_cast<double>(kOps) / serial.to_seconds_f();
+  }
+
+  std::vector<bench::BenchRow> rows;
+  rows.push_back({"sync_write", 1, sync_base, 0, 0});
+  std::printf("%-22s %8s %16s %10s %10s %10s\n", "op", "threads",
+              "modeled rec/s", "speedup", "p50 us", "p99 us");
+  std::printf("%-22s %8d %16.0f %9.2fx %10s %10s\n", "sync_write", 1,
+              sync_base, 1.0, "-", "-");
+
+  // Async writer sweep at the default group size (max_batch = 16).
+  double at8 = 0;
+  for (std::size_t k : {1u, 2u, 4u, 8u}) {
+    bench::BenchRig rig(bench::bench_fw_config(), pipeline_config(16));
+    SweepResult r = run_async_sweep(rig, k);
+    if (k == 8) at8 = r.throughput;
+    std::printf("%-22s %8zu %16.0f %9.2fx %10.1f %10.1f\n", "async_write", k,
+                r.throughput, r.throughput / sync_base, r.p50_us, r.p99_us);
+    rows.push_back({"async_write", k, r.throughput, r.p50_us, r.p99_us});
+    if (k == 8) {
+      std::printf("\n  write-pipeline counters at 8 writers:\n");
+      for (const auto& [name, value] : rig.store.counters()) {
+        if (std::string(name).rfind("write_pipeline.", 0) == 0) {
+          std::printf("    %-36s %llu\n", std::string(name).c_str(),
+                      static_cast<unsigned long long>(value));
+        }
+      }
+      std::printf("\n");
+    }
+  }
+
+  // Batch-size sweep at 8 writers: the knob IS crossings-per-record.
+  std::printf("\nbatch sweep at 8 writers (crossing amortization):\n");
+  for (std::size_t b : {1u, 2u, 4u, 8u, 16u, 32u}) {
+    bench::BenchRig rig(bench::bench_fw_config(), pipeline_config(b));
+    SweepResult r = run_async_sweep(rig, 8);
+    std::printf("%-22s %8d %16.0f %9.2fx %10.1f %10.1f\n",
+                ("async_b" + std::to_string(b)).c_str(), 8, r.throughput,
+                r.throughput / sync_base, r.p50_us, r.p99_us);
+    rows.push_back(
+        {"async_b" + std::to_string(b), 8, r.throughput, r.p50_us, r.p99_us});
+  }
+
+  double speedup = at8 / sync_base;
+  std::printf(
+      "\nasync speedup at 8 writers, max_batch=16: %.2fx (gate >= 3x)\n"
+      "Reading: the sync path pays a full crossing per record; the pipeline\n"
+      "pays one per group and moves hashing onto the (parallel) admitting\n"
+      "threads, so only MAC witnessing and the amortized crossing stay on\n"
+      "the serialized clock — the same division of labor the paper uses to\n"
+      "keep the slow SCPU off the fast path.\n",
+      speedup);
+  bench::write_bench_json("write_pipeline", rows);
+  return speedup >= 3.0 ? 0 : 1;
+}

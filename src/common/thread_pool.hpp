@@ -61,4 +61,19 @@ class ThreadPool {
   bool stop_ GUARDED_BY(mu_) = false;
 };
 
+/// Bounded drain loop: calls `step` until it reports no work left (returns
+/// false) or `max_iters` iterations elapse. Returns true when the drain
+/// completed, false when the bound was hit — callers must treat the latter
+/// as a liveness bug (a duty that never runs dry, a committer that never
+/// empties), not spin further. This is the shared guard against unbounded
+/// busy-wait drains: the write-pipeline committer shutdown and the bench
+/// drain loops both run through it.
+template <typename Step>
+[[nodiscard]] inline bool bounded_drain(Step&& step, std::size_t max_iters) {
+  for (std::size_t i = 0; i < max_iters; ++i) {
+    if (!step()) return true;
+  }
+  return false;
+}
+
 }  // namespace worm::common

@@ -215,6 +215,9 @@ Bytes ScpuChannel::dispatch(ByteView request) {
       auto witnesses = fw_.write_batch(items, mode, hash_mode);
       out.u32(static_cast<std::uint32_t>(witnesses.size()));
       for (const auto& ww : witnesses) put_witness(out, ww);
+      // Batch ack shape: the group's net effect on the device's SN counter
+      // rides the same crossing, so the host mirror never lags its own ack.
+      out.u64(fw_.sn_current());
       break;
     }
     case OpCode::kStatus: {
@@ -609,15 +612,16 @@ WriteWitness ScpuChannel::decode_write_response(ByteView payload) {
   return ww;
 }
 
-std::vector<WriteWitness> ScpuChannel::decode_write_batch_response(
+ScpuChannel::BatchAck ScpuChannel::decode_write_batch_response(
     ByteView payload) {
   ByteReader r(payload);
   std::uint32_t n = r.u32();
-  std::vector<WriteWitness> out;
-  out.reserve(n);
-  for (std::uint32_t i = 0; i < n; ++i) out.push_back(get_witness(r));
+  BatchAck ack;
+  ack.witnesses.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) ack.witnesses.push_back(get_witness(r));
+  ack.sn_current_after = r.u64();
   r.expect_end();
-  return out;
+  return ack;
 }
 
 Firmware::LitUpdate ScpuChannel::decode_lit_response(ByteView payload) {
@@ -739,7 +743,8 @@ std::vector<WriteWitness> ScpuChannel::write_batch(
     const std::vector<Firmware::BatchItem>& items, WitnessMode mode,
     HashMode hash_mode) {
   return decode_write_batch_response(
-      send_ok(prepare(encode_write_batch(items, mode, hash_mode))));
+             send_ok(prepare(encode_write_batch(items, mode, hash_mode))))
+      .witnesses;
 }
 
 ScpuStatus ScpuChannel::status() {

@@ -216,8 +216,15 @@ class ScpuChannel {
       const std::vector<DeletedWindow>& windows);
 
   static WriteWitness decode_write_response(common::ByteView payload);
-  static std::vector<WriteWitness> decode_write_batch_response(
-      common::ByteView payload);
+  /// kWriteBatch ack: the witnesses plus the device's SN_current after the
+  /// whole group landed. The trailing attestation lets the host advance its
+  /// scheduling mirror straight off the ack — one group-commit flush updates
+  /// the read path's view without inferring it from individual witnesses.
+  struct BatchAck {
+    std::vector<WriteWitness> witnesses;
+    Sn sn_current_after = 0;
+  };
+  static BatchAck decode_write_batch_response(common::ByteView payload);
   static Firmware::LitUpdate decode_lit_response(common::ByteView payload);
   static std::vector<StrengthenResult> decode_strengthen_response(
       common::ByteView payload);

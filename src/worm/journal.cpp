@@ -44,6 +44,10 @@ const char* to_string(JournalRecordType t) {
       return "trim-below";
     case JournalRecordType::kCheckpoint:
       return "checkpoint";
+    case JournalRecordType::kQueuedWrite:
+      return "queued-write";
+    case JournalRecordType::kGroupIntent:
+      return "group-intent";
   }
   return "?";
 }
@@ -106,7 +110,7 @@ HostJournal::ReplayResult HostJournal::replay() const {
                         static_cast<std::uint32_t>(data[pos + 4]) << 24;
     std::size_t body = pos + 5;
     if (type < static_cast<std::uint8_t>(JournalRecordType::kIntent) ||
-        type > static_cast<std::uint8_t>(JournalRecordType::kCheckpoint)) {
+        type > static_cast<std::uint8_t>(JournalRecordType::kGroupIntent)) {
       break;  // garbage header
     }
     if (data.size() - body < static_cast<std::size_t>(len) + 4) break;

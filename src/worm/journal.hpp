@@ -46,6 +46,16 @@ enum class JournalRecordType : std::uint8_t {
   /// Full VRDT snapshot (blob of Vrdt::serialize()); replay restarts from the
   /// latest checkpoint, so rewrite() uses one to truncate history.
   kCheckpoint = 8,
+  /// write_async admission (group-commit pipeline): u64 queued id +
+  /// blob(serialized WriteRequest). Journaled before the completion ticket
+  /// exists — the durability-before-ack point. A queued write that never
+  /// makes it into a kGroupIntent is re-executed by recover().
+  kQueuedWrite = 9,
+  /// The committer formed a group and is about to cross: u64 seq +
+  /// blob(wire frame) + u32 n + n * u64 queued ids. One checksummed frame
+  /// atomically supersedes the member kQueuedWrite records with a resendable
+  /// intent, so a crash can never both resend AND re-execute a write.
+  kGroupIntent = 10,
 };
 
 [[nodiscard]] const char* to_string(JournalRecordType t);

@@ -42,6 +42,16 @@ void StoreConfig::validate() const {
                "retry_initial_backoff (inverted durations)");
   WORM_REQUIRE(strengthen_margin.ns >= 0,
                "StoreConfig.strengthen_margin must not be negative");
+  if (pipeline.enabled) {
+    WORM_REQUIRE(pipeline.queue_capacity > 0,
+                 "StoreConfig.pipeline.queue_capacity must be nonzero");
+    WORM_REQUIRE(pipeline.max_batch > 0 && pipeline.max_batch <= kMaxBatchItems,
+                 "StoreConfig.pipeline.max_batch must be in [1, 1024]");
+    WORM_REQUIRE(pipeline.max_bytes > 0,
+                 "StoreConfig.pipeline.max_bytes must be nonzero");
+    WORM_REQUIRE(pipeline.linger.ns >= 0,
+                 "StoreConfig.pipeline.linger must not be negative");
+  }
 }
 
 namespace {
@@ -115,9 +125,24 @@ WormStore::WormStore(common::SimClock& clock, Firmware& firmware,
     // reads are served from whatever proofs the host still holds.
     degraded_ = true;
   }
+
+  if (config_.pipeline.enabled) {
+    pipeline_ = std::make_unique<WritePipeline>(
+        clock_, config_.pipeline,
+        [this](std::vector<WritePipeline::Pending>&& group) {
+          flush_group(std::move(group));
+        });
+  }
 }
 
-WormStore::~WormStore() { firmware_.set_host_agent(nullptr); }
+WormStore::~WormStore() {
+  // Destruction without close() is the crash path: stop the committer and
+  // fail queued tickets without flushing — their journaled admissions are
+  // recover()'s to re-execute. Joins the committer before any member the
+  // flush touches can go away.
+  if (pipeline_ != nullptr) pipeline_->shutdown_drop();
+  firmware_.set_host_agent(nullptr);
+}
 
 common::ThreadPool& WormStore::read_pool() {
   std::call_once(read_pool_once_, [this] {
@@ -156,6 +181,30 @@ WormStore::Sequenced WormStore::sequenced(Bytes frame) {
     journal_.append(JournalRecordType::kIntent, w.bytes());
     pending_seqs_.insert(cmd.seq);
   }
+  return send_prepared(std::move(cmd));
+}
+
+WormStore::Sequenced WormStore::sequenced_group(
+    Bytes frame, const std::vector<std::uint64_t>& qids) {
+  ScpuChannel::Prepared cmd = mailbox_.channel().prepare(std::move(frame));
+  if (journal_.enabled()) {
+    // One record both journals the intent AND supersedes the member
+    // admissions: after it, recovery resends this exact frame (the device's
+    // dedup cache makes that exactly-once) and must NOT also re-execute the
+    // kQueuedWrite records it absorbs — atomicity a separate "consume qid"
+    // record could not give us.
+    common::ByteWriter w;
+    w.u64(cmd.seq);
+    w.blob(cmd.request);
+    w.u32(static_cast<std::uint32_t>(qids.size()));
+    for (std::uint64_t qid : qids) w.u64(qid);
+    journal_.append(JournalRecordType::kGroupIntent, w.bytes());
+    pending_seqs_.insert(cmd.seq);
+  }
+  return send_prepared(std::move(cmd));
+}
+
+WormStore::Sequenced WormStore::send_prepared(ScpuChannel::Prepared cmd) {
   Bytes payload;
   try {
     payload = mailbox_.channel().send_ok(cmd);
@@ -221,6 +270,21 @@ void WormStore::journal_trim_below(Sn sn_base) {
   common::ByteWriter w;
   w.u64(sn_base);
   journal_.append(JournalRecordType::kTrimBelow, w.bytes());
+}
+
+void WormStore::journal_queued_write(std::uint64_t qid,
+                                     const WriteRequest& request) {
+  if (!journal_.enabled()) return;
+  common::ByteWriter w;
+  w.u64(qid);
+  request.attr.serialize(w);
+  w.boolean(request.mode.has_value());
+  if (request.mode.has_value()) {
+    w.u8(static_cast<std::uint8_t>(*request.mode));
+  }
+  w.u32(static_cast<std::uint32_t>(request.payloads.size()));
+  for (const auto& p : request.payloads) w.blob(p);
+  journal_.append(JournalRecordType::kQueuedWrite, w.bytes());
 }
 
 // ---------------------------------------------------------------------------
@@ -318,6 +382,12 @@ Sn WormStore::finish_write(WriteWitness witness,
 }
 
 Sn WormStore::write(const WriteRequest& request) {
+  if (pipeline_ != nullptr) {
+    // With the pipeline on there is ONE write path: synchronous write is an
+    // admission plus an immediate ticket wait (which forces the flush due, so
+    // a lone caller never sleeps out the linger window).
+    return write_async(request).get();
+  }
   common::ExclusiveLock lk(state_mu_);
   require_mutable();
   try {
@@ -374,15 +444,16 @@ std::vector<Sn> WormStore::write_batch(
             items.begin() + static_cast<std::ptrdiff_t>(off + n));
         Sequenced sq = sequenced(
             ScpuChannel::encode_write_batch(slice, mode, config_.hash_mode));
-        std::vector<WriteWitness> witnesses =
+        ScpuChannel::BatchAck ack =
             ScpuChannel::decode_write_batch_response(sq.payload);
-        WORM_CHECK(witnesses.size() == n,
+        WORM_CHECK(ack.witnesses.size() == n,
                    "write_batch: witness count mismatch");
-        mailbox_.note_batch(witnesses.size());
-        for (std::size_t k = 0; k < witnesses.size(); ++k) {
-          sns.push_back(finish_write(std::move(witnesses[k]),
+        mailbox_.note_batch(ack.witnesses.size());
+        for (std::size_t k = 0; k < ack.witnesses.size(); ++k) {
+          sns.push_back(finish_write(std::move(ack.witnesses[k]),
                                      std::move(rdls[off + k]), mode));
         }
+        sn_current_mirror_ = std::max(sn_current_mirror_, ack.sn_current_after);
         complete_intent(sq.seq);
       }
       i = j;
@@ -391,6 +462,159 @@ std::vector<Sn> WormStore::write_batch(
     enter_degraded(e);
   }
   return sns;
+}
+
+// ---------------------------------------------------------------------------
+// Group-commit write pipeline (write_async -> committer -> batched crossing)
+// ---------------------------------------------------------------------------
+
+WriteTicket WormStore::write_async(WriteRequest request) {
+  WORM_REQUIRE(pipeline_ != nullptr,
+               "WormStore::write_async: StoreConfig.pipeline.enabled is off");
+  WORM_REQUIRE(!request.payloads.empty(), "WormStore::write: no payloads");
+
+  WritePipeline::Pending p;
+  p.attr = request.attr;
+  p.mode = request.mode;
+  for (const auto& b : request.payloads) p.bytes += b.size();
+  if (config_.hash_mode == HashMode::kHostHash) {
+    // Hash on the admitting thread, outside the store lock: with N writers
+    // the hashing runs N-wide while only the journal append and the group
+    // crossing serialize. The committer reuses this digest; the per-write
+    // host cost stays on this caller (charged via its own modeled time in
+    // benches), not on the shared serialized clock.
+    crypto::ChainedHash chain;
+    for (const auto& b : request.payloads) chain.add(b);
+    p.claimed_hash = chain.digest_bytes();
+  }
+
+  {
+    common::ExclusiveLock lk(state_mu_);
+    require_mutable();
+    p.qid = ++next_qid_;
+    // Durability before ack: the admission hits the WAL before the ticket
+    // exists, so a resolved ticket always implies a recoverable write.
+    journal_queued_write(p.qid, request);
+  }
+  p.payloads = std::move(request.payloads);
+  // No state_mu_ here: backpressure may block, and the committer needs the
+  // state lock to free space (lint: blocking-under-state-mu).
+  return pipeline_->submit(std::move(p));
+}
+
+void WormStore::drain_writes() {
+  if (pipeline_ == nullptr) return;
+  // Bound: every iteration retires at least one committer round, and a round
+  // retires up to max_batch admissions; capacity + a margin for admissions
+  // racing in while we drain.
+  bool drained = pipeline_->drain(config_.pipeline.queue_capacity + 64);
+  WORM_CHECK(drained,
+             "WormStore::drain_writes: committer failed to drain the queue "
+             "within the iteration bound (stuck committer?)");
+}
+
+void WormStore::close() {
+  if (pipeline_ == nullptr) return;
+  drain_writes();
+  pipeline_->shutdown_drop();
+}
+
+Firmware::BatchItem WormStore::prepare_pending(
+    const WritePipeline::Pending& p) {
+  Firmware::BatchItem item;
+  item.attr = p.attr;
+  item.rdl.reserve(p.payloads.size());
+  for (const auto& b : p.payloads) item.rdl.push_back(store_payload(b));
+  if (config_.hash_mode == HashMode::kHostHash) {
+    item.claimed_hash = p.claimed_hash;  // hashed on the admitting thread
+  } else {
+    item.payloads = p.payloads;
+  }
+  return item;
+}
+
+std::vector<Sn> WormStore::commit_chunk_locked(
+    const std::vector<Firmware::BatchItem>& items,
+    std::vector<std::vector<storage::RecordDescriptor>> rdls,
+    const std::vector<std::uint64_t>& qids, WitnessMode mode) {
+  Sequenced sq = sequenced_group(
+      ScpuChannel::encode_write_batch(items, mode, config_.hash_mode), qids);
+  ScpuChannel::BatchAck ack =
+      ScpuChannel::decode_write_batch_response(sq.payload);
+  WORM_CHECK(ack.witnesses.size() == items.size(),
+             "write pipeline: witness count mismatch");
+  mailbox_.note_batch(ack.witnesses.size());
+  std::vector<Sn> sns;
+  sns.reserve(ack.witnesses.size());
+  for (std::size_t k = 0; k < ack.witnesses.size(); ++k) {
+    sns.push_back(
+        finish_write(std::move(ack.witnesses[k]), std::move(rdls[k]), mode));
+  }
+  // The ack's trailing attestation can only run ahead of the per-witness
+  // maximum (other writes may have landed on the device since), never behind.
+  sn_current_mirror_ = std::max(sn_current_mirror_, ack.sn_current_after);
+  complete_intent(sq.seq);
+  return sns;
+}
+
+void WormStore::flush_group(std::vector<WritePipeline::Pending>&& group) {
+  common::ExclusiveLock lk(state_mu_);
+  std::size_t next = 0;  // first unresolved ticket
+  try {
+    require_mutable();
+    maybe_service_deadline();
+    mailbox_.note_queue_depth(group.size());
+    while (next < group.size()) {
+      // Consecutive same-mode admissions share crossings, chunked to the
+      // transport bound — the same grouping write_batch applies.
+      WitnessMode mode = group[next].mode.value_or(config_.default_mode);
+      std::size_t end = next;
+      while (end < group.size() &&
+             group[end].mode.value_or(config_.default_mode) == mode) {
+        ++end;
+      }
+      std::size_t chunk = std::max<std::size_t>(config_.mailbox.max_batch, 1);
+      while (next < end) {
+        std::size_t n = std::min(chunk, end - next);
+        std::vector<Firmware::BatchItem> items;
+        std::vector<std::vector<storage::RecordDescriptor>> rdls;
+        std::vector<std::uint64_t> qids;
+        items.reserve(n);
+        rdls.reserve(n);
+        qids.reserve(n);
+        for (std::size_t k = next; k < next + n; ++k) {
+          Firmware::BatchItem item = prepare_pending(group[k]);
+          rdls.push_back(item.rdl);
+          qids.push_back(group[k].qid);
+          items.push_back(std::move(item));
+        }
+        std::vector<Sn> sns =
+            commit_chunk_locked(items, std::move(rdls), qids, mode);
+        for (std::size_t k = 0; k < n; ++k) {
+          WritePipeline::resolve_ok(group[next + k], sns[k]);
+        }
+        next += n;
+      }
+    }
+  } catch (const ScpuDeadError& e) {
+    degraded_ = true;
+    std::exception_ptr err =
+        std::make_exception_ptr(common::ReadOnlyStoreError(
+            std::string("SCPU zeroized during a pipeline flush; store "
+                        "degraded to read-only verified mode: ") +
+            e.what()));
+    for (std::size_t k = next; k < group.size(); ++k) {
+      WritePipeline::resolve_error(group[k], err);
+    }
+  } catch (...) {
+    // Timeouts, rejections, degraded-mode refusals: the waiting tickets get
+    // the exception the synchronous path would have thrown. A timed-out group
+    // intent stays pending; recover() reconciles it exactly-once.
+    std::exception_ptr err = std::current_exception();
+    for (std::size_t k = next; k < group.size(); ++k) {
+      WritePipeline::resolve_error(group[k], err);
+    }
+  }
 }
 
 // ---------------------------------------------------------------------------
@@ -452,6 +676,17 @@ std::optional<ReadOutcome> WormStore::read_locked(Sn sn) {
     return ReadOutcome{ReadUnavailable{
         "host journal holds unreconciled intents; SN " + std::to_string(sn) +
             " may be in flight",
+        /*retryable=*/true}};
+  }
+  if (pipeline_ != nullptr && pipeline_->unsettled() > 0 &&
+      sn > sn_current_mirror_) {
+    // Read-your-writes across the async pipeline: a queued-but-unflushed
+    // admission may be about to claim this SN, so a signed "not allocated"
+    // would go stale the moment the committer flushes. Retry (or drain) and
+    // the answer becomes definite. Never cached (unavailability is not).
+    return ReadOutcome{ReadUnavailable{
+        "write pipeline holds queued admissions; SN " + std::to_string(sn) +
+            " may be about to be written",
         /*retryable=*/true}};
   }
   if (sn > heartbeat_.sn_current) {
@@ -688,8 +923,9 @@ WormStore::RecoveryReport WormStore::recover() {
   report.torn_bytes = replay.torn_bytes;
 
   // Phase 1: fold the journal into host soft state, collecting intents whose
-  // completion never landed.
+  // completion never landed and pipeline admissions no group ever absorbed.
   std::map<std::uint64_t, Bytes> pending;
+  std::map<std::uint64_t, WriteRequest> queued;
   for (const JournalRecord& rec : replay.records) {
     common::ByteReader r(rec.payload);
     try {
@@ -748,6 +984,37 @@ WormStore::RecoveryReport WormStore::recover() {
           pending.erase(seq);
           break;
         }
+        case JournalRecordType::kQueuedWrite: {
+          std::uint64_t qid = r.u64();
+          WriteRequest req;
+          req.attr = Attr::deserialize(r);
+          if (r.boolean()) {
+            std::uint8_t m = r.u8();
+            if (m > static_cast<std::uint8_t>(WitnessMode::kHmac)) {
+              throw common::ParseError("kQueuedWrite: bad witness mode");
+            }
+            req.mode = static_cast<WitnessMode>(m);
+          }
+          std::uint32_t n = r.count(/*min_elem_bytes=*/4);
+          req.payloads.reserve(n);
+          for (std::uint32_t k = 0; k < n; ++k) req.payloads.push_back(r.blob());
+          r.expect_end();
+          queued[qid] = std::move(req);
+          next_qid_ = std::max(next_qid_, qid);
+          break;
+        }
+        case JournalRecordType::kGroupIntent: {
+          // Atomic supersession: the group frame becomes the pending intent
+          // (resent verbatim through the dedup cache) and its member
+          // admissions stop being re-executable — never both.
+          std::uint64_t seq = r.u64();
+          Bytes frame = r.blob();
+          std::uint32_t n = r.count(/*min_elem_bytes=*/8);
+          for (std::uint32_t k = 0; k < n; ++k) queued.erase(r.u64());
+          r.expect_end();
+          pending[seq] = std::move(frame);
+          break;
+        }
       }
     } catch (const common::Error&) {
       // Damaged (or adversarially edited) record: stop trusting the rest of
@@ -766,6 +1033,10 @@ WormStore::RecoveryReport WormStore::recover() {
   // exactly-once: already-executed commands answer from the cache without
   // re-executing.
   std::map<std::uint64_t, Bytes> unresolved;
+  // Set when a re-executed group intent times out: that intent lives only in
+  // the appended-to journal, so the checkpoint rewrite (which would drop it)
+  // must be skipped for this recovery.
+  bool rewrite_unsafe = false;
   try {
     ScpuStatus st = mailbox_.channel().status();
     std::uint64_t next = st.last_seq;
@@ -808,12 +1079,12 @@ WormStore::RecoveryReport WormStore::recover() {
         case OpCode::kWriteBatch: {
           ScpuChannel::ParsedWriteBatch parsed =
               ScpuChannel::decode_write_batch_request(frame);
-          std::vector<WriteWitness> witnesses =
+          ScpuChannel::BatchAck ack =
               ScpuChannel::decode_write_batch_response(payload);
-          WORM_CHECK(witnesses.size() == parsed.items.size(),
+          WORM_CHECK(ack.witnesses.size() == parsed.items.size(),
                      "recover: batch witness count mismatch");
-          for (std::size_t k = 0; k < witnesses.size(); ++k) {
-            Sn sn = finish_write(std::move(witnesses[k]),
+          for (std::size_t k = 0; k < ack.witnesses.size(); ++k) {
+            Sn sn = finish_write(std::move(ack.witnesses[k]),
                                  std::move(parsed.items[k].rdl), parsed.mode);
             report.recovered_sns.push_back(sn);
           }
@@ -866,6 +1137,62 @@ WormStore::RecoveryReport WormStore::recover() {
     heartbeat_ = mailbox_.channel().heartbeat();
     pending_seqs_.clear();
     for (const auto& [seq, frame] : unresolved) pending_seqs_.insert(seq);
+
+    // Phase 3: re-execute pipeline admissions no group ever absorbed. They
+    // were journaled before their tickets could resolve, so they are owed to
+    // whoever was told "queued"; they cross now as fresh group intents (in
+    // qid = admission order), which supersede them in the journal exactly
+    // like a live flush would have.
+    std::vector<std::pair<std::uint64_t, WriteRequest>> todo(queued.begin(),
+                                                             queued.end());
+    std::size_t i = 0;
+    while (i < todo.size() && !rewrite_unsafe) {
+      WitnessMode mode = todo[i].second.mode.value_or(config_.default_mode);
+      std::size_t end = i;
+      while (end < todo.size() &&
+             todo[end].second.mode.value_or(config_.default_mode) == mode) {
+        ++end;
+      }
+      std::size_t chunk = std::max<std::size_t>(config_.mailbox.max_batch, 1);
+      while (i < end) {
+        std::size_t n = std::min(chunk, end - i);
+        std::vector<Firmware::BatchItem> items;
+        std::vector<std::vector<storage::RecordDescriptor>> rdls;
+        std::vector<std::uint64_t> qids;
+        items.reserve(n);
+        rdls.reserve(n);
+        qids.reserve(n);
+        for (std::size_t k = i; k < i + n; ++k) {
+          Firmware::BatchItem item = prepare_item(todo[k].second);
+          rdls.push_back(item.rdl);
+          qids.push_back(todo[k].first);
+          items.push_back(std::move(item));
+        }
+        try {
+          std::vector<Sn> sns =
+              commit_chunk_locked(items, std::move(rdls), qids, mode);
+          report.recovered_sns.insert(report.recovered_sns.end(), sns.begin(),
+                                      sns.end());
+          report.queued_replayed += n;
+        } catch (const ScpuDeadError&) {
+          throw;
+        } catch (const ChannelTimeoutError&) {
+          // The group intent is journaled and pending; only the appended-to
+          // journal knows it, so the checkpoint rewrite below must not run —
+          // the next recover() resends it through the dedup cache.
+          ++report.unresolved;
+          rewrite_unsafe = true;
+          break;
+        } catch (const ChannelError&) {
+          // Definitive rejection: the admissions are consumed (the group
+          // intent superseding them was completed by send_prepared) and the
+          // writes never ran.
+          report.abandoned += n;
+        }
+        i += n;
+      }
+      i = std::max(i, end);
+    }
   } catch (const ScpuDeadError&) {
     // Dead device: keep pending intents on the books (reads of possibly
     // in-flight SNs answer unavailable, not failure) and serve read-only.
@@ -876,7 +1203,7 @@ WormStore::RecoveryReport WormStore::recover() {
   if (config_.dedup) rebuild_dedup_index_locked();
   read_cache_.clear();
 
-  if (!degraded_) {
+  if (!degraded_ && !rewrite_unsafe) {
     // Fold the replayed history into a single fresh checkpoint — plus one
     // intent record per unresolved resend, so a crash before the next
     // recover() cannot orphan a possibly-executed command.
@@ -943,6 +1270,14 @@ WormStore::CountersSnapshot WormStore::counters_snapshot() const {
   s.recovery_replayed = recovery_replayed_;
   s.recovery_resent = recovery_resent_;
   s.recovery_torn_bytes = recovery_torn_bytes_;
+  if (pipeline_ != nullptr) {
+    WritePipeline::Stats ps = pipeline_->stats();
+    s.write_pipeline_queued = ps.queued;
+    s.write_pipeline_batches = ps.batches;
+    s.write_pipeline_batch_fill_avg =
+        ps.batches > 0 ? (ps.flushed_writes + ps.batches / 2) / ps.batches : 0;
+    s.write_pipeline_backpressure_stalls = ps.backpressure_stalls;
+  }
   return s;
 }
 
@@ -980,6 +1315,10 @@ std::map<std::string_view, std::uint64_t> WormStore::CountersSnapshot::as_map()
       {"recovery.replayed", recovery_replayed},
       {"recovery.resent", recovery_resent},
       {"recovery.torn_bytes", recovery_torn_bytes},
+      {"write_pipeline.queued", write_pipeline_queued},
+      {"write_pipeline.batches", write_pipeline_batches},
+      {"write_pipeline.batch_fill_avg", write_pipeline_batch_fill_avg},
+      {"write_pipeline.backpressure_stalls", write_pipeline_backpressure_stalls},
   };
 }
 
@@ -1165,6 +1504,10 @@ bool WormStore::do_vexp_rebuild() {
 }
 
 bool WormStore::pump_idle() {
+  // Before the state lock (poke never needs it): pump is the discrete-event
+  // stand-in for a linger timer, so an idle rotation re-evaluates whether the
+  // oldest queued admission has lingered past its deadline.
+  if (pipeline_ != nullptr) pipeline_->poke();
   common::ExclusiveLock lk(state_mu_);
   if (degraded_) return false;  // nothing to pump into a dead device
   try {

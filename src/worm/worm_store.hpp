@@ -46,6 +46,7 @@
 #include "worm/proofs.hpp"
 #include "worm/read_cache.hpp"
 #include "worm/vrdt.hpp"
+#include "worm/write_pipeline.hpp"
 
 namespace worm::core {
 
@@ -109,6 +110,10 @@ struct StoreConfig {
   /// wired separately by the test rig). Not owned; must outlive the store.
   /// Default nullptr: every fault point compiles to a no-op check.
   common::FaultInjector* fault = nullptr;
+  /// Group-commit write pipeline (write_async + committer thread). Disabled
+  /// by default: the store stays fully synchronous and single-threaded
+  /// drivers keep byte-identical behavior. See WritePipelineConfig.
+  WritePipelineConfig pipeline{};
 
   /// Rejects configurations that cannot work before any of them is used,
   /// throwing PreconditionError naming the offending field. Called by the
@@ -160,6 +165,28 @@ class WormStore final : public HostAgent {
   /// SNs parallel `requests`.
   [[nodiscard]] std::vector<Sn> write_batch(
       const std::vector<WriteRequest>& requests) EXCLUDES(state_mu_);
+
+  /// Asynchronous write through the group-commit pipeline (requires
+  /// StoreConfig::pipeline.enabled). Journals the admission first — the write
+  /// is durable before the ticket can resolve — then enqueues it for the
+  /// committer thread, which crosses the mailbox once per group. The ticket's
+  /// get() blocks until the group lands and yields the issued Sn; with the
+  /// pipeline on, write() is exactly write_async(request).get(). Safe to call
+  /// from many threads concurrently (admission-side hashing runs in parallel;
+  /// only the journal append serializes under the state lock).
+  [[nodiscard]] WriteTicket write_async(WriteRequest request)
+      EXCLUDES(state_mu_);
+
+  /// Flushes every queued write and waits for the committer to apply them.
+  /// No-op without the pipeline. Never call while holding state_mu_ (lint
+  /// rule blocking-under-state-mu).
+  void drain_writes() EXCLUDES(state_mu_);
+
+  /// Graceful shutdown: drain the pipeline, then stop the committer.
+  /// Destruction without close() is the crash path — queued writes fail with
+  /// TransientStorageError and recover() re-executes their journaled
+  /// admissions.
+  void close() EXCLUDES(state_mu_);
 
   /// Serves a read using main-CPU resources only (§4.2.2): data + VRD on
   /// success, or the applicable proof of rightful absence, or — when
@@ -250,6 +277,9 @@ class WormStore final : public HostAgent {
     std::size_t unresolved = 0;  // resends that timed out; still pending
     bool torn_tail = false;     // the journal ended in a damaged frame
     std::size_t torn_bytes = 0;
+    // Pipeline admissions (kQueuedWrite) that never made a group crossing
+    // before the crash, re-executed as fresh batch crossings.
+    std::size_t queued_replayed = 0;
     std::vector<Sn> recovered_sns;  // SNs materialized by resent writes
   };
 
@@ -295,6 +325,12 @@ class WormStore final : public HostAgent {
     std::uint64_t recovery_replayed = 0;
     std::uint64_t recovery_resent = 0;
     std::uint64_t recovery_torn_bytes = 0;
+    // write_pipeline.* — group-commit activity; all zero with the pipeline
+    // off. batch_fill_avg is flushed writes per batch, rounded to nearest.
+    std::uint64_t write_pipeline_queued = 0;
+    std::uint64_t write_pipeline_batches = 0;
+    std::uint64_t write_pipeline_batch_fill_avg = 0;
+    std::uint64_t write_pipeline_backpressure_stalls = 0;
 
     /// The stable dashboard view: namespaced `<subsystem>.<counter>` keys
     /// (e.g. "mailbox.crossings", "read_cache.hits", "fault.injected").
@@ -347,7 +383,39 @@ class WormStore final : public HostAgent {
     std::uint64_t seq = 0;
   };
   Sequenced sequenced(common::Bytes frame) REQUIRES(state_mu_);
+  /// Like sequenced(), but journals a kGroupIntent that atomically supersedes
+  /// the listed pipeline admissions (their kQueuedWrite records): after this
+  /// record, recovery resends the group frame (dedup-exact) instead of
+  /// re-executing the admissions, so a crash between journal and ack can
+  /// never apply a write twice.
+  Sequenced sequenced_group(common::Bytes frame,
+                            const std::vector<std::uint64_t>& qids)
+      REQUIRES(state_mu_);
+  Sequenced send_prepared(ScpuChannel::Prepared cmd) REQUIRES(state_mu_);
   void complete_intent(std::uint64_t seq) REQUIRES(state_mu_);
+
+  // --- group-commit pipeline internals -------------------------------------
+
+  /// Journals a write_async admission (kQueuedWrite) before the ticket exists.
+  void journal_queued_write(std::uint64_t qid, const WriteRequest& request)
+      REQUIRES(state_mu_);
+  /// Committer callback: applies one pipeline group under the exclusive lock,
+  /// in admission order, resolving every ticket (success or error). Never
+  /// throws — errors land in the tickets.
+  void flush_group(std::vector<WritePipeline::Pending>&& group)
+      EXCLUDES(state_mu_);
+  /// BatchItem from an admitted Pending; reuses the admission-thread payload
+  /// hash instead of recomputing (and recharging) under the lock.
+  Firmware::BatchItem prepare_pending(const WritePipeline::Pending& p)
+      REQUIRES(state_mu_);
+  /// One kWriteBatch crossing for <= mailbox.max_batch same-mode items,
+  /// journaled as a group intent over `qids`. Applies the witnesses and the
+  /// ack's trailing SN_current attestation; returns the issued SNs.
+  std::vector<Sn> commit_chunk_locked(
+      const std::vector<Firmware::BatchItem>& items,
+      std::vector<std::vector<storage::RecordDescriptor>> rdls,
+      const std::vector<std::uint64_t>& qids, WitnessMode mode)
+      REQUIRES(state_mu_);
 
   // WAL appends for host soft-state mutations; each runs BEFORE the
   // in-memory mutation it describes.
@@ -414,6 +482,8 @@ class WormStore final : public HostAgent {
   std::optional<SignedSnBase> base_ GUARDED_BY(state_mu_);
   std::once_flag read_pool_once_;
   std::unique_ptr<common::ThreadPool> read_pool_;
+  // Admission ids for journaled queued writes (kQueuedWrite / kGroupIntent).
+  std::uint64_t next_qid_ GUARDED_BY(state_mu_) = 0;
 
   // Host-side mirrors of device scheduling state, maintained from command
   // results so the read path and deadline_pressure() never cross the
@@ -445,6 +515,12 @@ class WormStore final : public HostAgent {
   std::map<common::Bytes, storage::RecordDescriptor> content_index_
       GUARDED_BY(state_mu_);
   std::map<std::uint64_t, std::uint32_t> rd_refs_ GUARDED_BY(state_mu_);
+
+  // Group-commit pipeline; null unless config_.pipeline.enabled. Declared
+  // last so it is destroyed — and its committer thread joined — before any
+  // member that thread's flush touches. Its unsettled() count is read by the
+  // read path (under the shared lock) for read-your-writes.
+  std::unique_ptr<WritePipeline> pipeline_;
 };
 
 /// The insider adversary's surface (§2.1 threat model: Mallory owns the

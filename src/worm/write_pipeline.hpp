@@ -1,0 +1,204 @@
+// Group-commit admission queue for WormStore writes (§4.1 amortization as a
+// standing pipeline, not a caller convention): write_async() journals the
+// intent, enqueues it here, and returns a completion ticket; a dedicated
+// committer thread (one-worker common::ThreadPool) drains the queue and
+// crosses the SCPU mailbox once per group, so the slow trusted device is
+// "accessed only sparsely" even when every caller writes one record at a
+// time. The pipeline itself is mechanism only — what a flush *does* (journal
+// the group intent, cross the mailbox, resolve tickets) is the store's
+// FlushFn; the pipeline decides when groups form and keeps the backpressure
+// honest.
+//
+// Group-commit policy: a flush becomes due when the queue holds max_batch
+// records, max_bytes of payload, or the oldest admission has lingered past
+// `linger` on the SimClock (no wall-clock anywhere — worm_lint enforces it).
+// The linger deadline is evaluated at admission, pump (poke()), and ticket
+// waits; there is no timer thread, matching the discrete-event model where
+// only the simulation driver moves time.
+//
+// Lock discipline (DESIGN.md §8): everything below lives under mu_, the
+// committer calls the FlushFn with NO pipeline lock held (the flush takes the
+// store's state_mu_), and admission never holds state_mu_ while blocked on
+// backpressure — the committer needs state_mu_ to free queue space. worm_lint
+// rule blocking-under-state-mu keeps the inverse direction (blocking on the
+// pipeline while holding state_mu_) out of the tree.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "common/annotations.hpp"
+#include "common/sim_clock.hpp"
+#include "common/thread_pool.hpp"
+#include "worm/firmware.hpp"
+#include "worm/types.hpp"
+
+namespace worm::core {
+
+struct WritePipelineConfig {
+  /// Off (the default) keeps the store fully synchronous: write() crosses
+  /// the mailbox inline and write_async() is rejected. Existing deterministic
+  /// drivers keep byte-identical behavior.
+  bool enabled = false;
+  /// Bounded admission queue; a full queue blocks write_async (backpressure)
+  /// until the committer frees space. Must be nonzero when enabled.
+  std::size_t queue_capacity = 256;
+  /// Flush when this many records are queued. Clamped to the wire bound
+  /// (kMaxBatchItems); a group larger than mailbox.max_batch still crosses
+  /// in max_batch-sized chunks.
+  std::size_t max_batch = 16;
+  /// Flush when the queued payload bytes reach this threshold.
+  std::size_t max_bytes = 1u << 20;
+  /// Flush when the oldest queued admission is this old (SimClock time).
+  common::Duration linger = common::Duration::millis(1);
+};
+
+class WritePipeline;
+
+namespace detail {
+/// Shared resolution slot between a WriteTicket and the committer.
+struct TicketState {
+  common::AnnotatedMutex mu;
+  std::condition_variable_any cv;
+  bool done GUARDED_BY(mu) = false;
+  Sn sn GUARDED_BY(mu) = kInvalidSn;
+  std::exception_ptr error GUARDED_BY(mu);
+};
+}  // namespace detail
+
+/// Completion handle for one write_async admission. get() blocks until the
+/// committer resolves the write (forcing a flush first, so a lone caller
+/// never waits out the linger window) and returns the issued Sn or rethrows
+/// the flush error. Copyable: any number of waiters may hold the ticket.
+class WriteTicket {
+ public:
+  WriteTicket() = default;
+
+  /// True once the ticket holds an Sn or an error (get() will not block).
+  [[nodiscard]] bool ready() const;
+  /// True when this ticket came from a write_async call (not default-made).
+  [[nodiscard]] bool valid() const { return state_ != nullptr; }
+
+  /// Blocks until resolution; returns the Sn or rethrows the flush error.
+  /// Discarding the Sn orphans the record, as with write().
+  [[nodiscard]] Sn get();
+
+ private:
+  friend class WritePipeline;
+  WriteTicket(std::shared_ptr<detail::TicketState> state,
+              WritePipeline* pipeline)
+      : state_(std::move(state)), pipeline_(pipeline) {}
+
+  std::shared_ptr<detail::TicketState> state_;
+  WritePipeline* pipeline_ = nullptr;
+};
+
+class WritePipeline {
+ public:
+  /// One admitted write, queued until the committer flushes its group.
+  /// `claimed_hash` carries the chained payload hash when the store hashes
+  /// on the admitting thread (kHostHash mode): admission-side hashing runs in
+  /// parallel across writers, and the committer reuses it instead of
+  /// recomputing under the store lock.
+  struct Pending {
+    std::uint64_t qid = 0;  // journal admission id (kQueuedWrite)
+    Attr attr{};
+    std::vector<common::Bytes> payloads;
+    std::optional<WitnessMode> mode;
+    common::Bytes claimed_hash;
+    std::size_t bytes = 0;
+    common::SimTime admit_time{};
+    std::shared_ptr<detail::TicketState> ticket;
+  };
+
+  /// Flushes one group: journal the group intent, cross the mailbox, resolve
+  /// every ticket (resolve_ok / resolve_error — the flush owns all of them,
+  /// success or failure). Called from the committer thread with no pipeline
+  /// lock held.
+  using FlushFn = std::function<void(std::vector<Pending>&&)>;
+
+  WritePipeline(common::SimClock& clock, WritePipelineConfig config,
+                FlushFn flush);
+  ~WritePipeline();
+
+  WritePipeline(const WritePipeline&) = delete;
+  WritePipeline& operator=(const WritePipeline&) = delete;
+
+  /// Admits one write. Blocks while the queue is at capacity (backpressure;
+  /// a full queue also makes the flush due). Throws PreconditionError after
+  /// shutdown. Never call while holding the store's state lock.
+  [[nodiscard]] WriteTicket submit(Pending p) EXCLUDES(mu_);
+
+  /// Makes a flush due now (ticket waits, drains) regardless of thresholds.
+  void request_flush() EXCLUDES(mu_);
+
+  /// Re-evaluates the linger deadline (called from pump_idle — the
+  /// discrete-event stand-in for a linger timer).
+  void poke() EXCLUDES(mu_);
+
+  /// Flushes until queue and in-flight group are empty. Bounded (each
+  /// iteration waits for one committer round); returns false if the bound
+  /// was hit — a stuck committer, which callers must treat as fatal.
+  [[nodiscard]] bool drain(std::size_t max_iters) EXCLUDES(mu_);
+
+  /// Stops the committer. Queued-but-unflushed writes are NOT flushed: their
+  /// tickets fail with TransientStorageError and their journaled admissions
+  /// are left for recover() to re-execute — destruction is the crash path,
+  /// WormStore::close() is the graceful (drain-first) path. Idempotent.
+  void shutdown_drop() EXCLUDES(mu_);
+
+  /// Queued + in-flight writes whose effects are not yet applied to host
+  /// state. Read by the read path (any thread) for read-your-writes.
+  [[nodiscard]] std::size_t unsettled() const {
+    return unsettled_.load(std::memory_order_acquire);
+  }
+
+  struct Stats {
+    std::uint64_t queued = 0;               // admissions accepted
+    std::uint64_t batches = 0;              // groups flushed
+    std::uint64_t flushed_writes = 0;       // writes those groups carried
+    std::uint64_t backpressure_stalls = 0;  // submits that hit a full queue
+  };
+  [[nodiscard]] Stats stats() const;
+
+  /// Ticket resolution, called by the FlushFn for every Pending it was
+  /// handed. Static: resolution outlives any particular pipeline lock.
+  static void resolve_ok(const Pending& p, Sn sn);
+  static void resolve_error(const Pending& p, std::exception_ptr error);
+
+ private:
+  void committer_loop() EXCLUDES(mu_);
+  [[nodiscard]] bool flush_due_locked() const REQUIRES(mu_);
+
+  common::SimClock& clock_;
+  const WritePipelineConfig config_;
+  const FlushFn flush_;
+
+  mutable common::AnnotatedMutex mu_;
+  std::condition_variable_any cv_work_;   // wakes the committer
+  std::condition_variable_any cv_space_;  // wakes backpressured submitters
+  std::condition_variable_any cv_done_;   // wakes drain() after each round
+  std::deque<Pending> queue_ GUARDED_BY(mu_);
+  std::size_t queued_bytes_ GUARDED_BY(mu_) = 0;
+  std::size_t inflight_ GUARDED_BY(mu_) = 0;
+  bool flush_requested_ GUARDED_BY(mu_) = false;
+  bool stop_ GUARDED_BY(mu_) = false;
+
+  std::atomic<std::size_t> unsettled_{0};
+  std::atomic<std::uint64_t> stat_queued_{0};
+  std::atomic<std::uint64_t> stat_batches_{0};
+  std::atomic<std::uint64_t> stat_flushed_{0};
+  std::atomic<std::uint64_t> stat_stalls_{0};
+
+  // Last: the committer must be joined before anything above goes away.
+  std::unique_ptr<common::ThreadPool> committer_;
+};
+
+}  // namespace worm::core

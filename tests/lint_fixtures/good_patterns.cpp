@@ -23,6 +23,30 @@ const char* kDoc = "prefer AnnotatedMutex over std::mutex; see ScpuDevice";
 common::AnnotatedMutex g_mu;
 int g_count GUARDED_BY(g_mu) = 0;
 
+// Blocking pipeline waits are fine once the state_mu_ guard's scope has
+// closed, and a guard on some *other* mutex must not arm the rule. Prose
+// like "never call ticket.get() under state_mu_" is prose.
+common::AnnotatedSharedMutex state_mu_;
+common::AnnotatedMutex other_mu_;
+
+int wait_after_unlock(int (*blocking_get)()) {
+  int mirror = 0;
+  {
+    common::ExclusiveLock lk(state_mu_);
+    ++mirror;  // non-blocking work under the store lock is fine
+  }
+  // Guard scope closed: waiting on the pipeline is now legal.
+  return blocking_get();
+}
+
+int wait_under_other_lock(int (*source)()) {
+  common::MutexLock lk(other_mu_);
+  struct Holder {
+    int (*get)();
+  } ticket{source};
+  return ticket.get();  // .get( under a non-state_mu_ lock is not the rule
+}
+
 bool consume_verdict(const crypto::RsaPublicKey& pk, common::ByteView payload,
                      const common::Bytes& sig) {
   // Multi-line continuation: the call is the RHS of an assignment, so the

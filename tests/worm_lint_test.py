@@ -25,6 +25,7 @@ EXPECTED_RULE = {
     "bad_dropped_verify.cpp": "dropped-result",
     "bad_raw_mutex.cpp": "raw-mutex",
     "bad_fault_bypass.cpp": "fault-bypass",
+    "bad_blocking_wait.cpp": "blocking-under-state-mu",
 }
 
 failures = []

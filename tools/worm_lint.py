@@ -36,6 +36,15 @@ enforces the architectural invariants that no single-TU analysis can see:
                       std::call_once are allowed: they compose with the
                       annotated wrappers.
 
+  blocking-under-state-mu
+                      The write pipeline's committer needs state_mu_ to make
+                      progress, so blocking on the pipeline while holding the
+                      store lock (ticket .get(), drain_writes(), pipeline
+                      submit()/drain()/shutdown_drop()) is a deadlock waiting
+                      for its schedule. Inside a scope that constructed a
+                      MutexLock/ExclusiveLock/SharedLock on state_mu_, those
+                      calls are banned; non-blocking pokes are fine.
+
   fault-bypass        Fault points are declared only via the
                       WORM_FAULT_POINT(injector, "site") macro, which is
                       null-safe and keeps the complete fault surface
@@ -100,6 +109,7 @@ FALLIBLE_APIS = [
     ("verify_sigbox", "src/worm/client_verifier.hpp"),
     ("write_batch", "src/worm/worm_store.hpp"),
     ("read_many", "src/worm/worm_store.hpp"),
+    ("write_async", "src/worm/worm_store.hpp"),
 ]
 
 # A bare statement that begins with an (optionally qualified) call to one of
@@ -123,6 +133,19 @@ RAW_MUTEX_PATTERN = re.compile(
     r"shared_lock|scoped_lock)\b"
 )
 RAW_MUTEX_ALLOWLIST = re.compile(r"^src/common/annotations\.hpp$")
+
+# A scoped guard taking the store lock: `common::ExclusiveLock lk(state_mu_)`
+# (paren or brace init). The guard's scope is tracked by brace depth; while
+# one is live, blocking pipeline waits are banned — the committer thread
+# needs state_mu_ to retire admissions, so waiting on it under the lock is a
+# deadlock. `poke()` and `unsettled()` are non-blocking and stay legal.
+STATE_LOCK_PATTERN = re.compile(
+    r"\b(?:MutexLock|ExclusiveLock|SharedLock)\s+\w+\s*[({]\s*state_mu_\b"
+)
+BLOCKING_WAIT_PATTERN = re.compile(
+    r"\bdrain_writes\s*\(|"
+    r"(?:\.|->)\s*(?:get|submit|drain|shutdown_drop)\s*\("
+)
 
 FAULT_BYPASS_PATTERN = re.compile(r"\bevaluate_site\s*\(")
 # The injector's own implementation and the WORM_FAULT_POINT macro definition.
@@ -199,7 +222,24 @@ def lint_file(rel: str, text: str) -> list[Finding]:
     mutex_exempt = bool(RAW_MUTEX_ALLOWLIST.match(rel))
     fault_exempt = bool(FAULT_BYPASS_ALLOWLIST.match(rel))
 
+    # blocking-under-state-mu scope tracking: brace depth at which each live
+    # state_mu_ guard was constructed; a guard dies when depth drops below it.
+    depth = 0
+    state_guards: list[int] = []
+
     for lineno, line in enumerate(lines, start=1):
+        end_depth = depth + line.count("{") - line.count("}")
+        if STATE_LOCK_PATTERN.search(line):
+            state_guards.append(end_depth)
+        elif state_guards and BLOCKING_WAIT_PATTERN.search(line):
+            findings.append(Finding(
+                "blocking-under-state-mu", rel, lineno,
+                "blocking pipeline wait while holding state_mu_; the "
+                "committer needs the store lock to make progress — release "
+                "the guard before get()/drain()/submit()"))
+        depth = end_depth
+        while state_guards and depth < state_guards[-1]:
+            state_guards.pop()
         if not scpu_exempt:
             for header in SCPU_INTERNAL_HEADERS:
                 if re.search(r'#\s*include\s*[<"]%s[>"]' % re.escape(header), line):
