@@ -161,7 +161,10 @@ int main() {
     rows.push_back({"async_write", k, r.throughput, r.p50_us, r.p99_us});
     if (k == 8) {
       std::printf("\n  write-pipeline counters at 8 writers:\n");
-      for (const auto& [name, value] : rig.store.counters()) {
+      // kSettled: make sure the committer retired every admitted group
+      // before sampling, so the printed counters describe a quiesced run.
+      for (const auto& [name, value] :
+           rig.store.counters(core::WormStore::CounterFlush::kSettled)) {
         if (std::string(name).rfind("write_pipeline.", 0) == 0) {
           std::printf("    %-36s %llu\n", std::string(name).c_str(),
                       static_cast<unsigned long long>(value));

@@ -12,7 +12,7 @@
 #include "storage/block_device.hpp"
 #include "storage/record_store.hpp"
 #include "worm/auditor.hpp"
-#include "worm/client_verifier.hpp"
+#include "worm/session.hpp"
 #include "worm/firmware.hpp"
 #include "worm/worm_store.hpp"
 
@@ -28,7 +28,8 @@ int main() {
   storage::MemBlockDevice disk(4096, 2048, &clock);
   storage::RecordStore records(disk);
   core::WormStore store(clock, firmware, records, core::StoreConfig{});
-  core::ClientVerifier regulator(store.anchors(), clock);
+  core::WormSession audit(store, "regulator@finra", clock);
+  core::ClientVerifier& regulator = audit.verifier();
 
   // A year of operation: long-lived contracts, short-lived session logs.
   core::Attr contracts;

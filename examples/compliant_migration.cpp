@@ -11,7 +11,7 @@
 #include "scpu/scpu_device.hpp"
 #include "storage/block_device.hpp"
 #include "storage/record_store.hpp"
-#include "worm/client_verifier.hpp"
+#include "worm/session.hpp"
 #include "worm/firmware.hpp"
 #include "worm/migrator.hpp"
 #include "worm/worm_store.hpp"
@@ -76,9 +76,9 @@ int main() {
               "array\n\n");
 
   // --- migrate ----------------------------------------------------------------
-  core::ClientVerifier source_verifier(old_array.store.anchors(), clock);
+  core::WormSession source_session(old_array.store, "migrator@firm", clock);
   core::MigrationReport report = core::Migrator::migrate(
-      old_array.store, new_array.store, source_verifier);
+      old_array.store, new_array.store, source_session.verifier());
 
   std::printf("migration: %zu migrated, %zu refused\n", report.migrated(),
               report.rejected.size());
@@ -94,11 +94,11 @@ int main() {
               manifest_ok ? "yes" : "NO");
 
   // --- destination serves authentic reads; retention clock carried over ------
-  core::ClientVerifier dest_verifier(new_array.store.anchors(), clock);
+  core::WormSession dest_session(new_array.store, "auditor@firm", clock);
   std::size_t authentic = 0;
   for (const auto& e : report.entries) {
-    if (dest_verifier.verify_read(e.dest_sn, new_array.store.read(e.dest_sn))
-            .verdict == core::Verdict::kAuthentic) {
+    if (dest_session.verified_read(e.dest_sn).verdict.verdict ==
+        core::Verdict::kAuthentic) {
       ++authentic;
     }
   }
@@ -107,8 +107,7 @@ int main() {
 
   clock.advance(common::Duration::years(7));  // past the original expiry
   core::Sn probe = report.entries.front().dest_sn;
-  core::Outcome out =
-      dest_verifier.verify_read(probe, new_array.store.read(probe));
+  core::Outcome out = dest_session.verified_read(probe).verdict;
   std::printf("11 years after original write (1 past retention): SN %llu is "
               "%s — the retention clock survived the move.\n",
               static_cast<unsigned long long>(probe),

@@ -16,7 +16,7 @@
 #include "scpu/scpu_device.hpp"
 #include "storage/block_device.hpp"
 #include "storage/record_store.hpp"
-#include "worm/client_verifier.hpp"
+#include "worm/session.hpp"
 #include "worm/firmware.hpp"
 #include "worm/worm_store.hpp"
 
@@ -36,7 +36,10 @@ int main() {
   cfg.default_mode = core::WitnessMode::kDeferred;  // burst optimization on
   cfg.hash_mode = core::HashMode::kHostHash;        // trusted-hash burst model
   core::WormStore store(clock, firmware, records, cfg);
-  core::ClientVerifier auditor(store.anchors(), clock);
+  // The SEC examiner's session: principal-tagged access with its own
+  // verifier and freshness watermark.
+  core::WormSession audit(store, "examiner@sec.gov", clock);
+  core::ClientVerifier& auditor = audit.verifier();
 
   // --- 9:30am: market opens, mail bursts in ---------------------------------
   core::Attr attr;

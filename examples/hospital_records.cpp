@@ -10,7 +10,7 @@
 #include "scpu/scpu_device.hpp"
 #include "storage/block_device.hpp"
 #include "storage/record_store.hpp"
-#include "worm/client_verifier.hpp"
+#include "worm/session.hpp"
 #include "worm/envelopes.hpp"
 #include "worm/firmware.hpp"
 #include "worm/worm_store.hpp"
@@ -34,10 +34,10 @@ int main() {
   storage::MemBlockDevice disk(4096, 1024, &clock);
   storage::RecordStore records(disk);
   core::WormStore store(clock, firmware, records, core::StoreConfig{});
-  core::ClientVerifier client(store.anchors(), clock);
+  core::WormSession counsel(store, "counsel@hospital", clock);
 
   auto show = [&](core::Sn sn, const char* when) {
-    core::Outcome out = client.verify_read(sn, store.read(sn));
+    core::Outcome out = counsel.verified_read(sn).verdict;
     std::printf("  [%-22s] SN %llu: %-22s %s\n", when,
                 static_cast<unsigned long long>(sn),
                 core::to_string(out.verdict), out.detail.c_str());

@@ -11,9 +11,8 @@
 #include "scpu/scpu_device.hpp"
 #include "storage/block_device.hpp"
 #include "storage/record_store.hpp"
-#include "worm/client_verifier.hpp"
 #include "worm/firmware.hpp"
-#include "worm/worm_store.hpp"
+#include "worm/session.hpp"
 
 using namespace worm;
 
@@ -38,9 +37,10 @@ int main() {
   storage::RecordStore records(disk);
   core::WormStore store(clock, firmware, records, core::StoreConfig{});
 
-  // A client ("Bob", e.g. a federal investigator) trusts only the SCPU's
-  // certificates and a synchronized clock.
-  core::ClientVerifier client(store.anchors(), clock);
+  // A client ("Bob", e.g. a federal investigator) opens a session: one
+  // principal, one freshness watermark, one verifier — Bob trusts only the
+  // SCPU's certificates and his synchronized clock.
+  core::WormSession bob(store, "bob@sec.gov", clock);
 
   // --- write ---------------------------------------------------------------
   core::Attr attr;
@@ -48,7 +48,7 @@ int main() {
   attr.regulation_policy = 17;  // e.g. SEC rule 17a-4
   attr.shredding = storage::ShredPolicy::kNist3Pass;
 
-  core::Sn sn = store.write(
+  core::Sn sn = bob.write(
       {.payloads = {common::to_bytes(
            "trade ticket #8571: SELL 500 ACME @ 42.17")},
        .attr = attr});
@@ -56,8 +56,9 @@ int main() {
               static_cast<unsigned long long>(sn));
 
   // --- verified read --------------------------------------------------------
-  core::ReadOutcome res = store.read(sn);
-  core::Outcome out = client.verify_read(sn, res);
+  core::WormSession::VerifiedRead vr = bob.verified_read(sn);
+  core::ReadOutcome& res = vr.outcome;
+  core::Outcome out = vr.verdict;
   std::printf("read + client verification: %s\n", core::to_string(out.verdict));
   if (auto* ok = res.get_if<core::ReadOk>()) {
     std::printf("  payload: \"%s\"\n",
@@ -68,16 +69,18 @@ int main() {
   }
 
   // --- a read of a never-written serial number ------------------------------
-  out = client.verify_read(999, store.read(999));
+  out = bob.verified_read(999).verdict;
   std::printf("read of SN 999: %s (%s)\n", core::to_string(out.verdict),
               out.detail.c_str());
+  std::printf("session watermark: SN_current=%llu, fresh=%s\n",
+              static_cast<unsigned long long>(bob.watermark().sn_current),
+              bob.fresh(common::Duration::minutes(5)) ? "yes" : "no");
 
   // --- retention expiry -----------------------------------------------------
   std::printf("\nfast-forwarding 8 days of simulated time...\n");
   clock.advance(common::Duration::days(8));
 
-  res = store.read(sn);
-  out = client.verify_read(sn, res);
+  out = bob.verified_read(sn).verdict;
   std::printf("read after retention: %s (%s)\n", core::to_string(out.verdict),
               out.detail.c_str());
   std::printf("records shredded by retention monitor: %llu\n",

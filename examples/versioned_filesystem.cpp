@@ -10,7 +10,7 @@
 #include "scpu/scpu_device.hpp"
 #include "storage/block_device.hpp"
 #include "storage/record_store.hpp"
-#include "worm/client_verifier.hpp"
+#include "worm/session.hpp"
 #include "worm/firmware.hpp"
 #include "worm/worm_fs.hpp"
 #include "worm/worm_store.hpp"
@@ -27,7 +27,8 @@ int main() {
   storage::MemBlockDevice disk(4096, 2048, &clock);
   storage::RecordStore records(disk);
   core::WormStore store(clock, firmware, records, core::StoreConfig{});
-  core::ClientVerifier verifier(store.anchors(), clock);
+  core::WormSession session(store, "auditor@firm.example", clock);
+  core::ClientVerifier& verifier = session.verifier();
   core::WormFs fs(store);
 
   core::Attr attr;

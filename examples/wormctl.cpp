@@ -22,7 +22,7 @@
 #include "storage/block_device.hpp"
 #include "storage/record_store.hpp"
 #include "worm/auditor.hpp"
-#include "worm/client_verifier.hpp"
+#include "worm/session.hpp"
 #include "worm/firmware.hpp"
 #include "worm/worm_store.hpp"
 
@@ -128,7 +128,8 @@ int main(int argc, char** argv) {
     }
 
     Deployment d(dir, /*fresh=*/false);
-    core::ClientVerifier verifier(d.store->anchors(), d.clock);
+    core::WormSession session(*d.store, "wormctl@cli", d.clock);
+    core::ClientVerifier& verifier = session.verifier();
 
     if (cmd == "put" && argc >= 5) {
       core::Attr attr;

@@ -50,6 +50,14 @@ class ScpuError : public Error {
   using Error::Error;
 };
 
+/// Network-transport failure (socket error, peer hung up, frame too large).
+/// Like TransientStorageError this says nothing about integrity — clients
+/// verify payloads cryptographically, so a flaky wire is retry material.
+class NetError : public Error {
+ public:
+  using Error::Error;
+};
+
 /// Caller violated an API precondition.
 class PreconditionError : public Error {
  public:

@@ -1,0 +1,157 @@
+#include "server/client/worm_client.hpp"
+
+#include <poll.h>
+
+#include <utility>
+
+#include "common/error.hpp"
+
+namespace worm::server {
+
+using common::Bytes;
+using common::IoResult;
+using common::NetError;
+
+namespace {
+
+common::Socket connect_with_backoff(const ClientConfig& config) {
+  std::string last_error = "no attempts made";
+  for (std::uint32_t attempt = 0; attempt < config.connect_attempts;
+       ++attempt) {
+    if (attempt > 0) common::sleep_real(config.backoff.delay(attempt - 1));
+    try {
+      if (!config.unix_path.empty()) {
+        return common::connect_unix(config.unix_path);
+      }
+      return common::connect_tcp_loopback(config.tcp_port);
+    } catch (const NetError& e) {
+      last_error = e.what();
+    }
+  }
+  throw NetError("WormClient: connect failed after " +
+                 std::to_string(config.connect_attempts) +
+                 " attempts: " + last_error);
+}
+
+}  // namespace
+
+WormClient::WormClient(ClientConfig config) : config_(std::move(config)) {
+  sock_ = connect_with_backoff(config_);
+
+  Request hello;
+  hello.op = MsgOp::kHello;
+  hello.version = kProtocolVersion;
+  hello.principal = config_.principal;
+  hello.token = config_.token;
+  Response resp = transact(std::move(hello));
+  if (resp.status != core::WireStatus::kOk) {
+    core::throw_wire_error(resp.status, resp.message);
+  }
+}
+
+core::ReadOutcome WormClient::read(core::Sn sn) {
+  Request req;
+  req.op = MsgOp::kRead;
+  req.sn = sn;
+  Response resp = transact(std::move(req));
+  if (!core::is_read_status(resp.status)) {
+    core::throw_wire_error(resp.status, resp.message);
+  }
+  return std::move(resp.outcome);
+}
+
+WriteResult WormClient::write(core::WriteRequest request) {
+  Request req;
+  req.op = MsgOp::kWrite;
+  req.write = std::move(request);
+  Response resp = transact(std::move(req));
+  if (resp.status != core::WireStatus::kOk &&
+      resp.status != core::WireStatus::kBusy) {
+    core::throw_wire_error(resp.status, resp.message);
+  }
+  WriteResult out;
+  out.status = resp.status;
+  out.sn = resp.sn;
+  out.message = std::move(resp.message);
+  return out;
+}
+
+void WormClient::lit_hold(const core::LitigationRequest& request) {
+  Request req;
+  req.op = MsgOp::kLitHold;
+  req.lit = request;
+  Response resp = transact(std::move(req));
+  if (resp.status != core::WireStatus::kOk) {
+    core::throw_wire_error(resp.status, resp.message);
+  }
+}
+
+void WormClient::lit_release(const core::LitigationRequest& request) {
+  Request req;
+  req.op = MsgOp::kLitRelease;
+  req.lit = request;
+  Response resp = transact(std::move(req));
+  if (resp.status != core::WireStatus::kOk) {
+    core::throw_wire_error(resp.status, resp.message);
+  }
+}
+
+void WormClient::ping() {
+  Request req;
+  req.op = MsgOp::kPing;
+  Response resp = transact(std::move(req));
+  if (resp.status != core::WireStatus::kOk) {
+    core::throw_wire_error(resp.status, resp.message);
+  }
+}
+
+Response WormClient::transact(Request req) {
+  req.rid = next_rid_++;
+  Bytes frame = encode_frame(encode_request(req));
+
+  std::size_t off = 0;
+  while (off < frame.size()) {
+    IoResult r = common::write_some(sock_, frame, off);
+    if (r == IoResult::kOk) continue;
+    if (r == IoResult::kWouldBlock) {
+      // Blocking socket, but be safe: wait for writability.
+      std::vector<common::PollFd> pfds{{sock_.fd(), POLLOUT, 0}};
+      (void)common::poll_fds(pfds, config_.io_timeout);
+      continue;
+    }
+    throw NetError("WormClient: connection lost while sending " +
+                   std::string(to_string(req.op)));
+  }
+
+  // The response may already be buffered from a previous partial read.
+  for (;;) {
+    if (auto body = take_frame(in_, config_.max_frame)) {
+      Response resp = decode_response(*body);
+      if (resp.rid != req.rid || resp.op != req.op) {
+        throw common::ParseError(
+            "WormClient: response echo mismatch (sent " +
+            std::string(to_string(req.op)) + " rid " +
+            std::to_string(req.rid) + ", got " +
+            std::string(to_string(resp.op)) + " rid " +
+            std::to_string(resp.rid) + ")");
+      }
+      if (resp.attestation.has_value()) {
+        attestation_ = resp.attestation;
+      }
+      return resp;
+    }
+    std::vector<common::PollFd> pfds{{sock_.fd(), POLLIN, 0}};
+    int ready = common::poll_fds(pfds, config_.io_timeout);
+    if (ready == 0) {
+      throw NetError("WormClient: timed out waiting for the " +
+                     std::string(to_string(req.op)) + " response");
+    }
+    IoResult r = common::read_some(sock_, in_, 64 * 1024);
+    if (r == IoResult::kClosed || r == IoResult::kError) {
+      throw NetError("WormClient: connection closed mid-" +
+                     std::string(to_string(req.op)));
+    }
+  }
+}
+
+}  // namespace worm::server

@@ -1,0 +1,106 @@
+// WormClient: the remote counterpart of a WormSession. Connects (with
+// backoff), authenticates with a kHello frame, then issues requests over a
+// single keep-alive connection.
+//
+// Result model mirrors the in-process API:
+//  * read() returns a full ReadOutcome — every read-family wire status
+//    decodes back into the same variant an in-process reader would get, so
+//    ClientVerifier consumes a remote envelope and a local one identically;
+//  * write() returns a WriteResult rather than throwing on backpressure:
+//    kBusy is the protocol's explicit flow-control answer, not an error —
+//    callers pace themselves (bench_server's open-loop generator does
+//    exactly this);
+//  * server-side exceptions arrive as stable WireStatus codes and are
+//    rethrown here as the matching exception type (worm/status.hpp), so a
+//    remote TransientStorageError is catchable as one.
+//
+// The client trusts the server for nothing but transport: callers verify
+// outcomes against their own TrustAnchors (obtained out of band) and adopt
+// the per-response attestation only after checking its SCPU signature.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "common/net.hpp"
+#include "server/protocol.hpp"
+
+namespace worm::server {
+
+struct ClientConfig {
+  /// Non-empty: connect over this Unix-domain socket. Empty: loopback TCP.
+  std::string unix_path;
+  std::uint16_t tcp_port = 0;
+
+  std::string principal;
+  common::Bytes token;
+
+  std::size_t max_frame = kMaxFrameBytes;
+  /// Connect attempts before giving up (each separated by backoff).
+  std::uint32_t connect_attempts = 6;
+  common::Backoff backoff;
+  /// Bound on waiting for a single response.
+  common::Duration io_timeout = common::Duration::seconds(10);
+};
+
+/// Outcome of a remote write. kBusy is a first-class answer, not a throw.
+struct WriteResult {
+  core::WireStatus status = core::WireStatus::kInternalError;
+  core::Sn sn = core::kInvalidSn;
+  std::string message;
+
+  [[nodiscard]] bool ok() const { return status == core::WireStatus::kOk; }
+  [[nodiscard]] bool busy() const {
+    return status == core::WireStatus::kBusy;
+  }
+};
+
+class WormClient {
+ public:
+  /// Connects and authenticates. Throws NetError when every connect attempt
+  /// fails, or the mapped server error when the hello is refused.
+  explicit WormClient(ClientConfig config);
+
+  WormClient(const WormClient&) = delete;
+  WormClient& operator=(const WormClient&) = delete;
+
+  [[nodiscard]] const std::string& principal() const {
+    return config_.principal;
+  }
+
+  /// Remote read; read-family statuses return the decoded outcome, error
+  /// statuses rethrow as the matching exception type.
+  [[nodiscard]] core::ReadOutcome read(core::Sn sn);
+
+  /// Remote write via the server's non-blocking admission. kOk and kBusy
+  /// come back as results; error statuses rethrow.
+  [[nodiscard]] WriteResult write(core::WriteRequest request);
+
+  void lit_hold(const core::LitigationRequest& request);
+  void lit_release(const core::LitigationRequest& request);
+
+  /// Keep-alive round trip (also picks up a fresh attestation if the
+  /// session watermark moved).
+  void ping();
+
+  /// Latest S_s(SN_current) attestation the server forwarded. NOT yet
+  /// verified — check its signature with ClientVerifier before trusting.
+  [[nodiscard]] const std::optional<core::SignedSnCurrent>& attestation()
+      const {
+    return attestation_;
+  }
+
+ private:
+  /// One request/response round trip; verifies the rid/op echo and captures
+  /// any forwarded attestation.
+  [[nodiscard]] Response transact(Request req);
+
+  ClientConfig config_;
+  common::Socket sock_;
+  common::Bytes in_;
+  std::uint64_t next_rid_ = 1;
+  std::optional<core::SignedSnCurrent> attestation_;
+};
+
+}  // namespace worm::server

@@ -1,0 +1,278 @@
+#include "server/protocol.hpp"
+
+#include <utility>
+
+#include "common/error.hpp"
+
+namespace worm::server {
+
+using common::ByteReader;
+using common::ByteWriter;
+using common::Bytes;
+using common::ParseError;
+
+const char* to_string(MsgOp op) {
+  switch (op) {
+    case MsgOp::kHello: return "hello";
+    case MsgOp::kWrite: return "write";
+    case MsgOp::kRead: return "read";
+    case MsgOp::kLitHold: return "lit-hold";
+    case MsgOp::kLitRelease: return "lit-release";
+    case MsgOp::kPing: return "ping";
+  }
+  return "unknown";
+}
+
+MsgOp msg_op_from_u8(std::uint8_t v) {
+  MsgOp op = static_cast<MsgOp>(v);
+  switch (op) {
+    case MsgOp::kHello:
+    case MsgOp::kWrite:
+    case MsgOp::kRead:
+    case MsgOp::kLitHold:
+    case MsgOp::kLitRelease:
+    case MsgOp::kPing:
+      return op;
+  }
+  throw ParseError("unknown message opcode " + std::to_string(v));
+}
+
+Bytes encode_frame(const Bytes& body) {
+  ByteWriter w;
+  w.u32(static_cast<std::uint32_t>(body.size()));
+  w.raw(body);
+  return w.take();
+}
+
+std::optional<Bytes> take_frame(Bytes& buf, std::size_t max_body) {
+  if (buf.size() < 4) return std::nullopt;
+  std::uint32_t len = static_cast<std::uint32_t>(buf[0]) |
+                      (static_cast<std::uint32_t>(buf[1]) << 8) |
+                      (static_cast<std::uint32_t>(buf[2]) << 16) |
+                      (static_cast<std::uint32_t>(buf[3]) << 24);
+  if (len > max_body) {
+    throw ParseError("frame of " + std::to_string(len) +
+                     " bytes exceeds the " + std::to_string(max_body) +
+                     "-byte bound");
+  }
+  if (buf.size() < 4 + static_cast<std::size_t>(len)) return std::nullopt;
+  Bytes body(buf.begin() + 4, buf.begin() + 4 + static_cast<std::ptrdiff_t>(len));
+  buf.erase(buf.begin(), buf.begin() + 4 + static_cast<std::ptrdiff_t>(len));
+  return body;
+}
+
+namespace {
+
+void encode_write_request(ByteWriter& w, const core::WriteRequest& req) {
+  req.attr.serialize(w);
+  w.boolean(req.mode.has_value());
+  if (req.mode.has_value()) {
+    w.u8(static_cast<std::uint8_t>(*req.mode));
+  }
+  w.u32(static_cast<std::uint32_t>(req.payloads.size()));
+  for (const Bytes& b : req.payloads) w.blob(b);
+}
+
+core::WriteRequest decode_write_request(ByteReader& r) {
+  core::WriteRequest req;
+  req.attr = core::Attr::deserialize(r);
+  if (r.boolean()) {
+    std::uint8_t m = r.u8();
+    if (m > static_cast<std::uint8_t>(core::WitnessMode::kHmac)) {
+      throw ParseError("unknown witness mode " + std::to_string(m));
+    }
+    req.mode = static_cast<core::WitnessMode>(m);
+  }
+  std::uint32_t n = r.count(/*min_elem_bytes=*/4);  // each blob has a u32 prefix
+  if (n == 0) throw ParseError("write request with zero payloads");
+  req.payloads.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) req.payloads.push_back(r.blob());
+  return req;
+}
+
+void encode_lit_request(ByteWriter& w, const core::LitigationRequest& req) {
+  w.u64(req.sn);
+  w.u64(req.lit_id);
+  w.i64(req.hold_until.ns);
+  w.i64(req.cred_issued_at.ns);
+  w.blob(req.credential);
+}
+
+core::LitigationRequest decode_lit_request(ByteReader& r) {
+  core::LitigationRequest req;
+  req.sn = r.u64();
+  req.lit_id = r.u64();
+  req.hold_until = common::SimTime{r.i64()};
+  req.cred_issued_at = common::SimTime{r.i64()};
+  req.credential = r.blob();
+  return req;
+}
+
+}  // namespace
+
+void encode_read_outcome(ByteWriter& w, const core::ReadOutcome& r) {
+  switch (r.status()) {
+    case core::ReadStatus::kData:
+    case core::ReadStatus::kHold: {
+      const core::ReadOk& ok = r.get<core::ReadOk>();
+      ok.vrd.serialize(w);
+      w.u32(static_cast<std::uint32_t>(ok.payloads.size()));
+      for (const Bytes& b : ok.payloads) w.blob(b);
+      return;
+    }
+    case core::ReadStatus::kDeleted:
+      r.get<core::ReadDeleted>().proof.serialize(w);
+      return;
+    case core::ReadStatus::kBelowBase:
+      r.get<core::ReadBelowBase>().base.serialize(w);
+      return;
+    case core::ReadStatus::kNotAllocated:
+      r.get<core::ReadNotAllocated>().current.serialize(w);
+      return;
+    case core::ReadStatus::kDeletedWindow:
+      r.get<core::ReadInDeletedWindow>().window.serialize(w);
+      return;
+    case core::ReadStatus::kUnavailable: {
+      const core::ReadUnavailable& u = r.get<core::ReadUnavailable>();
+      w.str(u.reason);
+      w.boolean(u.retryable);
+      return;
+    }
+    case core::ReadStatus::kFailure:
+      w.str(r.get<core::ReadFailure>().reason);
+      return;
+  }
+  throw common::InternalError("encode_read_outcome: corrupt ReadStatus");
+}
+
+core::ReadOutcome decode_read_outcome(core::WireStatus status,
+                                      ByteReader& r) {
+  switch (core::read_status_from_wire(status)) {
+    case core::ReadStatus::kData:
+    case core::ReadStatus::kHold: {
+      core::ReadOk ok;
+      ok.vrd = core::Vrd::deserialize(r);
+      std::uint32_t n = r.count(/*min_elem_bytes=*/4);
+      ok.payloads.reserve(n);
+      for (std::uint32_t i = 0; i < n; ++i) ok.payloads.push_back(r.blob());
+      return core::ReadOutcome(std::move(ok));
+    }
+    case core::ReadStatus::kDeleted:
+      return core::ReadOutcome(
+          core::ReadDeleted{core::DeletionProof::deserialize(r)});
+    case core::ReadStatus::kBelowBase:
+      return core::ReadOutcome(
+          core::ReadBelowBase{core::SignedSnBase::deserialize(r)});
+    case core::ReadStatus::kNotAllocated:
+      return core::ReadOutcome(
+          core::ReadNotAllocated{core::SignedSnCurrent::deserialize(r)});
+    case core::ReadStatus::kDeletedWindow:
+      return core::ReadOutcome(
+          core::ReadInDeletedWindow{core::DeletedWindow::deserialize(r)});
+    case core::ReadStatus::kUnavailable: {
+      core::ReadUnavailable u;
+      u.reason = r.str();
+      u.retryable = r.boolean();
+      return core::ReadOutcome(std::move(u));
+    }
+    case core::ReadStatus::kFailure:
+      return core::ReadOutcome(core::ReadFailure{r.str()});
+  }
+  throw common::InternalError("decode_read_outcome: corrupt ReadStatus");
+}
+
+Bytes encode_request(const Request& req) {
+  ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(req.op));
+  w.u64(req.rid);
+  switch (req.op) {
+    case MsgOp::kHello:
+      w.u16(req.version);
+      w.str(req.principal);
+      w.blob(req.token);
+      break;
+    case MsgOp::kWrite:
+      encode_write_request(w, req.write);
+      break;
+    case MsgOp::kRead:
+      w.u64(req.sn);
+      break;
+    case MsgOp::kLitHold:
+    case MsgOp::kLitRelease:
+      encode_lit_request(w, req.lit);
+      break;
+    case MsgOp::kPing:
+      break;
+  }
+  return w.take();
+}
+
+Request decode_request(common::ByteView body) {
+  ByteReader r(body);
+  Request req;
+  req.op = msg_op_from_u8(r.u8());
+  req.rid = r.u64();
+  switch (req.op) {
+    case MsgOp::kHello:
+      req.version = r.u16();
+      req.principal = r.str();
+      req.token = r.blob();
+      break;
+    case MsgOp::kWrite:
+      req.write = decode_write_request(r);
+      break;
+    case MsgOp::kRead:
+      req.sn = r.u64();
+      break;
+    case MsgOp::kLitHold:
+    case MsgOp::kLitRelease:
+      req.lit = decode_lit_request(r);
+      break;
+    case MsgOp::kPing:
+      break;
+  }
+  r.expect_end();
+  return req;
+}
+
+Bytes encode_response(const Response& resp) {
+  ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(resp.op));
+  w.u64(resp.rid);
+  w.u16(static_cast<std::uint16_t>(resp.status));
+  w.boolean(resp.attestation.has_value());
+  if (resp.attestation.has_value()) resp.attestation->serialize(w);
+
+  if (resp.op == MsgOp::kRead && core::is_read_status(resp.status)) {
+    encode_read_outcome(w, resp.outcome);
+  } else if (resp.status == core::WireStatus::kOk) {
+    if (resp.op == MsgOp::kWrite) w.u64(resp.sn);
+    // kHello / kLitHold / kLitRelease / kPing: status alone is the answer.
+  } else {
+    w.str(resp.message);
+  }
+  return w.take();
+}
+
+Response decode_response(common::ByteView body) {
+  ByteReader r(body);
+  Response resp;
+  resp.op = msg_op_from_u8(r.u8());
+  resp.rid = r.u64();
+  resp.status = core::wire_status_from_u16(r.u16());
+  if (r.boolean()) {
+    resp.attestation = core::SignedSnCurrent::deserialize(r);
+  }
+
+  if (resp.op == MsgOp::kRead && core::is_read_status(resp.status)) {
+    resp.outcome = decode_read_outcome(resp.status, r);
+  } else if (resp.status == core::WireStatus::kOk) {
+    if (resp.op == MsgOp::kWrite) resp.sn = r.u64();
+  } else {
+    resp.message = r.str();
+  }
+  r.expect_end();
+  return resp;
+}
+
+}  // namespace worm::server

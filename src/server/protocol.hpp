@@ -1,0 +1,119 @@
+// The wire protocol between WormClient and WormServer: length-prefixed
+// binary frames over a stream socket, encoded with the same common/serial
+// conventions as the SCPU mailbox commands. One frame = u32 body length +
+// body; a request body is `op | rid | fields`, a response body is
+// `op | rid | status | attestation? | payload`.
+//
+// Integrity model: the server is untrusted. Responses carry the record +
+// proof envelopes verbatim (Vrd, payloads, deletion proofs, signed SN
+// bounds) and the client verifies them against its own TrustAnchors with
+// ClientVerifier — nothing here authenticates the server beyond the framing.
+// The per-response attestation slot forwards S_s(SN_current) watermark
+// movement from the connection's session, giving remote clients the same
+// amortized freshness an in-process reader gets (clients check its SCPU
+// signature, so a lying server gains nothing).
+//
+// Parsing is strict, mirroring worm/commands: every decoder consumes its
+// whole body and expect_end()s; counts are validated against remaining
+// bytes; unknown opcodes and status codes raise ParseError. The wire fuzz
+// test drives every opcode through truncation/mutation against these
+// decoders.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "common/bytes.hpp"
+#include "common/serial.hpp"
+#include "worm/session.hpp"
+#include "worm/status.hpp"
+
+namespace worm::server {
+
+/// Bumped on any incompatible frame change; kHello carries the client's
+/// version and the server refuses mismatches with kBadRequest.
+inline constexpr std::uint16_t kProtocolVersion = 1;
+
+/// Default per-frame byte bound (body, excluding the u32 prefix). A peer
+/// declaring a larger frame is cut off before any allocation.
+inline constexpr std::size_t kMaxFrameBytes = 4u << 20;
+
+enum class MsgOp : std::uint8_t {
+  kHello = 1,       // principal + HMAC token; must be the first frame
+  kWrite = 2,       // WriteRequest -> Sn (or kBusy under backpressure)
+  kRead = 3,        // Sn -> record + proof envelope
+  kLitHold = 4,     // LitigationRequest
+  kLitRelease = 5,  // LitigationRequest
+  kPing = 6,        // keep-alive; refreshes the session attestation
+};
+
+const char* to_string(MsgOp op);
+
+/// Validated u8 -> MsgOp; throws common::ParseError on an unknown opcode.
+[[nodiscard]] MsgOp msg_op_from_u8(std::uint8_t v);
+
+/// One decoded request. Plain struct-of-fields (only the op's own fields
+/// are meaningful) — the protocol is small enough that a variant would be
+/// ceremony.
+struct Request {
+  MsgOp op = MsgOp::kPing;
+  std::uint64_t rid = 0;  // client-chosen, echoed in the response
+
+  // kHello
+  std::uint16_t version = kProtocolVersion;
+  std::string principal;
+  common::Bytes token;
+
+  // kWrite
+  core::WriteRequest write;
+
+  // kRead
+  core::Sn sn = core::kInvalidSn;
+
+  // kLitHold / kLitRelease
+  core::LitigationRequest lit;
+};
+
+struct Response {
+  MsgOp op = MsgOp::kPing;  // echoes the request
+  std::uint64_t rid = 0;
+  core::WireStatus status = core::WireStatus::kInternalError;
+
+  /// Present when the session watermark moved past what this connection was
+  /// last sent; clients verify the SCPU signature before adopting it.
+  std::optional<core::SignedSnCurrent> attestation;
+
+  // Payload, by op/status:
+  core::Sn sn = core::kInvalidSn;   // kWrite + kOk
+  core::ReadOutcome outcome;        // kRead + any read-family status
+  std::string message;              // any error/rejection status
+};
+
+// --- framing ---------------------------------------------------------------
+
+/// u32 length prefix + body.
+[[nodiscard]] common::Bytes encode_frame(const common::Bytes& body);
+
+/// Extracts one complete frame body from the front of `buf` (consuming it),
+/// or nullopt when the buffer does not yet hold a full frame. Throws
+/// ParseError when the declared length exceeds `max_body` — the caller must
+/// drop the connection, since the stream cannot be resynchronized.
+[[nodiscard]] std::optional<common::Bytes> take_frame(common::Bytes& buf,
+                                                      std::size_t max_body);
+
+// --- bodies ----------------------------------------------------------------
+
+[[nodiscard]] common::Bytes encode_request(const Request& req);
+[[nodiscard]] Request decode_request(common::ByteView body);
+
+[[nodiscard]] common::Bytes encode_response(const Response& resp);
+[[nodiscard]] Response decode_response(common::ByteView body);
+
+/// The read envelope by itself (what a kRead response carries after the
+/// status): exposed for tests that check proof-stream equivalence.
+void encode_read_outcome(common::ByteWriter& w, const core::ReadOutcome& r);
+[[nodiscard]] core::ReadOutcome decode_read_outcome(core::WireStatus status,
+                                                    common::ByteReader& r);
+
+}  // namespace worm::server

@@ -1,0 +1,405 @@
+#include "server/worm_server.hpp"
+
+#include <poll.h>
+
+#include <utility>
+
+#include "common/error.hpp"
+#include "common/log.hpp"
+
+namespace worm::server {
+
+using common::Bytes;
+using common::IoResult;
+using common::MutexLock;
+
+void AuthRegistry::add(std::string principal, common::Bytes secret) {
+  secrets_[std::move(principal)] = std::move(secret);
+}
+
+bool AuthRegistry::check(std::string_view principal,
+                         common::ByteView token) const {
+  auto it = secrets_.find(principal);
+  if (it == secrets_.end()) {
+    // Burn the same HMAC work as the found path so an unknown principal is
+    // not distinguishable by timing.
+    static const Bytes kDecoy(32, 0x5a);
+    (void)core::check_session_token(kDecoy, principal, token);
+    return false;
+  }
+  return core::check_session_token(it->second, principal, token);
+}
+
+common::Bytes AuthRegistry::mint(std::string_view principal) const {
+  auto it = secrets_.find(principal);
+  WORM_REQUIRE(it != secrets_.end(),
+               "AuthRegistry::mint: unknown principal " +
+                   std::string(principal));
+  return core::mint_session_token(it->second, principal);
+}
+
+WormServer::WormServer(ServerConfig config, AuthRegistry auth,
+                       SessionFactory sessions)
+    : config_(std::move(config)),
+      auth_(std::move(auth)),
+      sessions_(std::move(sessions)) {
+  WORM_REQUIRE(config_.loops >= 1, "WormServer: loops must be >= 1");
+  WORM_REQUIRE(config_.max_frame >= 64,
+               "WormServer: max_frame too small for any request");
+  WORM_REQUIRE(sessions_ != nullptr, "WormServer: null session factory");
+}
+
+WormServer::~WormServer() { stop(); }
+
+void WormServer::start() {
+  WORM_REQUIRE(!started_, "WormServer::start: already started");
+  if (!config_.unix_path.empty()) {
+    listener_ = common::listen_unix(config_.unix_path);
+  } else {
+    listener_ = common::listen_tcp_loopback(config_.tcp_port, &bound_port_);
+  }
+  {
+    MutexLock lk(intake_mu_);
+    intake_.resize(config_.loops);
+  }
+  stop_.store(false, std::memory_order_release);
+  loops_ = std::make_unique<common::ThreadPool>(config_.loops);
+  for (std::size_t i = 0; i < config_.loops; ++i) {
+    loops_->submit([this, i] { loop_main(i); });
+  }
+  started_ = true;
+  WORM_INFO("server", "listening (",
+            config_.unix_path.empty()
+                ? "tcp port " + std::to_string(bound_port_)
+                : config_.unix_path,
+            "), ", config_.loops, " loop(s)");
+}
+
+void WormServer::stop() {
+  if (!started_) return;
+  stop_.store(true, std::memory_order_release);
+  loops_.reset();  // joins every loop; their Conn lists unwind with them
+  listener_.reset();
+  started_ = false;
+}
+
+WormServer::StatsSnapshot WormServer::stats() const {
+  StatsSnapshot s;
+  s.accepted = stats_.accepted.load();
+  s.rejected_full = stats_.rejected_full.load();
+  s.requests = stats_.requests.load();
+  s.responses = stats_.responses.load();
+  s.busy = stats_.busy.load();
+  s.auth_failures = stats_.auth_failures.load();
+  s.parse_errors = stats_.parse_errors.load();
+  s.errors = stats_.errors.load();
+  return s;
+}
+
+void WormServer::accept_pending(std::deque<common::Socket>& local) {
+  for (;;) {
+    common::Socket s = common::accept_connection(listener_);
+    if (!s.valid()) return;
+    if (live_conns_.load(std::memory_order_relaxed) >=
+        config_.max_connections) {
+      stats_.rejected_full.fetch_add(1, std::memory_order_relaxed);
+      continue;  // Socket destructor closes it
+    }
+    stats_.accepted.fetch_add(1, std::memory_order_relaxed);
+    live_conns_.fetch_add(1, std::memory_order_relaxed);
+    MutexLock lk(intake_mu_);
+    std::size_t target = next_loop_;
+    next_loop_ = (next_loop_ + 1) % intake_.size();
+    if (target == 0) {
+      local.push_back(std::move(s));  // our own share, no second lock trip
+    } else {
+      intake_[target].push_back(std::move(s));
+    }
+  }
+}
+
+void WormServer::stamp_attestation(Conn& conn, Response& resp) {
+  if (conn.session == nullptr) return;
+  const core::SignedSnCurrent& wm = conn.session->watermark();
+  if (wm.sig.empty() || wm.stamped_at.ns <= conn.attested_at.ns) return;
+  resp.attestation = wm;
+  conn.attested_at = wm.stamped_at;
+}
+
+void WormServer::send_response(Conn& conn, Response resp) {
+  stamp_attestation(conn, resp);
+  Bytes body = encode_response(resp);
+  // The untrusted-server adversary: corrupt a served payload between store
+  // and socket. Clients must convict this with ClientVerifier — the server
+  // test proves they do. Payload blobs sit at the tail of a read response,
+  // so the flip lands in record data, not framing.
+  if (config_.fault != nullptr && resp.op == MsgOp::kRead &&
+      resp.outcome.served() &&
+      WORM_FAULT_POINT(config_.fault, "server.response") ==
+          common::FaultKind::kBitFlip) {
+    const core::ReadOk* ok = resp.outcome.ok();
+    std::size_t last = ok->payloads.back().size();
+    if (last > 0 && body.size() >= last) {
+      std::size_t base = body.size() - last;
+      std::uint64_t bit = config_.fault->shape(last * 8);
+      body[base + bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
+    }
+  }
+  Bytes frame = encode_frame(body);
+  conn.out.insert(conn.out.end(), frame.begin(), frame.end());
+  stats_.responses.fetch_add(1, std::memory_order_relaxed);
+}
+
+void WormServer::handle_frame(Conn& conn, const Bytes& body) {
+  stats_.requests.fetch_add(1, std::memory_order_relaxed);
+  Request req;
+  try {
+    req = decode_request(body);
+  } catch (const common::ParseError& e) {
+    stats_.parse_errors.fetch_add(1, std::memory_order_relaxed);
+    Response resp;
+    resp.op = MsgOp::kPing;  // the request op may itself be unparseable
+    resp.rid = 0;
+    resp.status = core::WireStatus::kParseError;
+    resp.message = e.what();
+    send_response(conn, resp);
+    conn.closing = true;  // framing is fine but content wasn't; drop politely
+    return;
+  }
+
+  Response resp;
+  resp.op = req.op;
+  resp.rid = req.rid;
+
+  if (req.op == MsgOp::kHello) {
+    if (conn.authed) {
+      resp.status = core::WireStatus::kBadRequest;
+      resp.message = "already authenticated";
+    } else if (req.version != kProtocolVersion) {
+      resp.status = core::WireStatus::kBadRequest;
+      resp.message = "protocol version " + std::to_string(req.version) +
+                     " unsupported (server speaks " +
+                     std::to_string(kProtocolVersion) + ")";
+    } else if (!auth_.check(req.principal, req.token)) {
+      stats_.auth_failures.fetch_add(1, std::memory_order_relaxed);
+      resp.status = core::WireStatus::kAuthFailed;
+      resp.message = "unknown principal or bad token";
+      conn.closing = true;
+    } else {
+      conn.session = sessions_(req.principal);
+      conn.authed = true;
+      resp.status = core::WireStatus::kOk;
+    }
+    send_response(conn, resp);
+    return;
+  }
+
+  if (!conn.authed) {
+    resp.status = core::WireStatus::kAuthRequired;
+    resp.message = "first frame must be a hello";
+    send_response(conn, resp);
+    return;
+  }
+
+  try {
+    switch (req.op) {
+      case MsgOp::kRead:
+        resp.outcome = conn.session->read(req.sn);
+        resp.status = core::to_wire(resp.outcome.status());
+        break;
+      case MsgOp::kWrite: {
+        if (!config_.allow_writes) {
+          resp.status = core::WireStatus::kBadRequest;
+          resp.message = "writes are disabled on this endpoint";
+          break;
+        }
+        if (!conn.session->async_capable()) {
+          resp.status = core::WireStatus::kBadRequest;
+          resp.message = "store has no write pipeline (async writes off)";
+          break;
+        }
+        std::optional<core::WriteTicket> ticket =
+            conn.session->try_write_async(std::move(req.write));
+        if (!ticket.has_value()) {
+          stats_.busy.fetch_add(1, std::memory_order_relaxed);
+          resp.status = core::WireStatus::kBusy;
+          resp.message = "write pipeline at capacity; retry after a pause";
+          break;
+        }
+        // Response deferred: the ticket is polled every loop iteration and
+        // answered when the committer lands the group. The event loop never
+        // blocks on it.
+        conn.pending.push_back(PendingWrite{req.rid, std::move(*ticket)});
+        return;
+      }
+      case MsgOp::kLitHold:
+        conn.session->lit_hold(req.lit);
+        resp.status = core::WireStatus::kOk;
+        break;
+      case MsgOp::kLitRelease:
+        conn.session->lit_release(req.lit);
+        resp.status = core::WireStatus::kOk;
+        break;
+      case MsgOp::kPing:
+        // A ping is the remote freshness lever: force a heartbeat crossing
+        // so the pong carries a just-stamped attestation (nothing else
+        // advances simulated time in a server process).
+        (void)conn.session->refresh();
+        resp.status = core::WireStatus::kOk;
+        break;
+      case MsgOp::kHello:
+        break;  // handled above
+    }
+  } catch (const std::exception& e) {
+    stats_.errors.fetch_add(1, std::memory_order_relaxed);
+    resp.status = core::to_wire(core::classify(e));
+    resp.message = e.what();
+  }
+  send_response(conn, resp);
+}
+
+void WormServer::resolve_pending(Conn& conn) {
+  for (auto it = conn.pending.begin(); it != conn.pending.end();) {
+    if (!it->ticket.ready()) {
+      ++it;
+      continue;
+    }
+    Response resp;
+    resp.op = MsgOp::kWrite;
+    resp.rid = it->rid;
+    try {
+      resp.sn = it->ticket.get();  // resolved: returns without blocking
+      resp.status = core::WireStatus::kOk;
+    } catch (const std::exception& e) {
+      stats_.errors.fetch_add(1, std::memory_order_relaxed);
+      resp.status = core::to_wire(core::classify(e));
+      resp.message = e.what();
+    }
+    send_response(conn, resp);
+    it = conn.pending.erase(it);
+  }
+}
+
+void WormServer::loop_main(std::size_t loop_idx) {
+  std::vector<std::unique_ptr<Conn>> conns;
+  std::deque<common::Socket> fresh;
+
+  while (!stop_.load(std::memory_order_acquire)) {
+    // Adopt connections dealt to this loop.
+    {
+      MutexLock lk(intake_mu_);
+      while (!intake_[loop_idx].empty()) {
+        fresh.push_back(std::move(intake_[loop_idx].front()));
+        intake_[loop_idx].pop_front();
+      }
+    }
+    while (!fresh.empty()) {
+      auto conn = std::make_unique<Conn>();
+      conn->sock = std::move(fresh.front());
+      fresh.pop_front();
+      conns.push_back(std::move(conn));
+    }
+
+    // Poll: every connection for reads, writers for drain, loop 0 for
+    // accepts.
+    std::vector<common::PollFd> pfds;
+    pfds.reserve(conns.size() + 1);
+    if (loop_idx == 0) {
+      pfds.push_back({listener_.fd(), POLLIN, 0});
+    }
+    for (const auto& conn : conns) {
+      short events = POLLIN;
+      if (conn->out_off < conn->out.size()) {
+        events = static_cast<short>(events | POLLOUT);
+      }
+      pfds.push_back({conn->sock.fd(), events, 0});
+    }
+    if (!pfds.empty()) {
+      (void)common::poll_fds(pfds, config_.poll_interval);
+    }
+
+    std::size_t base = 0;
+    if (loop_idx == 0) {
+      base = 1;
+      if ((pfds[0].revents & POLLIN) != 0) accept_pending(fresh);
+    }
+
+    bool had_writes = false;
+    for (std::size_t i = 0; i < conns.size(); ++i) {
+      Conn& conn = *conns[i];
+      short rev = pfds[base + i].revents;
+
+      if (!conn.closing && (rev & (POLLIN | POLLHUP | POLLERR)) != 0) {
+        for (;;) {
+          IoResult r = common::read_some(conn.sock, conn.in, 64 * 1024);
+          if (r == IoResult::kOk) continue;
+          if (r == IoResult::kWouldBlock) break;
+          conn.closing = true;  // kClosed / kError: peer is gone
+          conn.out.clear();
+          conn.out_off = 0;
+          break;
+        }
+        try {
+          while (auto body = take_frame(conn.in, config_.max_frame)) {
+            handle_frame(conn, *body);
+            if (conn.closing) break;
+          }
+        } catch (const common::ParseError&) {
+          // Oversized/undecodable framing: the stream cannot be resynced.
+          stats_.parse_errors.fetch_add(1, std::memory_order_relaxed);
+          conn.closing = true;
+        }
+      }
+
+      resolve_pending(conn);
+      if (!conn.pending.empty()) had_writes = true;
+
+      // Flush what the kernel will take.
+      while (conn.out_off < conn.out.size()) {
+        IoResult r = common::write_some(conn.sock, conn.out, conn.out_off);
+        if (r == IoResult::kOk) continue;
+        if (r != IoResult::kWouldBlock) {
+          conn.closing = true;
+          conn.pending.clear();
+        }
+        break;
+      }
+      if (conn.out_off >= conn.out.size()) {
+        conn.out.clear();
+        conn.out_off = 0;
+      }
+    }
+
+    // Keep the committer moving while any admission is unresolved: groups
+    // form from whatever arrived this iteration instead of waiting out the
+    // simulated linger window (which nothing advances in a server process).
+    if (had_writes) {
+      for (const auto& conn : conns) {
+        if (conn->session != nullptr && !conn->pending.empty()) {
+          conn->session->poke_writes();
+          break;  // one nudge reaches the shared pipeline
+        }
+      }
+    }
+
+    // Reap: closing connections with nothing left to flush (or dead pipes).
+    for (auto it = conns.begin(); it != conns.end();) {
+      Conn& conn = **it;
+      bool drained = conn.out_off >= conn.out.size();
+      if (conn.closing && conn.pending.empty() && drained) {
+        live_conns_.fetch_sub(1, std::memory_order_relaxed);
+        it = conns.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+
+  // Loop shutdown: connections close with their sockets.
+  for (const auto& conn : conns) {
+    live_conns_.fetch_sub(1, std::memory_order_relaxed);
+    (void)conn;
+  }
+}
+
+}  // namespace worm::server

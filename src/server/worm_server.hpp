@@ -1,0 +1,180 @@
+// WormServer: the multi-tenant network front-end. One store, many mutually
+// distrusting principals over keep-alive connections.
+//
+// Shape (DESIGN.md §11):
+//  * a small pool of event-loop threads over non-blocking sockets; loop 0
+//    also owns the listener and deals new connections round-robin to the
+//    others through per-loop intake queues;
+//  * per-connection bounded read buffer + length-prefixed frames
+//    (server/protocol.hpp); a frame larger than max_frame drops the
+//    connection before any allocation;
+//  * authentication first: the opening frame must be a kHello carrying an
+//    HMAC session token; success binds the connection to a WormSession
+//    (principal + freshness watermark) minted by the session factory. This
+//    header never names the store type — worm-lint rule
+//    server-store-isolation keeps every store touch inside the session
+//    layer;
+//  * writes go through the session's non-blocking try_write_async: a full
+//    pipeline answers kBusy on the wire instead of stalling the loop, and
+//    resolved tickets are polled each iteration so admissions never block;
+//  * reads stream the record+proof envelope verbatim; the server is
+//    untrusted for integrity and clients verify with ClientVerifier. The
+//    optional fault injector's "server.response" site models exactly that
+//    adversary (bit-flips a response body in flight);
+//  * watermark movement (fresh S_s(SN_current) from batch acks/heartbeats)
+//    is forwarded in the attestation slot of the next response on each
+//    connection.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/annotations.hpp"
+#include "common/fault.hpp"
+#include "common/net.hpp"
+#include "common/thread_pool.hpp"
+#include "server/protocol.hpp"
+
+namespace worm::server {
+
+struct ServerConfig {
+  /// Non-empty: listen on this Unix-domain socket path. Empty: loopback TCP.
+  std::string unix_path;
+  /// TCP port (0 = ephemeral; see WormServer::port()). Used when unix_path
+  /// is empty.
+  std::uint16_t tcp_port = 0;
+  /// Event-loop threads. Loop 0 additionally accepts. Must be >= 1.
+  std::size_t loops = 2;
+  /// Per-frame body bound; larger declared frames drop the connection.
+  std::size_t max_frame = kMaxFrameBytes;
+  /// Accepted connections beyond this are closed immediately.
+  std::size_t max_connections = 256;
+  /// Poll timeout per loop iteration (also the ticket re-check cadence).
+  common::Duration poll_interval = common::Duration::millis(1);
+  /// Refuse kWrite frames (auditor-only deployments).
+  bool allow_writes = true;
+  /// Optional adversary: site "server.response" bit-flips an encoded
+  /// response body between store and socket (kBitFlip). Not owned.
+  common::FaultInjector* fault = nullptr;
+};
+
+/// Principal -> shared secret registry the server authenticates against.
+/// Populated before start(); read-only afterwards.
+class AuthRegistry {
+ public:
+  void add(std::string principal, common::Bytes secret);
+  [[nodiscard]] bool check(std::string_view principal,
+                           common::ByteView token) const;
+  /// Token a legitimate holder of the secret would present (test/bench
+  /// convenience; deployment mints out of band).
+  [[nodiscard]] common::Bytes mint(std::string_view principal) const;
+
+ private:
+  std::map<std::string, common::Bytes, std::less<>> secrets_;
+};
+
+/// Mints the session for an authenticated principal. The factory owns the
+/// choice of store and trusted time source; the server just routes requests
+/// through whatever session it gets.
+using SessionFactory =
+    std::function<std::unique_ptr<core::WormSession>(std::string_view)>;
+
+class WormServer {
+ public:
+  WormServer(ServerConfig config, AuthRegistry auth, SessionFactory sessions);
+  ~WormServer();
+
+  WormServer(const WormServer&) = delete;
+  WormServer& operator=(const WormServer&) = delete;
+
+  /// Binds the listener and starts the event loops. Throws NetError on bind
+  /// failure.
+  void start();
+  /// Stops the loops and closes every connection. Idempotent; also run by
+  /// the destructor.
+  void stop();
+
+  /// The bound TCP port (after start(); 0 for Unix-domain servers).
+  [[nodiscard]] std::uint16_t port() const { return bound_port_; }
+  [[nodiscard]] const std::string& unix_path() const {
+    return config_.unix_path;
+  }
+
+  struct StatsSnapshot {
+    std::uint64_t accepted = 0;        // connections accepted
+    std::uint64_t rejected_full = 0;   // closed at max_connections
+    std::uint64_t requests = 0;        // frames decoded
+    std::uint64_t responses = 0;       // frames sent
+    std::uint64_t busy = 0;            // writes answered kBusy
+    std::uint64_t auth_failures = 0;
+    std::uint64_t parse_errors = 0;    // malformed frames (connection dropped)
+    std::uint64_t errors = 0;          // exceptions mapped to error statuses
+  };
+  [[nodiscard]] StatsSnapshot stats() const;
+
+ private:
+  struct PendingWrite {
+    std::uint64_t rid = 0;
+    core::WriteTicket ticket;
+  };
+
+  struct Conn {
+    common::Socket sock;
+    common::Bytes in;
+    common::Bytes out;
+    std::size_t out_off = 0;
+    bool authed = false;
+    bool closing = false;  // flush out, then close
+    std::unique_ptr<core::WormSession> session;
+    std::vector<PendingWrite> pending;
+    /// Stamp of the last attestation forwarded on this connection.
+    common::SimTime attested_at{INT64_MIN};
+  };
+
+  void loop_main(std::size_t loop_idx);
+  void accept_pending(std::deque<common::Socket>& local);
+  /// Handles one decoded frame; appends the response to conn.out.
+  void handle_frame(Conn& conn, const common::Bytes& body);
+  void resolve_pending(Conn& conn);
+  void send_response(Conn& conn, Response resp);
+  /// Fills the attestation slot when the session watermark moved.
+  void stamp_attestation(Conn& conn, Response& resp);
+
+  ServerConfig config_;
+  AuthRegistry auth_;
+  SessionFactory sessions_;
+
+  common::Socket listener_;
+  std::uint16_t bound_port_ = 0;
+  std::atomic<bool> stop_{false};
+  bool started_ = false;
+
+  // Accepted sockets awaiting adoption by a loop, dealt round-robin.
+  common::AnnotatedMutex intake_mu_;
+  std::vector<std::deque<common::Socket>> intake_ GUARDED_BY(intake_mu_);
+  std::size_t next_loop_ GUARDED_BY(intake_mu_) = 0;
+  std::atomic<std::size_t> live_conns_{0};
+
+  struct Stats {
+    std::atomic<std::uint64_t> accepted{0};
+    std::atomic<std::uint64_t> rejected_full{0};
+    std::atomic<std::uint64_t> requests{0};
+    std::atomic<std::uint64_t> responses{0};
+    std::atomic<std::uint64_t> busy{0};
+    std::atomic<std::uint64_t> auth_failures{0};
+    std::atomic<std::uint64_t> parse_errors{0};
+    std::atomic<std::uint64_t> errors{0};
+  };
+  Stats stats_;
+
+  std::unique_ptr<common::ThreadPool> loops_;
+};
+
+}  // namespace worm::server

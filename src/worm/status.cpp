@@ -1,0 +1,228 @@
+#include "worm/status.hpp"
+
+#include "common/error.hpp"
+#include "worm/commands.hpp"
+
+namespace worm::core {
+
+const char* to_string(WireStatus s) {
+  switch (s) {
+    case WireStatus::kOk: return "ok";
+    case WireStatus::kHold: return "hold";
+    case WireStatus::kDeleted: return "deleted";
+    case WireStatus::kBelowBase: return "below-base";
+    case WireStatus::kNotAllocated: return "not-allocated";
+    case WireStatus::kDeletedWindow: return "deleted-window";
+    case WireStatus::kUnavailable: return "unavailable";
+    case WireStatus::kFailure: return "failure";
+    case WireStatus::kBusy: return "busy";
+    case WireStatus::kAuthRequired: return "auth-required";
+    case WireStatus::kAuthFailed: return "auth-failed";
+    case WireStatus::kBadRequest: return "bad-request";
+    case WireStatus::kParseError: return "parse-error";
+    case WireStatus::kPreconditionError: return "precondition-error";
+    case WireStatus::kStorageError: return "storage-error";
+    case WireStatus::kTransientStorageError: return "transient-storage-error";
+    case WireStatus::kReadOnlyStore: return "read-only-store";
+    case WireStatus::kScpuError: return "scpu-error";
+    case WireStatus::kChannelError: return "channel-error";
+    case WireStatus::kChannelTimeout: return "channel-timeout";
+    case WireStatus::kScpuDead: return "scpu-dead";
+    case WireStatus::kNetError: return "net-error";
+    case WireStatus::kInternalError: return "internal-error";
+  }
+  return "unknown";
+}
+
+bool is_read_status(WireStatus s) {
+  return static_cast<std::uint16_t>(s) < 64;
+}
+
+bool is_served_status(WireStatus s) {
+  return s == WireStatus::kOk || s == WireStatus::kHold;
+}
+
+WireStatus to_wire(ReadStatus s) {
+  switch (s) {
+    case ReadStatus::kData: return WireStatus::kOk;
+    case ReadStatus::kHold: return WireStatus::kHold;
+    case ReadStatus::kDeleted: return WireStatus::kDeleted;
+    case ReadStatus::kBelowBase: return WireStatus::kBelowBase;
+    case ReadStatus::kNotAllocated: return WireStatus::kNotAllocated;
+    case ReadStatus::kDeletedWindow: return WireStatus::kDeletedWindow;
+    case ReadStatus::kUnavailable: return WireStatus::kUnavailable;
+    case ReadStatus::kFailure: return WireStatus::kFailure;
+  }
+  throw common::InternalError("to_wire: corrupt ReadStatus");
+}
+
+ReadStatus read_status_from_wire(WireStatus s) {
+  switch (s) {
+    case WireStatus::kOk: return ReadStatus::kData;
+    case WireStatus::kHold: return ReadStatus::kHold;
+    case WireStatus::kDeleted: return ReadStatus::kDeleted;
+    case WireStatus::kBelowBase: return ReadStatus::kBelowBase;
+    case WireStatus::kNotAllocated: return ReadStatus::kNotAllocated;
+    case WireStatus::kDeletedWindow: return ReadStatus::kDeletedWindow;
+    case WireStatus::kUnavailable: return ReadStatus::kUnavailable;
+    case WireStatus::kFailure: return ReadStatus::kFailure;
+    case WireStatus::kBusy:
+    case WireStatus::kAuthRequired:
+    case WireStatus::kAuthFailed:
+    case WireStatus::kBadRequest:
+    case WireStatus::kParseError:
+    case WireStatus::kPreconditionError:
+    case WireStatus::kStorageError:
+    case WireStatus::kTransientStorageError:
+    case WireStatus::kReadOnlyStore:
+    case WireStatus::kScpuError:
+    case WireStatus::kChannelError:
+    case WireStatus::kChannelTimeout:
+    case WireStatus::kScpuDead:
+    case WireStatus::kNetError:
+    case WireStatus::kInternalError:
+      break;
+  }
+  throw common::ParseError(std::string("read_status_from_wire: not a read status: ") +
+                           to_string(s));
+}
+
+WireStatus wire_status_from_u16(std::uint16_t v) {
+  WireStatus s = static_cast<WireStatus>(v);
+  switch (s) {
+    case WireStatus::kOk:
+    case WireStatus::kHold:
+    case WireStatus::kDeleted:
+    case WireStatus::kBelowBase:
+    case WireStatus::kNotAllocated:
+    case WireStatus::kDeletedWindow:
+    case WireStatus::kUnavailable:
+    case WireStatus::kFailure:
+    case WireStatus::kBusy:
+    case WireStatus::kAuthRequired:
+    case WireStatus::kAuthFailed:
+    case WireStatus::kBadRequest:
+    case WireStatus::kParseError:
+    case WireStatus::kPreconditionError:
+    case WireStatus::kStorageError:
+    case WireStatus::kTransientStorageError:
+    case WireStatus::kReadOnlyStore:
+    case WireStatus::kScpuError:
+    case WireStatus::kChannelError:
+    case WireStatus::kChannelTimeout:
+    case WireStatus::kScpuDead:
+    case WireStatus::kNetError:
+    case WireStatus::kInternalError:
+      return s;
+  }
+  throw common::ParseError("wire_status_from_u16: unknown status code " +
+                           std::to_string(v));
+}
+
+const char* to_string(ErrorCode c) {
+  switch (c) {
+    case ErrorCode::kParse: return "parse";
+    case ErrorCode::kPrecondition: return "precondition";
+    case ErrorCode::kStorage: return "storage";
+    case ErrorCode::kTransientStorage: return "transient-storage";
+    case ErrorCode::kReadOnlyStore: return "read-only-store";
+    case ErrorCode::kScpu: return "scpu";
+    case ErrorCode::kChannel: return "channel";
+    case ErrorCode::kChannelTimeout: return "channel-timeout";
+    case ErrorCode::kScpuDead: return "scpu-dead";
+    case ErrorCode::kNet: return "net";
+    case ErrorCode::kInternal: return "internal";
+  }
+  return "unknown";
+}
+
+ErrorCode classify(const std::exception& e) {
+  // Most-derived classes first: a ScpuDeadError IS-A ChannelError IS-A
+  // common::Error, and the first match wins.
+  if (dynamic_cast<const ScpuDeadError*>(&e)) return ErrorCode::kScpuDead;
+  if (dynamic_cast<const ChannelTimeoutError*>(&e)) {
+    return ErrorCode::kChannelTimeout;
+  }
+  if (dynamic_cast<const ChannelError*>(&e)) return ErrorCode::kChannel;
+  if (dynamic_cast<const common::TransientStorageError*>(&e)) {
+    return ErrorCode::kTransientStorage;
+  }
+  if (dynamic_cast<const common::StorageError*>(&e)) return ErrorCode::kStorage;
+  if (dynamic_cast<const common::ParseError*>(&e)) return ErrorCode::kParse;
+  if (dynamic_cast<const common::ReadOnlyStoreError*>(&e)) {
+    return ErrorCode::kReadOnlyStore;
+  }
+  if (dynamic_cast<const common::ScpuError*>(&e)) return ErrorCode::kScpu;
+  if (dynamic_cast<const common::NetError*>(&e)) return ErrorCode::kNet;
+  if (dynamic_cast<const common::PreconditionError*>(&e)) {
+    return ErrorCode::kPrecondition;
+  }
+  return ErrorCode::kInternal;
+}
+
+WireStatus to_wire(ErrorCode c) {
+  switch (c) {
+    case ErrorCode::kParse: return WireStatus::kParseError;
+    case ErrorCode::kPrecondition: return WireStatus::kPreconditionError;
+    case ErrorCode::kStorage: return WireStatus::kStorageError;
+    case ErrorCode::kTransientStorage: return WireStatus::kTransientStorageError;
+    case ErrorCode::kReadOnlyStore: return WireStatus::kReadOnlyStore;
+    case ErrorCode::kScpu: return WireStatus::kScpuError;
+    case ErrorCode::kChannel: return WireStatus::kChannelError;
+    case ErrorCode::kChannelTimeout: return WireStatus::kChannelTimeout;
+    case ErrorCode::kScpuDead: return WireStatus::kScpuDead;
+    case ErrorCode::kNet: return WireStatus::kNetError;
+    case ErrorCode::kInternal: return WireStatus::kInternalError;
+  }
+  throw common::InternalError("to_wire: corrupt ErrorCode");
+}
+
+void throw_wire_error(WireStatus s, const std::string& message) {
+  switch (s) {
+    case WireStatus::kOk:
+    case WireStatus::kHold:
+    case WireStatus::kDeleted:
+    case WireStatus::kBelowBase:
+    case WireStatus::kNotAllocated:
+    case WireStatus::kDeletedWindow:
+    case WireStatus::kUnavailable:
+    case WireStatus::kFailure:
+      // Read outcomes are results, not errors — reaching here means the
+      // caller routed a read answer into the error path.
+      throw common::InternalError(
+          std::string("throw_wire_error called with read status ") +
+          to_string(s));
+    case WireStatus::kBusy:
+    case WireStatus::kAuthRequired:
+    case WireStatus::kAuthFailed:
+    case WireStatus::kBadRequest:
+      // Server-level rejections have no in-process exception class; surface
+      // them as the root type with a stable, matchable prefix.
+      throw common::Error(std::string(to_string(s)) + ": " + message);
+    case WireStatus::kParseError:
+      throw common::ParseError(message);
+    case WireStatus::kPreconditionError:
+      throw common::PreconditionError(message);
+    case WireStatus::kStorageError:
+      throw common::StorageError(message);
+    case WireStatus::kTransientStorageError:
+      throw common::TransientStorageError(message);
+    case WireStatus::kReadOnlyStore:
+      throw common::ReadOnlyStoreError(message);
+    case WireStatus::kScpuError:
+      throw common::ScpuError(message);
+    case WireStatus::kChannelError:
+      throw ChannelError(message);
+    case WireStatus::kChannelTimeout:
+      throw ChannelTimeoutError(message);
+    case WireStatus::kScpuDead:
+      throw ScpuDeadError(message);
+    case WireStatus::kNetError:
+      throw common::NetError(message);
+    case WireStatus::kInternalError:
+      throw common::InternalError(message);
+  }
+  throw common::InternalError("throw_wire_error: corrupt WireStatus");
+}
+
+}  // namespace worm::core

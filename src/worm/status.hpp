@@ -1,0 +1,120 @@
+// Wire-stable status taxonomy: the single place where every protocol outcome
+// (ReadStatus) and every library exception class is assigned a stable numeric
+// code that may cross a process or network boundary. The in-memory types stay
+// free to evolve; the numbers here are frozen — clients built against an older
+// tree must keep decoding responses from a newer server.
+//
+// Two families share one u16 space:
+//   * read-outcome codes ([0, 64)) mirror ReadStatus one-to-one — a server
+//     answers a read with to_wire(outcome.status()) and the client recovers
+//     the variant with read_status_from_wire();
+//   * error codes ([64, ...)) cover the server-level rejections (kBusy,
+//     kAuthFailed, ...) and the exception taxonomy of common/error.hpp +
+//     worm/commands.hpp, produced by classify() and re-raised client-side by
+//     throw_wire_error().
+//
+// Every switch below is exhaustive WITHOUT a default label: adding a
+// ReadStatus or ErrorCode variant without assigning it a wire code fails to
+// compile under -Werror=switch (CI builds with STRONGWORM_WERROR=ON), which
+// replaces the ad-hoc what()-string matching tests and tools used to do.
+#pragma once
+
+#include <cstdint>
+#include <exception>
+#include <string>
+
+#include "worm/proofs.hpp"
+
+namespace worm::core {
+
+enum class WireStatus : std::uint16_t {
+  // --- read-outcome family: one-to-one with ReadStatus -----------------
+  kOk = 0,             // ReadStatus::kData
+  kHold = 1,           // ReadStatus::kHold
+  kDeleted = 2,        // ReadStatus::kDeleted
+  kBelowBase = 3,      // ReadStatus::kBelowBase
+  kNotAllocated = 4,   // ReadStatus::kNotAllocated
+  kDeletedWindow = 5,  // ReadStatus::kDeletedWindow
+  kUnavailable = 6,    // ReadStatus::kUnavailable
+  kFailure = 7,        // ReadStatus::kFailure
+
+  // --- server-level rejections ([64, 128)) -----------------------------
+  /// The bounded write pipeline is at capacity: admission would have to
+  /// block the event loop. Explicit backpressure — retry after a pause.
+  kBusy = 64,
+  /// First frame on a connection must be a successful kHello.
+  kAuthRequired = 65,
+  /// Unknown principal or a token that fails the HMAC check.
+  kAuthFailed = 66,
+  /// Structurally valid frame the server refuses (bad version, writes
+  /// disabled, oversized batch).
+  kBadRequest = 67,
+
+  // --- exception taxonomy ([128, ...)) ----------------------------------
+  kParseError = 128,
+  kPreconditionError = 129,
+  kStorageError = 130,
+  kTransientStorageError = 131,
+  kReadOnlyStore = 132,
+  kScpuError = 133,
+  kChannelError = 134,
+  kChannelTimeout = 135,
+  kScpuDead = 136,
+  kNetError = 137,
+  kInternalError = 138,
+};
+
+const char* to_string(WireStatus s);
+
+/// True for codes in the read-outcome family (a read answer, not an error).
+[[nodiscard]] bool is_read_status(WireStatus s);
+
+/// True for kOk/kHold — the statuses that carry payload bytes.
+[[nodiscard]] bool is_served_status(WireStatus s);
+
+/// ReadStatus -> wire code. Exhaustive: a new ReadStatus variant without a
+/// wire code is a compile error, not a silent kFailure.
+[[nodiscard]] WireStatus to_wire(ReadStatus s);
+
+/// Wire code -> ReadStatus. Throws common::ParseError for anything outside
+/// the read-outcome family (including valid *error* codes: callers must
+/// route those to throw_wire_error / their typed-result path).
+[[nodiscard]] ReadStatus read_status_from_wire(WireStatus s);
+
+/// Validated u16 -> WireStatus. Throws common::ParseError on a code this
+/// taxonomy has never issued, so hostile bytes cannot smuggle an
+/// out-of-range status through a switch.
+[[nodiscard]] WireStatus wire_status_from_u16(std::uint16_t v);
+
+/// The exception side of the taxonomy, one enumerator per concrete class.
+enum class ErrorCode : std::uint8_t {
+  kParse = 0,
+  kPrecondition = 1,
+  kStorage = 2,
+  kTransientStorage = 3,
+  kReadOnlyStore = 4,
+  kScpu = 5,
+  kChannel = 6,
+  kChannelTimeout = 7,
+  kScpuDead = 8,
+  kNet = 9,
+  kInternal = 10,
+};
+
+const char* to_string(ErrorCode c);
+
+/// Maps a caught exception to its code, most-derived class first; anything
+/// outside the library hierarchy classifies as kInternal.
+[[nodiscard]] ErrorCode classify(const std::exception& e);
+
+/// ErrorCode -> wire code (exhaustive switch, same contract as above).
+[[nodiscard]] WireStatus to_wire(ErrorCode c);
+
+/// Re-raises a wire error code as the typed exception it encodes, so code on
+/// the client side of a connection can catch the same types as in-process
+/// callers. Read-family codes are a caller bug (InternalError); server-level
+/// rejections (kBusy, kAuthFailed, ...) raise common::Error with the code's
+/// name prefixed — they have no in-process counterpart.
+[[noreturn]] void throw_wire_error(WireStatus s, const std::string& message);
+
+}  // namespace worm::core

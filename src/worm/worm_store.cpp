@@ -502,6 +502,45 @@ WriteTicket WormStore::write_async(WriteRequest request) {
   return pipeline_->submit(std::move(p));
 }
 
+std::optional<WriteTicket> WormStore::try_write_async(WriteRequest request) {
+  WORM_REQUIRE(pipeline_ != nullptr,
+               "WormStore::try_write_async: StoreConfig.pipeline.enabled is "
+               "off");
+  WORM_REQUIRE(!request.payloads.empty(), "WormStore::write: no payloads");
+
+  // Reserve the queue slot BEFORE journaling: a kBusy rejection must leave
+  // no kQueuedWrite record behind, or recover() would re-execute a write the
+  // caller was told did not happen.
+  if (!pipeline_->try_reserve()) return std::nullopt;
+
+  WritePipeline::Pending p;
+  p.attr = request.attr;
+  p.mode = request.mode;
+  for (const auto& b : request.payloads) p.bytes += b.size();
+  if (config_.hash_mode == HashMode::kHostHash) {
+    crypto::ChainedHash chain;
+    for (const auto& b : request.payloads) chain.add(b);
+    p.claimed_hash = chain.digest_bytes();
+  }
+
+  try {
+    common::ExclusiveLock lk(state_mu_);
+    require_mutable();
+    p.qid = ++next_qid_;
+    journal_queued_write(p.qid, request);
+  } catch (...) {
+    pipeline_->release_reservation();
+    throw;
+  }
+  p.payloads = std::move(request.payloads);
+  // Consumes the reservation; never blocks (the slot is already ours).
+  return pipeline_->submit_reserved(std::move(p));
+}
+
+void WormStore::poke_writes() {
+  if (pipeline_ != nullptr) pipeline_->request_flush();
+}
+
 void WormStore::drain_writes() {
   if (pipeline_ == nullptr) return;
   // Bound: every iteration retires at least one committer round, and a round
@@ -1249,6 +1288,25 @@ MigrationAttestation WormStore::sign_migration(ByteView manifest_hash,
   }
 }
 
+SignedSnCurrent WormStore::refresh_heartbeat() {
+  common::ExclusiveLock lk(state_mu_);
+  if (degraded_) return heartbeat_;  // no keys left to stamp a fresher one
+  try {
+    heartbeat_ = mailbox_.channel().heartbeat();
+  } catch (const ScpuDeadError& e) {
+    enter_degraded(e);
+  }
+  return heartbeat_;
+}
+
+WormStore::CountersSnapshot WormStore::counters_snapshot(CounterFlush flush) {
+  // kSettled: retire every admitted write first so the write_pipeline.*
+  // fields describe a quiescent pipeline (queued == flushed, batches final)
+  // instead of a committer caught mid-flush.
+  if (flush == CounterFlush::kSettled) drain_writes();
+  return counters_snapshot();
+}
+
 WormStore::CountersSnapshot WormStore::counters_snapshot() const {
   common::SharedLock lk(state_mu_);
   CountersSnapshot s;
@@ -1277,6 +1335,7 @@ WormStore::CountersSnapshot WormStore::counters_snapshot() const {
     s.write_pipeline_batch_fill_avg =
         ps.batches > 0 ? (ps.flushed_writes + ps.batches / 2) / ps.batches : 0;
     s.write_pipeline_backpressure_stalls = ps.backpressure_stalls;
+    s.write_pipeline_busy_rejected = ps.busy_rejected;
   }
   return s;
 }
@@ -1319,6 +1378,7 @@ std::map<std::string_view, std::uint64_t> WormStore::CountersSnapshot::as_map()
       {"write_pipeline.batches", write_pipeline_batches},
       {"write_pipeline.batch_fill_avg", write_pipeline_batch_fill_avg},
       {"write_pipeline.backpressure_stalls", write_pipeline_backpressure_stalls},
+      {"write_pipeline.busy_rejected", write_pipeline_busy_rejected},
   };
 }
 

@@ -177,6 +177,21 @@ class WormStore final : public HostAgent {
   [[nodiscard]] WriteTicket write_async(WriteRequest request)
       EXCLUDES(state_mu_);
 
+  /// Non-blocking write_async: admits the write if the pipeline has queue
+  /// space, returns nullopt when it is at capacity (the caller surfaces
+  /// explicit backpressure — the server maps this to the kBusy wire status —
+  /// instead of stalling). The queue slot is reserved BEFORE the admission is
+  /// journaled, so a rejected call leaves no journal record for recover() to
+  /// re-execute. Same preconditions as write_async.
+  [[nodiscard]] std::optional<WriteTicket> try_write_async(WriteRequest request)
+      EXCLUDES(state_mu_);
+
+  /// Nudges the committer: makes a pipeline flush due now without waiting
+  /// for linger/size thresholds or blocking the caller. The server's event
+  /// loop calls this after a burst of admissions so groups form from
+  /// per-iteration arrivals. No-op without the pipeline.
+  void poke_writes();
+
   /// Flushes every queued write and waits for the committer to apply them.
   /// No-op without the pipeline. Never call while holding state_mu_ (lint
   /// rule blocking-under-state-mu).
@@ -241,6 +256,14 @@ class WormStore final : public HostAgent {
     common::SharedLock lk(state_mu_);
     return heartbeat_;
   }
+
+  /// Forces a fresh S_s(SN_current) attestation over the mailbox (kHeartbeat
+  /// crossing) and returns it. Long-running servers call this when the cached
+  /// heartbeat approaches the clients' freshness policy, since the
+  /// alarm-driven heartbeat only fires when a simulation driver advances the
+  /// clock. Degraded stores return the last cached attestation — the keys are
+  /// gone, no fresher statement can exist.
+  [[nodiscard]] SignedSnCurrent refresh_heartbeat() EXCLUDES(state_mu_);
 
   /// Source-side attestation of a compliant-migration manifest.
   MigrationAttestation sign_migration(common::ByteView manifest_hash,
@@ -331,6 +354,7 @@ class WormStore final : public HostAgent {
     std::uint64_t write_pipeline_batches = 0;
     std::uint64_t write_pipeline_batch_fill_avg = 0;
     std::uint64_t write_pipeline_backpressure_stalls = 0;
+    std::uint64_t write_pipeline_busy_rejected = 0;  // try_write_async -> kBusy
 
     /// The stable dashboard view: namespaced `<subsystem>.<counter>` keys
     /// (e.g. "mailbox.crossings", "read_cache.hits", "fault.injected").
@@ -338,12 +362,34 @@ class WormStore final : public HostAgent {
     [[nodiscard]] std::map<std::string_view, std::uint64_t> as_map() const;
   };
 
+  /// How a counters snapshot relates to in-flight pipeline work.
+  enum class CounterFlush : std::uint8_t {
+    /// Snapshot whatever is there. With the pipeline on and writers active,
+    /// the write_pipeline.* fields are a moving target — the committer may be
+    /// mid-flush, so `queued` can exceed `flushed_writes` and `batches` can
+    /// lag by one. Fine for dashboards; unstable for assertions.
+    kRelaxed,
+    /// drain_writes() first, then snapshot: every admitted write has been
+    /// flushed and counted, so queued == flushed_writes and batch arithmetic
+    /// is exact. What benches and tests should use before reporting.
+    kSettled,
+  };
+
+  /// Raw-field snapshot. The kRelaxed default keeps the const, concurrent
+  /// dashboard contract; kSettled (non-const: it drains the pipeline) is for
+  /// post-run reporting where write_pipeline.* must be stable.
   [[nodiscard]] CountersSnapshot counters_snapshot() const EXCLUDES(state_mu_);
+  [[nodiscard]] CountersSnapshot counters_snapshot(CounterFlush flush)
+      EXCLUDES(state_mu_);
 
   /// Named-counter map: counters_snapshot().as_map().
   [[nodiscard]] std::map<std::string_view, std::uint64_t> counters() const
       EXCLUDES(state_mu_) {
     return counters_snapshot().as_map();
+  }
+  [[nodiscard]] std::map<std::string_view, std::uint64_t> counters(
+      CounterFlush flush) EXCLUDES(state_mu_) {
+    return counters_snapshot(flush).as_map();
   }
 
  private:

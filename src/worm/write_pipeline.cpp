@@ -55,13 +55,13 @@ WriteTicket WritePipeline::submit(Pending p) {
   {
     common::MutexLock lk(mu_);
     WORM_REQUIRE(!stop_, "WritePipeline::submit: pipeline is shut down");
-    if (queue_.size() >= config_.queue_capacity) {
+    if (queue_.size() + reserved_ >= config_.queue_capacity) {
       stat_stalls_.fetch_add(1, std::memory_order_relaxed);
       // A full queue is itself a flush trigger: the stalled submitter must
       // not depend on linger expiry for space.
       flush_requested_ = true;
       cv_work_.notify_all();
-      while (!stop_ && queue_.size() >= config_.queue_capacity) {
+      while (!stop_ && queue_.size() + reserved_ >= config_.queue_capacity) {
         cv_space_.wait(lk);
       }
       WORM_REQUIRE(!stop_, "WritePipeline::submit: pipeline shut down while "
@@ -77,6 +77,51 @@ WriteTicket WritePipeline::submit(Pending p) {
   stat_queued_.fetch_add(1, std::memory_order_relaxed);
   cv_work_.notify_all();
   return WriteTicket(std::move(state), this);
+}
+
+bool WritePipeline::try_reserve() {
+  common::MutexLock lk(mu_);
+  WORM_REQUIRE(!stop_, "WritePipeline::try_reserve: pipeline is shut down");
+  if (queue_.size() + reserved_ >= config_.queue_capacity) {
+    stat_busy_.fetch_add(1, std::memory_order_relaxed);
+    // Same trigger as a blocked submit: the rejected caller will retry, so
+    // get the committer working on space now.
+    flush_requested_ = true;
+    cv_work_.notify_all();
+    return false;
+  }
+  ++reserved_;
+  return true;
+}
+
+WriteTicket WritePipeline::submit_reserved(Pending p) {
+  auto state = std::make_shared<detail::TicketState>();
+  p.ticket = state;
+  {
+    common::MutexLock lk(mu_);
+    WORM_CHECK(reserved_ > 0,
+               "WritePipeline::submit_reserved without a reservation");
+    --reserved_;
+    WORM_REQUIRE(!stop_,
+                 "WritePipeline::submit_reserved: pipeline is shut down");
+    p.admit_time = clock_.now();
+    queued_bytes_ += p.bytes;
+    unsettled_.fetch_add(1, std::memory_order_release);
+    queue_.push_back(std::move(p));
+  }
+  stat_queued_.fetch_add(1, std::memory_order_relaxed);
+  cv_work_.notify_all();
+  return WriteTicket(std::move(state), this);
+}
+
+void WritePipeline::release_reservation() {
+  {
+    common::MutexLock lk(mu_);
+    WORM_CHECK(reserved_ > 0,
+               "WritePipeline::release_reservation without a reservation");
+    --reserved_;
+  }
+  cv_space_.notify_all();
 }
 
 void WritePipeline::request_flush() {
@@ -143,6 +188,7 @@ WritePipeline::Stats WritePipeline::stats() const {
   s.batches = stat_batches_.load(std::memory_order_relaxed);
   s.flushed_writes = stat_flushed_.load(std::memory_order_relaxed);
   s.backpressure_stalls = stat_stalls_.load(std::memory_order_relaxed);
+  s.busy_rejected = stat_busy_.load(std::memory_order_relaxed);
   return s;
 }
 
@@ -196,11 +242,14 @@ void WritePipeline::committer_loop() {
     cv_space_.notify_all();
 
     const std::size_t n = group.size();
+    // Count the group before its tickets can resolve: a caller sampling
+    // stats right after ticket.get() must see this batch, and drain()
+    // (which gates counters(kSettled)) only waits on unsettled_ below.
+    stat_batches_.fetch_add(1, std::memory_order_relaxed);
+    stat_flushed_.fetch_add(n, std::memory_order_relaxed);
     flush_(std::move(group));  // resolves every ticket, success or failure
 
     unsettled_.fetch_sub(n, std::memory_order_release);
-    stat_batches_.fetch_add(1, std::memory_order_relaxed);
-    stat_flushed_.fetch_add(n, std::memory_order_relaxed);
     {
       common::MutexLock lk(mu_);
       inflight_ = 0;

@@ -136,6 +136,26 @@ class WritePipeline {
   /// shutdown. Never call while holding the store's state lock.
   [[nodiscard]] WriteTicket submit(Pending p) EXCLUDES(mu_);
 
+  // Non-blocking admission, in two steps so the caller can journal the
+  // admission BETWEEN them: try_reserve() claims a queue slot (or reports
+  // busy), then submit_reserved() consumes the reservation without ever
+  // blocking. A kBusy rejection therefore happens before anything reaches
+  // the journal — no ghost admission for recover() to re-execute — while a
+  // successful reservation guarantees the journaled write is also queued.
+
+  /// Claims one queue slot without blocking. Returns false when the queue
+  /// (live + reserved) is at capacity — the caller should surface kBusy.
+  /// Throws PreconditionError after shutdown. On success the caller MUST
+  /// follow with submit_reserved() or release_reservation().
+  [[nodiscard]] bool try_reserve() EXCLUDES(mu_);
+
+  /// Enqueues a write into a slot claimed by try_reserve(). Never blocks.
+  [[nodiscard]] WriteTicket submit_reserved(Pending p) EXCLUDES(mu_);
+
+  /// Returns a try_reserve() slot unused (the step between reserve and
+  /// enqueue failed, e.g. the journal append threw).
+  void release_reservation() EXCLUDES(mu_);
+
   /// Makes a flush due now (ticket waits, drains) regardless of thresholds.
   void request_flush() EXCLUDES(mu_);
 
@@ -165,6 +185,7 @@ class WritePipeline {
     std::uint64_t batches = 0;              // groups flushed
     std::uint64_t flushed_writes = 0;       // writes those groups carried
     std::uint64_t backpressure_stalls = 0;  // submits that hit a full queue
+    std::uint64_t busy_rejected = 0;        // try_reserve calls turned away
   };
   [[nodiscard]] Stats stats() const;
 
@@ -186,6 +207,7 @@ class WritePipeline {
   std::condition_variable_any cv_space_;  // wakes backpressured submitters
   std::condition_variable_any cv_done_;   // wakes drain() after each round
   std::deque<Pending> queue_ GUARDED_BY(mu_);
+  std::size_t reserved_ GUARDED_BY(mu_) = 0;  // try_reserve slots not yet enqueued
   std::size_t queued_bytes_ GUARDED_BY(mu_) = 0;
   std::size_t inflight_ GUARDED_BY(mu_) = 0;
   bool flush_requested_ GUARDED_BY(mu_) = false;
@@ -196,6 +218,7 @@ class WritePipeline {
   std::atomic<std::uint64_t> stat_batches_{0};
   std::atomic<std::uint64_t> stat_flushed_{0};
   std::atomic<std::uint64_t> stat_stalls_{0};
+  std::atomic<std::uint64_t> stat_busy_{0};
 
   // Last: the committer must be joined before anything above goes away.
   std::unique_ptr<common::ThreadPool> committer_;

@@ -1,0 +1,16 @@
+// lint fixture: the network front-end reaching around the session layer
+// straight to the store. Linted as src/server/bad_direct_store.cpp, where
+// rule server-store-isolation must flag both the include and every use of
+// the raw store type — a request handled this way carries no principal and
+// no freshness watermark.
+#include "worm/worm_store.hpp"
+
+namespace worm::server {
+
+// A "convenient" handler that takes the store directly instead of the
+// connection's WormSession.
+core::Sn sneaky_direct_write(core::WormStore& store) {
+  return store.write({.payloads = {}, .attr = {}});
+}
+
+}  // namespace worm::server

@@ -1,0 +1,19 @@
+// lint fixture: the sanctioned shape for src/server/ code — every store
+// touch goes through the connection's WormSession (worm/session.hpp), which
+// carries the principal and the freshness watermark. Mentioning the store
+// type in comments is fine (this rule reads code, not prose: WormStore).
+#include "worm/session.hpp"
+
+namespace worm::server {
+
+core::Sn session_write(core::WormSession& session,
+                       core::WriteRequest request) {
+  // The session is the choke point; worm_store.hpp never appears here.
+  return session.write(request);
+}
+
+core::ReadOutcome session_read(core::WormSession& session, core::Sn sn) {
+  return session.read(sn);
+}
+
+}  // namespace worm::server

@@ -1,0 +1,296 @@
+// Wire-protocol robustness, mirroring commands_fuzz_test for the network
+// frames: every opcode round-trips, every strict truncation raises
+// ParseError, deterministic bit/byte mutations never escape as anything but
+// ParseError, and the status/opcode code spaces are exactly the frozen sets.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "crypto/drbg.hpp"
+#include "server/protocol.hpp"
+#include "worm/status.hpp"
+
+namespace worm::server {
+namespace {
+
+using common::ByteReader;
+using common::Bytes;
+using common::ParseError;
+
+Request sample_request(MsgOp op) {
+  Request req;
+  req.op = op;
+  req.rid = 0x1234'5678'9abc'def0ull;
+  switch (op) {
+    case MsgOp::kHello:
+      req.version = kProtocolVersion;
+      req.principal = "auditor@example";
+      req.token = Bytes(32, 0xa7);
+      break;
+    case MsgOp::kWrite:
+      req.write.payloads = {common::to_bytes("record one"),
+                            common::to_bytes("record two")};
+      req.write.attr.retention = common::Duration::days(30);
+      req.write.attr.regulation_policy = 17;
+      req.write.mode = core::WitnessMode::kDeferred;
+      break;
+    case MsgOp::kRead:
+      req.sn = 42;
+      break;
+    case MsgOp::kLitHold:
+    case MsgOp::kLitRelease:
+      req.lit.sn = 7;
+      req.lit.lit_id = 99;
+      req.lit.hold_until = common::SimTime{123456789};
+      req.lit.cred_issued_at = common::SimTime{1000};
+      req.lit.credential = Bytes(64, 0x3c);
+      break;
+    case MsgOp::kPing:
+      break;
+  }
+  return req;
+}
+
+const std::vector<MsgOp> kAllOps = {MsgOp::kHello,   MsgOp::kWrite,
+                                    MsgOp::kRead,    MsgOp::kLitHold,
+                                    MsgOp::kLitRelease, MsgOp::kPing};
+
+TEST(WireFuzz, RequestRoundTripEveryOpcode) {
+  for (MsgOp op : kAllOps) {
+    Request req = sample_request(op);
+    Request back = decode_request(encode_request(req));
+    EXPECT_EQ(back.op, req.op) << to_string(op);
+    EXPECT_EQ(back.rid, req.rid);
+    switch (op) {
+      case MsgOp::kHello:
+        EXPECT_EQ(back.version, req.version);
+        EXPECT_EQ(back.principal, req.principal);
+        EXPECT_EQ(back.token, req.token);
+        break;
+      case MsgOp::kWrite:
+        EXPECT_EQ(back.write.payloads, req.write.payloads);
+        EXPECT_EQ(back.write.attr, req.write.attr);
+        EXPECT_EQ(back.write.mode, req.write.mode);
+        break;
+      case MsgOp::kRead:
+        EXPECT_EQ(back.sn, req.sn);
+        break;
+      case MsgOp::kLitHold:
+      case MsgOp::kLitRelease:
+        EXPECT_EQ(back.lit.sn, req.lit.sn);
+        EXPECT_EQ(back.lit.lit_id, req.lit.lit_id);
+        EXPECT_EQ(back.lit.hold_until.ns, req.lit.hold_until.ns);
+        EXPECT_EQ(back.lit.cred_issued_at.ns, req.lit.cred_issued_at.ns);
+        EXPECT_EQ(back.lit.credential, req.lit.credential);
+        break;
+      case MsgOp::kPing:
+        break;
+    }
+  }
+}
+
+std::vector<Response> sample_responses() {
+  std::vector<Response> out;
+
+  Response read_ok;
+  read_ok.op = MsgOp::kRead;
+  read_ok.rid = 1;
+  read_ok.status = core::WireStatus::kOk;
+  core::ReadOk ok;
+  ok.vrd.sn = 42;
+  ok.vrd.data_hash = Bytes(32, 0x11);
+  ok.payloads = {common::to_bytes("payload")};
+  read_ok.outcome = core::ReadOutcome(std::move(ok));
+  out.push_back(std::move(read_ok));
+
+  Response read_gone;
+  read_gone.op = MsgOp::kRead;
+  read_gone.rid = 2;
+  read_gone.status = core::WireStatus::kNotAllocated;
+  core::SignedSnCurrent cur;
+  cur.sn_current = 41;
+  cur.stamped_at = common::SimTime{5555};
+  cur.sig = Bytes(128, 0x2d);
+  read_gone.attestation = cur;
+  read_gone.outcome = core::ReadOutcome(core::ReadNotAllocated{cur});
+  out.push_back(std::move(read_gone));
+
+  Response write_ok;
+  write_ok.op = MsgOp::kWrite;
+  write_ok.rid = 3;
+  write_ok.status = core::WireStatus::kOk;
+  write_ok.sn = 43;
+  out.push_back(std::move(write_ok));
+
+  Response busy;
+  busy.op = MsgOp::kWrite;
+  busy.rid = 4;
+  busy.status = core::WireStatus::kBusy;
+  busy.message = "write pipeline at capacity";
+  out.push_back(std::move(busy));
+
+  Response err;
+  err.op = MsgOp::kLitHold;
+  err.rid = 5;
+  err.status = core::WireStatus::kPreconditionError;
+  err.message = "bad credential";
+  out.push_back(std::move(err));
+
+  Response pong;
+  pong.op = MsgOp::kPing;
+  pong.rid = 6;
+  pong.status = core::WireStatus::kOk;
+  out.push_back(std::move(pong));
+
+  return out;
+}
+
+TEST(WireFuzz, ResponseRoundTrip) {
+  for (const Response& resp : sample_responses()) {
+    Response back = decode_response(encode_response(resp));
+    EXPECT_EQ(back.op, resp.op);
+    EXPECT_EQ(back.rid, resp.rid);
+    EXPECT_EQ(back.status, resp.status);
+    EXPECT_EQ(back.attestation, resp.attestation);
+    EXPECT_EQ(back.sn, resp.sn);
+    EXPECT_EQ(back.message, resp.message);
+    EXPECT_EQ(back.outcome.status(), resp.outcome.status());
+  }
+}
+
+TEST(WireFuzz, EveryStrictRequestTruncationIsAParseError) {
+  for (MsgOp op : kAllOps) {
+    Bytes body = encode_request(sample_request(op));
+    for (std::size_t len = 0; len < body.size(); ++len) {
+      Bytes cut(body.begin(), body.begin() + static_cast<std::ptrdiff_t>(len));
+      EXPECT_THROW((void)decode_request(cut), ParseError)
+          << to_string(op) << " truncated to " << len << "/" << body.size();
+    }
+  }
+}
+
+TEST(WireFuzz, EveryStrictResponseTruncationIsAParseError) {
+  for (const Response& resp : sample_responses()) {
+    Bytes body = encode_response(resp);
+    for (std::size_t len = 0; len < body.size(); ++len) {
+      Bytes cut(body.begin(), body.begin() + static_cast<std::ptrdiff_t>(len));
+      EXPECT_THROW((void)decode_response(cut), ParseError)
+          << to_string(resp.op) << " truncated to " << len << "/"
+          << body.size();
+    }
+  }
+}
+
+TEST(WireFuzz, MutatedBodiesNeverEscapeAsAnythingButParseError) {
+  crypto::Drbg rng(0xf02);
+  for (MsgOp op : kAllOps) {
+    Bytes base = encode_request(sample_request(op));
+    for (int round = 0; round < 400; ++round) {
+      Bytes body = base;
+      std::uint64_t edits = 1 + rng.uniform(4);
+      for (std::uint64_t e = 0; e < edits; ++e) {
+        std::size_t at = rng.uniform(body.size());
+        body[at] = static_cast<std::uint8_t>(rng.uniform(256));
+      }
+      try {
+        (void)decode_request(body);  // a benign mutation may still parse
+      } catch (const ParseError&) {
+      }
+    }
+  }
+  for (const Response& resp : sample_responses()) {
+    Bytes base = encode_response(resp);
+    for (int round = 0; round < 400; ++round) {
+      Bytes body = base;
+      std::size_t at = rng.uniform(base.size());
+      body[at] ^= static_cast<std::uint8_t>(1u << rng.uniform(8));
+      try {
+        (void)decode_response(body);
+      } catch (const ParseError&) {
+      }
+    }
+  }
+}
+
+TEST(WireFuzz, OpcodeSpaceIsExactlyTheFrozenSet) {
+  int valid = 0;
+  for (int v = 0; v < 256; ++v) {
+    try {
+      MsgOp op = msg_op_from_u8(static_cast<std::uint8_t>(v));
+      EXPECT_EQ(static_cast<int>(op), v);
+      ++valid;
+    } catch (const ParseError&) {
+    }
+  }
+  EXPECT_EQ(valid, 6);
+}
+
+TEST(WireFuzz, StatusSpaceIsExactlyTheFrozenSet) {
+  int valid = 0;
+  for (std::uint32_t v = 0; v <= 0xffff; ++v) {
+    try {
+      core::WireStatus s =
+          core::wire_status_from_u16(static_cast<std::uint16_t>(v));
+      EXPECT_EQ(static_cast<std::uint32_t>(s), v);
+      ++valid;
+    } catch (const ParseError&) {
+    }
+  }
+  // 8 read-family + 4 server rejections + 11 error taxonomy codes.
+  EXPECT_EQ(valid, 23);
+}
+
+TEST(WireFuzz, FramingReassemblyAndOversizeCutoff) {
+  Bytes body = encode_request(sample_request(MsgOp::kRead));
+  Bytes frame = encode_frame(body);
+
+  // Byte-at-a-time arrival: no frame until the last byte lands.
+  Bytes buf;
+  for (std::size_t i = 0; i + 1 < frame.size(); ++i) {
+    buf.push_back(frame[i]);
+    EXPECT_FALSE(take_frame(buf, kMaxFrameBytes).has_value());
+  }
+  buf.push_back(frame.back());
+  auto got = take_frame(buf, kMaxFrameBytes);
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(*got, body);
+  EXPECT_TRUE(buf.empty());
+
+  // Two frames back to back come out in order.
+  Bytes two = encode_frame(body);
+  Bytes second_body = encode_request(sample_request(MsgOp::kPing));
+  Bytes second = encode_frame(second_body);
+  two.insert(two.end(), second.begin(), second.end());
+  EXPECT_EQ(*take_frame(two, kMaxFrameBytes), body);
+  EXPECT_EQ(*take_frame(two, kMaxFrameBytes), second_body);
+  EXPECT_TRUE(two.empty());
+
+  // A declared length beyond the bound is rejected before the body arrives.
+  Bytes huge = {0xff, 0xff, 0xff, 0x7f};
+  EXPECT_THROW((void)take_frame(huge, kMaxFrameBytes), ParseError);
+}
+
+TEST(WireFuzz, ErrorTaxonomyRoundTripsThroughClassify) {
+  // Every typed error classifies to a stable code, crosses the wire as a
+  // status, and throw_wire_error reconstructs the matching type.
+  EXPECT_THROW(core::throw_wire_error(core::WireStatus::kTransientStorageError,
+                                      "disk hiccup"),
+               common::TransientStorageError);
+  EXPECT_THROW(
+      core::throw_wire_error(core::WireStatus::kPreconditionError, "nope"),
+      common::PreconditionError);
+  EXPECT_THROW(core::throw_wire_error(core::WireStatus::kScpuDead, "gone"),
+               core::ScpuDeadError);
+  EXPECT_THROW(core::throw_wire_error(core::WireStatus::kNetError, "reset"),
+               common::NetError);
+
+  EXPECT_EQ(core::classify(common::TransientStorageError("x")),
+            core::ErrorCode::kTransientStorage);
+  EXPECT_EQ(core::classify(core::ScpuDeadError("x")), core::ErrorCode::kScpuDead);
+  EXPECT_EQ(core::classify(std::runtime_error("x")), core::ErrorCode::kInternal);
+  EXPECT_EQ(core::to_wire(core::ErrorCode::kTransientStorage),
+            core::WireStatus::kTransientStorageError);
+}
+
+}  // namespace
+}  // namespace worm::server

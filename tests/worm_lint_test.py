@@ -26,6 +26,9 @@ EXPECTED_RULE = {
     "bad_raw_mutex.cpp": "raw-mutex",
     "bad_fault_bypass.cpp": "fault-bypass",
     "bad_blocking_wait.cpp": "blocking-under-state-mu",
+    # Lives in a server/ subdirectory so --as-src maps it to src/server/,
+    # the scope the rule guards.
+    "server/bad_direct_store.cpp": "server-store-isolation",
 }
 
 failures = []
@@ -61,6 +64,12 @@ def main():
     # strings, continuations, (void) discards or the annotated wrappers.
     r = run_lint("--as-src", str(FIXTURES / "good_patterns.cpp"))
     check("good_patterns:clean", r.returncode == 0,
+          f"rc={r.returncode}\n{r.stdout}")
+
+    # The session-layer shape is clean inside src/server/ (comments naming
+    # the store type don't count; only code does).
+    r = run_lint("--as-src", str(FIXTURES / "server" / "good_session_use.cpp"))
+    check("good_session_use:clean", r.returncode == 0,
           f"rc={r.returncode}\n{r.stdout}")
 
     # (d) seeding a violation into src/ fails the tree scan: copy the repo's

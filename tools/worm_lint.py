@@ -45,6 +45,14 @@ enforces the architectural invariants that no single-TU analysis can see:
                       MutexLock/ExclusiveLock/SharedLock on state_mu_, those
                       calls are banned; non-blocking pokes are fine.
 
+  server-store-isolation
+                      The network front-end (src/server/) serves mutually
+                      distrusting principals and must route every store
+                      operation through the session layer (worm/session.hpp),
+                      where the principal and freshness watermark live.
+                      Naming WormStore or including worm/worm_store.hpp from
+                      src/server/ bypasses that choke point.
+
   fault-bypass        Fault points are declared only via the
                       WORM_FAULT_POINT(injector, "site") macro, which is
                       null-safe and keeps the complete fault surface
@@ -110,6 +118,7 @@ FALLIBLE_APIS = [
     ("write_batch", "src/worm/worm_store.hpp"),
     ("read_many", "src/worm/worm_store.hpp"),
     ("write_async", "src/worm/worm_store.hpp"),
+    ("try_write_async", "src/worm/worm_store.hpp"),
 ]
 
 # A bare statement that begins with an (optionally qualified) call to one of
@@ -145,6 +154,15 @@ STATE_LOCK_PATTERN = re.compile(
 BLOCKING_WAIT_PATTERN = re.compile(
     r"\bdrain_writes\s*\(|"
     r"(?:\.|->)\s*(?:get|submit|drain|shutdown_drop)\s*\("
+)
+
+# src/server/ may only reach the store through WormSession: the raw store
+# type (or its header) appearing there bypasses the principal/freshness choke
+# point. worm/session.hpp itself includes the store header — that is the one
+# sanctioned crossing, and it lives outside src/server/.
+SERVER_ISOLATION_SCOPE = re.compile(r"^src/server/")
+SERVER_STORE_PATTERN = re.compile(
+    r"\bWormStore\b|#\s*include\s*[<\"]worm/worm_store\.hpp[>\"]"
 )
 
 FAULT_BYPASS_PATTERN = re.compile(r"\bevaluate_site\s*\(")
@@ -218,6 +236,7 @@ def lint_file(rel: str, text: str) -> list[Finding]:
     lines = code.split("\n")
 
     scpu_exempt = bool(SCPU_ALLOWLIST.match(rel))
+    server_scoped = bool(SERVER_ISOLATION_SCOPE.match(rel))
     clock_exempt = bool(WALL_CLOCK_ALLOWLIST.match(rel))
     mutex_exempt = bool(RAW_MUTEX_ALLOWLIST.match(rel))
     fault_exempt = bool(FAULT_BYPASS_ALLOWLIST.match(rel))
@@ -272,6 +291,13 @@ def lint_file(rel: str, text: str) -> list[Finding]:
                 "raw std synchronization primitive; use the annotated "
                 "wrappers from common/annotations.hpp so thread-safety "
                 "analysis can see the lock"))
+
+        if server_scoped and SERVER_STORE_PATTERN.search(line):
+            findings.append(Finding(
+                "server-store-isolation", rel, lineno,
+                "direct WormStore access from src/server/; the front-end "
+                "must go through the session layer (worm/session.hpp) so "
+                "every operation carries a principal and freshness state"))
 
         if not fault_exempt and FAULT_BYPASS_PATTERN.search(line):
             findings.append(Finding(
@@ -358,7 +384,14 @@ def main(argv: list[str]) -> int:
             if not path.is_file():
                 print(f"worm-lint: no such file: {path}", file=sys.stderr)
                 return 2
-            findings.extend(lint_file(f"src/{path.name}", path.read_text()))
+            # Fixtures keep their parent directory when it names a src/
+            # subtree (tests/lint_fixtures/server/x.cpp lints as
+            # src/server/x.cpp) so path-scoped rules apply to them.
+            parent = path.parent.name
+            rel = (f"src/{parent}/{path.name}"
+                   if parent not in ("", "lint_fixtures") else
+                   f"src/{path.name}")
+            findings.extend(lint_file(rel, path.read_text()))
     else:
         repo = args.repo
         if not (repo / "src").is_dir():
