@@ -190,6 +190,14 @@ int poll_fds(std::vector<PollFd>& fds, Duration timeout) {
   }
 }
 
+Duration now_real() {
+  timespec ts;
+  (void)::clock_gettime(CLOCK_MONOTONIC, &ts);
+  return Duration::nanos(static_cast<std::int64_t>(ts.tv_sec) *
+                             1'000'000'000 +
+                         ts.tv_nsec);
+}
+
 void sleep_real(Duration d) {
   if (d.ns <= 0) return;
   timespec ts;

@@ -4,12 +4,13 @@
 // states instead of errno spelunking at every call site.
 //
 // Real networking necessarily touches real kernel time (poll timeouts,
-// connect backoff), which the repo otherwise bans in src/ (worm-lint
-// wall-clock rule: the *simulation* must never consult the host clock). The
-// accommodation: timeouts are expressed as common::Duration and converted to
-// poll()'s millisecond argument here, sleeps go through sleep_real()'s
-// nanosleep — no std::chrono, no clock reads, so a server process can block
-// on I/O without the simulation observing wall time.
+// connect backoff, I/O deadlines), which the repo otherwise bans in src/
+// (worm-lint wall-clock rule: the *simulation* must never consult the host
+// clock). The accommodation: timeouts are expressed as common::Duration and
+// converted to poll()'s millisecond argument here, sleeps go through
+// sleep_real()'s nanosleep, and deadline arithmetic uses now_real()'s
+// monotonic stamp — which never flows into simulation logic, so a server
+// process can block on I/O without the simulation observing wall time.
 #pragma once
 
 #include <cstdint>
@@ -88,6 +89,13 @@ int poll_fds(std::vector<PollFd>& fds, Duration timeout);
 /// Real-time sleep via nanosleep — for client backoff between connect
 /// retries, never for simulation logic.
 void sleep_real(Duration d);
+
+/// Monotonic wall-time stamp (nanoseconds since an arbitrary epoch) for
+/// bounding real I/O with absolute deadlines — e.g. a client capping a whole
+/// request/response round trip rather than resetting its timeout on every
+/// partial read. Never for simulation logic: simulated time stays with
+/// SimClock.
+[[nodiscard]] Duration now_real();
 
 /// Exponential backoff schedule, the shape of ChannelRetryPolicy (PR 4)
 /// applied to connect/busy retries: initial * factor^attempt, capped.

@@ -109,14 +109,29 @@ Response WormClient::transact(Request req) {
   req.rid = next_rid_++;
   Bytes frame = encode_frame(encode_request(req));
 
+  // io_timeout bounds the whole round trip against an absolute deadline — a
+  // server that trickles one byte per poll wakeup cannot keep resetting the
+  // window and pin the caller indefinitely.
+  const common::Duration deadline = common::now_real() + config_.io_timeout;
+  auto remaining = [&](const char* stage) {
+    common::Duration left = deadline - common::now_real();
+    if (left.ns <= 0) {
+      throw NetError("WormClient: io_timeout exceeded while " +
+                     std::string(stage) + " " +
+                     std::string(to_string(req.op)));
+    }
+    return left;
+  };
+
   std::size_t off = 0;
   while (off < frame.size()) {
     IoResult r = common::write_some(sock_, frame, off);
     if (r == IoResult::kOk) continue;
     if (r == IoResult::kWouldBlock) {
-      // Blocking socket, but be safe: wait for writability.
+      // Blocking socket, but be safe: wait for writability. remaining()
+      // throws once the deadline passes, bounding a stalled send.
       std::vector<common::PollFd> pfds{{sock_.fd(), POLLOUT, 0}};
-      (void)common::poll_fds(pfds, config_.io_timeout);
+      (void)common::poll_fds(pfds, remaining("sending"));
       continue;
     }
     throw NetError("WormClient: connection lost while sending " +
@@ -125,7 +140,8 @@ Response WormClient::transact(Request req) {
 
   // The response may already be buffered from a previous partial read.
   for (;;) {
-    if (auto body = take_frame(in_, config_.max_frame)) {
+    if (auto body = take_frame(in_, in_off_, config_.max_frame)) {
+      compact_frames(in_, in_off_);
       Response resp = decode_response(*body);
       if (resp.rid != req.rid || resp.op != req.op) {
         throw common::ParseError(
@@ -141,10 +157,8 @@ Response WormClient::transact(Request req) {
       return resp;
     }
     std::vector<common::PollFd> pfds{{sock_.fd(), POLLIN, 0}};
-    int ready = common::poll_fds(pfds, config_.io_timeout);
-    if (ready == 0) {
-      throw NetError("WormClient: timed out waiting for the " +
-                     std::string(to_string(req.op)) + " response");
+    if (common::poll_fds(pfds, remaining("awaiting a response to")) == 0) {
+      continue;  // the next remaining() call settles whether time is left
     }
     IoResult r = common::read_some(sock_, in_, 64 * 1024);
     if (r == IoResult::kClosed || r == IoResult::kError) {

@@ -40,7 +40,9 @@ struct ClientConfig {
   /// Connect attempts before giving up (each separated by backoff).
   std::uint32_t connect_attempts = 6;
   common::Backoff backoff;
-  /// Bound on waiting for a single response.
+  /// Absolute bound on one whole request/response round trip (send + wait,
+  /// measured against a monotonic deadline — a trickling server cannot reset
+  /// it).
   common::Duration io_timeout = common::Duration::seconds(10);
 };
 
@@ -99,6 +101,7 @@ class WormClient {
   ClientConfig config_;
   common::Socket sock_;
   common::Bytes in_;
+  std::size_t in_off_ = 0;  // consumed-frame offset; see compact_frames
   std::uint64_t next_rid_ = 1;
   std::optional<core::SignedSnCurrent> attestation_;
 };

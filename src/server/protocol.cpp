@@ -44,20 +44,37 @@ Bytes encode_frame(const Bytes& body) {
   return w.take();
 }
 
-std::optional<Bytes> take_frame(Bytes& buf, std::size_t max_body) {
-  if (buf.size() < 4) return std::nullopt;
-  std::uint32_t len = static_cast<std::uint32_t>(buf[0]) |
-                      (static_cast<std::uint32_t>(buf[1]) << 8) |
-                      (static_cast<std::uint32_t>(buf[2]) << 16) |
-                      (static_cast<std::uint32_t>(buf[3]) << 24);
+std::optional<Bytes> take_frame(const Bytes& buf, std::size_t& off,
+                                std::size_t max_body) {
+  if (buf.size() - off < 4) return std::nullopt;
+  std::uint32_t len = static_cast<std::uint32_t>(buf[off]) |
+                      (static_cast<std::uint32_t>(buf[off + 1]) << 8) |
+                      (static_cast<std::uint32_t>(buf[off + 2]) << 16) |
+                      (static_cast<std::uint32_t>(buf[off + 3]) << 24);
   if (len > max_body) {
     throw ParseError("frame of " + std::to_string(len) +
                      " bytes exceeds the " + std::to_string(max_body) +
                      "-byte bound");
   }
-  if (buf.size() < 4 + static_cast<std::size_t>(len)) return std::nullopt;
-  Bytes body(buf.begin() + 4, buf.begin() + 4 + static_cast<std::ptrdiff_t>(len));
-  buf.erase(buf.begin(), buf.begin() + 4 + static_cast<std::ptrdiff_t>(len));
+  if (buf.size() - off < 4 + static_cast<std::size_t>(len)) {
+    return std::nullopt;
+  }
+  auto begin = buf.begin() + static_cast<std::ptrdiff_t>(off) + 4;
+  Bytes body(begin, begin + static_cast<std::ptrdiff_t>(len));
+  off += 4 + static_cast<std::size_t>(len);
+  return body;
+}
+
+void compact_frames(Bytes& buf, std::size_t& off) {
+  if (off == 0) return;
+  buf.erase(buf.begin(), buf.begin() + static_cast<std::ptrdiff_t>(off));
+  off = 0;
+}
+
+std::optional<Bytes> take_frame(Bytes& buf, std::size_t max_body) {
+  std::size_t off = 0;
+  auto body = take_frame(buf, off, max_body);
+  compact_frames(buf, off);
   return body;
 }
 

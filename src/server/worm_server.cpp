@@ -93,6 +93,8 @@ WormServer::StatsSnapshot WormServer::stats() const {
   s.auth_failures = stats_.auth_failures.load();
   s.parse_errors = stats_.parse_errors.load();
   s.errors = stats_.errors.load();
+  s.accept_errors = stats_.accept_errors.load();
+  s.loop_errors = stats_.loop_errors.load();
   return s;
 }
 
@@ -186,9 +188,18 @@ void WormServer::handle_frame(Conn& conn, const Bytes& body) {
       resp.message = "unknown principal or bad token";
       conn.closing = true;
     } else {
-      conn.session = sessions_(req.principal);
-      conn.authed = true;
-      resp.status = core::WireStatus::kOk;
+      // The factory touches the store (e.g. it may be degraded); a throw
+      // here must become a wire error, not escape past loop_main.
+      try {
+        conn.session = sessions_(req.principal);
+        conn.authed = true;
+        resp.status = core::WireStatus::kOk;
+      } catch (const std::exception& e) {
+        stats_.errors.fetch_add(1, std::memory_order_relaxed);
+        resp.status = core::to_wire(core::classify(e));
+        resp.message = e.what();
+        conn.closing = true;
+      }
     }
     send_response(conn, resp);
     return;
@@ -284,114 +295,20 @@ void WormServer::loop_main(std::size_t loop_idx) {
   std::vector<std::unique_ptr<Conn>> conns;
   std::deque<common::Socket> fresh;
 
+  // An exception escaping a ThreadPool task terminates the process, so the
+  // loop body must never let one out: per-iteration failures (fd exhaustion
+  // in accept, a poll error) are logged and survived.
   while (!stop_.load(std::memory_order_acquire)) {
-    // Adopt connections dealt to this loop.
-    {
-      MutexLock lk(intake_mu_);
-      while (!intake_[loop_idx].empty()) {
-        fresh.push_back(std::move(intake_[loop_idx].front()));
-        intake_[loop_idx].pop_front();
+    try {
+      loop_iteration(loop_idx, conns, fresh);
+    } catch (const std::exception& e) {
+      std::uint64_t n =
+          stats_.loop_errors.fetch_add(1, std::memory_order_relaxed) + 1;
+      if ((n & (n - 1)) == 0) {  // log at 1, 2, 4, 8, ... to bound spam
+        WORM_WARN("server", "loop ", loop_idx, " iteration failed (error #",
+                  n, ", continuing): ", e.what());
       }
-    }
-    while (!fresh.empty()) {
-      auto conn = std::make_unique<Conn>();
-      conn->sock = std::move(fresh.front());
-      fresh.pop_front();
-      conns.push_back(std::move(conn));
-    }
-
-    // Poll: every connection for reads, writers for drain, loop 0 for
-    // accepts.
-    std::vector<common::PollFd> pfds;
-    pfds.reserve(conns.size() + 1);
-    if (loop_idx == 0) {
-      pfds.push_back({listener_.fd(), POLLIN, 0});
-    }
-    for (const auto& conn : conns) {
-      short events = POLLIN;
-      if (conn->out_off < conn->out.size()) {
-        events = static_cast<short>(events | POLLOUT);
-      }
-      pfds.push_back({conn->sock.fd(), events, 0});
-    }
-    if (!pfds.empty()) {
-      (void)common::poll_fds(pfds, config_.poll_interval);
-    }
-
-    std::size_t base = 0;
-    if (loop_idx == 0) {
-      base = 1;
-      if ((pfds[0].revents & POLLIN) != 0) accept_pending(fresh);
-    }
-
-    bool had_writes = false;
-    for (std::size_t i = 0; i < conns.size(); ++i) {
-      Conn& conn = *conns[i];
-      short rev = pfds[base + i].revents;
-
-      if (!conn.closing && (rev & (POLLIN | POLLHUP | POLLERR)) != 0) {
-        for (;;) {
-          IoResult r = common::read_some(conn.sock, conn.in, 64 * 1024);
-          if (r == IoResult::kOk) continue;
-          if (r == IoResult::kWouldBlock) break;
-          conn.closing = true;  // kClosed / kError: peer is gone
-          conn.out.clear();
-          conn.out_off = 0;
-          break;
-        }
-        try {
-          while (auto body = take_frame(conn.in, config_.max_frame)) {
-            handle_frame(conn, *body);
-            if (conn.closing) break;
-          }
-        } catch (const common::ParseError&) {
-          // Oversized/undecodable framing: the stream cannot be resynced.
-          stats_.parse_errors.fetch_add(1, std::memory_order_relaxed);
-          conn.closing = true;
-        }
-      }
-
-      resolve_pending(conn);
-      if (!conn.pending.empty()) had_writes = true;
-
-      // Flush what the kernel will take.
-      while (conn.out_off < conn.out.size()) {
-        IoResult r = common::write_some(conn.sock, conn.out, conn.out_off);
-        if (r == IoResult::kOk) continue;
-        if (r != IoResult::kWouldBlock) {
-          conn.closing = true;
-          conn.pending.clear();
-        }
-        break;
-      }
-      if (conn.out_off >= conn.out.size()) {
-        conn.out.clear();
-        conn.out_off = 0;
-      }
-    }
-
-    // Keep the committer moving while any admission is unresolved: groups
-    // form from whatever arrived this iteration instead of waiting out the
-    // simulated linger window (which nothing advances in a server process).
-    if (had_writes) {
-      for (const auto& conn : conns) {
-        if (conn->session != nullptr && !conn->pending.empty()) {
-          conn->session->poke_writes();
-          break;  // one nudge reaches the shared pipeline
-        }
-      }
-    }
-
-    // Reap: closing connections with nothing left to flush (or dead pipes).
-    for (auto it = conns.begin(); it != conns.end();) {
-      Conn& conn = **it;
-      bool drained = conn.out_off >= conn.out.size();
-      if (conn.closing && conn.pending.empty() && drained) {
-        live_conns_.fetch_sub(1, std::memory_order_relaxed);
-        it = conns.erase(it);
-      } else {
-        ++it;
-      }
+      common::sleep_real(config_.poll_interval);  // don't spin on a hot fault
     }
   }
 
@@ -399,6 +316,140 @@ void WormServer::loop_main(std::size_t loop_idx) {
   for (const auto& conn : conns) {
     live_conns_.fetch_sub(1, std::memory_order_relaxed);
     (void)conn;
+  }
+}
+
+void WormServer::loop_iteration(std::size_t loop_idx,
+                                std::vector<std::unique_ptr<Conn>>& conns,
+                                std::deque<common::Socket>& fresh) {
+  // Adopt connections dealt to this loop.
+  {
+    MutexLock lk(intake_mu_);
+    while (!intake_[loop_idx].empty()) {
+      fresh.push_back(std::move(intake_[loop_idx].front()));
+      intake_[loop_idx].pop_front();
+    }
+  }
+  while (!fresh.empty()) {
+    auto conn = std::make_unique<Conn>();
+    conn->sock = std::move(fresh.front());
+    fresh.pop_front();
+    conns.push_back(std::move(conn));
+  }
+
+  // Poll: every connection for reads, writers for drain, loop 0 for
+  // accepts.
+  std::vector<common::PollFd> pfds;
+  pfds.reserve(conns.size() + 1);
+  if (loop_idx == 0) {
+    pfds.push_back({listener_.fd(), POLLIN, 0});
+  }
+  for (const auto& conn : conns) {
+    short events = POLLIN;
+    if (conn->out_off < conn->out.size()) {
+      events = static_cast<short>(events | POLLOUT);
+    }
+    pfds.push_back({conn->sock.fd(), events, 0});
+  }
+  if (!pfds.empty()) {
+    (void)common::poll_fds(pfds, config_.poll_interval);
+  }
+
+  std::size_t base = 0;
+  if (loop_idx == 0) {
+    base = 1;
+    if ((pfds[0].revents & POLLIN) != 0) {
+      try {
+        accept_pending(fresh);
+      } catch (const common::NetError& e) {
+        // EMFILE/ENFILE under a connection flood is transient: the backlog
+        // stays pending and the next POLLIN retries once fds free up.
+        std::uint64_t n =
+            stats_.accept_errors.fetch_add(1, std::memory_order_relaxed) + 1;
+        if ((n & (n - 1)) == 0) {
+          WORM_WARN("server", "accept failed (error #", n, "): ", e.what());
+        }
+      }
+    }
+  }
+
+  bool had_writes = false;
+  for (std::size_t i = 0; i < conns.size(); ++i) {
+    Conn& conn = *conns[i];
+    short rev = pfds[base + i].revents;
+
+    if (!conn.closing && (rev & (POLLIN | POLLHUP | POLLERR)) != 0) {
+      for (;;) {
+        IoResult r = common::read_some(conn.sock, conn.in, 64 * 1024);
+        if (r == IoResult::kOk) continue;
+        if (r == IoResult::kWouldBlock) break;
+        conn.closing = true;  // kClosed / kError: peer is gone
+        conn.out.clear();
+        conn.out_off = 0;
+        break;
+      }
+      try {
+        while (auto body =
+                   take_frame(conn.in, conn.in_off, config_.max_frame)) {
+          handle_frame(conn, *body);
+          if (conn.closing) break;
+        }
+      } catch (const common::ParseError&) {
+        // Oversized/undecodable framing: the stream cannot be resynced.
+        stats_.parse_errors.fetch_add(1, std::memory_order_relaxed);
+        conn.closing = true;
+      }
+      // One compaction per drain, so a pipelined burst is linear in the
+      // bytes buffered instead of quadratic (per-frame front erase).
+      compact_frames(conn.in, conn.in_off);
+    }
+
+    resolve_pending(conn);
+    if (!conn.pending.empty()) had_writes = true;
+
+    // Flush what the kernel will take.
+    while (conn.out_off < conn.out.size()) {
+      IoResult r = common::write_some(conn.sock, conn.out, conn.out_off);
+      if (r == IoResult::kOk) continue;
+      if (r != IoResult::kWouldBlock) {
+        // Peer reset mid-response: nothing more can be delivered. Drop the
+        // backlog too, or the reap below would wait forever for a drain
+        // that can never happen (leaking the Conn and its fd).
+        conn.closing = true;
+        conn.pending.clear();
+        conn.out.clear();
+        conn.out_off = 0;
+      }
+      break;
+    }
+    if (conn.out_off >= conn.out.size()) {
+      conn.out.clear();
+      conn.out_off = 0;
+    }
+  }
+
+  // Keep the committer moving while any admission is unresolved: groups
+  // form from whatever arrived this iteration instead of waiting out the
+  // simulated linger window (which nothing advances in a server process).
+  if (had_writes) {
+    for (const auto& conn : conns) {
+      if (conn->session != nullptr && !conn->pending.empty()) {
+        conn->session->poke_writes();
+        break;  // one nudge reaches the shared pipeline
+      }
+    }
+  }
+
+  // Reap: closing connections with nothing left to flush (or dead pipes).
+  for (auto it = conns.begin(); it != conns.end();) {
+    Conn& conn = **it;
+    bool drained = conn.out_off >= conn.out.size();
+    if (conn.closing && conn.pending.empty() && drained) {
+      live_conns_.fetch_sub(1, std::memory_order_relaxed);
+      it = conns.erase(it);
+    } else {
+      ++it;
+    }
   }
 }
 

@@ -116,6 +116,8 @@ class WormServer {
     std::uint64_t auth_failures = 0;
     std::uint64_t parse_errors = 0;    // malformed frames (connection dropped)
     std::uint64_t errors = 0;          // exceptions mapped to error statuses
+    std::uint64_t accept_errors = 0;   // accept() failures (e.g. EMFILE)
+    std::uint64_t loop_errors = 0;     // event-loop iterations that threw
   };
   [[nodiscard]] StatsSnapshot stats() const;
 
@@ -128,6 +130,7 @@ class WormServer {
   struct Conn {
     common::Socket sock;
     common::Bytes in;
+    std::size_t in_off = 0;  // consumed-frame offset; see compact_frames
     common::Bytes out;
     std::size_t out_off = 0;
     bool authed = false;
@@ -139,6 +142,11 @@ class WormServer {
   };
 
   void loop_main(std::size_t loop_idx);
+  /// One poll/dispatch/flush/reap pass; any exception it raises is caught in
+  /// loop_main (an escape would take down the whole process).
+  void loop_iteration(std::size_t loop_idx,
+                      std::vector<std::unique_ptr<Conn>>& conns,
+                      std::deque<common::Socket>& fresh);
   void accept_pending(std::deque<common::Socket>& local);
   /// Handles one decoded frame; appends the response to conn.out.
   void handle_frame(Conn& conn, const common::Bytes& body);
@@ -171,6 +179,8 @@ class WormServer {
     std::atomic<std::uint64_t> auth_failures{0};
     std::atomic<std::uint64_t> parse_errors{0};
     std::atomic<std::uint64_t> errors{0};
+    std::atomic<std::uint64_t> accept_errors{0};
+    std::atomic<std::uint64_t> loop_errors{0};
   };
   Stats stats_;
 

@@ -10,6 +10,7 @@
 #include <optional>
 #include <poll.h>
 #include <string>
+#include <sys/socket.h>
 #include <thread>
 #include <vector>
 
@@ -374,6 +375,192 @@ TEST(WormServer, OverloadAnswersBusyInsteadOfStalling) {
       << "a 1-deep queue under 6 concurrent writers must reject some";
   EXPECT_EQ(srv.server->stats().busy, busy_seen.load());
   EXPECT_EQ(counters.at("write_pipeline.busy_rejected"), busy_seen.load());
+}
+
+TEST(WormServer, ThrowingSessionFactoryAnswersErrorAndSurvives) {
+  Rig rig({}, pipelined());
+  AuthRegistry auth;
+  auth.add("alice", common::to_bytes("alice-secret"));
+  auth.add("deadbeat", common::to_bytes("deadbeat-secret"));
+  WormServer server(
+      ServerConfig{}, auth,
+      [&rig](std::string_view principal)
+          -> std::unique_ptr<core::WormSession> {
+        if (principal == "deadbeat") {
+          throw common::InternalError("store degraded during session mint");
+        }
+        return std::make_unique<core::WormSession>(
+            rig.store, std::string(principal), rig.clock);
+      });
+  server.start();
+
+  // A factory throw must come back as a wire error on the offending
+  // connection, not escape the event loop (which would kill the process).
+  common::Socket sock = common::connect_tcp_loopback(server.port());
+  Request hello;
+  hello.op = MsgOp::kHello;
+  hello.rid = 7;
+  hello.version = kProtocolVersion;
+  hello.principal = "deadbeat";
+  hello.token = auth.mint("deadbeat");
+  Response resp = raw_transact(sock, hello);
+  EXPECT_EQ(resp.status, core::WireStatus::kInternalError);
+  EXPECT_EQ(resp.rid, 7u);
+  EXPECT_GE(server.stats().errors, 1u);
+
+  // The server survived; a healthy principal still authenticates.
+  ClientConfig ok;
+  ok.tcp_port = server.port();
+  ok.principal = "alice";
+  ok.token = auth.mint("alice");
+  WormClient client(std::move(ok));
+  client.ping();
+}
+
+TEST(WormServer, AbruptPeerResetIsReapedNotLeaked) {
+  ServerConfig cfg;
+  cfg.max_connections = 1;
+  ServerRig srv(pipelined(), cfg);
+
+  {
+    // Seed one fat record so read responses dwarf the socket buffers.
+    WormClient writer = srv.connect("alice");
+    core::WriteRequest big = srv.record("x");
+    big.payloads = {Bytes(256 * 1024, 0xab)};
+    ASSERT_TRUE(writer.write(std::move(big)).ok());
+  }  // orderly close frees the single connection slot
+
+  {
+    // Pipeline far more read responses than the kernel will buffer, never
+    // read any, then reset the connection. The stranded response backlog
+    // must not pin the Conn forever.
+    Request hello;
+    hello.op = MsgOp::kHello;
+    hello.rid = 1;
+    hello.version = kProtocolVersion;
+    hello.principal = "alice";
+    hello.token = srv.auth.mint("alice");
+    common::Socket sock;
+    std::optional<Response> resp;
+    for (int i = 0; i < 5000 && !resp.has_value(); ++i) {
+      try {
+        sock = common::connect_tcp_loopback(srv.server->port());
+        resp = raw_transact(sock, hello);
+      } catch (const common::NetError&) {
+        common::sleep_real(Duration::millis(1));  // writer slot not yet freed
+      }
+    }
+    ASSERT_TRUE(resp.has_value());
+    ASSERT_EQ(resp->status, core::WireStatus::kOk);
+
+    Request read;
+    read.op = MsgOp::kRead;
+    read.sn = 1;
+    Bytes burst;
+    for (std::uint64_t rid = 2; rid < 202; ++rid) {
+      read.rid = rid;
+      Bytes frame = encode_frame(encode_request(read));
+      burst.insert(burst.end(), frame.begin(), frame.end());
+    }
+    // A trailing garbage frame flips the connection to closing (reads stop)
+    // while the response backlog is still queued — the exact state where a
+    // failed flush used to strand the Conn forever.
+    Bytes garbage = encode_frame({0xde, 0xad});
+    burst.insert(burst.end(), garbage.begin(), garbage.end());
+    std::size_t off = 0;
+    while (off < burst.size()) {
+      ASSERT_NE(common::write_some(sock, burst, off),
+                common::IoResult::kError);
+    }
+    // Wait for the server to decode the burst (an RST would discard
+    // anything still sitting unread in its receive buffer).
+    for (int i = 0; i < 5000 && srv.server->stats().requests < 202; ++i) {
+      common::sleep_real(Duration::millis(1));
+    }
+    ASSERT_GE(srv.server->stats().requests, 202u);
+    // RST instead of FIN: the server's next write on this connection fails.
+    struct linger hard {1, 0};
+    ASSERT_EQ(::setsockopt(sock.fd(), SOL_SOCKET, SO_LINGER, &hard,
+                           sizeof(hard)),
+              0);
+  }  // destructor closes -> RST
+
+  // With max_connections = 1, a fresh client only gets in once the dead
+  // connection is reaped (fd released, live count decremented). The TCP
+  // connect itself lands in the backlog regardless, so retry the whole
+  // handshake: until the reap, the server accepts and immediately closes.
+  std::optional<WormClient> replacement;
+  for (int i = 0; i < 5000 && !replacement.has_value(); ++i) {
+    try {
+      replacement.emplace(srv.client_config("bob"));
+    } catch (const common::NetError&) {
+      common::sleep_real(Duration::millis(1));
+    }
+  }
+  ASSERT_TRUE(replacement.has_value())
+      << "dead connection was never reaped; its slot is leaked";
+  replacement->ping();
+}
+
+TEST(WormClient, IoTimeoutBoundsTheWholeRoundTrip) {
+  // A server that trickles one byte per poll wakeup must not keep resetting
+  // the client's timeout window: io_timeout is an absolute deadline on the
+  // round trip.
+  std::uint16_t port = 0;
+  common::Socket listener = common::listen_tcp_loopback(0, &port);
+
+  std::thread trickler([&listener] {
+    common::Socket conn;
+    for (int i = 0; i < 5000 && !conn.valid(); ++i) {
+      conn = common::accept_connection(listener);
+      if (!conn.valid()) common::sleep_real(Duration::millis(1));
+    }
+    if (!conn.valid()) return;
+
+    // Swallow the hello.
+    Bytes in;
+    std::size_t in_off = 0;
+    while (!take_frame(in, in_off, kMaxFrameBytes)) {
+      std::vector<common::PollFd> pfds{{conn.fd(), POLLIN, 0}};
+      if (common::poll_fds(pfds, Duration::seconds(5)) == 0) return;
+      auto r = common::read_some(conn, in, 4096);
+      if (r == common::IoResult::kClosed || r == common::IoResult::kError) {
+        return;
+      }
+    }
+
+    // Answer it correctly — but one byte per 100 ms, slower than the
+    // client's deadline yet faster than its per-poll window.
+    Response pong;
+    pong.op = MsgOp::kHello;
+    pong.rid = 1;
+    pong.status = core::WireStatus::kOk;
+    Bytes frame = encode_frame(encode_response(pong));
+    for (std::uint8_t byte : frame) {
+      Bytes one{byte};
+      std::size_t off = 0;
+      while (off < one.size()) {
+        auto r = common::write_some(conn, one, off);
+        if (r == common::IoResult::kWouldBlock) continue;
+        if (r != common::IoResult::kOk) return;  // client gave up: done
+      }
+      common::sleep_real(Duration::millis(100));
+    }
+  });
+
+  ClientConfig cfg;
+  cfg.tcp_port = port;
+  cfg.principal = "alice";
+  cfg.token = Bytes(32, 0x11);
+  cfg.connect_attempts = 1;
+  cfg.io_timeout = Duration::millis(400);
+  common::Duration start = common::now_real();
+  EXPECT_THROW((void)WormClient(std::move(cfg)), common::NetError);
+  common::Duration elapsed = common::now_real() - start;
+  // Well under the ~4 s the full trickle would take; generous upper bound
+  // for loaded CI machines.
+  EXPECT_LT(elapsed.ns, Duration::seconds(3).ns);
+  trickler.join();
 }
 
 TEST(WormServer, ConnectionCapRefusesTheOverflow) {

@@ -270,6 +270,45 @@ TEST(WireFuzz, FramingReassemblyAndOversizeCutoff) {
   EXPECT_THROW((void)take_frame(huge, kMaxFrameBytes), ParseError);
 }
 
+TEST(WireFuzz, OffsetDrainConsumesAPipelinedBurstThenCompacts) {
+  // The server's per-connection read path: many frames arrive in one burst,
+  // each is taken by advancing an offset (no per-frame front erase), and the
+  // buffer compacts once at the end of the drain.
+  std::vector<Bytes> bodies;
+  Bytes burst;
+  for (int i = 0; i < 6; ++i) {
+    Bytes body = encode_request(
+        sample_request(i % 2 == 0 ? MsgOp::kRead : MsgOp::kPing));
+    Bytes frame = encode_frame(body);
+    burst.insert(burst.end(), frame.begin(), frame.end());
+    bodies.push_back(std::move(body));
+  }
+  // A trailing partial frame must survive the drain and the compaction.
+  Bytes tail_body = encode_request(sample_request(MsgOp::kLitHold));
+  Bytes tail = encode_frame(tail_body);
+  burst.insert(burst.end(), tail.begin(), tail.end() - 3);
+
+  std::size_t off = 0;
+  for (const Bytes& body : bodies) {
+    auto got = take_frame(burst, off, kMaxFrameBytes);
+    ASSERT_TRUE(got.has_value());
+    EXPECT_EQ(*got, body);
+  }
+  EXPECT_FALSE(take_frame(burst, off, kMaxFrameBytes).has_value());
+
+  compact_frames(burst, off);
+  EXPECT_EQ(off, 0u);
+  EXPECT_EQ(burst.size(), tail.size() - 3);
+
+  // The partial frame completes after compaction and comes out intact.
+  burst.insert(burst.end(), tail.end() - 3, tail.end());
+  auto got = take_frame(burst, off, kMaxFrameBytes);
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(*got, tail_body);
+  compact_frames(burst, off);
+  EXPECT_TRUE(burst.empty());
+}
+
 TEST(WireFuzz, ErrorTaxonomyRoundTripsThroughClassify) {
   // Every typed error classifies to a stable code, crosses the wire as a
   // status, and throw_wire_error reconstructs the matching type.

@@ -16,8 +16,9 @@ enforces the architectural invariants that no single-TU analysis can see:
                       are deterministic and the paper's latency model is the
                       only clock. std::chrono / time() / clock_gettime & co.
                       are banned in src/ outside the clock's own
-                      implementation. (bench/ and tests/ live outside src/
-                      and may time real execution.)
+                      implementation and the socket layer's real-I/O
+                      deadline helpers (common/net). (bench/ and tests/ live
+                      outside src/ and may time real execution.)
 
   dropped-result      Calling a fallible crypto/verify/write API as a bare
                       statement discards the verdict or the only handle to
@@ -104,8 +105,12 @@ WALL_CLOCK_PATTERN = re.compile(
     r"[^\w.]time\s*\(\s*(?:NULL|nullptr|0)?\s*\)|[^\w.]localtime\s*\(|"
     r"[^\w.]gmtime\s*\(|steady_clock\b|system_clock\b|high_resolution_clock\b"
 )
-# The clock itself, and the Duration/SimTime value types it hands out.
-WALL_CLOCK_ALLOWLIST = re.compile(r"^src/common/(sim_clock\.(hpp|cpp)|time\.hpp)$")
+# The clock itself, the Duration/SimTime value types it hands out, and the
+# socket layer: real networking needs real kernel time for poll timeouts and
+# I/O deadlines (net.hpp documents the accommodation — now_real()/sleep_real()
+# never feed simulation logic).
+WALL_CLOCK_ALLOWLIST = re.compile(
+    r"^src/common/(sim_clock\.(hpp|cpp)|time\.hpp|net\.cpp)$")
 
 # Fallible APIs whose result must never be dropped. Each entry is
 # (method name, header that must declare it [[nodiscard]]). The name list
