@@ -30,6 +30,26 @@ void ByteWriter::str(std::string_view s) {
   blob(ByteView(reinterpret_cast<const std::uint8_t*>(s.data()), s.size()));
 }
 
+void ByteWriter::patch_u32(std::size_t offset, std::uint32_t v) {
+  WORM_REQUIRE(offset + 4 <= size(), "ByteWriter::patch_u32: out of range");
+  for (int i = 0; i < 4; ++i) {
+    (*buf_)[base_ + offset + static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>(v >> (8 * i));
+  }
+}
+
+const Bytes& ByteWriter::bytes() const {
+  WORM_REQUIRE(buf_ == &owned_,
+               "ByteWriter::bytes: external-sink writer does not own bytes");
+  return owned_;
+}
+
+Bytes ByteWriter::take() {
+  WORM_REQUIRE(buf_ == &owned_,
+               "ByteWriter::take: external-sink writer does not own bytes");
+  return std::move(owned_);
+}
+
 void ByteReader::need(std::size_t n) const {
   if (remaining() < n) throw ParseError("ByteReader: truncated input");
 }

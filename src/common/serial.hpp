@@ -13,13 +13,39 @@
 
 namespace worm::common {
 
-/// Appends fixed-width little-endian fields and length-prefixed blobs to an
-/// owned buffer.
+/// Appends fixed-width little-endian fields and length-prefixed blobs.
+///
+/// Two modes share one interface. Default-constructed, the writer owns its
+/// buffer (bytes()/take() hand it back). Constructed over an external Bytes
+/// sink, it appends in place starting at the sink's current size — the
+/// zero-copy mode the hot encode paths (frame building, proof assembly) use
+/// with a reusable ScratchArena, so steady-state encodes stop allocating a
+/// fresh buffer per operation.
 class ByteWriter {
  public:
   ByteWriter() = default;
 
-  void u8(std::uint8_t v) { buf_.push_back(v); }
+  /// External-sink mode: appends into `sink`, which must outlive the writer.
+  /// Bytes already in the sink are left untouched; written()/size()/patch
+  /// offsets are relative to the sink's size at construction.
+  explicit ByteWriter(Bytes& sink) : buf_(&sink), base_(sink.size()) {}
+
+  ByteWriter(const ByteWriter&) = delete;
+  ByteWriter& operator=(const ByteWriter&) = delete;
+  ByteWriter(ByteWriter&& o) noexcept
+      : owned_(std::move(o.owned_)),
+        buf_(o.buf_ == &o.owned_ ? &owned_ : o.buf_),
+        base_(o.base_) {}
+  ByteWriter& operator=(ByteWriter&& o) noexcept {
+    if (this != &o) {
+      owned_ = std::move(o.owned_);
+      buf_ = o.buf_ == &o.owned_ ? &owned_ : o.buf_;
+      base_ = o.base_;
+    }
+    return *this;
+  }
+
+  void u8(std::uint8_t v) { buf_->push_back(v); }
   void u16(std::uint16_t v);
   void u32(std::uint32_t v);
   void u64(std::uint64_t v);
@@ -27,7 +53,7 @@ class ByteWriter {
   void boolean(bool v) { u8(v ? 1 : 0); }
 
   /// Raw bytes, no length prefix (caller knows the length from context).
-  void raw(ByteView v) { append(buf_, v); }
+  void raw(ByteView v) { append(*buf_, v); }
 
   /// u32 length prefix followed by the bytes.
   void blob(ByteView v);
@@ -35,9 +61,43 @@ class ByteWriter {
   /// u32 length prefix followed by the characters.
   void str(std::string_view s);
 
-  [[nodiscard]] const Bytes& bytes() const { return buf_; }
-  Bytes take() { return std::move(buf_); }
-  [[nodiscard]] std::size_t size() const { return buf_.size(); }
+  /// Overwrites the little-endian u32 at `offset` (relative to this writer's
+  /// first byte) — for frame-length fields written as a placeholder before
+  /// the body and patched once the body size is known.
+  void patch_u32(std::size_t offset, std::uint32_t v);
+
+  /// Everything this writer has produced. Valid until the next write (the
+  /// underlying buffer may reallocate).
+  [[nodiscard]] ByteView written() const {
+    return ByteView(buf_->data() + base_, buf_->size() - base_);
+  }
+
+  /// Owned-mode accessors; throw PreconditionError on an external-sink
+  /// writer (the sink owner holds the bytes there).
+  [[nodiscard]] const Bytes& bytes() const;
+  Bytes take();
+
+  [[nodiscard]] std::size_t size() const { return buf_->size() - base_; }
+
+ private:
+  Bytes owned_;
+  Bytes* buf_ = &owned_;
+  std::size_t base_ = 0;
+};
+
+/// A reusable encode buffer: writer() clears the arena and returns an
+/// external-sink ByteWriter over it. One arena per session/committer keeps
+/// the hot encode paths at zero allocations once warm.
+class ScratchArena {
+ public:
+  /// Resets the arena (capacity retained) and opens a writer over it.
+  [[nodiscard]] ByteWriter writer() {
+    buf_.clear();
+    return ByteWriter(buf_);
+  }
+
+  [[nodiscard]] const Bytes& buffer() const { return buf_; }
+  [[nodiscard]] Bytes& buffer() { return buf_; }
 
  private:
   Bytes buf_;

@@ -1,6 +1,7 @@
 #include "crypto/biguint.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <bit>
 
 #include "common/error.hpp"
@@ -385,26 +386,89 @@ BigUInt BigUInt::mod_exp(const BigUInt& base, const BigUInt& exp,
                          const BigUInt& m) {
   WORM_REQUIRE(m > BigUInt(1), "mod_exp: modulus must be > 1");
   if (m.is_odd()) return MontgomeryCtx(m).mod_exp(base % m, exp);
-  // Even modulus: plain square-and-multiply (rare; not an RSA path).
-  BigUInt result(1);
-  BigUInt b = base % m;
+
+  // Even modulus: split m = q * 2^j with q odd, exponentiate mod q
+  // (Montgomery) and mod 2^j (square-and-multiply with bit masking — no
+  // divisions), then recombine with Garner's CRT. The old fallback divided
+  // by m after every multiply, which was quadratically slow for large m.
+  std::size_t j = 0;
+  while (!m.bit(j)) ++j;
+  const BigUInt q = m >> j;
+
+  auto mask_low = [j](const BigUInt& x) {
+    if (x.bit_length() <= j) return x;
+    std::size_t nlimbs = (j + 31) / 32;
+    std::vector<std::uint32_t> limbs(
+        x.limbs_.begin(),
+        x.limbs_.begin() + static_cast<std::ptrdiff_t>(
+                               std::min(nlimbs, x.limbs_.size())));
+    if (j % 32 != 0 && limbs.size() == nlimbs) {
+      limbs.back() &= (1u << (j % 32)) - 1u;
+    }
+    return from_limbs(std::move(limbs));
+  };
+
+  // a2 = base^exp mod 2^j. Masking keeps operands at <= j bits, so each step
+  // is one (Karatsuba-dispatched) multiply plus a truncation.
+  BigUInt b = mask_low(base);
+  BigUInt a2(1);
   for (std::size_t i = exp.bit_length(); i-- > 0;) {
-    result = (result * result) % m;
-    if (exp.bit(i)) result = (result * b) % m;
+    a2 = mask_low(a2 * a2);
+    if (exp.bit(i)) a2 = mask_low(a2 * b);
   }
-  return result;
+  if (q == BigUInt(1)) return a2;  // m is a pure power of two
+
+  BigUInt a1 = MontgomeryCtx(q).mod_exp(base % q, exp);
+  // r = a1 + q * (((a2 - a1) mod 2^j) * q^-1 mod 2^j)
+  const BigUInt two_j = BigUInt(1) << j;
+  BigUInt qinv = mod_inverse(q, two_j);
+  BigUInt diff = mask_low(a2 + two_j - mask_low(a1));
+  BigUInt h = mask_low(diff * qinv);
+  return a1 + q * h;
 }
 
-BigUInt MontgomeryCtx::mul(const BigUInt& a, const BigUInt& b) const {
+void MontgomeryCtx::cond_subtract(const std::uint32_t* t,
+                                  std::uint32_t* out) const {
+  const auto& n = m_.limbs();
+  bool ge = t[k_] != 0;
+  if (!ge) {
+    ge = true;  // equal counts as >=
+    for (std::size_t j = k_; j-- > 0;) {
+      if (t[j] != n[j]) {
+        ge = t[j] > n[j];
+        break;
+      }
+    }
+  }
+  if (!ge) {
+    for (std::size_t j = 0; j < k_; ++j) out[j] = t[j];
+    return;
+  }
+  std::int64_t borrow = 0;
+  for (std::size_t j = 0; j < k_; ++j) {
+    std::int64_t d = static_cast<std::int64_t>(t[j]) -
+                     static_cast<std::int64_t>(n[j]) - borrow;
+    if (d < 0) {
+      d += static_cast<std::int64_t>(kBase);
+      borrow = 1;
+    } else {
+      borrow = 0;
+    }
+    out[j] = static_cast<std::uint32_t>(d);
+  }
+}
+
+void MontgomeryCtx::mont_mul_into(const std::uint32_t* a,
+                                  const std::uint32_t* b, std::uint32_t* out,
+                                  std::uint32_t* t) const {
   // CIOS (Coarsely Integrated Operand Scanning) Montgomery multiplication.
   const auto& n = m_.limbs();
-  std::vector<std::uint32_t> t(k_ + 2, 0);
+  for (std::size_t j = 0; j < k_ + 2; ++j) t[j] = 0;
   for (std::size_t i = 0; i < k_; ++i) {
-    std::uint64_t bi = i < b.limbs().size() ? b.limbs()[i] : 0;
+    std::uint64_t bi = b[i];
     std::uint64_t carry = 0;
     for (std::size_t j = 0; j < k_; ++j) {
-      std::uint64_t aj = j < a.limbs().size() ? a.limbs()[j] : 0;
-      std::uint64_t cur = t[j] + aj * bi + carry;
+      std::uint64_t cur = t[j] + static_cast<std::uint64_t>(a[j]) * bi + carry;
       t[j] = static_cast<std::uint32_t>(cur);
       carry = cur >> 32;
     }
@@ -425,10 +489,82 @@ BigUInt MontgomeryCtx::mul(const BigUInt& a, const BigUInt& b) const {
     t[k_] = t[k_ + 1] + static_cast<std::uint32_t>(cur >> 32);
     t[k_ + 1] = 0;
   }
-  t.resize(k_ + 1);
-  BigUInt res = BigUInt::from_limbs(std::move(t));
-  if (res >= m_) res = res - m_;
-  return res;
+  cond_subtract(t, out);
+}
+
+void MontgomeryCtx::mont_sqr_into(const std::uint32_t* a, std::uint32_t* out,
+                                  std::uint32_t* t) const {
+  // SOS squaring: the off-diagonal products a[i]*a[j] (i < j) are computed
+  // once and doubled with a 1-bit shift, the diagonal squares added after,
+  // then a separate k-pass Montgomery reduction — ~25% fewer limb products
+  // than pushing the square through the CIOS multiply.
+  const auto& n = m_.limbs();
+  const std::size_t len = 2 * k_ + 2;
+  for (std::size_t j = 0; j < len; ++j) t[j] = 0;
+
+  for (std::size_t i = 0; i < k_; ++i) {
+    std::uint64_t ai = a[i];
+    std::uint64_t carry = 0;
+    for (std::size_t j = i + 1; j < k_; ++j) {
+      std::uint64_t cur = t[i + j] + ai * a[j] + carry;
+      t[i + j] = static_cast<std::uint32_t>(cur);
+      carry = cur >> 32;
+    }
+    for (std::size_t idx = i + k_; carry != 0; ++idx) {
+      std::uint64_t cur = t[idx] + carry;
+      t[idx] = static_cast<std::uint32_t>(cur);
+      carry = cur >> 32;
+    }
+  }
+  // Double the cross products.
+  std::uint32_t shift_carry = 0;
+  for (std::size_t idx = 0; idx < len; ++idx) {
+    std::uint32_t next = t[idx] >> 31;
+    t[idx] = (t[idx] << 1) | shift_carry;
+    shift_carry = next;
+  }
+  // Add the diagonal squares.
+  std::uint64_t carry = 0;
+  for (std::size_t i = 0; i < k_; ++i) {
+    std::uint64_t sq = static_cast<std::uint64_t>(a[i]) * a[i];
+    std::uint64_t cur = t[2 * i] + (sq & 0xffffffffull) + carry;
+    t[2 * i] = static_cast<std::uint32_t>(cur);
+    carry = cur >> 32;
+    cur = t[2 * i + 1] + (sq >> 32) + carry;
+    t[2 * i + 1] = static_cast<std::uint32_t>(cur);
+    carry = cur >> 32;
+  }
+  for (std::size_t idx = 2 * k_; carry != 0; ++idx) {
+    std::uint64_t cur = t[idx] + carry;
+    t[idx] = static_cast<std::uint32_t>(cur);
+    carry = cur >> 32;
+  }
+  // Montgomery reduction, one limb per pass.
+  for (std::size_t i = 0; i < k_; ++i) {
+    std::uint32_t mfac = t[i] * n0inv_;
+    std::uint64_t c = 0;
+    for (std::size_t j = 0; j < k_; ++j) {
+      std::uint64_t cur =
+          t[i + j] + static_cast<std::uint64_t>(mfac) * n[j] + c;
+      t[i + j] = static_cast<std::uint32_t>(cur);
+      c = cur >> 32;
+    }
+    for (std::size_t idx = i + k_; c != 0; ++idx) {
+      std::uint64_t cur = t[idx] + c;
+      t[idx] = static_cast<std::uint32_t>(cur);
+      c = cur >> 32;
+    }
+  }
+  cond_subtract(t + k_, out);
+}
+
+BigUInt MontgomeryCtx::mul(const BigUInt& a, const BigUInt& b) const {
+  std::vector<std::uint32_t> ap(k_, 0), bp(k_, 0), t(k_ + 2);
+  std::copy(a.limbs().begin(), a.limbs().end(), ap.begin());
+  std::copy(b.limbs().begin(), b.limbs().end(), bp.begin());
+  std::vector<std::uint32_t> res(k_, 0);
+  mont_mul_into(ap.data(), bp.data(), res.data(), t.data());
+  return BigUInt::from_limbs(std::move(res));
 }
 
 BigUInt MontgomeryCtx::to_mont(const BigUInt& x) const { return mul(x, r2_); }
@@ -437,7 +573,8 @@ BigUInt MontgomeryCtx::from_mont(const BigUInt& x) const {
   return mul(x, BigUInt(1));
 }
 
-BigUInt MontgomeryCtx::mod_exp(const BigUInt& base, const BigUInt& exp) const {
+BigUInt MontgomeryCtx::mod_exp_binary(const BigUInt& base,
+                                      const BigUInt& exp) const {
   BigUInt base_m = to_mont(base % m_);
   BigUInt acc = to_mont(BigUInt(1));
   for (std::size_t i = exp.bit_length(); i-- > 0;) {
@@ -445,6 +582,72 @@ BigUInt MontgomeryCtx::mod_exp(const BigUInt& base, const BigUInt& exp) const {
     if (exp.bit(i)) acc = mul(acc, base_m);
   }
   return from_mont(acc);
+}
+
+namespace {
+std::atomic<ModExpStrategy> g_mod_exp_strategy{ModExpStrategy::kWindowed};
+}  // namespace
+
+void set_mod_exp_strategy(ModExpStrategy s) {
+  g_mod_exp_strategy.store(s, std::memory_order_relaxed);
+}
+
+ModExpStrategy mod_exp_strategy() {
+  return g_mod_exp_strategy.load(std::memory_order_relaxed);
+}
+
+BigUInt MontgomeryCtx::mod_exp(const BigUInt& base, const BigUInt& exp) const {
+  if (mod_exp_strategy() == ModExpStrategy::kBinary) {
+    return mod_exp_binary(base, exp);
+  }
+  // 4-bit sliding window over raw k_-limb Montgomery-form buffers: one
+  // precomputed table of the odd powers b^1, b^3, ..., b^15 (one squaring +
+  // seven multiplies of setup), then ~bits/5 table multiplies instead of the
+  // binary kernel's ~bits/2, with every squaring going through the cheaper
+  // dedicated kernel. Nothing leaves Montgomery form until the very end.
+  BigUInt base_m = to_mont(base % m_);
+  BigUInt one_m = to_mont(BigUInt(1));
+  if (exp.is_zero()) return from_mont(one_m);
+
+  auto copy_padded = [this](const BigUInt& v, std::uint32_t* dst) {
+    for (std::size_t j = 0; j < k_; ++j) dst[j] = 0;
+    std::copy(v.limbs().begin(), v.limbs().end(), dst);
+  };
+
+  std::vector<std::uint32_t> scratch(2 * k_ + 2);
+  std::vector<std::uint32_t> table(8 * k_);  // table[t] = b^(2t+1)
+  copy_padded(base_m, &table[0]);
+  std::vector<std::uint32_t> b2(k_);
+  mont_sqr_into(&table[0], b2.data(), scratch.data());
+  for (std::size_t tdx = 1; tdx < 8; ++tdx) {
+    mont_mul_into(&table[(tdx - 1) * k_], b2.data(), &table[tdx * k_],
+                  scratch.data());
+  }
+
+  std::vector<std::uint32_t> acc(k_);
+  copy_padded(one_m, acc.data());
+
+  std::ptrdiff_t i = static_cast<std::ptrdiff_t>(exp.bit_length()) - 1;
+  while (i >= 0) {
+    if (!exp.bit(static_cast<std::size_t>(i))) {
+      mont_sqr_into(acc.data(), acc.data(), scratch.data());
+      --i;
+      continue;
+    }
+    // Window [l..i]: at most 4 bits, both ends set — its value is odd, so
+    // the odd-power table covers it.
+    std::ptrdiff_t l = i >= 3 ? i - 3 : 0;
+    while (!exp.bit(static_cast<std::size_t>(l))) ++l;
+    std::uint32_t win = 0;
+    for (std::ptrdiff_t j = i; j >= l; --j) {
+      win = (win << 1) | (exp.bit(static_cast<std::size_t>(j)) ? 1u : 0u);
+      mont_sqr_into(acc.data(), acc.data(), scratch.data());
+    }
+    mont_mul_into(acc.data(), &table[(win >> 1) * k_], acc.data(),
+                  scratch.data());
+    i = l - 1;
+  }
+  return from_mont(BigUInt::from_limbs(std::move(acc)));
 }
 
 }  // namespace worm::crypto

@@ -105,6 +105,18 @@ class BigUInt {
   std::vector<std::uint32_t> limbs_;
 };
 
+/// Which modular-exponentiation kernel MontgomeryCtx::mod_exp runs. The
+/// windowed path is the production default; the binary path is the reference
+/// the cross-check tests and the crypto bench compare it against.
+enum class ModExpStrategy : std::uint8_t {
+  kWindowed = 0,  // 4-bit sliding window, odd-power table, dedicated squaring
+  kBinary = 1,    // bit-at-a-time square-and-multiply
+};
+
+/// Overrides the process-wide mod_exp kernel (bench/test hook).
+void set_mod_exp_strategy(ModExpStrategy s);
+[[nodiscard]] ModExpStrategy mod_exp_strategy();
+
 /// Precomputed context for repeated modular multiplication mod an odd modulus
 /// (Montgomery REDC, CIOS variant). One RSA exponentiation reuses one context
 /// across all its squarings/multiplications.
@@ -122,12 +134,31 @@ class MontgomeryCtx {
   /// Montgomery product a*b*R^-1 mod m; operands in Montgomery domain.
   [[nodiscard]] BigUInt mul(const BigUInt& a, const BigUInt& b) const;
 
-  /// base^exp mod m via this context; base must be < m.
+  /// base^exp mod m via this context; base must be < m. Dispatches on
+  /// mod_exp_strategy(); the windowed kernel stays in Montgomery form and in
+  /// raw limb buffers for the whole exponentiation.
   [[nodiscard]] BigUInt mod_exp(const BigUInt& base, const BigUInt& exp) const;
+
+  /// The original bit-at-a-time kernel, kept public as the differential
+  /// reference for the windowed path.
+  [[nodiscard]] BigUInt mod_exp_binary(const BigUInt& base,
+                                       const BigUInt& exp) const;
 
   [[nodiscard]] const BigUInt& modulus() const { return m_; }
 
  private:
+  // Raw-limb kernels over k_-limb little-endian buffers (no per-call
+  // allocation; out may alias an input).
+  // CIOS Montgomery product; t is k_+2 limbs of scratch.
+  void mont_mul_into(const std::uint32_t* a, const std::uint32_t* b,
+                     std::uint32_t* out, std::uint32_t* t) const;
+  // SOS squaring (halved cross products) + separate reduction; t is 2k_+2
+  // limbs of scratch.
+  void mont_sqr_into(const std::uint32_t* a, std::uint32_t* out,
+                     std::uint32_t* t) const;
+  // Final reduction step: out = t - m if t >= m else t; t is k_+1 limbs.
+  void cond_subtract(const std::uint32_t* t, std::uint32_t* out) const;
+
   BigUInt m_;
   BigUInt r2_;          // R^2 mod m
   std::uint32_t n0inv_;  // -m^-1 mod 2^32

@@ -1,5 +1,7 @@
 #include "crypto/chained_hash.hpp"
 
+#include <algorithm>
+
 #include "common/serial.hpp"
 
 namespace worm::crypto {
@@ -25,6 +27,49 @@ Sha256::Digest ChainedHash::over(const std::vector<common::Bytes>& segments) {
   ChainedHash c;
   for (const auto& s : segments) c.add(s);
   return c.digest();
+}
+
+std::vector<Sha256::Digest> ChainedHash::over_many(
+    const std::vector<const std::vector<common::Bytes>*>& lists) {
+  std::vector<Sha256::Digest> out(lists.size(), ChainedHash().digest());
+  // Each lane's step-i message is state || u64-LE length || segment, staged
+  // in a reused scratch buffer (the chain construction needs the
+  // concatenation; hashing dominates the memcpy).
+  common::Bytes scratch[4];
+  for (std::size_t g = 0; g < lists.size(); g += 4) {
+    std::size_t group = std::min<std::size_t>(4, lists.size() - g);
+    std::size_t max_steps = 0;
+    for (std::size_t l = 0; l < group; ++l) {
+      max_steps = std::max(max_steps, lists[g + l]->size());
+    }
+    for (std::size_t step = 0; step < max_steps; ++step) {
+      common::ByteView in[4];
+      bool active[4] = {false, false, false, false};
+      for (std::size_t l = 0; l < 4; ++l) {
+        if (l >= group || step >= lists[g + l]->size()) {
+          in[l] = common::ByteView();
+          continue;
+        }
+        const common::Bytes& seg = (*lists[g + l])[step];
+        common::Bytes& buf = scratch[l];
+        buf.clear();
+        buf.insert(buf.end(), out[g + l].begin(), out[g + l].end());
+        std::uint64_t len = seg.size();
+        for (int i = 0; i < 8; ++i) {
+          buf.push_back(static_cast<std::uint8_t>(len >> (8 * i)));
+        }
+        buf.insert(buf.end(), seg.begin(), seg.end());
+        in[l] = common::ByteView(buf.data(), buf.size());
+        active[l] = true;
+      }
+      Sha256::Digest digests[4];
+      Sha256::hash4(in, digests);
+      for (std::size_t l = 0; l < 4; ++l) {
+        if (active[l]) out[g + l] = digests[l];
+      }
+    }
+  }
+  return out;
 }
 
 }  // namespace worm::crypto

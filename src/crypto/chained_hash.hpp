@@ -30,6 +30,13 @@ class ChainedHash {
   static Sha256::Digest over(
       const std::vector<common::Bytes>& segments);
 
+  /// Chained hashes of many independent segment lists, four chains at a time
+  /// through Sha256::hash4 (the chains run their step-i hashes in lock-step;
+  /// a chain that runs out of segments drops out of its group). Digest i is
+  /// bit-identical to ChainedHash::over(*lists[i]).
+  static std::vector<Sha256::Digest> over_many(
+      const std::vector<const std::vector<common::Bytes>*>& lists);
+
  private:
   Sha256::Digest state_;
   std::size_t count_ = 0;

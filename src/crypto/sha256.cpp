@@ -1,7 +1,15 @@
 #include "crypto/sha256.hpp"
 
+#include <atomic>
 #include <bit>
 #include <cstring>
+
+#if defined(__x86_64__) && defined(__GNUC__)
+#define WORM_SHA256_X86 1
+#include <immintrin.h>
+#else
+#define WORM_SHA256_X86 0
+#endif
 
 namespace worm::crypto {
 
@@ -19,58 +27,313 @@ constexpr std::array<std::uint32_t, 64> kK = {
     0x5b9cca4f, 0x682e6ff3, 0x748f82ee, 0x78a5636f, 0x84c87814, 0x8cc70208,
     0x90befffa, 0xa4506ceb, 0xbef9a3f7, 0xc67178f2};
 
+constexpr std::array<std::uint32_t, 8> kH0 = {
+    0x6a09e667, 0xbb67ae85, 0x3c6ef372, 0xa54ff53a,
+    0x510e527f, 0x9b05688c, 0x1f83d9ab, 0x5be0cd19};
+
 std::uint32_t load_be32(const std::uint8_t* p) {
-  return (static_cast<std::uint32_t>(p[0]) << 24) |
-         (static_cast<std::uint32_t>(p[1]) << 16) |
-         (static_cast<std::uint32_t>(p[2]) << 8) |
-         static_cast<std::uint32_t>(p[3]);
+  std::uint32_t v;
+  std::memcpy(&v, p, 4);
+  return __builtin_bswap32(v);
 }
+
+// --- portable reference ----------------------------------------------------
+
+void compress_portable(std::uint32_t* state, const std::uint8_t* block,
+                       std::size_t nblocks) {
+  for (; nblocks != 0; --nblocks, block += Sha256::kBlockSize) {
+    std::array<std::uint32_t, 64> w;
+    for (int i = 0; i < 16; ++i) {
+      w[static_cast<std::size_t>(i)] = load_be32(block + 4 * i);
+    }
+    for (std::size_t i = 16; i < 64; ++i) {
+      std::uint32_t s0 = std::rotr(w[i - 15], 7) ^ std::rotr(w[i - 15], 18) ^
+                         (w[i - 15] >> 3);
+      std::uint32_t s1 = std::rotr(w[i - 2], 17) ^ std::rotr(w[i - 2], 19) ^
+                         (w[i - 2] >> 10);
+      w[i] = w[i - 16] + s0 + w[i - 7] + s1;
+    }
+
+    std::uint32_t a = state[0], b = state[1], c = state[2], d = state[3],
+                  e = state[4], f = state[5], g = state[6], h = state[7];
+    for (std::size_t i = 0; i < 64; ++i) {
+      std::uint32_t s1 = std::rotr(e, 6) ^ std::rotr(e, 11) ^ std::rotr(e, 25);
+      std::uint32_t ch = (e & f) ^ (~e & g);
+      std::uint32_t t1 = h + s1 + ch + kK[i] + w[i];
+      std::uint32_t s0 = std::rotr(a, 2) ^ std::rotr(a, 13) ^ std::rotr(a, 22);
+      std::uint32_t maj = (a & b) ^ (a & c) ^ (b & c);
+      std::uint32_t t2 = s0 + maj;
+      h = g;
+      g = f;
+      f = e;
+      e = d + t1;
+      d = c;
+      c = b;
+      b = a;
+      a = t1 + t2;
+    }
+    state[0] += a;
+    state[1] += b;
+    state[2] += c;
+    state[3] += d;
+    state[4] += e;
+    state[5] += f;
+    state[6] += g;
+    state[7] += h;
+  }
+}
+
+// --- unrolled scalar -------------------------------------------------------
+
+// Same math as the reference, with the rounds fully unrolled and the message
+// schedule held in a rotating 16-word window so everything lives in
+// registers. The round macro rotates the eight working variables by naming
+// them in shifted order instead of moving values.
+
+#define WORM_SHA_S0(x) (std::rotr((x), 2) ^ std::rotr((x), 13) ^ std::rotr((x), 22))
+#define WORM_SHA_S1(x) (std::rotr((x), 6) ^ std::rotr((x), 11) ^ std::rotr((x), 25))
+#define WORM_SHA_LS0(x) (std::rotr((x), 7) ^ std::rotr((x), 18) ^ ((x) >> 3))
+#define WORM_SHA_LS1(x) (std::rotr((x), 17) ^ std::rotr((x), 19) ^ ((x) >> 10))
+
+// Ch(e,f,g) = g ^ (e & (f ^ g)) and Maj(a,b,c) = c ^ ((a ^ c) & (b ^ c))
+// are the 3-op forms of the FIPS boolean functions.
+#define WORM_SHA_RND(a, b, c, d, e, f, g, h, i, wv)                       \
+  do {                                                                    \
+    std::uint32_t t1 =                                                    \
+        (h) + WORM_SHA_S1(e) + ((g) ^ ((e) & ((f) ^ (g)))) + kK[i] + (wv); \
+    std::uint32_t t2 =                                                    \
+        WORM_SHA_S0(a) + ((c) ^ (((a) ^ (c)) & ((b) ^ (c))));             \
+    (d) += t1;                                                            \
+    (h) = t1 + t2;                                                        \
+  } while (0)
+
+// w[i mod 16] += s0(w[i-15]) + w[i-7] + s1(w[i-2]), indices mod 16.
+#define WORM_SHA_W(i) w[(i) & 15]
+#define WORM_SHA_SCHED(i)                                            \
+  (WORM_SHA_W(i) += WORM_SHA_LS0(WORM_SHA_W((i) + 1)) +              \
+                    WORM_SHA_W((i) + 9) + WORM_SHA_LS1(WORM_SHA_W((i) + 14)))
+
+#define WORM_SHA_16ROUNDS(base, wexpr)                        \
+  WORM_SHA_RND(a, b, c, d, e, f, g, h, (base) + 0, wexpr((base) + 0));  \
+  WORM_SHA_RND(h, a, b, c, d, e, f, g, (base) + 1, wexpr((base) + 1));  \
+  WORM_SHA_RND(g, h, a, b, c, d, e, f, (base) + 2, wexpr((base) + 2));  \
+  WORM_SHA_RND(f, g, h, a, b, c, d, e, (base) + 3, wexpr((base) + 3));  \
+  WORM_SHA_RND(e, f, g, h, a, b, c, d, (base) + 4, wexpr((base) + 4));  \
+  WORM_SHA_RND(d, e, f, g, h, a, b, c, (base) + 5, wexpr((base) + 5));  \
+  WORM_SHA_RND(c, d, e, f, g, h, a, b, (base) + 6, wexpr((base) + 6));  \
+  WORM_SHA_RND(b, c, d, e, f, g, h, a, (base) + 7, wexpr((base) + 7));  \
+  WORM_SHA_RND(a, b, c, d, e, f, g, h, (base) + 8, wexpr((base) + 8));  \
+  WORM_SHA_RND(h, a, b, c, d, e, f, g, (base) + 9, wexpr((base) + 9));  \
+  WORM_SHA_RND(g, h, a, b, c, d, e, f, (base) + 10, wexpr((base) + 10)); \
+  WORM_SHA_RND(f, g, h, a, b, c, d, e, (base) + 11, wexpr((base) + 11)); \
+  WORM_SHA_RND(e, f, g, h, a, b, c, d, (base) + 12, wexpr((base) + 12)); \
+  WORM_SHA_RND(d, e, f, g, h, a, b, c, (base) + 13, wexpr((base) + 13)); \
+  WORM_SHA_RND(c, d, e, f, g, h, a, b, (base) + 14, wexpr((base) + 14)); \
+  WORM_SHA_RND(b, c, d, e, f, g, h, a, (base) + 15, wexpr((base) + 15));
+
+void compress_scalar(std::uint32_t* state, const std::uint8_t* block,
+                     std::size_t nblocks) {
+  std::uint32_t a, b, c, d, e, f, g, h;
+  std::uint32_t w[16];
+  for (; nblocks != 0; --nblocks, block += Sha256::kBlockSize) {
+    for (int i = 0; i < 16; ++i) w[i] = load_be32(block + 4 * i);
+    a = state[0];
+    b = state[1];
+    c = state[2];
+    d = state[3];
+    e = state[4];
+    f = state[5];
+    g = state[6];
+    h = state[7];
+    WORM_SHA_16ROUNDS(0, WORM_SHA_W)
+    WORM_SHA_16ROUNDS(16, WORM_SHA_SCHED)
+    WORM_SHA_16ROUNDS(32, WORM_SHA_SCHED)
+    WORM_SHA_16ROUNDS(48, WORM_SHA_SCHED)
+    state[0] += a;
+    state[1] += b;
+    state[2] += c;
+    state[3] += d;
+    state[4] += e;
+    state[5] += f;
+    state[6] += g;
+    state[7] += h;
+  }
+}
+
+#undef WORM_SHA_16ROUNDS
+#undef WORM_SHA_SCHED
+#undef WORM_SHA_W
+#undef WORM_SHA_RND
+
+// --- SHA-NI ---------------------------------------------------------------
+
+#if WORM_SHA256_X86
+
+__attribute__((target("sha,sse4.1,ssse3"))) void compress_shani(
+    std::uint32_t* state, const std::uint8_t* block, std::size_t nblocks) {
+  // Big-endian word loads via one byte shuffle per 16 bytes.
+  const __m128i kShuf =
+      _mm_set_epi64x(0x0c0d0e0f08090a0bLL, 0x0405060700010203LL);
+
+  // The sha256rnds2 instruction wants the state packed as ABEF / CDGH.
+  __m128i tmp =
+      _mm_loadu_si128(reinterpret_cast<const __m128i*>(&state[0]));  // DCBA
+  __m128i st1 =
+      _mm_loadu_si128(reinterpret_cast<const __m128i*>(&state[4]));  // HGFE
+  tmp = _mm_shuffle_epi32(tmp, 0xB1);                                // CDAB
+  st1 = _mm_shuffle_epi32(st1, 0x1B);                                // EFGH
+  __m128i st0 = _mm_alignr_epi8(tmp, st1, 8);                        // ABEF
+  st1 = _mm_blend_epi16(st1, tmp, 0xF0);                             // CDGH
+
+  for (; nblocks != 0; --nblocks, block += Sha256::kBlockSize) {
+    const __m128i abef_save = st0;
+    const __m128i cdgh_save = st1;
+    __m128i msg[4];
+    // 16 groups of 4 rounds; from group 4 on, msg[g mod 4] is recomputed
+    // from the previous four groups (W[i-16..i-1]) via sha256msg1/msg2 with
+    // the W[i-7] term supplied by the alignr.
+    for (int g = 0; g < 16; ++g) {
+      __m128i m;
+      if (g < 4) {
+        msg[g] = _mm_shuffle_epi8(
+            _mm_loadu_si128(
+                reinterpret_cast<const __m128i*>(block + 16 * g)),
+            kShuf);
+        m = msg[g];
+      } else {
+        __m128i t = _mm_add_epi32(
+            _mm_sha256msg1_epu32(msg[g & 3], msg[(g + 1) & 3]),
+            _mm_alignr_epi8(msg[(g + 3) & 3], msg[(g + 2) & 3], 4));
+        msg[g & 3] = _mm_sha256msg2_epu32(t, msg[(g + 3) & 3]);
+        m = msg[g & 3];
+      }
+      __m128i wk = _mm_add_epi32(
+          m, _mm_loadu_si128(reinterpret_cast<const __m128i*>(&kK[4 * g])));
+      st1 = _mm_sha256rnds2_epu32(st1, st0, wk);
+      st0 = _mm_sha256rnds2_epu32(st0, st1, _mm_shuffle_epi32(wk, 0x0E));
+    }
+    st0 = _mm_add_epi32(st0, abef_save);
+    st1 = _mm_add_epi32(st1, cdgh_save);
+  }
+
+  tmp = _mm_shuffle_epi32(st0, 0x1B);                            // FEBA
+  st1 = _mm_shuffle_epi32(st1, 0xB1);                            // DCHG
+  st0 = _mm_blend_epi16(tmp, st1, 0xF0);                         // DCBA
+  st1 = _mm_alignr_epi8(st1, tmp, 8);                            // HGFE
+  _mm_storeu_si128(reinterpret_cast<__m128i*>(&state[0]), st0);
+  _mm_storeu_si128(reinterpret_cast<__m128i*>(&state[4]), st1);
+}
+
+#endif  // WORM_SHA256_X86
+
+bool shani_supported() {
+#if WORM_SHA256_X86
+  static const bool ok = __builtin_cpu_supports("sha") &&
+                         __builtin_cpu_supports("sse4.1") &&
+                         __builtin_cpu_supports("ssse3");
+  return ok;
+#else
+  return false;
+#endif
+}
+
+std::atomic<Sha256Backend> g_forced{Sha256Backend::kAuto};
+
+Sha256Backend resolve_backend(Sha256Backend b) {
+  if (b == Sha256Backend::kAuto) {
+    return shani_supported() ? Sha256Backend::kShaNi : Sha256Backend::kScalar;
+  }
+  if (b == Sha256Backend::kShaNi && !shani_supported()) {
+    return Sha256Backend::kScalar;
+  }
+  return b;
+}
+
+// --- 4-lane scalar SIMD ----------------------------------------------------
+
+// One message per SIMD lane; GCC vector extensions compile the reference
+// round function to 4-wide integer ops. Used by hash4 on non-SHA-NI hosts
+// for the common whole-block prefix of the four messages.
+typedef std::uint32_t u32x4 __attribute__((vector_size(16)));
+
+inline u32x4 rotr4(u32x4 v, int n) {
+  return (v >> n) | (v << (32 - n));
+}
+
+void compress4(u32x4 s[8], const std::uint8_t* p[4], std::size_t nblocks) {
+  for (; nblocks != 0; --nblocks) {
+    u32x4 w[16];
+    for (int i = 0; i < 16; ++i) {
+      w[i] = u32x4{load_be32(p[0] + 4 * i), load_be32(p[1] + 4 * i),
+                   load_be32(p[2] + 4 * i), load_be32(p[3] + 4 * i)};
+    }
+    u32x4 a = s[0], b = s[1], c = s[2], d = s[3];
+    u32x4 e = s[4], f = s[5], g = s[6], h = s[7];
+    for (std::size_t i = 0; i < 64; ++i) {
+      if (i >= 16) {
+        u32x4 s0 = rotr4(w[(i + 1) & 15], 7) ^ rotr4(w[(i + 1) & 15], 18) ^
+                   (w[(i + 1) & 15] >> 3);
+        u32x4 s1 = rotr4(w[(i + 14) & 15], 17) ^ rotr4(w[(i + 14) & 15], 19) ^
+                   (w[(i + 14) & 15] >> 10);
+        w[i & 15] += s0 + w[(i + 9) & 15] + s1;
+      }
+      u32x4 s1 = rotr4(e, 6) ^ rotr4(e, 11) ^ rotr4(e, 25);
+      u32x4 ch = (e & f) ^ (~e & g);
+      u32x4 t1 = h + s1 + ch + kK[i] + w[i & 15];
+      u32x4 s0 = rotr4(a, 2) ^ rotr4(a, 13) ^ rotr4(a, 22);
+      u32x4 maj = (a & b) ^ (a & c) ^ (b & c);
+      u32x4 t2 = s0 + maj;
+      h = g;
+      g = f;
+      f = e;
+      e = d + t1;
+      d = c;
+      c = b;
+      b = a;
+      a = t1 + t2;
+    }
+    s[0] += a;
+    s[1] += b;
+    s[2] += c;
+    s[3] += d;
+    s[4] += e;
+    s[5] += f;
+    s[6] += g;
+    s[7] += h;
+    for (int l = 0; l < 4; ++l) p[l] += Sha256::kBlockSize;
+  }
+}
+
 }  // namespace
 
-void Sha256::reset() {
-  state_ = {0x6a09e667, 0xbb67ae85, 0x3c6ef372, 0xa54ff53a,
-            0x510e527f, 0x9b05688c, 0x1f83d9ab, 0x5be0cd19};
-  buffer_len_ = 0;
-  total_len_ = 0;
+void Sha256::force_backend(Sha256Backend b) {
+  g_forced.store(b, std::memory_order_relaxed);
 }
 
-void Sha256::process_block(const std::uint8_t* block) {
-  std::array<std::uint32_t, 64> w;
-  for (int i = 0; i < 16; ++i) w[static_cast<std::size_t>(i)] = load_be32(block + 4 * i);
-  for (std::size_t i = 16; i < 64; ++i) {
-    std::uint32_t s0 = std::rotr(w[i - 15], 7) ^ std::rotr(w[i - 15], 18) ^
-                       (w[i - 15] >> 3);
-    std::uint32_t s1 = std::rotr(w[i - 2], 17) ^ std::rotr(w[i - 2], 19) ^
-                       (w[i - 2] >> 10);
-    w[i] = w[i - 16] + s0 + w[i - 7] + s1;
-  }
+Sha256Backend Sha256::active_backend() {
+  return resolve_backend(g_forced.load(std::memory_order_relaxed));
+}
 
-  std::uint32_t a = state_[0], b = state_[1], c = state_[2], d = state_[3],
-                e = state_[4], f = state_[5], g = state_[6], h = state_[7];
-  for (std::size_t i = 0; i < 64; ++i) {
-    std::uint32_t s1 = std::rotr(e, 6) ^ std::rotr(e, 11) ^ std::rotr(e, 25);
-    std::uint32_t ch = (e & f) ^ (~e & g);
-    std::uint32_t t1 = h + s1 + ch + kK[i] + w[i];
-    std::uint32_t s0 = std::rotr(a, 2) ^ std::rotr(a, 13) ^ std::rotr(a, 22);
-    std::uint32_t maj = (a & b) ^ (a & c) ^ (b & c);
-    std::uint32_t t2 = s0 + maj;
-    h = g;
-    g = f;
-    f = e;
-    e = d + t1;
-    d = c;
-    c = b;
-    b = a;
-    a = t1 + t2;
+void Sha256::process_blocks(const std::uint8_t* data, std::size_t nblocks) {
+  switch (active_backend()) {
+#if WORM_SHA256_X86
+    case Sha256Backend::kShaNi:
+      compress_shani(state_.data(), data, nblocks);
+      return;
+#endif
+    case Sha256Backend::kScalar:
+      compress_scalar(state_.data(), data, nblocks);
+      return;
+    default:
+      compress_portable(state_.data(), data, nblocks);
+      return;
   }
-  state_[0] += a;
-  state_[1] += b;
-  state_[2] += c;
-  state_[3] += d;
-  state_[4] += e;
-  state_[5] += f;
-  state_[6] += g;
-  state_[7] += h;
+}
+
+void Sha256::reset() {
+  state_ = kH0;
+  buffer_len_ = 0;
+  total_len_ = 0;
 }
 
 void Sha256::update(common::ByteView data) {
@@ -82,13 +345,14 @@ void Sha256::update(common::ByteView data) {
     buffer_len_ += take;
     off += take;
     if (buffer_len_ == kBlockSize) {
-      process_block(buffer_.data());
+      process_blocks(buffer_.data(), 1);
       buffer_len_ = 0;
     }
   }
-  while (off + kBlockSize <= data.size()) {
-    process_block(data.data() + off);
-    off += kBlockSize;
+  std::size_t nblocks = (data.size() - off) / kBlockSize;
+  if (nblocks > 0) {
+    process_blocks(data.data() + off, nblocks);
+    off += nblocks * kBlockSize;
   }
   if (off < data.size()) {
     std::memcpy(buffer_.data(), data.data() + off, data.size() - off);
@@ -112,7 +376,7 @@ Sha256::Digest Sha256::finalize() {
   }
   // Bypass update()'s total_len_ accounting: this is padding, not payload.
   std::memcpy(buffer_.data() + 56, len_be, 8);
-  process_block(buffer_.data());
+  process_blocks(buffer_.data(), 1);
 
   Digest out;
   for (std::size_t i = 0; i < 8; ++i) {
@@ -134,6 +398,42 @@ Sha256::Digest Sha256::hash(common::ByteView data) {
 common::Bytes Sha256::hash_bytes(common::ByteView data) {
   Digest d = hash(data);
   return common::Bytes(d.begin(), d.end());
+}
+
+void Sha256::hash4(const common::ByteView in[4], Digest out[4]) {
+  Sha256 lanes[4];
+  std::size_t consumed[4] = {0, 0, 0, 0};
+  // Lock-step SIMD pays only on the scalar path: SHA-NI single-stream is
+  // faster than 4-wide scalar vectors, and kPortable stays the bit-exact
+  // reference the differential tests compare everything against.
+  if (active_backend() == Sha256Backend::kScalar) {
+    std::size_t common_blocks = in[0].size() / kBlockSize;
+    for (int l = 1; l < 4; ++l) {
+      common_blocks = std::min(common_blocks, in[l].size() / kBlockSize);
+    }
+    if (common_blocks > 0) {
+      u32x4 s[8];
+      for (int i = 0; i < 8; ++i) {
+        s[i] = u32x4{kH0[static_cast<std::size_t>(i)],
+                     kH0[static_cast<std::size_t>(i)],
+                     kH0[static_cast<std::size_t>(i)],
+                     kH0[static_cast<std::size_t>(i)]};
+      }
+      const std::uint8_t* p[4] = {in[0].data(), in[1].data(), in[2].data(),
+                                  in[3].data()};
+      compress4(s, p, common_blocks);
+      for (int l = 0; l < 4; ++l) {
+        for (int i = 0; i < 8; ++i) lanes[l].state_[i] = s[i][l];
+        lanes[l].total_len_ = common_blocks * kBlockSize;
+        consumed[l] = common_blocks * kBlockSize;
+      }
+    }
+  }
+  for (int l = 0; l < 4; ++l) {
+    lanes[l].update(common::ByteView(in[l].data() + consumed[l],
+                                     in[l].size() - consumed[l]));
+    out[l] = lanes[l].finalize();
+  }
 }
 
 }  // namespace worm::crypto

@@ -1,6 +1,12 @@
 // SHA-256 (FIPS 180-4), from scratch. Streaming interface plus one-shot
 // helper. This is the workhorse digest for signatures, HMACs, chained hashes
 // and Merkle trees throughout the repo.
+//
+// The compression function is runtime-dispatched: on x86 hosts with the SHA
+// extensions the SHA-NI two-round instructions run the block, otherwise a
+// fully-unrolled scalar path does; the original straight-line portable loop
+// is kept as the differential-test reference. All three produce identical
+// digests — the backend is a pure speed choice, never a format one.
 #pragma once
 
 #include <array>
@@ -9,6 +15,16 @@
 #include "common/bytes.hpp"
 
 namespace worm::crypto {
+
+/// Which compression kernel Sha256 uses. kAuto picks the fastest the CPU
+/// supports; the explicit values exist for tests (differential fuzz against
+/// kPortable) and benches (measuring each path through the same interface).
+enum class Sha256Backend : std::uint8_t {
+  kAuto = 0,     // resolve at first use: SHA-NI if available, else scalar
+  kShaNi = 1,    // x86 SHA extensions (ignored if the CPU lacks them)
+  kScalar = 2,   // fully-unrolled scalar rounds
+  kPortable = 3, // original readable reference loop
+};
 
 class Sha256 {
  public:
@@ -28,8 +44,23 @@ class Sha256 {
   /// One-shot returning an owned buffer (handy for serialization).
   static common::Bytes hash_bytes(common::ByteView data);
 
+  /// Four independent messages hashed together. On the scalar path the four
+  /// lanes run the compression function in lock-step through SIMD vectors
+  /// (one message per lane) for as long as all lanes still have whole blocks,
+  /// then each finishes alone; with SHA-NI the single-stream kernel is
+  /// already faster than 4-wide scalar SIMD, so the lanes just run in turn.
+  /// Inputs may have unequal lengths.
+  static void hash4(const common::ByteView in[4], Digest out[4]);
+
+  /// Overrides backend selection process-wide (kAuto restores detection).
+  /// A forced backend the CPU cannot run falls back to the best supported.
+  static void force_backend(Sha256Backend b);
+
+  /// The backend that would run right now (never kAuto).
+  [[nodiscard]] static Sha256Backend active_backend();
+
  private:
-  void process_block(const std::uint8_t* block);
+  void process_blocks(const std::uint8_t* data, std::size_t nblocks);
 
   std::array<std::uint32_t, 8> state_{};
   std::array<std::uint8_t, kBlockSize> buffer_{};

@@ -107,7 +107,11 @@ void WormClient::ping() {
 
 Response WormClient::transact(Request req) {
   req.rid = next_rid_++;
-  Bytes frame = encode_frame(encode_request(req));
+  // Encode into the reused scratch buffer: steady-state requests allocate
+  // nothing once the arena is warm.
+  out_.buffer().clear();
+  append_request_frame(out_.buffer(), req);
+  const Bytes& frame = out_.buffer();
 
   // io_timeout bounds the whole round trip against an absolute deadline — a
   // server that trickles one byte per poll wakeup cannot keep resetting the
@@ -153,6 +157,11 @@ Response WormClient::transact(Request req) {
       }
       if (resp.attestation.has_value()) {
         attestation_ = resp.attestation;
+      }
+      if (resp.epoch_cert.has_value() &&
+          (!epoch_cert_.has_value() ||
+           resp.epoch_cert->epoch > epoch_cert_->epoch)) {
+        epoch_cert_ = resp.epoch_cert;
       }
       return resp;
     }

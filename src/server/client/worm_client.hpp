@@ -93,6 +93,14 @@ class WormClient {
     return attestation_;
   }
 
+  /// Latest epoch attestation certificate the server forwarded — the
+  /// amortized freshness carrier (one signature per epoch interval). NOT yet
+  /// verified — check with ClientVerifier::verify_epoch_cert, which also
+  /// convicts epoch replay and SN_current rollback.
+  [[nodiscard]] const std::optional<core::EpochCert>& epoch_cert() const {
+    return epoch_cert_;
+  }
+
  private:
   /// One request/response round trip; verifies the rid/op echo and captures
   /// any forwarded attestation.
@@ -102,8 +110,10 @@ class WormClient {
   common::Socket sock_;
   common::Bytes in_;
   std::size_t in_off_ = 0;  // consumed-frame offset; see compact_frames
+  common::ScratchArena out_;  // reused request-frame encode buffer
   std::uint64_t next_rid_ = 1;
   std::optional<core::SignedSnCurrent> attestation_;
+  std::optional<core::EpochCert> epoch_cert_;
 };
 
 }  // namespace worm::server

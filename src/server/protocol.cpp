@@ -198,8 +198,9 @@ core::ReadOutcome decode_read_outcome(core::WireStatus status,
   throw common::InternalError("decode_read_outcome: corrupt ReadStatus");
 }
 
-Bytes encode_request(const Request& req) {
-  ByteWriter w;
+namespace {
+
+void encode_request_body(ByteWriter& w, const Request& req) {
   w.u8(static_cast<std::uint8_t>(req.op));
   w.u64(req.rid);
   switch (req.op) {
@@ -221,7 +222,49 @@ Bytes encode_request(const Request& req) {
     case MsgOp::kPing:
       break;
   }
+}
+
+void encode_response_body(ByteWriter& w, const Response& resp) {
+  w.u8(static_cast<std::uint8_t>(resp.op));
+  w.u64(resp.rid);
+  w.u16(static_cast<std::uint16_t>(resp.status));
+  std::uint8_t mask = 0;
+  if (resp.attestation.has_value()) mask |= kAttSnCurrent;
+  if (resp.epoch_cert.has_value()) mask |= kAttEpochCert;
+  w.u8(mask);
+  if (resp.attestation.has_value()) resp.attestation->serialize(w);
+  if (resp.epoch_cert.has_value()) resp.epoch_cert->serialize(w);
+
+  if (resp.op == MsgOp::kRead && core::is_read_status(resp.status)) {
+    encode_read_outcome(w, resp.outcome);
+  } else if (resp.status == core::WireStatus::kOk) {
+    if (resp.op == MsgOp::kWrite) w.u64(resp.sn);
+    // kHello / kLitHold / kLitRelease / kPing: status alone is the answer.
+  } else {
+    w.str(resp.message);
+  }
+}
+
+}  // namespace
+
+Bytes encode_request(const Request& req) {
+  ByteWriter w;
+  encode_request_body(w, req);
   return w.take();
+}
+
+void append_request_frame(Bytes& out, const Request& req) {
+  ByteWriter w(out);
+  w.u32(0);  // frame length placeholder
+  encode_request_body(w, req);
+  w.patch_u32(0, static_cast<std::uint32_t>(w.size() - 4));
+}
+
+void append_response_frame(Bytes& out, const Response& resp) {
+  ByteWriter w(out);
+  w.u32(0);  // frame length placeholder
+  encode_response_body(w, resp);
+  w.patch_u32(0, static_cast<std::uint32_t>(w.size() - 4));
 }
 
 Request decode_request(common::ByteView body) {
@@ -254,20 +297,7 @@ Request decode_request(common::ByteView body) {
 
 Bytes encode_response(const Response& resp) {
   ByteWriter w;
-  w.u8(static_cast<std::uint8_t>(resp.op));
-  w.u64(resp.rid);
-  w.u16(static_cast<std::uint16_t>(resp.status));
-  w.boolean(resp.attestation.has_value());
-  if (resp.attestation.has_value()) resp.attestation->serialize(w);
-
-  if (resp.op == MsgOp::kRead && core::is_read_status(resp.status)) {
-    encode_read_outcome(w, resp.outcome);
-  } else if (resp.status == core::WireStatus::kOk) {
-    if (resp.op == MsgOp::kWrite) w.u64(resp.sn);
-    // kHello / kLitHold / kLitRelease / kPing: status alone is the answer.
-  } else {
-    w.str(resp.message);
-  }
+  encode_response_body(w, resp);
   return w.take();
 }
 
@@ -277,8 +307,15 @@ Response decode_response(common::ByteView body) {
   resp.op = msg_op_from_u8(r.u8());
   resp.rid = r.u64();
   resp.status = core::wire_status_from_u16(r.u16());
-  if (r.boolean()) {
+  std::uint8_t mask = r.u8();
+  if ((mask & ~(kAttSnCurrent | kAttEpochCert)) != 0) {
+    throw ParseError("unknown attestation-slot bits " + std::to_string(mask));
+  }
+  if ((mask & kAttSnCurrent) != 0) {
     resp.attestation = core::SignedSnCurrent::deserialize(r);
+  }
+  if ((mask & kAttEpochCert) != 0) {
+    resp.epoch_cert = core::EpochCert::deserialize(r);
   }
 
   if (resp.op == MsgOp::kRead && core::is_read_status(resp.status)) {

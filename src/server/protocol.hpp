@@ -33,7 +33,13 @@ namespace worm::server {
 
 /// Bumped on any incompatible frame change; kHello carries the client's
 /// version and the server refuses mismatches with kBadRequest.
-inline constexpr std::uint16_t kProtocolVersion = 1;
+/// v2: the per-response attestation slot became a bitmask carrying an
+/// optional EpochCert next to the optional S_s(SN_current).
+inline constexpr std::uint16_t kProtocolVersion = 2;
+
+/// Bits of the v2 per-response attestation slot.
+inline constexpr std::uint8_t kAttSnCurrent = 1u << 0;
+inline constexpr std::uint8_t kAttEpochCert = 1u << 1;
 
 /// Default per-frame byte bound (body, excluding the u32 prefix). A peer
 /// declaring a larger frame is cut off before any allocation.
@@ -84,6 +90,12 @@ struct Response {
   /// last sent; clients verify the SCPU signature before adopting it.
   std::optional<core::SignedSnCurrent> attestation;
 
+  /// Present when the session's epoch cert advanced past what this
+  /// connection was last sent. One cert covers every response in its epoch
+  /// interval — the amortized freshness carrier; clients verify its SCPU
+  /// signature (and epoch monotonicity) before adopting it.
+  std::optional<core::EpochCert> epoch_cert;
+
   // Payload, by op/status:
   core::Sn sn = core::kInvalidSn;   // kWrite + kOk
   core::ReadOutcome outcome;        // kRead + any read-family status
@@ -120,6 +132,12 @@ void compact_frames(common::Bytes& buf, std::size_t& off);
 
 [[nodiscard]] common::Bytes encode_response(const Response& resp);
 [[nodiscard]] Response decode_response(common::ByteView body);
+
+/// Zero-copy variants: append one complete frame (u32 prefix + body)
+/// directly onto `out` — the server's per-connection output buffer — with
+/// no intermediate body allocation. The length prefix is back-patched.
+void append_request_frame(common::Bytes& out, const Request& req);
+void append_response_frame(common::Bytes& out, const Response& resp);
 
 /// The read envelope by itself (what a kRead response carries after the
 /// status): exposed for tests that check proof-stream equivalence.

@@ -123,14 +123,23 @@ void WormServer::accept_pending(std::deque<common::Socket>& local) {
 void WormServer::stamp_attestation(Conn& conn, Response& resp) {
   if (conn.session == nullptr) return;
   const core::SignedSnCurrent& wm = conn.session->watermark();
-  if (wm.sig.empty() || wm.stamped_at.ns <= conn.attested_at.ns) return;
-  resp.attestation = wm;
-  conn.attested_at = wm.stamped_at;
+  if (!wm.sig.empty() && wm.stamped_at.ns > conn.attested_at.ns) {
+    resp.attestation = wm;
+    conn.attested_at = wm.stamped_at;
+  }
+  const std::optional<core::EpochCert>& cert = conn.session->epoch_cert();
+  if (cert.has_value() && cert->epoch > conn.attested_epoch) {
+    resp.epoch_cert = *cert;
+    conn.attested_epoch = cert->epoch;
+  }
 }
 
 void WormServer::send_response(Conn& conn, Response resp) {
   stamp_attestation(conn, resp);
-  Bytes body = encode_response(resp);
+  // Zero-copy: the frame is encoded straight into the connection's output
+  // buffer (length prefix back-patched) — no per-response body allocation.
+  std::size_t frame_start = conn.out.size();
+  append_response_frame(conn.out, resp);
   // The untrusted-server adversary: corrupt a served payload between store
   // and socket. Clients must convict this with ClientVerifier — the server
   // test proves they do. Payload blobs sit at the tail of a read response,
@@ -141,14 +150,13 @@ void WormServer::send_response(Conn& conn, Response resp) {
           common::FaultKind::kBitFlip) {
     const core::ReadOk* ok = resp.outcome.ok();
     std::size_t last = ok->payloads.back().size();
-    if (last > 0 && body.size() >= last) {
-      std::size_t base = body.size() - last;
+    std::size_t body_bytes = conn.out.size() - frame_start - 4;
+    if (last > 0 && body_bytes >= last) {
+      std::size_t base = conn.out.size() - last;
       std::uint64_t bit = config_.fault->shape(last * 8);
-      body[base + bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
+      conn.out[base + bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
     }
   }
-  Bytes frame = encode_frame(body);
-  conn.out.insert(conn.out.end(), frame.begin(), frame.end());
   stats_.responses.fetch_add(1, std::memory_order_relaxed);
 }
 
@@ -252,10 +260,16 @@ void WormServer::handle_frame(Conn& conn, const Bytes& body) {
         resp.status = core::WireStatus::kOk;
         break;
       case MsgOp::kPing:
-        // A ping is the remote freshness lever: force a heartbeat crossing
-        // so the pong carries a just-stamped attestation (nothing else
-        // advances simulated time in a server process).
-        (void)conn.session->refresh();
+        // A ping is the remote freshness lever — but a mailbox crossing is
+        // only paid when the session is actually stale. Steady state, the
+        // cached epoch cert keeps the session fresh and the pong forwards
+        // it with zero attestation crossings (the tentpole's O(1)
+        // amortization); once it ages past the horizon, force a heartbeat
+        // so the pong carries a just-stamped attestation.
+        conn.session->sync();
+        if (!conn.session->fresh(conn.session->freshness_horizon())) {
+          (void)conn.session->refresh();
+        }
         resp.status = core::WireStatus::kOk;
         break;
       case MsgOp::kHello:
@@ -281,6 +295,10 @@ void WormServer::resolve_pending(Conn& conn) {
     try {
       resp.sn = it->ticket.get();  // resolved: returns without blocking
       resp.status = core::WireStatus::kOk;
+      // The commit this ticket waited on adopted the batch ack's watermark
+      // and epoch cert into the store; sync so the ack we are about to send
+      // forwards them (the amortized-freshness carrier rides write acks).
+      conn.session->sync();
     } catch (const std::exception& e) {
       stats_.errors.fetch_add(1, std::memory_order_relaxed);
       resp.status = core::to_wire(core::classify(e));

@@ -22,8 +22,10 @@
 //    optional fault injector's "server.response" site models exactly that
 //    adversary (bit-flips a response body in flight);
 //  * watermark movement (fresh S_s(SN_current) from batch acks/heartbeats)
-//    is forwarded in the attestation slot of the next response on each
-//    connection.
+//    and epoch-cert advancement are forwarded in the attestation slot of the
+//    next response on each connection; steady-state pings ride the cached
+//    epoch cert and cross the SCPU mailbox only once the session actually
+//    goes stale (O(1)-amortized freshness).
 #pragma once
 
 #include <atomic>
@@ -139,6 +141,8 @@ class WormServer {
     std::vector<PendingWrite> pending;
     /// Stamp of the last attestation forwarded on this connection.
     common::SimTime attested_at{INT64_MIN};
+    /// Highest epoch-cert epoch forwarded on this connection.
+    std::uint64_t attested_epoch = 0;
   };
 
   void loop_main(std::size_t loop_idx);

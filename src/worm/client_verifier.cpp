@@ -155,6 +155,36 @@ Outcome ClientVerifier::verify_current(const SignedSnCurrent& current,
   return {Verdict::kNeverExistedVerified, "above SN_current: never stored"};
 }
 
+Outcome ClientVerifier::verify_epoch_cert(const EpochCert& cert) {
+  if (!memo_->verify(anchors_.meta_key,
+                     epoch_cert_payload(cert.epoch, cert.sn_current,
+                                        cert.stamped_at),
+                     cert.sig)) {
+    return {Verdict::kTampered, "epoch cert signature invalid"};
+  }
+  // Same freshness horizon as S_s(SN_current): an authentic-but-old cert is
+  // exactly the record-hiding replay §4.2.1 (ii) defends against.
+  if (time_.now() - cert.stamped_at > anchors_.sn_current_max_age) {
+    return {Verdict::kStaleProof,
+            "epoch cert stamp too old; possible record hiding"};
+  }
+  // The epoch counter is battery-backed and strictly monotone in the
+  // firmware, so a lower epoch than one we already accepted is a replay...
+  if (cert.epoch < last_epoch_) {
+    return {Verdict::kStaleProof,
+            "epoch cert older than one already verified; replay"};
+  }
+  // ...and a same-or-later epoch whose SN_current moved *backwards* means
+  // the store is trying to un-allocate records: conviction, not staleness.
+  if (cert.sn_current < last_epoch_sn_) {
+    return {Verdict::kTampered,
+            "epoch cert rolls SN_current backwards; record hiding"};
+  }
+  last_epoch_ = cert.epoch;
+  last_epoch_sn_ = cert.sn_current;
+  return {Verdict::kAuthentic, ""};
+}
+
 Outcome ClientVerifier::verify_window(const DeletedWindow& window,
                                       Sn requested) const {
   // Both bounds must verify AND carry the same window id — the correlation

@@ -84,6 +84,14 @@ class ClientVerifier {
   [[nodiscard]] Outcome verify_window(const DeletedWindow& window,
                                       Sn requested) const;
 
+  /// Verifies an epoch attestation certificate. Non-const: the verifier
+  /// remembers the highest epoch (and its SN_current) it has accepted, so a
+  /// later presentation of an earlier epoch is convicted as replay and a
+  /// same-or-later epoch covering a *smaller* SN_current is convicted as
+  /// rollback. The signature check itself is memoized, so steady-state
+  /// re-verification of the cached cert costs one map lookup, not one RSA op.
+  [[nodiscard]] Outcome verify_epoch_cert(const EpochCert& cert);
+
   /// Validates a short-term key certificate chain entry.
   [[nodiscard]] bool verify_short_cert(const ShortKeyCert& cert) const;
 
@@ -96,6 +104,9 @@ class ClientVerifier {
   // Memoizes only the pure rsa_verify() result; every time-dependent check
   // (cert validity, proof freshness) runs on each call regardless.
   std::shared_ptr<SigVerifyMemo> memo_;
+  // High-water marks for verify_epoch_cert's monotonicity checks.
+  std::uint64_t last_epoch_ = 0;
+  Sn last_epoch_sn_ = 0;
 };
 
 }  // namespace worm::core

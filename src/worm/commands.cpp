@@ -194,6 +194,13 @@ Bytes ScpuChannel::dispatch(ByteView request) {
       auto hash_mode = get_hash_mode(r);
       r.expect_end();
       put_witness(out, fw_.write(attr, rdl, payloads, claimed, mode, hash_mode));
+      // Epoch attestation rides single-write acks exactly like batch acks.
+      if (std::optional<EpochCert> cert = fw_.epoch_cert_opt()) {
+        out.boolean(true);
+        cert->serialize(out);
+      } else {
+        out.boolean(false);
+      }
       break;
     }
     case OpCode::kWriteBatch: {
@@ -218,6 +225,20 @@ Bytes ScpuChannel::dispatch(ByteView request) {
       // Batch ack shape: the group's net effect on the device's SN counter
       // rides the same crossing, so the host mirror never lags its own ack.
       out.u64(fw_.sn_current());
+      // Epoch attestation rides the ack too: with certs refreshed by write
+      // traffic itself, a steady read workload needs no dedicated
+      // attestation crossing at all.
+      if (std::optional<EpochCert> cert = fw_.epoch_cert_opt()) {
+        out.boolean(true);
+        cert->serialize(out);
+      } else {
+        out.boolean(false);
+      }
+      break;
+    }
+    case OpCode::kEpochCert: {
+      r.expect_end();
+      fw_.epoch_cert().serialize(out);
       break;
     }
     case OpCode::kStatus: {
@@ -530,6 +551,13 @@ Bytes ScpuChannel::encode_write_batch(
     const std::vector<Firmware::BatchItem>& items, WitnessMode mode,
     HashMode hash_mode) {
   ByteWriter w;
+  encode_write_batch_into(w, items, mode, hash_mode);
+  return w.take();
+}
+
+void ScpuChannel::encode_write_batch_into(
+    ByteWriter& w, const std::vector<Firmware::BatchItem>& items,
+    WitnessMode mode, HashMode hash_mode) {
   w.u8(static_cast<std::uint8_t>(OpCode::kWriteBatch));
   w.u8(static_cast<std::uint8_t>(mode));
   w.u8(static_cast<std::uint8_t>(hash_mode));
@@ -541,7 +569,6 @@ Bytes ScpuChannel::encode_write_batch(
     put_payloads(w, item.payloads);
     w.blob(item.claimed_hash);
   }
-  return w.take();
 }
 
 Bytes ScpuChannel::encode_lit_hold(const Vrd& vrd, common::SimTime hold_until,
@@ -605,11 +632,13 @@ Bytes ScpuChannel::encode_advance_base(
   return w.take();
 }
 
-WriteWitness ScpuChannel::decode_write_response(ByteView payload) {
+ScpuChannel::WriteAck ScpuChannel::decode_write_response(ByteView payload) {
   ByteReader r(payload);
-  WriteWitness ww = get_witness(r);
+  WriteAck ack;
+  ack.witness = get_witness(r);
+  if (r.boolean()) ack.epoch_cert = EpochCert::deserialize(r);
   r.expect_end();
-  return ww;
+  return ack;
 }
 
 ScpuChannel::BatchAck ScpuChannel::decode_write_batch_response(
@@ -620,6 +649,7 @@ ScpuChannel::BatchAck ScpuChannel::decode_write_batch_response(
   ack.witnesses.reserve(n);
   for (std::uint32_t i = 0; i < n; ++i) ack.witnesses.push_back(get_witness(r));
   ack.sn_current_after = r.u64();
+  if (r.boolean()) ack.epoch_cert = EpochCert::deserialize(r);
   r.expect_end();
   return ack;
 }
@@ -734,9 +764,10 @@ WriteWitness ScpuChannel::write(
     const Attr& attr, const std::vector<storage::RecordDescriptor>& rdl,
     const std::vector<Bytes>& payloads, ByteView claimed_hash,
     WitnessMode mode, HashMode hash_mode) {
-  return decode_write_response(send_ok(
-      prepare(encode_write(attr, rdl, payloads, claimed_hash, mode,
-                           hash_mode))));
+  return decode_write_response(
+             send_ok(prepare(encode_write(attr, rdl, payloads, claimed_hash,
+                                          mode, hash_mode))))
+      .witness;
 }
 
 std::vector<WriteWitness> ScpuChannel::write_batch(
@@ -776,6 +807,14 @@ SignedSnBase ScpuChannel::sign_base() {
   Bytes payload_bytes = invoke_ok(w.take());
   ByteReader r(payload_bytes);
   return SignedSnBase::deserialize(r);
+}
+
+EpochCert ScpuChannel::epoch_cert() {
+  ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(OpCode::kEpochCert));
+  Bytes payload_bytes = invoke_ok(w.take());
+  ByteReader r(payload_bytes);
+  return EpochCert::deserialize(r);
 }
 
 SignedSnBase ScpuChannel::advance_base(

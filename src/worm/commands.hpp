@@ -56,6 +56,7 @@ enum class OpCode : std::uint8_t {
   kHashAuditsPending = 17,
   kWriteBatch = 18,
   kStatus = 19,
+  kEpochCert = 20,
 };
 
 /// Hard cap on writes per kWriteBatch crossing: bounds the device-side
@@ -197,6 +198,10 @@ class ScpuChannel {
   static common::Bytes encode_write_batch(
       const std::vector<Firmware::BatchItem>& items, WitnessMode mode,
       HashMode hash_mode);
+  /// Writer-sink variant for hot paths encoding into a reusable arena.
+  static void encode_write_batch_into(
+      common::ByteWriter& w, const std::vector<Firmware::BatchItem>& items,
+      WitnessMode mode, HashMode hash_mode);
   static common::Bytes encode_lit_hold(const Vrd& vrd,
                                        common::SimTime hold_until,
                                        std::uint64_t lit_id,
@@ -215,7 +220,14 @@ class ScpuChannel {
       Sn new_base, const std::vector<DeletionProof>& proofs,
       const std::vector<DeletedWindow>& windows);
 
-  static WriteWitness decode_write_response(common::ByteView payload);
+  /// kWrite ack: the witness plus, like the batch ack, the newest EpochCert
+  /// when one rolled during the crossing — the single-write path keeps
+  /// sessions' freshness caches warm the same way group commit does.
+  struct WriteAck {
+    WriteWitness witness;
+    std::optional<EpochCert> epoch_cert;
+  };
+  static WriteAck decode_write_response(common::ByteView payload);
   /// kWriteBatch ack: the witnesses plus the device's SN_current after the
   /// whole group landed. The trailing attestation lets the host advance its
   /// scheduling mirror straight off the ack — one group-commit flush updates
@@ -223,6 +235,10 @@ class ScpuChannel {
   struct BatchAck {
     std::vector<WriteWitness> witnesses;
     Sn sn_current_after = 0;
+    // Present when the device runs epoch attestation: the newest EpochCert,
+    // carried opportunistically so steady writes keep every session's
+    // freshness cache warm with zero dedicated attestation crossings.
+    std::optional<EpochCert> epoch_cert;
   };
   static BatchAck decode_write_batch_response(common::ByteView payload);
   static Firmware::LitUpdate decode_lit_response(common::ByteView payload);
@@ -267,6 +283,10 @@ class ScpuChannel {
       HashMode hash_mode);
   [[nodiscard]] ScpuStatus status();
   [[nodiscard]] SignedSnCurrent heartbeat();
+  /// Fetches (re-signing first if the interval elapsed) the device's
+  /// EpochCert. Unsequenced; throws ChannelError when epoch attestation is
+  /// disabled on the device.
+  [[nodiscard]] EpochCert epoch_cert();
   [[nodiscard]] SignedSnBase sign_base();
   [[nodiscard]] SignedSnBase advance_base(Sn new_base,
                             const std::vector<DeletionProof>& proofs,

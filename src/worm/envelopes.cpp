@@ -93,4 +93,13 @@ Bytes migration_payload(ByteView manifest_hash, std::uint64_t source_store_id,
   return w.take();
 }
 
+Bytes epoch_cert_payload(std::uint64_t epoch, Sn sn_current,
+                         SimTime stamped_at) {
+  ByteWriter w = begin(EnvelopeTag::kEpochCert);
+  w.u64(epoch);
+  w.u64(sn_current);
+  w.i64(stamped_at.ns);
+  return w.take();
+}
+
 }  // namespace worm::core

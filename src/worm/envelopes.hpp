@@ -25,6 +25,7 @@ enum class EnvelopeTag : std::uint8_t {
   kShortKeyCert = 8,  // (key_id, bits, pubkey, validity)  — key s
   kLitCredential = 9, // (SN, issued_at, lit_id, hold?)    — regulator key
   kMigration = 10,    // (manifest_hash, src, dst, time)   — key s of source
+  kEpochCert = 11,    // (epoch, SN_current, timestamp)    — key s
 };
 
 /// (SN, attr) — Table 1 metasig payload.
@@ -63,5 +64,11 @@ common::Bytes migration_payload(common::ByteView manifest_hash,
                                 std::uint64_t source_store_id,
                                 std::uint64_t dest_store_id,
                                 common::SimTime migrated_at);
+
+/// Numbered epoch freshness checkpoint (EpochCert). The epoch counter is
+/// inside the signed payload so a cached cert can never be rolled back to an
+/// earlier one without the client noticing the number decrease.
+common::Bytes epoch_cert_payload(std::uint64_t epoch, Sn sn_current,
+                                 common::SimTime stamped_at);
 
 }  // namespace worm::core

@@ -146,6 +146,14 @@ WriteWitness Firmware::write(const Attr& attr_in,
                              const std::vector<Bytes>& payloads,
                              ByteView claimed_hash, WitnessMode mode,
                              HashMode hash_mode) {
+  return write_impl(attr_in, rdl, payloads, claimed_hash, mode, hash_mode,
+                    /*precomputed_hash=*/nullptr);
+}
+
+WriteWitness Firmware::write_impl(
+    const Attr& attr_in, const std::vector<storage::RecordDescriptor>& rdl,
+    const std::vector<Bytes>& payloads, ByteView claimed_hash,
+    WitnessMode mode, HashMode hash_mode, const Bytes* precomputed_hash) {
   dev_.ensure_alive();
   WORM_REQUIRE(attr_in.retention.ns > 0, "Firmware::write: zero retention");
   WORM_REQUIRE(!rdl.empty(), "Firmware::write: empty RDL");
@@ -158,7 +166,16 @@ WriteWitness Firmware::write(const Attr& attr_in,
   if (hash_mode == HashMode::kScpuHash) {
     WORM_REQUIRE(!payloads.empty(),
                  "Firmware::write: kScpuHash requires payloads");
-    out.data_hash = compute_chained_hash(payloads, /*charge=*/true);
+    if (precomputed_hash != nullptr) {
+      // Same per-item charge as the sequential path; only the computation
+      // was shared across the batch's 4-lane hashing.
+      std::size_t total = 0;
+      for (const auto& p : payloads) total += p.size();
+      dev_.charge(dev_.cost().hash_cost(total, config_.data_chunk));
+      out.data_hash = *precomputed_hash;
+    } else {
+      out.data_hash = compute_chained_hash(payloads, /*charge=*/true);
+    }
   } else {
     WORM_REQUIRE(claimed_hash.size() == 32,
                  "Firmware::write: kHostHash requires a 32-byte claimed hash");
@@ -231,13 +248,28 @@ std::vector<WriteWitness> Firmware::write_batch(
                    "write_batch: kHostHash requires a 32-byte claimed hash");
     }
   }
+  // kScpuHash batches hash their payload chains four at a time (multi-buffer
+  // SHA-256); each item still pays exactly the hash cost the sequential path
+  // would charge it, and the digests are bit-identical.
+  std::vector<Bytes> hashes;
+  if (hash_mode == HashMode::kScpuHash) {
+    std::vector<const std::vector<Bytes>*> lists;
+    lists.reserve(items.size());
+    for (const auto& item : items) lists.push_back(&item.payloads);
+    std::vector<crypto::Sha256::Digest> digests =
+        crypto::ChainedHash::over_many(lists);
+    hashes.reserve(digests.size());
+    for (const auto& d : digests) hashes.emplace_back(d.begin(), d.end());
+  }
   std::vector<WriteWitness> out;
   out.reserve(items.size());
-  for (const auto& item : items) {
-    out.push_back(
-        write(item.attr, item.rdl, item.payloads, item.claimed_hash, mode,
-              hash_mode));
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    const BatchItem& item = items[i];
+    out.push_back(write_impl(
+        item.attr, item.rdl, item.payloads, item.claimed_hash, mode, hash_mode,
+        hash_mode == HashMode::kScpuHash ? &hashes[i] : nullptr));
   }
+  roll_epoch_if_due();  // the cert rides this crossing's ack when due
   return out;
 }
 
@@ -362,7 +394,40 @@ SignedSnCurrent Firmware::heartbeat() {
                     sn_current_payload(s.sn_current, s.stamped_at),
                     config_.strong_bits);
   ++counters_.heartbeats;
+  roll_epoch_if_due();
   return s;
+}
+
+void Firmware::roll_epoch_if_due() {
+  if (!config_.epoch_attestation) return;
+  if (epoch_cert_.has_value() &&
+      dev_.now() - epoch_cert_->stamped_at < config_.epoch_interval) {
+    return;
+  }
+  EpochCert c;
+  c.epoch = ++epoch_;
+  c.sn_current = sn_current_;
+  c.stamped_at = dev_.now();
+  c.sig = sign_with(*strong_key_,
+                    epoch_cert_payload(c.epoch, c.sn_current, c.stamped_at),
+                    config_.strong_bits);
+  epoch_cert_ = std::move(c);
+  ++counters_.epoch_certs;
+}
+
+EpochCert Firmware::epoch_cert() {
+  dev_.ensure_alive();
+  if (!config_.epoch_attestation) {
+    throw ScpuError("epoch_cert: epoch attestation disabled");
+  }
+  roll_epoch_if_due();
+  return *epoch_cert_;
+}
+
+std::optional<EpochCert> Firmware::epoch_cert_opt() {
+  if (!config_.epoch_attestation || dev_.tampered()) return std::nullopt;
+  roll_epoch_if_due();
+  return epoch_cert_;
 }
 
 void Firmware::heartbeat_fire() {
@@ -740,7 +805,8 @@ void Firmware::vexp_rebuild_end() {
 common::Bytes Firmware::save_nvram() const {
   dev_.ensure_alive();
   common::ByteWriter w;
-  w.str("worm-nvram-v1");
+  w.str("worm-nvram-v2");
+  w.u64(epoch_);
   w.u64(sn_current_);
   w.u64(sn_base_);
   w.u32(current_short_id_);
@@ -793,9 +859,10 @@ void Firmware::restore_nvram(common::ByteView nvram) {
   WORM_REQUIRE(sn_current_ == 0 && deferred_.empty() && vexp_.empty(),
                "restore_nvram: device already in service");
   common::ByteReader r(nvram);
-  if (r.str() != "worm-nvram-v1") {
+  if (r.str() != "worm-nvram-v2") {
     throw common::ParseError("restore_nvram: bad magic");
   }
+  epoch_ = r.u64();
   sn_current_ = r.u64();
   sn_base_ = r.u64();
   current_short_id_ = r.u32();
@@ -890,6 +957,7 @@ void Firmware::process_idle() {
       return kv.first != current_short_id_;
     });
   }
+  roll_epoch_if_due();
 }
 
 }  // namespace worm::core

@@ -61,6 +61,15 @@ struct FirmwareConfig {
   common::Duration sn_base_validity = common::Duration::minutes(10);
   /// Litigation credentials older than this are refused.
   common::Duration lit_credential_max_age = common::Duration::hours(24);
+  /// Epoch attestation (O(1)-amortized freshness): at most one EpochCert
+  /// signature per interval, refreshed lazily whenever any command enters
+  /// the device with the current cert older than this. Should be well below
+  /// sn_current_max_age so a cert riding a batch ack is always fresh enough
+  /// for clients judging by that policy.
+  common::Duration epoch_interval = common::Duration::seconds(30);
+  /// Master switch for epoch certificates (off = per-read/per-ping
+  /// S_s(SN_current) attestation only, the pre-epoch behavior).
+  bool epoch_attestation = true;
   /// Secure-memory budget for the VEXP (bytes); ~24 bytes/entry.
   std::size_t vexp_memory_bytes = 1u << 20;
   /// Streaming chunk for DMA + hashing of record payloads.
@@ -167,6 +176,16 @@ class Firmware {
   /// On-demand S_s(SN_current) heartbeat (also fired periodically).
   SignedSnCurrent heartbeat();
 
+  /// Latest epoch certificate, re-signed first if the epoch interval has
+  /// elapsed (at most one signature per interval — the amortization).
+  /// Throws ScpuError when config().epoch_attestation is off.
+  EpochCert epoch_cert();
+
+  /// Like epoch_cert() but nullopt when epoch attestation is disabled —
+  /// the form the batch-ack encoder uses so a kWriteBatch response can
+  /// carry the cert opportunistically.
+  std::optional<EpochCert> epoch_cert_opt();
+
   /// Fresh S_s(SN_base).
   SignedSnBase sign_base();
 
@@ -263,6 +282,7 @@ class Firmware {
     std::uint64_t hash_audits = 0;
     std::uint64_t lit_ops = 0;
     std::uint64_t key_rotations = 0;
+    std::uint64_t epoch_certs = 0;  // EpochCert signatures issued
   };
   [[nodiscard]] const Counters& counters() const { return counters_; }
 
@@ -304,6 +324,15 @@ class Firmware {
 
   common::Bytes sign_with(const crypto::RsaPrivateKey& key,
                           common::ByteView payload, std::size_t bits);
+  /// write() body; `precomputed_hash` (kScpuHash only) carries a chained
+  /// hash the batch path already computed in 4-lane lock-step — the cost is
+  /// still charged per item, identically to the sequential path.
+  WriteWitness write_impl(const Attr& attr_in,
+                          const std::vector<storage::RecordDescriptor>& rdl,
+                          const std::vector<common::Bytes>& payloads,
+                          common::ByteView claimed_hash, WitnessMode mode,
+                          HashMode hash_mode,
+                          const common::Bytes* precomputed_hash);
   bool verify_metasig(const Vrd& vrd);
   bool verify_datasig(const Vrd& vrd);
   bool verify_sigbox(const SigBox& box, common::ByteView payload);
@@ -311,6 +340,9 @@ class Firmware {
       const std::vector<common::Bytes>& payloads, bool charge);
   const ShortKey& current_short_key();
   void rotate_short_key();
+  /// Re-signs the epoch cert when none exists yet or the interval elapsed;
+  /// otherwise a cheap early-out. No-op when epoch attestation is off.
+  void roll_epoch_if_due();
   void vexp_insert(common::SimTime expiry, Sn sn);
   void vexp_erase_entry(std::multimap<common::SimTime, Sn>::iterator it);
   void reschedule_rm();
@@ -336,6 +368,13 @@ class Firmware {
 
   Sn sn_current_ = 0;
   Sn sn_base_ = 1;
+
+  // Epoch attestation state. The counter is battery-backed (persisted in
+  // nvram) so epochs stay monotone across restarts — the property clients
+  // use to convict rollback; the cert itself is just a cache and is
+  // re-signed on demand after a restore.
+  std::uint64_t epoch_ = 0;
+  std::optional<EpochCert> epoch_cert_;
 
   // VEXP: expiry-sorted list of serial numbers, secure-memory bounded.
   std::multimap<common::SimTime, Sn> vexp_;

@@ -19,6 +19,22 @@ SignedSnCurrent SignedSnCurrent::deserialize(ByteReader& r) {
   return s;
 }
 
+void EpochCert::serialize(ByteWriter& w) const {
+  w.u64(epoch);
+  w.u64(sn_current);
+  w.i64(stamped_at.ns);
+  w.blob(sig);
+}
+
+EpochCert EpochCert::deserialize(ByteReader& r) {
+  EpochCert c;
+  c.epoch = r.u64();
+  c.sn_current = r.u64();
+  c.stamped_at.ns = r.i64();
+  c.sig = r.blob();
+  return c;
+}
+
 void SignedSnBase::serialize(ByteWriter& w) const {
   w.u64(sn_base);
   w.i64(stamped_at.ns);

@@ -25,6 +25,23 @@ struct SignedSnCurrent {
   bool operator==(const SignedSnCurrent&) const = default;
 };
 
+/// Periodic signed epoch checkpoint (O(1)-amortized freshness): the firmware
+/// folds the SN_current attestations riding batch acks into one numbered,
+/// signed statement per epoch interval. Clients cache the newest cert and
+/// judge freshness from its stamp instead of demanding a per-read
+/// S_s(SN_current) crossing; the monotone epoch number convicts rollback
+/// (an older cert replayed after a newer one was seen).
+struct EpochCert {
+  std::uint64_t epoch = 0;
+  Sn sn_current = kInvalidSn;
+  common::SimTime stamped_at{};
+  common::Bytes sig;
+
+  void serialize(common::ByteWriter& w) const;
+  static EpochCert deserialize(common::ByteReader& r);
+  bool operator==(const EpochCert&) const = default;
+};
+
 /// S_s(SN_base) with expiry: "every SN below this was rightfully deleted".
 struct SignedSnBase {
   Sn sn_base = kInvalidSn;

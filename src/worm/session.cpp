@@ -85,11 +85,32 @@ bool WormSession::observe(const SignedSnCurrent& current) {
   return fresher;
 }
 
-void WormSession::sync() { observe(store_.latest_heartbeat()); }
+bool WormSession::observe_epoch(const EpochCert& cert) {
+  if (cert.sig.empty()) return false;
+  if (epoch_cert_.has_value() && cert.epoch <= epoch_cert_->epoch) return false;
+  epoch_cert_ = cert;
+  return true;
+}
+
+void WormSession::sync() {
+  observe(store_.latest_heartbeat());
+  if (std::optional<EpochCert> cert = store_.latest_epoch_cert()) {
+    observe_epoch(*cert);
+  }
+}
 
 bool WormSession::fresh(common::Duration max_age) const {
-  if (watermark_.sig.empty()) return false;
-  return time_.now() - watermark_.stamped_at <= max_age;
+  // Judge the newest attestation of either kind: the per-operation watermark
+  // or the amortized epoch cert. Steady-state reads ride the cert and never
+  // cross the mailbox just to re-stamp freshness.
+  std::optional<common::SimTime> newest;
+  if (!watermark_.sig.empty()) newest = watermark_.stamped_at;
+  if (epoch_cert_.has_value() &&
+      (!newest.has_value() || epoch_cert_->stamped_at > *newest)) {
+    newest = epoch_cert_->stamped_at;
+  }
+  if (!newest.has_value()) return false;
+  return time_.now() - *newest <= max_age;
 }
 
 SignedSnCurrent WormSession::refresh() {

@@ -85,17 +85,35 @@ class WormSession {
   /// server forwards exactly the adoptions to its client.
   bool observe(const SignedSnCurrent& current);
 
-  /// Re-reads the store's cached heartbeat into the watermark.
+  /// Latest EpochCert this session has seen (nullopt before the store's
+  /// firmware ever stamped one). The cert is the amortized freshness carrier:
+  /// one signature covers every read inside its epoch interval.
+  [[nodiscard]] const std::optional<EpochCert>& epoch_cert() const {
+    return epoch_cert_;
+  }
+
+  /// Adopts `cert` if its epoch is higher than the cached one. Returns true
+  /// when adopted — the server forwards exactly the adoptions to its client.
+  bool observe_epoch(const EpochCert& cert);
+
+  /// Re-reads the store's cached heartbeat (and epoch cert) into the session.
   void sync();
 
-  /// Freshness check helper: is the watermark recent enough, by this
-  /// session's trusted clock, to satisfy `max_age` (typically
+  /// Freshness check helper: is the newest attestation this session holds —
+  /// watermark or epoch cert, whichever was stamped later — recent enough,
+  /// by this session's trusted clock, to satisfy `max_age` (typically
   /// TrustAnchors::sn_current_max_age)?
   [[nodiscard]] bool fresh(common::Duration max_age) const;
 
   /// Forces a fresh attestation over the mailbox and adopts it. On a
   /// degraded store this returns the last one ever stamped.
   SignedSnCurrent refresh();
+
+  /// The store's configured freshness horizon (sn_current_max_age) — the
+  /// max_age callers should pass fresh() when they have no tighter bound.
+  [[nodiscard]] common::Duration freshness_horizon() const {
+    return store_.freshness_horizon();
+  }
 
   // --- verification --------------------------------------------------------
 
@@ -116,6 +134,7 @@ class WormSession {
   std::string principal_;
   const common::TimeSource& time_;
   SignedSnCurrent watermark_{};
+  std::optional<EpochCert> epoch_cert_;
   std::unique_ptr<ClientVerifier> verifier_;
 };
 

@@ -400,8 +400,9 @@ Sn WormStore::write(const WriteRequest& request) {
     Sequenced sq = sequenced(ScpuChannel::encode_write(
         item.attr, item.rdl, item.payloads, item.claimed_hash, mode,
         config_.hash_mode));
-    Sn sn = finish_write(ScpuChannel::decode_write_response(sq.payload),
-                         std::move(rdl), mode);
+    ScpuChannel::WriteAck ack = ScpuChannel::decode_write_response(sq.payload);
+    adopt_epoch_cert_locked(ack.epoch_cert);
+    Sn sn = finish_write(std::move(ack.witness), std::move(rdl), mode);
     complete_intent(sq.seq);
     return sn;
   } catch (const ScpuDeadError& e) {
@@ -454,6 +455,7 @@ std::vector<Sn> WormStore::write_batch(
                                      std::move(rdls[off + k]), mode));
         }
         sn_current_mirror_ = std::max(sn_current_mirror_, ack.sn_current_after);
+        adopt_epoch_cert_locked(ack.epoch_cert);
         complete_intent(sq.seq);
       }
       i = j;
@@ -558,8 +560,7 @@ void WormStore::close() {
   pipeline_->shutdown_drop();
 }
 
-Firmware::BatchItem WormStore::prepare_pending(
-    const WritePipeline::Pending& p) {
+Firmware::BatchItem WormStore::prepare_pending(WritePipeline::Pending& p) {
   Firmware::BatchItem item;
   item.attr = p.attr;
   item.rdl.reserve(p.payloads.size());
@@ -567,7 +568,9 @@ Firmware::BatchItem WormStore::prepare_pending(
   if (config_.hash_mode == HashMode::kHostHash) {
     item.claimed_hash = p.claimed_hash;  // hashed on the admitting thread
   } else {
-    item.payloads = p.payloads;
+    // The committer owns the group from here on; hand the payloads to the
+    // wire frame instead of duplicating them (they can be multi-MB).
+    item.payloads = std::move(p.payloads);
   }
   return item;
 }
@@ -576,8 +579,13 @@ std::vector<Sn> WormStore::commit_chunk_locked(
     const std::vector<Firmware::BatchItem>& items,
     std::vector<std::vector<storage::RecordDescriptor>> rdls,
     const std::vector<std::uint64_t>& qids, WitnessMode mode) {
-  Sequenced sq = sequenced_group(
-      ScpuChannel::encode_write_batch(items, mode, config_.hash_mode), qids);
+  // Encode the batch frame into the store's reusable arena (no buffer growth
+  // once warm), then take one exact-size copy for the journal/retry owner.
+  common::ByteWriter w = encode_scratch_.writer();
+  ScpuChannel::encode_write_batch_into(w, items, mode, config_.hash_mode);
+  common::ByteView encoded = w.written();
+  Sequenced sq =
+      sequenced_group(Bytes(encoded.begin(), encoded.end()), qids);
   ScpuChannel::BatchAck ack =
       ScpuChannel::decode_write_batch_response(sq.payload);
   WORM_CHECK(ack.witnesses.size() == items.size(),
@@ -592,6 +600,7 @@ std::vector<Sn> WormStore::commit_chunk_locked(
   // The ack's trailing attestation can only run ahead of the per-witness
   // maximum (other writes may have landed on the device since), never behind.
   sn_current_mirror_ = std::max(sn_current_mirror_, ack.sn_current_after);
+  adopt_epoch_cert_locked(ack.epoch_cert);
   complete_intent(sq.seq);
   return sns;
 }
@@ -1110,9 +1119,12 @@ WormStore::RecoveryReport WormStore::recover() {
         case OpCode::kWrite: {
           ScpuChannel::ParsedWrite parsed =
               ScpuChannel::decode_write_request(frame);
-          Sn sn = finish_write(ScpuChannel::decode_write_response(payload),
+          ScpuChannel::WriteAck ack =
+              ScpuChannel::decode_write_response(payload);
+          Sn sn = finish_write(std::move(ack.witness),
                                std::move(parsed.item.rdl), parsed.mode);
           report.recovered_sns.push_back(sn);
+          adopt_epoch_cert_locked(ack.epoch_cert);
           break;
         }
         case OpCode::kWriteBatch: {
@@ -1127,6 +1139,7 @@ WormStore::RecoveryReport WormStore::recover() {
                                  std::move(parsed.items[k].rdl), parsed.mode);
             report.recovered_sns.push_back(sn);
           }
+          adopt_epoch_cert_locked(ack.epoch_cert);
           break;
         }
         case OpCode::kLitHold:
@@ -1297,6 +1310,32 @@ SignedSnCurrent WormStore::refresh_heartbeat() {
     enter_degraded(e);
   }
   return heartbeat_;
+}
+
+void WormStore::adopt_epoch_cert_locked(const std::optional<EpochCert>& cert) {
+  if (!cert.has_value()) return;
+  if (!epoch_cert_.has_value() || cert->epoch > epoch_cert_->epoch) {
+    epoch_cert_ = *cert;
+  }
+}
+
+EpochCert WormStore::refresh_epoch_cert() {
+  common::ExclusiveLock lk(state_mu_);
+  if (degraded_) {
+    // No keys left; the newest cached cert is the freshest statement that
+    // will ever exist.
+    WORM_REQUIRE(epoch_cert_.has_value(),
+                 "refresh_epoch_cert: degraded store never saw an EpochCert");
+    return *epoch_cert_;
+  }
+  try {
+    adopt_epoch_cert_locked(mailbox_.channel().epoch_cert());
+  } catch (const ScpuDeadError& e) {
+    enter_degraded(e);
+  }
+  WORM_REQUIRE(epoch_cert_.has_value(),
+               "refresh_epoch_cert: device died before issuing an EpochCert");
+  return *epoch_cert_;
 }
 
 WormStore::CountersSnapshot WormStore::counters_snapshot(CounterFlush flush) {

@@ -265,6 +265,27 @@ class WormStore final : public HostAgent {
   /// gone, no fresher statement can exist.
   [[nodiscard]] SignedSnCurrent refresh_heartbeat() EXCLUDES(state_mu_);
 
+  /// Newest EpochCert this store has seen (riding batch acks, or fetched by
+  /// refresh_epoch_cert). nullopt before the first one or with epoch
+  /// attestation off. Returned by value: replaced concurrently by writers.
+  [[nodiscard]] std::optional<EpochCert> latest_epoch_cert() const
+      EXCLUDES(state_mu_) {
+    common::SharedLock lk(state_mu_);
+    return epoch_cert_;
+  }
+
+  /// Forces a kEpochCert crossing and adopts (and returns) the result.
+  /// Degraded stores return the last cached cert if any; throws ChannelError
+  /// when the device never ran epoch attestation.
+  [[nodiscard]] EpochCert refresh_epoch_cert() EXCLUDES(state_mu_);
+
+  /// The deployment freshness policy (TrustAnchors::sn_current_max_age)
+  /// without an anchors() mailbox crossing — what the server's ping gate and
+  /// sessions judge watermark/epoch-cert staleness against.
+  [[nodiscard]] common::Duration freshness_horizon() const {
+    return firmware_.config().sn_current_max_age;
+  }
+
   /// Source-side attestation of a compliant-migration manifest.
   MigrationAttestation sign_migration(common::ByteView manifest_hash,
                                       std::uint64_t dest_store_id)
@@ -428,6 +449,11 @@ class WormStore final : public HostAgent {
     common::Bytes payload;
     std::uint64_t seq = 0;
   };
+  /// Adopts a batch-ack (or refreshed) epoch cert when its epoch is newer
+  /// than the cached one.
+  void adopt_epoch_cert_locked(const std::optional<EpochCert>& cert)
+      REQUIRES(state_mu_);
+
   Sequenced sequenced(common::Bytes frame) REQUIRES(state_mu_);
   /// Like sequenced(), but journals a kGroupIntent that atomically supersedes
   /// the listed pipeline admissions (their kQueuedWrite records): after this
@@ -451,8 +477,11 @@ class WormStore final : public HostAgent {
   void flush_group(std::vector<WritePipeline::Pending>&& group)
       EXCLUDES(state_mu_);
   /// BatchItem from an admitted Pending; reuses the admission-thread payload
-  /// hash instead of recomputing (and recharging) under the lock.
-  Firmware::BatchItem prepare_pending(const WritePipeline::Pending& p)
+  /// hash instead of recomputing (and recharging) under the lock. Takes the
+  /// Pending by mutable reference: payloads are MOVED into the item when the
+  /// wire needs them (kScpuHash) — the committer owns the group, so the hot
+  /// flush path forwards multi-MB payload vectors without copying them.
+  Firmware::BatchItem prepare_pending(WritePipeline::Pending& p)
       REQUIRES(state_mu_);
   /// One kWriteBatch crossing for <= mailbox.max_batch same-mode items,
   /// journaled as a group intent over `qids`. Applies the witnesses and the
@@ -525,7 +554,13 @@ class WormStore final : public HostAgent {
   // maybe_cache_locked), which GUARDED_BY cannot express.
   ReadCache read_cache_;
   SignedSnCurrent heartbeat_ GUARDED_BY(state_mu_);
+  // Newest epoch cert seen (batch acks / explicit refresh); adoption is
+  // monotone in the epoch number.
+  std::optional<EpochCert> epoch_cert_ GUARDED_BY(state_mu_);
   std::optional<SignedSnBase> base_ GUARDED_BY(state_mu_);
+  // Reusable encode buffer for the group-commit batch frames: steady-state
+  // flushes build their mailbox frame with zero buffer growth once warm.
+  common::ScratchArena encode_scratch_ GUARDED_BY(state_mu_);
   std::once_flag read_pool_once_;
   std::unique_ptr<common::ThreadPool> read_pool_;
   // Admission ids for journaled queued writes (kQueuedWrite / kGroupIntent).

@@ -239,6 +239,47 @@ TEST(Montgomery, RequiresOddModulus) {
   EXPECT_THROW(MontgomeryCtx(BigUInt(1)), PreconditionError);
 }
 
+TEST(Montgomery, WindowedMatchesBinaryAtRsaSizes) {
+  // The 4-bit windowed ladder and the binary square-and-multiply ladder are
+  // two implementations of the same function; cross-check them on random
+  // inputs at every RSA operand size the repo uses, including edge exponents
+  // that stress the window splitter (0, 1, and all-ones nibbles).
+  Drbg rng(15);
+  for (std::size_t bits : {std::size_t{512}, std::size_t{1024},
+                           std::size_t{2048}}) {
+    BigUInt m = rng.big_with_bits(bits);
+    if (m.is_even()) m = m + BigUInt(1);
+    MontgomeryCtx ctx(m);
+    for (int i = 0; i < (bits == 2048 ? 2 : 6); ++i) {
+      BigUInt base = rng.big_below(m);
+      BigUInt exp = rng.big_with_bits(1 + rng.uniform(bits));
+      EXPECT_EQ(ctx.mod_exp(base, exp), ctx.mod_exp_binary(base, exp))
+          << "bits=" << bits << " i=" << i;
+    }
+    BigUInt base = rng.big_below(m);
+    EXPECT_EQ(ctx.mod_exp(base, BigUInt(0)), ctx.mod_exp_binary(base, BigUInt(0)));
+    EXPECT_EQ(ctx.mod_exp(base, BigUInt(1)), ctx.mod_exp_binary(base, BigUInt(1)));
+    BigUInt all_ones = (BigUInt(1) << 64) - BigUInt(1);
+    EXPECT_EQ(ctx.mod_exp(base, all_ones), ctx.mod_exp_binary(base, all_ones));
+  }
+}
+
+TEST(Montgomery, StrategyHookRoutesBigUIntModExp) {
+  // BigUInt::mod_exp honors the process-wide strategy hook; both strategies
+  // must agree through the public entry point too.
+  Drbg rng(16);
+  BigUInt m = rng.big_with_bits(512);
+  if (m.is_even()) m = m + BigUInt(1);
+  BigUInt base = rng.big_below(m);
+  BigUInt exp = rng.big_with_bits(512);
+  set_mod_exp_strategy(ModExpStrategy::kBinary);
+  BigUInt via_binary = BigUInt::mod_exp(base, exp, m);
+  set_mod_exp_strategy(ModExpStrategy::kWindowed);
+  BigUInt via_windowed = BigUInt::mod_exp(base, exp, m);
+  EXPECT_EQ(via_windowed, via_binary);
+  EXPECT_EQ(mod_exp_strategy(), ModExpStrategy::kWindowed);
+}
+
 TEST(Prime, KnownPrimesAndComposites) {
   Drbg rng(13);
   for (std::uint32_t p : {2u, 3u, 5u, 65537u, 104729u}) {

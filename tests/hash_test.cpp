@@ -75,6 +75,90 @@ TEST(Sha256, ReusableAfterFinalize) {
   EXPECT_EQ(h.finalize(), first);
 }
 
+// Restores kAuto dispatch even when a test body throws/fails mid-way, so a
+// failing backend test can't poison every test after it.
+struct BackendGuard {
+  ~BackendGuard() { Sha256::force_backend(Sha256Backend::kAuto); }
+};
+
+TEST(Sha256, BackendsAgreeAtEveryShortLength) {
+  // Differential fuzz: the accelerated backends must be bit-identical to the
+  // portable reference at every length spanning the padding edge cases
+  // (0..257 covers 0/1/2 blocks plus both padding branches). force_backend
+  // falls back to the best supported path on hosts without SHA-NI, so the
+  // kShaNi leg degrades to re-checking the fallback rather than crashing.
+  BackendGuard guard;
+  Drbg rng(23);
+  for (Sha256Backend b : {Sha256Backend::kShaNi, Sha256Backend::kScalar}) {
+    for (std::size_t len = 0; len <= 257; ++len) {
+      Bytes data = rng.bytes(len);
+      Sha256::force_backend(Sha256Backend::kPortable);
+      Sha256::Digest want = Sha256::hash(data);
+      Sha256::force_backend(b);
+      EXPECT_EQ(Sha256::hash(data), want)
+          << "backend=" << static_cast<int>(b) << " len=" << len;
+    }
+  }
+}
+
+TEST(Sha256, BackendsAgreeOnMultiMegabyteInput) {
+  // A long input exercises the many-blocks-per-call loop (the short-length
+  // sweep never feeds more than 5 blocks at once).
+  BackendGuard guard;
+  Drbg rng(24);
+  Bytes data = rng.bytes(3 * 1024 * 1024 + 17);
+  Sha256::force_backend(Sha256Backend::kPortable);
+  Sha256::Digest want = Sha256::hash(data);
+  for (Sha256Backend b : {Sha256Backend::kShaNi, Sha256Backend::kScalar}) {
+    Sha256::force_backend(b);
+    EXPECT_EQ(Sha256::hash(data), want) << "backend=" << static_cast<int>(b);
+    // Streaming through the same backend at awkward split points.
+    Sha256 h;
+    std::size_t off = 0;
+    for (std::size_t chunk : {std::size_t{1}, std::size_t{63}, std::size_t{64},
+                              std::size_t{65}, std::size_t{4096}}) {
+      h.update(common::ByteView(data.data() + off, chunk));
+      off += chunk;
+    }
+    h.update(common::ByteView(data.data() + off, data.size() - off));
+    EXPECT_EQ(h.finalize(), want) << "backend=" << static_cast<int>(b);
+  }
+}
+
+TEST(Sha256, Hash4MatchesFourSingleHashes) {
+  // The 4-lane interface must be bit-identical to four independent hashes,
+  // including unequal lane lengths and an empty lane.
+  Drbg rng(25);
+  Bytes lanes[4] = {rng.bytes(0), rng.bytes(57), rng.bytes(4096),
+                    rng.bytes(70001)};
+  common::ByteView in[4] = {lanes[0], lanes[1], lanes[2], lanes[3]};
+  Sha256::Digest out[4];
+  Sha256::hash4(in, out);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(out[i], Sha256::hash(lanes[i])) << "lane=" << i;
+  }
+}
+
+TEST(Sha256, Hash4AgreesAcrossBackends) {
+  BackendGuard guard;
+  Drbg rng(26);
+  Bytes lanes[4] = {rng.bytes(100), rng.bytes(200), rng.bytes(300),
+                    rng.bytes(400)};
+  common::ByteView in[4] = {lanes[0], lanes[1], lanes[2], lanes[3]};
+  Sha256::force_backend(Sha256Backend::kPortable);
+  Sha256::Digest want[4];
+  Sha256::hash4(in, want);
+  for (Sha256Backend b : {Sha256Backend::kShaNi, Sha256Backend::kScalar}) {
+    Sha256::force_backend(b);
+    Sha256::Digest got[4];
+    Sha256::hash4(in, got);
+    for (int i = 0; i < 4; ++i) {
+      EXPECT_EQ(got[i], want[i])
+          << "backend=" << static_cast<int>(b) << " lane=" << i;
+    }
+  }
+}
+
 TEST(Sha1, FipsVectors) {
   EXPECT_EQ(hexd(Sha1::hash(to_bytes(""))),
             "da39a3ee5e6b4b0d3255bfef95601890afd80709");
@@ -180,6 +264,28 @@ TEST(ChainedHash, OneShotMatchesIncremental) {
   ChainedHash c;
   for (const auto& s : segs) c.add(s);
   EXPECT_EQ(ChainedHash::over(segs), c.digest());
+}
+
+TEST(ChainedHash, OverManyMatchesSequential) {
+  // over_many runs up to four chains through the 4-lane hasher; each digest
+  // must match the single-chain result even when the lists have unequal
+  // segment counts (chains drop out of the lane group as they finish) and
+  // when more than four lists force multiple groups.
+  Drbg rng(27);
+  std::vector<std::vector<Bytes>> lists(7);
+  for (std::size_t i = 0; i < lists.size(); ++i) {
+    std::size_t nsegs = i;  // 0..6 segments — includes an empty list
+    for (std::size_t s = 0; s < nsegs; ++s) {
+      lists[i].push_back(rng.bytes(rng.uniform(200)));
+    }
+  }
+  std::vector<const std::vector<Bytes>*> ptrs;
+  for (const auto& l : lists) ptrs.push_back(&l);
+  std::vector<Sha256::Digest> got = ChainedHash::over_many(ptrs);
+  ASSERT_EQ(got.size(), lists.size());
+  for (std::size_t i = 0; i < lists.size(); ++i) {
+    EXPECT_EQ(got[i], ChainedHash::over(lists[i])) << "list=" << i;
+  }
 }
 
 TEST(MsetHash, OrderInsensitive) {

@@ -59,3 +59,8 @@ bool consume_verdict(const crypto::RsaPublicKey& pk, common::ByteView payload,
 }
 
 }  // namespace worm
+
+// Prose naming the crypto kernels is prose, and a string saying
+// "process_blocks" or "force_backend" is data. Only a real call outside
+// src/crypto/ trips crypto-isolation — see mont_mul_into docs.
+const char* kKernelDoc = "hot loop dispatches via process_blocks(...)";

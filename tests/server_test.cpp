@@ -196,13 +196,39 @@ TEST(WormServer, AttestationForwardingCarriesFreshWatermark) {
   ServerRig srv;
   WormClient client = srv.connect();
   ASSERT_TRUE(client.write(srv.record("watermarked")).ok());
-  client.ping();  // forces a heartbeat; the pong forwards the moved watermark
 
+  // The epoch cert rode the write ack to the client — the amortized
+  // freshness carrier covering every read inside its interval. The first
+  // cert may predate the write (it lags by up to one interval by design);
+  // once the interval elapses the next write's crossing re-signs it and
+  // the ack forwards the newer one.
+  ASSERT_TRUE(client.epoch_cert().has_value());
+  const std::uint64_t first_epoch = client.epoch_cert()->epoch;
+  srv.rig.clock.advance(srv.rig.firmware.config().epoch_interval +
+                        Duration::seconds(1));
+  ASSERT_TRUE(client.write(srv.record("second")).ok());
+  ASSERT_TRUE(client.epoch_cert().has_value());
+  EXPECT_GT(client.epoch_cert()->epoch, first_epoch);
+  EXPECT_GE(client.epoch_cert()->sn_current, 1u);
+  core::ClientVerifier verifier = srv.rig.fresh_verifier();
+  EXPECT_EQ(verifier.verify_epoch_cert(*client.epoch_cert()).verdict,
+            core::Verdict::kAuthentic);
+
+  // While the session is fresh, a ping must NOT cross the mailbox for a new
+  // attestation (counter-verified) — steady state is O(1) amortized.
+  const std::uint64_t hb0 = srv.rig.firmware.counters().heartbeats;
+  client.ping();
+  EXPECT_EQ(srv.rig.firmware.counters().heartbeats, hb0);
+
+  // Past the freshness horizon the ping refreshes, and the pong forwards
+  // the moved watermark.
+  srv.rig.clock.advance(srv.rig.store.freshness_horizon() +
+                        Duration::seconds(1));
+  client.ping();
   ASSERT_TRUE(client.attestation().has_value());
   const core::SignedSnCurrent& att = *client.attestation();
   EXPECT_GE(att.sn_current, 1u);
   // Clients adopt it only after checking the SCPU signature.
-  core::ClientVerifier verifier = srv.rig.fresh_verifier();
   EXPECT_EQ(verifier.verify_current(att, att.sn_current + 1).verdict,
             core::Verdict::kNeverExistedVerified);
 }

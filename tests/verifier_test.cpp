@@ -126,6 +126,97 @@ TEST(Verifier, DeletionProofTimestampIsCovered) {
   EXPECT_FALSE(rig.verifier.verify_deletion_proof(del.proof));
 }
 
+// ---------------------------------------------------------------------------
+// Epoch attestation certificates (O(1)-amortized freshness)
+// ---------------------------------------------------------------------------
+
+TEST(Verifier, EpochCertAuthenticAndForgeryConvicted) {
+  Rig rig;
+  rig.put("r", Duration::days(1));
+  EpochCert cert = rig.firmware.epoch_cert();
+  EXPECT_EQ(rig.verifier.verify_epoch_cert(cert).verdict, Verdict::kAuthentic);
+
+  EpochCert forged = cert;
+  forged.sig[0] ^= 0x01;
+  EXPECT_EQ(rig.verifier.verify_epoch_cert(forged).verdict,
+            Verdict::kTampered);
+
+  // Contents changed under the genuine signature: also a forgery.
+  EpochCert bumped = cert;
+  bumped.sn_current += 7;
+  EXPECT_EQ(rig.verifier.verify_epoch_cert(bumped).verdict,
+            Verdict::kTampered);
+}
+
+TEST(Verifier, EpochCertStaleStampIsRejected) {
+  // A genuine cert older than sn_current_max_age proves nothing about the
+  // present — exactly the record-hiding window the paper's freshness
+  // mechanism (§4.2.1 (ii)) closes.
+  Rig rig;
+  rig.put("r", Duration::days(1));
+  EpochCert cert = rig.firmware.epoch_cert();
+  rig.clock.advance(rig.store.freshness_horizon() + Duration::seconds(1));
+  EXPECT_EQ(rig.verifier.verify_epoch_cert(cert).verdict,
+            Verdict::kStaleProof);
+}
+
+TEST(Verifier, EpochCertReplayOfOlderEpochIsRejected) {
+  Rig rig;
+  rig.put("a", Duration::days(1));
+  EpochCert older = rig.firmware.epoch_cert();
+  rig.clock.advance(rig.firmware.config().epoch_interval +
+                    Duration::seconds(1));
+  rig.put("b", Duration::days(1));
+  EpochCert newer = rig.firmware.epoch_cert();
+  ASSERT_GT(newer.epoch, older.epoch);
+  EXPECT_EQ(rig.verifier.verify_epoch_cert(newer).verdict,
+            Verdict::kAuthentic);
+  // Mallory replays the (genuinely signed) older cert to hide the records
+  // stamped since; the verifier's epoch high-water mark convicts it.
+  EXPECT_EQ(rig.verifier.verify_epoch_cert(older).verdict,
+            Verdict::kStaleProof);
+  // Re-presenting the newest cert stays fine (the mark is inclusive).
+  EXPECT_EQ(rig.verifier.verify_epoch_cert(newer).verdict,
+            Verdict::kAuthentic);
+}
+
+TEST(Verifier, EpochCertSnRollbackIsConvicted) {
+  Rig rig;
+  for (int i = 0; i < 5; ++i) rig.put("early", Duration::days(1));
+  rig.clock.advance(rig.firmware.config().epoch_interval +
+                    Duration::seconds(1));
+  rig.put("roll", Duration::days(1));
+  common::Bytes nvram = rig.firmware.save_nvram();
+  Sn sn_at_save = rig.firmware.sn_current();
+
+  rig.clock.advance(rig.firmware.config().epoch_interval +
+                    Duration::seconds(1));
+  for (int i = 0; i < 4; ++i) rig.put("late", Duration::days(1));
+  EpochCert latest = rig.firmware.epoch_cert();
+  ASSERT_GT(latest.sn_current, sn_at_save);
+  ASSERT_EQ(rig.verifier.verify_epoch_cert(latest).verdict,
+            Verdict::kAuthentic);
+
+  // Mallory powers a replacement device from a stale NVRAM snapshot. Its
+  // long-term keys are deterministic in the seed, so every signature it
+  // makes is genuine — but its SN_current has rolled back, silently erasing
+  // the records written since the snapshot. The battery-backed epoch counter
+  // resumes past the snapshot too, so the replay check alone cannot catch
+  // it; the SN high-water mark must.
+  Rig stale;
+  stale.firmware.restore_nvram(nvram);
+  EpochCert rolled = stale.firmware.epoch_cert();
+  while (rolled.epoch < latest.epoch) {
+    stale.clock.advance(stale.firmware.config().epoch_interval +
+                        Duration::seconds(1));
+    rolled = stale.firmware.epoch_cert();
+  }
+  ASSERT_GE(rolled.epoch, latest.epoch);
+  ASSERT_LT(rolled.sn_current, latest.sn_current);
+  EXPECT_EQ(rig.verifier.verify_epoch_cert(rolled).verdict,
+            Verdict::kTampered);
+}
+
 TEST(Verifier, OutcomeTrustworthiness) {
   auto trust = [](Verdict v) { return Outcome{v, ""}.trustworthy(); };
   EXPECT_TRUE(trust(Verdict::kAuthentic));

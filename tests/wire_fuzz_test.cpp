@@ -142,6 +142,19 @@ std::vector<Response> sample_responses() {
   pong.status = core::WireStatus::kOk;
   out.push_back(std::move(pong));
 
+  Response epoch_pong;  // both attestation-slot bits set (protocol v2)
+  epoch_pong.op = MsgOp::kPing;
+  epoch_pong.rid = 7;
+  epoch_pong.status = core::WireStatus::kOk;
+  epoch_pong.attestation = cur;
+  core::EpochCert cert;
+  cert.epoch = 9;
+  cert.sn_current = 41;
+  cert.stamped_at = common::SimTime{5555};
+  cert.sig = Bytes(128, 0x3e);
+  epoch_pong.epoch_cert = cert;
+  out.push_back(std::move(epoch_pong));
+
   return out;
 }
 
@@ -152,9 +165,49 @@ TEST(WireFuzz, ResponseRoundTrip) {
     EXPECT_EQ(back.rid, resp.rid);
     EXPECT_EQ(back.status, resp.status);
     EXPECT_EQ(back.attestation, resp.attestation);
+    EXPECT_EQ(back.epoch_cert, resp.epoch_cert);
     EXPECT_EQ(back.sn, resp.sn);
     EXPECT_EQ(back.message, resp.message);
     EXPECT_EQ(back.outcome.status(), resp.outcome.status());
+  }
+}
+
+TEST(WireFuzz, AppendFrameMatchesEncodeFrame) {
+  // The zero-copy append_*_frame writers must emit byte-identical frames to
+  // the allocate-then-wrap path, appended after whatever the sink held.
+  for (const Response& resp : sample_responses()) {
+    Bytes classic = encode_frame(encode_response(resp));
+    Bytes streamed(3, 0xcc);  // non-empty sink: append must not disturb it
+    append_response_frame(streamed, resp);
+    ASSERT_GT(streamed.size(), 3u);
+    EXPECT_EQ(Bytes(streamed.begin(), streamed.begin() + 3), Bytes(3, 0xcc));
+    EXPECT_EQ(Bytes(streamed.begin() + 3, streamed.end()), classic);
+  }
+  for (MsgOp op : kAllOps) {
+    Request req = sample_request(op);
+    Bytes classic = encode_frame(encode_request(req));
+    Bytes streamed;
+    append_request_frame(streamed, req);
+    EXPECT_EQ(streamed, classic);
+  }
+}
+
+TEST(WireFuzz, UnknownAttestationMaskBitIsAParseError) {
+  // The v2 attestation slot is a bitmask; bits this build does not know must
+  // be refused, not skipped — silent tolerance would let a downgrade-attack
+  // server smuggle bytes the client cannot attribute.
+  Response pong;
+  pong.op = MsgOp::kPing;
+  pong.rid = 1;
+  pong.status = core::WireStatus::kOk;
+  Bytes body = encode_response(pong);
+  // Body layout: op u8, rid u64, status u16, then the mask byte.
+  const std::size_t mask_off = 1 + 8 + 2;
+  ASSERT_EQ(body.at(mask_off), 0u);
+  for (std::uint8_t bit = 2; bit < 8; ++bit) {
+    Bytes poisoned = body;
+    poisoned[mask_off] = static_cast<std::uint8_t>(1u << bit);
+    EXPECT_THROW((void)decode_response(poisoned), ParseError) << int(bit);
   }
 }
 

@@ -26,6 +26,7 @@ EXPECTED_RULE = {
     "bad_raw_mutex.cpp": "raw-mutex",
     "bad_fault_bypass.cpp": "fault-bypass",
     "bad_blocking_wait.cpp": "blocking-under-state-mu",
+    "bad_crypto_kernel.cpp": "crypto-isolation",
     # Lives in a server/ subdirectory so --as-src maps it to src/server/,
     # the scope the rule guards.
     "server/bad_direct_store.cpp": "server-store-isolation",

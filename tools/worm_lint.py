@@ -62,6 +62,16 @@ enforces the architectural invariants that no single-TU analysis can see:
                       (the injector itself plus the macro's definition site)
                       hides an injection site from that inventory.
 
+  crypto-isolation    The raw crypto kernels — SHA-256 block compression
+                      (process_block/process_blocks), the Montgomery limb
+                      kernels (mont_mul_into/mont_sqr_into), and the global
+                      backend override (force_backend) — are implementation
+                      detail of src/crypto/. Code elsewhere in src/ must use
+                      the public Sha256 / ChainedHash / MontgomeryCtx APIs so
+                      runtime backend dispatch and the device cost model stay
+                      centralized (bench/ and tests/ live outside src/ and
+                      may pin backends for A/B measurement).
+
 Usage:
   worm_lint.py [--repo DIR] [--compile-commands FILE] [--as-src FILE...]
 
@@ -174,6 +184,11 @@ FAULT_BYPASS_PATTERN = re.compile(r"\bevaluate_site\s*\(")
 # The injector's own implementation and the WORM_FAULT_POINT macro definition.
 FAULT_BYPASS_ALLOWLIST = re.compile(r"^src/common/fault\.(hpp|cpp)$")
 
+# Raw crypto-kernel entry points; callable only from src/crypto/ itself.
+CRYPTO_KERNEL_PATTERN = re.compile(
+    r"\b(?:process_blocks?|mont_mul_into|mont_sqr_into|force_backend)\s*\(")
+CRYPTO_KERNEL_ALLOWLIST = re.compile(r"^src/crypto/")
+
 
 class Finding:
     def __init__(self, rule: str, path: str, line: int, message: str):
@@ -245,6 +260,7 @@ def lint_file(rel: str, text: str) -> list[Finding]:
     clock_exempt = bool(WALL_CLOCK_ALLOWLIST.match(rel))
     mutex_exempt = bool(RAW_MUTEX_ALLOWLIST.match(rel))
     fault_exempt = bool(FAULT_BYPASS_ALLOWLIST.match(rel))
+    crypto_exempt = bool(CRYPTO_KERNEL_ALLOWLIST.match(rel))
 
     # blocking-under-state-mu scope tracking: brace depth at which each live
     # state_mu_ guard was constructed; a guard dies when depth drops below it.
@@ -310,6 +326,15 @@ def lint_file(rel: str, text: str) -> list[Finding]:
                 "direct evaluate_site() call; declare fault points with "
                 "WORM_FAULT_POINT(injector, \"site\") so the fault surface "
                 "stays null-safe and greppable"))
+
+        if not crypto_exempt and CRYPTO_KERNEL_PATTERN.search(line):
+            findings.append(Finding(
+                "crypto-isolation", rel, lineno,
+                "direct crypto kernel call (SHA-256 block function, "
+                "Montgomery limb kernel, or backend override) outside "
+                "src/crypto/; use the public Sha256/ChainedHash/"
+                "MontgomeryCtx API so backend dispatch and cost accounting "
+                "stay centralized"))
 
     return findings
 
