@@ -974,6 +974,13 @@ WormStore::RecoveryReport WormStore::recover() {
   // completion never landed and pipeline admissions no group ever absorbed.
   std::map<std::uint64_t, Bytes> pending;
   std::map<std::uint64_t, WriteRequest> queued;
+  // Highest SN_base the journal itself has recorded. sn_base_mirror_ cannot
+  // serve here: the constructor seeds it from the device's *current* status,
+  // which already reflects any base advance that happened while the host was
+  // down — exactly the advance reconciliation must detect and journal.
+  // Starts at the genesis base: SNs begin at 1, so a device still at base 1
+  // has trimmed nothing and needs no catch-up record.
+  Sn journaled_base = 1;
   for (const JournalRecord& rec : replay.records) {
     common::ByteReader r(rec.payload);
     try {
@@ -1018,6 +1025,7 @@ WormStore::RecoveryReport WormStore::recover() {
           r.expect_end();
           vrdt_.trim_below(sn_base);
           sn_base_mirror_ = std::max(sn_base_mirror_, sn_base);
+          journaled_base = std::max(journaled_base, sn_base);
           break;
         }
         case JournalRecordType::kIntent: {
@@ -1170,6 +1178,7 @@ WormStore::RecoveryReport WormStore::recover() {
           journal_trim_below(new_base);
           vrdt_.trim_below(new_base);
           sn_base_mirror_ = new_base;
+          journaled_base = std::max(journaled_base, new_base);
           ++ops_.base_advances;
           break;
         }
@@ -1182,7 +1191,14 @@ WormStore::RecoveryReport WormStore::recover() {
     // Post-resend reconciliation with the device's signed view.
     st = mailbox_.channel().status();
     sn_current_mirror_ = st.sn_current;
-    if (st.sn_base > sn_base_mirror_) vrdt_.trim_below(st.sn_base);
+    if (st.sn_base > journaled_base) {
+      // The device advanced sn_base past anything the journal has recorded —
+      // it moved while we were down. Record the trim before applying it: a
+      // crash between here and the end-of-recovery checkpoint rewrite must
+      // not resurrect proofs the device already considers expired.
+      journal_trim_below(st.sn_base);
+      vrdt_.trim_below(st.sn_base);
+    }
     sn_base_mirror_ = st.sn_base;
     deferred_mirror_count_ = st.deferred_count;
     deferred_mirror_earliest_ = st.earliest_deadline;

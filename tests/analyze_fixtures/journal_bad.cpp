@@ -1,0 +1,21 @@
+// analyze fixture [journal-ordering] — known-bad. Two WAL violations:
+// a mutation with no journal append at all, and one whose only journal
+// append sits inside a branch that does not dominate it.
+#include "common/bytes.hpp"
+
+namespace fixture {
+
+void BadStore::apply_unjournaled(Entry e) {
+  // BUG: durable state changes with nothing in the WAL ahead of it.
+  vrdt_.put_active(e);
+}
+
+void BadStore::apply_branch_journal(Entry e, bool fast) {
+  if (fast) {
+    journal_put_active(e);
+  }
+  // BUG: on the !fast path the mutation was never journaled.
+  vrdt_.put_active(e);
+}
+
+}  // namespace fixture

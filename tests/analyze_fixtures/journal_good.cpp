@@ -1,0 +1,35 @@
+// analyze fixture [journal-ordering] — known-good. Covers the three legal
+// shapes: journal-then-mutate, the recovery replay fold (mutations derived
+// from the WAL itself), and an explicit reviewed waiver.
+#include "common/bytes.hpp"
+
+namespace fixture {
+
+void GoodStore::apply(Entry e) {
+  journal_put_active(e);
+  vrdt_.put_active(e);
+}
+
+void GoodStore::apply_two_branches(Entry e, bool tombstone) {
+  journal_put_deleted(e.proof);
+  if (tombstone) {
+    vrdt_.put_deleted(e.proof);
+    return;
+  }
+  shred(e);
+  vrdt_.put_deleted(e.proof);
+}
+
+void GoodStore::replay(Replay replay) {
+  for (const JournalRecord& rec : replay.records) {
+    // Replay applies what the WAL already holds; journaling again would
+    // double every record.
+    vrdt_.put_active(decode(rec));
+  }
+}
+
+void GoodStore::rebuild_in_memory(Entry e) {
+  vrdt_.trim_below(e.sn);  // analyze[journal-ordering]: scratch VRDT, discarded before commit
+}
+
+}  // namespace fixture

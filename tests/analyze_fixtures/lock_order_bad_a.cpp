@@ -1,0 +1,20 @@
+// analyze fixture [lock-order] — known-bad, file A of a cross-TU pair.
+// Gadget::forward() acquires mu_a_ then (via helper defined in file B)
+// mu_b_; Gadget::backward() in file B does the reverse. Neither TU alone
+// shows the inversion; only the cross-TU call graph does.
+#include "common/annotations.hpp"
+
+namespace fixture {
+
+void Gadget::forward() {
+  common::MutexLock la(mu_a_);
+  touch_b();  // defined in lock_order_bad_b.cpp: takes mu_b_
+  stat_++;
+}
+
+void Gadget::touch_a() {
+  common::MutexLock la(mu_a_);
+  stat_++;
+}
+
+}  // namespace fixture

@@ -1,0 +1,19 @@
+// analyze fixture [lock-order] — known-bad, file B of a cross-TU pair.
+// backward() holds mu_b_ and calls into touch_a() (file A), which takes
+// mu_a_ — the reverse of forward()'s mu_a_ -> mu_b_ order.
+#include "common/annotations.hpp"
+
+namespace fixture {
+
+void Gadget::backward() {
+  common::MutexLock lb(mu_b_);
+  touch_a();  // defined in lock_order_bad_a.cpp: takes mu_a_
+  stat_++;
+}
+
+void Gadget::touch_b() {
+  common::MutexLock lb(mu_b_);
+  stat_++;
+}
+
+}  // namespace fixture

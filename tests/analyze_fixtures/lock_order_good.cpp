@@ -1,0 +1,34 @@
+// analyze fixture [lock-order] — known-good. Both paths honor the single
+// global order mu_a_ -> mu_b_, including the explicit unlock/relock dance
+// the analyzer must model (SimClock::dispatch_until idiom).
+#include "common/annotations.hpp"
+
+namespace fixture {
+
+void Ordered::outer() {
+  common::MutexLock la(mu_a_);
+  inner();
+  stat_++;
+}
+
+void Ordered::inner() {
+  common::MutexLock lb(mu_b_);
+  stat_++;
+}
+
+void Ordered::drop_and_call() {
+  common::MutexLock lb(mu_b_);
+  lb.unlock();
+  // mu_b_ is not held across this call, so the mu_a_ acquisition inside
+  // does NOT create a mu_b_ -> mu_a_ edge.
+  take_a_alone();
+  lb.lock();
+  stat_++;
+}
+
+void Ordered::take_a_alone() {
+  common::MutexLock la(mu_a_);
+  stat_++;
+}
+
+}  // namespace fixture

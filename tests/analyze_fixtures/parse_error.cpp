@@ -1,0 +1,11 @@
+// analyze fixture [robustness] — deliberately does not parse: the function
+// body never closes. The analyzer must exit 2 with a diagnostic naming this
+// file, not crash and not report pass findings.
+namespace fixture {
+
+void Broken::oops() {
+  if (true) {
+    frob();
+  // missing two closing braces
+
+}  // namespace fixture

@@ -1,0 +1,15 @@
+// lint fixture [include-cycle] — half of a two-header cycle: this header
+// includes bad_cycle_b.hpp, which includes this one back. Lint both files
+// together (--as-src a b) to close the edge set; the rule reports the
+// strongly-connected component once.
+#pragma once
+
+#include "cycle/bad_cycle_b.hpp"
+
+namespace fixture {
+
+struct NodeA {
+  NodeB* peer = nullptr;
+};
+
+}  // namespace fixture

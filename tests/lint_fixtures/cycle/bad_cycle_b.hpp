@@ -1,0 +1,14 @@
+// lint fixture [include-cycle] — the other half: includes bad_cycle_a.hpp,
+// closing the loop. A forward declaration of NodeA is what this header
+// should have used.
+#pragma once
+
+#include "cycle/bad_cycle_a.hpp"
+
+namespace fixture {
+
+struct NodeB {
+  NodeA* peer = nullptr;
+};
+
+}  // namespace fixture

@@ -1,0 +1,16 @@
+// lint fixture [include-cycle, near-miss] — a linear include chain plus a
+// forward declaration of the would-be back-edge type. This is the shape the
+// rule pushes cycles toward; it must produce zero findings. A comment naming
+// #include "cycle/good_chain_a.hpp" must not count as an edge either.
+#pragma once
+
+#include "cycle/good_chain_b.hpp"
+
+namespace fixture {
+
+struct ChainA {
+  ChainB down;        // real edge: a -> b, never back
+  struct ChainC* up;  // back-reference via forward declaration, not include
+};
+
+}  // namespace fixture

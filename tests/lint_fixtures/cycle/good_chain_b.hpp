@@ -1,0 +1,11 @@
+// lint fixture [include-cycle, near-miss] — the tail of the chain: includes
+// nothing project-relative, so the graph over {a, b} is a DAG.
+#pragma once
+
+namespace fixture {
+
+struct ChainB {
+  int value = 0;
+};
+
+}  // namespace fixture

@@ -148,6 +148,40 @@ TEST(Recovery, LitigationHoldSurvivesTheCrash) {
   EXPECT_EQ(res.status(), ReadStatus::kHold);
 }
 
+TEST(Recovery, DeviceBaseAdvanceDuringOutageIsJournaledBeforeTrim) {
+  // The device's SN_base moves while the host is down (an out-of-band
+  // advance with proofs the host had already journaled). Recovery's
+  // catch-up trim must hit the WAL *before* the VRDT: tear the very next
+  // journal append and the trim has to abort with local state untouched.
+  CrashRig rig("recovery_base_outage.wal");
+  Sn s1 = rig.put("expires 1", Duration::minutes(5));
+  Sn s2 = rig.put("expires 2", Duration::minutes(5));
+  Sn s3 = rig.put("survivor", Duration::days(30));
+  rig.clock.advance(Duration::minutes(10));  // proofs delivered + journaled
+  DeletionProof p1 = rig.store->read(s1).get<ReadDeleted>().proof;
+  DeletionProof p2 = rig.store->read(s2).get<ReadDeleted>().proof;
+
+  rig.crash();
+  rig.firmware.advance_base(s3, {p1, p2}, {});
+
+  rig.boot();
+  rig.fault.schedule("journal.append", FaultKind::kTorn, 1);
+  EXPECT_THROW((void)rig.store->recover(), common::TransientStorageError);
+  // WAL-first held: the append tore, so the trim never ran — the replayed
+  // deletion proof still answers.
+  EXPECT_NE(rig.store->read(s1).get_if<ReadDeleted>(), nullptr);
+  rig.fault.disarm_all();
+
+  // Clean reboot: the torn tail is discarded, the trim lands journaled,
+  // below-base reads answer as such, and the survivor still verifies.
+  auto report = rig.crash_and_recover();
+  EXPECT_TRUE(report.torn_tail);
+  EXPECT_NE(rig.store->read(s1).get_if<ReadBelowBase>(), nullptr);
+  ClientVerifier verifier = rig.verifier();
+  EXPECT_EQ(verifier.verify_read(s3, rig.store->read(s3)).verdict,
+            Verdict::kAuthentic);
+}
+
 TEST(Recovery, RebootAgainstZeroizedDeviceComesUpDegraded) {
   CrashRig rig("recovery_zeroized.wal");
   Sn sn = rig.put("outlives the device", Duration::days(30));

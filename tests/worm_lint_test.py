@@ -73,6 +73,26 @@ def main():
     check("good_session_use:clean", r.returncode == 0,
           f"rc={r.returncode}\n{r.stdout}")
 
+    # include-cycle needs both halves of the loop on one invocation: the rule
+    # runs over the whole scanned edge set, and reports the SCC exactly once.
+    r = run_lint("--as-src", str(FIXTURES / "cycle" / "bad_cycle_a.hpp"),
+                 str(FIXTURES / "cycle" / "bad_cycle_b.hpp"))
+    check("include-cycle:flagged",
+          r.returncode == 1 and r.stdout.count("[include-cycle]") == 1
+          and "bad_cycle_a.hpp -> src/cycle/bad_cycle_b.hpp" in r.stdout,
+          f"rc={r.returncode}\n{r.stdout}")
+    # Each half alone has a dangling include (no edge), so no cycle — the
+    # rule only counts edges into files it actually scanned.
+    r = run_lint("--as-src", str(FIXTURES / "cycle" / "bad_cycle_a.hpp"))
+    check("include-cycle:half-alone-clean", r.returncode == 0,
+          f"rc={r.returncode}\n{r.stdout}")
+    # The linear chain with a forward-declared back-reference is the fix
+    # shape, and must stay clean.
+    r = run_lint("--as-src", str(FIXTURES / "cycle" / "good_chain_a.hpp"),
+                 str(FIXTURES / "cycle" / "good_chain_b.hpp"))
+    check("include-cycle:chain-clean", r.returncode == 0,
+          f"rc={r.returncode}\n{r.stdout}")
+
     # (d) seeding a violation into src/ fails the tree scan: copy the repo's
     # src/ + the headers the meta-check reads into a scratch repo, drop a bad
     # fixture in, and lint it.

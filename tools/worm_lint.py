@@ -62,6 +62,15 @@ enforces the architectural invariants that no single-TU analysis can see:
                       (the injector itself plus the macro's definition site)
                       hides an injection site from that inventory.
 
+  include-cycle       Project-relative #include edges inside src/ must form a
+                      DAG. A header cycle compiles today only by accident of
+                      guard ordering, breaks the moment someone reorders
+                      includes, and — because worm-analyze derives cross-TU
+                      facts from per-file scans — would let a fact silently
+                      depend on scan order. Each strongly-connected component
+                      of the include graph is reported once, with the cycle
+                      spelled out.
+
   crypto-isolation    The raw crypto kernels — SHA-256 block compression
                       (process_block/process_blocks), the Montgomery limb
                       kernels (mont_mul_into/mont_sqr_into), and the global
@@ -183,6 +192,14 @@ SERVER_STORE_PATTERN = re.compile(
 FAULT_BYPASS_PATTERN = re.compile(r"\bevaluate_site\s*\(")
 # The injector's own implementation and the WORM_FAULT_POINT macro definition.
 FAULT_BYPASS_ALLOWLIST = re.compile(r"^src/common/fault\.(hpp|cpp)$")
+
+# Project-relative include directive: `#include "worm/worm_store.hpp"`.
+# System/<> includes never participate in src/-internal cycles. The path is a
+# string literal, which strip_comments_and_strings blanks — so the directive
+# is recognized on the stripped line (ruling out commented-out includes) and
+# the path is then read back from the raw line.
+PROJECT_INCLUDE_STRIPPED = re.compile(r'#\s*include\s*""')
+PROJECT_INCLUDE_PATTERN = re.compile(r'#\s*include\s*"([^"]+)"')
 
 # Raw crypto-kernel entry points; callable only from src/crypto/ itself.
 CRYPTO_KERNEL_PATTERN = re.compile(
@@ -368,6 +385,108 @@ def check_nodiscard_declarations(repo: Path) -> list[Finding]:
     return findings
 
 
+def check_include_cycles(file_map: dict[str, str]) -> list[Finding]:
+    """Whole-tree rule: the src/ project-include graph must be acyclic.
+
+    file_map maps src/-relative paths to file text. Edges are the
+    project-relative includes that resolve to another scanned file, so the
+    rule sees exactly the tree (or fixture set) under lint. Each
+    strongly-connected component with more than one member is reported once,
+    anchored at its lexicographically-first file, with one concrete cycle
+    spelled out.
+    """
+    findings: list[Finding] = []
+    graph: dict[str, list[str]] = {}
+    include_line: dict[tuple[str, str], int] = {}
+    for rel, text in file_map.items():
+        code = strip_comments_and_strings(text)
+        raw_lines = text.split("\n")
+        edges: list[str] = []
+        for lineno, line in enumerate(code.split("\n"), start=1):
+            if not PROJECT_INCLUDE_STRIPPED.search(line):
+                continue
+            m = PROJECT_INCLUDE_PATTERN.search(raw_lines[lineno - 1])
+            if not m:
+                continue
+            target = "src/" + m.group(1)
+            if target == rel:
+                findings.append(Finding(
+                    "include-cycle", rel, lineno, "file includes itself"))
+            elif target in file_map and target not in edges:
+                edges.append(target)
+                include_line[(rel, target)] = lineno
+        graph[rel] = edges
+
+    # Iterative Tarjan: SCCs without recursion (the include graph is shallow,
+    # but Python's default recursion limit is not a contract worth leaning on).
+    index: dict[str, int] = {}
+    low: dict[str, int] = {}
+    on_stack: set[str] = set()
+    stack: list[str] = []
+    counter = [0]
+    cycles: list[list[str]] = []
+
+    def strongconnect(root: str) -> None:
+        work = [(root, 0)]
+        while work:
+            node, ei = work[-1]
+            if ei == 0:
+                index[node] = low[node] = counter[0]
+                counter[0] += 1
+                stack.append(node)
+                on_stack.add(node)
+            recurse = False
+            edges = graph[node]
+            while ei < len(edges):
+                nxt = edges[ei]
+                ei += 1
+                if nxt not in index:
+                    work[-1] = (node, ei)
+                    work.append((nxt, 0))
+                    recurse = True
+                    break
+                if nxt in on_stack:
+                    low[node] = min(low[node], index[nxt])
+            if recurse:
+                continue
+            work.pop()
+            if low[node] == index[node]:
+                comp = []
+                while True:
+                    w = stack.pop()
+                    on_stack.discard(w)
+                    comp.append(w)
+                    if w == node:
+                        break
+                if len(comp) > 1:
+                    cycles.append(comp)
+            if work:
+                parent = work[-1][0]
+                low[parent] = min(low[parent], low[node])
+
+    for rel in sorted(graph):
+        if rel not in index:
+            strongconnect(rel)
+
+    for comp in cycles:
+        members = set(comp)
+        first = min(comp)
+        # Walk in-component edges from the anchor until a node repeats; in an
+        # SCC every member has such an edge, so this always closes a loop.
+        chain = [first]
+        node = first
+        while True:
+            node = next(t for t in graph[node] if t in members)
+            chain.append(node)
+            if chain.count(node) > 1:
+                break
+        findings.append(Finding(
+            "include-cycle", first, include_line.get((chain[0], chain[1]), 0),
+            "header include cycle: " + " -> ".join(chain) + "; break it with "
+            "a forward declaration or by hoisting the shared types"))
+    return findings
+
+
 def discover_sources(repo: Path, compile_commands: Path | None) -> tuple[list[Path], list[Finding]]:
     findings: list[Finding] = []
     src = repo / "src"
@@ -409,6 +528,7 @@ def main(argv: list[str]) -> int:
     args = ap.parse_args(argv)
 
     findings: list[Finding] = []
+    file_map: dict[str, str] = {}
     if args.as_src:
         for path in args.as_src:
             if not path.is_file():
@@ -421,7 +541,9 @@ def main(argv: list[str]) -> int:
             rel = (f"src/{parent}/{path.name}"
                    if parent not in ("", "lint_fixtures") else
                    f"src/{path.name}")
-            findings.extend(lint_file(rel, path.read_text()))
+            text = path.read_text()
+            file_map[rel] = text
+            findings.extend(lint_file(rel, text))
     else:
         repo = args.repo
         if not (repo / "src").is_dir():
@@ -431,8 +553,11 @@ def main(argv: list[str]) -> int:
         findings.extend(cov)
         for path in files:
             rel = path.relative_to(repo).as_posix()
-            findings.extend(lint_file(rel, path.read_text()))
+            text = path.read_text()
+            file_map[rel] = text
+            findings.extend(lint_file(rel, text))
         findings.extend(check_nodiscard_declarations(repo))
+    findings.extend(check_include_cycles(file_map))
 
     for f in findings:
         print(f)
