@@ -163,8 +163,9 @@ int main() {
       std::printf("\n  write-pipeline counters at 8 writers:\n");
       // kSettled: make sure the committer retired every admitted group
       // before sampling, so the printed counters describe a quiesced run.
-      for (const auto& [name, value] :
-           rig.store.counters(core::WormStore::CounterFlush::kSettled)) {
+      core::CountersSnapshot snap =
+          rig.store.counters_snapshot(core::CounterFlush::kSettled);
+      for (const auto& [name, value] : snap.as_map()) {
         if (std::string(name).rfind("write_pipeline.", 0) == 0) {
           std::printf("    %-36s %llu\n", std::string(name).c_str(),
                       static_cast<unsigned long long>(value));

@@ -1,0 +1,282 @@
+#include "cluster/cluster_client.hpp"
+
+#include <map>
+#include <utility>
+
+#include "common/error.hpp"
+#include "worm/status.hpp"
+
+namespace worm::cluster {
+
+namespace {
+
+/// Cross-replica comparison key for a read answer. Signatures legitimately
+/// differ between replicas (independent SCPUs), so agreement is judged on
+/// the content a client actually consumes: status plus, for served records,
+/// the attribute block and payload bytes. Anything cryptographically wrong
+/// never reaches voting — only verified answers vote.
+std::string vote_key(const core::ReadOutcome& outcome) {
+  common::ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(outcome.status()));
+  if (const auto* ok = outcome.get_if<core::ReadOk>()) {
+    w.u64(ok->vrd.sn);
+    ok->vrd.attr.serialize(w);
+    w.u32(static_cast<std::uint32_t>(ok->payloads.size()));
+    for (const common::Bytes& p : ok->payloads) w.blob(p);
+  }
+  common::Bytes bytes = w.take();
+  return std::string(bytes.begin(), bytes.end());
+}
+
+}  // namespace
+
+ClusterClient::ClusterClient(ClusterConfig config,
+                             const common::TimeSource& trusted_time)
+    : map_(std::move(config.map)), quorum_(config.quorum) {
+  if (!quorum_.valid()) {
+    throw common::PreconditionError(
+        "ClusterClient: masking quorums need n >= 4f+1 (got n=" +
+        std::to_string(quorum_.n) + ", f=" + std::to_string(quorum_.f) + ")");
+  }
+  for (ShardReplicaSet& set : config.shards) {
+    if (set.replicas.size() != quorum_.n) {
+      throw common::PreconditionError(
+          "ClusterClient: shard " + std::to_string(set.shard) + " has " +
+          std::to_string(set.replicas.size()) + " replicas, quorum needs n=" +
+          std::to_string(quorum_.n));
+    }
+    Shard shard;
+    shard.id = set.shard;
+    for (ReplicaEndpoint& ep : set.replicas) {
+      Replica r;
+      r.client = std::make_unique<server::WormClient>(std::move(ep.client));
+      r.client->set_route(map_.version(), set.shard);
+      r.verifier = std::make_unique<core::ClientVerifier>(
+          std::move(ep.anchors), trusted_time);
+      shard.replicas.push_back(std::move(r));
+    }
+    shards_.push_back(std::move(shard));
+  }
+}
+
+ClusterClient::Shard& ClusterClient::shard_for(ShardId id) {
+  for (Shard& s : shards_) {
+    if (s.id == id) return s;
+  }
+  throw common::PreconditionError(
+      "ClusterClient: no replica set configured for shard " +
+      std::to_string(id));
+}
+
+void ClusterClient::restamp_routes() {
+  for (Shard& s : shards_) {
+    for (Replica& r : s.replicas) {
+      r.client->set_route(map_.version(), s.id);
+    }
+  }
+}
+
+bool ClusterClient::refresh_map() {
+  std::string last_error = "no replicas configured";
+  for (Shard& s : shards_) {
+    for (Replica& r : s.replicas) {
+      try {
+        server::ShardMapResult fetched = r.client->fetch_shard_map();
+        ShardMap next = ShardMap::deserialize(common::ByteView(fetched.shard_map));
+        bool moved = next.version() != map_.version();
+        map_ = std::move(next);
+        restamp_routes();
+        return moved;
+      } catch (const std::exception& e) {
+        last_error = e.what();
+      }
+    }
+  }
+  throw common::PreconditionError(
+      "ClusterClient::refresh_map: no replica answered a shard map: " +
+      last_error);
+}
+
+void ClusterClient::adopt_watermark(Shard& shard, Replica& replica) {
+  const std::optional<core::SignedSnCurrent>& att =
+      replica.client->attestation();
+  if (!att.has_value()) return;
+  if (shard.watermark.has_value() &&
+      att->stamped_at.ns <= shard.watermark->stamped_at.ns) {
+    return;
+  }
+  // Verify before adopting: a lying replica must not poison the shard's
+  // freshness state. verify_current checks the SCPU signature; requesting
+  // SN 1 keeps the covers-requested check vacuous for a pure watermark.
+  if (replica.verifier->verify_current(*att, /*requested=*/1).verdict !=
+      core::Verdict::kTampered) {
+    shard.watermark = *att;
+  }
+}
+
+QuorumWrite ClusterClient::write_once(Shard& shard,
+                                      const core::WriteRequest& request,
+                                      bool& stale) {
+  QuorumWrite out;
+  std::map<core::Sn, std::uint32_t> acks_by_sn;
+  for (Replica& replica : shard.replicas) {
+    try {
+      server::WriteResult r = replica.client->write(request);
+      if (r.stale_route()) {
+        stale = true;
+        out.message = r.message;
+        continue;
+      }
+      if (r.busy()) {
+        out.busy = true;
+        out.message = r.message;
+        continue;
+      }
+      if (r.ok()) ++acks_by_sn[r.sn];
+      adopt_watermark(shard, replica);
+    } catch (const std::exception& e) {
+      // A dead or misbehaving replica costs an ack; the quorum absorbs it.
+      out.message = e.what();
+    }
+  }
+  for (const auto& [local_sn, acks] : acks_by_sn) {
+    if (acks > out.acks) {
+      out.acks = acks;
+      if (acks >= quorum_.write_quorum()) {
+        out.ok = true;
+        out.sn = map_.to_global(shard.id, local_sn);
+      }
+    }
+  }
+  return out;
+}
+
+QuorumWrite ClusterClient::write(const core::WriteRequest& request) {
+  // Round-robin over shards that own SNs (an empty range takes no writes).
+  const std::vector<ShardRange>& ranges = map_.ranges();
+  Shard* shard = nullptr;
+  for (std::size_t probed = 0; probed < ranges.size(); ++probed) {
+    std::size_t idx = next_shard_;
+    next_shard_ = (next_shard_ + 1) % ranges.size();
+    if (ranges[idx].hi == ranges[idx].lo) continue;
+    shard = &shard_for(ranges[idx].shard);
+    break;
+  }
+  if (shard == nullptr) {
+    throw common::PreconditionError(
+        "ClusterClient::write: every shard in the map is empty");
+  }
+  bool stale = false;
+  QuorumWrite out = write_once(*shard, request, stale);
+  if (stale) {
+    // One refresh + one retry: the rejecting replicas hold a different map
+    // version; re-fetch, re-stamp, and re-issue. Replicas that already
+    // acked absorb the duplicate through store-level dedup.
+    (void)refresh_map();
+    stale = false;
+    out = write_once(*shard, request, stale);
+  }
+  return out;
+}
+
+QuorumRead ClusterClient::read_once(Shard& shard, core::Sn local_sn,
+                                    bool& stale) {
+  QuorumRead out;
+  struct Candidate {
+    core::ReadOutcome outcome;
+    core::Outcome verdict;
+    std::uint32_t votes = 0;
+  };
+  std::map<std::string, Candidate> votes;
+  std::string unavailable_detail = "no replica produced a verifiable answer";
+  for (std::uint32_t idx = 0; idx < shard.replicas.size(); ++idx) {
+    Replica& replica = shard.replicas[idx];
+    core::ReadOutcome answer;
+    try {
+      answer = replica.client->read(local_sn);
+    } catch (const core::StaleRouteError&) {
+      stale = true;
+      continue;
+    } catch (const std::exception& e) {
+      // Unreachable replica: no vote, no conviction (absence is never
+      // evidence of tampering).
+      unavailable_detail = e.what();
+      continue;
+    }
+    adopt_watermark(shard, replica);
+    core::Outcome verdict = replica.verifier->verify_read(local_sn, answer);
+    if (verdict.trustworthy()) {
+      Candidate& c = votes[vote_key(answer)];
+      if (c.votes == 0) {
+        c.outcome = std::move(answer);
+        c.verdict = verdict;
+      }
+      ++c.votes;
+    } else if (verdict.verdict == core::Verdict::kTampered ||
+               verdict.verdict == core::Verdict::kStaleProof) {
+      out.convictions.push_back(
+          ReplicaConviction{shard.id, idx, verdict.verdict, verdict.detail});
+    } else {
+      // kUnverifiableYet / kUnavailable: honest but not yet probative.
+      unavailable_detail = verdict.detail;
+    }
+  }
+  const Candidate* best = nullptr;
+  for (const auto& [key, c] : votes) {
+    if (best == nullptr || c.votes > best->votes) best = &c;
+  }
+  if (best != nullptr && best->votes >= quorum_.read_quorum()) {
+    out.outcome = best->outcome;
+    out.verdict = best->verdict;
+    out.agreeing = best->votes;
+  } else {
+    out.outcome = core::ReadOutcome(core::ReadUnavailable{
+        "no f+1 verified agreement among replicas: " + unavailable_detail,
+        /*retryable=*/true});
+    out.verdict = core::Outcome{core::Verdict::kUnavailable,
+                                "quorum not reached"};
+    out.agreeing = best == nullptr ? 0 : best->votes;
+  }
+  return out;
+}
+
+QuorumRead ClusterClient::read(core::Sn global_sn) {
+  RouteResult route = map_.resolve(global_sn);
+  if (!route.ok()) {
+    throw common::PreconditionError("ClusterClient::read: " +
+                                    route.error().reason);
+  }
+  Resolved r = route.value();
+  bool stale = false;
+  QuorumRead out = read_once(shard_for(r.shard_id), r.local_sn, stale);
+  if (stale) {
+    (void)refresh_map();
+    RouteResult again = map_.resolve(global_sn);
+    if (!again.ok()) {
+      throw common::PreconditionError("ClusterClient::read: " +
+                                      again.error().reason);
+    }
+    r = again.value();
+    stale = false;
+    out = read_once(shard_for(r.shard_id), r.local_sn, stale);
+  }
+  return out;
+}
+
+std::vector<QuorumRead> ClusterClient::read_many(
+    const std::vector<core::Sn>& global_sns) {
+  std::vector<QuorumRead> out;
+  out.reserve(global_sns.size());
+  for (core::Sn sn : global_sns) out.push_back(read(sn));
+  return out;
+}
+
+std::optional<core::SignedSnCurrent> ClusterClient::watermark(
+    ShardId shard) const {
+  for (const Shard& s : shards_) {
+    if (s.id == shard) return s.watermark;
+  }
+  return std::nullopt;
+}
+
+}  // namespace worm::cluster

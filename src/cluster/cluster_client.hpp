@@ -1,0 +1,158 @@
+// ClusterClient: the cluster-first public surface. Speaks the v3 frame
+// protocol to every replica of every shard — n independent WormServer
+// processes per shard, each fronting its own SCPU-backed store — and gives
+// callers quorum-checked results instead of single-server answers:
+//
+//  * writes fan to all n replicas of the owning shard and count acks
+//    against the masking-quorum write threshold (cluster/quorum.hpp);
+//  * reads collect every replica's self-certifying envelope, verify each
+//    against THAT replica's own trust anchors (independent SCPUs — the
+//    signatures legitimately differ), and accept only content on which at
+//    least f+1 verified replicas agree. A tampered replica is outvoted and
+//    convicted: its verdict and detail come back in the result so the
+//    operator can eject it;
+//  * routing headers (map version + shard id) are stamped on every frame;
+//    a kStaleRoute rejection triggers one shard-map refresh (kShardMap
+//    from the answering replica) and one retry, so a map rollout is a
+//    retryable blip, never a misroute;
+//  * per-shard freshness: the newest verified S_s(SN_current) watermark
+//    seen from each shard's replicas is tracked separately — shards have
+//    independent SCPUs, so there is no single cluster watermark.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cluster/quorum.hpp"
+#include "cluster/shard_map.hpp"
+#include "server/client/worm_client.hpp"
+#include "worm/client_verifier.hpp"
+
+namespace worm::cluster {
+
+/// One replica endpoint plus the trust anchors of ITS SCPU (obtained out of
+/// band, like every verifier's anchors; the server is untrusted transport).
+struct ReplicaEndpoint {
+  server::ClientConfig client;
+  core::TrustAnchors anchors;
+};
+
+/// The n replicas of one shard.
+struct ShardReplicaSet {
+  ShardId shard = 0;
+  std::vector<ReplicaEndpoint> replicas;
+};
+
+struct ClusterConfig {
+  /// The client's initial view of the partitioning; refreshed over the wire
+  /// on kStaleRoute. Its version is stamped on every routed frame.
+  ShardMap map;
+  /// Replication parameters, uniform across shards. quorum.n must equal
+  /// each shard's replica count.
+  QuorumParams quorum;
+  std::vector<ShardReplicaSet> shards;
+};
+
+/// Outcome of a quorum write. `ok` requires write_quorum() replicas acking
+/// the same SN; `busy` means at least one replica pushed back (kBusy) and
+/// the caller should pace and retry the whole write (store-level dedup
+/// absorbs the replicas that already landed it).
+struct QuorumWrite {
+  bool ok = false;
+  bool busy = false;
+  core::Sn sn = core::kInvalidSn;  // GLOBAL SN once ok
+  std::uint32_t acks = 0;
+  std::string message;
+};
+
+/// A replica whose answer failed verification against its own anchors: the
+/// quorum masked it, this records it.
+struct ReplicaConviction {
+  ShardId shard = 0;
+  std::uint32_t replica = 0;  // index within the shard's replica set
+  core::Verdict verdict = core::Verdict::kTampered;
+  std::string detail;
+};
+
+/// Outcome of a quorum read: the agreed outcome (Unavailable when no f+1
+/// verified agreement exists), the verdict that verified the winning
+/// envelope, how many replicas agreed, and every conviction recorded along
+/// the way.
+struct QuorumRead {
+  core::ReadOutcome outcome;
+  core::Outcome verdict;
+  std::uint32_t agreeing = 0;
+  std::vector<ReplicaConviction> convictions;
+
+  [[nodiscard]] bool trustworthy() const { return verdict.trustworthy(); }
+};
+
+class ClusterClient {
+ public:
+  /// Connects and authenticates to every replica of every shard. Throws
+  /// common::PreconditionError on invalid quorum parameters or a replica
+  /// set whose size differs from quorum.n; NetError/auth errors propagate
+  /// from the underlying clients.
+  ClusterClient(ClusterConfig config, const common::TimeSource& trusted_time);
+
+  ClusterClient(const ClusterClient&) = delete;
+  ClusterClient& operator=(const ClusterClient&) = delete;
+
+  [[nodiscard]] const ShardMap& map() const { return map_; }
+  [[nodiscard]] const QuorumParams& quorum() const { return quorum_; }
+
+  /// Quorum write, round-robin across non-empty shards. Retries once
+  /// through a shard-map refresh on kStaleRoute.
+  [[nodiscard]] QuorumWrite write(const core::WriteRequest& request);
+
+  /// Quorum read of a global SN. Routing errors (no shard owns the SN)
+  /// throw common::PreconditionError; replica misbehavior never throws —
+  /// it shows up as convictions and, without quorum, an Unavailable
+  /// outcome.
+  [[nodiscard]] QuorumRead read(core::Sn global_sn);
+
+  [[nodiscard]] std::vector<QuorumRead> read_many(
+      const std::vector<core::Sn>& global_sns);
+
+  /// Re-fetches the shard map from the cluster (first replica that answers
+  /// kShardMap) and re-stamps every connection's routing header. Returns
+  /// true when the version moved.
+  bool refresh_map();
+
+  /// Newest verified S_s(SN_current) seen from `shard`'s replicas (nullopt
+  /// before any verified attestation arrived).
+  [[nodiscard]] std::optional<core::SignedSnCurrent> watermark(
+      ShardId shard) const;
+
+ private:
+  struct Replica {
+    std::unique_ptr<server::WormClient> client;
+    std::unique_ptr<core::ClientVerifier> verifier;
+  };
+  struct Shard {
+    ShardId id = 0;
+    std::vector<Replica> replicas;
+    std::optional<core::SignedSnCurrent> watermark;
+  };
+
+  [[nodiscard]] Shard& shard_for(ShardId id);
+  [[nodiscard]] QuorumWrite write_once(Shard& shard,
+                                       const core::WriteRequest& request,
+                                       bool& stale);
+  [[nodiscard]] QuorumRead read_once(Shard& shard, core::Sn local_sn,
+                                     bool& stale);
+  /// Adopts a replica's forwarded attestation into the shard watermark
+  /// after verifying it against that replica's anchors.
+  void adopt_watermark(Shard& shard, Replica& replica);
+  void restamp_routes();
+
+  ShardMap map_;
+  QuorumParams quorum_;
+  std::vector<Shard> shards_;
+  std::size_t next_shard_ = 0;  // round-robin write cursor
+};
+
+}  // namespace worm::cluster

@@ -1,0 +1,40 @@
+// Masking-quorum arithmetic (Malkhi & Reiter, "Byzantine Quorum Systems",
+// 1997). Each shard is replicated across n independent SCPU-backed stores,
+// up to f of which may be Byzantine — serving forged envelopes, stale
+// proofs, or nothing at all. Masking quorums need n >= 4f+1; any two write
+// quorums then intersect in at least 2f+1 replicas, so every read quorum
+// contains at least f+1 correct replicas that saw the latest write and the
+// correct answer outnumbers whatever the faulty minority invents.
+//
+// Strong WORM sharpens the classic setup: answers are not bare values but
+// self-certifying envelopes (Vrd signatures, deletion proofs, signed SN
+// bounds), so a forged answer does not merely lose the vote — the replica's
+// own ClientVerifier convicts it (kTampered/kStaleProof) and the client
+// reports the conviction (cluster::ReplicaConviction). Agreement among f+1
+// *verified* answers is what accepts a read.
+#pragma once
+
+#include <cstdint>
+
+namespace worm::cluster {
+
+struct QuorumParams {
+  std::uint32_t n = 1;  // replicas per shard
+  std::uint32_t f = 0;  // Byzantine replicas tolerated
+
+  /// Masking-quorum requirement: n >= 4f+1 (n >= 1 when f == 0).
+  [[nodiscard]] bool valid() const { return n >= 4 * f + 1; }
+
+  /// Write-quorum size: ceil((n + 2f + 1) / 2) acks before a write counts
+  /// as durable. Any two such quorums intersect in >= 2f+1 replicas.
+  [[nodiscard]] std::uint32_t write_quorum() const {
+    return (n + 2 * f + 2) / 2;
+  }
+
+  /// Verified-agreement threshold for reads: f+1 replicas whose envelopes
+  /// verify under their own trust anchors and agree on content. f faulty
+  /// replicas alone can never reach it.
+  [[nodiscard]] std::uint32_t read_quorum() const { return f + 1; }
+};
+
+}  // namespace worm::cluster

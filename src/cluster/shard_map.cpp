@@ -1,0 +1,144 @@
+#include "cluster/shard_map.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/error.hpp"
+
+namespace worm::cluster {
+
+const Resolved& RouteResult::value() const {
+  if (const auto* r = std::get_if<Resolved>(&v_)) return *r;
+  throw common::PreconditionError("RouteResult::value on an error result: " +
+                                  std::get<RouteError>(v_).reason);
+}
+
+const RouteError& RouteResult::error() const {
+  if (const auto* e = std::get_if<RouteError>(&v_)) return *e;
+  throw common::PreconditionError("RouteResult::error on a success result");
+}
+
+ShardMap::ShardMap(std::uint32_t version, std::vector<ShardRange> ranges)
+    : version_(version), ranges_(std::move(ranges)) {
+  // Tie-break on hi so an empty range [x, x) sorts before [x, y) and passes
+  // the overlap check (its zero SNs overlap nothing).
+  std::sort(ranges_.begin(), ranges_.end(),
+            [](const ShardRange& a, const ShardRange& b) {
+              return a.lo != b.lo ? a.lo < b.lo : a.hi < b.hi;
+            });
+  std::vector<ShardId> seen;
+  for (std::size_t i = 0; i < ranges_.size(); ++i) {
+    const ShardRange& r = ranges_[i];
+    if (r.lo < 1 || r.hi < r.lo) {  // SN 0 is kInvalidSn; ownership starts at 1
+      throw common::PreconditionError(
+          "ShardMap: malformed range [" + std::to_string(r.lo) + ", " +
+          std::to_string(r.hi) + ") for shard " + std::to_string(r.shard));
+    }
+    if (i > 0 && r.lo < ranges_[i - 1].hi) {
+      throw common::PreconditionError(
+          "ShardMap: overlapping ranges at SN " + std::to_string(r.lo));
+    }
+    seen.push_back(r.shard);
+  }
+  std::sort(seen.begin(), seen.end());
+  if (std::adjacent_find(seen.begin(), seen.end()) != seen.end()) {
+    throw common::PreconditionError(
+        "ShardMap: a shard id appears in more than one range");
+  }
+}
+
+ShardMap ShardMap::uniform(ShardId n_shards, core::Sn span,
+                           std::uint32_t version) {
+  if (n_shards == 0 || span == 0) {
+    throw common::PreconditionError(
+        "ShardMap::uniform needs at least one shard and a non-zero span");
+  }
+  std::vector<ShardRange> ranges;
+  ranges.reserve(n_shards);
+  for (ShardId i = 0; i < n_shards; ++i) {
+    ranges.push_back(ShardRange{1 + i * span, 1 + (i + 1) * span, i});
+  }
+  return ShardMap(version, std::move(ranges));
+}
+
+RouteResult ShardMap::resolve(core::Sn global_sn) const {
+  if (ranges_.empty()) {
+    return RouteError{RouteErrorKind::kEmptyMap,
+                      "shard map v" + std::to_string(version_) +
+                          " has no ranges"};
+  }
+  // First range with hi > sn is the only candidate (ranges sorted by lo,
+  // non-overlapping).
+  auto it = std::upper_bound(
+      ranges_.begin(), ranges_.end(), global_sn,
+      [](core::Sn sn, const ShardRange& r) { return sn < r.hi; });
+  if (it == ranges_.end() || global_sn < it->lo || global_sn >= it->hi) {
+    return RouteError{RouteErrorKind::kOutOfRange,
+                      "SN " + std::to_string(global_sn) +
+                          " is outside every range of shard map v" +
+                          std::to_string(version_)};
+  }
+  return Resolved{it->shard, version_, global_sn - it->lo + 1};
+}
+
+core::Sn ShardMap::to_global(ShardId shard, core::Sn local_sn) const {
+  for (const ShardRange& r : ranges_) {
+    if (r.shard != shard) continue;
+    if (local_sn < 1 || local_sn > r.hi - r.lo) {
+      throw common::PreconditionError(
+          "ShardMap::to_global: local SN " + std::to_string(local_sn) +
+          " exceeds shard " + std::to_string(shard) + "'s span of " +
+          std::to_string(r.hi - r.lo));
+    }
+    return r.lo + local_sn - 1;
+  }
+  throw common::PreconditionError("ShardMap::to_global: unknown shard " +
+                                  std::to_string(shard));
+}
+
+void ShardMap::serialize(common::ByteWriter& w) const {
+  w.u32(version_);
+  w.u32(static_cast<std::uint32_t>(ranges_.size()));
+  for (const ShardRange& r : ranges_) {
+    w.u64(r.lo);
+    w.u64(r.hi);
+    w.u32(r.shard);
+  }
+}
+
+common::Bytes ShardMap::serialize() const {
+  common::ByteWriter w;
+  serialize(w);
+  return w.take();
+}
+
+ShardMap ShardMap::deserialize(common::ByteReader& r) {
+  std::uint32_t version = r.u32();
+  std::uint32_t n = r.count(/*min_elem_bytes=*/20);  // u64 + u64 + u32
+  std::vector<ShardRange> ranges;
+  ranges.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    ShardRange range;
+    range.lo = r.u64();
+    range.hi = r.u64();
+    range.shard = r.u32();
+    ranges.push_back(range);
+  }
+  try {
+    return ShardMap(version, std::move(ranges));
+  } catch (const common::PreconditionError& e) {
+    // Hostile bytes must surface as a parse failure, same as every other
+    // strict decoder in the tree.
+    throw common::ParseError(std::string("ShardMap::deserialize: ") +
+                             e.what());
+  }
+}
+
+ShardMap ShardMap::deserialize(common::ByteView bytes) {
+  common::ByteReader r(bytes);
+  ShardMap map = deserialize(r);
+  r.expect_end();
+  return map;
+}
+
+}  // namespace worm::cluster

@@ -1,0 +1,117 @@
+// The deterministic SN partitioner for a sharded deployment: contiguous
+// global-SN ranges, each owned by exactly one shard. The map is versioned
+// and wire-encodable — every routed kRead/kWrite frame carries the map
+// version (server/protocol.hpp v3), the serving replica checks it before
+// touching any SN, and a skewed client gets a retryable kStaleRoute instead
+// of a silent misroute.
+//
+// Global vs local SNs: each shard is a full WormStore with its own SCPU and
+// its own SN space starting at 1. The map translates — a global SN inside
+// range [lo, hi) is local SN (global - lo + 1) at the owning shard, and a
+// local SN acked by shard s maps back with to_global. Contiguity keeps the
+// paper's SN-interval reasoning (retention windows, deleted windows, base
+// advancement) intact inside each shard.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "common/serial.hpp"
+#include "worm/types.hpp"
+
+namespace worm::cluster {
+
+using ShardId = std::uint32_t;
+
+/// Half-open global-SN range [lo, hi) owned by `shard`. lo == hi is an
+/// empty shard — legal (a shard provisioned but not yet assigned SNs).
+struct ShardRange {
+  core::Sn lo = 0;
+  core::Sn hi = 0;
+  ShardId shard = 0;
+};
+
+/// A successful resolution: which shard owns the SN, under which map
+/// version, and what the SN is called inside that shard's store.
+struct Resolved {
+  ShardId shard_id = 0;
+  std::uint32_t version = 0;
+  core::Sn local_sn = core::kInvalidSn;
+};
+
+enum class RouteErrorKind : std::uint8_t {
+  kEmptyMap = 0,    // the map has no ranges at all
+  kOutOfRange = 1,  // no range covers the SN
+};
+
+struct RouteError {
+  RouteErrorKind kind = RouteErrorKind::kOutOfRange;
+  std::string reason;
+};
+
+/// Expected-style resolution result. [[nodiscard]] at the call site is
+/// enforced by worm-lint (resolve is in FALLIBLE_APIS): dropping it on the
+/// floor discards the only signal that an SN has no owner.
+class RouteResult {
+ public:
+  RouteResult(Resolved r) : v_(std::move(r)) {}          // NOLINT(google-explicit-constructor)
+  RouteResult(RouteError e) : v_(std::move(e)) {}        // NOLINT(google-explicit-constructor)
+
+  [[nodiscard]] bool ok() const {
+    return std::holds_alternative<Resolved>(v_);
+  }
+  explicit operator bool() const { return ok(); }
+
+  /// Throws common::PreconditionError when !ok() — resolution failure must
+  /// be inspected, not blindly dereferenced.
+  [[nodiscard]] const Resolved& value() const;
+  [[nodiscard]] const RouteError& error() const;
+
+ private:
+  std::variant<Resolved, RouteError> v_;
+};
+
+class ShardMap {
+ public:
+  /// The empty map, version 0. resolve() answers kEmptyMap.
+  ShardMap() = default;
+
+  /// Validates: ranges sorted by lo, non-overlapping, lo >= 1 (SN 0 is
+  /// kInvalidSn), and each shard id appears at most once. Throws
+  /// common::PreconditionError otherwise.
+  ShardMap(std::uint32_t version, std::vector<ShardRange> ranges);
+
+  /// The canonical layout: n equal contiguous spans, shard i owning
+  /// [1 + i*span, 1 + (i+1)*span).
+  [[nodiscard]] static ShardMap uniform(ShardId n_shards, core::Sn span,
+                                        std::uint32_t version = 1);
+
+  /// Owner of a global SN, or why there is none. Binary search.
+  [[nodiscard]] RouteResult resolve(core::Sn global_sn) const;
+
+  /// Local SN at `shard` -> global SN. Throws common::PreconditionError for
+  /// an unknown shard or a local SN past the shard's span (capacity
+  /// exhausted — the map must be regrown first).
+  [[nodiscard]] core::Sn to_global(ShardId shard, core::Sn local_sn) const;
+
+  [[nodiscard]] std::uint32_t version() const { return version_; }
+  [[nodiscard]] std::size_t shard_count() const { return ranges_.size(); }
+  [[nodiscard]] const std::vector<ShardRange>& ranges() const {
+    return ranges_;
+  }
+
+  void serialize(common::ByteWriter& w) const;
+  [[nodiscard]] common::Bytes serialize() const;
+  [[nodiscard]] static ShardMap deserialize(common::ByteReader& r);
+  /// Strict whole-buffer decode (expect_end), for kShardMap payloads.
+  [[nodiscard]] static ShardMap deserialize(common::ByteView bytes);
+
+ private:
+  std::uint32_t version_ = 0;
+  std::vector<ShardRange> ranges_;  // sorted by lo
+};
+
+}  // namespace worm::cluster

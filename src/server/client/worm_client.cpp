@@ -52,6 +52,8 @@ WormClient::WormClient(ClientConfig config) : config_(std::move(config)) {
 core::ReadOutcome WormClient::read(core::Sn sn) {
   Request req;
   req.op = MsgOp::kRead;
+  req.route_version = route_version_;
+  req.route_shard = route_shard_;
   req.sn = sn;
   Response resp = transact(std::move(req));
   if (!core::is_read_status(resp.status)) {
@@ -63,10 +65,13 @@ core::ReadOutcome WormClient::read(core::Sn sn) {
 WriteResult WormClient::write(core::WriteRequest request) {
   Request req;
   req.op = MsgOp::kWrite;
+  req.route_version = route_version_;
+  req.route_shard = route_shard_;
   req.write = std::move(request);
   Response resp = transact(std::move(req));
   if (resp.status != core::WireStatus::kOk &&
-      resp.status != core::WireStatus::kBusy) {
+      resp.status != core::WireStatus::kBusy &&
+      resp.status != core::WireStatus::kStaleRoute) {
     core::throw_wire_error(resp.status, resp.message);
   }
   WriteResult out;
@@ -74,6 +79,21 @@ WriteResult WormClient::write(core::WriteRequest request) {
   out.sn = resp.sn;
   out.message = std::move(resp.message);
   return out;
+}
+
+void WormClient::set_route(std::uint32_t version, std::uint32_t shard) {
+  route_version_ = version;
+  route_shard_ = shard;
+}
+
+ShardMapResult WormClient::fetch_shard_map() {
+  Request req;
+  req.op = MsgOp::kShardMap;
+  Response resp = transact(std::move(req));
+  if (resp.status != core::WireStatus::kOk) {
+    core::throw_wire_error(resp.status, resp.message);
+  }
+  return ShardMapResult{resp.shard_id, std::move(resp.shard_map)};
 }
 
 void WormClient::lit_hold(const core::LitigationRequest& request) {

@@ -56,6 +56,18 @@ struct WriteResult {
   [[nodiscard]] bool busy() const {
     return status == core::WireStatus::kBusy;
   }
+  /// The replica rejected this frame's routing header: refresh the shard
+  /// map and re-route — retrying the same frame here cannot succeed.
+  [[nodiscard]] bool stale_route() const {
+    return status == core::WireStatus::kStaleRoute;
+  }
+};
+
+/// A kShardMap answer: which shard this replica owns plus the encoded
+/// cluster map (decode with cluster::ShardMap::deserialize).
+struct ShardMapResult {
+  std::uint32_t shard_id = 0;
+  common::Bytes shard_map;
 };
 
 class WormClient {
@@ -75,9 +87,18 @@ class WormClient {
   /// statuses rethrow as the matching exception type.
   [[nodiscard]] core::ReadOutcome read(core::Sn sn);
 
-  /// Remote write via the server's non-blocking admission. kOk and kBusy
-  /// come back as results; error statuses rethrow.
+  /// Remote write via the server's non-blocking admission. kOk, kBusy and
+  /// kStaleRoute come back as results; error statuses rethrow.
   [[nodiscard]] WriteResult write(core::WriteRequest request);
+
+  /// Sets the shard-routing header stamped on every subsequent kRead/kWrite
+  /// frame. A routing layer calls this after resolving the shard map; plain
+  /// clients leave it at 0/0 (the standalone-server default).
+  void set_route(std::uint32_t version, std::uint32_t shard);
+
+  /// Fetches the serving replica's shard id and encoded cluster map.
+  /// Throws (kBadRequest) against a standalone server.
+  [[nodiscard]] ShardMapResult fetch_shard_map();
 
   void lit_hold(const core::LitigationRequest& request);
   void lit_release(const core::LitigationRequest& request);
@@ -112,6 +133,8 @@ class WormClient {
   std::size_t in_off_ = 0;  // consumed-frame offset; see compact_frames
   common::ScratchArena out_;  // reused request-frame encode buffer
   std::uint64_t next_rid_ = 1;
+  std::uint32_t route_version_ = 0;
+  std::uint32_t route_shard_ = 0;
   std::optional<core::SignedSnCurrent> attestation_;
   std::optional<core::EpochCert> epoch_cert_;
 };

@@ -19,6 +19,7 @@ const char* to_string(MsgOp op) {
     case MsgOp::kLitHold: return "lit-hold";
     case MsgOp::kLitRelease: return "lit-release";
     case MsgOp::kPing: return "ping";
+    case MsgOp::kShardMap: return "shard-map";
   }
   return "unknown";
 }
@@ -32,6 +33,7 @@ MsgOp msg_op_from_u8(std::uint8_t v) {
     case MsgOp::kLitHold:
     case MsgOp::kLitRelease:
     case MsgOp::kPing:
+    case MsgOp::kShardMap:
       return op;
   }
   throw ParseError("unknown message opcode " + std::to_string(v));
@@ -210,9 +212,13 @@ void encode_request_body(ByteWriter& w, const Request& req) {
       w.blob(req.token);
       break;
     case MsgOp::kWrite:
+      w.u32(req.route_version);
+      w.u32(req.route_shard);
       encode_write_request(w, req.write);
       break;
     case MsgOp::kRead:
+      w.u32(req.route_version);
+      w.u32(req.route_shard);
       w.u64(req.sn);
       break;
     case MsgOp::kLitHold:
@@ -220,6 +226,7 @@ void encode_request_body(ByteWriter& w, const Request& req) {
       encode_lit_request(w, req.lit);
       break;
     case MsgOp::kPing:
+    case MsgOp::kShardMap:
       break;
   }
 }
@@ -239,6 +246,10 @@ void encode_response_body(ByteWriter& w, const Response& resp) {
     encode_read_outcome(w, resp.outcome);
   } else if (resp.status == core::WireStatus::kOk) {
     if (resp.op == MsgOp::kWrite) w.u64(resp.sn);
+    if (resp.op == MsgOp::kShardMap) {
+      w.u32(resp.shard_id);
+      w.blob(resp.shard_map);
+    }
     // kHello / kLitHold / kLitRelease / kPing: status alone is the answer.
   } else {
     w.str(resp.message);
@@ -279,9 +290,13 @@ Request decode_request(common::ByteView body) {
       req.token = r.blob();
       break;
     case MsgOp::kWrite:
+      req.route_version = r.u32();
+      req.route_shard = r.u32();
       req.write = decode_write_request(r);
       break;
     case MsgOp::kRead:
+      req.route_version = r.u32();
+      req.route_shard = r.u32();
       req.sn = r.u64();
       break;
     case MsgOp::kLitHold:
@@ -289,6 +304,7 @@ Request decode_request(common::ByteView body) {
       req.lit = decode_lit_request(r);
       break;
     case MsgOp::kPing:
+    case MsgOp::kShardMap:
       break;
   }
   r.expect_end();
@@ -322,6 +338,10 @@ Response decode_response(common::ByteView body) {
     resp.outcome = decode_read_outcome(resp.status, r);
   } else if (resp.status == core::WireStatus::kOk) {
     if (resp.op == MsgOp::kWrite) resp.sn = r.u64();
+    if (resp.op == MsgOp::kShardMap) {
+      resp.shard_id = r.u32();
+      resp.shard_map = r.blob();
+    }
   } else {
     resp.message = r.str();
   }

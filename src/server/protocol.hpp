@@ -35,7 +35,11 @@ namespace worm::server {
 /// version and the server refuses mismatches with kBadRequest.
 /// v2: the per-response attestation slot became a bitmask carrying an
 /// optional EpochCert next to the optional S_s(SN_current).
-inline constexpr std::uint16_t kProtocolVersion = 2;
+/// v3: kWrite/kRead carry a shard-routing header (map version + shard id,
+/// both 0 for standalone deployments); new kShardMap op returns the
+/// serving replica's shard id and encoded cluster shard map; new
+/// kStaleRoute rejection for mismatched routing headers.
+inline constexpr std::uint16_t kProtocolVersion = 3;
 
 /// Bits of the v2 per-response attestation slot.
 inline constexpr std::uint8_t kAttSnCurrent = 1u << 0;
@@ -52,6 +56,7 @@ enum class MsgOp : std::uint8_t {
   kLitHold = 4,     // LitigationRequest
   kLitRelease = 5,  // LitigationRequest
   kPing = 6,        // keep-alive; refreshes the session attestation
+  kShardMap = 7,    // -> shard id + encoded cluster shard map (v3)
 };
 
 const char* to_string(MsgOp op);
@@ -70,6 +75,14 @@ struct Request {
   std::uint16_t version = kProtocolVersion;
   std::string principal;
   common::Bytes token;
+
+  // kWrite / kRead: shard-routing header. The client's view of the cluster
+  // shard map (version) and the shard it believes this server owns; the
+  // server rejects a mismatch with kStaleRoute before touching any SN, so a
+  // skewed map can never silently misroute. Both stay 0 between a plain
+  // WormClient and a standalone server.
+  std::uint32_t route_version = 0;
+  std::uint32_t route_shard = 0;
 
   // kWrite
   core::WriteRequest write;
@@ -100,6 +113,10 @@ struct Response {
   core::Sn sn = core::kInvalidSn;   // kWrite + kOk
   core::ReadOutcome outcome;        // kRead + any read-family status
   std::string message;              // any error/rejection status
+  std::uint32_t shard_id = 0;       // kShardMap + kOk
+  common::Bytes shard_map;          // kShardMap + kOk: encoded cluster map,
+                                    // opaque to the server (decoded by
+                                    // cluster::ShardMap::deserialize)
 };
 
 // --- framing ---------------------------------------------------------------

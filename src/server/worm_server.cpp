@@ -220,6 +220,22 @@ void WormServer::handle_frame(Conn& conn, const Bytes& body) {
     return;
   }
 
+  // Route check before any SN is touched: a client holding a skewed shard
+  // map gets a retryable kStaleRoute, never a silently misrouted answer.
+  // Standalone servers and plain clients both leave the header at 0/0.
+  if ((req.op == MsgOp::kRead || req.op == MsgOp::kWrite) &&
+      (req.route_version != config_.route_version ||
+       req.route_shard != config_.shard_id)) {
+    resp.status = core::WireStatus::kStaleRoute;
+    resp.message = "routing header v" + std::to_string(req.route_version) +
+                   "/shard " + std::to_string(req.route_shard) +
+                   " does not match this replica (v" +
+                   std::to_string(config_.route_version) + "/shard " +
+                   std::to_string(config_.shard_id) + ")";
+    send_response(conn, resp);
+    return;
+  }
+
   try {
     switch (req.op) {
       case MsgOp::kRead:
@@ -270,6 +286,16 @@ void WormServer::handle_frame(Conn& conn, const Bytes& body) {
         if (!conn.session->fresh(conn.session->freshness_horizon())) {
           (void)conn.session->refresh();
         }
+        resp.status = core::WireStatus::kOk;
+        break;
+      case MsgOp::kShardMap:
+        if (config_.shard_map_blob.empty()) {
+          resp.status = core::WireStatus::kBadRequest;
+          resp.message = "server is not part of a cluster";
+          break;
+        }
+        resp.shard_id = config_.shard_id;
+        resp.shard_map = config_.shard_map_blob;
         resp.status = core::WireStatus::kOk;
         break;
       case MsgOp::kHello:

@@ -65,6 +65,16 @@ struct ServerConfig {
   /// Optional adversary: site "server.response" bit-flips an encoded
   /// response body between store and socket (kBitFlip). Not owned.
   common::FaultInjector* fault = nullptr;
+
+  /// Cluster membership (v3). A clustered deployment sets the shard this
+  /// server owns, the shard-map version it was configured under, and the
+  /// encoded map (opaque here — produced by cluster::ShardMap::serialize,
+  /// answered verbatim to kShardMap). Left at the defaults, the server is
+  /// standalone: kShardMap is refused and the all-zero routing header on
+  /// kWrite/kRead passes the route check untouched.
+  std::uint32_t shard_id = 0;
+  std::uint32_t route_version = 0;
+  common::Bytes shard_map_blob;
 };
 
 /// Principal -> shared secret registry the server authenticates against.

@@ -75,6 +75,10 @@ void WormSession::poke_writes() { store_.poke_writes(); }
 
 void WormSession::drain_writes() { store_.drain_writes(); }
 
+CountersSnapshot WormSession::counters_snapshot(CounterFlush flush) {
+  return store_.counters_snapshot(flush);
+}
+
 bool WormSession::observe(const SignedSnCurrent& current) {
   if (current.sn_current == kInvalidSn && current.sig.empty()) return false;
   bool fresher = watermark_.sig.empty() ||
@@ -130,10 +134,6 @@ WormSession::VerifiedRead WormSession::verified_read(Sn sn) {
   ReadOutcome r = read(sn);
   Outcome v = verifier().verify_read(sn, r);
   return {std::move(r), std::move(v)};
-}
-
-ClientVerifier authenticate(WormStore& store, const common::TimeSource& time) {
-  return ClientVerifier(store.anchors(), time);
 }
 
 }  // namespace worm::core

@@ -74,6 +74,13 @@ class WormSession {
   void poke_writes();
   void drain_writes();
 
+  /// Counters snapshot of the underlying store. This is the session-layer
+  /// (and therefore cluster-layer) path to store metrics: the shard router
+  /// aggregates per-shard snapshots through its sessions without ever
+  /// naming the store type.
+  [[nodiscard]] CountersSnapshot counters_snapshot(
+      CounterFlush flush = CounterFlush::kRelaxed);
+
   // --- freshness watermark -------------------------------------------------
 
   /// Latest S_s(SN_current) this session has seen (invalid sn before the
@@ -137,13 +144,5 @@ class WormSession {
   std::optional<EpochCert> epoch_cert_;
   std::unique_ptr<ClientVerifier> verifier_;
 };
-
-/// The pre-session idiom — every caller hand-building a verifier straight
-/// off the store's anchors with no principal and no freshness state. New
-/// code should hold a WormSession and use verifier()/fresh() instead.
-[[deprecated("construct a WormSession and use its verifier()/freshness "
-             "helpers instead of the raw anchors()->ClientVerifier path")]]
-[[nodiscard]] ClientVerifier authenticate(WormStore& store,
-                                          const common::TimeSource& time);
 
 }  // namespace worm::core

@@ -19,6 +19,7 @@ const char* to_string(WireStatus s) {
     case WireStatus::kAuthRequired: return "auth-required";
     case WireStatus::kAuthFailed: return "auth-failed";
     case WireStatus::kBadRequest: return "bad-request";
+    case WireStatus::kStaleRoute: return "stale-route";
     case WireStatus::kParseError: return "parse-error";
     case WireStatus::kPreconditionError: return "precondition-error";
     case WireStatus::kStorageError: return "storage-error";
@@ -70,6 +71,7 @@ ReadStatus read_status_from_wire(WireStatus s) {
     case WireStatus::kAuthRequired:
     case WireStatus::kAuthFailed:
     case WireStatus::kBadRequest:
+    case WireStatus::kStaleRoute:
     case WireStatus::kParseError:
     case WireStatus::kPreconditionError:
     case WireStatus::kStorageError:
@@ -102,6 +104,7 @@ WireStatus wire_status_from_u16(std::uint16_t v) {
     case WireStatus::kAuthRequired:
     case WireStatus::kAuthFailed:
     case WireStatus::kBadRequest:
+    case WireStatus::kStaleRoute:
     case WireStatus::kParseError:
     case WireStatus::kPreconditionError:
     case WireStatus::kStorageError:
@@ -132,6 +135,7 @@ const char* to_string(ErrorCode c) {
     case ErrorCode::kScpuDead: return "scpu-dead";
     case ErrorCode::kNet: return "net";
     case ErrorCode::kInternal: return "internal";
+    case ErrorCode::kStaleRoute: return "stale-route";
   }
   return "unknown";
 }
@@ -139,6 +143,7 @@ const char* to_string(ErrorCode c) {
 ErrorCode classify(const std::exception& e) {
   // Most-derived classes first: a ScpuDeadError IS-A ChannelError IS-A
   // common::Error, and the first match wins.
+  if (dynamic_cast<const StaleRouteError*>(&e)) return ErrorCode::kStaleRoute;
   if (dynamic_cast<const ScpuDeadError*>(&e)) return ErrorCode::kScpuDead;
   if (dynamic_cast<const ChannelTimeoutError*>(&e)) {
     return ErrorCode::kChannelTimeout;
@@ -173,6 +178,7 @@ WireStatus to_wire(ErrorCode c) {
     case ErrorCode::kScpuDead: return WireStatus::kScpuDead;
     case ErrorCode::kNet: return WireStatus::kNetError;
     case ErrorCode::kInternal: return WireStatus::kInternalError;
+    case ErrorCode::kStaleRoute: return WireStatus::kStaleRoute;
   }
   throw common::InternalError("to_wire: corrupt ErrorCode");
 }
@@ -199,6 +205,10 @@ void throw_wire_error(WireStatus s, const std::string& message) {
       // Server-level rejections have no in-process exception class; surface
       // them as the root type with a stable, matchable prefix.
       throw common::Error(std::string(to_string(s)) + ": " + message);
+    case WireStatus::kStaleRoute:
+      // Typed so routing layers can catch-and-refresh without string
+      // matching; plain clients that never set a route can't trigger it.
+      throw StaleRouteError(message);
     case WireStatus::kParseError:
       throw common::ParseError(message);
     case WireStatus::kPreconditionError:

@@ -23,9 +23,21 @@
 #include <exception>
 #include <string>
 
+#include "common/error.hpp"
 #include "worm/proofs.hpp"
 
 namespace worm::core {
+
+/// A request carried a shard-routing header (map version / shard id) that
+/// does not match the serving replica's current assignment. Retryable by
+/// construction: the fix is to re-fetch the shard map and re-route, never to
+/// retry the same frame at the same replica. Raised client-side by
+/// throw_wire_error(kStaleRoute); cluster::ClusterClient catches it and
+/// refreshes its map.
+class StaleRouteError : public common::Error {
+ public:
+  using common::Error::Error;
+};
 
 enum class WireStatus : std::uint16_t {
   // --- read-outcome family: one-to-one with ReadStatus -----------------
@@ -49,6 +61,10 @@ enum class WireStatus : std::uint16_t {
   /// Structurally valid frame the server refuses (bad version, writes
   /// disabled, oversized batch).
   kBadRequest = 67,
+  /// The frame's shard-routing header (map version / shard id) does not
+  /// match this replica's assignment. Retryable after a shard-map refresh —
+  /// never a misroute: the server checks the header before touching SNs.
+  kStaleRoute = 68,
 
   // --- exception taxonomy ([128, ...)) ----------------------------------
   kParseError = 128,
@@ -99,6 +115,7 @@ enum class ErrorCode : std::uint8_t {
   kScpuDead = 8,
   kNet = 9,
   kInternal = 10,
+  kStaleRoute = 11,
 };
 
 const char* to_string(ErrorCode c);

@@ -1395,48 +1395,6 @@ WormStore::CountersSnapshot WormStore::counters_snapshot() const {
   return s;
 }
 
-std::map<std::string_view, std::uint64_t> WormStore::CountersSnapshot::as_map()
-    const {
-  return {
-      {"store.writes", writes},
-      {"store.reads", reads},
-      {"store.read_many_batches", read_many_batches},
-      {"store.reads_unavailable", reads_unavailable},
-      {"store.expirations", expirations},
-      {"store.compactions", compactions},
-      {"store.base_advances", base_advances},
-      {"store.dedup_hits", dedup_hits},
-      {"store.deferred_shreds", deferred_shreds},
-      {"store.degraded", degraded},
-      {"read_cache.hits", read_cache.hits},
-      {"read_cache.misses", read_cache.misses},
-      {"read_cache.evictions", read_cache.evictions},
-      {"read_cache.invalidations", read_cache.invalidations},
-      {"mailbox.crossings", mailbox.commands},
-      {"mailbox.bytes_crossed", mailbox.bytes_crossed},
-      {"mailbox.error_responses", mailbox.error_responses},
-      {"mailbox.batches", mailbox.batches},
-      {"mailbox.batched_writes", mailbox.batched_writes},
-      {"mailbox.queue_hwm", mailbox.queue_hwm},
-      {"mailbox.duty_runs", mailbox.duty_runs},
-      {"mailbox.urgent_services", mailbox.urgent_services},
-      {"mailbox.retries", mailbox.retries},
-      {"mailbox.dedup_hits", mailbox.dedup_hits},
-      {"mailbox.transport_faults", mailbox.transport_faults},
-      {"mailbox.timeouts", mailbox.timeouts},
-      {"storage.read_retries", storage_read_retries},
-      {"fault.injected", fault_injected},
-      {"recovery.replayed", recovery_replayed},
-      {"recovery.resent", recovery_resent},
-      {"recovery.torn_bytes", recovery_torn_bytes},
-      {"write_pipeline.queued", write_pipeline_queued},
-      {"write_pipeline.batches", write_pipeline_batches},
-      {"write_pipeline.batch_fill_avg", write_pipeline_batch_fill_avg},
-      {"write_pipeline.backpressure_stalls", write_pipeline_backpressure_stalls},
-      {"write_pipeline.busy_rejected", write_pipeline_busy_rejected},
-  };
-}
-
 // ---------------------------------------------------------------------------
 // Deadline-aware scheduling + idle-period duties (all under the exclusive
 // lock: duty callbacks run inside pump_idle / maybe_service_deadline)

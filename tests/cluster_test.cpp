@@ -1,0 +1,361 @@
+// Sharded scale-out integration: the in-process ShardRouter (routing, batch
+// reassembly, counter aggregation) and the networked ClusterClient speaking
+// the v3 protocol to real WormServers — masking-quorum writes and reads,
+// conviction of a Byzantine replica that forges an envelope, and the
+// kStaleRoute refresh path that turns map version skew into a retryable
+// blip instead of a misroute.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cluster/cluster_client.hpp"
+#include "cluster/quorum.hpp"
+#include "cluster/shard_map.hpp"
+#include "cluster/shard_router.hpp"
+#include "server/worm_server.hpp"
+#include "worm/session.hpp"
+#include "worm_fixture.hpp"
+
+namespace worm::cluster {
+namespace {
+
+using common::Bytes;
+using common::Duration;
+using worm::testing::Rig;
+
+core::StoreConfig pipelined() {
+  core::StoreConfig sc;
+  sc.pipeline.enabled = true;
+  return sc;
+}
+
+core::WriteRequest record(const std::string& text) {
+  core::WriteRequest w;
+  w.payloads = {common::to_bytes(text)};
+  w.attr.retention = Duration::days(30);
+  w.attr.regulation_policy = 17;
+  return w;
+}
+
+// ---------------------------------------------------------------------------
+// ShardRouter: in-process scale-out.
+// ---------------------------------------------------------------------------
+
+/// N full deployments behind one router.
+struct RouterRig {
+  explicit RouterRig(ShardMap map) {
+    for (std::size_t i = 0; i < map.shard_count(); ++i) {
+      rigs.push_back(std::make_unique<Rig>(core::FirmwareConfig{},
+                                           pipelined()));
+    }
+    router.emplace(std::move(map), [this](ShardId shard) {
+      Rig& rig = *rigs[shard];
+      return std::make_unique<core::WormSession>(rig.store, "router-test",
+                                                 rig.clock);
+    });
+  }
+
+  std::vector<std::unique_ptr<Rig>> rigs;
+  std::optional<ShardRouter> router;
+};
+
+TEST(ShardRouter, RoundRobinsWritesAcrossGlobalRanges) {
+  RouterRig rr(ShardMap::uniform(2, 1000));
+  ShardRouter& router = *rr.router;
+
+  // Round-robin: shard 0 local 1 -> global 1, shard 1 local 1 -> global 1001.
+  EXPECT_EQ(router.write(record("a")), 1u);
+  EXPECT_EQ(router.write(record("b")), 1001u);
+  EXPECT_EQ(router.write(record("c")), 2u);
+  EXPECT_EQ(router.write(record("d")), 1002u);
+
+  core::ReadOutcome out = router.read(1001);
+  const auto* ok = out.get_if<core::ReadOk>();
+  ASSERT_NE(ok, nullptr);
+  EXPECT_EQ(ok->payloads.at(0), common::to_bytes("b"));
+
+  // An SN nobody owns is a routing error, not a store answer.
+  EXPECT_THROW((void)router.read(5000), common::PreconditionError);
+  EXPECT_THROW((void)router.session(99), common::PreconditionError);
+}
+
+TEST(ShardRouter, RoutedTicketTranslatesToGlobal) {
+  RouterRig rr(ShardMap::uniform(2, 1000));
+  RoutedTicket t0 = rr.router->write_async(record("x"));
+  RoutedTicket t1 = rr.router->write_async(record("y"));
+  EXPECT_EQ(t0.shard(), 0u);
+  EXPECT_EQ(t1.shard(), 1u);
+  EXPECT_EQ(t0.get(), 1u);
+  EXPECT_EQ(t1.get(), 1001u);
+  rr.router->drain_writes();
+}
+
+TEST(ShardRouter, ReadManyReassemblesInRequestOrder) {
+  RouterRig rr(ShardMap::uniform(2, 1000));
+  for (int i = 0; i < 6; ++i) {
+    (void)rr.router->write(record("r" + std::to_string(i)));
+  }
+  // Mixed shard order, duplicates included: answers must line up 1:1.
+  std::vector<core::Sn> sns = {1002, 1, 3, 1001, 1, 1003};
+  std::vector<std::string> want = {"r3", "r0", "r4", "r1", "r0", "r5"};
+  std::vector<core::ReadOutcome> outs = rr.router->read_many(sns);
+  ASSERT_EQ(outs.size(), sns.size());
+  for (std::size_t i = 0; i < outs.size(); ++i) {
+    const auto* ok = outs[i].get_if<core::ReadOk>();
+    ASSERT_NE(ok, nullptr) << "position " << i;
+    EXPECT_EQ(ok->payloads.at(0), common::to_bytes(want[i])) << "position "
+                                                             << i;
+  }
+}
+
+TEST(ShardRouter, AggregatesCountersAcrossShards) {
+  RouterRig rr(ShardMap::uniform(2, 1000));
+  for (int i = 0; i < 5; ++i) (void)rr.router->write(record("c"));
+
+  ClusterCounters counters =
+      rr.router->counters_snapshot(core::CounterFlush::kSettled);
+  ASSERT_EQ(counters.shards.size(), 2u);
+  auto m = counters.as_map();
+  // Round-robin put 3 on shard 0 and 2 on shard 1; the cluster view sums.
+  EXPECT_EQ(m.at("shard.0.store.writes"), 3u);
+  EXPECT_EQ(m.at("shard.1.store.writes"), 2u);
+  EXPECT_EQ(m.at("cluster.store.writes"), 5u);
+}
+
+TEST(ShardRouter, SkipsEmptyShardsOnWrite) {
+  // Shard 1 is provisioned but owns no SNs: the round-robin must never
+  // admit into it (its ticket could not translate back to a global SN).
+  RouterRig rr(ShardMap(1, {ShardRange{1, 101, 0}, ShardRange{101, 101, 1},
+                            ShardRange{101, 201, 2}}));
+  for (int i = 0; i < 4; ++i) (void)rr.router->write(record("w"));
+  auto m = rr.router->counters_snapshot(core::CounterFlush::kSettled).as_map();
+  EXPECT_EQ(m.at("shard.1.store.writes"), 0u);
+  EXPECT_EQ(m.at("cluster.store.writes"), 4u);
+}
+
+// ---------------------------------------------------------------------------
+// ClusterClient: quorum replication over real servers.
+// ---------------------------------------------------------------------------
+
+/// One replica: a full deployment plus a WormServer announcing its cluster
+/// membership (shard id, route version, the serialized map).
+struct ReplicaRig {
+  explicit ReplicaRig(const server::ServerConfig& cfg) : rig({}, pipelined()) {
+    auth.add("alice", common::to_bytes("alice-secret"));
+    server.emplace(cfg, auth, [this](std::string_view principal) {
+      return std::make_unique<core::WormSession>(
+          rig.store, std::string(principal), rig.clock);
+    });
+    server->start();
+  }
+
+  Rig rig;
+  server::AuthRegistry auth;
+  std::optional<server::WormServer> server;
+};
+
+/// n replicas per shard, every server configured from `server_map`. The
+/// client's initial map may be older — that is the version-skew test.
+struct ClusterRig {
+  ClusterRig(const ShardMap& server_map, QuorumParams q) : quorum(q) {
+    Bytes blob = server_map.serialize();
+    for (const ShardRange& range : server_map.ranges()) {
+      auto& column = replicas.emplace_back();
+      for (std::uint32_t i = 0; i < q.n; ++i) {
+        server::ServerConfig cfg;
+        cfg.shard_id = range.shard;
+        cfg.route_version = server_map.version();
+        cfg.shard_map_blob = blob;
+        column.push_back(std::make_unique<ReplicaRig>(cfg));
+      }
+      shard_ids.push_back(range.shard);
+    }
+  }
+
+  ClusterConfig client_config(ShardMap client_map) const {
+    ClusterConfig cc;
+    cc.map = std::move(client_map);
+    cc.quorum = quorum;
+    for (std::size_t s = 0; s < replicas.size(); ++s) {
+      ShardReplicaSet set;
+      set.shard = shard_ids[s];
+      for (const auto& rep : replicas[s]) {
+        ReplicaEndpoint ep;
+        ep.client.tcp_port = rep->server->port();
+        ep.client.principal = "alice";
+        ep.client.token = rep->auth.mint("alice");
+        // Out-of-band trust anchors of THIS replica's SCPU.
+        ep.anchors = rep->rig.store.anchors();
+        set.replicas.push_back(std::move(ep));
+      }
+      cc.shards.push_back(std::move(set));
+    }
+    return cc;
+  }
+
+  /// The trusted time source for the client verifiers. Every replica runs
+  /// an identical op sequence, so the sim clocks stay in lockstep; any
+  /// replica's clock works as the synchronized client clock.
+  const common::TimeSource& trusted_time() const {
+    return replicas.at(0).at(0)->rig.clock;
+  }
+
+  QuorumParams quorum;
+  std::vector<ShardId> shard_ids;
+  std::vector<std::vector<std::unique_ptr<ReplicaRig>>> replicas;
+};
+
+TEST(ClusterClient, RejectsInvalidQuorumConfigs) {
+  // n >= 4f+1: n=4, f=1 is NOT enough to mask a Byzantine replica.
+  EXPECT_FALSE((QuorumParams{4, 1}.valid()));
+  ASSERT_TRUE((QuorumParams{5, 1}.valid()));
+  EXPECT_EQ((QuorumParams{5, 1}.write_quorum()), 4u);
+  EXPECT_EQ((QuorumParams{5, 1}.read_quorum()), 2u);
+
+  ClusterRig cluster(ShardMap::uniform(1, 100), QuorumParams{5, 1});
+  ClusterConfig bad = cluster.client_config(ShardMap::uniform(1, 100));
+  bad.quorum = QuorumParams{4, 1};
+  EXPECT_THROW((void)ClusterClient(std::move(bad), cluster.trusted_time()),
+               common::PreconditionError);
+
+  // Replica set size must equal n.
+  ClusterConfig short_set = cluster.client_config(ShardMap::uniform(1, 100));
+  short_set.shards[0].replicas.pop_back();
+  EXPECT_THROW(
+      (void)ClusterClient(std::move(short_set), cluster.trusted_time()),
+      common::PreconditionError);
+}
+
+TEST(ClusterClient, QuorumWritesAndVerifiedReadsAcrossShards) {
+  ShardMap map = ShardMap::uniform(2, 100);
+  ClusterRig cluster(map, QuorumParams{5, 1});
+  ClusterClient client(cluster.client_config(map), cluster.trusted_time());
+
+  // Round-robin across the two shards' global ranges; every replica acks.
+  std::vector<core::Sn> want = {1, 101, 2, 102};
+  for (std::size_t i = 0; i < want.size(); ++i) {
+    QuorumWrite w = client.write(record("record " + std::to_string(i)));
+    ASSERT_TRUE(w.ok) << w.message;
+    EXPECT_FALSE(w.busy);
+    EXPECT_EQ(w.acks, 5u);
+    EXPECT_EQ(w.sn, want[i]);
+  }
+
+  for (std::size_t i = 0; i < want.size(); ++i) {
+    QuorumRead r = client.read(want[i]);
+    ASSERT_TRUE(r.trustworthy()) << r.verdict.detail;
+    EXPECT_EQ(r.verdict.verdict, core::Verdict::kAuthentic);
+    EXPECT_EQ(r.agreeing, 5u);
+    EXPECT_TRUE(r.convictions.empty());
+    const auto* ok = r.outcome.get_if<core::ReadOk>();
+    ASSERT_NE(ok, nullptr);
+    EXPECT_EQ(ok->payloads.at(0),
+              common::to_bytes("record " + std::to_string(i)));
+  }
+
+  // Absence is quorum-proven too: an unallocated SN verifies as
+  // never-existed on every honest replica.
+  QuorumRead gone = client.read(50);
+  EXPECT_TRUE(gone.trustworthy());
+  EXPECT_EQ(gone.verdict.verdict, core::Verdict::kNeverExistedVerified);
+  EXPECT_EQ(gone.agreeing, 5u);
+
+  // Off the map entirely: a routing error, not a store answer.
+  EXPECT_THROW((void)client.read(500), common::PreconditionError);
+
+  // Writes forwarded attestations; each shard tracks its own watermark
+  // (independent SCPUs — there is no single cluster watermark).
+  EXPECT_TRUE(client.watermark(0).has_value());
+  EXPECT_TRUE(client.watermark(1).has_value());
+}
+
+TEST(ClusterClient, ByzantineReplicaIsOutvotedAndConvicted) {
+  ShardMap map = ShardMap::uniform(1, 1000);
+  ClusterRig cluster(map, QuorumParams{5, 1});
+  ClusterClient client(cluster.client_config(map), cluster.trusted_time());
+
+  QuorumWrite w = client.write(record("evidence"));
+  ASSERT_TRUE(w.ok) << w.message;
+  ASSERT_EQ(w.sn, 1u);
+
+  // Replica 2's insider forges the envelope in its VRDT: a litigation hold
+  // appears that the SCPU never witnessed. The forgery is self-consistent
+  // on that replica's host, so only verification against its own anchors —
+  // not cross-replica comparison — can catch it.
+  {
+    ReplicaRig& byzantine = *cluster.replicas[0][2];
+    auto* e = core::InsiderHandle(byzantine.rig.store).vrdt().mutable_entry(1);
+    ASSERT_NE(e, nullptr);
+    e->vrd.attr.litigation_hold = true;
+  }
+
+  QuorumRead r = client.read(1);
+  // The four honest replicas still clear the read quorum (f+1 = 2)...
+  ASSERT_TRUE(r.trustworthy()) << r.verdict.detail;
+  EXPECT_EQ(r.verdict.verdict, core::Verdict::kAuthentic);
+  EXPECT_EQ(r.agreeing, 4u);
+  const auto* ok = r.outcome.get_if<core::ReadOk>();
+  ASSERT_NE(ok, nullptr);
+  EXPECT_EQ(ok->payloads.at(0), common::to_bytes("evidence"));
+  EXPECT_FALSE(ok->vrd.attr.litigation_hold);
+
+  // ...and the forger is convicted by name, with the verifier's verdict.
+  ASSERT_EQ(r.convictions.size(), 1u);
+  EXPECT_EQ(r.convictions[0].shard, 0u);
+  EXPECT_EQ(r.convictions[0].replica, 2u);
+  EXPECT_EQ(r.convictions[0].verdict, core::Verdict::kTampered);
+}
+
+TEST(ClusterClient, VersionSkewRefreshesInsteadOfMisrouting) {
+  // Servers run map v2; the client boots with the stale v1 view.
+  ShardMap v2 = ShardMap::uniform(2, 100, /*version=*/2);
+  ClusterRig cluster(v2, QuorumParams{5, 1});
+  ClusterClient client(cluster.client_config(ShardMap::uniform(2, 100, 1)),
+                       cluster.trusted_time());
+  ASSERT_EQ(client.map().version(), 1u);
+
+  // Every replica answers kStaleRoute to the v1-stamped frame; the client
+  // fetches the v2 map over kShardMap, re-stamps, and retries — one write
+  // call, no misroute, no duplicate SN (store dedup absorbs replays).
+  QuorumWrite w = client.write(record("skewed"));
+  ASSERT_TRUE(w.ok) << w.message;
+  EXPECT_EQ(w.sn, 1u);
+  EXPECT_EQ(client.map().version(), 2u);
+
+  QuorumRead r = client.read(1);
+  ASSERT_TRUE(r.trustworthy()) << r.verdict.detail;
+  EXPECT_EQ(r.agreeing, 5u);
+
+  // A second stale client exercises the read-side refresh: its first read
+  // hits kStaleRoute (a typed, retryable wire error — never a misroute)
+  // and transparently lands after its own refresh.
+  ClusterClient late(cluster.client_config(ShardMap::uniform(2, 100, 1)),
+                     cluster.trusted_time());
+  QuorumRead lr = late.read(1);
+  ASSERT_TRUE(lr.trustworthy()) << lr.verdict.detail;
+  EXPECT_EQ(late.map().version(), 2u);
+  const auto* ok = lr.outcome.get_if<core::ReadOk>();
+  ASSERT_NE(ok, nullptr);
+  EXPECT_EQ(ok->payloads.at(0), common::to_bytes("skewed"));
+
+  // refresh_map reports whether the version moved.
+  EXPECT_FALSE(client.refresh_map());  // already at v2
+}
+
+TEST(ClusterClient, StandaloneServerHasNoShardMap) {
+  // A server with no cluster membership rejects kShardMap as kBadRequest;
+  // the client library surfaces it as an error rather than an empty map.
+  ReplicaRig standalone((server::ServerConfig()));
+  server::ClientConfig cfg;
+  cfg.tcp_port = standalone.server->port();
+  cfg.principal = "alice";
+  cfg.token = standalone.auth.mint("alice");
+  server::WormClient client(std::move(cfg));
+  EXPECT_THROW((void)client.fetch_shard_map(), common::Error);
+}
+
+}  // namespace
+}  // namespace worm::cluster

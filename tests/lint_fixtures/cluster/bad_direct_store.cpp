@@ -1,0 +1,16 @@
+// lint fixture: the cluster layer reaching around the session layer straight
+// to a shard's store. Linted as src/cluster/bad_direct_store.cpp, where rule
+// server-store-isolation must flag both the include and every use of the raw
+// store type — a shard routed this way carries no principal and no freshness
+// watermark, exactly the bypass the rule exists to stop in src/server/.
+#include "worm/worm_store.hpp"
+
+namespace worm::cluster {
+
+// A "convenient" router that holds the shard's store directly instead of the
+// WormSession its factory was supposed to mint.
+core::Sn sneaky_shard_write(core::WormStore& shard_store) {
+  return shard_store.write({.payloads = {}, .attr = {}});
+}
+
+}  // namespace worm::cluster

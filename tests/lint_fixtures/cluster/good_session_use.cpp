@@ -1,0 +1,20 @@
+// lint fixture: the sanctioned shape for src/cluster/ code — the router
+// holds one WormSession per shard and every store touch goes through it.
+// Mentioning the store type in comments is fine (the rule reads code, not
+// prose: WormStore).
+#include "worm/session.hpp"
+
+namespace worm::cluster {
+
+core::Sn shard_session_write(core::WormSession& shard_session,
+                             core::WriteRequest request) {
+  // The session is the choke point; worm_store.hpp never appears here.
+  return shard_session.write(request);
+}
+
+core::ReadOutcome shard_session_read(core::WormSession& shard_session,
+                                     core::Sn local_sn) {
+  return shard_session.read(local_sn);
+}
+
+}  // namespace worm::cluster

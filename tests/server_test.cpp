@@ -348,8 +348,7 @@ TEST(WormServer, ConcurrentClientsRaceWritesReadsAndHolds) {
   ASSERT_EQ(all.size(), static_cast<std::size_t>(kClients * kWritesEach));
   std::sort(all.begin(), all.end());
   EXPECT_EQ(std::adjacent_find(all.begin(), all.end()), all.end());
-  EXPECT_EQ(srv.rig.store.counters_snapshot(core::WormStore::CounterFlush::kSettled)
-                .writes,
+  EXPECT_EQ(srv.rig.store.counters_snapshot(core::CounterFlush::kSettled).writes,
             static_cast<std::uint64_t>(kClients * kWritesEach));
 }
 
@@ -393,14 +392,14 @@ TEST(WormServer, OverloadAnswersBusyInsteadOfStalling) {
   for (auto& t : threads) t.join();
   ASSERT_EQ(failures.load(), 0);
 
-  auto counters =
-      srv.rig.store.counters(core::WormStore::CounterFlush::kSettled);
-  EXPECT_EQ(counters.at("write_pipeline.queued"),
+  core::CountersSnapshot counters =
+      srv.rig.store.counters_snapshot(core::CounterFlush::kSettled);
+  EXPECT_EQ(counters.write_pipeline_queued,
             static_cast<std::uint64_t>(kClients * kWritesEach));
   EXPECT_GT(busy_seen.load(), 0u)
       << "a 1-deep queue under 6 concurrent writers must reject some";
   EXPECT_EQ(srv.server->stats().busy, busy_seen.load());
-  EXPECT_EQ(counters.at("write_pipeline.busy_rejected"), busy_seen.load());
+  EXPECT_EQ(counters.write_pipeline_busy_rejected, busy_seen.load());
 }
 
 TEST(WormServer, ThrowingSessionFactoryAnswersErrorAndSurvives) {

@@ -1,0 +1,181 @@
+// ShardMap: the deterministic SN partitioner behind the sharded deployment.
+// Edge cases the cluster depends on: range boundaries (off-by-one here is a
+// silent misroute), empty shards, the single-shard degenerate map, layout
+// validation, the resolve/to_global round trip, and the strict wire decode
+// that kShardMap payloads go through.
+#include <gtest/gtest.h>
+
+#include "cluster/shard_map.hpp"
+#include "common/error.hpp"
+
+namespace worm::cluster {
+namespace {
+
+TEST(ShardMap, UniformLayout) {
+  ShardMap map = ShardMap::uniform(4, 100);
+  EXPECT_EQ(map.version(), 1u);
+  ASSERT_EQ(map.shard_count(), 4u);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(map.ranges()[i].lo, 1u + i * 100);
+    EXPECT_EQ(map.ranges()[i].hi, 1u + (i + 1) * 100);
+    EXPECT_EQ(map.ranges()[i].shard, static_cast<ShardId>(i));
+  }
+  EXPECT_THROW((void)ShardMap::uniform(0, 100), common::PreconditionError);
+  EXPECT_THROW((void)ShardMap::uniform(4, 0), common::PreconditionError);
+}
+
+TEST(ShardMap, ResolvesRangeBoundariesExactly) {
+  ShardMap map = ShardMap::uniform(4, 100);
+
+  // First SN of the space, last SN of a shard, first SN of the next shard.
+  Resolved r = map.resolve(1).value();
+  EXPECT_EQ(r.shard_id, 0u);
+  EXPECT_EQ(r.local_sn, 1u);
+  EXPECT_EQ(r.version, 1u);
+
+  r = map.resolve(100).value();  // hi is exclusive: 100 still belongs to 0
+  EXPECT_EQ(r.shard_id, 0u);
+  EXPECT_EQ(r.local_sn, 100u);
+
+  r = map.resolve(101).value();  // first SN past the boundary moves shards
+  EXPECT_EQ(r.shard_id, 1u);
+  EXPECT_EQ(r.local_sn, 1u);
+
+  r = map.resolve(400).value();  // very last owned SN
+  EXPECT_EQ(r.shard_id, 3u);
+  EXPECT_EQ(r.local_sn, 100u);
+
+  // SN 0 is kInvalidSn and SN 401 is past every range: both unowned.
+  RouteResult miss = map.resolve(401);
+  ASSERT_FALSE(miss.ok());
+  EXPECT_EQ(miss.error().kind, RouteErrorKind::kOutOfRange);
+  EXPECT_EQ(map.resolve(0).error().kind, RouteErrorKind::kOutOfRange);
+}
+
+TEST(ShardMap, EmptyMapAnswersEmptyMapError) {
+  ShardMap map;
+  EXPECT_EQ(map.version(), 0u);
+  EXPECT_EQ(map.shard_count(), 0u);
+  RouteResult r = map.resolve(1);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error().kind, RouteErrorKind::kEmptyMap);
+}
+
+TEST(ShardMap, SingleShardDegeneratesToIdentity) {
+  ShardMap map = ShardMap::uniform(1, 1000);
+  for (core::Sn sn : {core::Sn{1}, core::Sn{17}, core::Sn{1000}}) {
+    Resolved r = map.resolve(sn).value();
+    EXPECT_EQ(r.shard_id, 0u);
+    EXPECT_EQ(r.local_sn, sn);  // local == global in the degenerate map
+    EXPECT_EQ(map.to_global(0, sn), sn);
+  }
+  EXPECT_FALSE(map.resolve(1001).ok());
+}
+
+TEST(ShardMap, EmptyShardOwnsNothing) {
+  // Shard 1 is provisioned but owns no SNs: [11, 11).
+  ShardMap map(1, {ShardRange{1, 11, 0}, ShardRange{11, 11, 1},
+                   ShardRange{11, 21, 2}});
+  ASSERT_EQ(map.shard_count(), 3u);
+
+  EXPECT_EQ(map.resolve(10).value().shard_id, 0u);
+  // SN 11 skips the empty shard and lands on shard 2.
+  Resolved r = map.resolve(11).value();
+  EXPECT_EQ(r.shard_id, 2u);
+  EXPECT_EQ(r.local_sn, 1u);
+
+  // An empty shard can never have acked a local SN.
+  EXPECT_THROW((void)map.to_global(1, 1), common::PreconditionError);
+}
+
+TEST(ShardMap, RejectsMalformedLayouts) {
+  // Overlap.
+  EXPECT_THROW(ShardMap(1, {ShardRange{1, 11, 0}, ShardRange{10, 21, 1}}),
+               common::PreconditionError);
+  // Duplicate shard id across ranges.
+  EXPECT_THROW(ShardMap(1, {ShardRange{1, 11, 0}, ShardRange{11, 21, 0}}),
+               common::PreconditionError);
+  // Ownership starts at SN 1 (0 is kInvalidSn).
+  EXPECT_THROW(ShardMap(1, {ShardRange{0, 11, 0}}),
+               common::PreconditionError);
+  // Backwards range.
+  EXPECT_THROW(ShardMap(1, {ShardRange{11, 10, 0}}),
+               common::PreconditionError);
+  // Gaps are fine: not every SN needs an owner yet.
+  EXPECT_NO_THROW(ShardMap(1, {ShardRange{1, 11, 0}, ShardRange{21, 31, 1}}));
+}
+
+TEST(ShardMap, ToGlobalBoundsChecked) {
+  ShardMap map = ShardMap::uniform(2, 50);
+  EXPECT_EQ(map.to_global(1, 1), 51u);
+  EXPECT_EQ(map.to_global(1, 50), 100u);
+  EXPECT_THROW((void)map.to_global(1, 0), common::PreconditionError);
+  EXPECT_THROW((void)map.to_global(1, 51), common::PreconditionError);
+  EXPECT_THROW((void)map.to_global(99, 1), common::PreconditionError);
+}
+
+TEST(ShardMap, ResolveToGlobalRoundTrip) {
+  ShardMap map(7, {ShardRange{1, 100, 2}, ShardRange{100, 105, 0},
+                   ShardRange{105, 400, 5}});
+  for (core::Sn sn = 1; sn < 400; sn += 13) {
+    Resolved r = map.resolve(sn).value();
+    EXPECT_EQ(r.version, 7u);
+    EXPECT_EQ(map.to_global(r.shard_id, r.local_sn), sn) << "sn " << sn;
+  }
+}
+
+TEST(ShardMap, SerializeRoundTrip) {
+  ShardMap map(42, {ShardRange{1, 1000, 3}, ShardRange{1000, 1000, 1},
+                    ShardRange{1000, 5000, 0}});
+  common::Bytes wire = map.serialize();
+  ShardMap back = ShardMap::deserialize(common::ByteView(wire));
+  EXPECT_EQ(back.version(), 42u);
+  ASSERT_EQ(back.shard_count(), map.shard_count());
+  for (std::size_t i = 0; i < map.shard_count(); ++i) {
+    EXPECT_EQ(back.ranges()[i].lo, map.ranges()[i].lo);
+    EXPECT_EQ(back.ranges()[i].hi, map.ranges()[i].hi);
+    EXPECT_EQ(back.ranges()[i].shard, map.ranges()[i].shard);
+  }
+}
+
+TEST(ShardMap, StrictDecodeRejectsHostileBytes) {
+  common::Bytes wire = ShardMap::uniform(2, 100).serialize();
+
+  // Trailing garbage: the kShardMap payload decoder is whole-buffer strict.
+  common::Bytes padded = wire;
+  padded.push_back(0x00);
+  EXPECT_THROW((void)ShardMap::deserialize(common::ByteView(padded)),
+               common::ParseError);
+
+  // Truncation.
+  common::Bytes cut(wire.begin(), wire.end() - 3);
+  EXPECT_THROW((void)ShardMap::deserialize(common::ByteView(cut)),
+               common::ParseError);
+
+  // Structurally well-formed bytes encoding an invalid layout (overlap)
+  // must fail as a PARSE error, not leak a PreconditionError.
+  common::ByteWriter w;
+  w.u32(1);  // version
+  w.u32(2);  // two ranges
+  w.u64(1); w.u64(20); w.u32(0);
+  w.u64(10); w.u64(30); w.u32(1);  // overlaps the first
+  common::Bytes evil = w.take();
+  EXPECT_THROW((void)ShardMap::deserialize(common::ByteView(evil)),
+               common::ParseError);
+}
+
+TEST(ShardMap, RouteResultContract) {
+  ShardMap map = ShardMap::uniform(1, 10);
+  RouteResult ok = map.resolve(5);
+  EXPECT_TRUE(ok.ok());
+  EXPECT_TRUE(static_cast<bool>(ok));
+  EXPECT_THROW((void)ok.error(), common::PreconditionError);
+
+  RouteResult err = map.resolve(11);
+  EXPECT_FALSE(err.ok());
+  EXPECT_THROW((void)err.value(), common::PreconditionError);
+  EXPECT_FALSE(err.error().reason.empty());
+}
+
+}  // namespace
+}  // namespace worm::cluster

@@ -28,6 +28,8 @@ Request sample_request(MsgOp op) {
       req.token = Bytes(32, 0xa7);
       break;
     case MsgOp::kWrite:
+      req.route_version = 3;  // v3 routing header rides every routed frame
+      req.route_shard = 1;
       req.write.payloads = {common::to_bytes("record one"),
                             common::to_bytes("record two")};
       req.write.attr.retention = common::Duration::days(30);
@@ -35,6 +37,8 @@ Request sample_request(MsgOp op) {
       req.write.mode = core::WitnessMode::kDeferred;
       break;
     case MsgOp::kRead:
+      req.route_version = 3;
+      req.route_shard = 2;
       req.sn = 42;
       break;
     case MsgOp::kLitHold:
@@ -46,14 +50,16 @@ Request sample_request(MsgOp op) {
       req.lit.credential = Bytes(64, 0x3c);
       break;
     case MsgOp::kPing:
+    case MsgOp::kShardMap:
       break;
   }
   return req;
 }
 
-const std::vector<MsgOp> kAllOps = {MsgOp::kHello,   MsgOp::kWrite,
-                                    MsgOp::kRead,    MsgOp::kLitHold,
-                                    MsgOp::kLitRelease, MsgOp::kPing};
+const std::vector<MsgOp> kAllOps = {MsgOp::kHello,      MsgOp::kWrite,
+                                    MsgOp::kRead,       MsgOp::kLitHold,
+                                    MsgOp::kLitRelease, MsgOp::kPing,
+                                    MsgOp::kShardMap};
 
 TEST(WireFuzz, RequestRoundTripEveryOpcode) {
   for (MsgOp op : kAllOps) {
@@ -68,11 +74,15 @@ TEST(WireFuzz, RequestRoundTripEveryOpcode) {
         EXPECT_EQ(back.token, req.token);
         break;
       case MsgOp::kWrite:
+        EXPECT_EQ(back.route_version, req.route_version);
+        EXPECT_EQ(back.route_shard, req.route_shard);
         EXPECT_EQ(back.write.payloads, req.write.payloads);
         EXPECT_EQ(back.write.attr, req.write.attr);
         EXPECT_EQ(back.write.mode, req.write.mode);
         break;
       case MsgOp::kRead:
+        EXPECT_EQ(back.route_version, req.route_version);
+        EXPECT_EQ(back.route_shard, req.route_shard);
         EXPECT_EQ(back.sn, req.sn);
         break;
       case MsgOp::kLitHold:
@@ -84,6 +94,7 @@ TEST(WireFuzz, RequestRoundTripEveryOpcode) {
         EXPECT_EQ(back.lit.credential, req.lit.credential);
         break;
       case MsgOp::kPing:
+      case MsgOp::kShardMap:
         break;
     }
   }
@@ -155,6 +166,14 @@ std::vector<Response> sample_responses() {
   epoch_pong.epoch_cert = cert;
   out.push_back(std::move(epoch_pong));
 
+  Response shard_map;  // v3: cluster membership answer, opaque map blob
+  shard_map.op = MsgOp::kShardMap;
+  shard_map.rid = 8;
+  shard_map.status = core::WireStatus::kOk;
+  shard_map.shard_id = 2;
+  shard_map.shard_map = Bytes(48, 0x5d);
+  out.push_back(std::move(shard_map));
+
   return out;
 }
 
@@ -167,6 +186,8 @@ TEST(WireFuzz, ResponseRoundTrip) {
     EXPECT_EQ(back.attestation, resp.attestation);
     EXPECT_EQ(back.epoch_cert, resp.epoch_cert);
     EXPECT_EQ(back.sn, resp.sn);
+    EXPECT_EQ(back.shard_id, resp.shard_id);
+    EXPECT_EQ(back.shard_map, resp.shard_map);
     EXPECT_EQ(back.message, resp.message);
     EXPECT_EQ(back.outcome.status(), resp.outcome.status());
   }
@@ -275,7 +296,7 @@ TEST(WireFuzz, OpcodeSpaceIsExactlyTheFrozenSet) {
     } catch (const ParseError&) {
     }
   }
-  EXPECT_EQ(valid, 6);
+  EXPECT_EQ(valid, 7);
 }
 
 TEST(WireFuzz, StatusSpaceIsExactlyTheFrozenSet) {
@@ -289,8 +310,8 @@ TEST(WireFuzz, StatusSpaceIsExactlyTheFrozenSet) {
     } catch (const ParseError&) {
     }
   }
-  // 8 read-family + 4 server rejections + 11 error taxonomy codes.
-  EXPECT_EQ(valid, 23);
+  // 8 read-family + 5 server rejections + 11 error taxonomy codes.
+  EXPECT_EQ(valid, 24);
 }
 
 TEST(WireFuzz, FramingReassemblyAndOversizeCutoff) {

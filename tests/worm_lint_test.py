@@ -27,9 +27,10 @@ EXPECTED_RULE = {
     "bad_fault_bypass.cpp": "fault-bypass",
     "bad_blocking_wait.cpp": "blocking-under-state-mu",
     "bad_crypto_kernel.cpp": "crypto-isolation",
-    # Lives in a server/ subdirectory so --as-src maps it to src/server/,
-    # the scope the rule guards.
+    # Live in server/ and cluster/ subdirectories so --as-src maps them to
+    # src/server/ and src/cluster/, the two scopes the rule guards.
     "server/bad_direct_store.cpp": "server-store-isolation",
+    "cluster/bad_direct_store.cpp": "server-store-isolation",
 }
 
 failures = []
@@ -67,10 +68,14 @@ def main():
     check("good_patterns:clean", r.returncode == 0,
           f"rc={r.returncode}\n{r.stdout}")
 
-    # The session-layer shape is clean inside src/server/ (comments naming
-    # the store type don't count; only code does).
+    # The session-layer shape is clean inside src/server/ and src/cluster/
+    # (comments naming the store type don't count; only code does).
     r = run_lint("--as-src", str(FIXTURES / "server" / "good_session_use.cpp"))
     check("good_session_use:clean", r.returncode == 0,
+          f"rc={r.returncode}\n{r.stdout}")
+    r = run_lint("--as-src",
+                 str(FIXTURES / "cluster" / "good_session_use.cpp"))
+    check("cluster_good_session_use:clean", r.returncode == 0,
           f"rc={r.returncode}\n{r.stdout}")
 
     # include-cycle needs both halves of the loop on one invocation: the rule

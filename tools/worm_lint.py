@@ -47,12 +47,13 @@ enforces the architectural invariants that no single-TU analysis can see:
                       calls are banned; non-blocking pokes are fine.
 
   server-store-isolation
-                      The network front-end (src/server/) serves mutually
-                      distrusting principals and must route every store
-                      operation through the session layer (worm/session.hpp),
-                      where the principal and freshness watermark live.
-                      Naming WormStore or including worm/worm_store.hpp from
-                      src/server/ bypasses that choke point.
+                      The network front-end (src/server/) and the cluster
+                      layer (src/cluster/) serve mutually distrusting
+                      principals and must route every store operation through
+                      the session layer (worm/session.hpp), where the
+                      principal and freshness watermark live. Naming
+                      WormStore or including worm/worm_store.hpp from either
+                      scope bypasses that choke point.
 
   fault-bypass        Fault points are declared only via the
                       WORM_FAULT_POINT(injector, "site") macro, which is
@@ -143,6 +144,7 @@ FALLIBLE_APIS = [
     ("read_many", "src/worm/worm_store.hpp"),
     ("write_async", "src/worm/worm_store.hpp"),
     ("try_write_async", "src/worm/worm_store.hpp"),
+    ("resolve", "src/cluster/shard_map.hpp"),
 ]
 
 # A bare statement that begins with an (optionally qualified) call to one of
@@ -180,11 +182,13 @@ BLOCKING_WAIT_PATTERN = re.compile(
     r"(?:\.|->)\s*(?:get|submit|drain|shutdown_drop)\s*\("
 )
 
-# src/server/ may only reach the store through WormSession: the raw store
-# type (or its header) appearing there bypasses the principal/freshness choke
-# point. worm/session.hpp itself includes the store header — that is the one
-# sanctioned crossing, and it lives outside src/server/.
-SERVER_ISOLATION_SCOPE = re.compile(r"^src/server/")
+# src/server/ and src/cluster/ may only reach the store through WormSession:
+# the raw store type (or its header) appearing there bypasses the
+# principal/freshness choke point. worm/session.hpp itself includes the store
+# header — that is the one sanctioned crossing, and it lives outside both
+# scopes. The cluster layer is held to the server's discipline because it is
+# the same trust position: code that fronts stores on behalf of principals.
+SERVER_ISOLATION_SCOPE = re.compile(r"^src/(?:server|cluster)/")
 SERVER_STORE_PATTERN = re.compile(
     r"\bWormStore\b|#\s*include\s*[<\"]worm/worm_store\.hpp[>\"]"
 )
@@ -333,9 +337,10 @@ def lint_file(rel: str, text: str) -> list[Finding]:
         if server_scoped and SERVER_STORE_PATTERN.search(line):
             findings.append(Finding(
                 "server-store-isolation", rel, lineno,
-                "direct WormStore access from src/server/; the front-end "
-                "must go through the session layer (worm/session.hpp) so "
-                "every operation carries a principal and freshness state"))
+                "direct WormStore access from src/server/ or src/cluster/; "
+                "the front-end must go through the session layer "
+                "(worm/session.hpp) so every operation carries a principal "
+                "and freshness state"))
 
         if not fault_exempt and FAULT_BYPASS_PATTERN.search(line):
             findings.append(Finding(
