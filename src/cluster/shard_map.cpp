@@ -141,4 +141,27 @@ ShardMap ShardMap::deserialize(common::ByteView bytes) {
   return map;
 }
 
+common::Bytes sign_shard_map(const ShardMap& map,
+                             const crypto::RsaPrivateKey& key) {
+  common::Bytes encoded = map.serialize();
+  common::ByteWriter w;
+  w.blob(encoded);
+  w.blob(crypto::rsa_sign(key, common::ByteView(encoded)));
+  return w.take();
+}
+
+ShardMap verify_shard_map(common::ByteView envelope,
+                          const crypto::RsaPublicKey& key) {
+  common::ByteReader r(envelope);
+  common::Bytes encoded = r.blob();
+  common::Bytes sig = r.blob();
+  r.expect_end();
+  if (!crypto::rsa_verify(key, common::ByteView(encoded),
+                          common::ByteView(sig))) {
+    throw common::ParseError(
+        "verify_shard_map: signature does not verify under the operator key");
+  }
+  return ShardMap::deserialize(common::ByteView(encoded));
+}
+
 }  // namespace worm::cluster

@@ -20,6 +20,7 @@
 
 #include "common/bytes.hpp"
 #include "common/serial.hpp"
+#include "crypto/rsa.hpp"
 #include "worm/types.hpp"
 
 namespace worm::cluster {
@@ -113,5 +114,21 @@ class ShardMap {
   std::uint32_t version_ = 0;
   std::vector<ShardRange> ranges_;  // sorted by lo
 };
+
+/// Operator-signed shard-map envelope: blob(encoded map) + blob(RSA
+/// signature over exactly those bytes). This is what a clustered
+/// ServerConfig::shard_map_blob holds — replicas serve it verbatim and are
+/// untrusted for routing exactly like they are untrusted for record
+/// integrity: within the f-Byzantine threat model, a faulty replica can
+/// force a refresh with kStaleRoute but cannot mint a map the operator
+/// never signed.
+[[nodiscard]] common::Bytes sign_shard_map(const ShardMap& map,
+                                           const crypto::RsaPrivateKey& key);
+
+/// Verifies and decodes a sign_shard_map envelope. Throws common::ParseError
+/// on malformed bytes or a signature that does not verify under `key` —
+/// hostile bytes from an untrusted replica, not a caller bug.
+[[nodiscard]] ShardMap verify_shard_map(common::ByteView envelope,
+                                        const crypto::RsaPublicKey& key);
 
 }  // namespace worm::cluster

@@ -86,12 +86,26 @@ RoutedTicket ShardRouter::write_async(core::WriteRequest request) {
   // Round-robin over shards that own at least one SN; an empty range
   // ([x, x)) is a provisioned-but-unassigned shard and takes no writes.
   const std::vector<ShardRange>& ranges = map_.ranges();
+  bool any_nonempty = false;
   for (std::size_t probed = 0; probed < ranges.size(); ++probed) {
     std::size_t idx = next_shard_;
     next_shard_ = (next_shard_ + 1) % sessions_.size();
     if (ranges[idx].hi == ranges[idx].lo) continue;
+    any_nonempty = true;
+    // Admission-side capacity check: a shard whose store would assign a
+    // local SN past the mapped span is full — admitting anyway would commit
+    // a record the global SN space cannot address (to_global throws only
+    // after the durable write). Skipped here, the write lands on a sibling;
+    // concurrent admissions racing the same last slot still fall back to
+    // the to_global backstop in RoutedTicket::get.
+    if (sessions_[idx]->next_sn() > ranges[idx].hi - ranges[idx].lo) continue;
     core::WriteTicket ticket = sessions_[idx]->write_async(std::move(request));
     return RoutedTicket(std::move(ticket), ranges[idx].shard, map_);
+  }
+  if (any_nonempty) {
+    throw common::TransientStorageError(
+        "ShardRouter::write_async: every shard is at capacity for its mapped "
+        "span — regrow the shard map, then retry");
   }
   throw common::PreconditionError(
       "ShardRouter::write_async: every shard in the map is empty");

@@ -62,16 +62,19 @@ core::ReadOutcome WormClient::read(core::Sn sn) {
   return std::move(resp.outcome);
 }
 
-WriteResult WormClient::write(core::WriteRequest request) {
+WriteResult WormClient::write(core::WriteRequest request,
+                              core::Sn expected_sn) {
   Request req;
   req.op = MsgOp::kWrite;
   req.route_version = route_version_;
   req.route_shard = route_shard_;
+  req.expected_sn = expected_sn;
   req.write = std::move(request);
   Response resp = transact(std::move(req));
   if (resp.status != core::WireStatus::kOk &&
       resp.status != core::WireStatus::kBusy &&
-      resp.status != core::WireStatus::kStaleRoute) {
+      resp.status != core::WireStatus::kStaleRoute &&
+      resp.status != core::WireStatus::kSnMismatch) {
     core::throw_wire_error(resp.status, resp.message);
   }
   WriteResult out;

@@ -49,6 +49,8 @@ struct ClientConfig {
 /// Outcome of a remote write. kBusy is a first-class answer, not a throw.
 struct WriteResult {
   core::WireStatus status = core::WireStatus::kInternalError;
+  /// The assigned SN on kOk; on kSnMismatch, the SN the replica would
+  /// assign next (the failed condition's counter-offer).
   core::Sn sn = core::kInvalidSn;
   std::string message;
 
@@ -60,6 +62,11 @@ struct WriteResult {
   /// map and re-route — retrying the same frame here cannot succeed.
   [[nodiscard]] bool stale_route() const {
     return status == core::WireStatus::kStaleRoute;
+  }
+  /// The sequencing condition failed: nothing was written, and `sn` carries
+  /// the replica's actual next SN.
+  [[nodiscard]] bool sn_mismatch() const {
+    return status == core::WireStatus::kSnMismatch;
   }
 };
 
@@ -87,9 +94,12 @@ class WormClient {
   /// statuses rethrow as the matching exception type.
   [[nodiscard]] core::ReadOutcome read(core::Sn sn);
 
-  /// Remote write via the server's non-blocking admission. kOk, kBusy and
-  /// kStaleRoute come back as results; error statuses rethrow.
-  [[nodiscard]] WriteResult write(core::WriteRequest request);
+  /// Remote write via the server's non-blocking admission. kOk, kBusy,
+  /// kStaleRoute and kSnMismatch come back as results; error statuses
+  /// rethrow. expected_sn != 0 makes the write conditional on the replica
+  /// assigning exactly that SN (protocol v4; ~0 = pure cursor probe).
+  [[nodiscard]] WriteResult write(core::WriteRequest request,
+                                  core::Sn expected_sn = 0);
 
   /// Sets the shard-routing header stamped on every subsequent kRead/kWrite
   /// frame. A routing layer calls this after resolving the shard map; plain

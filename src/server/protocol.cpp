@@ -214,6 +214,7 @@ void encode_request_body(ByteWriter& w, const Request& req) {
     case MsgOp::kWrite:
       w.u32(req.route_version);
       w.u32(req.route_shard);
+      w.u64(req.expected_sn);
       encode_write_request(w, req.write);
       break;
     case MsgOp::kRead:
@@ -251,6 +252,11 @@ void encode_response_body(ByteWriter& w, const Response& resp) {
       w.blob(resp.shard_map);
     }
     // kHello / kLitHold / kLitRelease / kPing: status alone is the answer.
+  } else if (resp.status == core::WireStatus::kSnMismatch) {
+    // The failed sequencing condition: the replica's actual next SN lets
+    // the writer converge its cursor without a second round trip.
+    w.u64(resp.sn);
+    w.str(resp.message);
   } else {
     w.str(resp.message);
   }
@@ -292,6 +298,7 @@ Request decode_request(common::ByteView body) {
     case MsgOp::kWrite:
       req.route_version = r.u32();
       req.route_shard = r.u32();
+      req.expected_sn = r.u64();
       req.write = decode_write_request(r);
       break;
     case MsgOp::kRead:
@@ -342,6 +349,9 @@ Response decode_response(common::ByteView body) {
       resp.shard_id = r.u32();
       resp.shard_map = r.blob();
     }
+  } else if (resp.status == core::WireStatus::kSnMismatch) {
+    resp.sn = r.u64();
+    resp.message = r.str();
   } else {
     resp.message = r.str();
   }

@@ -39,7 +39,11 @@ namespace worm::server {
 /// both 0 for standalone deployments); new kShardMap op returns the
 /// serving replica's shard id and encoded cluster shard map; new
 /// kStaleRoute rejection for mismatched routing headers.
-inline constexpr std::uint16_t kProtocolVersion = 3;
+/// v4: kWrite carries expected_sn (0 = unsequenced; otherwise the write is
+/// conditional on the store assigning exactly that SN) and the new
+/// kSnMismatch result answers a failed condition with the replica's actual
+/// next SN, so replicated writers converge deterministic SN assignment.
+inline constexpr std::uint16_t kProtocolVersion = 4;
 
 /// Bits of the v2 per-response attestation slot.
 inline constexpr std::uint8_t kAttSnCurrent = 1u << 0;
@@ -86,6 +90,11 @@ struct Request {
 
   // kWrite
   core::WriteRequest write;
+  /// v4 sequencing condition: 0 admits unconditionally (standalone clients);
+  /// any other value admits only if the store's next assigned SN equals it —
+  /// otherwise the server answers kSnMismatch carrying its actual next SN
+  /// and writes nothing. ~0 can never match and acts as a pure cursor probe.
+  std::uint64_t expected_sn = 0;
 
   // kRead
   core::Sn sn = core::kInvalidSn;
@@ -110,7 +119,8 @@ struct Response {
   std::optional<core::EpochCert> epoch_cert;
 
   // Payload, by op/status:
-  core::Sn sn = core::kInvalidSn;   // kWrite + kOk
+  core::Sn sn = core::kInvalidSn;   // kWrite + kOk (assigned SN), and
+                                    // kWrite + kSnMismatch (replica's next)
   core::ReadOutcome outcome;        // kRead + any read-family status
   std::string message;              // any error/rejection status
   std::uint32_t shard_id = 0;       // kShardMap + kOk

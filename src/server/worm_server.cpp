@@ -248,10 +248,32 @@ void WormServer::handle_frame(Conn& conn, const Bytes& body) {
           resp.message = "writes are disabled on this endpoint";
           break;
         }
+        if (!config_.writer_principal.empty() &&
+            conn.session->principal() != config_.writer_principal) {
+          resp.status = core::WireStatus::kBadRequest;
+          resp.message = "writes on this replica are restricted to principal '" +
+                         config_.writer_principal + "'";
+          break;
+        }
         if (!conn.session->async_capable()) {
           resp.status = core::WireStatus::kBadRequest;
           resp.message = "store has no write pipeline (async writes off)";
           break;
+        }
+        if (req.expected_sn != 0) {
+          // v4 sequencing condition: admit only if the store's next SN is
+          // exactly the one the writer expects; otherwise answer the actual
+          // next so the writer converges its cursor. expected_sn == ~0 can
+          // never match — a pure cursor probe that writes nothing.
+          core::Sn next = conn.session->next_sn();
+          if (next != req.expected_sn) {
+            resp.status = core::WireStatus::kSnMismatch;
+            resp.sn = next;
+            resp.message = "expected SN " + std::to_string(req.expected_sn) +
+                           " but this replica assigns " + std::to_string(next) +
+                           " next";
+            break;
+          }
         }
         std::optional<core::WriteTicket> ticket =
             conn.session->try_write_async(std::move(req.write));
@@ -264,7 +286,8 @@ void WormServer::handle_frame(Conn& conn, const Bytes& body) {
         // Response deferred: the ticket is polled every loop iteration and
         // answered when the committer lands the group. The event loop never
         // blocks on it.
-        conn.pending.push_back(PendingWrite{req.rid, std::move(*ticket)});
+        conn.pending.push_back(
+            PendingWrite{req.rid, req.expected_sn, std::move(*ticket)});
         return;
       }
       case MsgOp::kLitHold:
@@ -321,6 +344,18 @@ void WormServer::resolve_pending(Conn& conn) {
     try {
       resp.sn = it->ticket.get();  // resolved: returns without blocking
       resp.status = core::WireStatus::kOk;
+      if (it->expected_sn != 0 && resp.sn != it->expected_sn) {
+        // A concurrent write slipped between the admission check and the
+        // commit (a deployment racing two writers past the writer_principal
+        // gate). The record is durable at resp.sn, but the sequencer asked
+        // for a different slot — answer the mismatch so it never counts
+        // this ack at the SN it expected.
+        resp.status = core::WireStatus::kSnMismatch;
+        resp.message = "expected SN " + std::to_string(it->expected_sn) +
+                       " but the commit assigned " + std::to_string(resp.sn) +
+                       " (concurrent writer?)";
+        resp.sn = conn.session->next_sn();
+      }
       // The commit this ticket waited on adopted the batch ack's watermark
       // and epoch cert into the store; sync so the ack we are about to send
       // forwards them (the amortized-freshness carrier rides write acks).

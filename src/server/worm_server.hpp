@@ -75,6 +75,15 @@ struct ServerConfig {
   std::uint32_t shard_id = 0;
   std::uint32_t route_version = 0;
   common::Bytes shard_map_blob;
+
+  /// Non-empty: only this principal may issue kWrite frames (kBadRequest for
+  /// everyone else). Replicated deployments set it to enforce the
+  /// single-writer-per-shard assumption the cluster's deterministic SN
+  /// assignment rests on — two sequencers racing the same replica set would
+  /// interleave at the commit-time expected_sn guard instead of silently
+  /// desynchronizing SN spaces. Empty (default): any authenticated
+  /// principal may write (standalone deployments).
+  std::string writer_principal;
 };
 
 /// Principal -> shared secret registry the server authenticates against.
@@ -136,6 +145,9 @@ class WormServer {
  private:
   struct PendingWrite {
     std::uint64_t rid = 0;
+    /// The request's sequencing condition (0 = unconditional), re-checked
+    /// against the assigned SN when the ticket resolves.
+    std::uint64_t expected_sn = 0;
     core::WriteTicket ticket;
   };
 

@@ -71,6 +71,8 @@ bool WormSession::async_capable() const {
   return store_.config().pipeline.enabled;
 }
 
+Sn WormSession::next_sn() const { return store_.next_sn(); }
+
 void WormSession::poke_writes() { store_.poke_writes(); }
 
 void WormSession::drain_writes() { store_.drain_writes(); }

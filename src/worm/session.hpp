@@ -70,6 +70,10 @@ class WormSession {
   /// True when the store runs the group-commit pipeline (async admission
   /// available); the server refuses writes over the wire otherwise.
   [[nodiscard]] bool async_capable() const;
+  /// The SN the store will assign to the next admitted write — what the
+  /// server checks a v4 sequenced write's expected_sn against. See
+  /// WormStore::next_sn for the (benign) snapshot caveat.
+  [[nodiscard]] Sn next_sn() const;
   /// Forwarded pipeline nudge/drain (see WormStore).
   void poke_writes();
   void drain_writes();

@@ -20,6 +20,7 @@ const char* to_string(WireStatus s) {
     case WireStatus::kAuthFailed: return "auth-failed";
     case WireStatus::kBadRequest: return "bad-request";
     case WireStatus::kStaleRoute: return "stale-route";
+    case WireStatus::kSnMismatch: return "sn-mismatch";
     case WireStatus::kParseError: return "parse-error";
     case WireStatus::kPreconditionError: return "precondition-error";
     case WireStatus::kStorageError: return "storage-error";
@@ -72,6 +73,7 @@ ReadStatus read_status_from_wire(WireStatus s) {
     case WireStatus::kAuthFailed:
     case WireStatus::kBadRequest:
     case WireStatus::kStaleRoute:
+    case WireStatus::kSnMismatch:
     case WireStatus::kParseError:
     case WireStatus::kPreconditionError:
     case WireStatus::kStorageError:
@@ -105,6 +107,7 @@ WireStatus wire_status_from_u16(std::uint16_t v) {
     case WireStatus::kAuthFailed:
     case WireStatus::kBadRequest:
     case WireStatus::kStaleRoute:
+    case WireStatus::kSnMismatch:
     case WireStatus::kParseError:
     case WireStatus::kPreconditionError:
     case WireStatus::kStorageError:
@@ -209,6 +212,10 @@ void throw_wire_error(WireStatus s, const std::string& message) {
       // Typed so routing layers can catch-and-refresh without string
       // matching; plain clients that never set a route can't trigger it.
       throw StaleRouteError(message);
+    case WireStatus::kSnMismatch:
+      // A first-class write result (like kBusy); reaching the error path
+      // means a caller ignored the result-status contract.
+      throw common::Error(std::string(to_string(s)) + ": " + message);
     case WireStatus::kParseError:
       throw common::ParseError(message);
     case WireStatus::kPreconditionError:

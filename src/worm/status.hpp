@@ -65,6 +65,11 @@ enum class WireStatus : std::uint16_t {
   /// match this replica's assignment. Retryable after a shard-map refresh —
   /// never a misroute: the server checks the header before touching SNs.
   kStaleRoute = 68,
+  /// A sequenced kWrite (expected_sn != 0) named an SN this replica's store
+  /// would not assign next. The response carries the replica's actual next
+  /// SN so a sequencing client can converge its cursor and repair laggards;
+  /// nothing was written. A first-class result like kBusy, not a throw.
+  kSnMismatch = 69,
 
   // --- exception taxonomy ([128, ...)) ----------------------------------
   kParseError = 128,

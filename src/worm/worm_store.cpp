@@ -639,7 +639,7 @@ void WormStore::flush_group(std::vector<WritePipeline::Pending>&& group) {
         std::vector<Sn> sns =
             commit_chunk_locked(items, std::move(rdls), qids, mode);
         for (std::size_t k = 0; k < n; ++k) {
-          WritePipeline::resolve_ok(group[next + k], sns[k]);
+          pipeline_->resolve_ok(group[next + k], sns[k]);
         }
         next += n;
       }
@@ -652,7 +652,7 @@ void WormStore::flush_group(std::vector<WritePipeline::Pending>&& group) {
                         "degraded to read-only verified mode: ") +
             e.what()));
     for (std::size_t k = next; k < group.size(); ++k) {
-      WritePipeline::resolve_error(group[k], err);
+      pipeline_->resolve_error(group[k], err);
     }
   } catch (...) {
     // Timeouts, rejections, degraded-mode refusals: the waiting tickets get
@@ -660,7 +660,7 @@ void WormStore::flush_group(std::vector<WritePipeline::Pending>&& group) {
     // intent stays pending; recover() reconciles it exactly-once.
     std::exception_ptr err = std::current_exception();
     for (std::size_t k = next; k < group.size(); ++k) {
-      WritePipeline::resolve_error(group[k], err);
+      pipeline_->resolve_error(group[k], err);
     }
   }
 }

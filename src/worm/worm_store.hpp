@@ -258,6 +258,21 @@ class WormStore final : public HostAgent {
     return heartbeat_;
   }
 
+  /// The SN the SCPU will assign to the next admitted write: the committed
+  /// watermark mirror plus every admitted-but-unassigned pipeline write,
+  /// plus one. Serves the v4 sequenced-write condition (expected_sn) and
+  /// the router's admission-side capacity check without a mailbox crossing.
+  /// Both terms are read under the state lock, and the pipeline decrements
+  /// unassigned() inside the flush's exclusive hold of that same lock right
+  /// after the mirror absorbs the commit — so the sum never double-counts a
+  /// write the mirror already reflects. Writes admitted concurrently with
+  /// this read are inherently unordered against it.
+  [[nodiscard]] Sn next_sn() const EXCLUDES(state_mu_) {
+    common::SharedLock lk(state_mu_);
+    std::size_t pending = pipeline_ != nullptr ? pipeline_->unassigned() : 0;
+    return sn_current_mirror_ + pending + 1;
+  }
+
   /// Forces a fresh S_s(SN_current) attestation over the mailbox (kHeartbeat
   /// crossing) and returns it. Long-running servers call this when the cached
   /// heartbeat approaches the clients' freshness policy, since the

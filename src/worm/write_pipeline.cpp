@@ -72,6 +72,7 @@ WriteTicket WritePipeline::submit(Pending p) {
     // Visible to readers before the queue can assign the record an Sn:
     // read-your-writes needs "queued" observable no later than "flushable".
     unsettled_.fetch_add(1, std::memory_order_release);
+    unassigned_.fetch_add(1, std::memory_order_release);
     queue_.push_back(std::move(p));
   }
   stat_queued_.fetch_add(1, std::memory_order_relaxed);
@@ -107,6 +108,7 @@ WriteTicket WritePipeline::submit_reserved(Pending p) {
     p.admit_time = clock_.now();
     queued_bytes_ += p.bytes;
     unsettled_.fetch_add(1, std::memory_order_release);
+    unassigned_.fetch_add(1, std::memory_order_release);
     queue_.push_back(std::move(p));
   }
   stat_queued_.fetch_add(1, std::memory_order_relaxed);
@@ -193,6 +195,7 @@ WritePipeline::Stats WritePipeline::stats() const {
 }
 
 void WritePipeline::resolve_ok(const Pending& p, Sn sn) {
+  unassigned_.fetch_sub(1, std::memory_order_release);
   {
     common::MutexLock lk(p.ticket->mu);
     p.ticket->done = true;
@@ -208,6 +211,7 @@ void WritePipeline::resolve_error(const Pending& p, std::exception_ptr error) {
     p.ticket->done = true;
     p.ticket->error = std::move(error);
   }
+  unassigned_.fetch_sub(1, std::memory_order_release);
   p.ticket->cv.notify_all();
 }
 

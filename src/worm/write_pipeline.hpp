@@ -180,6 +180,16 @@ class WritePipeline {
     return unsettled_.load(std::memory_order_acquire);
   }
 
+  /// Admitted writes whose SN is not yet assigned. Unlike unsettled() —
+  /// which is decremented only after the whole flush round returns — this
+  /// counter is decremented at ticket-resolve time, inside the store's
+  /// exclusive flush lock, right after the SN mirror absorbed the commit.
+  /// A state-lock reader computing the store's next SN (mirror + unassigned
+  /// + 1) therefore never double-counts a write the mirror already covers.
+  [[nodiscard]] std::size_t unassigned() const {
+    return unassigned_.load(std::memory_order_acquire);
+  }
+
   struct Stats {
     std::uint64_t queued = 0;               // admissions accepted
     std::uint64_t batches = 0;              // groups flushed
@@ -190,9 +200,10 @@ class WritePipeline {
   [[nodiscard]] Stats stats() const;
 
   /// Ticket resolution, called by the FlushFn for every Pending it was
-  /// handed. Static: resolution outlives any particular pipeline lock.
-  static void resolve_ok(const Pending& p, Sn sn);
-  static void resolve_error(const Pending& p, std::exception_ptr error);
+  /// handed. Takes no pipeline lock (resolution outlives any particular
+  /// lock); maintains the unassigned() counter.
+  void resolve_ok(const Pending& p, Sn sn);
+  void resolve_error(const Pending& p, std::exception_ptr error);
 
  private:
   void committer_loop() EXCLUDES(mu_);
@@ -214,6 +225,7 @@ class WritePipeline {
   bool stop_ GUARDED_BY(mu_) = false;
 
   std::atomic<std::size_t> unsettled_{0};
+  std::atomic<std::size_t> unassigned_{0};
   std::atomic<std::uint64_t> stat_queued_{0};
   std::atomic<std::uint64_t> stat_batches_{0};
   std::atomic<std::uint64_t> stat_flushed_{0};

@@ -1,17 +1,22 @@
 // Sharded scale-out integration: the in-process ShardRouter (routing, batch
-// reassembly, counter aggregation) and the networked ClusterClient speaking
-// the v3 protocol to real WormServers — masking-quorum writes and reads,
-// conviction of a Byzantine replica that forges an envelope, and the
-// kStaleRoute refresh path that turns map version skew into a retryable
-// blip instead of a misroute.
+// reassembly, counter aggregation, admission-side capacity checks) and the
+// networked ClusterClient speaking the v4 protocol to real WormServers —
+// client-sequenced masking-quorum writes, verified reads, conviction of a
+// Byzantine replica that forges an envelope, laggard repair from quorum
+// reads, operator-signed shard-map refresh (forged and rollback envelopes
+// refused), and the kStaleRoute path that turns map version skew into a
+// retryable blip instead of a misroute.
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <functional>
 #include <memory>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "cluster/cluster_client.hpp"
+#include "crypto/rsa.hpp"
 #include "cluster/quorum.hpp"
 #include "cluster/shard_map.hpp"
 #include "cluster/shard_router.hpp"
@@ -38,6 +43,16 @@ core::WriteRequest record(const std::string& text) {
   w.attr.retention = Duration::days(30);
   w.attr.regulation_policy = 17;
   return w;
+}
+
+/// The cluster operator's shard-map signing key. One per test binary:
+/// keygen is the expensive part, and every rig can share an operator.
+const crypto::RsaPrivateKey& operator_key() {
+  static const crypto::RsaPrivateKey key = [] {
+    crypto::Drbg rng(std::uint64_t{0x5eed'ca11'0b01});
+    return crypto::rsa_generate(rng, 512);
+  }();
+  return key;
 }
 
 // ---------------------------------------------------------------------------
@@ -145,6 +160,7 @@ TEST(ShardRouter, SkipsEmptyShardsOnWrite) {
 struct ReplicaRig {
   explicit ReplicaRig(const server::ServerConfig& cfg) : rig({}, pipelined()) {
     auth.add("alice", common::to_bytes("alice-secret"));
+    auth.add("bob", common::to_bytes("bob-secret"));
     server.emplace(cfg, auth, [this](std::string_view principal) {
       return std::make_unique<core::WormSession>(
           rig.store, std::string(principal), rig.clock);
@@ -160,24 +176,35 @@ struct ReplicaRig {
 /// n replicas per shard, every server configured from `server_map`. The
 /// client's initial map may be older — that is the version-skew test.
 struct ClusterRig {
-  ClusterRig(const ShardMap& server_map, QuorumParams q) : quorum(q) {
-    Bytes blob = server_map.serialize();
+  /// Lets a test hand a chosen replica a hostile kShardMap payload (forged
+  /// signature, rollback, raw bytes) in place of the operator-signed one.
+  using BlobHook = std::function<Bytes(std::size_t shard_idx,
+                                       std::uint32_t replica_idx,
+                                       const Bytes& genuine)>;
+
+  ClusterRig(const ShardMap& server_map, QuorumParams q,
+             const BlobHook& blob_for = nullptr)
+      : quorum(q) {
+    Bytes blob = sign_shard_map(server_map, operator_key());
+    std::size_t shard_idx = 0;
     for (const ShardRange& range : server_map.ranges()) {
       auto& column = replicas.emplace_back();
       for (std::uint32_t i = 0; i < q.n; ++i) {
         server::ServerConfig cfg;
         cfg.shard_id = range.shard;
         cfg.route_version = server_map.version();
-        cfg.shard_map_blob = blob;
+        cfg.shard_map_blob = blob_for ? blob_for(shard_idx, i, blob) : blob;
         column.push_back(std::make_unique<ReplicaRig>(cfg));
       }
       shard_ids.push_back(range.shard);
+      ++shard_idx;
     }
   }
 
   ClusterConfig client_config(ShardMap client_map) const {
     ClusterConfig cc;
     cc.map = std::move(client_map);
+    cc.map_key = operator_key().public_key();
     cc.quorum = quorum;
     for (std::size_t s = 0; s < replicas.size(); ++s) {
       ShardReplicaSet set;
@@ -318,8 +345,10 @@ TEST(ClusterClient, VersionSkewRefreshesInsteadOfMisrouting) {
   ASSERT_EQ(client.map().version(), 1u);
 
   // Every replica answers kStaleRoute to the v1-stamped frame; the client
-  // fetches the v2 map over kShardMap, re-stamps, and retries — one write
-  // call, no misroute, no duplicate SN (store dedup absorbs replays).
+  // fetches the v2 map over kShardMap, verifies the operator signature,
+  // re-stamps, and retries — one write call, no misroute, no duplicate SN
+  // (the retried frames are sequenced, so a replica that already committed
+  // the slot would refuse a second copy with kSnMismatch).
   QuorumWrite w = client.write(record("skewed"));
   ASSERT_TRUE(w.ok) << w.message;
   EXPECT_EQ(w.sn, 1u);
@@ -343,6 +372,161 @@ TEST(ClusterClient, VersionSkewRefreshesInsteadOfMisrouting) {
 
   // refresh_map reports whether the version moved.
   EXPECT_FALSE(client.refresh_map());  // already at v2
+}
+
+TEST(ShardRouter, FullShardsRejectAdmissionRetryably) {
+  // Two shards of span 2: four writes fill the cluster. The fifth must be
+  // refused at admission with a retryable error — not committed durably at
+  // a local SN the global space cannot address.
+  RouterRig rr(ShardMap::uniform(2, 2));
+  for (int i = 0; i < 4; ++i) (void)rr.router->write(record("w"));
+  EXPECT_THROW((void)rr.router->write(record("x")),
+               common::TransientStorageError);
+  // The refusal wrote nothing: both stores still hold exactly their span.
+  auto m = rr.router->counters_snapshot(core::CounterFlush::kSettled).as_map();
+  EXPECT_EQ(m.at("cluster.store.writes"), 4u);
+}
+
+TEST(ClusterClient, ForgedOrRolledBackShardMapIsNeverAdopted) {
+  // Servers run map v2; the client boots at v1, so its first write forces a
+  // refresh. The first three replicas asked serve hostile kShardMap
+  // payloads: a v9 map signed by an attacker's key, a genuinely signed but
+  // old v1 map (rollback), and raw unsigned map bytes. None may be adopted
+  // — the first honest replica's operator-signed v2 map wins.
+  ShardMap v2 = ShardMap::uniform(2, 100, /*version=*/2);
+  crypto::Drbg rng(std::uint64_t{0xa77ac});
+  crypto::RsaPrivateKey attacker = crypto::rsa_generate(rng, 512);
+  Bytes forged = sign_shard_map(ShardMap::uniform(2, 100, 9), attacker);
+  Bytes rollback =
+      sign_shard_map(ShardMap::uniform(2, 100, 1), operator_key());
+  Bytes raw = ShardMap::uniform(2, 100, 9).serialize();
+  ClusterRig cluster(
+      v2, QuorumParams{5, 1},
+      [&](std::size_t s, std::uint32_t r, const Bytes& genuine) {
+        if (s == 0 && r == 0) return forged;
+        if (s == 0 && r == 1) return rollback;
+        if (s == 0 && r == 2) return raw;
+        return genuine;
+      });
+  ClusterClient client(cluster.client_config(ShardMap::uniform(2, 100, 1)),
+                       cluster.trusted_time());
+
+  QuorumWrite w = client.write(record("authentic routing"));
+  ASSERT_TRUE(w.ok) << w.message;
+  EXPECT_EQ(w.sn, 1u);
+  // v9 forgery refused (wrong key), v1 refused (not strictly newer), raw
+  // bytes refused (no envelope): the adopted map is the operator's v2.
+  EXPECT_EQ(client.map().version(), 2u);
+}
+
+TEST(ClusterClient, ServerRefusesMissequencedWrites) {
+  // The v4 expected_sn condition at one replica: a mismatched slot writes
+  // nothing and counter-offers the replica's actual next SN.
+  ReplicaRig standalone((server::ServerConfig()));
+  server::ClientConfig cfg;
+  cfg.tcp_port = standalone.server->port();
+  cfg.principal = "alice";
+  cfg.token = standalone.auth.mint("alice");
+  server::WormClient client(std::move(cfg));
+
+  // A pure probe (an SN no store ever assigns) learns the cursor, writes
+  // nothing.
+  server::WriteResult probe =
+      client.write(record("probe"), ~static_cast<core::Sn>(0));
+  ASSERT_TRUE(probe.sn_mismatch()) << probe.message;
+  EXPECT_EQ(probe.sn, 1u);
+
+  server::WriteResult wrong = client.write(record("wrong slot"), 5);
+  ASSERT_TRUE(wrong.sn_mismatch()) << wrong.message;
+  EXPECT_EQ(wrong.sn, 1u);
+
+  server::WriteResult right = client.write(record("first"), 1);
+  ASSERT_TRUE(right.ok()) << right.message;
+  EXPECT_EQ(right.sn, 1u);
+
+  // A retry of the committed slot is refused, never double-committed.
+  server::WriteResult replay = client.write(record("first"), 1);
+  ASSERT_TRUE(replay.sn_mismatch()) << replay.message;
+  EXPECT_EQ(replay.sn, 2u);
+
+  // Unsequenced writes (expected_sn = 0) still work for standalone use.
+  server::WriteResult plain = client.write(record("second"));
+  ASSERT_TRUE(plain.ok()) << plain.message;
+  EXPECT_EQ(plain.sn, 2u);
+}
+
+TEST(ClusterClient, WriterPrincipalRestrictsWrites) {
+  // Replicated deployments enforce the one-sequencer-per-shard assumption
+  // server-side: only the configured principal may write; everyone reads.
+  server::ServerConfig cfg;
+  cfg.writer_principal = "alice";
+  ReplicaRig rig(cfg);
+
+  server::ClientConfig ac;
+  ac.tcp_port = rig.server->port();
+  ac.principal = "alice";
+  ac.token = rig.auth.mint("alice");
+  server::WormClient alice(std::move(ac));
+  server::WriteResult w = alice.write(record("by the sequencer"), 1);
+  ASSERT_TRUE(w.ok()) << w.message;
+
+  server::ClientConfig bc;
+  bc.tcp_port = rig.server->port();
+  bc.principal = "bob";
+  bc.token = rig.auth.mint("bob");
+  server::WormClient bob(std::move(bc));
+  EXPECT_THROW((void)bob.write(record("interloper"), 2), common::Error);
+  EXPECT_THROW((void)bob.write(record("interloper")), common::Error);
+
+  core::ReadOutcome out = bob.read(1);
+  const auto* ok = out.get_if<core::ReadOk>();
+  ASSERT_NE(ok, nullptr);
+  EXPECT_EQ(ok->payloads.at(0), common::to_bytes("by the sequencer"));
+}
+
+TEST(ClusterClient, LaggardReplicaIsRepairedFromQuorumReads) {
+  ShardMap map = ShardMap::uniform(1, 100);
+  ClusterRig cluster(map, QuorumParams{5, 1});
+  // Replicas 0-3 already hold two records; replica 4 slept through both
+  // (it answers kSnMismatch with next=1 while the quorum's frontier is 3).
+  for (std::uint32_t i = 0; i < 4; ++i) {
+    Rig& rig = cluster.replicas[0][i]->rig;
+    core::WormSession session(rig.store, "backfill", rig.clock);
+    ASSERT_EQ(session.write(record("seed-1")), 1u);
+    ASSERT_EQ(session.write(record("seed-2")), 2u);
+  }
+  ClusterClient client(cluster.client_config(map), cluster.trusted_time());
+
+  // The probe learns cursor 3 (the (f+1)-th largest counter-offer, so the
+  // lone laggard's next=1 cannot drag it back), the quorum commits at 3,
+  // and the repair path backfills the laggard: seed-1, seed-2, then the
+  // fresh record at slot 3.
+  QuorumWrite w = client.write(record("fresh"));
+  ASSERT_TRUE(w.ok) << w.message;
+  EXPECT_EQ(w.sn, 3u);
+  EXPECT_EQ(w.acks, 4u);
+  EXPECT_EQ(w.repaired, 3u);
+  EXPECT_TRUE(w.convictions.empty());
+
+  // After repair, all five replicas agree on every slot.
+  for (core::Sn sn = 1; sn <= 3; ++sn) {
+    QuorumRead r = client.read(sn);
+    ASSERT_TRUE(r.trustworthy()) << "sn " << sn << ": " << r.verdict.detail;
+    EXPECT_EQ(r.agreeing, 5u) << "sn " << sn;
+    EXPECT_TRUE(r.convictions.empty()) << "sn " << sn;
+  }
+  QuorumRead first = client.read(1);
+  const auto* ok = first.outcome.get_if<core::ReadOk>();
+  ASSERT_NE(ok, nullptr);
+  EXPECT_EQ(ok->payloads.at(0), common::to_bytes("seed-1"));
+
+  // Steady state: the cursor is established, everyone acks, nothing to
+  // repair.
+  QuorumWrite w2 = client.write(record("steady"));
+  ASSERT_TRUE(w2.ok) << w2.message;
+  EXPECT_EQ(w2.sn, 4u);
+  EXPECT_EQ(w2.acks, 5u);
+  EXPECT_EQ(w2.repaired, 0u);
 }
 
 TEST(ClusterClient, StandaloneServerHasNoShardMap) {

@@ -35,6 +35,7 @@ Request sample_request(MsgOp op) {
       req.write.attr.retention = common::Duration::days(30);
       req.write.attr.regulation_policy = 17;
       req.write.mode = core::WitnessMode::kDeferred;
+      req.expected_sn = 44;  // v4 sequencing condition
       break;
     case MsgOp::kRead:
       req.route_version = 3;
@@ -79,6 +80,7 @@ TEST(WireFuzz, RequestRoundTripEveryOpcode) {
         EXPECT_EQ(back.write.payloads, req.write.payloads);
         EXPECT_EQ(back.write.attr, req.write.attr);
         EXPECT_EQ(back.write.mode, req.write.mode);
+        EXPECT_EQ(back.expected_sn, req.expected_sn);
         break;
       case MsgOp::kRead:
         EXPECT_EQ(back.route_version, req.route_version);
@@ -132,6 +134,14 @@ std::vector<Response> sample_responses() {
   write_ok.status = core::WireStatus::kOk;
   write_ok.sn = 43;
   out.push_back(std::move(write_ok));
+
+  Response mismatch;  // v4: the failed condition's counter-offer rides back
+  mismatch.op = MsgOp::kWrite;
+  mismatch.rid = 9;
+  mismatch.status = core::WireStatus::kSnMismatch;
+  mismatch.sn = 44;
+  mismatch.message = "expected SN 43 but this replica assigns 44 next";
+  out.push_back(std::move(mismatch));
 
   Response busy;
   busy.op = MsgOp::kWrite;
@@ -310,8 +320,8 @@ TEST(WireFuzz, StatusSpaceIsExactlyTheFrozenSet) {
     } catch (const ParseError&) {
     }
   }
-  // 8 read-family + 5 server rejections + 11 error taxonomy codes.
-  EXPECT_EQ(valid, 24);
+  // 8 read-family + 6 server rejections + 11 error taxonomy codes.
+  EXPECT_EQ(valid, 25);
 }
 
 TEST(WireFuzz, FramingReassemblyAndOversizeCutoff) {

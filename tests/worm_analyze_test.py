@@ -158,7 +158,7 @@ def main():
         # Bump the protocol version: now the regen goes through and the
         # subsequent check is clean.
         proto.write_text(proto.read_text().replace(
-            "kProtocolVersion = 3", "kProtocolVersion = 4"))
+            "kProtocolVersion = 4", "kProtocolVersion = 5"))
         r = run_analyze("--repo", str(scratch), "--pass", "wire-abi",
                         "--update-lock", "--cache-dir", "none")
         check("abi:update-after-bump", r.returncode == 0,
@@ -171,7 +171,7 @@ def main():
         # A purely additive change (new enum entry) is not breaking, but
         # still fails until the lock is regenerated — no silent drift.
         status_hpp.write_text(status_hpp.read_text().replace(
-            "kStaleRoute = 68,", "kStaleRoute = 68,\n  kThrottled = 69,"))
+            "kSnMismatch = 69,", "kSnMismatch = 69,\n  kThrottled = 70,"))
         r = run_analyze("--repo", str(scratch), "--pass", "wire-abi",
                         "--cache-dir", "none")
         check("abi:addition-needs-regen",
